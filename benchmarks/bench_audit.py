@@ -1,0 +1,144 @@
+"""E8 — Audit: downstream risk flagging.
+
+Regenerates: precision/recall of descendant flagging when a foundation
+is found risky, comparing (a) the recorded version graph, (b) the
+weight-recovered graph with all history hidden, and (c) a metadata-only
+baseline that follows the (possibly corrupted) base_model card fields.
+
+Expected shape: recorded graph is perfect; recovered graph catches most
+weight-preserving descendants blind; the metadata baseline degrades
+with card corruption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.core.audit import propagate_risk
+from repro.core.versioning import VersionGraph, recover_version_graph
+from repro.lake import CardCorruptor, LakeSpec, generate_lake
+from repro.transforms import TransformRecord
+
+
+@pytest.fixture(scope="module")
+def audit_lake():
+    spec = LakeSpec(
+        num_foundations=2, chains_per_foundation=4, max_chain_depth=2,
+        docs_per_domain=16, foundation_epochs=8, specialize_epochs=6,
+        num_merges=1, num_stitches=0, seed=81,
+    )
+    return generate_lake(spec)
+
+
+def _metadata_graph(lake) -> VersionGraph:
+    """Version graph built only from base_model card fields."""
+    graph = VersionGraph()
+    names = {}
+    for record in lake:
+        graph.add_model(record.model_id)
+        names.setdefault(record.name, record.model_id)
+    for record in lake:
+        base = record.card.base_model
+        if base and base in names:
+            graph.add_edge(names[base], record.model_id,
+                           TransformRecord(kind="finetune"))
+    return graph
+
+
+def _flagging_scores(graph, root, truth_descendants, threshold=0.2,
+                     undirected=False):
+    assessment = propagate_risk(graph, {root: 1.0}, undirected=undirected)
+    flagged = assessment.flagged(threshold) - {root}
+    if not flagged:
+        return 0.0, 0.0
+    tp = len(flagged & truth_descendants)
+    precision = tp / len(flagged)
+    recall = tp / len(truth_descendants) if truth_descendants else 1.0
+    return precision, recall
+
+
+@pytest.fixture(scope="module")
+def audit_table(audit_lake):
+    bundle = audit_lake
+    lake = bundle.lake
+    root = bundle.truth.foundations[0]
+    recorded = VersionGraph.from_lake_history(lake)
+    truth_descendants = recorded.descendants(root)
+
+    rows = {}
+    rows["recorded graph"] = _flagging_scores(recorded, root, truth_descendants)
+
+    # Blind: hide all history and recover from weights.
+    for record in lake:
+        lake.set_history_visibility(record.model_id, False)
+    recovered = recover_version_graph(lake).graph
+    rows["recovered graph"] = _flagging_scores(recovered, root, truth_descendants)
+    # Warning mode: recovered edge directions are heuristic, so audits
+    # propagate warnings along them undirected for recall.
+    rows["recovered (warning)"] = _flagging_scores(
+        recovered, root, truth_descendants, undirected=True
+    )
+    for record in lake:
+        lake.set_history_visibility(record.model_id, True)
+
+    # Metadata baseline, pristine and corrupted cards.
+    rows["metadata (pristine)"] = _flagging_scores(
+        _metadata_graph(lake), root, truth_descendants
+    )
+    originals = {r.model_id: r.card.copy() for r in lake}
+    CardCorruptor(missing_rate=0.5, poison_rate=0.2, seed=4).apply(lake)
+    rows["metadata (corrupted)"] = _flagging_scores(
+        _metadata_graph(lake), root, truth_descendants
+    )
+    for model_id, card in originals.items():
+        lake.update_card(model_id, card)
+
+    lines = [f"{'method':>22} {'precision':>10} {'recall':>8}"]
+    for name, (precision, recall) in rows.items():
+        lines.append(f"{name:>22} {precision:>10.2f} {recall:>8.2f}")
+    record_table("E8_risk_flagging", lines)
+    return rows, truth_descendants
+
+
+class TestE8Audit:
+    def test_recorded_graph_perfect(self, audit_table):
+        rows, _ = audit_table
+        assert rows["recorded graph"] == (1.0, 1.0)
+
+    def test_recovered_warning_mode_useful(self, audit_table):
+        rows, _ = audit_table
+        precision, recall = rows["recovered (warning)"]
+        assert recall >= 0.4
+        assert precision >= 0.4
+
+    def test_warning_mode_recall_dominates_directed(self, audit_table):
+        rows, _ = audit_table
+        assert rows["recovered (warning)"][1] >= rows["recovered graph"][1]
+
+    def test_metadata_baseline_degrades_with_corruption(self, audit_table):
+        rows, _ = audit_table
+        assert rows["metadata (corrupted)"][1] <= rows["metadata (pristine)"][1]
+
+    def test_pristine_metadata_matches_recorded(self, audit_table):
+        """Truthful base_model fields reproduce the recorded single-parent
+        lineage (multi-parent merges are the gap)."""
+        rows, _ = audit_table
+        assert rows["metadata (pristine)"][1] >= 0.7
+
+
+class TestE8Timing:
+    def test_bench_risk_propagation(self, benchmark, audit_lake):
+        graph = VersionGraph.from_lake_history(audit_lake.lake)
+        root = audit_lake.truth.foundations[0]
+        benchmark(propagate_risk, graph, {root: 1.0})
+
+    def test_bench_full_audit(self, benchmark, audit_lake, probes):
+        from repro.core.audit import ModelAuditor
+        from repro.core.docgen import CardGenerator
+
+        generator = CardGenerator(audit_lake.lake, probes)
+        auditor = ModelAuditor(audit_lake.lake, generator)
+        model_id = audit_lake.truth.foundations[0]
+        benchmark.pedantic(auditor.audit, args=(model_id,), rounds=3, iterations=1)

@@ -1,0 +1,138 @@
+"""E10 — Benchmark-lake construction and lifelong evaluation.
+
+Regenerates: (a) the benchmark-lake construction audit — counts of
+models, edges, transform kinds, specialists, datasets, all with
+verified ground truth; (b) the lifelong-ledger cost curve: evaluations
+performed per growth step, incremental vs naive full re-evaluation.
+
+Expected shape: incremental cost per step is O(new cells) while naive
+cost is O(all cells), so the gap widens every step.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.core.benchmarking import Benchmark, LifelongLedger
+from repro.data import make_domain_dataset
+from repro.lake import LakeSpec, generate_lake
+from repro.nn import TextClassifier
+
+
+@pytest.fixture(scope="module")
+def benchlake():
+    spec = LakeSpec(
+        num_foundations=3, chains_per_foundation=4, max_chain_depth=2,
+        docs_per_domain=15, foundation_epochs=8, specialize_epochs=6,
+        num_merges=1, num_stitches=1, seed=101,
+    )
+    return generate_lake(spec)
+
+
+class TestE10Construction:
+    def test_construction_audit(self, benchlake):
+        bundle = benchlake
+        kinds = Counter(record.kind for _, _, record in bundle.truth.edges)
+        specialists = sum(1 for s in bundle.truth.specialty.values() if s)
+        lines = [
+            f"models:                 {bundle.num_models}",
+            f"derivation edges:       {len(bundle.truth.edges)}",
+            f"transform kinds:        {dict(sorted(kinds.items()))}",
+            f"specialists:            {specialists}",
+            f"dataset versions:       {len(bundle.lake.datasets)}",
+            f"foundations:            {len(bundle.truth.foundations)}",
+        ]
+        record_table("E10_benchmark_lake", lines)
+        assert bundle.num_models >= 20
+        assert len(kinds) >= 5  # diverse transforms, as §5 requires
+        assert specialists >= 4
+
+    def test_ground_truth_complete(self, benchlake):
+        """Every model has labels for every task's ground truth."""
+        bundle = benchlake
+        for record in bundle.lake:
+            assert record.model_id in bundle.truth.model_domains
+            assert record.model_id in bundle.truth.domain_accuracy
+            assert record.model_id in bundle.truth.specialty
+
+
+class TestE10Lifelong:
+    def test_incremental_vs_naive_cost(self, benchlake):
+        bundle = benchlake
+        ledger = LifelongLedger(lake=bundle.lake)
+        ledger.add_benchmark(Benchmark("eval", bundle.eval_dataset, "accuracy"))
+
+        lines = [
+            f"{'step':>20} {'incremental':>12} {'naive full':>11} {'coverage':>9}"
+        ]
+        incremental_total = 0
+        naive_total = 0
+
+        def step(label):
+            nonlocal incremental_total, naive_total
+            performed = ledger.refresh()
+            incremental_total += performed
+            naive = len(bundle.lake) * len(ledger.benchmarks)
+            naive_total += naive
+            lines.append(
+                f"{label:>20} {performed:>12d} {naive:>11d} "
+                f"{ledger.coverage():>9.2f}"
+            )
+            return performed, naive
+
+        step("initial")
+        # Growth: three new models arrive.
+        for i in range(3):
+            model = TextClassifier(
+                bundle.tokenizer.vocab_size, 8, dim=8, hidden=(8,), seed=200 + i
+            )
+            bundle.lake.add_model(model, name=f"arrival-{i}")
+        inc_models, naive_models = step("+3 models")
+        # A new benchmark arrives.
+        extra = make_domain_dataset(
+            ["legal"], 6, seq_len=24, seed=102, tokenizer=bundle.tokenizer
+        )
+        ledger.add_benchmark(Benchmark("legal-only", extra, "accuracy"))
+        inc_bench, naive_bench = step("+1 benchmark")
+
+        lines.append(f"{'TOTAL':>20} {incremental_total:>12d} {naive_total:>11d}")
+        record_table("E10_lifelong_cost", lines)
+
+        assert inc_models == 3  # only the newcomers
+        assert inc_models < naive_models
+        assert incremental_total < naive_total
+
+    def test_leaderboard_consistency(self, benchlake):
+        bundle = benchlake
+        ledger = LifelongLedger(lake=bundle.lake)
+        ledger.add_benchmark(Benchmark("eval2", bundle.eval_dataset, "accuracy"))
+        ledger.refresh()
+        top_id, top_score = ledger.leaderboard("eval2", k=1)[0]
+        assert top_score >= max(
+            np.mean(list(acc.values()))
+            for acc in bundle.truth.domain_accuracy.values()
+        ) - 0.15
+
+
+class TestE10Timing:
+    def test_bench_lake_generation(self, benchmark):
+        spec = LakeSpec(
+            num_foundations=1, chains_per_foundation=2, max_chain_depth=1,
+            docs_per_domain=10, foundation_epochs=4, specialize_epochs=3,
+            num_merges=0, num_stitches=0, seed=111,
+        )
+        benchmark.pedantic(generate_lake, args=(spec,), rounds=2, iterations=1)
+
+    def test_bench_ledger_refresh(self, benchmark, benchlake):
+        bundle = benchlake
+
+        def fresh_refresh():
+            ledger = LifelongLedger(lake=bundle.lake)
+            ledger.add_benchmark(Benchmark("tmp", bundle.eval_dataset, "accuracy"))
+            return ledger.refresh()
+
+        benchmark.pedantic(fresh_refresh, rounds=3, iterations=1)

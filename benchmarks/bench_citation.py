@@ -1,0 +1,98 @@
+"""E9 — Citation stability under lake evolution.
+
+Regenerates: the citation re-resolution matrix — citations taken at
+time t are resolved after a sequence of lake mutations (metric updates,
+card edits, new models), and each resolution is classified.
+
+Expected shape: every citation remains resolvable; artifact identity
+(weights digest) is never confused; the snapshot id detects evolution
+exactly; fresh citations differ per snapshot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.core.citation import cite_model, resolve_citation
+from repro.lake import LakeSpec, ModelCard, generate_lake
+from repro.nn import TextClassifier
+
+
+@pytest.fixture(scope="module")
+def citation_rows():
+    spec = LakeSpec(
+        num_foundations=2, chains_per_foundation=3, max_chain_depth=1,
+        docs_per_domain=15, foundation_epochs=6, specialize_epochs=5,
+        num_merges=0, num_stitches=0, seed=91,
+    )
+    bundle = generate_lake(spec)
+    lake = bundle.lake
+    citations = {mid: cite_model(lake, mid) for mid in lake.model_ids()}
+    statuses = []
+
+    # Mutation sequence mirroring real lake evolution.
+    mutations = [
+        ("record metric", lambda: lake.record_metric(
+            bundle.truth.foundations[0], "new_bench", 0.9)),
+        ("edit a card", lambda: lake.update_card(
+            bundle.truth.foundations[1], ModelCard(model_name="edited"))),
+        ("add a model", lambda: lake.add_model(
+            TextClassifier(bundle.tokenizer.vocab_size, 8, dim=8, seed=123),
+            name="latecomer")),
+    ]
+    lines = [f"{'after mutation':>16} {'exact':>6} {'evolved':>8} {'other':>6}"]
+    rows = []
+    for label, mutate in mutations:
+        mutate()
+        outcome = {"exact": 0, "lake_evolved": 0, "other": 0}
+        for citation in citations.values():
+            status = resolve_citation(lake, citation).status
+            outcome[status if status in outcome else "other"] += 1
+        rows.append((label, outcome))
+        lines.append(
+            f"{label:>16} {outcome['exact']:>6d} "
+            f"{outcome['lake_evolved']:>8d} {outcome['other']:>6d}"
+        )
+    record_table("E9_citation_stability", lines)
+    return bundle, citations, rows
+
+
+class TestE9Citation:
+    def test_artifacts_never_confused(self, citation_rows):
+        """No citation ever resolves to changed weights or goes missing."""
+        _, _, rows = citation_rows
+        for _, outcome in rows:
+            assert outcome["other"] == 0
+
+    def test_evolution_always_detected(self, citation_rows):
+        _, _, rows = citation_rows
+        # After the first mutation, nothing resolves as exact anymore.
+        for _, outcome in rows:
+            assert outcome["exact"] == 0
+            assert outcome["lake_evolved"] > 0
+
+    def test_fresh_citations_are_new_versions(self, citation_rows):
+        bundle, citations, _ = citation_rows
+        model_id = bundle.truth.foundations[0]
+        fresh = cite_model(bundle.lake, model_id)
+        assert fresh.lake_snapshot != citations[model_id].lake_snapshot
+        assert fresh.weights_digest == citations[model_id].weights_digest
+
+    def test_lineage_encoded(self, citation_rows):
+        bundle, citations, _ = citation_rows
+        child = next(c for p, c, _ in bundle.truth.edges)
+        assert citations[child].lineage_depth >= 1
+        assert citations[child].root_id in bundle.truth.foundations
+
+
+class TestE9Timing:
+    def test_bench_cite(self, benchmark, citation_rows):
+        bundle, _, _ = citation_rows
+        benchmark(cite_model, bundle.lake, bundle.truth.foundations[0])
+
+    def test_bench_resolve(self, benchmark, citation_rows):
+        bundle, citations, _ = citation_rows
+        citation = citations[bundle.truth.foundations[0]]
+        benchmark(resolve_citation, bundle.lake, citation)

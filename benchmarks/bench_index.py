@@ -1,0 +1,154 @@
+"""E5 — Indexer scalability: HNSW vs flat scan vs LSH.
+
+Regenerates: recall@10 and per-query latency as the number of indexed
+model embeddings grows, plus the HNSW ef_search/recall trade-off.
+
+Expected shape: flat is exact (recall 1.0) with latency growing
+linearly in N; HNSW holds recall near 1.0 with much flatter latency
+growth (its win appears at lake scale); LSH is fast but recall-poor on
+high-dimensional embeddings.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.index import FlatIndex, HNSWIndex, LSHIndex, measure_recall
+
+DIM = 32
+SIZES = (200, 1000, 5000)
+NUM_QUERIES = 25
+
+
+def _clustered_vectors(n: int, seed: int) -> np.ndarray:
+    """Synthetic model-embedding distribution: clustered by family."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(max(8, n // 100), DIM)) * 3
+    assignments = rng.integers(len(centers), size=n)
+    return centers[assignments] + rng.normal(scale=0.4, size=(n, DIM))
+
+
+def _queries_from(vectors: np.ndarray, seed: int = 9) -> np.ndarray:
+    """In-distribution queries: perturbed data points (standard recall
+    protocol — queries drawn far outside the indexed distribution make
+    'nearest neighbor' itself ill-posed)."""
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(len(vectors), NUM_QUERIES, replace=False)
+    return vectors[idx] + rng.normal(scale=0.2, size=(NUM_QUERIES, DIM))
+
+
+@pytest.fixture(scope="module")
+def scaling_table():
+    rows = {}
+    lines = [
+        f"{'N':>6} | {'flat us/q':>10} | {'hnsw us/q':>10} {'recall':>7} | "
+        f"{'lsh us/q':>9} {'recall':>7}"
+    ]
+    for n in SIZES:
+        vectors = _clustered_vectors(n, seed=n)
+        queries = _queries_from(vectors)
+        ids = [f"v{i}" for i in range(n)]
+        flat = FlatIndex()
+        flat.build(ids, vectors)
+        hnsw = HNSWIndex(m=8, ef_construction=64, ef_search=48, seed=0)
+        hnsw.build(ids, vectors)
+        lsh = LSHIndex(num_tables=8, bits_per_table=10, seed=0)
+        lsh.build(ids, vectors)
+
+        def time_queries(index):
+            start = time.perf_counter()
+            for q in queries:
+                index.query(q, k=10)
+            return (time.perf_counter() - start) / NUM_QUERIES * 1e6
+
+        flat_us = time_queries(flat)
+        hnsw_us = time_queries(hnsw)
+        lsh_us = time_queries(lsh)
+        hnsw_recall = measure_recall(hnsw, flat, queries, k=10)
+        lsh_recall = measure_recall(lsh, flat, queries, k=10)
+        rows[n] = dict(
+            flat_us=flat_us, hnsw_us=hnsw_us, hnsw_recall=hnsw_recall,
+            lsh_us=lsh_us, lsh_recall=lsh_recall,
+        )
+        lines.append(
+            f"{n:>6d} | {flat_us:>10.1f} | {hnsw_us:>10.1f} "
+            f"{hnsw_recall:>7.2f} | {lsh_us:>9.1f} {lsh_recall:>7.2f}"
+        )
+    record_table("E5_index_scaling", lines)
+    return rows
+
+
+class TestE5Scaling:
+    def test_hnsw_recall_high(self, scaling_table):
+        for n, row in scaling_table.items():
+            assert row["hnsw_recall"] >= 0.8, (n, row)
+
+    def test_hnsw_latency_grows_sublinearly(self, scaling_table):
+        """Flat latency scales ~linearly with N; HNSW must grow much
+        slower (the sublinear-search promise of §5)."""
+        small, large = SIZES[0], SIZES[-1]
+        flat_growth = scaling_table[large]["flat_us"] / scaling_table[small]["flat_us"]
+        hnsw_growth = scaling_table[large]["hnsw_us"] / scaling_table[small]["hnsw_us"]
+        assert hnsw_growth < flat_growth
+
+    def test_ef_recall_tradeoff(self):
+        vectors = _clustered_vectors(1500, seed=7)
+        ids = [f"v{i}" for i in range(len(vectors))]
+        flat = FlatIndex()
+        flat.build(ids, vectors)
+        hnsw = HNSWIndex(m=8, ef_construction=64, seed=0)
+        hnsw.build(ids, vectors)
+        queries = _queries_from(vectors, seed=3)
+        lines = [f"{'ef_search':>10} {'recall@10':>10}"]
+        recalls = {}
+        for ef in (10, 24, 48, 96):
+            recall = float(np.mean([
+                len({i for i, _ in hnsw.query(q, k=10, ef=ef)}
+                    & {i for i, _ in flat.query(q, k=10)}) / 10
+                for q in queries
+            ]))
+            recalls[ef] = recall
+            lines.append(f"{ef:>10d} {recall:>10.2f}")
+        record_table("E5_ef_recall_tradeoff", lines)
+        assert recalls[96] >= recalls[10]
+
+
+class TestE5Timing:
+    @pytest.fixture(scope="class")
+    def built_indexes(self):
+        vectors = _clustered_vectors(2000, seed=5)
+        ids = [f"v{i}" for i in range(len(vectors))]
+        flat = FlatIndex()
+        flat.build(ids, vectors)
+        hnsw = HNSWIndex(m=8, ef_construction=64, ef_search=48, seed=0)
+        hnsw.build(ids, vectors)
+        lsh = LSHIndex(num_tables=8, bits_per_table=10, seed=0)
+        lsh.build(ids, vectors)
+        query = _queries_from(vectors, seed=11)[0]
+        return flat, hnsw, lsh, query
+
+    def test_bench_flat_query(self, benchmark, built_indexes):
+        flat, _, _, query = built_indexes
+        benchmark(flat.query, query, 10)
+
+    def test_bench_hnsw_query(self, benchmark, built_indexes):
+        _, hnsw, _, query = built_indexes
+        benchmark(hnsw.query, query, 10)
+
+    def test_bench_lsh_query(self, benchmark, built_indexes):
+        _, _, lsh, query = built_indexes
+        benchmark(lsh.query, query, 10)
+
+    def test_bench_hnsw_insert(self, benchmark, built_indexes):
+        _, hnsw, _, _ = built_indexes
+        counter = [0]
+
+        def insert_one():
+            counter[0] += 1
+            hnsw.add(f"new{counter[0]}", np.random.default_rng(counter[0]).normal(size=DIM))
+
+        benchmark.pedantic(insert_one, rounds=20, iterations=1)

@@ -1,0 +1,104 @@
+"""E4 — Membership inference AUC vs overfitting.
+
+Regenerates: loss-threshold and calibrated-attack AUC as training
+epochs sweep (generalization gap grows), at two dataset sizes.
+
+Expected shape: AUC rises monotonically-ish with epochs (more
+memorization), calibrated >= plain, and smaller training sets leak more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.core.attribution import calibrated_attack, loss_threshold_attack
+from repro.data import Tokenizer, build_default_vocabulary, make_domain_dataset
+from repro.nn import TextClassifier, train_classifier
+
+EPOCH_SWEEP = (4, 15, 40)
+SIZES = (8, 20)  # docs per domain
+
+
+def _attack_auc(tokenizer, docs_per_domain: int, epochs: int):
+    members = make_domain_dataset(
+        ["legal", "medical"], docs_per_domain, seq_len=20, seed=51,
+        tokenizer=tokenizer, mixture_noise=0.35,
+    )
+    nonmembers = make_domain_dataset(
+        ["legal", "medical"], docs_per_domain, seq_len=20, seed=52,
+        tokenizer=tokenizer, mixture_noise=0.35,
+    )
+    reference_data = make_domain_dataset(
+        ["legal", "medical"], docs_per_domain, seq_len=20, seed=53,
+        tokenizer=tokenizer, mixture_noise=0.35,
+    )
+    model = TextClassifier(tokenizer.vocab_size, 8, dim=12, hidden=(20,), seed=0)
+    train_classifier(model, members.tokens, members.labels,
+                     epochs=epochs, lr=5e-3, seed=0)
+    reference = TextClassifier(tokenizer.vocab_size, 8, dim=12, hidden=(20,), seed=3)
+    train_classifier(reference, reference_data.tokens, reference_data.labels,
+                     epochs=epochs, lr=5e-3, seed=3)
+    plain = loss_threshold_attack(
+        model, members.tokens, members.labels,
+        nonmembers.tokens, nonmembers.labels,
+    ).auc
+    calibrated = calibrated_attack(
+        model, reference, members.tokens, members.labels,
+        nonmembers.tokens, nonmembers.labels,
+    ).auc
+    return plain, calibrated
+
+
+@pytest.fixture(scope="module")
+def auc_table():
+    tokenizer = Tokenizer(build_default_vocabulary())
+    rows = {}
+    lines = [f"{'docs/domain':>12} {'epochs':>7} {'AUC(loss)':>10} {'AUC(calib)':>11}"]
+    for size in SIZES:
+        for epochs in EPOCH_SWEEP:
+            plain, calibrated = _attack_auc(tokenizer, size, epochs)
+            rows[(size, epochs)] = (plain, calibrated)
+            lines.append(
+                f"{size:>12d} {epochs:>7d} {plain:>10.3f} {calibrated:>11.3f}"
+            )
+    record_table("E4_membership_auc", lines)
+    return rows
+
+
+class TestE4Membership:
+    def test_auc_grows_with_overfitting(self, auc_table):
+        for size in SIZES:
+            low = auc_table[(size, EPOCH_SWEEP[0])][0]
+            high = auc_table[(size, EPOCH_SWEEP[-1])][0]
+            assert high >= low - 0.05
+            assert high > 0.6
+
+    def test_calibration_helps_or_neutral(self, auc_table):
+        improvements = [
+            calibrated - plain for plain, calibrated in auc_table.values()
+        ]
+        assert np.mean(improvements) > -0.05
+
+    def test_smaller_data_leaks_more(self, auc_table):
+        small = auc_table[(SIZES[0], EPOCH_SWEEP[-1])][0]
+        large = auc_table[(SIZES[1], EPOCH_SWEEP[-1])][0]
+        assert small >= large - 0.1
+
+
+class TestE4Timing:
+    def test_bench_loss_attack(self, benchmark):
+        tokenizer = Tokenizer(build_default_vocabulary())
+        members = make_domain_dataset(
+            ["legal"], 10, seq_len=20, seed=54, tokenizer=tokenizer
+        )
+        nonmembers = make_domain_dataset(
+            ["legal"], 10, seq_len=20, seed=55, tokenizer=tokenizer
+        )
+        model = TextClassifier(tokenizer.vocab_size, 8, dim=12, seed=0)
+        train_classifier(model, members.tokens, members.labels, epochs=5, seed=0)
+        benchmark(
+            loss_threshold_attack, model, members.tokens, members.labels,
+            nonmembers.tokens, nonmembers.labels,
+        )

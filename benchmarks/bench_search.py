@@ -1,0 +1,220 @@
+"""E1 — Model search quality vs documentation quality (Example 1.1).
+
+Regenerates: P@3 and nDCG@5 for keyword / behavioral / hybrid search as
+card corruption sweeps 0 -> 0.9, plus the hybrid-alpha ablation.
+
+Expected shape: keyword matches content-based search on pristine cards,
+then collapses as documentation degrades; behavioral search is flat
+(it never reads cards); hybrid tracks the better channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.core.benchmarking import ndcg_at_k, precision_at_k, search_ground_truth
+from repro.core.search import SearchEngine
+from repro.data.domains import DOMAIN_NAMES
+from repro.lake import CardCorruptor
+
+QUERY_DOMAINS = ("legal", "medical", "news", "code")
+CORRUPTION_LEVELS = (0.0, 0.3, 0.6, 0.9)
+METHODS = ("keyword", "behavioral", "hybrid")
+
+_QUERY_TEXT = {
+    "legal": "summarize legal documents court statute verdict",
+    "medical": "analyze medical patient diagnosis clinical notes",
+    "news": "classify news election government policy reports",
+    "code": "understand code function compiler bug reports",
+}
+
+
+def _evaluate(engine: SearchEngine, truth) -> dict:
+    """Mean P@3 / nDCG@5 over the query domains, per method."""
+    scores = {}
+    for method in METHODS:
+        precisions, ndcgs = [], []
+        for domain in QUERY_DOMAINS:
+            relevant = truth.relevant[domain]
+            if not relevant:
+                continue
+            hits = engine.search(_QUERY_TEXT[domain], k=5, method=method)
+            ranked = [h.model_id for h in hits]
+            precisions.append(precision_at_k(ranked, relevant, 3))
+            ndcgs.append(ndcg_at_k(ranked, truth.gains[domain], 5))
+        scores[method] = (float(np.mean(precisions)), float(np.mean(ndcgs)))
+    return scores
+
+
+@pytest.fixture(scope="module")
+def sweep(search_lake, probes):
+    """Corruption sweep table (computed once, restored afterwards)."""
+    lake = search_lake.lake
+    truth = search_ground_truth(search_lake, accuracy_threshold=0.9)
+    originals = {r.model_id: r.card.copy() for r in lake}
+    rows = {}
+    for level in CORRUPTION_LEVELS:
+        for model_id, card in originals.items():
+            lake.update_card(model_id, card.copy())
+        if level > 0:
+            CardCorruptor(
+                missing_rate=level * 0.75, poison_rate=level * 0.25, seed=3
+            ).apply(lake)
+        engine = SearchEngine(lake, probes)
+        rows[level] = _evaluate(engine, truth)
+    for model_id, card in originals.items():
+        lake.update_card(model_id, card)
+
+    lines = [f"{'corruption':>10} | " + " | ".join(
+        f"{m:>10} P@3  nDCG@5" for m in METHODS
+    )]
+    for level, scores in rows.items():
+        cells = " | ".join(
+            f"{scores[m][0]:>10.2f}  {scores[m][1]:>6.2f}" for m in METHODS
+        )
+        lines.append(f"{level:>10.1f} | {cells}")
+    record_table("E1_search_vs_corruption", lines)
+    return rows
+
+
+class TestE1SearchQuality:
+    def test_pristine_all_methods_work(self, sweep):
+        for method in METHODS:
+            assert sweep[0.0][method][0] >= 0.6, method
+
+    def test_keyword_degrades_with_corruption(self, sweep):
+        assert sweep[0.9]["keyword"][0] <= sweep[0.0]["keyword"][0] - 0.2
+
+    def test_behavioral_robust_to_corruption(self, sweep):
+        assert sweep[0.9]["behavioral"][0] >= sweep[0.0]["behavioral"][0] - 0.1
+
+    def test_behavioral_beats_keyword_when_docs_bad(self, sweep):
+        assert sweep[0.9]["behavioral"][0] > sweep[0.9]["keyword"][0]
+
+    def test_hybrid_tracks_best_channel_when_docs_bad(self, sweep):
+        hybrid = sweep[0.9]["hybrid"][0]
+        assert hybrid >= sweep[0.9]["keyword"][0]
+
+
+class TestE1AlphaAblation:
+    def test_alpha_sweep(self, search_lake, probes):
+        """Hybrid-alpha ablation at corruption 0.6."""
+        lake = search_lake.lake
+        truth = search_ground_truth(search_lake, accuracy_threshold=0.9)
+        originals = {r.model_id: r.card.copy() for r in lake}
+        CardCorruptor(missing_rate=0.45, poison_rate=0.15, seed=3).apply(lake)
+        lines = [f"{'alpha':>6} | {'P@3':>6}"]
+        results = {}
+        for alpha in (0.0, 0.25, 0.5, 0.75, 1.0):
+            engine = SearchEngine(lake, probes, hybrid_alpha=alpha)
+            precisions = []
+            for domain in QUERY_DOMAINS:
+                relevant = truth.relevant[domain]
+                if not relevant:
+                    continue
+                hits = engine.search(_QUERY_TEXT[domain], k=5, method="hybrid")
+                precisions.append(
+                    precision_at_k([h.model_id for h in hits], relevant, 3)
+                )
+            results[alpha] = float(np.mean(precisions))
+            lines.append(f"{alpha:>6.2f} | {results[alpha]:>6.2f}")
+        record_table("E1_hybrid_alpha_ablation", lines)
+        for model_id, card in originals.items():
+            lake.update_card(model_id, card)
+        # Content-leaning alphas should not lose to metadata-only.
+        assert results[0.25] >= results[1.0] - 0.05
+
+
+class TestE1ProbeAblation:
+    def test_probe_count_sweep(self, search_lake):
+        """How many shared probes does behavioral search need?
+
+        Expected shape: precision saturates quickly — a handful of
+        probes per domain suffices, which is what makes behavioral
+        indexing affordable at lake scale.
+        """
+        from repro.data.probes import make_text_probes
+
+        truth = search_ground_truth(search_lake, accuracy_threshold=0.9)
+        lines = [f"{'probes/domain':>14} {'P@3':>6}"]
+        results = {}
+        for per_domain in (1, 2, 4, 8):
+            probes = make_text_probes(probes_per_domain=per_domain, seq_len=24)
+            engine = SearchEngine(search_lake.lake, probes)
+            precisions = []
+            for domain in QUERY_DOMAINS:
+                relevant = truth.relevant[domain]
+                if not relevant:
+                    continue
+                hits = engine.search(
+                    _QUERY_TEXT[domain], k=5, method="behavioral"
+                )
+                precisions.append(
+                    precision_at_k([h.model_id for h in hits], relevant, 3)
+                )
+            results[per_domain] = float(np.mean(precisions))
+            lines.append(f"{per_domain:>14d} {results[per_domain]:>6.2f}")
+        record_table("E1_probe_count_ablation", lines)
+        assert results[8] >= results[1] - 1e-9
+        assert results[4] >= 0.7
+
+
+class TestE1MixedModality:
+    def test_cross_modality_retrieval(self, probes):
+        """Content-based search must cover all models, "including large
+        language models" — one shared behavioral space for both
+        modalities.
+
+        Measured: for each LM specialist, its rank under a query for its
+        specialty domain, and whether its nearest behavioral neighbor is
+        its own LM relative.
+        """
+        from repro.lake import LakeSpec, generate_lake
+
+        spec = LakeSpec(
+            num_foundations=1, chains_per_foundation=2, max_chain_depth=1,
+            docs_per_domain=15, foundation_epochs=8, specialize_epochs=6,
+            num_merges=0, num_stitches=0, seed=121,
+            num_lm_foundations=1, lm_chains=2, lm_epochs=3,
+        )
+        bundle = generate_lake(spec)
+        engine = SearchEngine(bundle.lake, probes)
+        lines = [f"{'LM model':<44} {'specialty':>10} {'neighbor family':>16}"]
+        lm_ids = [
+            r.model_id for r in bundle.lake if r.family == "transformer_lm"
+        ]
+        neighbor_families = []
+        for lm_id in lm_ids:
+            hits = engine.related_models(lm_id, k=1, view="behavioral")
+            family = bundle.lake.get_record(hits[0].model_id).family
+            neighbor_families.append(family)
+            lines.append(
+                f"{bundle.lake.get_record(lm_id).name:<44} "
+                f"{str(bundle.truth.specialty[lm_id]):>10} {family:>16}"
+            )
+        record_table("E1_mixed_modality", lines)
+        # LMs live in the shared space and cluster with their relatives.
+        assert len(lm_ids) == 3
+        assert neighbor_families.count("transformer_lm") >= 2
+
+
+class TestE1Timing:
+    def test_bench_behavioral_query(self, benchmark, search_lake, probes):
+        engine = SearchEngine(search_lake.lake, probes)
+        benchmark(engine.search, _QUERY_TEXT["legal"], 5, "behavioral")
+
+    def test_bench_keyword_query(self, benchmark, search_lake, probes):
+        engine = SearchEngine(search_lake.lake, probes)
+        benchmark(engine.search, _QUERY_TEXT["legal"], 5, "keyword")
+
+    def test_bench_hybrid_query(self, benchmark, search_lake, probes):
+        engine = SearchEngine(search_lake.lake, probes)
+        benchmark(engine.search, _QUERY_TEXT["legal"], 5, "hybrid")
+
+    def test_bench_engine_indexing(self, benchmark, search_lake, probes):
+        """Index-build cost for the whole lake (embeds every model)."""
+        benchmark.pedantic(
+            SearchEngine, args=(search_lake.lake, probes), rounds=2, iterations=1
+        )

@@ -1,0 +1,153 @@
+"""E2 — Version-graph recovery from weights (MoTHer-style).
+
+Regenerates: directed and undirected edge precision/recall/F1 of blind
+recovery vs lake size, split by transform class, plus edge-label
+accuracy and the direction-heuristic ablation.
+
+Expected shape: weight-preserving edges (finetune/LoRA/edit/prune/
+quantize) recover well; distillation and stitching edges are invisible
+to weight analysis; topology (undirected) beats direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.core.benchmarking import (
+    edge_precision_recall,
+    transform_label_truth,
+    undirected_edge_f1,
+    version_edge_truth,
+)
+from repro.core.versioning import RecoveryConfig, recover_version_graph
+from repro.lake import LakeSpec, generate_lake
+
+SIZES = (
+    ("small", LakeSpec(num_foundations=2, chains_per_foundation=3,
+                       max_chain_depth=1, docs_per_domain=15,
+                       foundation_epochs=8, specialize_epochs=6,
+                       num_merges=1, num_stitches=0, seed=31)),
+    ("medium", LakeSpec(num_foundations=3, chains_per_foundation=4,
+                        max_chain_depth=2, docs_per_domain=15,
+                        foundation_epochs=8, specialize_epochs=6,
+                        num_merges=1, num_stitches=1, seed=32)),
+)
+
+
+@pytest.fixture(scope="module")
+def recovery_table():
+    rows = []
+    bundles = {}
+    for label, spec in SIZES:
+        bundle = generate_lake(spec)
+        bundles[label] = bundle
+        result = recover_version_graph(bundle.lake)
+        predicted = result.graph.edge_set()
+        all_truth = version_edge_truth(bundle)
+        weight_truth = version_edge_truth(bundle, weight_preserving_only=True)
+        p_all, r_all, f_all = edge_precision_recall(predicted, all_truth)
+        p_w, r_w, f_w = edge_precision_recall(predicted, weight_truth)
+        undirected = undirected_edge_f1(predicted, weight_truth)
+        labels = transform_label_truth(bundle)
+        correct = total = 0
+        for parent, child, data in result.graph.edges():
+            true_kind = labels.get((parent, child))
+            if true_kind is None:
+                continue
+            total += 1
+            correct += data.get("kind") == true_kind
+        rows.append({
+            "label": label, "models": bundle.num_models,
+            "f1_all": f_all, "p_w": p_w, "r_w": r_w, "f1_w": f_w,
+            "undirected": undirected,
+            "label_acc": correct / total if total else float("nan"),
+        })
+    lines = [
+        f"{'lake':>8} {'models':>7} {'F1(all)':>8} {'P(wp)':>6} {'R(wp)':>6} "
+        f"{'F1(wp)':>7} {'F1(undir)':>10} {'label acc':>10}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['label']:>8} {row['models']:>7d} {row['f1_all']:>8.2f} "
+            f"{row['p_w']:>6.2f} {row['r_w']:>6.2f} {row['f1_w']:>7.2f} "
+            f"{row['undirected']:>10.2f} {row['label_acc']:>10.2f}"
+        )
+    record_table("E2_version_recovery", lines)
+    return rows, bundles
+
+
+class TestE2Recovery:
+    def test_weight_preserving_edges_recovered(self, recovery_table):
+        rows, _ = recovery_table
+        for row in rows:
+            assert row["f1_w"] >= 0.4, row
+
+    def test_topology_at_least_as_good_as_direction(self, recovery_table):
+        rows, _ = recovery_table
+        for row in rows:
+            assert row["undirected"] >= row["f1_w"] - 1e-9
+
+    def test_edge_labels_mostly_right(self, recovery_table):
+        rows, _ = recovery_table
+        for row in rows:
+            if not np.isnan(row["label_acc"]):
+                assert row["label_acc"] >= 0.6
+
+    def test_behavioral_fallback_ablation(self, recovery_table, probes):
+        """Multi-viewpoint recovery: weight pass + behavioral fallback.
+
+        Expected shape: the fallback only adds lineage-consistent edges
+        (distill students attach to teacher or sibling), so all-edge
+        recall rises without precision collapse.
+        """
+        from repro.core.versioning import VersionGraph
+
+        _, bundles = recovery_table
+        bundle = bundles["medium"]
+        truth = version_edge_truth(bundle)
+        history = VersionGraph.from_lake_history(bundle.lake)
+        lines = [f"{'config':>26} {'P':>6} {'R':>6} {'F1':>6} {'extra edges':>12}"]
+        rows = {}
+        for label, config in (
+            ("weights only", RecoveryConfig()),
+            ("+ behavioral fallback", RecoveryConfig(behavioral_probes=probes)),
+        ):
+            result = recover_version_graph(bundle.lake, config=config)
+            p, r, f1 = edge_precision_recall(result.graph.edge_set(), truth)
+            rows[label] = (p, r, f1, result.behavioral_edges)
+            lines.append(
+                f"{label:>26} {p:>6.2f} {r:>6.2f} {f1:>6.2f} "
+                f"{len(result.behavioral_edges):>12d}"
+            )
+        record_table("E2_behavioral_fallback", lines)
+        plain_recall = rows["weights only"][1]
+        fallback = rows["+ behavioral fallback"]
+        assert fallback[1] >= plain_recall
+        # Every behavioral edge connects models of one true lineage.
+        for parent, child, _ in fallback[3]:
+            assert history.is_version_of(parent, child)
+
+    def test_direction_ablation(self, recovery_table):
+        """Direction penalty on vs off (recorded as a table)."""
+        _, bundles = recovery_table
+        bundle = bundles["medium"]
+        truth = version_edge_truth(bundle, weight_preserving_only=True)
+        lines = [f"{'direction_penalty':>18} {'F1(wp)':>8}"]
+        values = {}
+        for penalty in (0.0, 0.5, 1.0):
+            config = RecoveryConfig(direction_penalty=penalty)
+            result = recover_version_graph(bundle.lake, config=config)
+            _, _, f1 = edge_precision_recall(result.graph.edge_set(), truth)
+            values[penalty] = f1
+            lines.append(f"{penalty:>18.1f} {f1:>8.2f}")
+        record_table("E2_direction_ablation", lines)
+        assert max(values.values()) >= 0.45
+
+
+class TestE2Timing:
+    def test_bench_recovery(self, benchmark, mixed_lake):
+        benchmark.pedantic(
+            recover_version_graph, args=(mixed_lake.lake,), rounds=3, iterations=1
+        )

@@ -1,0 +1,172 @@
+"""E6 — Weight-space modeling: predicting model properties from weights.
+
+Regenerates: cross-validated accuracy of meta-models predicting (a) the
+lineage root (foundation family), (b) specialty domain, and (c) the
+transform kind from delta features — each against the majority-class
+baseline — plus the cross-task linearity table (Zhou et al.).
+
+Expected shape: root-family prediction is easy (architecture + weight
+statistics give it away); specialty is harder; transform-kind from
+deltas is near-perfect (each operator has a crisp signature); sibling
+fine-tunes are linearly connected while independent models show a
+barrier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.core.versioning import VersionGraph
+from repro.data import make_domain_dataset
+from repro.lake import LakeSpec, generate_lake
+from repro.nn import TextClassifier, train_classifier
+from repro.transforms import finetune_classifier
+from repro.weightspace import (
+    MetaDataset,
+    build_meta_dataset,
+    cross_validated_accuracy,
+    delta_features,
+    linearity_gap,
+)
+
+
+@pytest.fixture(scope="module")
+def weightspace_lake():
+    spec = LakeSpec(
+        num_foundations=3, chains_per_foundation=5, max_chain_depth=1,
+        docs_per_domain=15, foundation_epochs=8, specialize_epochs=6,
+        num_merges=0, num_stitches=0, seed=61,
+    )
+    return generate_lake(spec)
+
+
+def _majority_baseline(labels: dict) -> float:
+    values = list(labels.values())
+    counts = {v: values.count(v) for v in set(values)}
+    return max(counts.values()) / len(values)
+
+
+@pytest.fixture(scope="module")
+def property_table(weightspace_lake):
+    bundle = weightspace_lake
+    states = {
+        mid: bundle.lake.get_model(mid, force=True).state_dict()
+        for mid in bundle.lake.model_ids()
+    }
+    graph = VersionGraph.from_lake_history(bundle.lake)
+    tasks = {
+        "root_family": {mid: graph.root_of(mid) for mid in states},
+        "specialty": {
+            mid: (s or "generalist") for mid, s in bundle.truth.specialty.items()
+        },
+    }
+    lines = [f"{'property':>16} {'meta-model CV acc':>18} {'majority':>9}"]
+    results = {}
+    for name, labels in tasks.items():
+        dataset = build_meta_dataset(states, labels)
+        accuracy = cross_validated_accuracy(dataset, folds=4, epochs=60, seed=0)
+        baseline = _majority_baseline(labels)
+        results[name] = (accuracy, baseline)
+        lines.append(f"{name:>16} {accuracy:>18.2f} {baseline:>9.2f}")
+
+    # Transform-kind prediction from delta features (nearest-centroid).
+    deltas, kinds = [], []
+    for parents, child, record in bundle.truth.edges:
+        if len(parents) != 1 or record.kind == "distill":
+            continue
+        kind = "finetune" if record.kind == "preference" else record.kind
+        deltas.append(delta_features(states[parents[0]], states[child]))
+        kinds.append(kind)
+    if len(set(kinds)) > 1:
+        from repro.core.versioning import classify_transform
+
+        correct = sum(
+            classify_transform(states[parents[0]], states[child])
+            == ("finetune" if record.kind == "preference" else record.kind)
+            for parents, child, record in bundle.truth.edges
+            if len(parents) == 1 and record.kind != "distill"
+        )
+        total = sum(
+            1 for parents, _, record in bundle.truth.edges
+            if len(parents) == 1 and record.kind != "distill"
+        )
+        results["transform_kind"] = (correct / total, _majority_baseline(
+            {i: k for i, k in enumerate(kinds)}
+        ))
+        lines.append(
+            f"{'transform_kind':>16} {results['transform_kind'][0]:>18.2f} "
+            f"{results['transform_kind'][1]:>9.2f}"
+        )
+    record_table("E6_weightspace_properties", lines)
+    return results
+
+
+class TestE6WeightSpace:
+    def test_root_family_predictable(self, property_table):
+        accuracy, baseline = property_table["root_family"]
+        assert accuracy > baseline + 0.15
+
+    def test_transform_kind_predictable(self, property_table):
+        accuracy, baseline = property_table["transform_kind"]
+        assert accuracy >= 0.8
+        assert accuracy > baseline
+
+    def test_linearity_gap(self, weightspace_lake):
+        """Zhou et al.: sibling fine-tunes are linearly connected."""
+        bundle = weightspace_lake
+        foundation_id = bundle.truth.foundations[0]
+        kids = [
+            c for p, c, r in bundle.truth.edges
+            if p == (foundation_id,) and r.kind in ("finetune", "lora", "preference")
+        ]
+        if len(kids) < 2:
+            pytest.skip("need two weight-aligned siblings")
+        sibling_a = bundle.lake.get_model(kids[0], force=True)
+        sibling_b = bundle.lake.get_model(kids[1], force=True)
+        # Independent same-architecture model.
+        spec = sibling_a.architecture_spec()
+        unrelated = TextClassifier(
+            spec["vocab_size"], spec["num_classes"], dim=spec["dim"],
+            hidden=tuple(spec["hidden"]), seed=999,
+        )
+        train_classifier(
+            unrelated, bundle.base_dataset.tokens, bundle.base_dataset.labels,
+            epochs=8, lr=5e-3, seed=999,
+        )
+        gap = linearity_gap(
+            sibling_a, sibling_b, unrelated, bundle.eval_dataset, num_points=7
+        )
+        lines = [
+            f"sibling barrier:   {gap['sibling_barrier']:.3f}",
+            f"unrelated barrier: {gap['unrelated_barrier']:.3f}",
+            f"gap:               {gap['gap']:.3f}",
+        ]
+        record_table("E6_linearity_gap", lines)
+        assert gap["sibling_barrier"] < gap["unrelated_barrier"]
+
+
+class TestE6Timing:
+    def test_bench_feature_extraction(self, benchmark, weightspace_lake):
+        from repro.weightspace import model_weight_features
+
+        state = weightspace_lake.lake.get_model(
+            weightspace_lake.truth.foundations[0], force=True
+        ).state_dict()
+        benchmark(model_weight_features, state)
+
+    def test_bench_metamodel_fit(self, benchmark, weightspace_lake):
+        from repro.weightspace import WeightSpaceModel
+
+        bundle = weightspace_lake
+        states = {
+            mid: bundle.lake.get_model(mid, force=True).state_dict()
+            for mid in bundle.lake.model_ids()
+        }
+        labels = {mid: (s or "generalist") for mid, s in bundle.truth.specialty.items()}
+        dataset = build_meta_dataset(states, labels)
+        benchmark.pedantic(
+            lambda: WeightSpaceModel(seed=0).fit(dataset, epochs=40),
+            rounds=3, iterations=1,
+        )

@@ -1,0 +1,80 @@
+"""Auditing and risk propagation (§6): PoisonGPT in the lake.
+
+Scenario: a foundation model is discovered to be compromised, and one
+uploader published a model with a lying card.  The lake (1) verifies
+cards against measured behavior, (2) audits models with a standard
+questionnaire, and (3) warns every downstream descendant of the risky
+foundation — even those whose uploaders hid their history, via
+weight-based version recovery.
+
+Run:  python examples/audit_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core.audit import ModelAuditor, propagate_risk
+from repro.core.docgen import CardGenerator, CardVerifier
+from repro.core.versioning import VersionGraph, recover_version_graph
+from repro.data.probes import make_text_probes
+from repro.lake import LakeSpec, generate_lake
+
+
+def main() -> None:
+    spec = LakeSpec(
+        num_foundations=2, chains_per_foundation=3, max_chain_depth=2,
+        docs_per_domain=18, foundation_epochs=8, specialize_epochs=6, seed=4,
+    )
+    bundle = generate_lake(spec)
+    lake = bundle.lake
+    probes = make_text_probes(probes_per_domain=4, seq_len=24)
+    generator = CardGenerator(lake, probes)
+
+    # --- Step 1: a poisoned card appears -------------------------------
+    victim = next(
+        c for _, c, r in bundle.truth.edges if r.kind in ("finetune", "lora")
+    )
+    card = lake.get_record(victim).card.copy()
+    card.transform_summary = "trained entirely from scratch"
+    card.base_model = "foundation-999"
+    card.metrics = {"acc_legal": 0.99, "acc_medical": 0.99}
+    lake.update_card(victim, card)
+    print(f"Uploader of {lake.get_record(victim).name!r} published a lying card.\n")
+
+    verifier = CardVerifier(generator)
+    print("=== Card verification ===")
+    for issue in verifier.verify(victim):
+        print("  " + issue.describe())
+
+    # --- Step 2: standard audit questionnaire --------------------------
+    print("\n=== Audit questionnaire ===")
+    auditor = ModelAuditor(lake, generator)
+    print(auditor.audit(victim).to_text())
+
+    # --- Step 3: upstream risk discovered ------------------------------
+    risky_root = bundle.truth.foundations[0]
+    print(f"\n=== {lake.get_record(risky_root).name} found to be compromised ===")
+
+    # 3a. With recorded history.
+    history_graph = VersionGraph.from_lake_history(lake)
+    assessment = propagate_risk(history_graph, {risky_root: 1.0})
+    print("\nRisk propagation over the RECORDED version graph:")
+    for model_id in sorted(assessment.risk, key=lambda m: -assessment.risk[m]):
+        print(f"  {lake.get_record(model_id).name:<52} "
+              f"risk {assessment.risk[model_id]:.2f}")
+
+    # 3b. Histories hidden: recover the graph from weights alone.
+    for record in lake:
+        lake.set_history_visibility(record.model_id, False)
+    recovered = recover_version_graph(lake).graph
+    blind = propagate_risk(recovered, {risky_root: 1.0})
+    truly_at_risk = history_graph.descendants(risky_root)
+    caught = blind.flagged(0.2) & truly_at_risk
+    print("\nWith ALL history hidden, weight-based recovery still warns "
+          f"{len(caught)}/{len(truly_at_risk)} of the truly at-risk models:")
+    for model_id in sorted(caught):
+        print(f"  {lake.get_record(model_id).name:<52} "
+              f"risk {blind.risk[model_id]:.2f}")
+
+
+if __name__ == "__main__":
+    main()

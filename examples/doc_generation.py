@@ -1,0 +1,68 @@
+"""Documentation generation (§6): repair an undocumented lake.
+
+Generates a lake, destroys most of its documentation (the Liang et al.
+situation), auto-drafts cards from lake analysis, and scores the drafts
+against ground truth — then shows that keyword search works again over
+the regenerated cards.
+
+Run:  python examples/doc_generation.py
+"""
+
+import numpy as np
+
+from repro.core.docgen import CardGenerator
+from repro.core.search import SearchEngine
+from repro.data.probes import make_text_probes
+from repro.lake import CardCorruptor, LakeSpec, generate_lake
+
+
+def main() -> None:
+    spec = LakeSpec(
+        num_foundations=2, chains_per_foundation=4, max_chain_depth=1,
+        docs_per_domain=20, foundation_epochs=8, specialize_epochs=6, seed=6,
+    )
+    bundle = generate_lake(spec)
+    lake = bundle.lake
+    truthful = {r.model_id: r.card.copy() for r in lake}
+
+    print(f"Lake of {len(lake)} models; destroying 90% of card fields ...")
+    CardCorruptor(missing_rate=0.9, seed=0).apply(lake)
+    before = float(np.mean([r.card.completeness() for r in lake]))
+    print(f"mean card completeness after corruption: {before:.2f}")
+
+    probes = make_text_probes(probes_per_domain=4, seq_len=24)
+    generator = CardGenerator(lake, probes)
+
+    print("\n=== Auto-drafting cards from lake analysis ===")
+    domain_hits = base_hits = scored = 0
+    for record in lake:
+        repaired = generator.fill_missing_fields(record.model_id)
+        lake.update_card(record.model_id, repaired)
+        scored += 1
+        true_card = truthful[record.model_id]
+        # Domain agreement: inferred domains vs measured-competent domains.
+        true_competent = {
+            d for d, a in bundle.truth.domain_accuracy[record.model_id].items()
+            if a >= 0.9
+        }
+        inferred = set(repaired.training_domains)
+        if true_competent and len(inferred & true_competent) / len(true_competent) >= 0.5:
+            domain_hits += 1
+        if (repaired.base_model or None) == (true_card.base_model or None):
+            base_hits += 1
+        print(f"  {record.name:<46} completeness "
+              f"{record.card.completeness():.2f} -> base={repaired.base_model}")
+
+    after = float(np.mean([r.card.completeness() for r in lake]))
+    print(f"\nmean completeness: {before:.2f} -> {after:.2f}")
+    print(f"competent-domain coverage correct for {domain_hits}/{scored} models")
+    print(f"base-model field matches the truthful card for {base_hits}/{scored}")
+
+    print("\n=== Keyword search over the regenerated cards ===")
+    engine = SearchEngine(lake, probes)
+    for hit in engine.search("legal court documents", k=3, method="keyword"):
+        print(f"  {lake.get_record(hit.model_id).name:<46} {hit.score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

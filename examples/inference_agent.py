@@ -1,0 +1,60 @@
+"""The model-inference agent (§5): query -> benchmark -> verified choice.
+
+A non-expert asks for "a model for medical notes".  The agent maps the
+query to domains, retrieves candidates, *generates a fresh benchmark*
+for the task, actually runs every candidate on it, and recommends by
+measured performance — so lying cards cannot win.  The lake here is
+mixed-modality (classifiers + language models) with partially poisoned
+documentation.
+
+Run:  python examples/inference_agent.py
+"""
+
+import numpy as np
+
+from repro.core.inference import ModelInferenceAgent
+from repro.data.probes import make_text_probes
+from repro.lake import CardCorruptor, LakeSpec, generate_lake
+
+
+def main() -> None:
+    print("Building a mixed-modality lake (classifiers + language models) ...")
+    spec = LakeSpec(
+        num_foundations=2, chains_per_foundation=4, max_chain_depth=1,
+        docs_per_domain=18, foundation_epochs=8, specialize_epochs=6,
+        transform_mix={"finetune": 0.6, "lora": 0.4},
+        num_merges=0, num_stitches=0, seed=12,
+        num_lm_foundations=1, lm_chains=2, lm_epochs=3,
+    )
+    bundle = generate_lake(spec)
+    lake = bundle.lake
+    print(f"{len(lake)} models; poisoning 40% of card fields ...")
+    CardCorruptor(missing_rate=0.2, poison_rate=0.4, seed=7).apply(lake)
+
+    probes = make_text_probes(probes_per_domain=4, seq_len=24)
+    agent = ModelInferenceAgent(lake, probes, seed=0)
+
+    for query in (
+        "analyze medical patient diagnosis notes",
+        "summarize legal court rulings and statutes",
+        "track sports season tournament results",
+    ):
+        print(f"\n=== query: {query!r} ===")
+        result = agent.recommend(query, k=3)
+        print(f"plan: {result.plan.describe()}")
+        for rank, rec in enumerate(result.recommendations, start=1):
+            truth_score = bundle.truth.domain_accuracy[rec.model_id][
+                result.plan.target_domains[0]
+            ]
+            print(f"  {rank}. {rec.model_name:<44} "
+                  f"measured {rec.measured_score:.2f} "
+                  f"(ground truth {truth_score:.2f})")
+            print(f"     {rec.rationale}")
+
+    print("\nThe agent's recommendations rest on fresh measurements, so "
+          "poisoned cards influence at most the candidate shortlist, "
+          "never the final ranking.")
+
+
+if __name__ == "__main__":
+    main()

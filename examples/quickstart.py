@@ -1,0 +1,93 @@
+"""Quickstart: the three viewpoints of a model, and every lake task (Figure 1).
+
+Builds a small benchmark lake, then walks one model through the paper's
+three viewpoints — history (D, A), intrinsics (f*, theta), extrinsics
+(p_theta) — and runs each model-lake task once.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.audit import ModelAuditor
+from repro.core.citation import cite_model
+from repro.core.docgen import CardGenerator
+from repro.core.search import SearchEngine
+from repro.core.versioning import VersionGraph, classify_transform
+from repro.data.probes import make_text_probes
+from repro.lake import LakeSpec, generate_lake
+
+
+def main() -> None:
+    print("=== Generating a benchmark lake (foundations + derived versions) ===")
+    spec = LakeSpec(
+        num_foundations=2, chains_per_foundation=3, max_chain_depth=1,
+        docs_per_domain=18, foundation_epochs=8, specialize_epochs=6, seed=0,
+    )
+    bundle = generate_lake(spec)
+    lake = bundle.lake
+    print(f"lake holds {len(lake)} models, {len(lake.datasets)} dataset versions\n")
+    for record in lake:
+        print("  " + record.summary())
+
+    # Pick a derived specialist to examine.
+    child_id = next(
+        c for _, c, r in bundle.truth.edges if r.kind in ("finetune", "lora")
+    )
+    record = lake.get_record(child_id)
+    print(f"\n=== Three viewpoints of {record.name} ===")
+
+    # Viewpoint 1: history (D, A)
+    history = lake.get_history(child_id)
+    print(f"[history]    {history.describe()}")
+    print(f"[history]    trained on dataset {history.dataset_name!r}")
+
+    # Viewpoint 2: intrinsics (f*, theta)
+    model = lake.get_model(child_id)
+    print(f"[intrinsics] architecture: {record.architecture}")
+    print(f"[intrinsics] parameters:   {model.num_parameters()}")
+    parent_state = lake.get_model(history.parent_ids[0]).state_dict()
+    kind = classify_transform(parent_state, model.state_dict())
+    print(f"[intrinsics] weight-delta signature classifies the edge as: {kind}")
+
+    # Viewpoint 3: extrinsics (p_theta)
+    probes = make_text_probes(probes_per_domain=3, seq_len=24)
+    generator = CardGenerator(lake, probes)
+    competence = generator.domain_competence(model)
+    print("[extrinsics] competence profile over shared probes:")
+    for domain, value in sorted(competence.items(), key=lambda kv: -kv[1]):
+        bar = "#" * int(value * 20)
+        print(f"             {domain:<10} {value:0.2f} {bar}")
+
+    print("\n=== Model lake tasks ===")
+    # Search
+    engine = SearchEngine(lake, probes)
+    hits = engine.search("summarize legal court documents", k=3)
+    print("[search]     'summarize legal court documents' ->")
+    for hit in hits:
+        print(f"             {lake.get_record(hit.model_id).name:<44} {hit.score:.3f}")
+
+    # Versioning
+    graph = VersionGraph.from_lake_history(lake)
+    print(f"[versioning] graph: {len(graph)} nodes, {graph.num_edges} edges, "
+          f"roots = {[lake.get_record(r).name for r in graph.roots()]}")
+
+    # Documentation generation
+    card, evidence = generator.draft_card(child_id)
+    print(f"[docgen]     inferred domains {evidence.inferred_domains}, "
+          f"base {card.base_model!r}, transform {card.transform_summary!r}")
+
+    # Audit
+    auditor = ModelAuditor(lake, generator, graph)
+    report = auditor.audit(child_id)
+    print(f"[audit]      compliance {report.compliance_rate:.0%} "
+          f"({sum(a.satisfied for a in report.answers)}/{len(report.answers)} checks)")
+
+    # Citation
+    citation = cite_model(lake, child_id, graph)
+    print(f"[citation]   {citation.key()}")
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Generated-content citation: watermarking + versioned model citations (§6).
+
+Trains a small language model, registers it in a lake, generates
+watermarked text, shows the detector separating watermarked from clean
+text, and produces a citation whose snapshot id changes when the lake
+evolves — the paper's "new citation with the updated version and
+timestamp" behavior.
+
+Run:  python examples/watermark_and_citation.py
+"""
+
+import numpy as np
+
+from repro.core.citation import cite_dataset, cite_model, resolve_citation
+from repro.data import Tokenizer, build_default_vocabulary, make_lm_sequences
+from repro.interp import WatermarkConfig, detect_watermark, generate_watermarked
+from repro.lake import ModelCard, ModelHistory, ModelLake
+from repro.nn import TransformerLM, train_language_model
+
+
+def main() -> None:
+    tokenizer = Tokenizer(build_default_vocabulary())
+    print("Training a small legal/news language model ...")
+    corpus = make_lm_sequences(
+        ["legal", "news"], 40, seq_len=20, seed=0, tokenizer=tokenizer
+    )
+    lm = TransformerLM(
+        vocab_size=tokenizer.vocab_size, d_model=24, num_heads=2,
+        num_layers=2, max_seq_len=32, seed=0,
+    )
+    result = train_language_model(lm, corpus.tokens, epochs=4, batch_size=16, seed=0)
+    print(f"final LM loss: {result.final_loss:.3f}")
+
+    lake = ModelLake()
+    digest = lake.datasets.register(corpus)
+    record = lake.add_model(
+        lm, name="legal-news-lm",
+        card=ModelCard(model_name="legal-news-lm",
+                       description="Tiny causal LM over legal and news text",
+                       training_domains=["legal", "news"], license="mit"),
+        history=ModelHistory(dataset_digest=digest, dataset_name=corpus.name,
+                             algorithm="train_from_scratch"),
+    )
+
+    config = WatermarkConfig(gamma=0.5, delta=5.0, key=1234)
+    rng = np.random.default_rng(0)
+    prompt = np.array([tokenizer.vocabulary.bos_id])
+
+    print("\n=== Watermarked vs clean generation ===")
+    watermarked = generate_watermarked(lm, prompt, 80, rng, config=config)
+    clean = lm.generate(prompt, 80, np.random.default_rng(1))
+    for label, tokens in (("watermarked", watermarked), ("clean", clean)):
+        detection = detect_watermark(tokens, lm.vocab_size, config=config)
+        text = " ".join(tokenizer.decode(tokens)[:12])
+        print(f"[{label:<11}] z = {detection.z_score:+6.2f}  "
+              f"(green {detection.green_fraction:.2f})  "
+              f"flagged = {detection.is_watermarked()}")
+        print(f"              sample: {text} ...")
+
+    print("\n=== Citing the model and its training data ===")
+    citation = cite_model(lake, record.model_id)
+    print("model citation:  ", citation.key())
+    print("data citation:   ", cite_dataset(lake, digest).key())
+    print(citation.to_bibtex())
+
+    print("\nresolving the citation now:       ",
+          resolve_citation(lake, citation).status)
+    lake.record_metric(record.model_id, "perplexity", 12.0)
+    outcome = resolve_citation(lake, citation)
+    print("resolving after the lake evolved: ", outcome.status)
+    print("  ->", outcome.detail)
+    fresh = cite_model(lake, record.model_id)
+    print("fresh citation:  ", fresh.key())
+
+
+if __name__ == "__main__":
+    main()

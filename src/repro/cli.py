@@ -1,0 +1,176 @@
+"""Command-line interface: operate a model lake from the shell.
+
+Subcommands::
+
+    python -m repro generate --dir LAKE_DIR [--seed N] [--foundations N] ...
+    python -m repro stats    --dir LAKE_DIR
+    python -m repro search   --dir LAKE_DIR --query TEXT [--method M] [-k N]
+    python -m repro query    --dir LAKE_DIR --q "FIND MODELS WHERE ..."
+    python -m repro audit    --dir LAKE_DIR --model NAME_OR_ID
+    python -m repro cite     --dir LAKE_DIR --model NAME_OR_ID
+    python -m repro card     --dir LAKE_DIR --model NAME_OR_ID
+
+Lakes are persisted with :mod:`repro.lake.persist`, so a lake generated
+once can be searched, audited, and cited across invocations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.audit import ModelAuditor
+from repro.core.citation import cite_model
+from repro.core.docgen import CardGenerator
+from repro.core.search import SearchEngine, execute_query
+from repro.data.probes import make_text_probes
+from repro.errors import ModelNotFoundError, ReproError
+from repro.lake import LakeSpec, generate_lake, load_lake, save_lake
+from repro.lake.stats import compute_statistics
+
+
+def _resolve(lake, name_or_id: str) -> str:
+    if name_or_id in lake:
+        return name_or_id
+    matches = lake.find_by_name(name_or_id)
+    if len(matches) == 1:
+        return matches[0].model_id
+    raise ModelNotFoundError(name_or_id)
+
+
+def _cmd_generate(args) -> int:
+    spec = LakeSpec(
+        num_foundations=args.foundations,
+        chains_per_foundation=args.chains,
+        max_chain_depth=args.depth,
+        docs_per_domain=args.docs,
+        seed=args.seed,
+        num_lm_foundations=args.lm_foundations,
+        opaque_names=args.opaque_names,
+    )
+    print(f"generating lake (seed={args.seed}) ...", file=sys.stderr)
+    bundle = generate_lake(spec)
+    save_lake(bundle.lake, args.dir)
+    print(f"saved {bundle.num_models} models to {args.dir}")
+    print(compute_statistics(bundle.lake).to_text())
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    lake = load_lake(args.dir)
+    print(compute_statistics(lake).to_text())
+    return 0
+
+
+def _cmd_search(args) -> int:
+    lake = load_lake(args.dir)
+    engine = SearchEngine(lake, make_text_probes())
+    hits = engine.search(args.query, k=args.k, method=args.method)
+    if not hits:
+        print("no results")
+        return 1
+    for rank, hit in enumerate(hits, start=1):
+        record = lake.get_record(hit.model_id)
+        print(f"{rank:>2}. {record.name:<44} {hit.score:.3f}  [{hit.model_id}]")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    lake = load_lake(args.dir)
+    engine = SearchEngine(lake, make_text_probes())
+    hits = execute_query(engine, args.q)
+    for rank, hit in enumerate(hits, start=1):
+        record = lake.get_record(hit.model_id)
+        print(f"{rank:>2}. {record.name:<44} {hit.score:.3f}  [{hit.model_id}]")
+    return 0 if hits else 1
+
+
+def _cmd_audit(args) -> int:
+    lake = load_lake(args.dir)
+    model_id = _resolve(lake, args.model)
+    generator = CardGenerator(lake, make_text_probes())
+    report = ModelAuditor(lake, generator).audit(model_id)
+    print(report.to_text())
+    return 0 if report.compliance_rate >= 0.6 else 1
+
+
+def _cmd_cite(args) -> int:
+    lake = load_lake(args.dir)
+    model_id = _resolve(lake, args.model)
+    citation = cite_model(lake, model_id)
+    print(citation.key())
+    print(citation.to_bibtex())
+    return 0
+
+
+def _cmd_card(args) -> int:
+    lake = load_lake(args.dir)
+    model_id = _resolve(lake, args.model)
+    print(lake.get_record(model_id).card.to_markdown())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Model-lake operations"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate and save a lake")
+    generate.add_argument("--dir", required=True)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--foundations", type=int, default=2)
+    generate.add_argument("--chains", type=int, default=4)
+    generate.add_argument("--depth", type=int, default=1)
+    generate.add_argument("--docs", type=int, default=18)
+    generate.add_argument("--lm-foundations", type=int, default=0)
+    generate.add_argument("--opaque-names", action="store_true")
+    generate.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="lake statistics")
+    stats.add_argument("--dir", required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    search = sub.add_parser("search", help="free-text model search")
+    search.add_argument("--dir", required=True)
+    search.add_argument("--query", required=True)
+    search.add_argument("--method", default="hybrid",
+                        choices=["keyword", "behavioral", "hybrid"])
+    search.add_argument("-k", type=int, default=5)
+    search.set_defaults(func=_cmd_search)
+
+    query = sub.add_parser("query", help="declarative model query")
+    query.add_argument("--dir", required=True)
+    query.add_argument("--q", required=True)
+    query.set_defaults(func=_cmd_query)
+
+    audit = sub.add_parser("audit", help="audit one model")
+    audit.add_argument("--dir", required=True)
+    audit.add_argument("--model", required=True)
+    audit.set_defaults(func=_cmd_audit)
+
+    cite = sub.add_parser("cite", help="cite one model")
+    cite.add_argument("--dir", required=True)
+    cite.add_argument("--model", required=True)
+    cite.set_defaults(func=_cmd_cite)
+
+    card = sub.add_parser("card", help="print a model card")
+    card.add_argument("--dir", required=True)
+    card.add_argument("--model", required=True)
+    card.set_defaults(func=_cmd_card)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""The paper's primary contribution: the model-lake task suite.
+
+Subpackages map one-to-one onto the tasks of §3 and applications of §6:
+
+* :mod:`repro.core.attribution` — model attribution (influence,
+  sensitivity, membership inference, representation analysis),
+* :mod:`repro.core.versioning` — version graphs and their recovery,
+* :mod:`repro.core.search` — keyword / behavioral / hybrid / declarative
+  model search,
+* :mod:`repro.core.benchmarking` — benchmark lakes, metrics, lifelong
+  evaluation,
+* :mod:`repro.core.docgen` — model-card generation and verification,
+* :mod:`repro.core.audit` — compliance questionnaires and risk
+  propagation,
+* :mod:`repro.core.citation` — model/data citation over lake snapshots.
+"""

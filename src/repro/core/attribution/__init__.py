@@ -1,0 +1,40 @@
+"""Model attribution: influence, sensitivity, membership, representations."""
+
+from repro.core.attribution.influence import (
+    AttributionResult,
+    grad_dot_influence,
+    input_similarity_baseline,
+    leave_one_out_influence,
+    random_baseline,
+    tracin_influence,
+)
+from repro.core.attribution.sensitivity import (
+    TokenSensitivity,
+    domain_keyword_alignment,
+    gradient_saliency,
+    occlusion_sensitivity,
+)
+from repro.core.attribution.membership import (
+    MembershipResult,
+    auc_score,
+    calibrated_attack,
+    dataset_membership_score,
+    loss_threshold_attack,
+)
+from repro.core.attribution.representation import (
+    ConceptDirection,
+    ablate_direction,
+    concept_importance,
+    extract_concept_direction,
+)
+
+__all__ = [
+    "AttributionResult", "grad_dot_influence", "input_similarity_baseline",
+    "leave_one_out_influence", "random_baseline", "tracin_influence",
+    "TokenSensitivity", "domain_keyword_alignment", "gradient_saliency",
+    "occlusion_sensitivity",
+    "MembershipResult", "auc_score", "calibrated_attack",
+    "dataset_membership_score", "loss_threshold_attack",
+    "ConceptDirection", "ablate_direction", "concept_importance",
+    "extract_concept_direction",
+]

@@ -1,0 +1,173 @@
+"""Training-data attribution: which training items drove a prediction?
+
+§3: "which training data items d in D are most influential on the
+decision; in other words, which d, if they were not present in the
+training data, would cause the decision to change the most?"
+
+Three estimators, plus the exact (expensive) answer:
+
+* :func:`grad_dot_influence` — single-checkpoint gradient similarity
+  (influence-functions style first-order score, Koh & Liang flavored).
+* :func:`tracin_influence` — multi-checkpoint TracIn: sums gradient
+  dot-products along the training trajectory.
+* :func:`input_similarity_baseline` — model-free nearest-neighbor
+  baseline the learned estimators must beat.
+* :func:`leave_one_out_influence` — ground truth by retraining, used to
+  score the estimators in benchmark E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.models import build_model
+from repro.nn.module import Module
+from repro.nn.train import example_gradient, flat_gradient, per_example_losses, train_classifier
+
+
+@dataclass
+class AttributionResult:
+    """Scores over training items for one test example (higher = more influential)."""
+
+    scores: np.ndarray
+    method: str
+
+    def top_k(self, k: int) -> np.ndarray:
+        """Indices of the k most influential training items."""
+        k = min(k, len(self.scores))
+        top = np.argpartition(-self.scores, k - 1)[:k]
+        return top[np.argsort(-self.scores[top])]
+
+
+def grad_dot_influence(
+    model: Module,
+    train_inputs: np.ndarray,
+    train_labels: np.ndarray,
+    test_input: np.ndarray,
+    test_label: int,
+    normalize: bool = True,
+) -> AttributionResult:
+    """Influence score = <grad(test), grad(train_i)> at the final model.
+
+    ``normalize`` uses cosine similarity instead of the raw dot product,
+    which reduces the dominance of high-loss outliers.
+    """
+    test_grad = flat_gradient(example_gradient(model, test_input, test_label))
+    test_norm = np.linalg.norm(test_grad) or 1.0
+    scores = np.zeros(len(train_inputs))
+    for i in range(len(train_inputs)):
+        grad_i = flat_gradient(
+            example_gradient(model, train_inputs[i], int(train_labels[i]))
+        )
+        dot = float(test_grad @ grad_i)
+        if normalize:
+            dot /= (np.linalg.norm(grad_i) or 1.0) * test_norm
+        scores[i] = dot
+    return AttributionResult(scores=scores, method="grad_dot")
+
+
+def tracin_influence(
+    checkpoints: Sequence[Dict[str, np.ndarray]],
+    checkpoint_lrs: Sequence[float],
+    model_template: Module,
+    train_inputs: np.ndarray,
+    train_labels: np.ndarray,
+    test_input: np.ndarray,
+    test_label: int,
+) -> AttributionResult:
+    """TracIn (Pruthi et al.): sum of grad dot-products over checkpoints.
+
+    ``model_template`` is any model with the right architecture; its
+    weights are overwritten per checkpoint.
+    """
+    if len(checkpoints) != len(checkpoint_lrs):
+        raise ConfigError(
+            f"{len(checkpoints)} checkpoints but {len(checkpoint_lrs)} learning rates"
+        )
+    if not checkpoints:
+        raise ConfigError("tracin_influence requires at least one checkpoint")
+    scores = np.zeros(len(train_inputs))
+    for state, lr in zip(checkpoints, checkpoint_lrs):
+        model_template.load_state_dict(state)
+        test_grad = flat_gradient(
+            example_gradient(model_template, test_input, test_label)
+        )
+        for i in range(len(train_inputs)):
+            grad_i = flat_gradient(
+                example_gradient(model_template, train_inputs[i], int(train_labels[i]))
+            )
+            scores[i] += lr * float(test_grad @ grad_i)
+    return AttributionResult(scores=scores, method="tracin")
+
+
+def input_similarity_baseline(
+    train_inputs: np.ndarray,
+    test_input: np.ndarray,
+) -> AttributionResult:
+    """Model-free baseline: overlap similarity between raw inputs.
+
+    For token matrices this is Jaccard overlap of token sets; for float
+    features it is cosine similarity.
+    """
+    test = np.asarray(test_input)
+    scores = np.zeros(len(train_inputs))
+    if np.issubdtype(test.dtype, np.integer):
+        test_set = set(int(t) for t in test.ravel() if t > 0)
+        for i, row in enumerate(train_inputs):
+            row_set = set(int(t) for t in np.asarray(row).ravel() if t > 0)
+            union = test_set | row_set
+            scores[i] = len(test_set & row_set) / len(union) if union else 0.0
+    else:
+        test_vec = test.ravel()
+        test_norm = np.linalg.norm(test_vec) or 1.0
+        for i, row in enumerate(train_inputs):
+            vec = np.asarray(row, dtype=float).ravel()
+            scores[i] = float(test_vec @ vec) / ((np.linalg.norm(vec) or 1.0) * test_norm)
+    return AttributionResult(scores=scores, method="input_similarity")
+
+
+def random_baseline(num_train: int, seed: int = 0) -> AttributionResult:
+    """Random scores — the floor every method must clear."""
+    rng = np.random.default_rng(seed)
+    return AttributionResult(scores=rng.random(num_train), method="random")
+
+
+def leave_one_out_influence(
+    architecture_spec: Dict,
+    train_inputs: np.ndarray,
+    train_labels: np.ndarray,
+    test_input: np.ndarray,
+    test_label: int,
+    candidate_indices: Sequence[int],
+    epochs: int = 6,
+    lr: float = 5e-3,
+    seed: int = 0,
+) -> AttributionResult:
+    """Exact leave-one-out influence by retraining (ground truth).
+
+    Influence of item ``i`` = loss(test | trained without i) -
+    loss(test | trained on all): positive means removing the item hurts
+    the prediction, i.e. the item supported it.  Only computed for
+    ``candidate_indices`` (full LOO is quadratic in practice).
+    """
+    def _train_without(excluded: Optional[int]) -> float:
+        keep = [i for i in range(len(train_inputs)) if i != excluded]
+        model = build_model(dict(architecture_spec), seed=seed)
+        train_classifier(
+            model, train_inputs[keep], train_labels[keep],
+            epochs=epochs, lr=lr, seed=seed,
+        )
+        loss = per_example_losses(
+            model, np.asarray(test_input)[None, ...], np.asarray([test_label])
+        )
+        return float(loss[0])
+
+    full_loss = _train_without(None)
+    scores = np.zeros(len(train_inputs))
+    for index in candidate_indices:
+        scores[index] = _train_without(int(index)) - full_loss
+    return AttributionResult(scores=scores, method="leave_one_out")

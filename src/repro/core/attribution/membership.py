@@ -1,0 +1,130 @@
+"""Membership inference: was item d in the training data D?
+
+§4 frames membership inference attacks (Shokri et al.) as an
+attribution tool when history is unavailable — an extrinsic test of
+"was this model trained on this data".  We implement the standard
+loss-threshold attack and its calibrated variant, plus AUC scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Module
+from repro.nn.train import per_example_losses
+
+
+@dataclass
+class MembershipResult:
+    """Scores (higher = more likely member) and derived metrics."""
+
+    scores: np.ndarray
+    labels: np.ndarray  # 1 = member, 0 = non-member
+    method: str
+
+    @property
+    def auc(self) -> float:
+        return auc_score(self.labels, self.scores)
+
+    def accuracy_at_best_threshold(self) -> float:
+        order = np.argsort(self.scores)
+        best = 0.0
+        thresholds = np.concatenate([[-np.inf], self.scores[order], [np.inf]])
+        for t in thresholds:
+            predictions = (self.scores >= t).astype(int)
+            best = max(best, float((predictions == self.labels).mean()))
+        return best
+
+
+def auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve (rank-based, ties handled)."""
+    labels = np.asarray(labels)
+    scores = np.asarray(scores)
+    positives = scores[labels == 1]
+    negatives = scores[labels == 0]
+    if len(positives) == 0 or len(negatives) == 0:
+        raise ConfigError("AUC needs both member and non-member examples")
+    # Mann-Whitney U with tie correction via average ranks.
+    ranks = np.argsort(np.argsort(np.concatenate([positives, negatives]))) + 1.0
+    combined = np.concatenate([positives, negatives])
+    order = np.argsort(combined)
+    sorted_scores = combined[order]
+    avg_ranks = np.empty_like(ranks)
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        avg = (i + j) / 2.0 + 1.0
+        avg_ranks[order[i : j + 1]] = avg
+        i = j + 1
+    rank_sum = avg_ranks[: len(positives)].sum()
+    u = rank_sum - len(positives) * (len(positives) + 1) / 2.0
+    return float(u / (len(positives) * len(negatives)))
+
+
+def loss_threshold_attack(
+    model: Module,
+    member_inputs: np.ndarray,
+    member_labels: np.ndarray,
+    nonmember_inputs: np.ndarray,
+    nonmember_labels: np.ndarray,
+) -> MembershipResult:
+    """Score = -loss: members tend to have lower loss than non-members."""
+    member_losses = per_example_losses(model, member_inputs, member_labels)
+    nonmember_losses = per_example_losses(model, nonmember_inputs, nonmember_labels)
+    scores = -np.concatenate([member_losses, nonmember_losses])
+    labels = np.concatenate([
+        np.ones(len(member_losses)), np.zeros(len(nonmember_losses))
+    ])
+    return MembershipResult(scores=scores, labels=labels, method="loss_threshold")
+
+
+def calibrated_attack(
+    model: Module,
+    reference: Module,
+    member_inputs: np.ndarray,
+    member_labels: np.ndarray,
+    nonmember_inputs: np.ndarray,
+    nonmember_labels: np.ndarray,
+) -> MembershipResult:
+    """Difficulty-calibrated score: reference-model loss minus target loss.
+
+    The reference model (same architecture, trained on disjoint data)
+    absorbs per-example difficulty, sharpening the attack — the standard
+    "shadow model" refinement.
+    """
+    target_member = per_example_losses(model, member_inputs, member_labels)
+    target_nonmember = per_example_losses(model, nonmember_inputs, nonmember_labels)
+    ref_member = per_example_losses(reference, member_inputs, member_labels)
+    ref_nonmember = per_example_losses(reference, nonmember_inputs, nonmember_labels)
+    scores = np.concatenate([
+        ref_member - target_member, ref_nonmember - target_nonmember
+    ])
+    labels = np.concatenate([
+        np.ones(len(target_member)), np.zeros(len(target_nonmember))
+    ])
+    return MembershipResult(scores=scores, labels=labels, method="calibrated")
+
+
+def dataset_membership_score(
+    model: Module,
+    dataset_inputs: np.ndarray,
+    dataset_labels: np.ndarray,
+    reference_inputs: np.ndarray,
+    reference_labels: np.ndarray,
+) -> float:
+    """Aggregate signal that a *dataset* was part of a model's training.
+
+    Mean loss gap (reference minus candidate): strongly positive means
+    the model fits the candidate dataset far better than comparable
+    fresh data — evidence it trained on it.  Used by dataset-based model
+    search when history is missing.
+    """
+    candidate = per_example_losses(model, dataset_inputs, dataset_labels)
+    reference = per_example_losses(model, reference_inputs, reference_labels)
+    return float(reference.mean() - candidate.mean())

@@ -1,0 +1,111 @@
+"""Sensitivity analysis on model extrinsics.
+
+§3: "which aspects of the inputs to f_theta or p_theta are most
+important in a model's prediction of a particular output?"  Two
+complementary estimators over token inputs:
+
+* occlusion — drop each token and measure the output change (black-box,
+  works with extrinsics only);
+* gradient saliency — gradient of the target logit w.r.t. the token's
+  embedding (needs intrinsics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module
+
+
+@dataclass
+class TokenSensitivity:
+    """Per-position importance scores for one input."""
+
+    positions: np.ndarray        # indices of scored (non-pad) positions
+    scores: np.ndarray           # same length as positions
+    method: str
+
+    def top_positions(self, k: int) -> np.ndarray:
+        k = min(k, len(self.positions))
+        order = np.argsort(-self.scores)[:k]
+        return self.positions[order]
+
+
+def occlusion_sensitivity(
+    model: Module,
+    tokens: np.ndarray,
+    target_class: Optional[int] = None,
+    pad_id: int = 0,
+) -> TokenSensitivity:
+    """Importance of token i = drop in target probability when i is padded.
+
+    Purely extrinsic: only requires calling the model, so it applies to
+    API-only models too.
+    """
+    tokens = np.asarray(tokens).ravel()
+    base_probs = model.predict_proba(tokens[None, :])[0]
+    if target_class is None:
+        target_class = int(base_probs.argmax())
+    base = base_probs[target_class]
+    positions = np.where(tokens != pad_id)[0]
+    if len(positions) == 0:
+        raise ConfigError("input contains only padding tokens")
+    # Batch all occlusions in one forward pass.
+    occluded = np.repeat(tokens[None, :], len(positions), axis=0)
+    occluded[np.arange(len(positions)), positions] = pad_id
+    probs = model.predict_proba(occluded)[:, target_class]
+    scores = base - probs
+    return TokenSensitivity(positions=positions, scores=scores, method="occlusion")
+
+
+def gradient_saliency(
+    model: Module,
+    tokens: np.ndarray,
+    target_class: Optional[int] = None,
+    pad_id: int = 0,
+) -> TokenSensitivity:
+    """Importance = || d logit_target / d embedding_i || (grad-x-input).
+
+    Requires intrinsic access (gradients through the embedding layer).
+    """
+    tokens = np.asarray(tokens).ravel()
+    if not hasattr(model, "embedding"):
+        raise ConfigError("gradient_saliency requires a model with an embedding layer")
+    model.zero_grad()
+    logits = model(tokens[None, :])
+    if target_class is None:
+        target_class = int(logits.data[0].argmax())
+    logits[0, target_class].backward()
+    emb_grad = model.embedding.weight.grad
+    if emb_grad is None:
+        raise ConfigError("no gradient reached the embedding layer")
+    positions = np.where(tokens != pad_id)[0]
+    scores = np.array([
+        float(np.linalg.norm(emb_grad[tokens[p]])) for p in positions
+    ])
+    model.zero_grad()
+    return TokenSensitivity(positions=positions, scores=scores, method="gradient")
+
+
+def domain_keyword_alignment(
+    sensitivity: TokenSensitivity,
+    tokens: np.ndarray,
+    keyword_ids: set,
+    k: int = 5,
+) -> float:
+    """Fraction of the top-k sensitive tokens that are domain keywords.
+
+    Used by benchmark E3's sanity check: a domain classifier's decisions
+    should be attributed to domain content words, not function words.
+    """
+    tokens = np.asarray(tokens).ravel()
+    top = sensitivity.top_positions(k)
+    if len(top) == 0:
+        return 0.0
+    hits = sum(1 for p in top if int(tokens[p]) in keyword_ids)
+    return hits / len(top)

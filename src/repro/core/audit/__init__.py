@@ -1,0 +1,13 @@
+"""Auditing: compliance questionnaires and risk propagation."""
+
+from repro.core.audit.questionnaire import AuditAnswer, AuditReport, ModelAuditor
+from repro.core.audit.risk import (
+    DEFAULT_EDGE_RETENTION,
+    RiskAssessment,
+    propagate_risk,
+)
+
+__all__ = [
+    "AuditAnswer", "AuditReport", "ModelAuditor",
+    "DEFAULT_EDGE_RETENTION", "RiskAssessment", "propagate_risk",
+]

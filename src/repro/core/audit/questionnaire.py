@@ -1,0 +1,166 @@
+"""Auditing: template questionnaires answered from lake evidence.
+
+§6: "The model document generation application procedure can be
+repurposed for auditing by creating a template questionnaire and using
+the information from the model lake to generate a draft response with
+proof or explanation about how a requirement is fulfilled."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.docgen.generator import CardGenerator
+from repro.core.docgen.verify import CardVerifier
+from repro.core.versioning.graph import VersionGraph
+from repro.errors import HistoryUnavailableError
+from repro.lake.lake import ModelLake
+
+
+@dataclass
+class AuditAnswer:
+    """One questionnaire item: the finding plus its supporting evidence."""
+
+    question: str
+    answer: str
+    satisfied: bool
+    evidence: List[str] = field(default_factory=list)
+
+
+@dataclass
+class AuditReport:
+    """A complete audit of one model."""
+
+    model_id: str
+    answers: List[AuditAnswer] = field(default_factory=list)
+
+    @property
+    def compliance_rate(self) -> float:
+        if not self.answers:
+            return 1.0
+        return sum(1 for a in self.answers if a.satisfied) / len(self.answers)
+
+    def to_text(self) -> str:
+        lines = [f"Audit report for {self.model_id}", "=" * 40]
+        for answer in self.answers:
+            status = "PASS" if answer.satisfied else "FAIL"
+            lines.append(f"[{status}] {answer.question}")
+            lines.append(f"       {answer.answer}")
+            for item in answer.evidence:
+                lines.append(f"       - {item}")
+        lines.append(f"Compliance: {self.compliance_rate:.0%}")
+        return "\n".join(lines)
+
+
+class ModelAuditor:
+    """Answers a standard compliance questionnaire for lake models."""
+
+    def __init__(
+        self,
+        lake: ModelLake,
+        generator: CardGenerator,
+        version_graph: Optional[VersionGraph] = None,
+    ):
+        self.lake = lake
+        self.generator = generator
+        self.verifier = CardVerifier(generator)
+        self.version_graph = version_graph or VersionGraph.from_lake_history(lake)
+
+    def audit(self, model_id: str) -> AuditReport:
+        report = AuditReport(model_id=model_id)
+        report.answers.append(self._q_documentation(model_id))
+        report.answers.append(self._q_provenance(model_id))
+        report.answers.append(self._q_training_data(model_id))
+        report.answers.append(self._q_card_accuracy(model_id))
+        report.answers.append(self._q_known_limitations(model_id))
+        return report
+
+    # -- individual questions --------------------------------------------
+    def _q_documentation(self, model_id: str) -> AuditAnswer:
+        card = self.lake.get_record(model_id).card
+        completeness = card.completeness()
+        return AuditAnswer(
+            question="Is the model documented (card completeness >= 0.7)?",
+            answer=f"Card completeness is {completeness:.0%}.",
+            satisfied=completeness >= 0.7,
+            evidence=[f"card digest {card.digest()}"],
+        )
+
+    def _q_provenance(self, model_id: str) -> AuditAnswer:
+        """Is the model's lineage established (recorded or recoverable)?"""
+        try:
+            history = self.lake.get_history(model_id)
+            parents = ", ".join(history.parent_ids) or "none (trained from scratch)"
+            return AuditAnswer(
+                question="Is the model's provenance established?",
+                answer=f"Recorded history: {history.describe()}.",
+                satisfied=True,
+                evidence=[f"parents: {parents}"],
+            )
+        except HistoryUnavailableError:
+            evidence = self.generator.gather_evidence(model_id)
+            if evidence.inferred_base is not None:
+                base = self.lake.get_record(evidence.inferred_base).name
+                return AuditAnswer(
+                    question="Is the model's provenance established?",
+                    answer=(
+                        f"History unavailable; weight analysis attributes it to "
+                        f"{base} via {evidence.inferred_transform}."
+                    ),
+                    satisfied=True,
+                    evidence=[f"weight distance {evidence.base_distance:.3f}"],
+                )
+            return AuditAnswer(
+                question="Is the model's provenance established?",
+                answer="No recorded history and no recoverable base model.",
+                satisfied=False,
+            )
+
+    def _q_training_data(self, model_id: str) -> AuditAnswer:
+        try:
+            history = self.lake.get_history(model_id)
+            if history.dataset_digest and history.dataset_digest in self.lake.datasets:
+                return AuditAnswer(
+                    question="Is the training data identified and available?",
+                    answer=f"Dataset {history.dataset_name!r} is registered in the lake.",
+                    satisfied=True,
+                    evidence=[f"digest {history.dataset_digest}"],
+                )
+            return AuditAnswer(
+                question="Is the training data identified and available?",
+                answer="History names no registered dataset.",
+                satisfied=False,
+            )
+        except HistoryUnavailableError:
+            return AuditAnswer(
+                question="Is the training data identified and available?",
+                answer="History unavailable; training data cannot be confirmed.",
+                satisfied=False,
+            )
+
+    def _q_card_accuracy(self, model_id: str) -> AuditAnswer:
+        issues = self.verifier.verify(model_id)
+        contradictions = [i for i in issues if i.severity == "contradiction"]
+        return AuditAnswer(
+            question="Do card claims match measured behavior?",
+            answer=(
+                "No contradictions detected."
+                if not contradictions
+                else f"{len(contradictions)} claim(s) contradicted by measurement."
+            ),
+            satisfied=not contradictions,
+            evidence=[i.describe() for i in contradictions[:5]],
+        )
+
+    def _q_known_limitations(self, model_id: str) -> AuditAnswer:
+        card = self.lake.get_record(model_id).card
+        return AuditAnswer(
+            question="Are limitations disclosed?",
+            answer=(
+                "Limitations section present."
+                if card.limitations
+                else "No limitations documented."
+            ),
+            satisfied=bool(card.limitations),
+        )

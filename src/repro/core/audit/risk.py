@@ -1,0 +1,112 @@
+"""Risk propagation through the version graph.
+
+§6 cites Wang et al.: "model versioning helps warn downstream model
+users of upstream model risks."  Given models flagged as risky (e.g. a
+poisoned foundation), propagate warnings to every descendant —
+attenuated by the kind of edge crossed, since some transformations
+launder more of the parent's weights than others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.versioning.graph import VersionGraph
+from repro.errors import ConfigError
+
+#: How much of a parent's risk survives each transformation kind.
+DEFAULT_EDGE_RETENTION: Dict[str, float] = {
+    "finetune": 0.9,
+    "preference": 0.9,
+    "lora": 0.95,
+    "edit": 1.0,
+    "prune": 1.0,
+    "quantize": 1.0,
+    "merge": 0.6,     # diluted by the other parent
+    "stitch": 0.5,    # only part of the parent survives
+    "distill": 0.4,   # fresh weights, behavior partially inherited
+    None: 0.8,        # unknown edge kind
+}
+
+
+@dataclass
+class RiskAssessment:
+    """Propagated risk levels over a set of models."""
+
+    risk: Dict[str, float] = field(default_factory=dict)
+    sources: Dict[str, List[str]] = field(default_factory=dict)
+
+    def flagged(self, threshold: float = 0.5) -> Set[str]:
+        return {mid for mid, value in self.risk.items() if value >= threshold}
+
+    def explain(self, model_id: str) -> str:
+        value = self.risk.get(model_id, 0.0)
+        origin = ", ".join(self.sources.get(model_id, [])) or "-"
+        return f"{model_id}: risk {value:.2f} (inherited from {origin})"
+
+
+def propagate_risk(
+    graph: VersionGraph,
+    seed_risks: Dict[str, float],
+    edge_retention: Optional[Dict[str, float]] = None,
+    undirected: bool = False,
+) -> RiskAssessment:
+    """Push risk from seed models to all descendants along version edges.
+
+    A node's risk is the max over paths of (seed risk x product of edge
+    retentions) — max, not sum, since risks are not independent.
+
+    ``undirected=True`` propagates along edges in both directions: the
+    recall-oriented mode for *warnings* over recovered graphs, whose
+    edge directions are heuristic (a mis-oriented edge should not hide a
+    genuinely related model from an audit).
+    """
+    retention = dict(DEFAULT_EDGE_RETENTION)
+    if edge_retention:
+        retention.update(edge_retention)
+    for model_id, value in seed_risks.items():
+        if not 0.0 <= value <= 1.0:
+            raise ConfigError(f"risk for {model_id!r} must be in [0, 1], got {value}")
+
+    assessment = RiskAssessment()
+    for model_id, value in seed_risks.items():
+        if model_id not in graph:
+            continue
+        assessment.risk[model_id] = max(assessment.risk.get(model_id, 0.0), value)
+        assessment.sources.setdefault(model_id, []).append(model_id)
+
+    # Breadth-first relaxation (graphs are DAGs; loop until stable).
+    frontier = list(seed_risks)
+    while frontier:
+        next_frontier: List[str] = []
+        for parent in frontier:
+            if parent not in graph:
+                continue
+            parent_risk = assessment.risk.get(parent, 0.0)
+            neighbors = list(graph.children(parent))
+            if undirected:
+                neighbors.extend(graph.parents(parent))
+            for child in neighbors:
+                edge = graph.transform_between(parent, child)
+                if edge is None and undirected:
+                    edge = graph.transform_between(child, parent)
+                kind = edge.kind if edge is not None else None
+                # Recovered graphs store kind directly on the edge data.
+                if kind is None:
+                    data = (
+                        graph._graph.get_edge_data(parent, child)
+                        or graph._graph.get_edge_data(child, parent)
+                        or {}
+                    )
+                    kind = data.get("kind")
+                factor = retention.get(kind, retention[None])
+                propagated = parent_risk * factor
+                if propagated > assessment.risk.get(child, 0.0) + 1e-12:
+                    assessment.risk[child] = propagated
+                    assessment.sources[child] = list(
+                        assessment.sources.get(parent, [parent])
+                    )
+                    next_frontier.append(child)
+        frontier = next_frontier
+    return assessment

@@ -1,0 +1,41 @@
+"""Benchmarking: metrics, ground truth, scoring, lifelong ledgers."""
+
+from repro.core.benchmarking.metrics import (
+    edge_precision_recall,
+    kendall_tau,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+    undirected_edge_f1,
+)
+from repro.core.benchmarking.groundtruth import (
+    WEIGHT_PRESERVING_KINDS,
+    SearchGroundTruth,
+    search_ground_truth,
+    specialization_truth,
+    transform_label_truth,
+    version_edge_truth,
+)
+from repro.core.benchmarking.scoring import (
+    Benchmark,
+    SuiteResult,
+    run_suite,
+    score_accuracy,
+    score_macro_f1,
+    score_model,
+    score_perplexity,
+)
+from repro.core.benchmarking.lifelong import LifelongLedger
+
+__all__ = [
+    "edge_precision_recall", "kendall_tau", "mean_reciprocal_rank",
+    "ndcg_at_k", "precision_at_k", "recall_at_k", "reciprocal_rank",
+    "undirected_edge_f1",
+    "WEIGHT_PRESERVING_KINDS", "SearchGroundTruth", "search_ground_truth",
+    "specialization_truth", "transform_label_truth", "version_edge_truth",
+    "Benchmark", "SuiteResult", "run_suite", "score_accuracy",
+    "score_macro_f1", "score_model", "score_perplexity",
+    "LifelongLedger",
+]

@@ -1,0 +1,86 @@
+"""Benchmark lakes: ground-truth labels for each model-lake task.
+
+§3: "within a benchmark lake, we will need verified ground truth."
+:class:`TaskGroundTruth` derives per-task labels from a generated
+lake's :class:`~repro.lake.generator.LakeGroundTruth` so that every
+task solution can be scored with the metrics in
+:mod:`repro.core.benchmarking.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.data.domains import DOMAIN_NAMES
+from repro.lake.generator import GeneratedLake
+from repro.transforms.base import TransformRecord
+
+#: Transform kinds whose child shares aligned weights with its parent —
+#: the edges weight-based recovery can reasonably be expected to find.
+WEIGHT_PRESERVING_KINDS = frozenset(
+    {"finetune", "lora", "edit", "prune", "quantize", "preference", "merge"}
+)
+
+
+@dataclass
+class SearchGroundTruth:
+    """Relevance labels for domain-targeted model search."""
+
+    #: domain -> ids of models that are genuinely competent on it.
+    relevant: Dict[str, Set[str]]
+    #: domain -> model_id -> graded gain (held-out accuracy).
+    gains: Dict[str, Dict[str, float]]
+
+
+def search_ground_truth(
+    bundle: GeneratedLake, accuracy_threshold: float = 0.9
+) -> SearchGroundTruth:
+    """Relevance = the model's *measured* competence on the domain.
+
+    Relevant models are those whose held-out accuracy on the domain
+    clears the threshold AND that actually saw the domain's data — the
+    behavior a perfect search system should surface regardless of what
+    any card claims.
+    """
+    relevant: Dict[str, Set[str]] = {d: set() for d in DOMAIN_NAMES}
+    gains: Dict[str, Dict[str, float]] = {d: {} for d in DOMAIN_NAMES}
+    for model_id, per_domain in bundle.truth.domain_accuracy.items():
+        trained_domains = set(bundle.truth.model_domains.get(model_id, ()))
+        for domain, accuracy in per_domain.items():
+            gains[domain][model_id] = float(accuracy)
+            if accuracy >= accuracy_threshold and domain in trained_domains:
+                relevant[domain].add(model_id)
+    return SearchGroundTruth(relevant=relevant, gains=gains)
+
+
+def version_edge_truth(
+    bundle: GeneratedLake, weight_preserving_only: bool = False
+) -> Set[Tuple[str, str]]:
+    """The (parent, child) pairs a versioning solution should recover."""
+    pairs: Set[Tuple[str, str]] = set()
+    for parents, child, record in bundle.truth.edges:
+        if weight_preserving_only and record.kind not in WEIGHT_PRESERVING_KINDS:
+            continue
+        for parent in parents:
+            pairs.add((parent, child))
+    return pairs
+
+
+def transform_label_truth(bundle: GeneratedLake) -> Dict[Tuple[str, str], str]:
+    """(parent, child) -> canonical transform kind for edge labeling.
+
+    Preference tuning is indistinguishable from fine-tuning in weight
+    space by design, so it canonicalizes to ``finetune``.
+    """
+    labels: Dict[Tuple[str, str], str] = {}
+    for parents, child, record in bundle.truth.edges:
+        kind = "finetune" if record.kind == "preference" else record.kind
+        for parent in parents:
+            labels[(parent, child)] = kind
+    return labels
+
+
+def specialization_truth(bundle: GeneratedLake) -> Dict[str, Optional[str]]:
+    """model_id -> primary specialty domain (None for generalists)."""
+    return dict(bundle.truth.specialty)

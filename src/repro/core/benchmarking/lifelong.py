@@ -1,0 +1,79 @@
+"""Lifelong benchmarking: keep scores current as the lake evolves.
+
+§5 calls for "lifelong benchmarks that can address increasingly complex
+and novel scenarios as models continue to evolve".  The ledger tracks
+which (model, benchmark) cells are already scored and evaluates only
+the missing ones when models or benchmarks are added — with a cost
+accounting that benchmark E10 compares against naive full re-evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.benchmarking.scoring import Benchmark, score_model
+from repro.errors import ConfigError
+from repro.lake.lake import ModelLake
+
+
+@dataclass
+class LifelongLedger:
+    """Incremental (model x benchmark) score matrix over a lake."""
+
+    lake: ModelLake
+    benchmarks: Dict[str, Benchmark] = field(default_factory=dict)
+    scores: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    evaluations_performed: int = 0
+
+    # -- evolution ---------------------------------------------------------
+    def add_benchmark(self, benchmark: Benchmark) -> None:
+        if benchmark.name in self.benchmarks:
+            raise ConfigError(f"benchmark {benchmark.name!r} already registered")
+        self.benchmarks[benchmark.name] = benchmark
+
+    def refresh(self) -> int:
+        """Evaluate every missing (model, benchmark) cell.
+
+        Returns the number of evaluations actually performed — the
+        incremental cost, compared to ``len(models) * len(benchmarks)``
+        for a from-scratch run.
+        """
+        performed = 0
+        for record in self.lake:
+            model = None
+            for name, benchmark in self.benchmarks.items():
+                key = (record.model_id, name)
+                if key in self.scores:
+                    continue
+                if model is None:
+                    model = self.lake.get_model(record.model_id, force=True)
+                if benchmark.metric == "perplexity" and hasattr(model, "predict_proba"):
+                    continue
+                if benchmark.metric != "perplexity" and not hasattr(model, "predict"):
+                    continue
+                self.scores[key] = score_model(model, benchmark)
+                performed += 1
+        self.evaluations_performed += performed
+        return performed
+
+    # -- queries -----------------------------------------------------------
+    def score_of(self, model_id: str, benchmark_name: str) -> Optional[float]:
+        return self.scores.get((model_id, benchmark_name))
+
+    def leaderboard(self, benchmark_name: str, k: int = 10) -> List[Tuple[str, float]]:
+        """Top-k models on one benchmark (descending score)."""
+        entries = [
+            (model_id, value)
+            for (model_id, name), value in self.scores.items()
+            if name == benchmark_name
+        ]
+        entries.sort(key=lambda kv: (-kv[1], kv[0]))
+        return entries[:k]
+
+    def coverage(self) -> float:
+        """Fraction of the (model x benchmark) matrix that is scored."""
+        total = len(self.lake) * len(self.benchmarks)
+        if total == 0:
+            return 1.0
+        return len(self.scores) / total

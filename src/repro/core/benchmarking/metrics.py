@@ -1,0 +1,109 @@
+"""Ranking and graph metrics for scoring lake-task solutions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def precision_at_k(ranked_ids: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Fraction of the top-k results that are relevant."""
+    if k <= 0:
+        raise ConfigError(f"k must be positive, got {k}")
+    top = list(ranked_ids)[:k]
+    if not top:
+        return 0.0
+    return sum(1 for item in top if item in relevant) / len(top)
+
+
+def recall_at_k(ranked_ids: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Fraction of relevant items found in the top-k."""
+    if not relevant:
+        return 1.0
+    top = set(list(ranked_ids)[:k])
+    return len(top & relevant) / len(relevant)
+
+
+def reciprocal_rank(ranked_ids: Sequence[str], relevant: Set[str]) -> float:
+    """1 / rank of the first relevant result (0 if none)."""
+    for i, item in enumerate(ranked_ids, start=1):
+        if item in relevant:
+            return 1.0 / i
+    return 0.0
+
+
+def mean_reciprocal_rank(
+    rankings: Sequence[Sequence[str]], relevants: Sequence[Set[str]]
+) -> float:
+    if len(rankings) != len(relevants):
+        raise ConfigError("rankings and relevants must align")
+    if not rankings:
+        return 0.0
+    return float(np.mean([
+        reciprocal_rank(r, rel) for r, rel in zip(rankings, relevants)
+    ]))
+
+
+def ndcg_at_k(
+    ranked_ids: Sequence[str], gains: Dict[str, float], k: int
+) -> float:
+    """Normalized discounted cumulative gain with graded relevance."""
+    if k <= 0:
+        raise ConfigError(f"k must be positive, got {k}")
+    top = list(ranked_ids)[:k]
+    dcg = sum(
+        gains.get(item, 0.0) / np.log2(i + 2) for i, item in enumerate(top)
+    )
+    ideal = sorted(gains.values(), reverse=True)[:k]
+    idcg = sum(g / np.log2(i + 2) for i, g in enumerate(ideal))
+    if idcg <= 0:
+        return 0.0
+    return float(dcg / idcg)
+
+
+def edge_precision_recall(
+    predicted: Set[Tuple[str, str]], truth: Set[Tuple[str, str]]
+) -> Tuple[float, float, float]:
+    """(precision, recall, F1) over directed edge sets."""
+    if not predicted and not truth:
+        return 1.0, 1.0, 1.0
+    true_positive = len(predicted & truth)
+    precision = true_positive / len(predicted) if predicted else 0.0
+    recall = true_positive / len(truth) if truth else 1.0
+    if precision + recall == 0:
+        return precision, recall, 0.0
+    f1 = 2 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def undirected_edge_f1(
+    predicted: Set[Tuple[str, str]], truth: Set[Tuple[str, str]]
+) -> float:
+    """F1 ignoring edge direction (separates topology from orientation)."""
+    p = {tuple(sorted(e)) for e in predicted}
+    t = {tuple(sorted(e)) for e in truth}
+    _, _, f1 = edge_precision_recall(p, t)
+    return f1
+
+
+def kendall_tau(ranking_a: Sequence[str], ranking_b: Sequence[str]) -> float:
+    """Kendall rank correlation between two rankings of the same items."""
+    common = [x for x in ranking_a if x in set(ranking_b)]
+    if len(common) < 2:
+        return 1.0
+    position_b = {item: i for i, item in enumerate(ranking_b)}
+    concordant = discordant = 0
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            diff = position_b[common[i]] - position_b[common[j]]
+            if diff < 0:
+                concordant += 1
+            elif diff > 0:
+                discordant += 1
+    total = concordant + discordant
+    if total == 0:
+        return 1.0
+    return (concordant - discordant) / total

@@ -1,0 +1,126 @@
+"""Single-model benchmark scoring: S(M, B) -> R.
+
+§3: "a benchmark B ... is used to measure the performance of a model M
+based on a scoring function S(M, B)."  Scorers run a model against a
+benchmark dataset and return scalar metrics; the suite runner applies a
+set of scorers across a set of lake models and records the results into
+the lake (the metrics later served by ``models_outperforming``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.datasets import TextDataset
+from repro.errors import ConfigError
+from repro.lake.lake import ModelLake
+from repro.nn.losses import perplexity
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A named evaluation dataset plus the metric it is scored with."""
+
+    name: str
+    dataset: TextDataset
+    metric: str = "accuracy"  # "accuracy" | "macro_f1" | "perplexity"
+
+
+def score_accuracy(model: Module, dataset: TextDataset) -> float:
+    predictions = model.predict(dataset.tokens)
+    return float((predictions == dataset.labels).mean())
+
+
+def score_macro_f1(model: Module, dataset: TextDataset) -> float:
+    predictions = model.predict(dataset.tokens)
+    labels = dataset.labels
+    f1s: List[float] = []
+    for cls in np.unique(labels):
+        tp = int(((predictions == cls) & (labels == cls)).sum())
+        fp = int(((predictions == cls) & (labels != cls)).sum())
+        fn = int(((predictions != cls) & (labels == cls)).sum())
+        if tp == 0:
+            f1s.append(0.0)
+            continue
+        precision = tp / (tp + fp)
+        recall = tp / (tp + fn)
+        f1s.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(f1s))
+
+
+def score_perplexity(model: Module, dataset: TextDataset) -> float:
+    tokens = dataset.tokens
+    targets = np.concatenate(
+        [tokens[:, 1:], np.full((len(tokens), 1), -1, dtype=np.int64)], axis=1
+    )
+    targets = np.where(tokens == 0, -1, targets)
+    logits = model(tokens).data
+    return perplexity(logits, targets)
+
+
+_SCORERS: Dict[str, Callable[[Module, TextDataset], float]] = {
+    "accuracy": score_accuracy,
+    "macro_f1": score_macro_f1,
+    "perplexity": score_perplexity,
+}
+
+
+def score_model(model: Module, benchmark: Benchmark) -> float:
+    """Apply S(M, B) for the benchmark's metric."""
+    scorer = _SCORERS.get(benchmark.metric)
+    if scorer is None:
+        raise ConfigError(
+            f"unknown metric {benchmark.metric!r}; expected {sorted(_SCORERS)}"
+        )
+    return scorer(model, benchmark.dataset)
+
+
+@dataclass
+class SuiteResult:
+    """Benchmark-suite run: model_id -> benchmark name -> score."""
+
+    scores: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    evaluations: int = 0
+
+    def table(self) -> List[str]:
+        """Plain-text result table, one row per model."""
+        benchmarks = sorted({b for row in self.scores.values() for b in row})
+        header = "model".ljust(40) + "".join(b.rjust(18) for b in benchmarks)
+        lines = [header]
+        for model_id in sorted(self.scores):
+            row = model_id[:38].ljust(40)
+            for bench in benchmarks:
+                value = self.scores[model_id].get(bench)
+                row += (f"{value:.4f}" if value is not None else "-").rjust(18)
+            lines.append(row)
+        return lines
+
+
+def run_suite(
+    lake: ModelLake,
+    benchmarks: Sequence[Benchmark],
+    model_ids: Optional[Sequence[str]] = None,
+    record_into_lake: bool = True,
+) -> SuiteResult:
+    """Score every model on every benchmark; optionally record metrics."""
+    ids = list(model_ids) if model_ids is not None else lake.model_ids()
+    result = SuiteResult()
+    for model_id in ids:
+        model = lake.get_model(model_id, force=True)
+        row: Dict[str, float] = {}
+        for benchmark in benchmarks:
+            if benchmark.metric == "perplexity" and hasattr(model, "predict_proba"):
+                continue  # perplexity only applies to language models
+            if benchmark.metric != "perplexity" and not hasattr(model, "predict"):
+                continue
+            value = score_model(model, benchmark)
+            row[benchmark.name] = value
+            result.evaluations += 1
+            if record_into_lake:
+                lake.record_metric(model_id, f"{benchmark.name}:{benchmark.metric}", value)
+        result.scores[model_id] = row
+    return result

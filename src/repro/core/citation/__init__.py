@@ -1,0 +1,15 @@
+"""Model and data citation over lake snapshots."""
+
+from repro.core.citation.citation import (
+    DataCitation,
+    ModelCitation,
+    ResolutionResult,
+    cite_dataset,
+    cite_model,
+    resolve_citation,
+)
+
+__all__ = [
+    "DataCitation", "ModelCitation", "ResolutionResult",
+    "cite_dataset", "cite_model", "resolve_citation",
+]

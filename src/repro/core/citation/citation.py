@@ -1,0 +1,143 @@
+"""Model and data citation over versioned lake snapshots.
+
+§6: "If a particular model is used, the platform would refer to its
+versioning graph and generate a citation with the model version and
+timestamp of the graph. Upon any updates of the graph, a new citation
+would be generated with the updated version and timestamp."
+
+A citation pins: the model id, its weights digest (exact artifact), its
+position in the version graph (root + depth), the dataset digest when
+known, and the lake's snapshot digest + logical clock.  Re-resolution
+detects whether the cited artifact is unchanged, moved, or gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.versioning.graph import VersionGraph
+from repro.errors import HistoryUnavailableError, ModelNotFoundError
+from repro.lake.lake import ModelLake
+
+
+@dataclass(frozen=True)
+class ModelCitation:
+    """An immutable, re-resolvable reference to a model artifact."""
+
+    model_id: str
+    model_name: str
+    weights_digest: str
+    root_id: str
+    lineage_depth: int
+    dataset_digest: Optional[str]
+    lake_clock: int
+    lake_snapshot: str
+
+    def key(self) -> str:
+        """Compact citation string."""
+        return (
+            f"model:{self.model_id}@{self.weights_digest[:12]}"
+            f"/root:{self.root_id[:12]}+{self.lineage_depth}"
+            f"/lake:{self.lake_clock}:{self.lake_snapshot[:12]}"
+        )
+
+    def to_bibtex(self) -> str:
+        return (
+            f"@misc{{{self.model_id.replace('-', '_')},\n"
+            f"  title = {{{self.model_name}}},\n"
+            f"  howpublished = {{Model Lake snapshot {self.lake_snapshot[:12]} "
+            f"(clock {self.lake_clock})}},\n"
+            f"  note = {{weights {self.weights_digest[:12]}, lineage root "
+            f"{self.root_id[:12]} (+{self.lineage_depth} hops)}}\n"
+            f"}}"
+        )
+
+
+@dataclass(frozen=True)
+class DataCitation:
+    """A reference to a dataset version used to train a model."""
+
+    dataset_digest: str
+    dataset_name: str
+    num_versions_known: int
+    lake_clock: int
+
+    def key(self) -> str:
+        return f"data:{self.dataset_digest[:12]}:{self.dataset_name}@{self.lake_clock}"
+
+
+@dataclass
+class ResolutionResult:
+    """Outcome of re-resolving a citation against a (possibly newer) lake."""
+
+    status: str  # "exact" | "weights_changed" | "missing" | "lake_evolved"
+    detail: str
+
+
+def cite_model(
+    lake: ModelLake, model_id: str, graph: Optional[VersionGraph] = None
+) -> ModelCitation:
+    """Generate a citation for a lake model (uses the version graph)."""
+    record = lake.get_record(model_id)
+    graph = graph or VersionGraph.from_lake_history(lake)
+    root = graph.root_of(model_id) if model_id in graph else model_id
+    depth = 0
+    if model_id in graph and root != model_id:
+        path = graph.lineage_path(root, model_id)
+        depth = (len(path) - 1) if path else 0
+    dataset_digest = None
+    try:
+        dataset_digest = lake.get_history(model_id).dataset_digest
+    except HistoryUnavailableError:
+        pass
+    return ModelCitation(
+        model_id=model_id,
+        model_name=record.name,
+        weights_digest=record.weights_digest,
+        root_id=root,
+        lineage_depth=depth,
+        dataset_digest=dataset_digest,
+        lake_clock=lake.clock,
+        lake_snapshot=lake.snapshot_digest(),
+    )
+
+
+def cite_dataset(lake: ModelLake, dataset_digest: str) -> DataCitation:
+    dataset = lake.datasets.get(dataset_digest)
+    versions = lake.datasets.versions_of(dataset_digest)
+    return DataCitation(
+        dataset_digest=dataset_digest,
+        dataset_name=dataset.name,
+        num_versions_known=len(versions),
+        lake_clock=lake.clock,
+    )
+
+
+def resolve_citation(lake: ModelLake, citation: ModelCitation) -> ResolutionResult:
+    """Check whether a citation still refers to the same artifact."""
+    try:
+        record = lake.get_record(citation.model_id)
+    except ModelNotFoundError:
+        return ResolutionResult(
+            status="missing",
+            detail=f"model {citation.model_id!r} no longer registered",
+        )
+    if record.weights_digest != citation.weights_digest:
+        return ResolutionResult(
+            status="weights_changed",
+            detail=(
+                f"weights are now {record.weights_digest[:12]}, cited "
+                f"{citation.weights_digest[:12]}"
+            ),
+        )
+    if lake.snapshot_digest() != citation.lake_snapshot:
+        return ResolutionResult(
+            status="lake_evolved",
+            detail=(
+                "artifact unchanged, but the lake has evolved since the "
+                f"citation (clock {citation.lake_clock} -> {lake.clock}); "
+                "a fresh citation would have a new snapshot id"
+            ),
+        )
+    return ResolutionResult(status="exact", detail="citation resolves exactly")

@@ -1,0 +1,6 @@
+"""Documentation generation and verification for model cards."""
+
+from repro.core.docgen.generator import CardGenerator, GenerationEvidence
+from repro.core.docgen.verify import CardIssue, CardVerifier
+
+__all__ = ["CardGenerator", "GenerationEvidence", "CardIssue", "CardVerifier"]

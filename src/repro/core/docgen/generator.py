@@ -1,0 +1,200 @@
+"""Documentation generation: draft model cards from lake analysis.
+
+§6: "upon uploading a model to the model lake, state-of-the-art
+techniques for tasks like attribution, versioning, benchmarking ...
+can automatically analyze and map the model's relationships ...
+key sections of the model card, such as intended use and performance
+metrics, can be auto-populated."
+
+The generator consults only observable evidence — behavior on probes,
+weights, the (possibly partial) version graph — never the ground truth,
+so generated cards can be scored against truth in benchmark E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.versioning.classify import classify_transform
+from repro.core.versioning.distance import states_aligned, weight_l2_distance
+from repro.core.versioning.graph import VersionGraph
+from repro.data.datasets import TextDataset
+from repro.data.domains import DOMAIN_NAMES, domain_index
+from repro.data.probes import ProbeSet
+from repro.index.embedders import BehavioralEmbedder
+from repro.lake.card import ModelCard
+from repro.lake.lake import ModelLake
+from repro.nn.module import Module
+
+
+@dataclass
+class GenerationEvidence:
+    """What the generator inferred, with the signals behind it."""
+
+    inferred_domains: List[str]
+    domain_competence: Dict[str, float]
+    inferred_base: Optional[str]
+    base_distance: Optional[float]
+    inferred_transform: Optional[str]
+
+
+class CardGenerator:
+    """Drafts model cards for (possibly undocumented) lake models."""
+
+    def __init__(
+        self,
+        lake: ModelLake,
+        probes: ProbeSet,
+        eval_dataset: Optional[TextDataset] = None,
+        competence_threshold: float = 0.8,
+    ):
+        self.lake = lake
+        self.probes = probes
+        self.eval_dataset = eval_dataset
+        self.competence_threshold = competence_threshold
+        self.embedder = BehavioralEmbedder(probes)
+
+    # -- evidence gathering -------------------------------------------------
+    def domain_competence(self, model: Module) -> Dict[str, float]:
+        """Mean probe correctness per domain (matches accuracy semantics).
+
+        Uses argmax correctness rather than soft probability: a model
+        that is right but under-confident on short probes still counts
+        as competent, mirroring how benchmark accuracy is reported.
+        """
+        if hasattr(model, "predict_proba"):
+            probabilities = model.predict_proba(self.probes.tokens)
+            labels = np.array([domain_index(d) for d in self.probes.domains])
+            raw = (probabilities.argmax(axis=-1) == labels).astype(np.float64)
+        else:
+            raw = self.embedder._lm_profile(model)
+        competence: Dict[str, float] = {}
+        domains = np.asarray(self.probes.domains)
+        for domain in sorted(set(self.probes.domains)):
+            competence[domain] = float(raw[domains == domain].mean())
+        return competence
+
+    def infer_base(self, model_id: str) -> Tuple[Optional[str], Optional[float]]:
+        """Nearest aligned *earlier* model in weight space = likely base."""
+        record = self.lake.get_record(model_id)
+        state = self.lake.get_model(model_id, force=True).state_dict()
+        best: Optional[str] = None
+        best_distance = np.inf
+        for other in self.lake:
+            if other.model_id == model_id or other.created_at >= record.created_at:
+                continue
+            other_state = self.lake.get_model(other.model_id, force=True).state_dict()
+            if not states_aligned(state, other_state):
+                continue
+            distance = weight_l2_distance(state, other_state)
+            if distance < best_distance:
+                best, best_distance = other.model_id, distance
+        if best is None:
+            return None, None
+        return best, float(best_distance)
+
+    def gather_evidence(self, model_id: str) -> GenerationEvidence:
+        model = self.lake.get_model(model_id, force=True)
+        competence = self.domain_competence(model)
+        strong = [
+            d for d, c in competence.items() if c >= self.competence_threshold
+        ]
+        if not strong:
+            best = max(competence, key=competence.get)
+            strong = [best]
+        base_id, base_distance = self.infer_base(model_id)
+        transform: Optional[str] = None
+        if base_id is not None:
+            base_state = self.lake.get_model(base_id, force=True).state_dict()
+            transform = classify_transform(base_state, model.state_dict())
+        return GenerationEvidence(
+            inferred_domains=sorted(strong),
+            domain_competence=competence,
+            inferred_base=base_id,
+            base_distance=base_distance,
+            inferred_transform=transform,
+        )
+
+    # -- drafting -------------------------------------------------------------
+    def draft_card(self, model_id: str) -> Tuple[ModelCard, GenerationEvidence]:
+        """Generate a card draft plus the evidence that justifies it."""
+        record = self.lake.get_record(model_id)
+        evidence = self.gather_evidence(model_id)
+        family = record.family
+        domains = evidence.inferred_domains
+        generalist = len(domains) >= max(3, len(DOMAIN_NAMES) // 2)
+
+        if generalist:
+            description = (
+                f"A general-purpose {family} model; measured competence spans "
+                f"{len(domains)} domains."
+            )
+            intended = "General domain classification across heterogeneous text."
+        else:
+            primary = max(domains, key=lambda d: evidence.domain_competence[d])
+            description = (
+                f"A {family} model specialized for {primary} text "
+                f"(measured competence {evidence.domain_competence[primary]:.2f})."
+            )
+            intended = (
+                f"Classify and analyze {primary} documents; best suited to "
+                f"{' and '.join(domains)} content."
+            )
+
+        base_name = (
+            self.lake.get_record(evidence.inferred_base).name
+            if evidence.inferred_base is not None
+            else None
+        )
+        transform_summary = None
+        if evidence.inferred_transform and evidence.inferred_transform not in (
+            "identity", "unknown",
+        ):
+            transform_summary = (
+                f"{evidence.inferred_transform} of {base_name} "
+                f"(weight distance {evidence.base_distance:.3f})"
+            )
+
+        metrics = {f"acc_{d}": c for d, c in evidence.domain_competence.items()}
+        metrics["acc_overall"] = float(
+            np.mean(list(evidence.domain_competence.values()))
+        )
+        weak = [d for d, c in evidence.domain_competence.items() if c < 0.5]
+        limitations = (
+            "Measured competence is weak on: " + ", ".join(sorted(weak)) + "."
+            if weak else "No weak domains detected on the shared probe set."
+        )
+        card = ModelCard(
+            model_name=record.name,
+            description=description,
+            intended_use=intended,
+            training_data=None,  # not observable without history
+            training_domains=domains,
+            base_model=base_name,
+            transform_summary=transform_summary,
+            metrics=metrics,
+            limitations=limitations,
+            license=record.card.license,
+            tags=[family, "classification", *domains],
+        )
+        return card, evidence
+
+    def fill_missing_fields(self, model_id: str) -> ModelCard:
+        """Complete an existing card: keep documented fields, fill gaps."""
+        existing = self.lake.get_record(model_id).card
+        draft, _ = self.draft_card(model_id)
+        merged = existing.copy()
+        for field_name in (
+            "description", "intended_use", "base_model",
+            "transform_summary", "limitations",
+        ):
+            if not getattr(merged, field_name):
+                setattr(merged, field_name, getattr(draft, field_name))
+        if not merged.training_domains:
+            merged.training_domains = list(draft.training_domains)
+        if not merged.metrics:
+            merged.metrics = dict(draft.metrics)
+        return merged

@@ -1,0 +1,127 @@
+"""Model-card verification: flag claims contradicted by measurement.
+
+§4: "there remains a critical gap in the verification of model cards.
+There is a danger that people could intentionally misinform model
+users" (PoisonGPT).  The verifier checks each card claim against
+observable evidence and emits typed issues — the lake-side defense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.docgen.generator import CardGenerator
+from repro.lake.lake import ModelLake
+
+
+@dataclass
+class CardIssue:
+    """One discrepancy between a card claim and measured evidence."""
+
+    model_id: str
+    field: str
+    claimed: str
+    measured: str
+    severity: str  # "warning" | "contradiction"
+
+    def describe(self) -> str:
+        return (
+            f"[{self.severity}] {self.model_id[:12]}.{self.field}: "
+            f"card says {self.claimed!r}, measurement says {self.measured!r}"
+        )
+
+
+class CardVerifier:
+    """Checks card claims against behavioral and intrinsic evidence."""
+
+    def __init__(self, generator: CardGenerator, competence_floor: float = 0.5):
+        self.generator = generator
+        self.competence_floor = competence_floor
+
+    def verify(self, model_id: str) -> List[CardIssue]:
+        """All detectable issues with one model's card."""
+        lake: ModelLake = self.generator.lake
+        card = lake.get_record(model_id).card
+        evidence = self.generator.gather_evidence(model_id)
+        issues: List[CardIssue] = []
+
+        # 1. Claimed domains the model is measurably bad at.  A warning,
+        # not a contradiction: "trained on X" documents history, and a
+        # model can truthfully have trained on X yet forgotten it.
+        for domain in card.training_domains:
+            competence = evidence.domain_competence.get(domain)
+            if competence is not None and competence < self.competence_floor:
+                issues.append(CardIssue(
+                    model_id=model_id,
+                    field="training_domains",
+                    claimed=domain,
+                    measured=f"competence {competence:.2f} < {self.competence_floor}",
+                    severity="warning",
+                ))
+
+        # 2. Claimed base model that weight analysis cannot corroborate.
+        if card.base_model:
+            claimed_ids = {r.model_id for r in lake.find_by_name(card.base_model)}
+            if not claimed_ids:
+                issues.append(CardIssue(
+                    model_id=model_id,
+                    field="base_model",
+                    claimed=card.base_model,
+                    measured="no such model in the lake",
+                    severity="contradiction",
+                ))
+            elif (
+                evidence.inferred_base is not None
+                and evidence.inferred_base not in claimed_ids
+            ):
+                inferred_name = lake.get_record(evidence.inferred_base).name
+                issues.append(CardIssue(
+                    model_id=model_id,
+                    field="base_model",
+                    claimed=card.base_model,
+                    measured=f"weights closest to {inferred_name}",
+                    severity="warning",
+                ))
+
+        # 3. Metric claims far from measured competence.
+        for key, claimed_value in card.metrics.items():
+            if not key.startswith("acc_") or key == "acc_overall":
+                continue
+            domain = key[len("acc_"):]
+            measured = evidence.domain_competence.get(domain)
+            if measured is not None and claimed_value - measured > 0.3:
+                issues.append(CardIssue(
+                    model_id=model_id,
+                    field=f"metrics.{key}",
+                    claimed=f"{claimed_value:.2f}",
+                    measured=f"{measured:.2f}",
+                    severity="contradiction",
+                ))
+
+        # 4. "Trained from scratch" claims on models with an obvious parent.
+        if (
+            card.transform_summary
+            and "scratch" in card.transform_summary.lower()
+            and evidence.inferred_base is not None
+            and evidence.base_distance is not None
+            and evidence.inferred_transform not in (None, "unknown")
+        ):
+            issues.append(CardIssue(
+                model_id=model_id,
+                field="transform_summary",
+                claimed=card.transform_summary,
+                measured=(
+                    f"weights are a {evidence.inferred_transform} of "
+                    f"{lake.get_record(evidence.inferred_base).name}"
+                ),
+                severity="contradiction",
+            ))
+        return issues
+
+    def verify_lake(self) -> List[CardIssue]:
+        """Verify every card in the lake."""
+        issues: List[CardIssue] = []
+        for record in self.generator.lake:
+            issues.extend(self.verify(record.model_id))
+        return issues

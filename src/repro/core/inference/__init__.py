@@ -1,0 +1,12 @@
+"""Model inference: automated benchmark + model selection for a query."""
+
+from repro.core.inference.agent import (
+    InferencePlan,
+    InferenceResult,
+    ModelInferenceAgent,
+    Recommendation,
+)
+
+__all__ = [
+    "InferencePlan", "InferenceResult", "ModelInferenceAgent", "Recommendation",
+]

@@ -1,0 +1,178 @@
+"""Model inference (§5): from user query to verified recommendation.
+
+"The model inference component involves identifying appropriate
+benchmarks and generating relevant prompts, as well as selecting
+suitable models ... While users can manually run prompts and select
+models, this approach is prone to errors ... This search and generation
+process can also be automated using an AI agent."
+
+The agent is a deterministic planner that composes the lake's other
+components:
+
+1. **understand** — map the query text to target domains;
+2. **retrieve**  — shortlist candidates with (cheap) hybrid search;
+3. **benchmark** — generate a fresh, targeted benchmark for the task
+   (the "relevant prompts");
+4. **verify**    — actually run every candidate on it (extrinsic truth);
+5. **explain**   — re-rank by measured score and attach a rationale
+   combining the card's claims with the fresh measurement.
+
+Step 4 is the safeguard the paper wants: recommendations rest on
+measured behavior, not on whatever the cards say.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.benchmarking.scoring import Benchmark, score_model
+from repro.core.search.behavioral import extract_query_domains
+from repro.core.search.engine import SearchEngine
+from repro.data.datasets import TextDataset, make_domain_dataset
+from repro.data.probes import ProbeSet
+from repro.errors import ConfigError, QueryError
+from repro.lake.lake import ModelLake
+from repro.utils.rng import spawn_seed
+
+
+@dataclass
+class InferencePlan:
+    """The agent's resolved plan for one query."""
+
+    query: str
+    target_domains: List[str]
+    retrieval_method: str
+    benchmark_name: str
+    candidate_pool: int
+
+    def describe(self) -> str:
+        return (
+            f"domains={self.target_domains} via {self.retrieval_method}; "
+            f"verify on {self.benchmark_name!r} "
+            f"(pool={self.candidate_pool})"
+        )
+
+
+@dataclass
+class Recommendation:
+    """One verified recommendation."""
+
+    model_id: str
+    model_name: str
+    measured_score: float
+    retrieval_score: float
+    rationale: str
+
+
+@dataclass
+class InferenceResult:
+    """Plan plus the ranked, verified recommendations."""
+
+    plan: InferencePlan
+    recommendations: List[Recommendation] = field(default_factory=list)
+
+    def best(self) -> Optional[Recommendation]:
+        return self.recommendations[0] if self.recommendations else None
+
+
+class ModelInferenceAgent:
+    """Automates benchmark selection, prompt generation, and model choice."""
+
+    def __init__(
+        self,
+        lake: ModelLake,
+        probes: Optional[ProbeSet] = None,
+        engine: Optional[SearchEngine] = None,
+        benchmark_docs_per_domain: int = 8,
+        seed: int = 0,
+    ):
+        self.lake = lake
+        self.engine = engine or SearchEngine(lake, probes)
+        self.benchmark_docs_per_domain = benchmark_docs_per_domain
+        self.seed = seed
+
+    # -- planning -----------------------------------------------------------
+    def plan(self, query: str, candidate_pool: int = 8) -> InferencePlan:
+        """Resolve the query into domains, retrieval method, benchmark."""
+        domains = extract_query_domains(query)
+        if not domains:
+            raise QueryError(
+                f"could not map query {query!r} to any lake domain; "
+                "try naming the topic (e.g. 'legal', 'medical')"
+            )
+        return InferencePlan(
+            query=query,
+            target_domains=domains,
+            retrieval_method="hybrid",
+            benchmark_name=f"task-bench[{','.join(domains)}]",
+            candidate_pool=candidate_pool,
+        )
+
+    def _build_benchmark(self, plan: InferencePlan) -> Benchmark:
+        """Generate the task-targeted benchmark ("relevant prompts").
+
+        The data is freshly sampled (seed derived from the query), so
+        models cannot have memorized it and cards cannot anticipate it.
+        """
+        seed = spawn_seed(self.seed, f"inference:{plan.query}")
+        dataset = make_domain_dataset(
+            plan.target_domains,
+            docs_per_domain=self.benchmark_docs_per_domain,
+            seq_len=24,
+            seed=seed,
+            name=plan.benchmark_name,
+        )
+        return Benchmark(plan.benchmark_name, dataset, metric="accuracy")
+
+    # -- execution ---------------------------------------------------------
+    def recommend(self, query: str, k: int = 3, candidate_pool: int = 8) -> InferenceResult:
+        """Full pipeline: plan, retrieve, benchmark, verify, explain."""
+        if k <= 0:
+            raise ConfigError(f"k must be positive, got {k}")
+        plan = self.plan(query, candidate_pool=candidate_pool)
+        benchmark = self._build_benchmark(plan)
+
+        hits = self.engine.search(
+            query, k=candidate_pool, method=plan.retrieval_method
+        )
+        result = InferenceResult(plan=plan)
+        scored: List[Recommendation] = []
+        for hit in hits:
+            record = self.lake.get_record(hit.model_id)
+            model = self.lake.get_model(hit.model_id, force=True)
+            if hasattr(model, "predict"):
+                measured = score_model(model, benchmark)
+                metric_label = "accuracy"
+            else:
+                # Language models: mean per-token likelihood on the bench.
+                from repro.lake.generator import _lm_likelihoods
+
+                measured = float(
+                    _lm_likelihoods(model, benchmark.dataset.tokens).mean()
+                )
+                metric_label = "mean token likelihood"
+            claimed = record.card.metrics.get(
+                f"acc_{plan.target_domains[0]}"
+            )
+            claim_note = (
+                f"card claims {claimed:.2f}" if claimed is not None
+                else "card makes no metric claim"
+            )
+            rationale = (
+                f"measured {metric_label} {measured:.2f} on fresh "
+                f"{'/'.join(plan.target_domains)} benchmark; {claim_note}; "
+                f"retrieval score {hit.score:.2f}"
+            )
+            scored.append(Recommendation(
+                model_id=hit.model_id,
+                model_name=record.name,
+                measured_score=measured,
+                retrieval_score=hit.score,
+                rationale=rationale,
+            ))
+        scored.sort(key=lambda r: (-r.measured_score, -r.retrieval_score, r.model_id))
+        result.recommendations = scored[:k]
+        return result

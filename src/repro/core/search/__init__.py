@@ -1,0 +1,26 @@
+"""Model search: keyword, behavioral, hybrid, dataset, declarative."""
+
+from repro.core.search.keyword import BM25Index, build_card_index
+from repro.core.search.behavioral import (
+    BehavioralSearcher,
+    TaskSpec,
+    extract_query_domains,
+    task_profile_vector,
+)
+from repro.core.search.dataset_search import DatasetSearchHit, models_trained_on
+from repro.core.search.engine import SEARCH_METHODS, SearchEngine, SearchHit
+from repro.core.search.parser import (
+    Condition,
+    ModelQuery,
+    execute_query,
+    parse_query,
+)
+
+__all__ = [
+    "BM25Index", "build_card_index",
+    "BehavioralSearcher", "TaskSpec", "extract_query_domains",
+    "task_profile_vector",
+    "DatasetSearchHit", "models_trained_on",
+    "SEARCH_METHODS", "SearchEngine", "SearchHit",
+    "Condition", "ModelQuery", "execute_query", "parse_query",
+]

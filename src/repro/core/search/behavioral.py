@@ -1,0 +1,159 @@
+"""Content-based (behavioral) model search.
+
+The paper's core search proposal: rank models by what they *do*, not
+what their cards say.  Behavioral embeddings (competence profiles over a
+shared probe set) support three query shapes:
+
+* a **task profile** — "find models good at legal text" becomes an
+  indicator profile over the legal probes;
+* a **model as query** (Lu et al.) — rank by similarity to a query
+  model's behavior;
+* a **task spec** — explicit (inputs, desired outputs) pairs scored
+  extrinsically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.domains import DOMAIN_NAMES, domain_index, get_domain
+from repro.data.probes import ProbeSet
+from repro.errors import ConfigError
+from repro.index.embedders import BehavioralEmbedder, l2_normalize
+from repro.index.flat import FlatIndex
+from repro.lake.lake import ModelLake
+from repro.nn.module import Module
+from repro.utils.text import simple_tokenize
+
+
+@dataclass
+class TaskSpec:
+    """An extrinsic task: inputs plus the outputs a good model produces.
+
+    Matches §3's "task function Q: X -> Y" formulation.
+    """
+
+    inputs: np.ndarray
+    desired_labels: np.ndarray
+    name: str = "task"
+
+
+def task_profile_vector(probes: ProbeSet, target_domains: Sequence[str]) -> np.ndarray:
+    """Indicator competence profile: 1 on probes from target domains.
+
+    A model that is perfectly competent exactly on the target domains
+    has maximal cosine similarity with this vector.
+    """
+    wanted = set(target_domains)
+    unknown = wanted - set(DOMAIN_NAMES)
+    if unknown:
+        raise ConfigError(f"unknown domains in task profile: {sorted(unknown)}")
+    vector = np.array([1.0 if d in wanted else 0.0 for d in probes.domains])
+    if vector.sum() == 0:
+        raise ConfigError("no probes cover the requested domains")
+    return l2_normalize(vector)
+
+
+def extract_query_domains(query_text: str) -> List[str]:
+    """Map free text to the domains whose vocabulary it mentions.
+
+    Domain names themselves and any domain content word count as
+    evidence; ties are broken toward domains with more hits.
+    """
+    tokens = set(simple_tokenize(query_text))
+    hits: Dict[str, int] = {}
+    for name in DOMAIN_NAMES:
+        domain = get_domain(name)
+        score = 0
+        if name in tokens:
+            score += 3
+        score += len(tokens.intersection(domain.content_words()))
+        if score > 0:
+            hits[name] = score
+    if not hits:
+        return []
+    best = max(hits.values())
+    return sorted([d for d, s in hits.items() if s >= max(1, best)])
+
+
+class BehavioralSearcher:
+    """Behavioral index over a lake with the three query shapes.
+
+    ``index_backend`` selects the ANN structure: ``"flat"`` (exact, the
+    default at laptop scale) or ``"hnsw"`` (sublinear, the §5 indexer for
+    large lakes).
+    """
+
+    def __init__(self, lake: ModelLake, probes: ProbeSet, index_backend: str = "flat"):
+        self.lake = lake
+        self.probes = probes
+        self.embedder = BehavioralEmbedder(probes)
+        if index_backend == "flat":
+            self._index = FlatIndex()
+        elif index_backend == "hnsw":
+            from repro.index.hnsw import HNSWIndex
+
+            self._index = HNSWIndex(m=8, ef_construction=64, ef_search=48, seed=0)
+        else:
+            raise ConfigError(
+                f"unknown index_backend {index_backend!r}; expected flat|hnsw"
+            )
+        self.index_backend = index_backend
+        self._profiles: Dict[str, np.ndarray] = {}
+        for record in lake:
+            model = lake.get_model(record.model_id, force=True)
+            vector = self.embedder.embed(model)
+            self._profiles[record.model_id] = vector
+            self._index.add(record.model_id, vector)
+
+    @property
+    def index(self):
+        return self._index
+
+    def profile_of(self, model_id: str) -> np.ndarray:
+        return self._profiles[model_id]
+
+    def search_domains(
+        self, target_domains: Sequence[str], k: int = 10
+    ) -> List[Tuple[str, float]]:
+        """Rank models by competence on the target domains."""
+        query = task_profile_vector(self.probes, target_domains)
+        return self._index.query(query, k=k)
+
+    def search_text(self, query_text: str, k: int = 10) -> List[Tuple[str, float]]:
+        """Free-text query -> domain profile -> behavioral ranking."""
+        domains = extract_query_domains(query_text)
+        if not domains:
+            return []
+        return self.search_domains(domains, k=k)
+
+    def search_by_model(
+        self, query_model: Module, k: int = 10, exclude_id: Optional[str] = None
+    ) -> List[Tuple[str, float]]:
+        """Model-as-query related-model search (Lu et al. extended)."""
+        vector = self.embedder.embed(query_model)
+        results = self._index.query(vector, k=k + (1 if exclude_id else 0))
+        if exclude_id is not None:
+            results = [(i, s) for i, s in results if i != exclude_id][:k]
+        return results
+
+    def search_by_task(self, task: TaskSpec, k: int = 10) -> List[Tuple[str, float]]:
+        """Score every model's behavior directly on an explicit task.
+
+        This is exhaustive extrinsic evaluation (no index) — the
+        reference ranking other search modes approximate.
+        """
+        scored: List[Tuple[str, float]] = []
+        for record in self.lake:
+            model = self.lake.get_model(record.model_id, force=True)
+            if hasattr(model, "predict"):
+                predictions = model.predict(task.inputs)
+                score = float((predictions == task.desired_labels).mean())
+            else:
+                score = 0.0
+            scored.append((record.model_id, score))
+        scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        return scored[:k]

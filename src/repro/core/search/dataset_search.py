@@ -1,0 +1,81 @@
+"""Dataset-based model search: "find models trained on this dataset".
+
+§3: straight-forward when history is recorded; "when it is not fully
+explicit, we may leverage extrinsic or intrinsic clues".  We implement
+both paths and let the searcher fall back per model:
+
+* history path — compare the model's recorded dataset digest against
+  the query dataset's version closure in the registry;
+* extrinsic path — membership-inference signal: does the model fit the
+  query dataset conspicuously better than matched fresh data?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.attribution.membership import dataset_membership_score
+from repro.data.datasets import TextDataset
+from repro.errors import HistoryUnavailableError
+from repro.lake.lake import ModelLake
+
+
+@dataclass
+class DatasetSearchHit:
+    """One model matched to the query dataset."""
+
+    model_id: str
+    score: float
+    evidence: str  # "history" | "history-version" | "membership"
+
+
+def models_trained_on(
+    lake: ModelLake,
+    dataset: TextDataset,
+    reference: Optional[TextDataset] = None,
+    include_versions: bool = True,
+    membership_threshold: float = 0.15,
+) -> List[DatasetSearchHit]:
+    """All models plausibly trained on ``dataset`` (or a version of it).
+
+    Models with public history are matched exactly (score 1.0) or via
+    the dataset registry's version closure (score 0.9).  Models without
+    usable history are scored by the membership signal when a
+    ``reference`` dataset is supplied.
+    """
+    digest = dataset.content_digest()
+    version_closure = set()
+    if include_versions and digest in lake.datasets:
+        version_closure = lake.datasets.versions_of(digest)
+
+    hits: List[DatasetSearchHit] = []
+    for record in lake:
+        matched = False
+        try:
+            history = lake.get_history(record.model_id)
+        except HistoryUnavailableError:
+            history = None
+        if history is not None and history.dataset_digest is not None:
+            if history.dataset_digest == digest:
+                hits.append(DatasetSearchHit(record.model_id, 1.0, "history"))
+                matched = True
+            elif history.dataset_digest in version_closure:
+                hits.append(DatasetSearchHit(record.model_id, 0.9, "history-version"))
+                matched = True
+        if matched or reference is None:
+            continue
+        # Extrinsic fallback: membership-inference aggregate signal.
+        model = lake.get_model(record.model_id, force=True)
+        if not hasattr(model, "predict_proba"):
+            continue
+        signal = dataset_membership_score(
+            model, dataset.tokens, dataset.labels,
+            reference.tokens, reference.labels,
+        )
+        if signal > membership_threshold:
+            hits.append(DatasetSearchHit(record.model_id, float(signal), "membership"))
+    hits.sort(key=lambda h: (-h.score, h.model_id))
+    return hits

@@ -1,0 +1,259 @@
+"""Declarative model queries.
+
+§6: "we aim for users to be able to write declarative queries and
+retrieve a set of models ranked by their suitability" — with examples
+like *"Find all models trained on this corpus of US Supreme Court
+cases"* and *"Find models that outperform Model X on Benchmark Y"*.
+
+Grammar (case-insensitive keywords)::
+
+    query      := FIND MODELS [WHERE conditions] [USING method] [LIMIT n]
+    conditions := condition (AND condition)*
+    condition  := field ('=' | '~') string
+                | TRAINED_ON '(' string ')'
+                | OUTPERFORMS '(' string ',' string ')'
+                | SIMILAR_TO '(' string ')'
+    field      := TASK | DOMAIN | FAMILY | TAG | NAME
+    method     := KEYWORD | BEHAVIORAL | HYBRID
+
+Examples::
+
+    FIND MODELS WHERE task ~ 'summarize legal documents' LIMIT 5
+    FIND MODELS WHERE domain = 'medical' AND family = 'text_classifier'
+    FIND MODELS WHERE OUTPERFORMS('foundation-0', 'acc_legal')
+    FIND MODELS WHERE TRAINED_ON('multidomain-corpus-v0') USING KEYWORD
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.search.engine import SearchEngine, SearchHit
+from repro.errors import QueryError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<string>'[^']*')|(?P<word>[A-Za-z_][A-Za-z0-9_\-]*)"
+    r"|(?P<number>\d+)|(?P<symbol>[=~(),]))"
+)
+
+_FIELDS = {"task", "domain", "family", "tag", "name"}
+_FUNCS = {"trained_on", "outperforms", "similar_to"}
+_METHODS = {"keyword", "behavioral", "hybrid"}
+
+
+@dataclass
+class Condition:
+    """One WHERE clause."""
+
+    kind: str                 # "field" | "trained_on" | "outperforms" | "similar_to"
+    field: Optional[str] = None
+    op: Optional[str] = None
+    args: Tuple[str, ...] = ()
+
+
+@dataclass
+class ModelQuery:
+    """Parsed query ready for planning."""
+
+    conditions: List[Condition] = field(default_factory=list)
+    method: str = "hybrid"
+    limit: int = 10
+
+
+class _TokenStream:
+    def __init__(self, text: str):
+        self.tokens: List[Tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                if text[position:].strip():
+                    raise QueryError(f"cannot tokenize query at: {text[position:]!r}")
+                break
+            position = match.end()
+            for group in ("string", "word", "number", "symbol"):
+                value = match.group(group)
+                if value is not None:
+                    self.tokens.append((group, value))
+                    break
+        self.position = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def expect_word(self, word: str) -> None:
+        kind, value = self.next()
+        if kind != "word" or value.lower() != word:
+            raise QueryError(f"expected {word.upper()!r}, got {value!r}")
+
+    def expect_symbol(self, symbol: str) -> None:
+        kind, value = self.next()
+        if kind != "symbol" or value != symbol:
+            raise QueryError(f"expected {symbol!r}, got {value!r}")
+
+    def expect_string(self) -> str:
+        kind, value = self.next()
+        if kind != "string":
+            raise QueryError(f"expected a quoted string, got {value!r}")
+        return value[1:-1]
+
+
+def parse_query(text: str) -> ModelQuery:
+    """Parse the declarative language into a :class:`ModelQuery`."""
+    stream = _TokenStream(text)
+    stream.expect_word("find")
+    stream.expect_word("models")
+    query = ModelQuery()
+
+    token = stream.peek()
+    if token is not None and token[1].lower() == "where":
+        stream.next()
+        query.conditions.append(_parse_condition(stream))
+        while True:
+            token = stream.peek()
+            if token is None or token[1].lower() != "and":
+                break
+            stream.next()
+            query.conditions.append(_parse_condition(stream))
+
+    token = stream.peek()
+    if token is not None and token[1].lower() == "using":
+        stream.next()
+        kind, value = stream.next()
+        method = value.lower()
+        if method not in _METHODS:
+            raise QueryError(f"unknown method {value!r}; expected {sorted(_METHODS)}")
+        query.method = method
+
+    token = stream.peek()
+    if token is not None and token[1].lower() == "limit":
+        stream.next()
+        kind, value = stream.next()
+        if kind != "number":
+            raise QueryError(f"LIMIT expects a number, got {value!r}")
+        query.limit = int(value)
+
+    if stream.peek() is not None:
+        raise QueryError(f"trailing tokens after query: {stream.peek()[1]!r}")
+    if query.limit <= 0:
+        raise QueryError(f"LIMIT must be positive, got {query.limit}")
+    return query
+
+
+def _parse_condition(stream: _TokenStream) -> Condition:
+    kind, value = stream.next()
+    word = value.lower()
+    if word in _FUNCS:
+        stream.expect_symbol("(")
+        first = stream.expect_string()
+        args = [first]
+        if word == "outperforms":
+            stream.expect_symbol(",")
+            args.append(stream.expect_string())
+        stream.expect_symbol(")")
+        return Condition(kind=word, args=tuple(args))
+    if word in _FIELDS:
+        op_kind, op_value = stream.next()
+        if op_kind != "symbol" or op_value not in ("=", "~"):
+            raise QueryError(f"expected = or ~ after {word!r}, got {op_value!r}")
+        literal = stream.expect_string()
+        return Condition(kind="field", field=word, op=op_value, args=(literal,))
+    raise QueryError(f"unknown condition start: {value!r}")
+
+
+def execute_query(engine: SearchEngine, text: str) -> List[SearchHit]:
+    """Parse and run a declarative query against a search engine.
+
+    Planning: "semantic" conditions (task/domain, trained_on,
+    outperforms, similar_to) produce a ranking; structured conditions
+    (family/tag/name equality) filter it.  If only structured
+    conditions are present, candidates come from the whole lake ranked
+    by overall recorded accuracy.
+    """
+    query = parse_query(text)
+    lake = engine.lake
+
+    ranking: Optional[List[SearchHit]] = None
+    filters: List[Condition] = []
+    pool = max(query.limit * 5, 25)
+
+    for condition in query.conditions:
+        if condition.kind == "trained_on":
+            datasets = lake.datasets.find_by_name(condition.args[0])
+            if not datasets:
+                raise QueryError(f"unknown dataset name {condition.args[0]!r}")
+            hits = engine.models_trained_on(datasets[0])
+            ranking = _merge(ranking, [
+                SearchHit(h.model_id, h.score, "trained_on") for h in hits
+            ])
+        elif condition.kind == "outperforms":
+            model_id = engine.resolve_name(condition.args[0])
+            ranking = _merge(
+                ranking,
+                engine.models_outperforming(model_id, condition.args[1], k=pool),
+            )
+        elif condition.kind == "similar_to":
+            model_id = engine.resolve_name(condition.args[0])
+            ranking = _merge(ranking, engine.related_models(model_id, k=pool))
+        elif condition.kind == "field" and condition.field in ("task", "domain"):
+            ranking = _merge(
+                ranking, engine.search(condition.args[0], k=pool, method=query.method)
+            )
+        else:
+            filters.append(condition)
+
+    if ranking is None:
+        ranking = [
+            SearchHit(r.model_id, r.eval_metrics.get("acc_overall", 0.0), "catalog")
+            for r in lake
+        ]
+        ranking.sort(key=lambda h: (-h.score, h.model_id))
+
+    for condition in filters:
+        ranking = [h for h in ranking if _matches(lake, h.model_id, condition)]
+    return ranking[: query.limit]
+
+
+def _merge(
+    current: Optional[List[SearchHit]], new: List[SearchHit]
+) -> List[SearchHit]:
+    """Intersect rankings (AND semantics), summing scores."""
+    if current is None:
+        return list(new)
+    new_scores = {h.model_id: h.score for h in new}
+    merged = [
+        SearchHit(h.model_id, h.score + new_scores[h.model_id], h.method)
+        for h in current
+        if h.model_id in new_scores
+    ]
+    merged.sort(key=lambda h: (-h.score, h.model_id))
+    return merged
+
+
+def _matches(lake, model_id: str, condition: Condition) -> bool:
+    record = lake.get_record(model_id)
+    value = condition.args[0].lower()
+    if condition.field == "family":
+        actual = record.family.lower()
+    elif condition.field == "name":
+        actual = record.name.lower()
+    elif condition.field == "tag":
+        return any(value == t.lower() for t in record.tags) or (
+            condition.op == "~" and any(value in t.lower() for t in record.tags)
+        )
+    else:
+        return True
+    if condition.op == "=":
+        return actual == value
+    return value in actual

@@ -1,0 +1,25 @@
+"""Model versioning: version graphs, recovery from weights, edge labels."""
+
+from repro.core.versioning.graph import VersionGraph
+from repro.core.versioning.distance import (
+    behavioral_distance,
+    model_distance,
+    per_layer_distances,
+    states_aligned,
+    weight_cosine_distance,
+    weight_l2_distance,
+)
+from repro.core.versioning.classify import classify_transform, looks_like_merge
+from repro.core.versioning.recovery import (
+    RecoveryConfig,
+    RecoveryResult,
+    recover_version_graph,
+)
+
+__all__ = [
+    "VersionGraph",
+    "behavioral_distance", "model_distance", "per_layer_distances",
+    "states_aligned", "weight_cosine_distance", "weight_l2_distance",
+    "classify_transform", "looks_like_merge",
+    "RecoveryConfig", "RecoveryResult", "recover_version_graph",
+]

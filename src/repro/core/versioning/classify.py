@@ -1,0 +1,175 @@
+"""Transform-kind classification from weight deltas.
+
+Given a (parent, child) pair, infer *how* the child was derived — the
+edge label of the version graph — from the statistical signature the
+transformation left in weight space:
+
+* ``quantize`` — child weights sit on a small uniform value grid,
+* ``prune``    — child zeros form a strict superset of parent zeros,
+* ``edit``     — exactly one matrix changed, by a rank-one delta,
+* ``lora``     — matrix deltas are low-rank, embeddings untouched,
+* ``finetune`` — dense, broad delta (the default adaptation signature),
+* ``identity`` — weights are (numerically) unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.transforms.base import weight_delta
+
+#: Numeric tolerance for "unchanged" parameters.
+_ZERO_TOL = 1e-10
+
+
+def _changed_matrices(
+    parent: Dict[str, np.ndarray], child: Dict[str, np.ndarray]
+) -> List[Tuple[str, np.ndarray]]:
+    deltas = weight_delta(parent, child)
+    return [
+        (name, delta)
+        for name, delta in sorted(deltas.items())
+        if delta.ndim == 2 and np.abs(delta).max() > _ZERO_TOL
+    ]
+
+
+def _is_quantized(child: Dict[str, np.ndarray], max_levels: int = 300) -> bool:
+    """True if large tensors take few distinct, uniformly spaced values."""
+    grid_votes = 0
+    checked = 0
+    for arr in child.values():
+        if arr.size < 64:
+            continue
+        checked += 1
+        values = np.unique(np.round(arr, 12))
+        if len(values) > max_levels or len(values) < 2:
+            continue
+        gaps = np.diff(values)
+        gaps = gaps[gaps > 1e-12]
+        if len(gaps) == 0:
+            continue
+        if gaps.max() / gaps.min() < 1.5 or np.allclose(
+            gaps / gaps.min(), np.round(gaps / gaps.min()), atol=0.05
+        ):
+            grid_votes += 1
+    return checked > 0 and grid_votes >= max(1, checked // 2)
+
+
+def _sparsity(state: Dict[str, np.ndarray]) -> float:
+    total = 0
+    zeros = 0
+    for arr in state.values():
+        if arr.ndim < 2:
+            continue
+        total += arr.size
+        zeros += int((arr == 0).sum())
+    return zeros / total if total else 0.0
+
+
+def _prune_superset(parent: Dict[str, np.ndarray], child: Dict[str, np.ndarray]) -> bool:
+    """Child zeros include parent zeros, and surviving weights are equal."""
+    any_new_zero = False
+    for name in parent:
+        if name not in child or parent[name].shape != child[name].shape:
+            return False
+        if parent[name].ndim < 2:
+            continue
+        p, c = parent[name], child[name]
+        child_zero = c == 0
+        parent_zero = p == 0
+        if (parent_zero & ~child_zero).any():
+            return False
+        survivors = ~child_zero
+        if not np.allclose(p[survivors], c[survivors], atol=1e-12):
+            return False
+        if (child_zero & ~parent_zero).any():
+            any_new_zero = True
+    return any_new_zero
+
+
+def _matrix_rank(delta: np.ndarray) -> int:
+    scale = np.abs(delta).max()
+    if scale < _ZERO_TOL:
+        return 0
+    return int(np.linalg.matrix_rank(delta, tol=1e-8 * scale * max(delta.shape)))
+
+
+def classify_transform(
+    parent_state: Dict[str, np.ndarray],
+    child_state: Dict[str, np.ndarray],
+    lora_rank_threshold: int = 4,
+) -> str:
+    """Best-guess transform kind for an aligned (parent, child) pair.
+
+    Returns one of ``identity, quantize, prune, edit, lora, finetune,
+    unknown``.  ``unknown`` means the states are not parameter-aligned.
+    """
+    if set(parent_state) != set(child_state) or any(
+        parent_state[n].shape != child_state[n].shape for n in parent_state
+    ):
+        return "unknown"
+
+    deltas = weight_delta(parent_state, child_state)
+    max_change = max((np.abs(d).max() for d in deltas.values()), default=0.0)
+    if max_change <= _ZERO_TOL:
+        return "identity"
+    if _prune_superset(parent_state, child_state):
+        return "prune"
+    if _is_quantized(child_state) and not _is_quantized(parent_state):
+        return "quantize"
+
+    changed = _changed_matrices(parent_state, child_state)
+    changed_vectors = [
+        name for name, delta in sorted(deltas.items())
+        if delta.ndim < 2 and np.abs(delta).max() > _ZERO_TOL
+    ]
+    if changed:
+        ranks = [_matrix_rank(delta) for _, delta in changed]
+        embedding_changed = any("emb" in name for name, _ in changed)
+        if len(changed) == 1 and ranks[0] == 1 and not changed_vectors:
+            return "edit"
+        if (
+            all(r <= lora_rank_threshold for r in ranks)
+            and all(min(d.shape) > lora_rank_threshold for _, d in changed)
+            and not embedding_changed
+        ):
+            return "lora"
+    return "finetune"
+
+
+def looks_like_merge(
+    child_state: Dict[str, np.ndarray],
+    parent_a: Dict[str, np.ndarray],
+    parent_b: Dict[str, np.ndarray],
+    tolerance: float = 1e-6,
+) -> Optional[float]:
+    """If child = alpha*a + (1-alpha)*b, return alpha; else None.
+
+    Solves for alpha by least squares over all aligned parameters and
+    checks the residual.
+    """
+    if set(child_state) != set(parent_a) or set(child_state) != set(parent_b):
+        return None
+    numerator = 0.0
+    denominator = 0.0
+    for name in child_state:
+        if parent_a[name].shape != child_state[name].shape:
+            return None
+        diff_ab = (parent_a[name] - parent_b[name]).ravel()
+        diff_cb = (child_state[name] - parent_b[name]).ravel()
+        numerator += float(diff_ab @ diff_cb)
+        denominator += float(diff_ab @ diff_ab)
+    if denominator < 1e-12:
+        return None
+    alpha = numerator / denominator
+    residual = 0.0
+    scale = 0.0
+    for name in child_state:
+        predicted = alpha * parent_a[name] + (1 - alpha) * parent_b[name]
+        residual += float(((child_state[name] - predicted) ** 2).sum())
+        scale += float((child_state[name] ** 2).sum())
+    if residual / max(scale, 1e-12) < tolerance:
+        return float(alpha)
+    return None

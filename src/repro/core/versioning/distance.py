@@ -1,0 +1,84 @@
+"""Model distances for version analysis.
+
+Weight-space distances are only defined for parameter-aligned models;
+heterogeneous pairs fall back to behavioral distance, mirroring the
+paper's viewpoint fallbacks (use intrinsics when available, extrinsics
+otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.index.embedders import BehavioralEmbedder
+from repro.nn.module import Module
+
+
+def states_aligned(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> bool:
+    """True if two state dicts have identical names and shapes."""
+    if set(a) != set(b):
+        return False
+    return all(a[name].shape == b[name].shape for name in a)
+
+
+def weight_l2_distance(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> float:
+    """Euclidean distance between aligned parameter vectors."""
+    total = 0.0
+    for name in a:
+        diff = a[name] - b[name]
+        total += float((diff * diff).sum())
+    return float(np.sqrt(total))
+
+
+def weight_cosine_distance(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> float:
+    """1 - cosine similarity between aligned parameter vectors."""
+    dot = 0.0
+    norm_a = 0.0
+    norm_b = 0.0
+    for name in a:
+        va, vb = a[name].ravel(), b[name].ravel()
+        dot += float(va @ vb)
+        norm_a += float(va @ va)
+        norm_b += float(vb @ vb)
+    denominator = np.sqrt(norm_a) * np.sqrt(norm_b)
+    if denominator < 1e-12:
+        return 1.0
+    return 1.0 - dot / denominator
+
+
+def per_layer_distances(
+    a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]
+) -> Dict[str, float]:
+    """L2 distance per shared parameter tensor."""
+    return {
+        name: float(np.linalg.norm(a[name] - b[name]))
+        for name in sorted(set(a) & set(b))
+        if a[name].shape == b[name].shape
+    }
+
+
+def behavioral_distance(
+    model_a: Module, model_b: Module, embedder: BehavioralEmbedder
+) -> float:
+    """1 - cosine similarity of competence profiles (any architectures)."""
+    ea = embedder.embed(model_a)
+    eb = embedder.embed(model_b)
+    return float(1.0 - ea @ eb)
+
+
+def model_distance(
+    model_a: Module,
+    model_b: Module,
+    embedder: Optional[BehavioralEmbedder] = None,
+) -> float:
+    """Weight distance when aligned; behavioral distance otherwise."""
+    state_a, state_b = model_a.state_dict(), model_b.state_dict()
+    if states_aligned(state_a, state_b):
+        return weight_l2_distance(state_a, state_b)
+    if embedder is None:
+        raise ValueError(
+            "models are not weight-aligned; pass a BehavioralEmbedder fallback"
+        )
+    return behavioral_distance(model_a, model_b, embedder)

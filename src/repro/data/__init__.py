@@ -1,0 +1,39 @@
+"""Synthetic data substrate: domains, corpora, tokenization, datasets."""
+
+from repro.data.domains import (
+    ALL_DOMAINS,
+    DOMAIN_NAMES,
+    DomainSpec,
+    domain_index,
+    get_domain,
+)
+from repro.data.vocab import Vocabulary, build_default_vocabulary
+from repro.data.corpus import CorpusGenerator, Document
+from repro.data.tokenizer import Tokenizer
+from repro.data.datasets import TextDataset, make_domain_dataset, make_lm_sequences
+from repro.data.derivation import (
+    DatasetDerivation,
+    augment_with_noise,
+    filter_by_domain,
+    merge_datasets,
+    sample_dataset,
+)
+from repro.data.registry import DatasetRegistry
+from repro.data.probes import (
+    ProbeSet,
+    make_feature_probes,
+    make_lm_prompts,
+    make_text_probes,
+)
+
+__all__ = [
+    "ALL_DOMAINS", "DOMAIN_NAMES", "DomainSpec", "domain_index", "get_domain",
+    "Vocabulary", "build_default_vocabulary",
+    "CorpusGenerator", "Document",
+    "Tokenizer",
+    "TextDataset", "make_domain_dataset", "make_lm_sequences",
+    "DatasetDerivation", "augment_with_noise", "filter_by_domain",
+    "merge_datasets", "sample_dataset",
+    "DatasetRegistry",
+    "ProbeSet", "make_feature_probes", "make_lm_prompts", "make_text_probes",
+]

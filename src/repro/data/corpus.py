@@ -1,0 +1,153 @@
+"""Synthetic multi-domain corpus generation.
+
+Documents are produced from grammatical templates instantiated with
+domain content words, so that (a) documents from different domains have
+strongly separable token distributions, and (b) there is enough
+sequential structure that a small language model learns nontrivial
+next-token statistics.  This stands in for the natural corpora (legal
+texts, clinical notes, C4, ...) the paper's lakes assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.data.domains import (
+    DomainSpec,
+    SHARED_CONNECTIVES,
+    SHARED_DETERMINERS,
+    SHARED_VERBS,
+    get_domain,
+)
+from repro.utils.rng import derive_rng
+
+#: Sentence templates; slot names index into word pools.
+_TEMPLATES = (
+    ("det", "adj", "noun", "verb", "det", "noun"),
+    ("det", "noun", "verb", "det", "adj", "noun"),
+    ("det", "noun", "aux", "adj", "conn", "det", "noun", "verb"),
+    ("det", "adj", "noun", "aux", "verb", "det", "noun"),
+    ("det", "noun", "conn", "det", "noun", "verb", "det", "adj", "noun"),
+)
+
+
+@dataclass
+class Document:
+    """A generated document: tokens plus its generation provenance."""
+
+    tokens: List[str]
+    domain: str
+    doc_id: str = ""
+    meta: Dict = field(default_factory=dict)
+
+    def text(self) -> str:
+        return " ".join(self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+class CorpusGenerator:
+    """Deterministic generator of domain-labelled documents.
+
+    Parameters
+    ----------
+    seed:
+        Top-level seed; all randomness derives from it.
+    mixture_noise:
+        Probability that a content slot is filled from a random *other*
+        domain, modelling topical bleed-through between real corpora.
+    """
+
+    def __init__(self, seed: int = 0, mixture_noise: float = 0.05):
+        if not 0.0 <= mixture_noise < 1.0:
+            raise ConfigError(f"mixture_noise must be in [0, 1), got {mixture_noise}")
+        self.seed = seed
+        self.mixture_noise = mixture_noise
+
+    def _pools(self, domain: DomainSpec) -> Dict[str, Sequence[str]]:
+        return {
+            "det": SHARED_DETERMINERS,
+            "conn": SHARED_CONNECTIVES,
+            "aux": SHARED_VERBS,
+            "noun": domain.nouns,
+            "verb": domain.verbs,
+            "adj": domain.adjectives,
+        }
+
+    def generate_document(
+        self,
+        domain_name: str,
+        num_sentences: int,
+        rng: Optional[np.random.Generator] = None,
+        noise_domains: Optional[Sequence[str]] = None,
+    ) -> Document:
+        """Generate one document of ``num_sentences`` template sentences."""
+        if num_sentences <= 0:
+            raise ConfigError(f"num_sentences must be positive, got {num_sentences}")
+        domain = get_domain(domain_name)
+        rng = rng if rng is not None else derive_rng(self.seed, f"doc:{domain_name}")
+        pools = self._pools(domain)
+        noise_pool_domains = [
+            get_domain(d) for d in (noise_domains or []) if d != domain_name
+        ]
+
+        tokens: List[str] = []
+        for _ in range(num_sentences):
+            template = _TEMPLATES[rng.integers(len(_TEMPLATES))]
+            for slot in template:
+                pool = pools[slot]
+                if (
+                    slot in ("noun", "verb", "adj")
+                    and noise_pool_domains
+                    and rng.random() < self.mixture_noise
+                ):
+                    other = noise_pool_domains[rng.integers(len(noise_pool_domains))]
+                    pool = self._pools(other)[slot]
+                tokens.append(pool[rng.integers(len(pool))])
+        return Document(tokens=tokens, domain=domain_name)
+
+    def generate_corpus(
+        self,
+        domain_name: str,
+        num_documents: int,
+        sentences_per_doc: int = 4,
+        noise_domains: Optional[Sequence[str]] = None,
+    ) -> List[Document]:
+        """Generate a labelled corpus for one domain."""
+        rng = derive_rng(self.seed, f"corpus:{domain_name}:{num_documents}")
+        documents = []
+        for i in range(num_documents):
+            doc = self.generate_document(
+                domain_name, sentences_per_doc, rng=rng, noise_domains=noise_domains
+            )
+            doc.doc_id = f"{domain_name}-{self.seed}-{i:05d}"
+            documents.append(doc)
+        return documents
+
+    def generate_mixed_corpus(
+        self,
+        domain_names: Sequence[str],
+        docs_per_domain: int,
+        sentences_per_doc: int = 4,
+        cross_noise: bool = True,
+    ) -> List[Document]:
+        """Corpus covering several domains, round-robin ordered."""
+        corpora = [
+            self.generate_corpus(
+                name,
+                docs_per_domain,
+                sentences_per_doc,
+                noise_domains=list(domain_names) if cross_noise else None,
+            )
+            for name in domain_names
+        ]
+        mixed: List[Document] = []
+        for i in range(docs_per_domain):
+            for corpus in corpora:
+                mixed.append(corpus[i])
+        return mixed

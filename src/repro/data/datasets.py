@@ -1,0 +1,153 @@
+"""Dataset objects: materialized training data with identity and splits.
+
+A :class:`TextDataset` couples encoded token matrices with labels and a
+content digest.  The digest is what dataset citation, dataset search,
+and the registry's lineage tracking key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.data.corpus import CorpusGenerator, Document
+from repro.data.domains import DOMAIN_NAMES, domain_index
+from repro.data.tokenizer import Tokenizer
+from repro.data.vocab import Vocabulary, build_default_vocabulary
+from repro.utils.hashing import array_digest, combine_digests
+
+
+@dataclass
+class TextDataset:
+    """Encoded, labelled text data.
+
+    Attributes
+    ----------
+    tokens:
+        ``(n, seq_len)`` int64 matrix (0 = padding).
+    labels:
+        ``(n,)`` int labels (domain indices for domain classification).
+    domains:
+        Human-readable domain name per example.
+    name:
+        Registry name (unique within a registry).
+    """
+
+    tokens: np.ndarray
+    labels: np.ndarray
+    domains: List[str]
+    name: str = "unnamed"
+    meta: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.tokens = np.asarray(self.tokens, dtype=np.int64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if len(self.tokens) != len(self.labels) or len(self.tokens) != len(self.domains):
+            raise ConfigError(
+                f"dataset {self.name!r}: tokens ({len(self.tokens)}), labels "
+                f"({len(self.labels)}), domains ({len(self.domains)}) must align"
+            )
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def seq_len(self) -> int:
+        return self.tokens.shape[1]
+
+    def content_digest(self) -> str:
+        """Stable digest of the dataset contents (not the name)."""
+        return combine_digests([array_digest(self.tokens), array_digest(self.labels)])
+
+    def domain_histogram(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for domain in self.domains:
+            counts[domain] = counts.get(domain, 0) + 1
+        return counts
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "TextDataset":
+        idx = np.asarray(indices)
+        return TextDataset(
+            tokens=self.tokens[idx].copy(),
+            labels=self.labels[idx].copy(),
+            domains=[self.domains[i] for i in idx],
+            name=name or f"{self.name}/subset",
+            meta=dict(self.meta),
+        )
+
+    def split(
+        self, train_fraction: float, seed: int = 0
+    ) -> Tuple["TextDataset", "TextDataset"]:
+        """Deterministic shuffled train/test split."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ConfigError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        return (
+            self.subset(order[:cut], name=f"{self.name}/train"),
+            self.subset(order[cut:], name=f"{self.name}/test"),
+        )
+
+
+def make_domain_dataset(
+    domain_names: Sequence[str],
+    docs_per_domain: int,
+    seq_len: int = 32,
+    seed: int = 0,
+    tokenizer: Optional[Tokenizer] = None,
+    name: Optional[str] = None,
+    sentences_per_doc: int = 4,
+    mixture_noise: float = 0.05,
+) -> TextDataset:
+    """Build a domain-classification dataset over the given domains."""
+    if not domain_names:
+        raise ConfigError("domain_names must be non-empty")
+    tokenizer = tokenizer or Tokenizer(build_default_vocabulary())
+    generator = CorpusGenerator(seed=seed, mixture_noise=mixture_noise)
+    documents = generator.generate_mixed_corpus(
+        domain_names, docs_per_domain, sentences_per_doc=sentences_per_doc
+    )
+    tokens = tokenizer.encode_documents(documents, max_length=seq_len)
+    labels = np.array([domain_index(doc.domain) for doc in documents], dtype=np.int64)
+    return TextDataset(
+        tokens=tokens,
+        labels=labels,
+        domains=[doc.domain for doc in documents],
+        name=name or f"domains[{','.join(domain_names)}]-s{seed}",
+        meta={"seed": seed, "docs_per_domain": docs_per_domain, "seq_len": seq_len},
+    )
+
+
+def make_lm_sequences(
+    domain_names: Sequence[str],
+    docs_per_domain: int,
+    seq_len: int = 24,
+    seed: int = 0,
+    tokenizer: Optional[Tokenizer] = None,
+) -> TextDataset:
+    """Build fixed-length next-token-prediction sequences.
+
+    Sequences start with ``<bos>``; documents shorter than ``seq_len``
+    are padded with ``<eos>`` then ``<pad>`` (pad positions are ignored
+    by the LM loss via target ``-1`` handling upstream).
+    """
+    tokenizer = tokenizer or Tokenizer(build_default_vocabulary())
+    generator = CorpusGenerator(seed=seed)
+    documents = generator.generate_mixed_corpus(domain_names, docs_per_domain)
+    sequences = []
+    for doc in documents:
+        ids = tokenizer.encode(doc.tokens, add_special=True)
+        sequences.append(ids)
+    tokens = tokenizer.pad_batch(sequences, max_length=seq_len)
+    labels = np.array([domain_index(doc.domain) for doc in documents], dtype=np.int64)
+    return TextDataset(
+        tokens=tokens,
+        labels=labels,
+        domains=[doc.domain for doc in documents],
+        name=f"lm[{','.join(domain_names)}]-s{seed}",
+        meta={"seed": seed, "purpose": "language_modeling"},
+    )

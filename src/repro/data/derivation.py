@@ -1,0 +1,128 @@
+"""Dataset derivation operators with recorded provenance.
+
+The paper argues model lakes must manage data alongside models
+("Holistic Management of Models and Data"): dataset versions, their
+lineage, and citation.  Each operator here returns a new
+:class:`TextDataset` plus a :class:`DatasetDerivation` record describing
+how it was produced — the dataset-side analogue of a model version edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.data.datasets import TextDataset
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class DatasetDerivation:
+    """Provenance record: how a dataset version was produced."""
+
+    operation: str
+    source_digests: Tuple[str, ...]
+    result_digest: str
+    params: Dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        sources = ", ".join(d[:8] for d in self.source_digests)
+        return f"{self.operation}({sources}) -> {self.result_digest[:8]} {self.params}"
+
+
+def sample_dataset(
+    dataset: TextDataset, fraction: float, seed: int = 0, name: Optional[str] = None
+) -> Tuple[TextDataset, DatasetDerivation]:
+    """Random subsample of ``fraction`` of the examples."""
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigError(f"fraction must be in (0, 1], got {fraction}")
+    rng = derive_rng(seed, "sample_dataset")
+    count = max(1, int(round(fraction * len(dataset))))
+    indices = np.sort(rng.choice(len(dataset), size=count, replace=False))
+    result = dataset.subset(indices, name=name or f"{dataset.name}/sample{fraction}")
+    record = DatasetDerivation(
+        operation="sample",
+        source_digests=(dataset.content_digest(),),
+        result_digest=result.content_digest(),
+        params={"fraction": fraction, "seed": seed},
+    )
+    return result, record
+
+
+def filter_by_domain(
+    dataset: TextDataset, domains: List[str], name: Optional[str] = None
+) -> Tuple[TextDataset, DatasetDerivation]:
+    """Keep only examples whose domain is in ``domains``."""
+    wanted = set(domains)
+    indices = [i for i, d in enumerate(dataset.domains) if d in wanted]
+    if not indices:
+        raise ConfigError(f"filter for {sorted(wanted)} matched no examples")
+    result = dataset.subset(indices, name=name or f"{dataset.name}/only[{','.join(domains)}]")
+    record = DatasetDerivation(
+        operation="filter_domain",
+        source_digests=(dataset.content_digest(),),
+        result_digest=result.content_digest(),
+        params={"domains": sorted(wanted)},
+    )
+    return result, record
+
+
+def augment_with_noise(
+    dataset: TextDataset,
+    swap_probability: float = 0.1,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Tuple[TextDataset, DatasetDerivation]:
+    """Token-level noise augmentation: random in-vocabulary swaps.
+
+    Swaps only non-padding positions, preserving lengths and labels —
+    the synthetic analogue of paraphrase/typo augmentation.
+    """
+    if not 0.0 <= swap_probability < 1.0:
+        raise ConfigError(f"swap_probability must be in [0, 1), got {swap_probability}")
+    rng = derive_rng(seed, "augment_noise")
+    tokens = dataset.tokens.copy()
+    nonpad = tokens != 0
+    vocab_high = int(tokens.max()) + 1
+    swap_mask = nonpad & (rng.random(tokens.shape) < swap_probability)
+    tokens[swap_mask] = rng.integers(4, vocab_high, size=int(swap_mask.sum()))
+    result = TextDataset(
+        tokens=tokens,
+        labels=dataset.labels.copy(),
+        domains=list(dataset.domains),
+        name=name or f"{dataset.name}/aug{swap_probability}",
+        meta=dict(dataset.meta),
+    )
+    record = DatasetDerivation(
+        operation="augment_noise",
+        source_digests=(dataset.content_digest(),),
+        result_digest=result.content_digest(),
+        params={"swap_probability": swap_probability, "seed": seed},
+    )
+    return result, record
+
+
+def merge_datasets(
+    first: TextDataset, second: TextDataset, name: Optional[str] = None
+) -> Tuple[TextDataset, DatasetDerivation]:
+    """Concatenate two datasets (sequence lengths must match)."""
+    if first.seq_len != second.seq_len:
+        raise ConfigError(
+            f"cannot merge datasets with seq_len {first.seq_len} and {second.seq_len}"
+        )
+    result = TextDataset(
+        tokens=np.concatenate([first.tokens, second.tokens]),
+        labels=np.concatenate([first.labels, second.labels]),
+        domains=list(first.domains) + list(second.domains),
+        name=name or f"merge({first.name},{second.name})",
+    )
+    record = DatasetDerivation(
+        operation="merge",
+        source_digests=(first.content_digest(), second.content_digest()),
+        result_digest=result.content_digest(),
+        params={},
+    )
+    return result, record

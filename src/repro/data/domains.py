@@ -1,0 +1,163 @@
+"""Domain specifications for the synthetic multi-domain corpus.
+
+Each domain has its own vocabulary of content words (nouns, verbs,
+adjectives) layered over a shared pool of function words.  The skew in
+token distributions is what gives models trained on different domains
+genuinely different extrinsic behavior — the property every
+content-based lake task depends on.
+
+The domains intentionally mirror the paper's motivating scenario
+(Example 1.1: a user hunting for a *legal* summarization model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+
+#: Function words shared by every domain.
+SHARED_DETERMINERS = ["the", "a", "this", "that", "each", "every"]
+SHARED_CONNECTIVES = ["and", "but", "while", "because", "although", "so"]
+SHARED_VERBS = ["is", "was", "has", "had", "will", "may", "must", "can"]
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """A content-word profile for one topical domain."""
+
+    name: str
+    nouns: Tuple[str, ...]
+    verbs: Tuple[str, ...]
+    adjectives: Tuple[str, ...]
+    description: str = ""
+
+    def content_words(self) -> List[str]:
+        return list(self.nouns) + list(self.verbs) + list(self.adjectives)
+
+
+_DOMAIN_TABLE: Dict[str, DomainSpec] = {}
+
+
+def _register(spec: DomainSpec) -> DomainSpec:
+    if spec.name in _DOMAIN_TABLE:
+        raise ConfigError(f"duplicate domain {spec.name!r}")
+    _DOMAIN_TABLE[spec.name] = spec
+    return spec
+
+
+LEGAL = _register(DomainSpec(
+    name="legal",
+    nouns=("court", "plaintiff", "defendant", "statute", "contract", "clause",
+           "verdict", "appeal", "judge", "jury", "tort", "liability",
+           "precedent", "injunction", "testimony", "counsel"),
+    verbs=("rules", "files", "appeals", "argues", "enjoins", "litigates",
+           "settles", "affirms", "overturns", "deposes"),
+    adjectives=("statutory", "contractual", "liable", "negligent", "binding",
+                "appellate", "judicial", "punitive"),
+    description="court opinions, contracts, and statutes",
+))
+
+MEDICAL = _register(DomainSpec(
+    name="medical",
+    nouns=("patient", "diagnosis", "symptom", "treatment", "dosage", "clinic",
+           "physician", "therapy", "infection", "biopsy", "prognosis",
+           "pathology", "vaccine", "syndrome", "lesion", "triage"),
+    verbs=("diagnoses", "prescribes", "treats", "admits", "discharges",
+           "monitors", "vaccinates", "operates", "examines", "stabilizes"),
+    adjectives=("chronic", "acute", "benign", "malignant", "clinical",
+                "surgical", "viral", "bacterial"),
+    description="clinical notes and medical literature",
+))
+
+NEWS = _register(DomainSpec(
+    name="news",
+    nouns=("election", "government", "minister", "economy", "protest",
+           "summit", "policy", "parliament", "crisis", "reporter",
+           "headline", "campaign", "referendum", "coalition", "scandal", "poll"),
+    verbs=("reports", "announces", "elects", "debates", "resigns",
+           "campaigns", "votes", "investigates", "declares", "condemns"),
+    adjectives=("political", "economic", "national", "international",
+                "breaking", "official", "public", "controversial"),
+    description="newswire and current-affairs text",
+))
+
+CODE = _register(DomainSpec(
+    name="code",
+    nouns=("function", "variable", "compiler", "bug", "array", "pointer",
+           "thread", "module", "interface", "runtime", "stack", "queue",
+           "algorithm", "refactor", "commit", "repository"),
+    verbs=("compiles", "executes", "debugs", "refactors", "allocates",
+           "iterates", "parses", "serializes", "deploys", "merges"),
+    adjectives=("recursive", "concurrent", "immutable", "static", "dynamic",
+                "asynchronous", "deprecated", "modular"),
+    description="software engineering discussions",
+))
+
+FINANCE = _register(DomainSpec(
+    name="finance",
+    nouns=("market", "portfolio", "dividend", "equity", "bond", "ledger",
+           "asset", "liability_fin", "hedge", "margin", "futures", "audit_fin",
+           "revenue", "valuation", "broker", "derivative"),
+    verbs=("invests", "trades", "hedges", "audits", "depreciates",
+           "liquidates", "accrues", "capitalizes", "underwrites", "vests"),
+    adjectives=("fiscal", "bullish", "bearish", "liquid", "leveraged",
+                "solvent", "quarterly", "diversified"),
+    description="financial filings and market commentary",
+))
+
+SPORTS = _register(DomainSpec(
+    name="sports",
+    nouns=("season", "tournament", "league", "coach", "striker", "goal",
+           "penalty", "championship", "stadium", "referee_sport", "roster",
+           "playoff", "transfer", "defense_sport", "record_sport", "medal"),
+    verbs=("scores", "defends", "wins", "loses", "drafts", "trains",
+           "tackles", "sprints", "qualifies", "competes"),
+    adjectives=("defensive", "offensive", "undefeated", "veteran",
+                "amateur", "professional", "olympic", "seasonal"),
+    description="sports reporting",
+))
+
+COOKING = _register(DomainSpec(
+    name="cooking",
+    nouns=("recipe", "oven", "dough", "sauce", "spice", "skillet",
+           "marinade", "garnish", "broth", "pastry", "fillet", "whisk",
+           "ingredient", "seasoning", "glaze", "simmer_pot"),
+    verbs=("bakes", "simmers", "whisks", "marinates", "roasts", "sautes",
+           "garnishes", "kneads", "caramelizes", "seasons"),
+    adjectives=("savory", "crispy", "tender", "zesty", "creamy",
+                "smoked", "braised", "aromatic"),
+    description="recipes and culinary writing",
+))
+
+TRAVEL = _register(DomainSpec(
+    name="travel",
+    nouns=("itinerary", "passport", "hostel", "voyage", "landmark",
+           "excursion", "visa", "luggage", "terminal", "souvenir",
+           "expedition", "resort", "ferry", "backpack", "customs", "layover"),
+    verbs=("travels", "books", "explores", "departs", "arrives",
+           "boards", "tours", "hikes", "navigates", "checks_in"),
+    adjectives=("scenic", "remote", "coastal", "historic", "tropical",
+                "bustling", "tranquil", "exotic"),
+    description="travel guides and trip reports",
+))
+
+#: Canonical ordering of all registered domains.
+ALL_DOMAINS: Tuple[DomainSpec, ...] = tuple(_DOMAIN_TABLE.values())
+DOMAIN_NAMES: Tuple[str, ...] = tuple(_DOMAIN_TABLE.keys())
+
+
+def get_domain(name: str) -> DomainSpec:
+    """Look up a registered domain by name."""
+    try:
+        return _DOMAIN_TABLE[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown domain {name!r}; known: {sorted(_DOMAIN_TABLE)}"
+        ) from None
+
+
+def domain_index(name: str) -> int:
+    """Stable integer label for a domain (classification target)."""
+    return DOMAIN_NAMES.index(get_domain(name).name)

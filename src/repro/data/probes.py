@@ -1,0 +1,100 @@
+"""Probe sets: fixed inputs used to observe model behavior.
+
+Behavioral (extrinsic) model embeddings are a model's outputs on a
+*shared, fixed* probe set — the "model as query" machinery of Lu et al.
+that the paper proposes extending to all lake models.  Probes must be
+identical across the lake, so they are derived deterministically from a
+probe-set seed only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.data.corpus import CorpusGenerator
+from repro.data.domains import DOMAIN_NAMES
+from repro.data.tokenizer import Tokenizer
+from repro.data.vocab import build_default_vocabulary
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class ProbeSet:
+    """A fixed batch of probe inputs.
+
+    ``tokens`` is ``(n_probes, seq_len)``; ``domains`` records which
+    domain each probe sentence was drawn from (balanced coverage), which
+    lets behavioral embeddings expose per-domain competence.
+    """
+
+    tokens: np.ndarray
+    domains: tuple
+    seed: int
+
+    @property
+    def num_probes(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def seq_len(self) -> int:
+        return self.tokens.shape[1]
+
+
+def make_text_probes(
+    probes_per_domain: int = 4,
+    seq_len: int = 24,
+    seed: int = 1234,
+    domain_names: Optional[Sequence[str]] = None,
+    tokenizer: Optional[Tokenizer] = None,
+) -> ProbeSet:
+    """Balanced text probes covering every (or the given) domain."""
+    if probes_per_domain <= 0:
+        raise ConfigError(f"probes_per_domain must be positive, got {probes_per_domain}")
+    names = tuple(domain_names or DOMAIN_NAMES)
+    tokenizer = tokenizer or Tokenizer(build_default_vocabulary())
+    generator = CorpusGenerator(seed=seed, mixture_noise=0.0)
+    documents = []
+    for name in names:
+        documents.extend(generator.generate_corpus(name, probes_per_domain, sentences_per_doc=3))
+    tokens = tokenizer.encode_documents(documents, max_length=seq_len)
+    return ProbeSet(
+        tokens=tokens,
+        domains=tuple(doc.domain for doc in documents),
+        seed=seed,
+    )
+
+
+def make_feature_probes(
+    num_probes: int, num_features: int, seed: int = 1234
+) -> np.ndarray:
+    """Gaussian feature-vector probes for MLP-classifier behavior."""
+    if num_probes <= 0 or num_features <= 0:
+        raise ConfigError("num_probes and num_features must be positive")
+    rng = derive_rng(seed, f"feature_probes:{num_probes}x{num_features}")
+    return rng.normal(size=(num_probes, num_features))
+
+
+def make_lm_prompts(
+    prompts_per_domain: int = 2,
+    prompt_len: int = 6,
+    seed: int = 1234,
+    domain_names: Optional[Sequence[str]] = None,
+    tokenizer: Optional[Tokenizer] = None,
+) -> ProbeSet:
+    """Short prompts used to observe a language model's continuations."""
+    names = tuple(domain_names or DOMAIN_NAMES)
+    tokenizer = tokenizer or Tokenizer(build_default_vocabulary())
+    generator = CorpusGenerator(seed=seed, mixture_noise=0.0)
+    rows: List[List[int]] = []
+    domains: List[str] = []
+    for name in names:
+        for doc in generator.generate_corpus(name, prompts_per_domain, sentences_per_doc=1):
+            ids = [tokenizer.vocabulary.bos_id] + tokenizer.encode(doc.tokens)
+            rows.append(ids[:prompt_len])
+            domains.append(name)
+    tokens = tokenizer.pad_batch(rows, max_length=prompt_len)
+    return ProbeSet(tokens=tokens, domains=tuple(domains), seed=seed)

@@ -1,0 +1,108 @@
+"""Dataset registry: content-addressed storage of datasets + lineage.
+
+This is the data-lake half of the holistic model/data lake the paper
+calls for.  Datasets are registered by content digest; derivations form
+a lineage DAG queried by dataset search and citation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+import networkx as nx
+
+from repro.errors import DatasetNotFoundError, DuplicateIdError
+from repro.data.datasets import TextDataset
+from repro.data.derivation import DatasetDerivation
+
+
+class DatasetRegistry:
+    """Registry of datasets with lineage edges between versions."""
+
+    def __init__(self) -> None:
+        self._datasets: Dict[str, TextDataset] = {}
+        self._lineage = nx.DiGraph()
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._datasets
+
+    def register(
+        self, dataset: TextDataset, derivation: Optional[DatasetDerivation] = None
+    ) -> str:
+        """Register a dataset; returns its content digest.
+
+        Re-registering identical content is a no-op (content addressing);
+        registering different content under the same digest is impossible
+        by construction.
+        """
+        digest = dataset.content_digest()
+        if digest not in self._datasets:
+            self._datasets[digest] = dataset
+            self._lineage.add_node(digest, name=dataset.name)
+        if derivation is not None:
+            for source in derivation.source_digests:
+                if source not in self._datasets:
+                    raise DatasetNotFoundError(source)
+                self._lineage.add_edge(
+                    source, digest, operation=derivation.operation,
+                    params=dict(derivation.params),
+                )
+        return digest
+
+    def get(self, digest: str) -> TextDataset:
+        try:
+            return self._datasets[digest]
+        except KeyError:
+            raise DatasetNotFoundError(digest) from None
+
+    def find_by_name(self, name: str) -> List[TextDataset]:
+        return [d for d in self._datasets.values() if d.name == name]
+
+    def digests(self) -> List[str]:
+        return list(self._datasets)
+
+    def __iter__(self) -> Iterator[TextDataset]:
+        return iter(self._datasets.values())
+
+    # -- lineage -----------------------------------------------------------
+    def parents(self, digest: str) -> List[str]:
+        self._require(digest)
+        return list(self._lineage.predecessors(digest))
+
+    def children(self, digest: str) -> List[str]:
+        self._require(digest)
+        return list(self._lineage.successors(digest))
+
+    def ancestors(self, digest: str) -> Set[str]:
+        self._require(digest)
+        return set(nx.ancestors(self._lineage, digest))
+
+    def descendants(self, digest: str) -> Set[str]:
+        self._require(digest)
+        return set(nx.descendants(self._lineage, digest))
+
+    def versions_of(self, digest: str) -> Set[str]:
+        """All datasets connected to ``digest`` by derivation (any direction).
+
+        This implements the paper's "models trained on *versions of* the
+        dataset" semantics: the weakly-connected component of the lineage
+        graph containing the dataset.
+        """
+        self._require(digest)
+        return set(nx.node_connected_component(self._lineage.to_undirected(), digest))
+
+    def derivation_path(self, source: str, target: str) -> Optional[List[str]]:
+        """Shortest derivation chain from ``source`` to ``target``, if any."""
+        self._require(source)
+        self._require(target)
+        try:
+            return nx.shortest_path(self._lineage, source, target)
+        except nx.NetworkXNoPath:
+            return None
+
+    def _require(self, digest: str) -> None:
+        if digest not in self._datasets:
+            raise DatasetNotFoundError(digest)

@@ -1,0 +1,67 @@
+"""Tokenizer: documents/strings -> fixed-length id arrays."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.data.corpus import Document
+from repro.data.vocab import Vocabulary
+
+
+class Tokenizer:
+    """Encodes token streams against a :class:`Vocabulary`.
+
+    Provides both ragged encoding (lists of ids) and the padded/truncated
+    matrix form models consume.
+    """
+
+    def __init__(self, vocabulary: Vocabulary):
+        self.vocabulary = vocabulary
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocabulary)
+
+    def encode(self, tokens: Sequence[str], add_special: bool = False) -> List[int]:
+        ids = self.vocabulary.encode(tokens)
+        if add_special:
+            ids = [self.vocabulary.bos_id] + ids + [self.vocabulary.eos_id]
+        return ids
+
+    def encode_text(self, text: str, add_special: bool = False) -> List[int]:
+        return self.encode(text.split(), add_special=add_special)
+
+    def decode(self, ids: Sequence[int], skip_special: bool = True) -> List[str]:
+        tokens = self.vocabulary.decode(list(ids))
+        if skip_special:
+            specials = {"<pad>", "<bos>", "<eos>"}
+            tokens = [t for t in tokens if t not in specials]
+        return tokens
+
+    def pad_batch(
+        self,
+        id_lists: Sequence[Sequence[int]],
+        max_length: int,
+        pad_id: Optional[int] = None,
+    ) -> np.ndarray:
+        """Pad/truncate ragged id lists into an ``(n, max_length)`` matrix."""
+        if max_length <= 0:
+            raise ConfigError(f"max_length must be positive, got {max_length}")
+        pad = self.vocabulary.pad_id if pad_id is None else pad_id
+        batch = np.full((len(id_lists), max_length), pad, dtype=np.int64)
+        for row, ids in enumerate(id_lists):
+            clipped = list(ids)[:max_length]
+            batch[row, : len(clipped)] = clipped
+        return batch
+
+    def encode_documents(
+        self, documents: Sequence[Document], max_length: int, add_special: bool = False
+    ) -> np.ndarray:
+        """Encode documents into a padded id matrix."""
+        return self.pad_batch(
+            [self.encode(doc.tokens, add_special=add_special) for doc in documents],
+            max_length,
+        )

@@ -1,0 +1,94 @@
+"""Vocabulary: a bidirectional token <-> id mapping with special tokens."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ConfigError
+from repro.data.domains import (
+    ALL_DOMAINS,
+    SHARED_CONNECTIVES,
+    SHARED_DETERMINERS,
+    SHARED_VERBS,
+)
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+BOS_TOKEN = "<bos>"
+EOS_TOKEN = "<eos>"
+SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, BOS_TOKEN, EOS_TOKEN)
+
+
+class Vocabulary:
+    """Immutable-after-build token <-> id mapping.
+
+    Id 0 is always the padding token (models mask it in pooling).
+    """
+
+    def __init__(self, tokens: Sequence[str]):
+        self._id_to_token: List[str] = list(SPECIAL_TOKENS)
+        seen = set(self._id_to_token)
+        for token in tokens:
+            if token in seen:
+                continue
+            seen.add(token)
+            self._id_to_token.append(token)
+        self._token_to_id: Dict[str, int] = {
+            token: i for i, token in enumerate(self._id_to_token)
+        }
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[BOS_TOKEN]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[EOS_TOKEN]
+
+    def id_of(self, token: str) -> int:
+        """Token id, or the <unk> id for unseen tokens."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token_of(self, token_id: int) -> str:
+        if not 0 <= token_id < len(self._id_to_token):
+            raise ConfigError(f"token id {token_id} out of range 0..{len(self) - 1}")
+        return self._id_to_token[token_id]
+
+    def encode(self, tokens: Iterable[str]) -> List[int]:
+        return [self.id_of(t) for t in tokens]
+
+    def decode(self, ids: Iterable[int]) -> List[str]:
+        return [self.token_of(i) for i in ids]
+
+    def tokens(self) -> List[str]:
+        return list(self._id_to_token)
+
+
+def build_default_vocabulary() -> Vocabulary:
+    """The shared lake vocabulary covering all domains plus function words.
+
+    Deterministic: domain registration order and word-list order are
+    fixed, so every process builds an identical vocabulary — a property
+    the lake relies on so that all text models share token ids.
+    """
+    words: List[str] = []
+    words.extend(SHARED_DETERMINERS)
+    words.extend(SHARED_CONNECTIVES)
+    words.extend(SHARED_VERBS)
+    for domain in ALL_DOMAINS:
+        words.extend(domain.content_words())
+    return Vocabulary(words)

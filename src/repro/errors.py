@@ -1,0 +1,71 @@
+"""Typed exceptions shared across the model-lake library.
+
+Every subsystem raises one of these (or a subclass) so callers can catch
+library failures without also catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LakeError(ReproError):
+    """A model-lake storage or registry operation failed."""
+
+
+class ModelNotFoundError(LakeError, KeyError):
+    """A model id was not present in the lake."""
+
+    def __init__(self, model_id: str):
+        super().__init__(f"model not found in lake: {model_id!r}")
+        self.model_id = model_id
+
+
+class DatasetNotFoundError(LakeError, KeyError):
+    """A dataset id was not present in the dataset registry."""
+
+    def __init__(self, dataset_id: str):
+        super().__init__(f"dataset not found in registry: {dataset_id!r}")
+        self.dataset_id = dataset_id
+
+
+class DuplicateIdError(LakeError):
+    """An id was registered twice in a store that requires uniqueness."""
+
+
+class HistoryUnavailableError(LakeError):
+    """The model's training history (D, A) is hidden or was never recorded.
+
+    Model-lake tasks are expected to catch this and fall back to intrinsic
+    or extrinsic analysis, mirroring the paper's three-viewpoint framing.
+    """
+
+
+class IntrinsicsUnavailableError(LakeError):
+    """The model's weights are not accessible (API-only model)."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array had an incompatible shape for the requested operation."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A component received an invalid configuration value."""
+
+
+class QueryError(ReproError, ValueError):
+    """A declarative lake query could not be parsed or planned."""
+
+
+class IndexError_(ReproError):
+    """An index build or search failed (name avoids shadowing builtin)."""
+
+
+class TransformError(ReproError):
+    """A model transformation could not be applied."""
+
+
+class IncompatibleModelsError(TransformError):
+    """Two models could not be combined (architectures do not align)."""

@@ -1,0 +1,65 @@
+"""Exact (brute-force) nearest-neighbor index — the recall-1.0 baseline."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.embedders import l2_normalize
+
+
+class FlatIndex:
+    """Exact cosine-similarity search by full scan.
+
+    Serves both as a usable small-lake index and as the ground truth
+    against which approximate indexes (HNSW, LSH) are measured.
+    """
+
+    def __init__(self) -> None:
+        self._ids: List[str] = []
+        self._vectors: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def add(self, item_id: str, vector: np.ndarray) -> None:
+        vector = l2_normalize(np.asarray(vector, dtype=np.float64))
+        if self._vectors is None:
+            self._vectors = vector[None, :]
+        else:
+            if vector.shape[0] != self._vectors.shape[1]:
+                raise IndexError_(
+                    f"vector dim {vector.shape[0]} != index dim {self._vectors.shape[1]}"
+                )
+            self._vectors = np.vstack([self._vectors, vector])
+        self._ids.append(item_id)
+
+    def build(self, ids: Sequence[str], vectors: np.ndarray) -> None:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if len(ids) != len(vectors):
+            raise IndexError_(f"{len(ids)} ids but {len(vectors)} vectors")
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        norms[norms < 1e-12] = 1.0
+        self._vectors = vectors / norms
+        self._ids = list(ids)
+
+    def query(self, vector: np.ndarray, k: int = 10) -> List[Tuple[str, float]]:
+        """Top-k (id, cosine similarity) pairs, best first."""
+        if self._vectors is None or not len(self._ids):
+            return []
+        vector = l2_normalize(np.asarray(vector, dtype=np.float64))
+        similarities = self._vectors @ vector
+        k = min(k, len(self._ids))
+        top = np.argpartition(-similarities, k - 1)[:k]
+        top = top[np.argsort(-similarities[top])]
+        return [(self._ids[i], float(similarities[i])) for i in top]
+
+    def vector_of(self, item_id: str) -> np.ndarray:
+        try:
+            index = self._ids.index(item_id)
+        except ValueError:
+            raise IndexError_(f"id not in index: {item_id!r}") from None
+        assert self._vectors is not None
+        return self._vectors[index]

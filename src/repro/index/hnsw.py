@@ -1,0 +1,240 @@
+"""Hierarchical Navigable Small World graphs (Malkov & Yashunin, 2020).
+
+Implemented from scratch: the paper singles HNSW out as the practical
+index for high-dimensional model embeddings while noting it "provides no
+formal guarantees on correctness and its use in model lakes remains
+under-explored" — so we build it and measure its recall/latency
+trade-offs ourselves (benchmark E5).
+
+Distances are cosine distances (vectors are normalized on insert).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, IndexError_
+from repro.index.embedders import l2_normalize
+
+
+class HNSWIndex:
+    """Multi-layer proximity graph supporting incremental insertion.
+
+    Parameters
+    ----------
+    m:
+        Max out-degree per node on upper layers (layer 0 allows ``2m``).
+    ef_construction:
+        Candidate-list width during insertion.
+    ef_search:
+        Default candidate-list width during queries (>= k for good recall).
+    seed:
+        Level-sampling RNG seed (levels follow Geom(1/ln m)).
+    """
+
+    def __init__(
+        self,
+        m: int = 8,
+        ef_construction: int = 64,
+        ef_search: int = 32,
+        seed: int = 0,
+    ):
+        if m < 2:
+            raise ConfigError(f"m must be >= 2, got {m}")
+        if ef_construction < m or ef_search < 1:
+            raise ConfigError("ef_construction must be >= m and ef_search >= 1")
+        self.m = m
+        self.m0 = 2 * m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self._ml = 1.0 / math.log(m)
+        self._rng = np.random.default_rng(seed)
+
+        self._ids: List[str] = []
+        self._id_to_index: Dict[str, int] = {}
+        self._vectors: List[np.ndarray] = []
+        #: neighbors[layer][node] -> list of neighbor node indices
+        self._neighbors: List[Dict[int, List[int]]] = []
+        self._entry_point: Optional[int] = None
+        self._max_layer = -1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def _distance(self, a: int, query: np.ndarray) -> float:
+        return 1.0 - float(self._vectors[a] @ query)
+
+    def _sample_level(self) -> int:
+        return int(-math.log(max(self._rng.random(), 1e-12)) * self._ml)
+
+    # ------------------------------------------------------------------
+    def add(self, item_id: str, vector: np.ndarray) -> None:
+        """Insert one element (standard HNSW insertion)."""
+        if item_id in self._id_to_index:
+            raise IndexError_(f"duplicate id in HNSW index: {item_id!r}")
+        vector = l2_normalize(np.asarray(vector, dtype=np.float64))
+        node = len(self._ids)
+        self._ids.append(item_id)
+        self._id_to_index[item_id] = node
+        self._vectors.append(vector)
+
+        level = self._sample_level()
+        old_max = self._max_layer
+        while self._max_layer < level:
+            self._neighbors.append({})
+            self._max_layer += 1
+        for layer in range(level + 1):
+            self._neighbors[layer][node] = []
+
+        if self._entry_point is None:
+            self._entry_point = node
+            return
+
+        entry = self._entry_point
+        # Greedy descent through pre-existing layers above the new level.
+        for layer in range(old_max, level, -1):
+            entry = self._greedy_closest(vector, entry, layer)
+
+        # Link at each pre-existing layer from min(level, old max) down to 0.
+        # (Layers above old_max contain only the new node: nothing to link.)
+        for layer in range(min(level, old_max), -1, -1):
+            candidates = self._search_layer(vector, [entry], layer, self.ef_construction)
+            max_degree = self.m0 if layer == 0 else self.m
+            selected = self._select_neighbors(candidates, self.m)
+            self._neighbors[layer][node] = [idx for _, idx in selected]
+            for _, neighbor in selected:
+                links = self._neighbors[layer][neighbor]
+                links.append(node)
+                if len(links) > max_degree:
+                    # Prune with the same diversity heuristic, relative to
+                    # the over-full neighbor.
+                    neighbor_vec = self._vectors[neighbor]
+                    scored = sorted(
+                        (1.0 - float(self._vectors[other] @ neighbor_vec), other)
+                        for other in links
+                    )
+                    kept = self._select_neighbors(scored, max_degree)
+                    self._neighbors[layer][neighbor] = [o for _, o in kept]
+            entry = selected[0][1] if selected else entry
+
+        if level > old_max:
+            self._entry_point = node
+
+    def _layer_of(self, node: int) -> int:
+        for layer in range(self._max_layer, -1, -1):
+            if node in self._neighbors[layer]:
+                return layer
+        return 0
+
+    def _greedy_closest(self, query: np.ndarray, entry: int, layer: int) -> int:
+        """Greedy search: move to the closest neighbor until no improvement."""
+        current = entry
+        current_dist = self._distance(current, query)
+        improved = True
+        while improved:
+            improved = False
+            for neighbor in self._neighbors[layer].get(current, []):
+                dist = self._distance(neighbor, query)
+                if dist < current_dist:
+                    current, current_dist = neighbor, dist
+                    improved = True
+        return current
+
+    def _search_layer(
+        self, query: np.ndarray, entries: Sequence[int], layer: int, ef: int
+    ) -> List[Tuple[float, int]]:
+        """Best-first beam search on one layer; returns sorted (dist, node)."""
+        visited: Set[int] = set(entries)
+        candidates: List[Tuple[float, int]] = []
+        results: List[Tuple[float, int]] = []  # max-heap via negative dist
+        for entry in entries:
+            dist = self._distance(entry, query)
+            heapq.heappush(candidates, (dist, entry))
+            heapq.heappush(results, (-dist, entry))
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            worst = -results[0][0]
+            if dist > worst and len(results) >= ef:
+                break
+            for neighbor in self._neighbors[layer].get(node, []):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                neighbor_dist = self._distance(neighbor, query)
+                worst = -results[0][0]
+                if len(results) < ef or neighbor_dist < worst:
+                    heapq.heappush(candidates, (neighbor_dist, neighbor))
+                    heapq.heappush(results, (-neighbor_dist, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return sorted((-neg, node) for neg, node in results)
+
+    def _select_neighbors(
+        self, candidates: List[Tuple[float, int]], m: int
+    ) -> List[Tuple[float, int]]:
+        """Heuristic neighbor selection (Algorithm 4 of the HNSW paper).
+
+        Scanning candidates closest-first, keep a candidate only if it is
+        closer to the query than to every already-selected neighbor.
+        This diversifies edges across clusters, which is what keeps the
+        graph navigable on clustered data.  Falls back to closest-first
+        fill if the heuristic selects fewer than m.
+        """
+        selected: List[Tuple[float, int]] = []
+        skipped: List[Tuple[float, int]] = []
+        for dist, node in candidates:
+            if len(selected) >= m:
+                break
+            vec = self._vectors[node]
+            diverse = all(
+                dist < 1.0 - float(vec @ self._vectors[other])
+                for _, other in selected
+            )
+            if diverse:
+                selected.append((dist, node))
+            else:
+                skipped.append((dist, node))
+        for item in skipped:
+            if len(selected) >= m:
+                break
+            selected.append(item)
+        return selected
+
+    # ------------------------------------------------------------------
+    def query(
+        self, vector: np.ndarray, k: int = 10, ef: Optional[int] = None
+    ) -> List[Tuple[str, float]]:
+        """Approximate top-k (id, cosine similarity), best first."""
+        if self._entry_point is None:
+            return []
+        vector = l2_normalize(np.asarray(vector, dtype=np.float64))
+        ef = max(ef or self.ef_search, k)
+        entry = self._entry_point
+        for layer in range(self._max_layer, 0, -1):
+            entry = self._greedy_closest(vector, entry, layer)
+        results = self._search_layer(vector, [entry], 0, ef)
+        top = results[:k]
+        return [(self._ids[node], 1.0 - dist) for dist, node in top]
+
+    def build(self, ids: Sequence[str], vectors: np.ndarray) -> None:
+        for item_id, vector in zip(ids, np.asarray(vectors, dtype=np.float64)):
+            self.add(item_id, vector)
+
+    def stats(self) -> Dict[str, float]:
+        """Structural statistics (layer count, degree distribution)."""
+        degrees = [
+            len(links)
+            for layer in self._neighbors
+            for links in layer.values()
+        ]
+        return {
+            "num_elements": float(len(self._ids)),
+            "num_layers": float(self._max_layer + 1),
+            "mean_degree": float(np.mean(degrees)) if degrees else 0.0,
+            "max_degree": float(max(degrees)) if degrees else 0.0,
+        }

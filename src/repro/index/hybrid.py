@@ -1,0 +1,50 @@
+"""Hybrid index: weighted fusion of a metadata index and a content index.
+
+§5: "Many of the model lake tasks will benefit from hybrid approach,
+that indexes both metadata and model embeddings."  The hybrid index
+holds one vector index per channel and fuses their similarity scores
+with a mixing weight alpha (swept in the E1 ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class HybridIndex:
+    """Score-fusion over a metadata channel and a content channel.
+
+    Both channels must be indexes exposing ``query(vector, k)`` with
+    cosine-similarity scores.  Fused score =
+    ``alpha * metadata_sim + (1 - alpha) * content_sim``; items missing
+    from one channel's top results contribute similarity 0 there.
+    """
+
+    def __init__(self, metadata_index, content_index, alpha: float = 0.5):
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigError(f"alpha must be in [0, 1], got {alpha}")
+        self.metadata_index = metadata_index
+        self.content_index = content_index
+        self.alpha = alpha
+
+    def query(
+        self,
+        metadata_vector: Optional[np.ndarray],
+        content_vector: Optional[np.ndarray],
+        k: int = 10,
+        candidate_pool: int = 50,
+    ) -> List[Tuple[str, float]]:
+        """Fused top-k; either channel's query vector may be None."""
+        scores: Dict[str, float] = {}
+        if metadata_vector is not None and self.alpha > 0:
+            for item_id, sim in self.metadata_index.query(metadata_vector, k=candidate_pool):
+                scores[item_id] = scores.get(item_id, 0.0) + self.alpha * sim
+        if content_vector is not None and self.alpha < 1:
+            for item_id, sim in self.content_index.query(content_vector, k=candidate_pool):
+                scores[item_id] = scores.get(item_id, 0.0) + (1.0 - self.alpha) * sim
+        ranked = sorted(scores.items(), key=lambda kv: -kv[1])
+        return ranked[:k]

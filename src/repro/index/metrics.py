@@ -1,0 +1,35 @@
+"""Index-quality metrics: recall against exact search."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.index.flat import FlatIndex
+
+
+def recall_at_k(
+    approx_results: Sequence[Tuple[str, float]],
+    exact_results: Sequence[Tuple[str, float]],
+    k: int,
+) -> float:
+    """|approx top-k ∩ exact top-k| / k."""
+    approx_ids = {item_id for item_id, _ in approx_results[:k]}
+    exact_ids = [item_id for item_id, _ in exact_results[:k]]
+    if not exact_ids:
+        return 1.0
+    return len(approx_ids.intersection(exact_ids)) / len(exact_ids)
+
+
+def measure_recall(
+    index,
+    exact: FlatIndex,
+    queries: np.ndarray,
+    k: int = 10,
+) -> float:
+    """Mean recall@k of ``index`` vs the exact index over query vectors."""
+    recalls = [
+        recall_at_k(index.query(q, k=k), exact.query(q, k=k), k) for q in queries
+    ]
+    return float(np.mean(recalls)) if recalls else 1.0

@@ -1,0 +1,35 @@
+"""Interpretability tools: neurons, probing, inversion, watermarking."""
+
+from repro.interp.neurons import (
+    NeuronReport,
+    ablation_importance,
+    domain_selectivity,
+    selectivity_index,
+)
+from repro.interp.probing import (
+    ProbeResult,
+    probe_classifier_representation,
+    probe_lm_layers,
+)
+from repro.interp.inversion import (
+    InversionResult,
+    invert_input_tokens,
+    invert_pooled_embedding,
+)
+from repro.interp.steering import SteeringResult, dose_response, steer
+from repro.interp.watermark import (
+    DetectionResult,
+    WatermarkConfig,
+    detect_watermark,
+    generate_watermarked,
+)
+
+__all__ = [
+    "NeuronReport", "ablation_importance", "domain_selectivity",
+    "selectivity_index",
+    "ProbeResult", "probe_classifier_representation", "probe_lm_layers",
+    "InversionResult", "invert_input_tokens", "invert_pooled_embedding",
+    "SteeringResult", "dose_response", "steer",
+    "DetectionResult", "WatermarkConfig", "detect_watermark",
+    "generate_watermarked",
+]

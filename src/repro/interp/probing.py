@@ -1,0 +1,95 @@
+"""Probing classifiers (Belinkov 2022): what do hidden states encode?
+
+Trains linear probes on a transformer LM's residual stream (or a
+classifier's pooled representation) to predict the input's domain —
+measuring where in the network topical information becomes linearly
+decodable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.models import MLPClassifier
+from repro.nn.module import Module
+from repro.nn.train import evaluate_accuracy, train_classifier
+from repro.nn.transformer import TransformerLM
+
+
+@dataclass
+class ProbeResult:
+    """Accuracy of a linear probe at one representation site."""
+
+    site: str
+    train_accuracy: float
+    test_accuracy: float
+    num_classes: int
+
+
+def _fit_probe(
+    features: np.ndarray,
+    labels: np.ndarray,
+    site: str,
+    seed: int = 0,
+    epochs: int = 40,
+) -> ProbeResult:
+    labels = np.asarray(labels)
+    num_classes = int(labels.max()) + 1
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(features))
+    cut = int(0.8 * len(features))
+    train_idx, test_idx = order[:cut], order[cut:]
+    probe = MLPClassifier(
+        in_features=features.shape[1], num_classes=num_classes, hidden=(), seed=seed
+    )
+    train_classifier(
+        probe, features[train_idx], labels[train_idx],
+        epochs=epochs, lr=5e-3, seed=seed,
+    )
+    return ProbeResult(
+        site=site,
+        train_accuracy=evaluate_accuracy(probe, features[train_idx], labels[train_idx]),
+        test_accuracy=evaluate_accuracy(probe, features[test_idx], labels[test_idx]),
+        num_classes=num_classes,
+    )
+
+
+def probe_lm_layers(
+    model: TransformerLM,
+    tokens: np.ndarray,
+    labels: np.ndarray,
+    seed: int = 0,
+) -> List[ProbeResult]:
+    """Probe the mean-pooled residual stream after every block.
+
+    Returns one result per site: ``embed`` (layer 0 input) through
+    ``block_i`` outputs.  The expected shape: domain decodability rises
+    with depth in a domain-trained LM.
+    """
+    tokens = np.asarray(tokens)
+    states = model.hidden_states(tokens)
+    mask = (tokens != 0).astype(np.float64)
+    counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+    results = []
+    for i, state in enumerate(states):
+        pooled = (state.data * mask[:, :, None]).sum(axis=1) / counts
+        site = "embed" if i == 0 else f"block_{i - 1}"
+        results.append(_fit_probe(pooled, labels, site, seed=seed))
+    return results
+
+
+def probe_classifier_representation(
+    model: Module,
+    tokens: np.ndarray,
+    labels: np.ndarray,
+    seed: int = 0,
+) -> ProbeResult:
+    """Probe a classifier's pooled (pre-head) representation."""
+    if not hasattr(model, "embed_tokens"):
+        raise ConfigError("model must expose embed_tokens")
+    pooled = model.embed_tokens(np.asarray(tokens)).data
+    return _fit_probe(pooled, labels, site="pooled_embedding", seed=seed)

@@ -1,0 +1,97 @@
+"""Representation steering (§4: representation engineering, Zou et al.).
+
+The paper cites representation engineering as "a top-down approach to AI
+transparency": traits and concepts live as directions in activation
+space, and behavior can be steered by moving activations along them.  We
+implement the classifier version: add a concept direction (from
+:mod:`repro.core.attribution.representation`) to the pooled activation
+and observe the induced behavior change.  The steering test doubles as a
+*causal* verification that an extracted direction really carries its
+concept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.attribution.representation import ConceptDirection
+from repro.errors import ConfigError
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module
+
+
+@dataclass
+class SteeringResult:
+    """Behavior before/after steering a batch of inputs."""
+
+    base_predictions: np.ndarray
+    steered_predictions: np.ndarray
+    base_target_probability: float
+    steered_target_probability: float
+    flip_rate: float
+
+    @property
+    def shift(self) -> float:
+        """Probability mass moved onto the target class."""
+        return self.steered_target_probability - self.base_target_probability
+
+
+def steer(
+    model: Module,
+    tokens: np.ndarray,
+    direction: ConceptDirection,
+    strength: float,
+    target_class: Optional[int] = None,
+) -> SteeringResult:
+    """Classify ``tokens`` with the concept direction added to the pool.
+
+    ``strength`` scales the injected direction (negative values suppress
+    the concept).  ``target_class`` defaults to the class the concept's
+    positive examples belong to being unknown — pass it explicitly for a
+    meaningful probability shift readout.
+    """
+    if not hasattr(model, "embed_tokens") or not hasattr(model, "head"):
+        raise ConfigError("steering requires a model with embed_tokens and head")
+    tokens = np.asarray(tokens)
+    if tokens.ndim == 1:
+        tokens = tokens[None, :]
+    pooled = model.embed_tokens(tokens).data
+    base_logits = model.head(Tensor(pooled))
+    base_probs = base_logits.softmax(axis=-1).data
+    steered_pool = pooled + strength * direction.vector[None, :]
+    steered_logits = model.head(Tensor(steered_pool))
+    steered_probs = steered_logits.softmax(axis=-1).data
+
+    base_predictions = base_probs.argmax(axis=-1)
+    steered_predictions = steered_probs.argmax(axis=-1)
+    if target_class is None:
+        target_class = int(steered_probs.mean(axis=0).argmax())
+    return SteeringResult(
+        base_predictions=base_predictions,
+        steered_predictions=steered_predictions,
+        base_target_probability=float(base_probs[:, target_class].mean()),
+        steered_target_probability=float(steered_probs[:, target_class].mean()),
+        flip_rate=float((base_predictions != steered_predictions).mean()),
+    )
+
+
+def dose_response(
+    model: Module,
+    tokens: np.ndarray,
+    direction: ConceptDirection,
+    target_class: int,
+    strengths: Optional[List[float]] = None,
+) -> Dict[float, float]:
+    """Target-class probability as a function of steering strength.
+
+    A genuine concept direction shows a monotone dose-response curve —
+    the causal signature representation engineering relies on.
+    """
+    strengths = strengths if strengths is not None else [-2.0, -1.0, 0.0, 1.0, 2.0]
+    return {
+        s: steer(model, tokens, direction, s, target_class).steered_target_probability
+        for s in strengths
+    }

@@ -1,0 +1,29 @@
+"""The model lake: records, cards, stores, generation, corruption."""
+
+from repro.lake.card import CARD_CONTENT_FIELDS, ModelCard
+from repro.lake.record import ModelHistory, ModelRecord
+from repro.lake.store import WeightStore
+from repro.lake.lake import ModelLake
+from repro.lake.generator import (
+    DEFAULT_TRANSFORM_MIX,
+    GeneratedLake,
+    LakeGenerator,
+    LakeGroundTruth,
+    LakeSpec,
+    generate_lake,
+)
+from repro.lake.corruption import CardCorruptor, CorruptionReport, CORRUPTIBLE_FIELDS
+from repro.lake.persist import load_lake, save_lake
+from repro.lake.stats import LakeStatistics, compute_statistics
+
+__all__ = [
+    "CARD_CONTENT_FIELDS", "ModelCard",
+    "ModelHistory", "ModelRecord",
+    "WeightStore",
+    "ModelLake",
+    "DEFAULT_TRANSFORM_MIX", "GeneratedLake", "LakeGenerator",
+    "LakeGroundTruth", "LakeSpec", "generate_lake",
+    "CardCorruptor", "CorruptionReport", "CORRUPTIBLE_FIELDS",
+    "load_lake", "save_lake",
+    "LakeStatistics", "compute_statistics",
+]

@@ -1,0 +1,128 @@
+"""Model cards: semi-structured model documentation (Mitchell et al. 2019).
+
+Cards carry the fields the paper discusses — model details, intended
+use, training data, metrics, limitations — plus the base-model field
+Hugging Face added for model trees.  Cards can be complete, partially
+missing, stale, or adversarially wrong; :mod:`repro.lake.corruption`
+produces those degraded variants and
+:mod:`repro.core.docgen` regenerates/verifies them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Dict, List, Optional
+
+from repro.utils.hashing import stable_hash
+
+#: Card fields that count toward completeness (order = render order).
+CARD_CONTENT_FIELDS = (
+    "description",
+    "intended_use",
+    "training_data",
+    "training_domains",
+    "base_model",
+    "transform_summary",
+    "metrics",
+    "limitations",
+    "license",
+)
+
+
+@dataclass
+class ModelCard:
+    """Semi-structured documentation for one model.
+
+    ``None`` / empty values mean "undocumented" — the situation Liang et
+    al. found rampant on real hubs and the reason content-based lake
+    tasks exist.
+    """
+
+    model_name: str
+    description: Optional[str] = None
+    intended_use: Optional[str] = None
+    training_data: Optional[str] = None
+    training_domains: List[str] = field(default_factory=list)
+    base_model: Optional[str] = None
+    transform_summary: Optional[str] = None
+    metrics: Dict[str, float] = field(default_factory=dict)
+    limitations: Optional[str] = None
+    license: Optional[str] = None
+    tags: List[str] = field(default_factory=list)
+
+    def completeness(self) -> float:
+        """Fraction of content fields that are documented."""
+        filled = 0
+        for name in CARD_CONTENT_FIELDS:
+            value = getattr(self, name)
+            if value:
+                filled += 1
+        return filled / len(CARD_CONTENT_FIELDS)
+
+    def text(self) -> str:
+        """Flat text rendering used by keyword (metadata) search."""
+        parts: List[str] = [self.model_name]
+        for name in ("description", "intended_use", "training_data",
+                     "transform_summary", "limitations", "license"):
+            value = getattr(self, name)
+            if value:
+                parts.append(str(value))
+        if self.training_domains:
+            parts.append("domains: " + " ".join(self.training_domains))
+        if self.base_model:
+            parts.append(f"base model: {self.base_model}")
+        if self.metrics:
+            parts.append(" ".join(f"{k} {v:.3f}" for k, v in sorted(self.metrics.items())))
+        if self.tags:
+            parts.append(" ".join(self.tags))
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """Human-readable markdown rendering (hub-style card)."""
+        lines = [f"# {self.model_name}", ""]
+        sections = [
+            ("Description", self.description),
+            ("Intended use", self.intended_use),
+            ("Training data", self.training_data),
+            ("Training domains", ", ".join(self.training_domains) or None),
+            ("Base model", self.base_model),
+            ("How it was derived", self.transform_summary),
+            ("Limitations", self.limitations),
+            ("License", self.license),
+        ]
+        for title, value in sections:
+            lines.append(f"## {title}")
+            lines.append(value if value else "*undocumented*")
+            lines.append("")
+        lines.append("## Metrics")
+        if self.metrics:
+            for key in sorted(self.metrics):
+                lines.append(f"- {key}: {self.metrics[key]:.4f}")
+        else:
+            lines.append("*undocumented*")
+        if self.tags:
+            lines.append("")
+            lines.append("Tags: " + ", ".join(sorted(self.tags)))
+        return "\n".join(lines)
+
+    def digest(self) -> str:
+        """Content digest of the card (for citation / change detection)."""
+        payload = {
+            name.name: getattr(self, name.name) for name in dataclass_fields(self)
+        }
+        return stable_hash(payload)
+
+    def copy(self) -> "ModelCard":
+        return ModelCard(
+            model_name=self.model_name,
+            description=self.description,
+            intended_use=self.intended_use,
+            training_data=self.training_data,
+            training_domains=list(self.training_domains),
+            base_model=self.base_model,
+            transform_summary=self.transform_summary,
+            metrics=dict(self.metrics),
+            limitations=self.limitations,
+            license=self.license,
+            tags=list(self.tags),
+        )

@@ -1,0 +1,144 @@
+"""Documentation corruption: the unreliable-model-card model.
+
+Liang et al. found systematic incompleteness in real model cards, and
+PoisonGPT demonstrated deliberate misinformation.  This module degrades
+truthful cards in three controlled ways so experiments can sweep
+documentation quality:
+
+* **missing** — a field is blanked (undocumented),
+* **stale**  — the card keeps the *parent's* value (never updated),
+* **poison** — the field is replaced with a wrong but plausible value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.domains import DOMAIN_NAMES
+from repro.errors import ConfigError
+from repro.lake.card import CARD_CONTENT_FIELDS, ModelCard
+from repro.lake.lake import ModelLake
+from repro.utils.rng import derive_rng
+
+#: Fields eligible for corruption (tags/name stay, like real hubs).
+CORRUPTIBLE_FIELDS = (
+    "description",
+    "intended_use",
+    "training_data",
+    "training_domains",
+    "base_model",
+    "transform_summary",
+    "limitations",
+)
+
+
+@dataclass
+class CorruptionReport:
+    """What was corrupted, for scoring verification tasks."""
+
+    #: model_id -> list of (field, mode) that were corrupted.
+    corrupted: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+
+    def fields_for(self, model_id: str) -> List[Tuple[str, str]]:
+        return self.corrupted.get(model_id, [])
+
+    @property
+    def total(self) -> int:
+        return sum(len(v) for v in self.corrupted.values())
+
+
+class CardCorruptor:
+    """Applies field-level corruption to every card in a lake (in place).
+
+    Parameters
+    ----------
+    missing_rate, poison_rate, stale_rate:
+        Per-field probabilities; must sum to < 1 (the remainder stays
+        truthful).
+    """
+
+    def __init__(
+        self,
+        missing_rate: float = 0.3,
+        poison_rate: float = 0.0,
+        stale_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        total = missing_rate + poison_rate + stale_rate
+        if min(missing_rate, poison_rate, stale_rate) < 0 or total > 1.0:
+            raise ConfigError(
+                "corruption rates must be non-negative and sum to <= 1, got "
+                f"missing={missing_rate}, poison={poison_rate}, stale={stale_rate}"
+            )
+        self.missing_rate = missing_rate
+        self.poison_rate = poison_rate
+        self.stale_rate = stale_rate
+        self.seed = seed
+
+    def apply(self, lake: ModelLake) -> CorruptionReport:
+        """Corrupt every model card in ``lake``; returns the report."""
+        rng = derive_rng(self.seed, "card_corruptor")
+        report = CorruptionReport()
+        for record in lake:
+            card = record.card.copy()
+            touched: List[Tuple[str, str]] = []
+            parent_card = self._parent_card(lake, record.model_id)
+            for field_name in CORRUPTIBLE_FIELDS:
+                roll = rng.random()
+                if roll < self.missing_rate:
+                    self._blank(card, field_name)
+                    touched.append((field_name, "missing"))
+                elif roll < self.missing_rate + self.poison_rate:
+                    self._poison(card, field_name, rng)
+                    touched.append((field_name, "poison"))
+                elif roll < self.missing_rate + self.poison_rate + self.stale_rate:
+                    if parent_card is not None:
+                        setattr(card, field_name, getattr(parent_card, field_name))
+                        touched.append((field_name, "stale"))
+            # Tags mirror the training_domains field: corrupting one
+            # without the other would leave a truthful side channel.
+            domain_modes = [m for f, m in touched if f == "training_domains"]
+            if domain_modes:
+                card.tags = [t for t in card.tags if t not in DOMAIN_NAMES]
+                card.tags.extend(card.training_domains)
+            if touched:
+                lake.update_card(record.model_id, card)
+                report.corrupted[record.model_id] = touched
+        return report
+
+    def _parent_card(self, lake: ModelLake, model_id: str) -> Optional[ModelCard]:
+        record = lake.get_record(model_id)
+        if record.history is None or not record.history.parent_ids:
+            return None
+        parent_id = record.history.parent_ids[0]
+        if parent_id not in lake:
+            return None
+        return lake.get_record(parent_id).card
+
+    @staticmethod
+    def _blank(card: ModelCard, field_name: str) -> None:
+        if field_name == "training_domains":
+            card.training_domains = []
+        else:
+            setattr(card, field_name, None)
+
+    @staticmethod
+    def _poison(card: ModelCard, field_name: str, rng: np.random.Generator) -> None:
+        """Replace a field with a plausible lie (PoisonGPT-style)."""
+        wrong_domain = str(rng.choice([d for d in DOMAIN_NAMES]))
+        lies = {
+            "description": (
+                f"A state-of-the-art {wrong_domain} model with best-in-class "
+                "accuracy on all benchmarks."
+            ),
+            "intended_use": f"Production-grade {wrong_domain} document analysis.",
+            "training_data": f"proprietary-{wrong_domain}-corpus-v9",
+            "training_domains": [wrong_domain],
+            "base_model": "foundation-999",
+            "transform_summary": "trained entirely from scratch",
+            "limitations": "none known",
+        }
+        setattr(card, field_name, lies[field_name])

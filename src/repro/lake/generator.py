@@ -1,0 +1,641 @@
+"""Benchmark-lake generation with verified ground truth.
+
+The paper (§3 Benchmarking, §5) says model-lake research needs shared
+benchmark lakes with *verified ground truth*: labeled parameters,
+architectures, and detailed transformation records.  This module builds
+exactly that: a population of genuinely-trained models related by real
+transformations, with every relationship recorded.
+
+Design: foundation-first.  Foundation models are trained on a broad
+multi-domain corpus (general features), then derivation chains
+specialize them — fine-tunes, LoRA adapters, preference tunes, edits,
+pruned/quantized releases, distilled students, merges, stitches —
+mirroring how real hubs are populated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.datasets import TextDataset, make_domain_dataset
+from repro.data.derivation import filter_by_domain, sample_dataset
+from repro.data.domains import DOMAIN_NAMES
+from repro.data.tokenizer import Tokenizer
+from repro.data.vocab import build_default_vocabulary
+from repro.errors import ConfigError
+from repro.lake.card import ModelCard
+from repro.lake.lake import ModelLake
+from repro.lake.record import ModelHistory, ModelRecord
+from repro.nn.models import TextClassifier
+from repro.nn.module import Module
+from repro.nn.train import evaluate_accuracy, train_classifier
+from repro.transforms import (
+    TransformRecord,
+    distill_classifier,
+    edit_classifier,
+    finetune_classifier,
+    lora_adapt_classifier,
+    merge_models,
+    preference_tune,
+    prune_model,
+    quantize_model,
+    stitch_classifiers,
+)
+from repro.utils.rng import derive_rng
+
+#: Default probability mix over chain transforms.
+DEFAULT_TRANSFORM_MIX: Dict[str, float] = {
+    "finetune": 0.35,
+    "lora": 0.20,
+    "preference": 0.10,
+    "edit": 0.10,
+    "prune": 0.10,
+    "quantize": 0.05,
+    "distill": 0.10,
+}
+
+#: Architecture variety cycled across foundations.
+_ARCH_CYCLE: Tuple[Tuple[int, Tuple[int, ...]], ...] = (
+    (16, (24,)),
+    (20, (32,)),
+    (24, (16, 16)),
+    (16, (32,)),
+)
+
+
+@dataclass
+class LakeSpec:
+    """Configuration for benchmark-lake generation."""
+
+    num_foundations: int = 3
+    chains_per_foundation: int = 4
+    max_chain_depth: int = 2
+    docs_per_domain: int = 25
+    eval_docs_per_domain: int = 8
+    seq_len: int = 24
+    foundation_epochs: int = 8
+    specialize_epochs: int = 6
+    num_merges: int = 1
+    num_stitches: int = 1
+    seed: int = 0
+    transform_mix: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_TRANSFORM_MIX)
+    )
+    domains: Tuple[str, ...] = DOMAIN_NAMES
+    hidden_history_fraction: float = 0.0
+    #: Use opaque model names ("model-0007") instead of descriptive ones.
+    #: Descriptive names leak training domains to keyword search, which
+    #: real hubs only sometimes do; experiments sweep both regimes.
+    opaque_names: bool = False
+    #: Number of language-model foundations (heterogeneous-modality lake:
+    #: the paper requires content-based search to "cover all models in
+    #: model lakes, including large language models").  Each LM foundation
+    #: gets `lm_chains` fine-tune/release chains.
+    num_lm_foundations: int = 0
+    lm_chains: int = 2
+    lm_epochs: int = 3
+
+    def validate(self) -> None:
+        if self.num_foundations <= 0:
+            raise ConfigError("num_foundations must be positive")
+        if not self.transform_mix:
+            raise ConfigError("transform_mix must be non-empty")
+        if any(w < 0 for w in self.transform_mix.values()):
+            raise ConfigError("transform_mix weights must be non-negative")
+        if not 0.0 <= self.hidden_history_fraction <= 1.0:
+            raise ConfigError("hidden_history_fraction must be in [0, 1]")
+
+
+@dataclass
+class LakeGroundTruth:
+    """Everything the generator knows about the lake it built.
+
+    This is the "verified ground truth" benchmark lakes require; task
+    evaluations score solutions against it, and it is never exposed to
+    the solutions themselves.
+    """
+
+    #: (parent_ids, child_id, transform) for every derivation edge.
+    edges: List[Tuple[Tuple[str, ...], str, TransformRecord]] = field(default_factory=list)
+    foundations: List[str] = field(default_factory=list)
+    #: Domains whose data contributed to each model (cumulative).
+    model_domains: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Primary specialty (None for generalist foundations and releases).
+    specialty: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: Dataset digest used to create each model (None for data-free ops).
+    model_dataset: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: Per-domain held-out accuracy of every model.
+    domain_accuracy: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def parent_map(self) -> Dict[str, Tuple[str, ...]]:
+        return {child: parents for parents, child, _ in self.edges}
+
+    def edge_set(self) -> set:
+        """Set of (parent, child) pairs, expanding multi-parent edges."""
+        pairs = set()
+        for parents, child, _ in self.edges:
+            for parent in parents:
+                pairs.add((parent, child))
+        return pairs
+
+    def transform_of(self, child_id: str) -> Optional[TransformRecord]:
+        for _, child, record in self.edges:
+            if child == child_id:
+                return record
+        return None
+
+
+@dataclass
+class GeneratedLake:
+    """Bundle returned by :func:`generate_lake`."""
+
+    lake: ModelLake
+    truth: LakeGroundTruth
+    tokenizer: Tokenizer
+    base_dataset: TextDataset
+    eval_dataset: TextDataset
+
+    @property
+    def num_models(self) -> int:
+        return len(self.lake)
+
+
+def _truthful_card(
+    name: str,
+    family: str,
+    domains: Sequence[str],
+    dataset_name: Optional[str],
+    base_model: Optional[str],
+    transform: Optional[TransformRecord],
+    metrics: Dict[str, float],
+    specialty: Optional[str],
+) -> ModelCard:
+    """Build a complete, accurate card from generation-time knowledge."""
+    if specialty:
+        description = (
+            f"A {family} model specialized for {specialty} text. "
+            f"Derived from {base_model} and adapted to the {specialty} domain."
+        )
+        intended = (
+            f"Classify and analyze {specialty} documents; best suited to "
+            f"{' and '.join(domains)} content."
+        )
+    else:
+        description = (
+            f"A general-purpose {family} model trained across "
+            f"{len(domains)} domains."
+        )
+        intended = "General domain classification across heterogeneous text."
+    transform_summary = transform.describe() if transform is not None else None
+    return ModelCard(
+        model_name=name,
+        description=description,
+        intended_use=intended,
+        training_data=dataset_name,
+        training_domains=list(domains),
+        base_model=base_model,
+        transform_summary=transform_summary,
+        metrics=dict(metrics),
+        limitations=(
+            f"Synthetic-corpus model; unreliable outside its training domains "
+            f"({', '.join(domains)})."
+        ),
+        license="mit",
+        tags=[family, "classification", *domains],
+    )
+
+
+def _domain_accuracy(model: Module, eval_set: TextDataset) -> Dict[str, float]:
+    """Held-out per-domain competence score in [0, 1].
+
+    Classifiers: accuracy.  Language models: mean per-token likelihood
+    ``exp(-NLL)`` of the domain's held-out documents — the LM analogue of
+    "how well does this model handle this domain's text".
+    """
+    domains = np.asarray(eval_set.domains)
+    if hasattr(model, "predict"):
+        predictions = model.predict(eval_set.tokens)
+        per_example = (predictions == eval_set.labels).astype(np.float64)
+    else:
+        per_example = _lm_likelihoods(model, eval_set.tokens)
+    return {
+        domain: float(per_example[domains == domain].mean())
+        for domain in sorted(set(eval_set.domains))
+    }
+
+
+def _lm_likelihoods(model: Module, tokens: np.ndarray) -> np.ndarray:
+    """Per-document mean next-token likelihood exp(-NLL) for an LM."""
+    logits = model(tokens).data
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    scores = np.zeros(len(tokens))
+    for i, row in enumerate(tokens):
+        positions = np.where(row > 0)[0]
+        if len(positions) < 2:
+            continue
+        steps = positions[:-1]
+        nll = -log_probs[i, steps, row[steps + 1]].mean()
+        scores[i] = float(np.exp(-nll))
+    return scores
+
+
+class LakeGenerator:
+    """Builds a :class:`GeneratedLake` according to a :class:`LakeSpec`."""
+
+    def __init__(self, spec: Optional[LakeSpec] = None):
+        self.spec = spec or LakeSpec()
+        self.spec.validate()
+
+    # -- helpers ---------------------------------------------------------
+    def _register(
+        self,
+        bundle: GeneratedLake,
+        model: Module,
+        name: str,
+        domains: Sequence[str],
+        dataset: Optional[TextDataset],
+        parents: Tuple[str, ...],
+        transform: Optional[TransformRecord],
+        specialty: Optional[str],
+        rng: np.random.Generator,
+    ) -> ModelRecord:
+        accuracy = _domain_accuracy(model, bundle.eval_dataset)
+        overall = float(np.mean(list(accuracy.values())))
+        metrics = {f"acc_{d}": v for d, v in accuracy.items()}
+        metrics["acc_overall"] = overall
+        base_name = (
+            bundle.lake.get_record(parents[0]).name if parents else None
+        )
+        card = _truthful_card(
+            name=name,
+            family=model.architecture_spec()["family"],
+            domains=domains,
+            dataset_name=dataset.name if dataset is not None else None,
+            base_model=base_name,
+            transform=transform,
+            metrics=metrics,
+            specialty=specialty,
+        )
+        history = ModelHistory(
+            parent_ids=parents,
+            transform=transform,
+            dataset_digest=dataset.content_digest() if dataset is not None else None,
+            dataset_name=dataset.name if dataset is not None else None,
+            algorithm=transform.kind if transform is not None else "train_from_scratch",
+            seed=self.spec.seed,
+        )
+        hidden = rng.random() < self.spec.hidden_history_fraction
+        record = bundle.lake.add_model(
+            model,
+            name=name,
+            card=card,
+            history=history,
+            history_public=not hidden,
+            tags=list(card.tags),
+        )
+        for metric, value in metrics.items():
+            bundle.lake.record_metric(record.model_id, metric, value)
+        truth = bundle.truth
+        truth.model_domains[record.model_id] = tuple(domains)
+        truth.specialty[record.model_id] = specialty
+        truth.model_dataset[record.model_id] = (
+            dataset.content_digest() if dataset is not None else None
+        )
+        truth.domain_accuracy[record.model_id] = accuracy
+        if parents:
+            assert transform is not None
+            truth.edges.append((parents, record.model_id, transform))
+        return record
+
+    def _pick_name(self, descriptive: str) -> str:
+        """Model name: descriptive, or opaque when the spec asks for it."""
+        if not self.spec.opaque_names:
+            return descriptive
+        self._name_counter += 1
+        return f"model-{self._name_counter:04d}"
+
+    def _specialty_dataset(
+        self,
+        bundle: GeneratedLake,
+        domains: Sequence[str],
+        seed: int,
+    ) -> TextDataset:
+        """Derive a specialty dataset from the base corpus, with lineage."""
+        filtered, derivation = filter_by_domain(bundle.base_dataset, list(domains))
+        bundle.lake.datasets.register(filtered, derivation)
+        sampled, derivation2 = sample_dataset(filtered, 0.9, seed=seed)
+        bundle.lake.datasets.register(sampled, derivation2)
+        return sampled
+
+    # -- main ------------------------------------------------------------
+    def generate(self) -> GeneratedLake:
+        """Generate the lake; deterministic in ``spec.seed``."""
+        spec = self.spec
+        rng = derive_rng(spec.seed, "lake_generator")
+        tokenizer = Tokenizer(build_default_vocabulary())
+        vocab_size = tokenizer.vocab_size
+        num_classes = len(DOMAIN_NAMES)
+
+        base_dataset = make_domain_dataset(
+            list(spec.domains),
+            spec.docs_per_domain,
+            seq_len=spec.seq_len,
+            seed=spec.seed,
+            tokenizer=tokenizer,
+            name=f"multidomain-corpus-v{spec.seed}",
+        )
+        eval_dataset = make_domain_dataset(
+            list(spec.domains),
+            spec.eval_docs_per_domain,
+            seq_len=spec.seq_len,
+            seed=spec.seed + 90_000,
+            tokenizer=tokenizer,
+            name=f"multidomain-eval-v{spec.seed}",
+        )
+        lake = ModelLake()
+        lake.datasets.register(base_dataset)
+        self._name_counter = 0
+        bundle = GeneratedLake(
+            lake=lake,
+            truth=LakeGroundTruth(),
+            tokenizer=tokenizer,
+            base_dataset=base_dataset,
+            eval_dataset=eval_dataset,
+        )
+
+        # 1. Foundations: broad multi-domain training, varied architectures.
+        foundation_records: List[ModelRecord] = []
+        for i in range(spec.num_foundations):
+            dim, hidden = _ARCH_CYCLE[i % len(_ARCH_CYCLE)]
+            model = TextClassifier(
+                vocab_size, num_classes, dim=dim, hidden=hidden,
+                seed=spec.seed * 100 + i,
+            )
+            # Train to competence: foundations must be solid generalists,
+            # so keep training (bounded) until train accuracy clears 0.97.
+            for round_index in range(3):
+                train_classifier(
+                    model, base_dataset.tokens, base_dataset.labels,
+                    epochs=spec.foundation_epochs, lr=5e-3,
+                    seed=spec.seed * 100 + i + round_index,
+                )
+                accuracy = evaluate_accuracy(
+                    model, base_dataset.tokens, base_dataset.labels
+                )
+                if accuracy >= 0.97:
+                    break
+            record = self._register(
+                bundle, model, name=self._pick_name(f"foundation-{i}"),
+                domains=spec.domains, dataset=base_dataset,
+                parents=(), transform=None, specialty=None, rng=rng,
+            )
+            bundle.truth.foundations.append(record.model_id)
+            foundation_records.append(record)
+
+        # 2. Derivation chains off each foundation.
+        kinds = sorted(spec.transform_mix)
+        weights = np.array([spec.transform_mix[k] for k in kinds], dtype=float)
+        weights /= weights.sum()
+        domain_cycle = list(spec.domains)
+        chain_counter = 0
+        for f_index, foundation in enumerate(foundation_records):
+            for c in range(spec.chains_per_foundation):
+                specialty = domain_cycle[(f_index * spec.chains_per_foundation + c) % len(domain_cycle)]
+                parent_record = foundation
+                parent_model = lake.get_model(foundation.model_id, force=True)
+                depth = 1 + int(rng.integers(spec.max_chain_depth))
+                for level in range(depth):
+                    # First hop specializes; later hops are release ops.
+                    if level == 0:
+                        kind = str(rng.choice(kinds, p=weights))
+                    else:
+                        kind = str(rng.choice(["prune", "quantize", "finetune"]))
+                    chain_counter += 1
+                    child_model, child_record = self._apply_transform(
+                        bundle, kind, parent_model, parent_record,
+                        specialty, chain_counter, rng,
+                    )
+                    parent_model, parent_record = child_model, child_record
+
+        # 3. Language-model foundations and chains (mixed-modality lake).
+        self._add_lm_models(bundle, rng)
+        # 4. Merges between same-foundation specialists.
+        self._add_merges(bundle, rng)
+        # 5. Stitches between foundations of different widths.
+        self._add_stitches(bundle, foundation_records, rng)
+        return bundle
+
+    def _apply_transform(
+        self,
+        bundle: GeneratedLake,
+        kind: str,
+        parent_model: Module,
+        parent_record: ModelRecord,
+        specialty: str,
+        serial: int,
+        rng: np.random.Generator,
+    ) -> Tuple[Module, ModelRecord]:
+        spec = self.spec
+        seed = spec.seed * 1000 + serial
+        parent_id = parent_record.model_id
+        parent_specialty = bundle.truth.specialty.get(parent_id)
+        companion = spec.domains[(list(spec.domains).index(specialty) + 1) % len(spec.domains)]
+
+        if kind in ("finetune", "lora", "preference", "distill"):
+            dataset = self._specialty_dataset(bundle, [specialty, companion], seed)
+        else:
+            dataset = None
+
+        if kind == "finetune":
+            child, record = finetune_classifier(
+                parent_model, dataset, epochs=spec.specialize_epochs, seed=seed
+            )
+            child_specialty: Optional[str] = specialty
+            domains = (specialty, companion)
+        elif kind == "lora":
+            child, record = lora_adapt_classifier(
+                parent_model, dataset, rank=2,
+                epochs=spec.specialize_epochs, lr=1e-2, seed=seed,
+            )
+            child_specialty = specialty
+            domains = (specialty, companion)
+        elif kind == "preference":
+            child, record = preference_tune(
+                parent_model, dataset, (specialty,),
+                epochs=max(2, spec.specialize_epochs // 2), seed=seed,
+            )
+            child_specialty = specialty
+            domains = (specialty, companion)
+        elif kind == "distill":
+            child, record = distill_classifier(
+                parent_model, dataset, epochs=spec.specialize_epochs, seed=seed
+            )
+            child_specialty = parent_specialty or specialty
+            domains = (specialty, companion)
+        elif kind == "edit":
+            probe_index = int(rng.integers(len(bundle.base_dataset)))
+            target = int(rng.integers(len(DOMAIN_NAMES)))
+            preserve_count = min(40, len(bundle.base_dataset))
+            preserve_idx = rng.choice(
+                len(bundle.base_dataset), size=preserve_count, replace=False
+            )
+            child, record = edit_classifier(
+                parent_model, bundle.base_dataset.tokens[probe_index],
+                target_class=target, seed=seed,
+                preserve_tokens=bundle.base_dataset.tokens[preserve_idx],
+            )
+            child_specialty = parent_specialty
+            domains = bundle.truth.model_domains[parent_id]
+        elif kind == "prune":
+            child, record = prune_model(
+                parent_model, sparsity=float(rng.uniform(0.3, 0.6)), seed=seed
+            )
+            child_specialty = parent_specialty
+            domains = bundle.truth.model_domains[parent_id]
+        elif kind == "quantize":
+            child, record = quantize_model(
+                parent_model, bits=int(rng.choice([4, 6, 8])), seed=seed
+            )
+            child_specialty = parent_specialty
+            domains = bundle.truth.model_domains[parent_id]
+        else:
+            raise ConfigError(f"unknown chain transform kind {kind!r}")
+
+        descriptive = (
+            f"{parent_record.name}--{kind}-"
+            f"{specialty if dataset is not None else 'release'}-{serial}"
+        )
+        name = self._pick_name(descriptive)
+        child_record = self._register(
+            bundle, child, name=name, domains=domains, dataset=dataset,
+            parents=(parent_id,), transform=record,
+            specialty=child_specialty, rng=rng,
+        )
+        return child, child_record
+
+    def _add_lm_models(self, bundle: GeneratedLake, rng: np.random.Generator) -> None:
+        """Add language-model foundations plus specialization chains.
+
+        LMs train next-token prediction directly on the lake's document
+        token matrices, so they share the dataset registry (and lineage)
+        with the classifier population.
+        """
+        from repro.nn.train import train_language_model
+        from repro.nn.transformer import TransformerLM
+        from repro.transforms.finetune import finetune_language_model
+
+        spec = self.spec
+        domain_cycle = list(spec.domains)
+        for i in range(spec.num_lm_foundations):
+            lm = TransformerLM(
+                vocab_size=bundle.tokenizer.vocab_size,
+                d_model=24, num_heads=2, num_layers=2,
+                max_seq_len=max(spec.seq_len, 32),
+                seed=spec.seed * 400 + i,
+            )
+            train_language_model(
+                lm, bundle.base_dataset.tokens,
+                epochs=spec.lm_epochs, batch_size=16, seed=spec.seed * 400 + i,
+            )
+            record = self._register(
+                bundle, lm, name=self._pick_name(f"lm-foundation-{i}"),
+                domains=spec.domains, dataset=bundle.base_dataset,
+                parents=(), transform=None, specialty=None, rng=rng,
+            )
+            bundle.truth.foundations.append(record.model_id)
+
+            parent_model: Module = lm
+            parent_record = record
+            for c in range(spec.lm_chains):
+                specialty = domain_cycle[(i * spec.lm_chains + c) % len(domain_cycle)]
+                companion = domain_cycle[
+                    (domain_cycle.index(specialty) + 1) % len(domain_cycle)
+                ]
+                seed = spec.seed * 500 + i * 10 + c
+                dataset = self._specialty_dataset(
+                    bundle, [specialty, companion], seed
+                )
+                child, transform = finetune_language_model(
+                    lm, dataset, epochs=max(2, spec.lm_epochs), seed=seed
+                )
+                name = self._pick_name(
+                    f"{record.name}--finetune-{specialty}-{c}"
+                )
+                self._register(
+                    bundle, child, name=name, domains=(specialty, companion),
+                    dataset=dataset, parents=(record.model_id,),
+                    transform=transform, specialty=specialty, rng=rng,
+                )
+
+    def _add_merges(self, bundle: GeneratedLake, rng: np.random.Generator) -> None:
+        """Merge pairs of same-architecture specialists."""
+        spec = self.spec
+        done = 0
+        records = list(bundle.lake)
+        by_arch: Dict[str, List[ModelRecord]] = {}
+        for record in records:
+            if record.model_id in bundle.truth.foundations:
+                continue
+            key = str(sorted(record.architecture.items()))
+            by_arch.setdefault(key, []).append(record)
+        for group in by_arch.values():
+            if done >= spec.num_merges or len(group) < 2:
+                continue
+            first, second = group[0], group[1]
+            model_a = bundle.lake.get_model(first.model_id, force=True)
+            model_b = bundle.lake.get_model(second.model_id, force=True)
+            child, record = merge_models(model_a, model_b, alpha=0.5, seed=spec.seed)
+            domains = tuple(
+                dict.fromkeys(
+                    bundle.truth.model_domains[first.model_id]
+                    + bundle.truth.model_domains[second.model_id]
+                )
+            )
+            self._register(
+                bundle, child, name=self._pick_name(f"merge-{first.name[:18]}-{second.name[:18]}"),
+                domains=domains, dataset=None,
+                parents=(first.model_id, second.model_id),
+                transform=record, specialty=None, rng=rng,
+            )
+            done += 1
+
+    def _add_stitches(
+        self,
+        bundle: GeneratedLake,
+        foundations: List[ModelRecord],
+        rng: np.random.Generator,
+    ) -> None:
+        spec = self.spec
+        text_foundations = [
+            r for r in foundations if r.family == "text_classifier"
+        ]
+        done = 0
+        for i in range(len(text_foundations) - 1):
+            if done >= spec.num_stitches:
+                break
+            front_rec, back_rec = text_foundations[i], text_foundations[i + 1]
+            front = bundle.lake.get_model(front_rec.model_id, force=True)
+            back = bundle.lake.get_model(back_rec.model_id, force=True)
+            adapter_data, derivation = sample_dataset(
+                bundle.base_dataset, 0.5, seed=spec.seed + 777 + i
+            )
+            bundle.lake.datasets.register(adapter_data, derivation)
+            child, record = stitch_classifiers(
+                front, back, adapter_data, adapter_epochs=5, seed=spec.seed + i
+            )
+            self._register(
+                bundle, child, name=self._pick_name(f"stitch-{front_rec.name}-{back_rec.name}"),
+                domains=spec.domains, dataset=adapter_data,
+                parents=(front_rec.model_id, back_rec.model_id),
+                transform=record, specialty=None, rng=rng,
+            )
+            done += 1
+
+
+def generate_lake(spec: Optional[LakeSpec] = None) -> GeneratedLake:
+    """Convenience wrapper: build a benchmark lake from a spec."""
+    return LakeGenerator(spec).generate()

@@ -1,0 +1,68 @@
+"""Model records: the lake's unit of registration.
+
+A record ties together the paper's model tuple
+``M = (D, A, f*, theta, p_theta)``:
+
+* history ``(D, A)`` -> :class:`ModelHistory` (may be absent/hidden),
+* architecture ``f*`` -> the stored architecture spec,
+* parameters ``theta`` -> a digest into the content-addressed weight store,
+* behavior ``p_theta`` -> observable by rehydrating and running the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lake.card import ModelCard
+from repro.transforms.base import TransformRecord
+
+
+@dataclass
+class ModelHistory:
+    """The (D, A) viewpoint: where a model's weights came from.
+
+    ``parent_ids`` is empty for models trained from scratch; transforms
+    with two parents (merge, stitch) list both.
+    """
+
+    parent_ids: Tuple[str, ...] = ()
+    transform: Optional[TransformRecord] = None
+    dataset_digest: Optional[str] = None
+    dataset_name: Optional[str] = None
+    algorithm: str = "train_from_scratch"
+    seed: int = 0
+
+    def describe(self) -> str:
+        if self.transform is not None:
+            parents = ",".join(p[:8] for p in self.parent_ids) or "?"
+            return f"{self.transform.kind}({parents}) {self.transform.params}"
+        return f"{self.algorithm} on {self.dataset_name or 'unknown data'}"
+
+
+@dataclass
+class ModelRecord:
+    """One registered model: metadata + pointers into the stores."""
+
+    model_id: str
+    name: str
+    architecture: Dict
+    weights_digest: str
+    card: ModelCard
+    history: Optional[ModelHistory] = None
+    history_public: bool = True
+    weights_public: bool = True
+    created_at: int = 0
+    tags: List[str] = field(default_factory=list)
+    eval_metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def family(self) -> str:
+        return str(self.architecture.get("family", "unknown"))
+
+    def summary(self) -> str:
+        base = self.card.base_model or "-"
+        return (
+            f"{self.model_id[:8]} {self.name:<28} family={self.family:<24} "
+            f"base={base:<20} card_completeness={self.card.completeness():.2f}"
+        )

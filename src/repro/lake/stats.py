@@ -1,0 +1,116 @@
+"""Lake statistics: the catalog overview a lake operator monitors.
+
+Summarizes a lake's population (families, transforms, documentation
+health, lineage shape) — the observability layer for Figure 2's store.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.lake.lake import ModelLake
+
+# VersionGraph is imported lazily inside compute_statistics: the
+# versioning package depends on index embedders, which depend on lake
+# cards — a module-level import here would close an import cycle.
+
+
+@dataclass
+class LakeStatistics:
+    """A snapshot of lake health and composition."""
+
+    num_models: int
+    num_datasets: int
+    clock: int
+    families: Dict[str, int]
+    transform_kinds: Dict[str, int]
+    num_roots: int
+    max_lineage_depth: int
+    hidden_history_count: int
+    api_only_count: int
+    card_completeness_mean: float
+    card_completeness_min: float
+    undocumented_models: List[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        lines = [
+            f"models:               {self.num_models}",
+            f"datasets:             {self.num_datasets}",
+            f"logical clock:        {self.clock}",
+            f"families:             {dict(sorted(self.families.items()))}",
+            f"transforms:           {dict(sorted(self.transform_kinds.items()))}",
+            f"lineage roots:        {self.num_roots}",
+            f"max lineage depth:    {self.max_lineage_depth}",
+            f"hidden histories:     {self.hidden_history_count}",
+            f"API-only models:      {self.api_only_count}",
+            f"card completeness:    mean {self.card_completeness_mean:.2f}, "
+            f"min {self.card_completeness_min:.2f}",
+        ]
+        if self.undocumented_models:
+            lines.append(
+                f"poorly documented:    {len(self.undocumented_models)} models "
+                f"(completeness < 0.5)"
+            )
+        return "\n".join(lines)
+
+
+def _depth_of(graph, node: str) -> int:
+    """Longest recorded ancestor chain above ``node``."""
+    best = 0
+    stack = [(node, 0)]
+    seen = set()
+    while stack:
+        current, depth = stack.pop()
+        best = max(best, depth)
+        for parent in graph.parents(current):
+            if (parent, depth + 1) not in seen:
+                seen.add((parent, depth + 1))
+                stack.append((parent, depth + 1))
+    return best
+
+
+def compute_statistics(lake: ModelLake) -> LakeStatistics:
+    """Compute the full statistics snapshot for a lake."""
+    from repro.core.versioning.graph import VersionGraph
+
+    families: Counter = Counter()
+    transforms: Counter = Counter()
+    completeness: List[float] = []
+    undocumented: List[str] = []
+    hidden = 0
+    api_only = 0
+    for record in lake:
+        families[record.family] += 1
+        value = record.card.completeness()
+        completeness.append(value)
+        if value < 0.5:
+            undocumented.append(record.model_id)
+        if record.history is not None and not record.history_public:
+            hidden += 1
+        if not record.weights_public:
+            api_only += 1
+        if record.history is not None and record.history.transform is not None:
+            transforms[record.history.transform.kind] += 1
+
+    graph = VersionGraph.from_lake_history(lake)
+    max_depth = max(
+        (_depth_of(graph, record.model_id) for record in lake), default=0
+    )
+    return LakeStatistics(
+        num_models=len(lake),
+        num_datasets=len(lake.datasets),
+        clock=lake.clock,
+        families=dict(families),
+        transform_kinds=dict(transforms),
+        num_roots=len(graph.roots()),
+        max_lineage_depth=max_depth,
+        hidden_history_count=hidden,
+        api_only_count=api_only,
+        card_completeness_mean=float(np.mean(completeness)) if completeness else 1.0,
+        card_completeness_min=float(np.min(completeness)) if completeness else 1.0,
+        undocumented_models=undocumented,
+    )

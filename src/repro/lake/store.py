@@ -1,0 +1,70 @@
+"""Content-addressed weight storage.
+
+Weights are stored by digest of their serialized bytes, so identical
+parameter sets share storage and every stored artifact has a stable,
+citable identity.  An optional directory backend persists blobs to disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import LakeError
+from repro.utils.hashing import text_digest
+from repro.utils.serialization import arrays_to_bytes, bytes_to_arrays
+
+
+class WeightStore:
+    """In-memory (optionally disk-backed) content-addressed blob store."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self._blobs: Dict[str, bytes] = {}
+        self._directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._blobs or self._on_disk(digest)
+
+    def put(self, state: Dict[str, np.ndarray]) -> str:
+        """Store a state dict; returns its content digest."""
+        blob = arrays_to_bytes(state)
+        digest = text_digest(blob.hex(), length=24)
+        if digest not in self._blobs:
+            self._blobs[digest] = blob
+            if self._directory is not None:
+                path = self._path(digest)
+                if not os.path.exists(path):
+                    with open(path, "wb") as handle:
+                        handle.write(blob)
+        return digest
+
+    def get(self, digest: str) -> Dict[str, np.ndarray]:
+        """Fetch a state dict by digest."""
+        blob = self._blobs.get(digest)
+        if blob is None and self._on_disk(digest):
+            with open(self._path(digest), "rb") as handle:
+                blob = handle.read()
+            self._blobs[digest] = blob
+        if blob is None:
+            raise LakeError(f"weights not found for digest {digest!r}")
+        return bytes_to_arrays(blob)
+
+    def digests(self):
+        return list(self._blobs)
+
+    def total_bytes(self) -> int:
+        return sum(len(blob) for blob in self._blobs.values())
+
+    def _path(self, digest: str) -> str:
+        assert self._directory is not None
+        return os.path.join(self._directory, f"{digest}.npz")
+
+    def _on_disk(self, digest: str) -> bool:
+        return self._directory is not None and os.path.exists(self._path(digest))

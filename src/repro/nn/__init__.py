@@ -1,0 +1,39 @@
+"""NumPy neural-network substrate: autograd, layers, models, training."""
+
+from repro.nn.autograd import Tensor, as_tensor, concat, stack, where
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.layers import (
+    MLP,
+    Activation,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Sequential,
+)
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.transformer import TransformerBlock, TransformerLM
+from repro.nn.models import MLPClassifier, TextClassifier, build_model
+from repro.nn.losses import cross_entropy, kl_divergence, mse_loss, perplexity
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.train import (
+    TrainResult,
+    evaluate_accuracy,
+    example_gradient,
+    flat_gradient,
+    per_example_losses,
+    train_classifier,
+    train_language_model,
+)
+
+__all__ = [
+    "Tensor", "as_tensor", "concat", "stack", "where",
+    "Module", "ModuleList", "Parameter",
+    "MLP", "Activation", "Dropout", "Embedding", "LayerNorm", "Linear", "Sequential",
+    "MultiHeadSelfAttention", "TransformerBlock", "TransformerLM",
+    "MLPClassifier", "TextClassifier", "build_model",
+    "cross_entropy", "kl_divergence", "mse_loss", "perplexity",
+    "SGD", "Adam", "Optimizer",
+    "TrainResult", "evaluate_accuracy", "example_gradient", "flat_gradient",
+    "per_example_losses", "train_classifier", "train_language_model",
+]

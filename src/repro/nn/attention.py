@@ -1,0 +1,70 @@
+"""Multi-head self-attention for the tiny transformer substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Additive mask: 0 on/below the diagonal, -inf-ish above it."""
+    mask = np.triu(np.ones((length, length)), k=1)
+    return mask * -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled dot-product multi-head self-attention.
+
+    Input/output shape ``(batch, seq, d_model)``.  A causal additive mask
+    is applied when ``causal=True`` (the default for language modeling).
+    """
+
+    def __init__(self, d_model: int, num_heads: int, seed: int = 0, causal: bool = True):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ConfigError(
+                f"d_model={d_model} must be divisible by num_heads={num_heads}"
+            )
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.causal = causal
+        self.q_proj = Linear(d_model, d_model, seed=seed * 17 + 1)
+        self.k_proj = Linear(d_model, d_model, seed=seed * 17 + 2)
+        self.v_proj = Linear(d_model, d_model, seed=seed * 17 + 3)
+        self.out_proj = Linear(d_model, d_model, seed=seed * 17 + 4)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, S, D) -> (B, H, S, Hd)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        if self.causal:
+            scores = scores + causal_mask(seq)
+        attn = scores.softmax(axis=-1)
+        context = attn @ v  # (B, H, S, Hd)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+        return self.out_proj(merged)
+
+    def attention_pattern(self, x: Tensor) -> np.ndarray:
+        """Return the (detached) attention weights for interpretability.
+
+        Shape ``(batch, heads, seq, seq)``.
+        """
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        if self.causal:
+            scores = scores + causal_mask(seq)
+        return scores.softmax(axis=-1).data

@@ -1,0 +1,499 @@
+"""A small reverse-mode automatic differentiation engine over NumPy.
+
+This is the computational substrate for every trained model in the lake:
+classifiers, language models, probes, and meta-models.  It supports the
+operations needed by MLPs and small transformers — elementwise math,
+matmul, reductions, indexing/gather, softmax and friends — with full
+broadcasting support in both the forward and backward passes.
+
+Design notes
+------------
+* A :class:`Tensor` wraps a ``float64`` (or integer, for index tensors)
+  ndarray plus an optional gradient and a backward closure.
+* The graph is built eagerly; ``Tensor.backward()`` runs a topological
+  sort and accumulates gradients into every tensor with
+  ``requires_grad=True``.
+* Broadcasting is undone in the backward pass by :func:`unbroadcast`,
+  which sums gradient axes that were expanded in the forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were size-1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An ndarray with an autograd tape entry.
+
+    Parameters
+    ----------
+    data:
+        Array data; converted to ``float64`` unless an integer dtype is
+        passed explicitly (used for token index tensors).
+    requires_grad:
+        Whether gradients should accumulate into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        name: str = "",
+    ):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype.kind not in "iub":
+            arr = arr.astype(np.float64, copy=False)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Optional[Callable[[], None]] = None
+        self._parents: Tuple[Tensor, ...] = tuple(_parents)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph machinery
+    # ------------------------------------------------------------------
+    def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"]) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        return Tensor(data, requires_grad=requires, _parents=parents if requires else ())
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ShapeError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"tensor, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        self.grad = grad if self.grad is None else self.grad + grad
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    @staticmethod
+    def _accumulate(tensor: "Tensor", grad: np.ndarray) -> None:
+        if not tensor.requires_grad:
+            return
+        grad = unbroadcast(grad, tensor.data.shape)
+        if tensor.grad is None:
+            tensor.grad = grad.copy()
+        else:
+            tensor.grad = tensor.grad + grad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out = self._make_child(self.data + other_t.data, (self, other_t))
+
+        def _backward() -> None:
+            Tensor._accumulate(self, out.grad)
+            Tensor._accumulate(other_t, out.grad)
+
+        out._backward = _backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make_child(-self.data, (self,))
+
+        def _backward() -> None:
+            Tensor._accumulate(self, -out.grad)
+
+        out._backward = _backward
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out = self._make_child(self.data * other_t.data, (self, other_t))
+
+        def _backward() -> None:
+            Tensor._accumulate(self, out.grad * other_t.data)
+            Tensor._accumulate(other_t, out.grad * self.data)
+
+        out._backward = _backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out = self._make_child(self.data / other_t.data, (self, other_t))
+
+        def _backward() -> None:
+            Tensor._accumulate(self, out.grad / other_t.data)
+            Tensor._accumulate(other_t, -out.grad * self.data / (other_t.data**2))
+
+        out._backward = _backward
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out = self._make_child(self.data**exponent, (self,))
+
+        def _backward() -> None:
+            Tensor._accumulate(self, out.grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _backward
+        return out
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other_t = as_tensor(other)
+        out = self._make_child(self.data @ other_t.data, (self, other_t))
+
+        def _backward() -> None:
+            grad = out.grad
+            a, b = self.data, other_t.data
+            if a.ndim == 1 and b.ndim == 1:
+                Tensor._accumulate(self, grad * b)
+                Tensor._accumulate(other_t, grad * a)
+                return
+            a2 = a[None, :] if a.ndim == 1 else a
+            b2 = b[:, None] if b.ndim == 1 else b
+            g2 = grad
+            if a.ndim == 1:
+                g2 = np.expand_dims(g2, axis=-2)
+            if b.ndim == 1:
+                g2 = np.expand_dims(g2, axis=-1)
+            grad_a = g2 @ np.swapaxes(b2, -1, -2)
+            grad_b = np.swapaxes(a2, -1, -2) @ g2
+            if a.ndim == 1:
+                grad_a = grad_a.reshape(grad_a.shape[:-2] + (a.shape[0],))
+                grad_a = unbroadcast(grad_a, a.shape)
+            if b.ndim == 1:
+                grad_b = grad_b.reshape(grad_b.shape[:-1])
+            Tensor._accumulate(self, unbroadcast(grad_a, a.shape))
+            Tensor._accumulate(other_t, unbroadcast(grad_b, b.shape))
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        out = self._make_child(out_data, (self,))
+
+        def _backward() -> None:
+            Tensor._accumulate(self, out.grad * out_data)
+
+        out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make_child(np.log(self.data), (self,))
+
+        def _backward() -> None:
+            Tensor._accumulate(self, out.grad / self.data)
+
+        out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self._make_child(self.data * mask, (self,))
+
+        def _backward() -> None:
+            Tensor._accumulate(self, out.grad * mask)
+
+        out._backward = _backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        out = self._make_child(out_data, (self,))
+
+        def _backward() -> None:
+            Tensor._accumulate(self, out.grad * (1.0 - out_data**2))
+
+        out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make_child(out_data, (self,))
+
+        def _backward() -> None:
+            Tensor._accumulate(self, out.grad * out_data * (1.0 - out_data))
+
+        out._backward = _backward
+        return out
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + t)
+        out = self._make_child(out_data, (self,))
+
+        def _backward() -> None:
+            dt = (1.0 - t**2) * c * (1.0 + 3 * 0.044715 * x**2)
+            local = 0.5 * (1.0 + t) + 0.5 * x * dt
+            Tensor._accumulate(self, out.grad * local)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions and shape ops
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+
+        def _backward() -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            Tensor._accumulate(self, np.broadcast_to(grad, self.data.shape))
+
+        out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make_child(self.data.reshape(shape), (self,))
+
+        def _backward() -> None:
+            Tensor._accumulate(self, out.grad.reshape(self.data.shape))
+
+        out._backward = _backward
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out = self._make_child(self.data.transpose(axes), (self,))
+        inverse = np.argsort(axes)
+
+        def _backward() -> None:
+            Tensor._accumulate(self, out.grad.transpose(inverse))
+
+        out._backward = _backward
+        return out
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        out = self._make_child(np.swapaxes(self.data, a, b), (self,))
+
+        def _backward() -> None:
+            Tensor._accumulate(self, np.swapaxes(out.grad, a, b))
+
+        out._backward = _backward
+        return out
+
+    def __getitem__(self, key) -> "Tensor":
+        out = self._make_child(self.data[key], (self,))
+
+        def _backward() -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, key, out.grad)
+            Tensor._accumulate(self, grad)
+
+        out._backward = _backward
+        return out
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows (embedding lookup): ``out[..., :] = self[indices]``."""
+        idx = np.asarray(indices)
+        out = self._make_child(self.data[idx], (self,))
+
+        def _backward() -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, idx.reshape(-1), out.grad.reshape(-1, self.data.shape[-1]))
+            Tensor._accumulate(self, grad)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Softmax family (implemented as fused primitives for stability)
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+        out = self._make_child(out_data, (self,))
+
+        def _backward() -> None:
+            g = out.grad
+            dot = (g * out_data).sum(axis=axis, keepdims=True)
+            Tensor._accumulate(self, out_data * (g - dot))
+
+        out._backward = _backward
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_norm
+        out = self._make_child(out_data, (self,))
+
+        def _backward() -> None:
+            g = out.grad
+            softmax = np.exp(out_data)
+            Tensor._accumulate(self, g - softmax * g.sum(axis=axis, keepdims=True))
+
+        out._backward = _backward
+        return out
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce a value into a (non-grad) Tensor, passing Tensors through."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else ())
+
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def _backward() -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * data.ndim
+            slicer[axis] = slice(int(start), int(stop))
+            Tensor._accumulate(tensor, out.grad[tuple(slicer)])
+
+    out._backward = _backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else ())
+
+    def _backward() -> None:
+        for i, tensor in enumerate(tensors):
+            slicer = [slice(None)] * data.ndim
+            slicer[axis] = i
+            Tensor._accumulate(tensor, out.grad[tuple(slicer)])
+
+    out._backward = _backward
+    return out
+
+
+def where(condition: np.ndarray, if_true: Tensor, if_false: Tensor) -> Tensor:
+    """Elementwise select with gradients flowing to both branches."""
+    t, f = as_tensor(if_true), as_tensor(if_false)
+    cond = np.asarray(condition, dtype=bool)
+    data = np.where(cond, t.data, f.data)
+    requires = t.requires_grad or f.requires_grad
+    out = Tensor(data, requires_grad=requires, _parents=(t, f) if requires else ())
+
+    def _backward() -> None:
+        Tensor._accumulate(t, out.grad * cond)
+        Tensor._accumulate(f, out.grad * (~cond))
+
+    out._backward = _backward
+    return out

@@ -1,0 +1,154 @@
+"""Core layers: Linear, Embedding, LayerNorm, Dropout, MLP blocks."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.utils.rng import derive_rng
+
+
+def glorot_init(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with Glorot-initialized weights."""
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0, bias: bool = True):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigError(
+                f"Linear sizes must be positive, got {in_features}x{out_features}"
+            )
+        rng = derive_rng(seed, f"linear:{in_features}x{out_features}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(glorot_init(rng, in_features, out_features))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(self, num_embeddings: int, dim: int, seed: int = 0):
+        super().__init__()
+        rng = derive_rng(seed, f"embedding:{num_embeddings}x{dim}")
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, dim)))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        idx = np.asarray(indices)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise ConfigError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={idx.min()}, max={idx.max()}"
+            )
+        return self.weight.take_rows(idx)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * ((var + self.eps) ** -0.5)
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    The mask stream is drawn from a module-owned generator seeded at
+    construction so that training runs are reproducible.
+    """
+
+    def __init__(self, rate: float, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ConfigError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = derive_rng(seed, "dropout")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * mask
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = ModuleList(modules)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class Activation(Module):
+    """Wraps a Tensor-method activation so it can live in Sequential."""
+
+    def __init__(self, kind: str = "relu"):
+        super().__init__()
+        valid = {"relu", "tanh", "gelu", "sigmoid"}
+        if kind not in valid:
+            raise ConfigError(f"unknown activation {kind!r}; expected one of {sorted(valid)}")
+        self.kind = kind
+
+    def forward(self, x: Tensor) -> Tensor:
+        return getattr(x, self.kind)()
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation."""
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        activation: str = "relu",
+        seed: int = 0,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        if len(sizes) < 2:
+            raise ConfigError(f"MLP needs at least [in, out] sizes, got {list(sizes)}")
+        self.sizes = tuple(int(s) for s in sizes)
+        layers: list = []
+        for i, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layers.append(Linear(fan_in, fan_out, seed=seed * 1000 + i))
+            if i < len(sizes) - 2:
+                layers.append(Activation(activation))
+                if dropout > 0:
+                    layers.append(Dropout(dropout, seed=seed * 1000 + 500 + i))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

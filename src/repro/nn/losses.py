@@ -1,0 +1,69 @@
+"""Loss functions over autograd tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.autograd import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer ``targets``.
+
+    ``logits`` may be ``(batch, classes)`` or ``(batch, seq, classes)``;
+    targets must have the matching leading shape.  Target entries equal
+    to ``-1`` are ignored (padding).
+    """
+    targets = np.asarray(targets)
+    if logits.ndim == 3:
+        batch, seq, classes = logits.shape
+        logits = logits.reshape(batch * seq, classes)
+        targets = targets.reshape(batch * seq)
+    if logits.ndim != 2 or targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ShapeError(
+            f"cross_entropy shapes incompatible: logits {logits.shape}, "
+            f"targets {targets.shape}"
+        )
+    mask = targets >= 0
+    count = int(mask.sum())
+    if count == 0:
+        raise ShapeError("cross_entropy received only padding targets")
+    log_probs = logits.log_softmax(axis=-1)
+    safe_targets = np.where(mask, targets, 0)
+    picked = log_probs[np.arange(targets.shape[0]), safe_targets]
+    return -(picked * mask.astype(float)).sum() * (1.0 / count)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    target = np.asarray(target, dtype=np.float64)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def kl_divergence(student_logits: Tensor, teacher_probs: np.ndarray) -> Tensor:
+    """KL(teacher || student) used for distillation.
+
+    ``teacher_probs`` are fixed probabilities (already softmaxed);
+    gradients flow only through the student.
+    """
+    teacher = np.asarray(teacher_probs, dtype=np.float64)
+    log_student = student_logits.log_softmax(axis=-1)
+    # Constant teacher-entropy term is omitted: it does not affect grads.
+    per_example = -(log_student * teacher).sum(axis=-1)
+    return per_example.mean()
+
+
+def perplexity(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Perplexity of next-token predictions (plain numpy, no grads)."""
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets)
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    mask = flat_targets >= 0
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    picked = log_probs[np.arange(flat_targets.shape[0]), np.where(mask, flat_targets, 0)]
+    nll = -(picked * mask).sum() / max(int(mask.sum()), 1)
+    return float(np.exp(nll))

@@ -1,0 +1,182 @@
+"""Concrete model families populating the lake.
+
+Three families, mirroring the diversity the paper assumes a lake holds:
+
+* :class:`MLPClassifier` — feature-vector classifiers.
+* :class:`TextClassifier` — bag-of-embeddings text classifiers (e.g.
+  domain/topic classifiers).
+* :class:`repro.nn.transformer.TransformerLM` — generative language
+  models (imported here for a single models namespace).
+
+All expose ``architecture_spec()`` describing the function family
+``f*`` and are built from the same Module substrate, so every intrinsic
+analysis works uniformly across families.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.autograd import Tensor
+from repro.nn.layers import MLP, Embedding
+from repro.nn.module import Module
+from repro.nn.transformer import TransformerLM
+
+__all__ = [
+    "MLPClassifier",
+    "TextClassifier",
+    "TransformerLM",
+    "build_model",
+    "register_model_family",
+]
+
+#: Extension point: family name -> builder(spec, seed) for model families
+#: defined outside this module (e.g. stitched hybrids).
+_FAMILY_BUILDERS: Dict[str, "Callable"] = {}
+
+
+def register_model_family(family: str, builder) -> None:
+    """Register a builder for an externally-defined model family.
+
+    ``builder(spec, seed=0)`` must return a Module whose
+    ``architecture_spec()["family"]`` equals ``family``.
+    """
+    _FAMILY_BUILDERS[family] = builder
+
+
+class MLPClassifier(Module):
+    """MLP over fixed-size feature vectors, producing class logits."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden: tuple = (32,),
+        activation: str = "relu",
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.num_classes = num_classes
+        self.hidden = tuple(int(h) for h in hidden)
+        self.activation = activation
+        self.mlp = MLP(
+            [in_features, *self.hidden, num_classes], activation=activation, seed=seed
+        )
+
+    def architecture_spec(self) -> Dict:
+        return {
+            "family": "mlp_classifier",
+            "in_features": self.in_features,
+            "num_classes": self.num_classes,
+            "hidden": list(self.hidden),
+            "activation": self.activation,
+        }
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=np.float64))
+        return self.mlp(x)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities (extrinsic behavior ``p_theta(y | x)``)."""
+        return self.forward(x).softmax(axis=-1).data
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=-1)
+
+
+class TextClassifier(Module):
+    """Mean-pooled embedding bag followed by an MLP head.
+
+    Input: int token-id array ``(batch, seq)``; padding id ``0`` is
+    masked out of the mean pool.  Output: class logits.
+    """
+
+    PAD_ID = 0
+
+    def __init__(
+        self,
+        vocab_size: int,
+        num_classes: int,
+        dim: int = 24,
+        hidden: tuple = (32,),
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.num_classes = num_classes
+        self.dim = dim
+        self.hidden = tuple(int(h) for h in hidden)
+        self.embedding = Embedding(vocab_size, dim, seed=seed * 7 + 1)
+        self.head = MLP([dim, *self.hidden, num_classes], seed=seed * 7 + 2)
+
+    def architecture_spec(self) -> Dict:
+        return {
+            "family": "text_classifier",
+            "vocab_size": self.vocab_size,
+            "num_classes": self.num_classes,
+            "dim": self.dim,
+            "hidden": list(self.hidden),
+        }
+
+    def embed_tokens(self, tokens: np.ndarray) -> Tensor:
+        """Masked mean-pooled document embedding, pre-head."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        embedded = self.embedding(tokens)  # (B, S, D)
+        mask = (tokens != self.PAD_ID).astype(np.float64)  # (B, S)
+        counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)  # (B, 1)
+        masked = embedded * mask[:, :, None]
+        return masked.sum(axis=1) * Tensor(1.0 / counts)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        return self.head(self.embed_tokens(tokens))
+
+    def predict_proba(self, tokens: np.ndarray) -> np.ndarray:
+        return self.forward(tokens).softmax(axis=-1).data
+
+    def predict(self, tokens: np.ndarray) -> np.ndarray:
+        return self.predict_proba(tokens).argmax(axis=-1)
+
+
+def build_model(spec: Dict, seed: int = 0) -> Module:
+    """Instantiate a model from an architecture spec dictionary.
+
+    The inverse of each model's ``architecture_spec()``; used by the
+    lake's weight store to rehydrate models from stored weights.
+    """
+    family = spec.get("family")
+    if family in _FAMILY_BUILDERS:
+        return _FAMILY_BUILDERS[family](spec, seed=seed)
+    if family == "mlp_classifier":
+        return MLPClassifier(
+            in_features=spec["in_features"],
+            num_classes=spec["num_classes"],
+            hidden=tuple(spec.get("hidden", (32,))),
+            activation=spec.get("activation", "relu"),
+            seed=seed,
+        )
+    if family == "text_classifier":
+        return TextClassifier(
+            vocab_size=spec["vocab_size"],
+            num_classes=spec["num_classes"],
+            dim=spec.get("dim", 24),
+            hidden=tuple(spec.get("hidden", (32,))),
+            seed=seed,
+        )
+    if family == "transformer_lm":
+        return TransformerLM(
+            vocab_size=spec["vocab_size"],
+            d_model=spec.get("d_model", 32),
+            num_heads=spec.get("num_heads", 2),
+            num_layers=spec.get("num_layers", 2),
+            d_ff=spec.get("d_ff"),
+            max_seq_len=spec.get("max_seq_len", 64),
+            seed=seed,
+        )
+    raise ConfigError(f"unknown model family: {family!r}")

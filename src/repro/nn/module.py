@@ -1,0 +1,133 @@
+"""Module and Parameter abstractions on top of the autograd engine.
+
+Modules mirror the familiar torch-style containment model: a module owns
+parameters and child modules, and ``state_dict`` / ``load_state_dict``
+flatten the tree into ``name -> ndarray`` mappings.  That flat mapping is
+the unit of storage in the lake's weight store and the input to all
+intrinsic (weight-space) analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always ``requires_grad=True``)."""
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; this base class discovers them by introspection, in
+    attribute assignment order (dicts preserve insertion order), which
+    makes ``state_dict`` deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- containment ----------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, ModuleList):
+                for i, child in enumerate(value):
+                    yield from child.named_parameters(prefix=f"{full}.{i}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Module):
+                yield from value.named_modules(prefix=f"{full}.")
+            elif isinstance(value, ModuleList):
+                for i, child in enumerate(value):
+                    yield from child.named_modules(prefix=f"{full}.{i}.")
+
+    # -- train / eval ----------------------------------------------------
+    def train(self) -> "Module":
+        for _, module in self.named_modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for _, module in self.named_modules():
+            module.training = False
+        return self
+
+    # -- gradients --------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- state dict --------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat ``name -> ndarray`` copy of all parameters."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values from a flat mapping (in place)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise ShapeError(
+                f"state dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ShapeError(
+                    f"parameter {name!r}: expected shape {param.data.shape}, "
+                    f"got {value.shape}"
+                )
+            param.data = value.copy()
+
+    # -- call --------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList:
+    """An ordered container of modules, discovered by Module introspection."""
+
+    def __init__(self, modules=()):
+        self._modules: List[Module] = list(modules)
+
+    def append(self, module: Module) -> None:
+        self._modules.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[index]

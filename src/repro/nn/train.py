@@ -1,0 +1,176 @@
+"""Training loops, checkpointing, and per-example gradient utilities.
+
+Checkpoints taken during training are the raw material for TracIn-style
+attribution (:mod:`repro.core.attribution.influence`), so the trainer
+optionally records full state dicts at a configurable cadence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.autograd import Tensor
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module
+from repro.nn.optim import Adam, Optimizer
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    losses: List[float] = field(default_factory=list)
+    checkpoints: List[Dict[str, np.ndarray]] = field(default_factory=list)
+    checkpoint_lrs: List[float] = field(default_factory=list)
+    epochs: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def iterate_minibatches(
+    n: int, batch_size: int, rng: np.random.Generator, shuffle: bool = True
+):
+    """Yield index arrays covering ``range(n)`` in batches."""
+    order = rng.permutation(n) if shuffle else np.arange(n)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]
+
+
+def train_classifier(
+    model: Module,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    epochs: int = 5,
+    batch_size: int = 32,
+    lr: float = 1e-2,
+    seed: int = 0,
+    optimizer: Optional[Optimizer] = None,
+    checkpoint_every: int = 0,
+    weight_decay: float = 0.0,
+) -> TrainResult:
+    """Train any classifier model (logits out, int labels) in place.
+
+    ``checkpoint_every > 0`` records a state-dict snapshot every that
+    many epochs (plus the final state), for TracIn attribution.
+    """
+    inputs = np.asarray(inputs)
+    labels = np.asarray(labels)
+    if len(inputs) != len(labels):
+        raise ConfigError(
+            f"inputs ({len(inputs)}) and labels ({len(labels)}) length mismatch"
+        )
+    rng = derive_rng(seed, "train_classifier")
+    opt = optimizer or Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    result = TrainResult()
+    model.train()
+    for epoch in range(epochs):
+        epoch_losses = []
+        for batch_idx in iterate_minibatches(len(inputs), batch_size, rng):
+            opt.zero_grad()
+            logits = model(inputs[batch_idx])
+            loss = cross_entropy(logits, labels[batch_idx])
+            loss.backward()
+            opt.step()
+            epoch_losses.append(loss.item())
+        result.losses.append(float(np.mean(epoch_losses)))
+        if checkpoint_every and (epoch + 1) % checkpoint_every == 0:
+            result.checkpoints.append(model.state_dict())
+            result.checkpoint_lrs.append(opt.lr)
+    result.epochs = epochs
+    if checkpoint_every and (not result.checkpoints or epochs % checkpoint_every):
+        result.checkpoints.append(model.state_dict())
+        result.checkpoint_lrs.append(opt.lr)
+    model.eval()
+    return result
+
+
+def train_language_model(
+    model: Module,
+    token_sequences: np.ndarray,
+    epochs: int = 3,
+    batch_size: int = 16,
+    lr: float = 3e-3,
+    seed: int = 0,
+    checkpoint_every: int = 0,
+) -> TrainResult:
+    """Train a causal LM on fixed-length token sequences.
+
+    ``token_sequences`` is ``(num_seqs, seq_len)``; next-token targets
+    are the inputs shifted left, with ``-1`` padding for the last slot.
+    """
+    sequences = np.asarray(token_sequences, dtype=np.int64)
+    if sequences.ndim != 2:
+        raise ConfigError(f"expected (num_seqs, seq_len) tokens, got {sequences.shape}")
+    rng = derive_rng(seed, "train_lm")
+    opt = Adam(model.parameters(), lr=lr)
+    result = TrainResult()
+    model.train()
+    targets = np.concatenate(
+        [sequences[:, 1:], np.full((len(sequences), 1), -1, dtype=np.int64)], axis=1
+    )
+    for epoch in range(epochs):
+        epoch_losses = []
+        for batch_idx in iterate_minibatches(len(sequences), batch_size, rng):
+            opt.zero_grad()
+            logits = model(sequences[batch_idx])
+            loss = cross_entropy(logits, targets[batch_idx])
+            loss.backward()
+            opt.step()
+            epoch_losses.append(loss.item())
+        result.losses.append(float(np.mean(epoch_losses)))
+        if checkpoint_every and (epoch + 1) % checkpoint_every == 0:
+            result.checkpoints.append(model.state_dict())
+            result.checkpoint_lrs.append(opt.lr)
+    result.epochs = epochs
+    if checkpoint_every and (not result.checkpoints or epochs % checkpoint_every):
+        result.checkpoints.append(model.state_dict())
+        result.checkpoint_lrs.append(opt.lr)
+    model.eval()
+    return result
+
+
+def example_gradient(
+    model: Module, x: np.ndarray, y: int,
+    loss_fn: Callable[[Tensor, np.ndarray], Tensor] = cross_entropy,
+) -> Dict[str, np.ndarray]:
+    """Gradient of the loss on a single example, as ``name -> grad``."""
+    model.zero_grad()
+    logits = model(np.asarray(x)[None, ...])
+    loss = loss_fn(logits, np.asarray([y]))
+    loss.backward()
+    grads = {
+        name: (param.grad.copy() if param.grad is not None else np.zeros_like(param.data))
+        for name, param in model.named_parameters()
+    }
+    model.zero_grad()
+    return grads
+
+
+def flat_gradient(grads: Dict[str, np.ndarray]) -> np.ndarray:
+    """Concatenate a name->grad mapping into one flat vector (sorted names)."""
+    return np.concatenate([grads[name].ravel() for name in sorted(grads)])
+
+
+def evaluate_accuracy(model: Module, inputs: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct argmax predictions."""
+    logits = model(np.asarray(inputs))
+    predictions = logits.data.argmax(axis=-1)
+    return float((predictions == np.asarray(labels)).mean())
+
+
+def per_example_losses(
+    model: Module, inputs: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """Cross-entropy loss of each example separately (no grads)."""
+    logits = model(np.asarray(inputs)).data
+    labels = np.asarray(labels)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    return -log_probs[np.arange(len(labels)), labels]

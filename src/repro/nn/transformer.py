@@ -1,0 +1,157 @@
+"""A tiny decoder-only transformer language model.
+
+This is the "large language model" of the lake: small enough to train in
+seconds on synthetic corpora, but with the genuine architecture —
+embeddings, positional encodings, pre-norm attention blocks, an MLP
+expansion, weight-tied unembedding option — so that intrinsic analyses
+(weight-space features, attention patterns, neuron ablation) have real
+structure to work with.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.module import Module, ModuleList
+from repro.utils.rng import derive_rng
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: LN -> attention -> LN -> MLP."""
+
+    def __init__(self, d_model: int, num_heads: int, d_ff: int, seed: int = 0):
+        super().__init__()
+        self.ln1 = LayerNorm(d_model)
+        self.attn = MultiHeadSelfAttention(d_model, num_heads, seed=seed)
+        self.ln2 = LayerNorm(d_model)
+        self.ff_in = Linear(d_model, d_ff, seed=seed * 31 + 7)
+        self.ff_out = Linear(d_ff, d_model, seed=seed * 31 + 8)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln1(x))
+        hidden = self.ff_in(self.ln2(x)).gelu()
+        return x + self.ff_out(hidden)
+
+    def mlp_activations(self, x: Tensor) -> Tensor:
+        """Post-GELU hidden activations of the MLP, for neuron analyses."""
+        x = x + self.attn(self.ln1(x))
+        return self.ff_in(self.ln2(x)).gelu()
+
+
+class TransformerLM(Module):
+    """Decoder-only causal language model.
+
+    ``forward`` maps int token ids ``(batch, seq)`` to logits
+    ``(batch, seq, vocab)``.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        d_model: int = 32,
+        num_heads: int = 2,
+        num_layers: int = 2,
+        d_ff: Optional[int] = None,
+        max_seq_len: int = 64,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if vocab_size <= 0:
+            raise ConfigError(f"vocab_size must be positive, got {vocab_size}")
+        d_ff = d_ff if d_ff is not None else 4 * d_model
+        self.vocab_size = vocab_size
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.num_layers = num_layers
+        self.d_ff = d_ff
+        self.max_seq_len = max_seq_len
+
+        self.tok_emb = Embedding(vocab_size, d_model, seed=seed * 101 + 1)
+        self.pos_emb = Embedding(max_seq_len, d_model, seed=seed * 101 + 2)
+        self.blocks = ModuleList(
+            [TransformerBlock(d_model, num_heads, d_ff, seed=seed * 101 + 10 + i)
+             for i in range(num_layers)]
+        )
+        self.ln_final = LayerNorm(d_model)
+        self.head = Linear(d_model, vocab_size, seed=seed * 101 + 99)
+
+    def architecture_spec(self) -> dict:
+        """Structured description of the function family ``f*``."""
+        return {
+            "family": "transformer_lm",
+            "vocab_size": self.vocab_size,
+            "d_model": self.d_model,
+            "num_heads": self.num_heads,
+            "num_layers": self.num_layers,
+            "d_ff": self.d_ff,
+            "max_seq_len": self.max_seq_len,
+        }
+
+    def _embed(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        _, seq = tokens.shape
+        if seq > self.max_seq_len:
+            raise ConfigError(f"sequence length {seq} exceeds max {self.max_seq_len}")
+        positions = np.broadcast_to(np.arange(seq), tokens.shape)
+        return self.tok_emb(tokens) + self.pos_emb(positions)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        x = self._embed(tokens)
+        for block in self.blocks:
+            x = block(x)
+        return self.head(self.ln_final(x))
+
+    def hidden_states(self, tokens: np.ndarray) -> List[Tensor]:
+        """Residual-stream states after each block (for probing)."""
+        x = self._embed(tokens)
+        states = [x]
+        for block in self.blocks:
+            x = block(x)
+            states.append(x)
+        return states
+
+    def next_token_distribution(self, tokens: np.ndarray) -> np.ndarray:
+        """Probability distribution over the next token after ``tokens``.
+
+        This is the extrinsic behavior ``p_theta`` the paper's behavioral
+        analyses observe.  Accepts a 1-D prompt; returns shape (vocab,).
+        """
+        logits = self.forward(np.asarray(tokens)[None, :])
+        return logits[0, -1].softmax().data
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        rng: np.random.Generator,
+        temperature: float = 1.0,
+        logit_bias: Optional[np.ndarray] = None,
+    ) -> List[int]:
+        """Sample a continuation of ``prompt``.
+
+        ``logit_bias`` (shape ``(vocab,)``) is added to logits before
+        sampling — the hook used by the watermarking module.
+        """
+        tokens = list(np.asarray(prompt).tolist())
+        for _ in range(max_new_tokens):
+            window = np.array(tokens[-self.max_seq_len:], dtype=np.int64)
+            logits = self.forward(window[None, :]).data[0, -1]
+            if logit_bias is not None:
+                logits = logits + logit_bias
+            if temperature <= 0:
+                tokens.append(int(np.argmax(logits)))
+                continue
+            scaled = logits / temperature
+            scaled -= scaled.max()
+            probs = np.exp(scaled)
+            probs /= probs.sum()
+            tokens.append(int(rng.choice(len(probs), p=probs)))
+        return tokens[len(prompt):]

@@ -1,0 +1,34 @@
+"""Model derivation operators — the edges of the lake's version graphs."""
+
+from repro.transforms.base import (
+    TRANSFORM_KINDS,
+    TransformRecord,
+    clone_model,
+    flatten_state,
+    weight_delta,
+)
+from repro.transforms.finetune import (
+    finetune_classifier,
+    finetune_language_model,
+    preference_tune,
+)
+from repro.transforms.lora import LoRALinear, lora_adapt_classifier
+from repro.transforms.editing import edit_classifier
+from repro.transforms.distill import distill_classifier
+from repro.transforms.prune import prune_model
+from repro.transforms.quantize import quantize_model
+from repro.transforms.merge import merge_models
+from repro.transforms.stitch import StitchedTextClassifier, stitch_classifiers
+
+__all__ = [
+    "TRANSFORM_KINDS", "TransformRecord", "clone_model", "flatten_state",
+    "weight_delta",
+    "finetune_classifier", "finetune_language_model", "preference_tune",
+    "LoRALinear", "lora_adapt_classifier",
+    "edit_classifier",
+    "distill_classifier",
+    "prune_model",
+    "quantize_model",
+    "merge_models",
+    "StitchedTextClassifier", "stitch_classifiers",
+]

@@ -1,0 +1,70 @@
+"""Knowledge distillation: train a (possibly smaller) student on teacher outputs."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.datasets import TextDataset
+from repro.errors import TransformError
+from repro.nn.losses import kl_divergence
+from repro.nn.models import TextClassifier, build_model
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.train import iterate_minibatches
+from repro.transforms.base import TransformRecord
+from repro.utils.rng import derive_rng
+
+
+def distill_classifier(
+    teacher: Module,
+    transfer_set: TextDataset,
+    student_spec: Optional[dict] = None,
+    epochs: int = 10,
+    lr: float = 5e-3,
+    temperature: float = 2.0,
+    seed: int = 0,
+    batch_size: int = 32,
+) -> Tuple[Module, TransformRecord]:
+    """Distill ``teacher`` into a student trained on soft targets.
+
+    ``student_spec`` defaults to the teacher's architecture (self-
+    distillation into a fresh init); pass a smaller spec to compress.
+    The child's weights share *no* initialization with the teacher, so
+    distillation edges are the hard case for weight-based version
+    recovery — exactly why the lake also needs behavioral signals.
+    """
+    spec = dict(student_spec or teacher.architecture_spec())
+    student = build_model(spec, seed=seed + 17)
+
+    logits = teacher(transfer_set.tokens).data / temperature
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    soft_targets = np.exp(shifted)
+    soft_targets /= soft_targets.sum(axis=-1, keepdims=True)
+
+    opt = Adam(student.parameters(), lr=lr)
+    rng = derive_rng(seed, "distill")
+    student.train()
+    for _ in range(epochs):
+        for batch_idx in iterate_minibatches(len(transfer_set), batch_size, rng):
+            opt.zero_grad()
+            student_logits = student(transfer_set.tokens[batch_idx])
+            loss = kl_divergence(student_logits, soft_targets[batch_idx])
+            loss.backward()
+            opt.step()
+    student.eval()
+
+    record = TransformRecord(
+        kind="distill",
+        params={
+            "epochs": epochs,
+            "lr": lr,
+            "temperature": temperature,
+            "student_family": spec.get("family"),
+        },
+        dataset_digest=transfer_set.content_digest(),
+        dataset_name=transfer_set.name,
+        seed=seed,
+    )
+    return student, record

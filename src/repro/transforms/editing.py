@@ -1,0 +1,121 @@
+"""Model editing: localized rank-one weight updates (ROME-style, lite).
+
+Model editing updates specific behaviors "without retraining the entire
+model" (§4 Model Versions).  Here we implement the classifier analogue
+of a fact edit: force a chosen probe input to map to a chosen class via
+a closed-form rank-one update to the final linear layer, leaving other
+behavior minimally disturbed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TransformError
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Linear
+from repro.nn.module import Module, ModuleList
+from repro.transforms.base import TransformRecord, clone_model
+
+
+def _final_linear(module: Module) -> Linear:
+    """The last Linear layer in forward order (the classification head)."""
+    last: Optional[Linear] = None
+    for _, sub in module.named_modules():
+        if isinstance(sub, Linear):
+            last = sub
+    if last is None:
+        raise TransformError("model has no Linear layer to edit")
+    return last
+
+
+def _penultimate_features(model: Module, tokens: np.ndarray, head: Linear) -> np.ndarray:
+    """Input features of the head layer for the given input.
+
+    Computed by temporarily hooking the head: we capture its input
+    during a normal forward pass, so the routine works for any model
+    whose head is a Linear.
+    """
+    captured = {}
+    original_forward = head.forward
+
+    def capturing_forward(x: Tensor) -> Tensor:
+        captured["features"] = x.data.copy()
+        return original_forward(x)
+
+    head.forward = capturing_forward  # type: ignore[method-assign]
+    try:
+        model(tokens)
+    finally:
+        head.forward = original_forward  # type: ignore[method-assign]
+    features = captured["features"]
+    return features.reshape(-1, features.shape[-1])
+
+
+def edit_classifier(
+    model: Module,
+    probe_tokens: np.ndarray,
+    target_class: int,
+    margin: float = 2.0,
+    seed: int = 0,
+    preserve_tokens: Optional[np.ndarray] = None,
+    ridge: float = 1e-3,
+) -> Tuple[Module, TransformRecord]:
+    """Rank-one edit making ``probe_tokens`` classify as ``target_class``.
+
+    Let ``h`` be the head's input features for the probe and ``W`` the
+    head weight.  We apply ``W += u (t - y)^T / (h . u)`` where ``y`` is
+    the current logit vector and ``t`` the target logits (current logits
+    with the target class raised ``margin`` above the best competitor).
+
+    The update direction ``u`` is covariance-corrected (ROME-style):
+    when ``preserve_tokens`` is given, ``u = C^{-1} h`` with ``C`` the
+    (ridge-regularized) second-moment matrix of their features, which
+    steers the edit away from directions other inputs use — keeping the
+    edit exact for the probe while minimizing collateral behavior
+    change.  Without a preservation set, ``u = h`` (plain rank-one).
+    """
+    child = clone_model(model)
+    head = _final_linear(child)
+    probe = np.asarray(probe_tokens)
+    if probe.ndim == 1:
+        probe = probe[None, :]
+    features = _penultimate_features(child, probe, head).mean(axis=0)
+
+    logits = features @ head.weight.data
+    if head.bias is not None:
+        logits = logits + head.bias.data
+    num_classes = logits.shape[-1]
+    if not 0 <= target_class < num_classes:
+        raise TransformError(
+            f"target_class {target_class} out of range for {num_classes} classes"
+        )
+    target = logits.copy()
+    competitor = np.max(np.delete(logits, target_class))
+    target[target_class] = competitor + margin
+
+    if preserve_tokens is not None:
+        preserve = _penultimate_features(child, np.asarray(preserve_tokens), head)
+        moment = preserve.T @ preserve / len(preserve)
+        moment += ridge * np.trace(moment) / len(moment) * np.eye(len(moment))
+        direction = np.linalg.solve(moment, features)
+    else:
+        direction = features
+    alignment = float(features @ direction)
+    if abs(alignment) < 1e-12:
+        raise TransformError("probe produced a degenerate feature vector; cannot edit")
+    delta = np.outer(direction, target - logits) / alignment
+    head.weight.data = head.weight.data + delta
+
+    record = TransformRecord(
+        kind="edit",
+        params={
+            "target_class": int(target_class),
+            "margin": margin,
+            "probe_digest_len": int(probe.size),
+        },
+        seed=seed,
+    )
+    return child, record

@@ -1,0 +1,118 @@
+"""Fine-tuning and preference-tuning transforms."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data.datasets import TextDataset
+from repro.errors import ConfigError
+from repro.nn.autograd import Tensor
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.train import iterate_minibatches, train_classifier, train_language_model
+from repro.transforms.base import TransformRecord, clone_model
+from repro.utils.rng import derive_rng
+
+
+def finetune_classifier(
+    model: Module,
+    dataset: TextDataset,
+    epochs: int = 5,
+    lr: float = 5e-3,
+    seed: int = 0,
+    batch_size: int = 32,
+) -> Tuple[Module, TransformRecord]:
+    """Continue training a classifier on (possibly new-domain) data."""
+    child = clone_model(model)
+    train_classifier(
+        child, dataset.tokens, dataset.labels,
+        epochs=epochs, lr=lr, seed=seed, batch_size=batch_size,
+    )
+    record = TransformRecord(
+        kind="finetune",
+        params={"epochs": epochs, "lr": lr},
+        dataset_digest=dataset.content_digest(),
+        dataset_name=dataset.name,
+        seed=seed,
+    )
+    return child, record
+
+
+def finetune_language_model(
+    model: Module,
+    dataset: TextDataset,
+    epochs: int = 3,
+    lr: float = 3e-3,
+    seed: int = 0,
+    batch_size: int = 16,
+) -> Tuple[Module, TransformRecord]:
+    """Continue next-token training of a language model."""
+    child = clone_model(model)
+    train_language_model(
+        child, dataset.tokens, epochs=epochs, lr=lr, seed=seed, batch_size=batch_size
+    )
+    record = TransformRecord(
+        kind="finetune",
+        params={"epochs": epochs, "lr": lr, "objective": "lm"},
+        dataset_digest=dataset.content_digest(),
+        dataset_name=dataset.name,
+        seed=seed,
+    )
+    return child, record
+
+
+def preference_tune(
+    model: Module,
+    dataset: TextDataset,
+    preferred_domains: Tuple[str, ...],
+    preference_weight: float = 3.0,
+    epochs: int = 3,
+    lr: float = 5e-3,
+    seed: int = 0,
+    batch_size: int = 32,
+) -> Tuple[Module, TransformRecord]:
+    """Preference tuning: upweight examples from preferred domains.
+
+    A lightweight stand-in for RLHF-style preference optimization: the
+    loss of examples whose domain is preferred is scaled by
+    ``preference_weight``, steering behavior toward the preference
+    without a reward model.
+    """
+    if preference_weight <= 0:
+        raise ConfigError(f"preference_weight must be positive, got {preference_weight}")
+    child = clone_model(model)
+    rng = derive_rng(seed, "preference_tune")
+    opt = Adam(child.parameters(), lr=lr)
+    preferred = set(preferred_domains)
+    weights = np.array(
+        [preference_weight if d in preferred else 1.0 for d in dataset.domains]
+    )
+    weights = weights / weights.mean()
+    child.train()
+    for _ in range(epochs):
+        for batch_idx in iterate_minibatches(len(dataset), batch_size, rng):
+            opt.zero_grad()
+            logits = child(dataset.tokens[batch_idx])
+            labels = dataset.labels[batch_idx]
+            log_probs = logits.log_softmax(axis=-1)
+            picked = log_probs[np.arange(len(labels)), labels]
+            loss = -(picked * weights[batch_idx]).mean()
+            loss.backward()
+            opt.step()
+    child.eval()
+    record = TransformRecord(
+        kind="preference",
+        params={
+            "preferred_domains": sorted(preferred),
+            "preference_weight": preference_weight,
+            "epochs": epochs,
+            "lr": lr,
+        },
+        dataset_digest=dataset.content_digest(),
+        dataset_name=dataset.name,
+        seed=seed,
+    )
+    return child, record

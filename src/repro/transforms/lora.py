@@ -1,0 +1,163 @@
+"""LoRA: low-rank adaptation of linear layers (Hu et al., 2022).
+
+Frozen base weights plus trainable low-rank factors ``A @ B``; after
+adaptation the factors are merged back into dense weights for storage.
+The merged child therefore differs from its parent by an (at most)
+rank-``r`` matrix on each adapted layer — the statistical signature the
+versioning edge classifier looks for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.datasets import TextDataset
+from repro.errors import ConfigError, TransformError
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Linear
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.optim import Adam
+from repro.nn.train import iterate_minibatches
+from repro.transforms.base import TransformRecord, clone_model
+from repro.utils.rng import derive_rng
+
+
+class LoRALinear(Module):
+    """A Linear layer with frozen base weight and trainable low-rank delta."""
+
+    def __init__(self, base: Linear, rank: int, seed: int = 0, alpha: float = 1.0):
+        super().__init__()
+        if rank <= 0 or rank > min(base.in_features, base.out_features):
+            raise ConfigError(
+                f"LoRA rank must be in [1, {min(base.in_features, base.out_features)}], "
+                f"got {rank}"
+            )
+        rng = derive_rng(seed, "lora")
+        self.in_features = base.in_features
+        self.out_features = base.out_features
+        self.rank = rank
+        self.alpha = alpha
+        # Frozen copy of the base weight; bias stays trainable (BitFit-style,
+        # standard in LoRA implementations and needed to move units out of
+        # dead ReLU regions). The weight delta stays exactly rank <= r.
+        self._base_weight = Tensor(base.weight.data.copy())
+        self._base_bias = (
+            Parameter(base.bias.data.copy()) if base.bias is not None else None
+        )
+        # Standard LoRA init: A ~ Kaiming-scale, B = 0, so the delta starts
+        # at 0 but gradients through the product are well-conditioned.
+        self.lora_a = Parameter(
+            rng.normal(0.0, 1.0 / np.sqrt(base.in_features), size=(base.in_features, rank))
+        )
+        self.lora_b = Parameter(np.zeros((rank, base.out_features)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self._base_weight + (x @ self.lora_a) @ self.lora_b * self.alpha
+        if self._base_bias is not None:
+            out = out + self._base_bias
+        return out
+
+    def merged_weight(self) -> np.ndarray:
+        """Dense weight with the low-rank delta baked in."""
+        return self._base_weight.data + self.alpha * (self.lora_a.data @ self.lora_b.data)
+
+
+def _swap_linears(module: Module, rank: int, seed: int, adapted: List[Tuple[Module, str, LoRALinear]]) -> None:
+    """Recursively replace Linear children with LoRALinear wrappers."""
+    for name, value in list(vars(module).items()):
+        if isinstance(value, Linear):
+            max_rank = min(value.in_features, value.out_features)
+            wrapper = LoRALinear(value, rank=min(rank, max_rank), seed=seed + len(adapted))
+            setattr(module, name, wrapper)
+            adapted.append((module, name, wrapper))
+        elif isinstance(value, LoRALinear):
+            continue
+        elif isinstance(value, Module):
+            _swap_linears(value, rank, seed, adapted)
+        elif isinstance(value, ModuleList):
+            for i, child in enumerate(value):
+                if isinstance(child, Linear):
+                    max_rank = min(child.in_features, child.out_features)
+                    wrapper = LoRALinear(
+                        child, rank=min(rank, max_rank), seed=seed + len(adapted)
+                    )
+                    value._modules[i] = wrapper
+                    adapted.append((value, str(i), wrapper))
+                else:
+                    _swap_linears(child, rank, seed, adapted)
+
+
+def lora_adapt_classifier(
+    model: Module,
+    dataset: TextDataset,
+    rank: int = 2,
+    epochs: int = 3,
+    lr: float = 5e-3,
+    seed: int = 0,
+    batch_size: int = 32,
+) -> Tuple[Module, TransformRecord]:
+    """LoRA-adapt every Linear layer of a classifier, then merge.
+
+    Only the low-rank factors (and no base weights) receive gradients;
+    the returned child is a plain dense model with merged weights, so it
+    is storable and comparable like any other lake model.
+    """
+    working = clone_model(model)
+    adapted: List[Tuple[Module, str, LoRALinear]] = []
+    _swap_linears(working, rank, seed, adapted)
+    if not adapted:
+        raise TransformError("model has no Linear layers to LoRA-adapt")
+
+    trainable = []
+    for _, _, wrapper in adapted:
+        trainable.extend([wrapper.lora_a, wrapper.lora_b])
+        if wrapper._base_bias is not None:
+            trainable.append(wrapper._base_bias)
+    opt = Adam(trainable, lr=lr)
+    rng = derive_rng(seed, "lora_train")
+    working.train()
+    for _ in range(epochs):
+        for batch_idx in iterate_minibatches(len(dataset), batch_size, rng):
+            opt.zero_grad()
+            loss = cross_entropy(working(dataset.tokens[batch_idx]), dataset.labels[batch_idx])
+            loss.backward()
+            opt.step()
+    working.eval()
+
+    # Merge: rebuild a clean dense model and write adapted weights in.
+    child = clone_model(model)
+    merged_state = model.state_dict()
+    # Walk the working model in parallel with the clean child to map names.
+    _write_merged(working, "", merged_state)
+    child.load_state_dict(merged_state)
+    record = TransformRecord(
+        kind="lora",
+        params={"rank": rank, "epochs": epochs, "lr": lr},
+        dataset_digest=dataset.content_digest(),
+        dataset_name=dataset.name,
+        seed=seed,
+    )
+    return child, record
+
+
+def _write_merged(module: Module, prefix: str, state: Dict[str, np.ndarray]) -> None:
+    """Write merged LoRA weights into ``state`` under original names."""
+    for name, value in vars(module).items():
+        full = f"{prefix}{name}"
+        if isinstance(value, LoRALinear):
+            state[f"{full}.weight"] = value.merged_weight()
+            if value._base_bias is not None:
+                state[f"{full}.bias"] = value._base_bias.data.copy()
+        elif isinstance(value, Module):
+            _write_merged(value, f"{full}.", state)
+        elif isinstance(value, ModuleList):
+            for i, child in enumerate(value):
+                if isinstance(child, LoRALinear):
+                    state[f"{full}.{i}.weight"] = child.merged_weight()
+                    if child._base_bias is not None:
+                        state[f"{full}.{i}.bias"] = child._base_bias.data.copy()
+                else:
+                    _write_merged(child, f"{full}.{i}.", state)

@@ -1,0 +1,45 @@
+"""Model merging: weight-space interpolation of two parents ("model soup")."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, IncompatibleModelsError
+from repro.nn.module import Module
+from repro.transforms.base import TransformRecord, clone_model
+
+
+def merge_models(
+    first: Module, second: Module, alpha: float = 0.5, seed: int = 0
+) -> Tuple[Module, TransformRecord]:
+    """Interpolate two same-architecture models: ``alpha*a + (1-alpha)*b``.
+
+    Produces a child with *two* parents — the case the paper highlights
+    as hard for single-base version recovery ("limited to known models
+    with a single base version").
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigError(f"alpha must be in (0, 1), got {alpha}")
+    state_a = first.state_dict()
+    state_b = second.state_dict()
+    if set(state_a) != set(state_b):
+        raise IncompatibleModelsError(
+            "cannot merge: parameter names differ "
+            f"({sorted(set(state_a) ^ set(state_b))[:4]} ...)"
+        )
+    for name in state_a:
+        if state_a[name].shape != state_b[name].shape:
+            raise IncompatibleModelsError(
+                f"cannot merge: parameter {name!r} shapes differ "
+                f"{state_a[name].shape} vs {state_b[name].shape}"
+            )
+    child = clone_model(first)
+    merged = {
+        name: alpha * state_a[name] + (1.0 - alpha) * state_b[name]
+        for name in state_a
+    }
+    child.load_state_dict(merged)
+    record = TransformRecord(kind="merge", params={"alpha": alpha}, seed=seed)
+    return child, record

@@ -1,0 +1,36 @@
+"""Magnitude pruning: zero out the smallest-magnitude weights."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Module
+from repro.transforms.base import TransformRecord, clone_model
+
+
+def prune_model(
+    model: Module, sparsity: float = 0.5, seed: int = 0
+) -> Tuple[Module, TransformRecord]:
+    """Globally prune ``sparsity`` fraction of weights by magnitude.
+
+    Biases and normalization parameters (1-D) are left intact; only
+    matrices are pruned, matching standard practice.
+    """
+    if not 0.0 < sparsity < 1.0:
+        raise ConfigError(f"sparsity must be in (0, 1), got {sparsity}")
+    child = clone_model(model)
+    state = child.state_dict()
+    matrix_names = [name for name, arr in state.items() if arr.ndim >= 2]
+    if not matrix_names:
+        raise ConfigError("model has no weight matrices to prune")
+    all_magnitudes = np.concatenate([np.abs(state[n]).ravel() for n in matrix_names])
+    threshold = np.quantile(all_magnitudes, sparsity)
+    for name in matrix_names:
+        arr = state[name]
+        state[name] = np.where(np.abs(arr) <= threshold, 0.0, arr)
+    child.load_state_dict(state)
+    record = TransformRecord(kind="prune", params={"sparsity": sparsity}, seed=seed)
+    return child, record

@@ -1,0 +1,36 @@
+"""Uniform weight quantization (simulated: values snap to a k-bit grid)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Module
+from repro.transforms.base import TransformRecord, clone_model
+
+
+def quantize_model(
+    model: Module, bits: int = 6, seed: int = 0
+) -> Tuple[Module, TransformRecord]:
+    """Quantize every parameter tensor to a symmetric ``bits``-bit grid.
+
+    Per-tensor scale = max|w| / (2^(bits-1) - 1); values are rounded to
+    the nearest grid point and de-quantized back to float, simulating
+    the weight distribution of a quantized release artifact.
+    """
+    if not 2 <= bits <= 16:
+        raise ConfigError(f"bits must be in [2, 16], got {bits}")
+    child = clone_model(model)
+    state = child.state_dict()
+    levels = 2 ** (bits - 1) - 1
+    for name, arr in state.items():
+        max_abs = np.max(np.abs(arr))
+        if max_abs == 0:
+            continue
+        scale = max_abs / levels
+        state[name] = np.round(arr / scale) * scale
+    child.load_state_dict(state)
+    record = TransformRecord(kind="quantize", params={"bits": bits}, seed=seed)
+    return child, record

@@ -1,0 +1,167 @@
+"""Model stitching: combine the front of one model with the head of another.
+
+Stitching "involves altering f* by combining the architectures of two
+or more models to create a hybrid model" (Lenc & Vedaldi via §4).  For
+text classifiers we take model A's embedding, model B's MLP head, and
+train a small linear adapter between their (possibly different) widths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.data.datasets import TextDataset
+from repro.errors import IncompatibleModelsError
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Linear
+from repro.nn.losses import cross_entropy
+from repro.nn.models import TextClassifier, register_model_family
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.train import iterate_minibatches
+from repro.transforms.base import TransformRecord, clone_model
+from repro.utils.rng import derive_rng
+
+
+class StitchedTextClassifier(Module):
+    """Embedding of parent A + adapter + head of parent B."""
+
+    PAD_ID = 0
+
+    def __init__(
+        self,
+        vocab_size: int,
+        num_classes: int,
+        front_dim: int,
+        back_dim: int,
+        front_hidden: tuple = (32,),
+        back_hidden: tuple = (32,),
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.num_classes = num_classes
+        self.front_dim = front_dim
+        self.back_dim = back_dim
+        self.front_hidden = tuple(front_hidden)
+        self.back_hidden = tuple(back_hidden)
+        # Parts are real TextClassifier submodules so weights transplant 1:1.
+        self._front = TextClassifier(
+            vocab_size, num_classes, dim=front_dim, hidden=front_hidden, seed=seed
+        )
+        self._back = TextClassifier(
+            vocab_size, num_classes, dim=back_dim, hidden=back_hidden, seed=seed + 1
+        )
+        self.front_embedding = self._front.embedding
+        self.adapter = Linear(front_dim, back_dim, seed=seed + 2)
+        self.back_head = self._back.head
+        # Drop the unused halves so they do not appear in the state dict.
+        del self._front
+        del self._back
+
+    def architecture_spec(self) -> Dict:
+        return {
+            "family": "stitched_text_classifier",
+            "vocab_size": self.vocab_size,
+            "num_classes": self.num_classes,
+            "front_dim": self.front_dim,
+            "back_dim": self.back_dim,
+            "front_hidden": list(self.front_hidden),
+            "back_hidden": list(self.back_hidden),
+        }
+
+    def embed_tokens(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        embedded = self.front_embedding(tokens)
+        mask = (tokens != self.PAD_ID).astype(np.float64)
+        counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        pooled = (embedded * mask[:, :, None]).sum(axis=1) * Tensor(1.0 / counts)
+        return self.adapter(pooled)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        return self.back_head(self.embed_tokens(tokens))
+
+    def predict_proba(self, tokens: np.ndarray) -> np.ndarray:
+        return self.forward(tokens).softmax(axis=-1).data
+
+    def predict(self, tokens: np.ndarray) -> np.ndarray:
+        return self.predict_proba(tokens).argmax(axis=-1)
+
+
+def _build_stitched(spec: Dict, seed: int = 0) -> StitchedTextClassifier:
+    return StitchedTextClassifier(
+        vocab_size=spec["vocab_size"],
+        num_classes=spec["num_classes"],
+        front_dim=spec["front_dim"],
+        back_dim=spec["back_dim"],
+        front_hidden=tuple(spec.get("front_hidden", (32,))),
+        back_hidden=tuple(spec.get("back_hidden", (32,))),
+        seed=seed,
+    )
+
+
+register_model_family("stitched_text_classifier", _build_stitched)
+
+
+def stitch_classifiers(
+    front: TextClassifier,
+    back: TextClassifier,
+    adapter_data: TextDataset,
+    adapter_epochs: int = 3,
+    lr: float = 5e-3,
+    seed: int = 0,
+    batch_size: int = 32,
+) -> Tuple[StitchedTextClassifier, TransformRecord]:
+    """Stitch ``front``'s embedding to ``back``'s head via a trained adapter.
+
+    Only the adapter's parameters are trained; both transplanted halves
+    stay frozen, so each parent's weights survive verbatim inside the
+    child — detectable by versioning's shared-submatrix analysis.
+    """
+    if front.vocab_size != back.vocab_size:
+        raise IncompatibleModelsError(
+            f"vocab sizes differ: {front.vocab_size} vs {back.vocab_size}"
+        )
+    child = StitchedTextClassifier(
+        vocab_size=front.vocab_size,
+        num_classes=back.num_classes,
+        front_dim=front.dim,
+        back_dim=back.dim,
+        front_hidden=front.hidden,
+        back_hidden=back.hidden,
+        seed=seed,
+    )
+    state = child.state_dict()
+    for name, value in front.state_dict().items():
+        if name.startswith("embedding."):
+            state["front_embedding." + name[len("embedding."):]] = value
+    for name, value in back.state_dict().items():
+        if name.startswith("head."):
+            state["back_head." + name[len("head."):]] = value
+    child.load_state_dict(state)
+
+    opt = Adam([self_p for name, self_p in child.named_parameters() if name.startswith("adapter.")], lr=lr)
+    rng = derive_rng(seed, "stitch_adapter")
+    child.train()
+    for _ in range(adapter_epochs):
+        for batch_idx in iterate_minibatches(len(adapter_data), batch_size, rng):
+            opt.zero_grad()
+            loss = cross_entropy(
+                child(adapter_data.tokens[batch_idx]), adapter_data.labels[batch_idx]
+            )
+            loss.backward()
+            opt.step()
+    child.eval()
+
+    record = TransformRecord(
+        kind="stitch",
+        params={"adapter_epochs": adapter_epochs, "lr": lr},
+        dataset_digest=adapter_data.content_digest(),
+        dataset_name=adapter_data.name,
+        seed=seed,
+    )
+    return child, record

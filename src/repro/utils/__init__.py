@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG, hashing, serialization helpers."""
+
+from repro.utils.rng import derive_rng, spawn_seed
+from repro.utils.hashing import stable_hash, array_digest, text_digest
+from repro.utils.serialization import (
+    arrays_to_bytes,
+    bytes_to_arrays,
+    to_jsonable,
+)
+
+__all__ = [
+    "derive_rng",
+    "spawn_seed",
+    "stable_hash",
+    "array_digest",
+    "text_digest",
+    "arrays_to_bytes",
+    "bytes_to_arrays",
+    "to_jsonable",
+]

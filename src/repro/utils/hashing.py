@@ -1,0 +1,62 @@
+"""Stable content hashing for arrays, text, and JSON-like structures.
+
+Content hashes are the backbone of the lake's content-addressed stores
+and of dataset/model citation: two byte-identical artifacts always get
+the same digest, across sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+
+def text_digest(text: str, length: int = 16) -> str:
+    """Hex digest of a unicode string (first ``length`` hex chars)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
+
+
+def array_digest(array: np.ndarray, length: int = 16) -> str:
+    """Hex digest of an array's dtype, shape, and raw bytes."""
+    hasher = hashlib.sha256()
+    arr = np.ascontiguousarray(array)
+    hasher.update(str(arr.dtype).encode("utf-8"))
+    hasher.update(str(arr.shape).encode("utf-8"))
+    hasher.update(arr.tobytes())
+    return hasher.hexdigest()[:length]
+
+
+def _canonicalize(obj: Any) -> Any:
+    """Convert ``obj`` into a deterministic JSON-serializable structure."""
+    if isinstance(obj, np.ndarray):
+        return {"__array__": array_digest(obj, length=32)}
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, Mapping):
+        return {str(k): _canonicalize(obj[k]) for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [_canonicalize(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(_canonicalize(v) for v in obj)
+    return obj
+
+
+def stable_hash(obj: Any, length: int = 16) -> str:
+    """Deterministic hex digest of a nested structure of plain data.
+
+    Supports dicts, sequences, sets, numpy arrays and scalars.  Dict keys
+    are sorted, so logically-equal structures hash identically.
+    """
+    canonical = _canonicalize(obj)
+    payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return text_digest(payload, length=length)
+
+
+def combine_digests(digests: Iterable[str], length: int = 16) -> str:
+    """Combine multiple digests into one order-sensitive digest."""
+    return text_digest("|".join(digests), length=length)

@@ -1,0 +1,55 @@
+"""Serialization helpers for model weights and metadata.
+
+Weights are stored as a flat mapping ``name -> ndarray``.  The byte
+format is ``numpy.savez``-based, which keeps us dependency-free while
+remaining portable and stable.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+
+def arrays_to_bytes(arrays: Mapping[str, np.ndarray]) -> bytes:
+    """Serialize a name->array mapping into a single bytes blob."""
+    buffer = io.BytesIO()
+    # savez mangles '/' in names on some versions; escape deterministically.
+    escaped = {name.replace("/", "__SLASH__"): arr for name, arr in arrays.items()}
+    np.savez(buffer, **escaped)
+    return buffer.getvalue()
+
+
+def bytes_to_arrays(blob: bytes) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`arrays_to_bytes`."""
+    buffer = io.BytesIO(blob)
+    with np.load(buffer) as payload:
+        return {
+            name.replace("__SLASH__", "/"): payload[name]
+            for name in payload.files
+        }
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert numpy scalars/arrays into plain Python values."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    return obj
+
+
+def dumps_json(obj: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, compact separators)."""
+    return json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"))

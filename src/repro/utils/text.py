@@ -1,0 +1,34 @@
+"""Small text utilities shared by the corpus generator and search stack."""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Dict, Iterable, List
+
+_TOKEN_RE = re.compile(r"[a-z0-9_]+")
+
+
+def simple_tokenize(text: str) -> List[str]:
+    """Lowercase word tokenizer used for card text and queries."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def term_frequencies(tokens: Iterable[str]) -> Dict[str, int]:
+    """Term -> count mapping for a token stream."""
+    return dict(Counter(tokens))
+
+
+def ngrams(tokens: List[str], n: int) -> List[tuple]:
+    """All contiguous n-grams of a token list."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def truncate_words(text: str, max_words: int) -> str:
+    """Truncate ``text`` to at most ``max_words`` whitespace words."""
+    words = text.split()
+    if len(words) <= max_words:
+        return text
+    return " ".join(words[:max_words]) + " ..."

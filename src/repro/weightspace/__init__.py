@@ -1,0 +1,27 @@
+"""Weight-space modeling: features, meta-models, linear connectivity."""
+
+from repro.weightspace.features import (
+    delta_features,
+    global_weight_features,
+    model_weight_features,
+    spectral_features,
+)
+from repro.weightspace.metamodel import (
+    MetaDataset,
+    WeightSpaceModel,
+    build_meta_dataset,
+    cross_validated_accuracy,
+)
+from repro.weightspace.linearity import (
+    InterpolationResult,
+    interpolate_losses,
+    linearity_gap,
+)
+
+__all__ = [
+    "delta_features", "global_weight_features", "model_weight_features",
+    "spectral_features",
+    "MetaDataset", "WeightSpaceModel", "build_meta_dataset",
+    "cross_validated_accuracy",
+    "InterpolationResult", "interpolate_losses", "linearity_gap",
+]

@@ -1,0 +1,114 @@
+"""Weight-space feature extraction for hyper-representation learning.
+
+§5 Weight-Space Modeling: "a neural network is trained to process
+weights of other models."  The meta-model's inputs are these
+permutation-robust per-model feature vectors: global weight statistics,
+per-tensor spectral summaries, and delta statistics against a reference
+(useful for transform-type prediction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Module
+
+
+def global_weight_features(state: Dict[str, np.ndarray]) -> np.ndarray:
+    """18 permutation-invariant statistics of the pooled weight vector."""
+    flat = np.concatenate([arr.ravel() for arr in state.values()])
+    abs_flat = np.abs(flat)
+    quantiles = np.quantile(flat, [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99])
+    centered = flat - flat.mean()
+    variance = float(centered.var()) or 1e-12
+    features = [
+        flat.mean(),
+        flat.std(),
+        abs_flat.mean(),
+        abs_flat.max(),
+        float((flat == 0).mean()),                     # sparsity
+        float((centered**3).mean() / variance**1.5),   # skewness
+        float((centered**4).mean() / variance**2),     # kurtosis
+        float(np.log1p(flat.size)),
+        float(len(state)),
+        float(np.median(abs_flat)),
+        float(len(np.unique(np.round(flat[:4096], 10)))) / min(flat.size, 4096),
+    ]
+    return np.concatenate([quantiles, features])
+
+
+def spectral_features(state: Dict[str, np.ndarray], top_k: int = 5) -> np.ndarray:
+    """Aggregated singular-value spectra across weight matrices.
+
+    Sorted-singular-value shares are invariant to row/column permutation
+    — the symmetry weight-space models must respect (Navon et al.).
+    """
+    shares: List[np.ndarray] = []
+    effective_ranks: List[float] = []
+    for arr in state.values():
+        if arr.ndim != 2 or min(arr.shape) < 2:
+            continue
+        singular = np.linalg.svd(arr, compute_uv=False)
+        total = singular.sum() + 1e-12
+        share = np.zeros(top_k)
+        top = singular[:top_k] / total
+        share[: len(top)] = top
+        shares.append(share)
+        p = singular / total
+        entropy = -(p * np.log(p + 1e-12)).sum()
+        effective_ranks.append(float(np.exp(entropy)) / len(singular))
+    if not shares:
+        return np.zeros(top_k + 2)
+    return np.concatenate([
+        np.mean(shares, axis=0),
+        [float(np.mean(effective_ranks)), float(np.std(effective_ranks))],
+    ])
+
+
+def model_weight_features(model_or_state) -> np.ndarray:
+    """Full feature vector for one model (global + spectral)."""
+    state = (
+        model_or_state.state_dict()
+        if isinstance(model_or_state, Module)
+        else model_or_state
+    )
+    return np.concatenate([global_weight_features(state), spectral_features(state)])
+
+
+def delta_features(
+    parent_state: Dict[str, np.ndarray], child_state: Dict[str, np.ndarray]
+) -> np.ndarray:
+    """Features of the weight *difference* (for transform-kind prediction)."""
+    shared = [
+        name for name in parent_state
+        if name in child_state and parent_state[name].shape == child_state[name].shape
+    ]
+    if not shared:
+        raise ConfigError("no aligned parameters between parent and child")
+    deltas = {name: child_state[name] - parent_state[name] for name in shared}
+    matrix_ranks: List[float] = []
+    changed_fraction: List[float] = []
+    for name, delta in deltas.items():
+        if delta.ndim != 2:
+            continue
+        scale = np.abs(delta).max()
+        changed_fraction.append(float((np.abs(delta) > 1e-12).mean()))
+        if scale < 1e-12:
+            matrix_ranks.append(0.0)
+            continue
+        rank = np.linalg.matrix_rank(delta, tol=1e-8 * scale * max(delta.shape))
+        matrix_ranks.append(float(rank) / min(delta.shape))
+    return np.concatenate([
+        global_weight_features(deltas),
+        [
+            float(np.mean(matrix_ranks)) if matrix_ranks else 0.0,
+            float(np.max(matrix_ranks)) if matrix_ranks else 0.0,
+            float(np.mean(changed_fraction)) if changed_fraction else 0.0,
+        ],
+    ])
+
+
+FEATURE_DIM = 18 + 7  # global (18) + spectral (top_k + 2 with default top_k=5)

@@ -1,0 +1,143 @@
+"""Meta-models: neural networks trained on other models' weights.
+
+The weight-space model of §5: an MLP (built on our own substrate —
+models all the way down) that reads weight features of lake models and
+predicts properties: training-domain specialty, transform kind,
+architecture family.  Benchmark E6 measures these predictions against
+lake ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.models import MLPClassifier
+from repro.nn.train import evaluate_accuracy, train_classifier
+from repro.weightspace.features import model_weight_features
+
+
+@dataclass
+class MetaDataset:
+    """Feature matrix + labels over a population of models."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    label_names: List[str]
+    model_ids: List[str]
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+
+def build_meta_dataset(
+    states: Dict[str, Dict[str, np.ndarray]],
+    label_of: Dict[str, str],
+) -> MetaDataset:
+    """Extract weight features and encode string labels.
+
+    ``states`` maps model_id -> state dict; ``label_of`` maps model_id
+    to its ground-truth property value.  Models missing a label are
+    skipped.
+    """
+    ids = [mid for mid in states if mid in label_of]
+    if not ids:
+        raise ConfigError("no labelled models to build a meta dataset from")
+    label_names = sorted({label_of[mid] for mid in ids})
+    label_index = {name: i for i, name in enumerate(label_names)}
+    features = np.stack([model_weight_features(states[mid]) for mid in ids])
+    labels = np.array([label_index[label_of[mid]] for mid in ids], dtype=np.int64)
+    return MetaDataset(
+        features=features, labels=labels, label_names=label_names, model_ids=ids
+    )
+
+
+class WeightSpaceModel:
+    """An MLP over weight features predicting a model property."""
+
+    def __init__(self, hidden: Tuple[int, ...] = (32,), seed: int = 0):
+        self.hidden = hidden
+        self.seed = seed
+        self._classifier: Optional[MLPClassifier] = None
+        self._label_names: List[str] = []
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def fit(
+        self,
+        dataset: MetaDataset,
+        epochs: int = 60,
+        lr: float = 5e-3,
+    ) -> "WeightSpaceModel":
+        """Train on a meta dataset (features standardized internally)."""
+        self._label_names = list(dataset.label_names)
+        self._mean = dataset.features.mean(axis=0)
+        self._std = dataset.features.std(axis=0)
+        self._std[self._std < 1e-9] = 1.0
+        standardized = (dataset.features - self._mean) / self._std
+        self._classifier = MLPClassifier(
+            in_features=standardized.shape[1],
+            num_classes=len(self._label_names),
+            hidden=self.hidden,
+            seed=self.seed,
+        )
+        train_classifier(
+            self._classifier, standardized, dataset.labels,
+            epochs=epochs, lr=lr, seed=self.seed,
+        )
+        return self
+
+    def _require_fit(self) -> MLPClassifier:
+        if self._classifier is None:
+            raise ConfigError("WeightSpaceModel is not fitted yet")
+        return self._classifier
+
+    def predict(self, features: np.ndarray) -> List[str]:
+        """Predicted property values for raw (unstandardized) features."""
+        classifier = self._require_fit()
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        standardized = (features - self._mean) / self._std
+        indices = classifier.predict(standardized)
+        return [self._label_names[i] for i in indices]
+
+    def predict_state(self, state: Dict[str, np.ndarray]) -> str:
+        return self.predict(model_weight_features(state))[0]
+
+    def accuracy(self, dataset: MetaDataset) -> float:
+        classifier = self._require_fit()
+        standardized = (dataset.features - self._mean) / self._std
+        return evaluate_accuracy(classifier, standardized, dataset.labels)
+
+
+def cross_validated_accuracy(
+    dataset: MetaDataset,
+    folds: int = 4,
+    hidden: Tuple[int, ...] = (32,),
+    epochs: int = 60,
+    seed: int = 0,
+) -> float:
+    """k-fold CV accuracy of a weight-space model on a meta dataset."""
+    if folds < 2 or folds > len(dataset):
+        raise ConfigError(f"folds must be in [2, {len(dataset)}], got {folds}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    fold_indices = np.array_split(order, folds)
+    accuracies = []
+    for i, test_idx in enumerate(fold_indices):
+        train_idx = np.concatenate([f for j, f in enumerate(fold_indices) if j != i])
+        train_set = MetaDataset(
+            features=dataset.features[train_idx],
+            labels=dataset.labels[train_idx],
+            label_names=dataset.label_names,
+            model_ids=[dataset.model_ids[j] for j in train_idx],
+        )
+        model = WeightSpaceModel(hidden=hidden, seed=seed + i).fit(
+            train_set, epochs=epochs
+        )
+        standardized = (dataset.features[test_idx] - model._mean) / model._std
+        predictions = model._require_fit().predict(standardized)
+        accuracies.append(float((predictions == dataset.labels[test_idx]).mean()))
+    return float(np.mean(accuracies))

@@ -1,0 +1,86 @@
+"""Shared fixtures: expensive artifacts (trained models, generated lakes)
+are session-scoped so the whole suite pays for them once."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DOMAIN_NAMES,
+    Tokenizer,
+    build_default_vocabulary,
+    make_domain_dataset,
+)
+from repro.data.probes import make_text_probes
+from repro.lake import LakeSpec, generate_lake
+from repro.nn import TextClassifier, train_classifier
+
+
+@pytest.fixture(scope="session")
+def vocabulary():
+    return build_default_vocabulary()
+
+
+@pytest.fixture(scope="session")
+def tokenizer(vocabulary):
+    return Tokenizer(vocabulary)
+
+
+@pytest.fixture(scope="session")
+def probes(tokenizer):
+    return make_text_probes(probes_per_domain=4, seq_len=24, tokenizer=tokenizer)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(tokenizer):
+    """Four-domain classification dataset (train-sized)."""
+    return make_domain_dataset(
+        ["legal", "medical", "news", "code"], docs_per_domain=20,
+        seq_len=24, seed=0, tokenizer=tokenizer,
+    )
+
+
+@pytest.fixture(scope="session")
+def broad_dataset(tokenizer):
+    """All-domain dataset (foundation pre-training)."""
+    return make_domain_dataset(
+        list(DOMAIN_NAMES), docs_per_domain=15, seq_len=24, seed=0,
+        tokenizer=tokenizer,
+    )
+
+
+@pytest.fixture(scope="session")
+def foundation_model(vocabulary, broad_dataset):
+    """A trained foundation classifier shared across tests (do not mutate)."""
+    model = TextClassifier(
+        len(vocabulary), num_classes=len(DOMAIN_NAMES), dim=16, hidden=(24,), seed=0
+    )
+    train_classifier(
+        model, broad_dataset.tokens, broad_dataset.labels,
+        epochs=8, lr=5e-3, seed=0,
+    )
+    return model
+
+
+@pytest.fixture(scope="session")
+def lake_bundle():
+    """A small generated benchmark lake shared across tests (treat lake
+    contents as read-only; tests that mutate build their own)."""
+    spec = LakeSpec(
+        num_foundations=2, chains_per_foundation=4, max_chain_depth=1,
+        docs_per_domain=18, foundation_epochs=8, specialize_epochs=6,
+        num_merges=1, num_stitches=1, seed=5,
+    )
+    return generate_lake(spec)
+
+
+@pytest.fixture()
+def mutable_lake_bundle():
+    """A fresh small lake for tests that mutate cards/visibility."""
+    spec = LakeSpec(
+        num_foundations=2, chains_per_foundation=2, max_chain_depth=1,
+        docs_per_domain=15, foundation_epochs=6, specialize_epochs=5,
+        num_merges=0, num_stitches=0, seed=11,
+    )
+    return generate_lake(spec)

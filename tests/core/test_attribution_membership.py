@@ -1,0 +1,106 @@
+"""Tests for membership inference."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribution import (
+    auc_score,
+    calibrated_attack,
+    dataset_membership_score,
+    loss_threshold_attack,
+)
+from repro.data import make_domain_dataset
+from repro.errors import ConfigError
+from repro.nn import TextClassifier, train_classifier
+
+
+@pytest.fixture(scope="module")
+def overfit_setup(tokenizer):
+    """A deliberately overfit model (few examples, many epochs)."""
+    members = make_domain_dataset(
+        ["legal", "medical"], 10, seq_len=20, seed=71, tokenizer=tokenizer
+    )
+    model = TextClassifier(tokenizer.vocab_size, 8, dim=12, hidden=(20,), seed=0)
+    train_classifier(model, members.tokens, members.labels, epochs=40, lr=5e-3, seed=0)
+    nonmembers = make_domain_dataset(
+        ["legal", "medical"], 10, seq_len=20, seed=72, tokenizer=tokenizer
+    )
+    return model, members, nonmembers
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(labels, scores) == 1.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=400)
+        scores = rng.random(400)
+        assert abs(auc_score(labels, scores) - 0.5) < 0.1
+
+    def test_ties_handled(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert abs(auc_score(labels, scores) - 0.5) < 1e-9
+
+    def test_needs_both_classes(self):
+        with pytest.raises(ConfigError):
+            auc_score(np.ones(4), np.random.default_rng(0).random(4))
+
+
+class TestLossThresholdAttack:
+    def test_detects_overfit_membership(self, overfit_setup):
+        model, members, nonmembers = overfit_setup
+        result = loss_threshold_attack(
+            model, members.tokens, members.labels,
+            nonmembers.tokens, nonmembers.labels,
+        )
+        assert result.auc > 0.6
+
+    def test_accuracy_at_best_threshold(self, overfit_setup):
+        model, members, nonmembers = overfit_setup
+        result = loss_threshold_attack(
+            model, members.tokens, members.labels,
+            nonmembers.tokens, nonmembers.labels,
+        )
+        assert result.accuracy_at_best_threshold() >= 0.5
+
+
+class TestCalibratedAttack:
+    def test_at_least_as_good(self, overfit_setup, tokenizer):
+        model, members, nonmembers = overfit_setup
+        reference_data = make_domain_dataset(
+            ["legal", "medical"], 10, seq_len=20, seed=73, tokenizer=tokenizer
+        )
+        reference = TextClassifier(tokenizer.vocab_size, 8, dim=12, hidden=(20,), seed=3)
+        train_classifier(
+            reference, reference_data.tokens, reference_data.labels,
+            epochs=40, lr=5e-3, seed=3,
+        )
+        plain = loss_threshold_attack(
+            model, members.tokens, members.labels,
+            nonmembers.tokens, nonmembers.labels,
+        )
+        calibrated = calibrated_attack(
+            model, reference, members.tokens, members.labels,
+            nonmembers.tokens, nonmembers.labels,
+        )
+        assert calibrated.auc > plain.auc - 0.1
+
+
+class TestDatasetMembership:
+    def test_training_set_scores_higher(self, overfit_setup, tokenizer):
+        model, members, nonmembers = overfit_setup
+        fresh = make_domain_dataset(
+            ["legal", "medical"], 10, seq_len=20, seed=74, tokenizer=tokenizer
+        )
+        member_signal = dataset_membership_score(
+            model, members.tokens, members.labels, fresh.tokens, fresh.labels
+        )
+        nonmember_signal = dataset_membership_score(
+            model, nonmembers.tokens, nonmembers.labels, fresh.tokens, fresh.labels
+        )
+        assert member_signal > nonmember_signal
+        assert member_signal > 0

@@ -1,0 +1,78 @@
+"""Tests for representation (concept) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribution import (
+    ablate_direction,
+    concept_importance,
+    extract_concept_direction,
+)
+from repro.data import domain_index
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def concept_setup(foundation_model, broad_dataset):
+    domains = np.asarray(broad_dataset.domains)
+    legal = broad_dataset.tokens[domains == "legal"]
+    medical = broad_dataset.tokens[domains == "medical"]
+    direction = extract_concept_direction(
+        foundation_model, legal, medical, concept="legal-vs-medical"
+    )
+    return foundation_model, legal, medical, direction
+
+
+class TestExtractConcept:
+    def test_unit_vector(self, concept_setup):
+        _, _, _, direction = concept_setup
+        assert abs(np.linalg.norm(direction.vector) - 1.0) < 1e-9
+
+    def test_separates_classes(self, concept_setup):
+        model, legal, medical, direction = concept_setup
+        legal_proj = model.embed_tokens(legal).data @ direction.vector
+        medical_proj = model.embed_tokens(medical).data @ direction.vector
+        assert legal_proj.mean() > medical_proj.mean()
+        assert direction.strength > 1.0
+
+    def test_degenerate_raises(self, foundation_model, broad_dataset):
+        same = broad_dataset.tokens[:3]
+        with pytest.raises(ConfigError):
+            extract_concept_direction(foundation_model, same, same)
+
+    def test_requires_embed_tokens(self, broad_dataset):
+        from repro.nn import MLPClassifier
+
+        with pytest.raises(ConfigError):
+            extract_concept_direction(
+                MLPClassifier(4, 2, seed=0),
+                broad_dataset.tokens[:2], broad_dataset.tokens[2:4],
+            )
+
+
+class TestAblation:
+    def test_ablation_returns_distribution(self, concept_setup):
+        model, legal, _, direction = concept_setup
+        probs = ablate_direction(model, legal[:4], direction)
+        assert probs.shape == (4, 8)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_concept_causally_supports_decision(self, concept_setup):
+        """Removing the legal direction lowers legal probability."""
+        model, legal, _, direction = concept_setup
+        importance = concept_importance(
+            model, legal, direction, target_class=domain_index("legal")
+        )
+        assert importance > 0
+
+    def test_unrelated_inputs_less_affected(self, concept_setup, broad_dataset):
+        model, legal, _, direction = concept_setup
+        domains = np.asarray(broad_dataset.domains)
+        cooking = broad_dataset.tokens[domains == "cooking"]
+        legal_impact = concept_importance(
+            model, legal, direction, target_class=domain_index("legal")
+        )
+        cooking_impact = concept_importance(
+            model, cooking, direction, target_class=domain_index("cooking")
+        )
+        assert legal_impact > cooking_impact

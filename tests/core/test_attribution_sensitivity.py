@@ -1,0 +1,68 @@
+"""Tests for input-sensitivity attribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribution import (
+    domain_keyword_alignment,
+    gradient_saliency,
+    occlusion_sensitivity,
+)
+from repro.data import get_domain
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def legal_input(broad_dataset):
+    index = broad_dataset.domains.index("legal")
+    return broad_dataset.tokens[index]
+
+
+class TestOcclusion:
+    def test_scores_cover_nonpad_positions(self, foundation_model, legal_input):
+        result = occlusion_sensitivity(foundation_model, legal_input)
+        assert len(result.positions) == int((legal_input != 0).sum())
+        assert len(result.scores) == len(result.positions)
+
+    def test_domain_words_matter_most(
+        self, foundation_model, legal_input, vocabulary
+    ):
+        result = occlusion_sensitivity(foundation_model, legal_input)
+        keyword_ids = {
+            vocabulary.id_of(w) for w in get_domain("legal").content_words()
+        }
+        alignment = domain_keyword_alignment(result, legal_input, keyword_ids, k=5)
+        assert alignment >= 0.6
+
+    def test_all_padding_raises(self, foundation_model):
+        with pytest.raises(ConfigError):
+            occlusion_sensitivity(foundation_model, np.zeros(6, dtype=np.int64))
+
+    def test_explicit_target_class(self, foundation_model, legal_input):
+        result = occlusion_sensitivity(foundation_model, legal_input, target_class=2)
+        assert np.all(np.isfinite(result.scores))
+
+
+class TestGradientSaliency:
+    def test_runs_and_cleans_up(self, foundation_model, legal_input):
+        result = gradient_saliency(foundation_model, legal_input)
+        assert len(result.scores) == len(result.positions)
+        assert all(
+            p.grad is None for p in foundation_model.parameters()
+        )
+
+    def test_rejects_model_without_embedding(self, legal_input):
+        from repro.nn import MLPClassifier
+
+        with pytest.raises(ConfigError):
+            gradient_saliency(MLPClassifier(4, 2, seed=0), legal_input)
+
+
+class TestTopPositions:
+    def test_ordering(self, foundation_model, legal_input):
+        result = occlusion_sensitivity(foundation_model, legal_input)
+        top = result.top_positions(3)
+        top_scores = [
+            result.scores[list(result.positions).index(p)] for p in top
+        ]
+        assert top_scores == sorted(top_scores, reverse=True)

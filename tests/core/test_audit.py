@@ -1,0 +1,106 @@
+"""Tests for auditing and risk propagation."""
+
+import pytest
+
+from repro.core.audit import ModelAuditor, propagate_risk
+from repro.core.docgen import CardGenerator
+from repro.core.versioning import VersionGraph
+from repro.errors import ConfigError
+from repro.lake import CardCorruptor
+
+
+@pytest.fixture()
+def auditor(mutable_lake_bundle, probes):
+    bundle = mutable_lake_bundle
+    generator = CardGenerator(bundle.lake, probes)
+    return bundle, ModelAuditor(bundle.lake, generator)
+
+
+class TestAuditQuestionnaire:
+    def test_well_documented_model_passes(self, auditor):
+        bundle, model_auditor = auditor
+        report = model_auditor.audit(bundle.truth.foundations[0])
+        assert report.compliance_rate >= 0.8
+        assert len(report.answers) == 5
+
+    def test_undocumented_model_fails_documentation(self, auditor):
+        bundle, model_auditor = auditor
+        CardCorruptor(missing_rate=1.0, seed=0).apply(bundle.lake)
+        report = model_auditor.audit(bundle.truth.foundations[0])
+        doc_answer = next(
+            a for a in report.answers if "documented" in a.question
+        )
+        assert not doc_answer.satisfied
+
+    def test_hidden_history_provenance_recovered(self, auditor):
+        """Provenance should still pass via weight analysis when the
+        child's history is hidden."""
+        bundle, model_auditor = auditor
+        child = next(
+            c for p, c, r in bundle.truth.edges
+            if len(p) == 1 and r.kind in ("finetune", "lora", "prune")
+        )
+        bundle.lake.set_history_visibility(child, False)
+        report = model_auditor.audit(child)
+        provenance = next(
+            a for a in report.answers if "provenance" in a.question
+        )
+        assert provenance.satisfied
+        assert "weight analysis" in provenance.answer
+
+    def test_report_renders(self, auditor):
+        bundle, model_auditor = auditor
+        text = model_auditor.audit(bundle.truth.foundations[0]).to_text()
+        assert "Audit report" in text
+        assert "Compliance" in text
+
+
+class TestRiskPropagation:
+    def test_all_descendants_flagged(self, lake_bundle):
+        graph = VersionGraph.from_lake_history(lake_bundle.lake)
+        root = lake_bundle.truth.foundations[0]
+        assessment = propagate_risk(graph, {root: 1.0})
+        descendants = graph.descendants(root)
+        assert assessment.flagged(0.3) - {root} == descendants
+
+    def test_risk_attenuates_with_depth(self, lake_bundle):
+        graph = VersionGraph.from_lake_history(lake_bundle.lake)
+        root = lake_bundle.truth.foundations[0]
+        assessment = propagate_risk(graph, {root: 1.0})
+        for child in graph.children(root):
+            for grandchild in graph.children(child):
+                assert assessment.risk[grandchild] <= assessment.risk[child] + 1e-12
+
+    def test_distill_attenuates_more_than_finetune(self):
+        from repro.transforms import TransformRecord
+
+        graph = VersionGraph()
+        graph.add_edge("root", "ft", TransformRecord(kind="finetune"))
+        graph.add_edge("root", "st", TransformRecord(kind="distill"))
+        assessment = propagate_risk(graph, {"root": 1.0})
+        assert assessment.risk["st"] < assessment.risk["ft"]
+
+    def test_unrelated_models_untouched(self, lake_bundle):
+        graph = VersionGraph.from_lake_history(lake_bundle.lake)
+        roots = lake_bundle.truth.foundations
+        assessment = propagate_risk(graph, {roots[0]: 1.0})
+        other_tree = graph.descendants(roots[1]) - graph.descendants(roots[0])
+        clean = {
+            m for m in other_tree
+            if roots[0] not in graph.ancestors(m)
+        }
+        for model_id in clean:
+            assert assessment.risk.get(model_id, 0.0) == 0.0
+
+    def test_invalid_risk_value(self, lake_bundle):
+        graph = VersionGraph.from_lake_history(lake_bundle.lake)
+        with pytest.raises(ConfigError):
+            propagate_risk(graph, {lake_bundle.truth.foundations[0]: 2.0})
+
+    def test_explain(self, lake_bundle):
+        graph = VersionGraph.from_lake_history(lake_bundle.lake)
+        root = lake_bundle.truth.foundations[0]
+        assessment = propagate_risk(graph, {root: 1.0})
+        child = graph.children(root)[0]
+        explanation = assessment.explain(child)
+        assert root in explanation

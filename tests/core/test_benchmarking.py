@@ -1,0 +1,130 @@
+"""Tests for benchmarking metrics, ground truth, and scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.benchmarking import (
+    Benchmark,
+    edge_precision_recall,
+    kendall_tau,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+    run_suite,
+    score_accuracy,
+    score_macro_f1,
+    score_model,
+    search_ground_truth,
+    transform_label_truth,
+    undirected_edge_f1,
+    version_edge_truth,
+)
+from repro.errors import ConfigError
+
+
+class TestRankingMetrics:
+    def test_precision_at_k(self):
+        assert precision_at_k(["a", "b", "c"], {"a", "c"}, 2) == 0.5
+        assert precision_at_k(["a", "b"], {"a", "b"}, 2) == 1.0
+
+    def test_precision_invalid_k(self):
+        with pytest.raises(ConfigError):
+            precision_at_k(["a"], {"a"}, 0)
+
+    def test_recall_at_k(self):
+        assert recall_at_k(["a", "b"], {"a", "c"}, 2) == 0.5
+        assert recall_at_k([], set(), 3) == 1.0
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(["x", "a"], {"a"}) == 0.5
+        assert reciprocal_rank(["x", "y"], {"a"}) == 0.0
+
+    def test_mrr(self):
+        value = mean_reciprocal_rank([["a"], ["x", "b"]], [{"a"}, {"b"}])
+        assert abs(value - 0.75) < 1e-12
+
+    def test_ndcg_perfect_ranking(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert abs(ndcg_at_k(["a", "b", "c"], gains, 3) - 1.0) < 1e-12
+
+    def test_ndcg_worse_for_inverted(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["c", "b", "a"], gains, 3) < 1.0
+
+    def test_kendall_tau(self):
+        assert kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+        assert kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+
+
+class TestEdgeMetrics:
+    def test_precision_recall_f1(self):
+        predicted = {("a", "b"), ("b", "c")}
+        truth = {("a", "b"), ("b", "d")}
+        p, r, f = edge_precision_recall(predicted, truth)
+        assert p == 0.5 and r == 0.5 and abs(f - 0.5) < 1e-12
+
+    def test_empty_sets(self):
+        assert edge_precision_recall(set(), set()) == (1.0, 1.0, 1.0)
+
+    def test_undirected(self):
+        predicted = {("b", "a")}
+        truth = {("a", "b")}
+        assert undirected_edge_f1(predicted, truth) == 1.0
+
+
+class TestGroundTruth:
+    def test_search_relevance_requires_competence_and_data(self, lake_bundle):
+        truth = search_ground_truth(lake_bundle, accuracy_threshold=0.9)
+        for domain, relevant in truth.relevant.items():
+            for model_id in relevant:
+                assert lake_bundle.truth.domain_accuracy[model_id][domain] >= 0.9
+                assert domain in lake_bundle.truth.model_domains[model_id]
+
+    def test_gains_are_accuracies(self, lake_bundle):
+        truth = search_ground_truth(lake_bundle)
+        some_model = lake_bundle.truth.foundations[0]
+        assert truth.gains["legal"][some_model] == (
+            lake_bundle.truth.domain_accuracy[some_model]["legal"]
+        )
+
+    def test_version_edge_truth_filters(self, lake_bundle):
+        all_edges = version_edge_truth(lake_bundle)
+        weight_edges = version_edge_truth(lake_bundle, weight_preserving_only=True)
+        assert weight_edges <= all_edges
+
+    def test_transform_labels_canonicalized(self, lake_bundle):
+        labels = transform_label_truth(lake_bundle)
+        assert "preference" not in set(labels.values())
+
+
+class TestScoring:
+    def test_accuracy_scorer(self, foundation_model, broad_dataset):
+        benchmark = Benchmark("broad", broad_dataset, metric="accuracy")
+        value = score_model(foundation_model, benchmark)
+        assert value == score_accuracy(foundation_model, broad_dataset)
+        assert value > 0.9
+
+    def test_macro_f1(self, foundation_model, broad_dataset):
+        value = score_macro_f1(foundation_model, broad_dataset)
+        assert 0.0 <= value <= 1.0
+
+    def test_unknown_metric(self, foundation_model, broad_dataset):
+        with pytest.raises(ConfigError):
+            score_model(foundation_model, Benchmark("x", broad_dataset, metric="bleu"))
+
+    def test_run_suite_records_metrics(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        benchmark = Benchmark("eval", bundle.eval_dataset, metric="accuracy")
+        result = run_suite(bundle.lake, [benchmark])
+        assert result.evaluations == len(bundle.lake)
+        for record in bundle.lake:
+            assert "eval:accuracy" in record.eval_metrics
+
+    def test_suite_table_renders(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        benchmark = Benchmark("eval", bundle.eval_dataset, metric="accuracy")
+        result = run_suite(bundle.lake, [benchmark], record_into_lake=False)
+        table = result.table()
+        assert len(table) == len(bundle.lake) + 1

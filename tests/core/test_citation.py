@@ -1,0 +1,73 @@
+"""Tests for model and data citation."""
+
+import pytest
+
+from repro.core.citation import (
+    cite_dataset,
+    cite_model,
+    resolve_citation,
+)
+from repro.core.versioning import VersionGraph
+from repro.lake import ModelCard
+
+
+class TestModelCitation:
+    def test_citation_fields(self, lake_bundle):
+        child = next(c for p, c, _ in lake_bundle.truth.edges if len(p) == 1)
+        citation = cite_model(lake_bundle.lake, child)
+        record = lake_bundle.lake.get_record(child)
+        assert citation.model_id == child
+        assert citation.weights_digest == record.weights_digest
+        assert citation.lineage_depth >= 1
+        assert citation.root_id in lake_bundle.truth.foundations or (
+            citation.root_id == child
+        )
+
+    def test_key_and_bibtex_render(self, lake_bundle):
+        citation = cite_model(lake_bundle.lake, lake_bundle.truth.foundations[0])
+        assert citation.key().startswith("model:")
+        assert "@misc" in citation.to_bibtex()
+
+    def test_exact_resolution(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        citation = cite_model(bundle.lake, bundle.truth.foundations[0])
+        assert resolve_citation(bundle.lake, citation).status == "exact"
+
+    def test_lake_evolution_detected(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        model_id = bundle.truth.foundations[0]
+        citation = cite_model(bundle.lake, model_id)
+        bundle.lake.update_card(model_id, ModelCard(model_name="renamed"))
+        result = resolve_citation(bundle.lake, citation)
+        assert result.status == "lake_evolved"
+
+    def test_missing_model_detected(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        citation = cite_model(bundle.lake, bundle.truth.foundations[0])
+        object.__setattr__(citation, "model_id", "m9999-deadbeef")
+        result = resolve_citation(bundle.lake, citation)
+        assert result.status == "missing"
+
+    def test_new_citation_after_update_differs(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        model_id = bundle.truth.foundations[0]
+        first = cite_model(bundle.lake, model_id)
+        bundle.lake.record_metric(model_id, "new", 1.0)
+        second = cite_model(bundle.lake, model_id)
+        assert first.lake_snapshot != second.lake_snapshot
+        assert first.key() != second.key()
+
+
+class TestDataCitation:
+    def test_dataset_citation(self, lake_bundle):
+        digest = lake_bundle.base_dataset.content_digest()
+        citation = cite_dataset(lake_bundle.lake, digest)
+        assert citation.dataset_digest == digest
+        assert citation.num_versions_known >= 1
+        assert citation.key().startswith("data:")
+
+    def test_versions_counted(self, lake_bundle):
+        digest = lake_bundle.base_dataset.content_digest()
+        citation = cite_dataset(lake_bundle.lake, digest)
+        # Specialty datasets derive from the base corpus.
+        assert citation.num_versions_known > 1

@@ -1,0 +1,133 @@
+"""Tests for card generation and verification."""
+
+import numpy as np
+import pytest
+
+from repro.core.docgen import CardGenerator, CardVerifier
+from repro.lake import CardCorruptor
+
+
+@pytest.fixture(scope="module")
+def generator(lake_bundle, probes):
+    return CardGenerator(lake_bundle.lake, probes)
+
+
+class TestEvidence:
+    def test_base_inference_matches_truth(self, generator, lake_bundle):
+        """For weight-preserving single-parent children, the nearest
+        aligned earlier model should be the true parent."""
+        correct = 0
+        total = 0
+        for parents, child, record in lake_bundle.truth.edges:
+            if len(parents) != 1 or record.kind in ("distill", "stitch"):
+                continue
+            evidence = generator.gather_evidence(child)
+            total += 1
+            if evidence.inferred_base == parents[0]:
+                correct += 1
+        assert total > 0
+        assert correct / total >= 0.6
+
+    def test_domain_competence_matches_heldout(self, generator, lake_bundle):
+        """Probe competence should track held-out per-domain accuracy."""
+        model_id = lake_bundle.truth.foundations[0]
+        model = lake_bundle.lake.get_model(model_id, force=True)
+        competence = generator.domain_competence(model)
+        heldout = lake_bundle.truth.domain_accuracy[model_id]
+        gaps = [abs(competence[d] - heldout[d]) for d in competence]
+        assert np.mean(gaps) < 0.3
+
+
+class TestDraftCard:
+    def test_foundation_drafted_as_generalist(self, generator, lake_bundle):
+        card, evidence = generator.draft_card(lake_bundle.truth.foundations[0])
+        assert len(card.training_domains) >= 4
+        assert "general" in card.description.lower()
+
+    def test_draft_fills_content_fields(self, generator, lake_bundle):
+        card, _ = generator.draft_card(lake_bundle.truth.foundations[0])
+        assert card.description and card.intended_use and card.limitations
+        assert card.metrics
+
+    def test_fill_missing_preserves_existing(self, lake_bundle, probes, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        generator = CardGenerator(bundle.lake, probes)
+        model_id = bundle.truth.foundations[0]
+        original_desc = bundle.lake.get_record(model_id).card.description
+        CardCorruptor(missing_rate=0.0, seed=0).apply(bundle.lake)  # no-op
+        merged = generator.fill_missing_fields(model_id)
+        assert merged.description == original_desc
+
+    def test_fill_missing_completes_blanked(self, mutable_lake_bundle, probes):
+        bundle = mutable_lake_bundle
+        generator = CardGenerator(bundle.lake, probes)
+        CardCorruptor(missing_rate=1.0, seed=1).apply(bundle.lake)
+        model_id = bundle.truth.foundations[0]
+        merged = generator.fill_missing_fields(model_id)
+        assert merged.description
+        assert merged.training_domains
+        assert merged.completeness() > 0.5
+
+
+class TestVerifier:
+    def test_clean_lake_few_contradictions(self, generator, lake_bundle):
+        verifier = CardVerifier(generator)
+        issues = [
+            i for i in verifier.verify_lake() if i.severity == "contradiction"
+        ]
+        # Truthful cards should yield near-zero contradictions; a handful
+        # of probe-vs-heldout measurement disagreements are tolerated.
+        assert len(issues) <= max(2, len(lake_bundle.lake) // 3)
+
+    def test_poisoned_domains_flagged(self, mutable_lake_bundle, probes):
+        bundle = mutable_lake_bundle
+        generator = CardGenerator(bundle.lake, probes)
+        verifier = CardVerifier(generator)
+        # Poison one forgetful specialist's card: claim a domain (and an
+        # inflated metric) the model is measurably bad at.
+        candidates = [
+            (mid, d)
+            for mid, s in bundle.truth.specialty.items()
+            if s is not None
+            for d, a in bundle.truth.domain_accuracy[mid].items()
+            if a < 0.3
+        ]
+        if not candidates:
+            pytest.skip("no forgetful specialist in this lake seed")
+        target, bad_domain = candidates[0]
+        card = bundle.lake.get_record(target).card.copy()
+        card.training_domains = [bad_domain]
+        card.metrics = {f"acc_{bad_domain}": 0.99}
+        bundle.lake.update_card(target, card)
+        issues = verifier.verify(target)
+        fields = {i.field for i in issues}
+        assert "training_domains" in fields
+        assert f"metrics.acc_{bad_domain}" in fields
+
+    def test_scratch_claim_contradicted(self, mutable_lake_bundle, probes):
+        bundle = mutable_lake_bundle
+        generator = CardGenerator(bundle.lake, probes)
+        verifier = CardVerifier(generator)
+        child = next(
+            c for p, c, r in bundle.truth.edges
+            if len(p) == 1 and r.kind in ("finetune", "lora")
+        )
+        card = bundle.lake.get_record(child).card.copy()
+        card.transform_summary = "trained entirely from scratch"
+        bundle.lake.update_card(child, card)
+        issues = verifier.verify(child)
+        assert any(i.field == "transform_summary" for i in issues)
+
+    def test_nonexistent_base_flagged(self, mutable_lake_bundle, probes):
+        bundle = mutable_lake_bundle
+        generator = CardGenerator(bundle.lake, probes)
+        verifier = CardVerifier(generator)
+        model_id = bundle.truth.foundations[0]
+        card = bundle.lake.get_record(model_id).card.copy()
+        card.base_model = "foundation-999"
+        bundle.lake.update_card(model_id, card)
+        issues = verifier.verify(model_id)
+        assert any(
+            i.field == "base_model" and i.severity == "contradiction"
+            for i in issues
+        )

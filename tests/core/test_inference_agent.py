@@ -1,0 +1,74 @@
+"""Tests for the model-inference agent (§5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import ModelInferenceAgent
+from repro.errors import ConfigError, QueryError
+
+
+@pytest.fixture(scope="module")
+def agent(lake_bundle, probes):
+    return ModelInferenceAgent(lake_bundle.lake, probes, seed=0)
+
+
+class TestPlanning:
+    def test_plan_extracts_domains(self, agent):
+        plan = agent.plan("summarize legal court documents")
+        assert "legal" in plan.target_domains
+        assert plan.retrieval_method == "hybrid"
+        assert "legal" in plan.benchmark_name
+
+    def test_unmappable_query_raises(self, agent):
+        with pytest.raises(QueryError):
+            agent.plan("xyzzy frobnicate")
+
+    def test_plan_describe(self, agent):
+        assert "legal" in agent.plan("legal analysis").describe()
+
+
+class TestRecommendation:
+    def test_recommends_competent_model(self, agent, lake_bundle):
+        result = agent.recommend("legal court statute analysis", k=3)
+        assert result.recommendations
+        best = result.best()
+        # The verified recommendation must actually be good at legal text.
+        true_accuracy = lake_bundle.truth.domain_accuracy[best.model_id]["legal"]
+        assert true_accuracy >= 0.8
+        assert best.measured_score >= 0.7
+
+    def test_measured_order(self, agent):
+        result = agent.recommend("medical patient diagnosis", k=3)
+        scores = [r.measured_score for r in result.recommendations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rationale_mentions_measurement(self, agent):
+        result = agent.recommend("legal contract analysis", k=1)
+        assert "measured" in result.best().rationale
+        assert "benchmark" in result.best().rationale
+
+    def test_benchmark_is_fresh_per_query(self, agent):
+        """Different queries get different benchmarks (derived seeds)."""
+        a = agent._build_benchmark(agent.plan("legal court analysis"))
+        b = agent._build_benchmark(agent.plan("legal statute review"))
+        assert a.dataset.content_digest() != b.dataset.content_digest()
+
+    def test_invalid_k(self, agent):
+        with pytest.raises(ConfigError):
+            agent.recommend("legal analysis", k=0)
+
+    def test_verification_overrides_retrieval_lies(self, lake_bundle, probes):
+        """A card lying about legal competence cannot outrank the
+        measured-best model: verification is the final arbiter."""
+        from repro.lake import CardCorruptor
+
+        lake = lake_bundle.lake
+        originals = {r.model_id: r.card.copy() for r in lake}
+        CardCorruptor(missing_rate=0.0, poison_rate=0.6, seed=2).apply(lake)
+        agent = ModelInferenceAgent(lake, probes, seed=0)
+        result = agent.recommend("legal court statute analysis", k=1)
+        best = result.best()
+        true_accuracy = lake_bundle.truth.domain_accuracy[best.model_id]["legal"]
+        for model_id, card in originals.items():
+            lake.update_card(model_id, card)
+        assert true_accuracy >= 0.8

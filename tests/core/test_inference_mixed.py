@@ -1,0 +1,50 @@
+"""Inference agent over a mixed-modality lake (classifiers + LMs)."""
+
+import pytest
+
+from repro.core.inference import ModelInferenceAgent
+from repro.lake import LakeSpec, generate_lake
+
+
+@pytest.fixture(scope="module")
+def mixed_bundle():
+    spec = LakeSpec(
+        num_foundations=1, chains_per_foundation=2, max_chain_depth=1,
+        docs_per_domain=14, foundation_epochs=6, specialize_epochs=5,
+        num_merges=0, num_stitches=0, seed=19,
+        num_lm_foundations=1, lm_chains=1, lm_epochs=2,
+    )
+    return generate_lake(spec)
+
+
+class TestMixedModalityInference:
+    def test_agent_scores_every_candidate_modality(self, mixed_bundle, probes):
+        """LM candidates get likelihood scores instead of accuracy, and
+        the pipeline does not crash on them."""
+        agent = ModelInferenceAgent(mixed_bundle.lake, probes, seed=0)
+        result = agent.recommend(
+            "legal court statute analysis",
+            k=len(mixed_bundle.lake),
+            candidate_pool=len(mixed_bundle.lake),
+        )
+        assert result.recommendations
+        families = {
+            mixed_bundle.lake.get_record(r.model_id).family
+            for r in result.recommendations
+        }
+        # Classifiers dominate the verified ranking on a classification
+        # benchmark, but LMs are scored, not skipped.
+        assert "text_classifier" in families
+
+    def test_classifier_outranks_lm_on_classification_task(
+        self, mixed_bundle, probes
+    ):
+        agent = ModelInferenceAgent(mixed_bundle.lake, probes, seed=0)
+        result = agent.recommend(
+            "legal court statute analysis", k=1,
+            candidate_pool=len(mixed_bundle.lake),
+        )
+        best = result.best()
+        assert mixed_bundle.lake.get_record(best.model_id).family == (
+            "text_classifier"
+        )

@@ -1,0 +1,69 @@
+"""Tests for the lifelong benchmarking ledger."""
+
+import pytest
+
+from repro.core.benchmarking import Benchmark, LifelongLedger
+from repro.data import make_domain_dataset
+from repro.errors import ConfigError
+from repro.nn import TextClassifier
+
+
+@pytest.fixture()
+def ledger(mutable_lake_bundle):
+    bundle = mutable_lake_bundle
+    ledger = LifelongLedger(lake=bundle.lake)
+    ledger.add_benchmark(Benchmark("eval", bundle.eval_dataset, metric="accuracy"))
+    return bundle, ledger
+
+
+class TestLedger:
+    def test_initial_refresh_scores_everything(self, ledger):
+        bundle, ledger_obj = ledger
+        performed = ledger_obj.refresh()
+        assert performed == len(bundle.lake)
+        assert ledger_obj.coverage() == 1.0
+
+    def test_second_refresh_is_free(self, ledger):
+        _, ledger_obj = ledger
+        ledger_obj.refresh()
+        assert ledger_obj.refresh() == 0
+
+    def test_new_model_incremental_cost(self, ledger, vocabulary):
+        bundle, ledger_obj = ledger
+        ledger_obj.refresh()
+        model = TextClassifier(len(vocabulary), 8, dim=8, hidden=(8,), seed=50)
+        bundle.lake.add_model(model, name="newcomer")
+        performed = ledger_obj.refresh()
+        assert performed == 1  # only the newcomer, only one benchmark
+
+    def test_new_benchmark_incremental_cost(self, ledger, tokenizer):
+        bundle, ledger_obj = ledger
+        ledger_obj.refresh()
+        extra = make_domain_dataset(
+            ["legal"], 5, seq_len=24, seed=93, tokenizer=tokenizer
+        )
+        ledger_obj.add_benchmark(Benchmark("legal-only", extra, metric="accuracy"))
+        performed = ledger_obj.refresh()
+        assert performed == len(bundle.lake)
+
+    def test_duplicate_benchmark_rejected(self, ledger):
+        bundle, ledger_obj = ledger
+        with pytest.raises(ConfigError):
+            ledger_obj.add_benchmark(
+                Benchmark("eval", bundle.eval_dataset, metric="accuracy")
+            )
+
+    def test_leaderboard(self, ledger):
+        bundle, ledger_obj = ledger
+        ledger_obj.refresh()
+        board = ledger_obj.leaderboard("eval", k=3)
+        assert len(board) == 3
+        scores = [s for _, s in board]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_of(self, ledger):
+        bundle, ledger_obj = ledger
+        ledger_obj.refresh()
+        model_id = bundle.truth.foundations[0]
+        assert ledger_obj.score_of(model_id, "eval") is not None
+        assert ledger_obj.score_of(model_id, "missing") is None

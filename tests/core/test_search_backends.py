@@ -1,0 +1,32 @@
+"""Tests for the HNSW search-engine backend."""
+
+import pytest
+
+from repro.core.search import SearchEngine
+from repro.errors import ConfigError
+
+
+class TestIndexBackends:
+    def test_hnsw_backend_builds(self, lake_bundle, probes):
+        engine = SearchEngine(lake_bundle.lake, probes, index_backend="hnsw")
+        assert engine.behavioral.index_backend == "hnsw"
+
+    def test_backends_agree_on_top_results(self, lake_bundle, probes):
+        flat = SearchEngine(lake_bundle.lake, probes, index_backend="flat")
+        hnsw = SearchEngine(lake_bundle.lake, probes, index_backend="hnsw")
+        query = "summarize legal court documents"
+        flat_ids = [h.model_id for h in flat.search(query, k=3, method="behavioral")]
+        hnsw_ids = [h.model_id for h in hnsw.search(query, k=3, method="behavioral")]
+        # Approximate index: at least 2 of the exact top-3 must be found.
+        assert len(set(flat_ids) & set(hnsw_ids)) >= 2
+
+    def test_unknown_backend_rejected(self, lake_bundle, probes):
+        with pytest.raises(ConfigError):
+            SearchEngine(lake_bundle.lake, probes, index_backend="btree")
+
+    def test_related_models_with_hnsw(self, lake_bundle, probes):
+        engine = SearchEngine(lake_bundle.lake, probes, index_backend="hnsw")
+        foundation = lake_bundle.truth.foundations[0]
+        hits = engine.related_models(foundation, k=3)
+        assert len(hits) == 3
+        assert all(h.model_id != foundation for h in hits)

@@ -1,0 +1,71 @@
+"""Tests for dataset-based model search with history fallbacks."""
+
+import pytest
+
+from repro.core.search import models_trained_on
+from repro.data import make_domain_dataset
+
+
+class TestHistoryPath:
+    def test_exact_match(self, lake_bundle):
+        hits = models_trained_on(lake_bundle.lake, lake_bundle.base_dataset)
+        exact = [h for h in hits if h.evidence == "history"]
+        exact_ids = {h.model_id for h in exact}
+        assert set(lake_bundle.truth.foundations) <= exact_ids
+
+    def test_versions_excluded_when_disabled(self, lake_bundle):
+        hits = models_trained_on(
+            lake_bundle.lake, lake_bundle.base_dataset, include_versions=False
+        )
+        assert all(h.evidence == "history" for h in hits)
+
+    def test_unregistered_dataset_no_version_closure(self, lake_bundle, tokenizer):
+        foreign = make_domain_dataset(
+            ["travel"], 5, seq_len=24, seed=91, tokenizer=tokenizer
+        )
+        hits = models_trained_on(lake_bundle.lake, foreign)
+        assert hits == []
+
+
+class TestMembershipFallback:
+    def test_hidden_history_recovered_by_membership(self, mutable_lake_bundle, tokenizer):
+        """A model fine-tuned on *private* data with hidden history is
+        still linked to that data by the membership signal.
+
+        The private dataset must be disjoint from the shared base corpus
+        (membership inference cannot distinguish training on a subset
+        from training on its superset — that ambiguity is fundamental).
+        """
+        from repro.transforms import finetune_classifier
+
+        bundle = mutable_lake_bundle
+        # High mixture noise makes examples hard: fitting them requires
+        # memorization, which is what membership inference detects.
+        private = make_domain_dataset(
+            ["finance", "sports"], 15, seq_len=24, seed=191,
+            tokenizer=tokenizer, name="private-corpus", mixture_noise=0.45,
+        )
+        parent_id = bundle.truth.foundations[0]
+        parent = bundle.lake.get_model(parent_id, force=True)
+        secret, _ = finetune_classifier(parent, private, epochs=30, seed=7)
+        record = bundle.lake.add_model(secret, name="secret-finetune")
+        # No history at all: the fallback is the only available signal.
+        reference = make_domain_dataset(
+            ["finance", "sports"], 15, seq_len=24, seed=192,
+            tokenizer=tokenizer, mixture_noise=0.45,
+        )
+        hits = models_trained_on(bundle.lake, private, reference=reference)
+        hit_map = {h.model_id: h for h in hits}
+        assert record.model_id in hit_map
+        assert hit_map[record.model_id].evidence == "membership"
+
+    def test_no_reference_no_fallback(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        target = next(
+            child for parents, child, record in bundle.truth.edges
+            if record.dataset_digest is not None
+        )
+        bundle.lake.set_history_visibility(target, False)
+        dataset = bundle.lake.datasets.get(bundle.truth.model_dataset[target])
+        hits = models_trained_on(bundle.lake, dataset, reference=None)
+        assert target not in {h.model_id for h in hits}

@@ -1,0 +1,118 @@
+"""Tests for the declarative query language."""
+
+import pytest
+
+from repro.core.search import SearchEngine, execute_query, parse_query
+from repro.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def engine(lake_bundle, probes):
+    return SearchEngine(lake_bundle.lake, probes)
+
+
+class TestParser:
+    def test_minimal(self):
+        query = parse_query("FIND MODELS")
+        assert query.conditions == []
+        assert query.limit == 10
+
+    def test_task_condition(self):
+        query = parse_query("FIND MODELS WHERE task ~ 'legal summarization' LIMIT 5")
+        assert query.limit == 5
+        assert query.conditions[0].kind == "field"
+        assert query.conditions[0].field == "task"
+        assert query.conditions[0].args == ("legal summarization",)
+
+    def test_and_conditions(self):
+        query = parse_query(
+            "FIND MODELS WHERE domain = 'legal' AND family = 'text_classifier'"
+        )
+        assert len(query.conditions) == 2
+
+    def test_functions(self):
+        query = parse_query(
+            "FIND MODELS WHERE OUTPERFORMS('foundation-0', 'acc_legal')"
+        )
+        assert query.conditions[0].kind == "outperforms"
+        assert query.conditions[0].args == ("foundation-0", "acc_legal")
+
+    def test_using_method(self):
+        query = parse_query("FIND MODELS WHERE task ~ 'legal' USING KEYWORD")
+        assert query.method == "keyword"
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("find models where task ~ 'legal' limit 3")
+        assert query.limit == 3
+
+    def test_errors(self):
+        for bad in (
+            "SELECT MODELS",
+            "FIND MODELS WHERE",
+            "FIND MODELS WHERE task 'legal'",
+            "FIND MODELS LIMIT 'five'",
+            "FIND MODELS LIMIT 0",
+            "FIND MODELS USING TELEPATHY",
+            "FIND MODELS WHERE OUTPERFORMS('x')",
+            "FIND MODELS trailing junk",
+        ):
+            with pytest.raises(QueryError):
+                parse_query(bad)
+
+
+class TestExecution:
+    def test_task_query(self, engine):
+        hits = execute_query(engine, "FIND MODELS WHERE task ~ 'legal court' LIMIT 3")
+        assert len(hits) <= 3
+        assert hits
+
+    def test_family_filter(self, engine, lake_bundle):
+        hits = execute_query(
+            engine, "FIND MODELS WHERE family = 'stitched_text_classifier'"
+        )
+        assert hits
+        for hit in hits:
+            assert lake_bundle.lake.get_record(hit.model_id).family == (
+                "stitched_text_classifier"
+            )
+
+    def test_outperforms(self, engine, lake_bundle):
+        foundation = lake_bundle.lake.get_record(lake_bundle.truth.foundations[0])
+        hits = execute_query(
+            engine,
+            f"FIND MODELS WHERE OUTPERFORMS('{foundation.name}', 'acc_legal') LIMIT 20",
+        )
+        for hit in hits:
+            record = lake_bundle.lake.get_record(hit.model_id)
+            assert record.eval_metrics["acc_legal"] > foundation.eval_metrics["acc_legal"]
+
+    def test_trained_on(self, engine, lake_bundle):
+        name = lake_bundle.base_dataset.name
+        hits = execute_query(engine, f"FIND MODELS WHERE TRAINED_ON('{name}')")
+        assert hits
+
+    def test_trained_on_unknown_dataset(self, engine):
+        with pytest.raises(QueryError):
+            execute_query(engine, "FIND MODELS WHERE TRAINED_ON('no-such-data')")
+
+    def test_similar_to(self, engine, lake_bundle):
+        name = lake_bundle.lake.get_record(lake_bundle.truth.foundations[0]).name
+        hits = execute_query(
+            engine, f"FIND MODELS WHERE SIMILAR_TO('{name}') LIMIT 4"
+        )
+        assert len(hits) <= 4 and hits
+
+    def test_conjunction_intersects(self, engine, lake_bundle):
+        hits = execute_query(
+            engine,
+            "FIND MODELS WHERE task ~ 'legal court statute' "
+            "AND family = 'text_classifier' LIMIT 10",
+        )
+        for hit in hits:
+            assert lake_bundle.lake.get_record(hit.model_id).family == "text_classifier"
+
+    def test_catalog_fallback(self, engine, lake_bundle):
+        hits = execute_query(engine, "FIND MODELS LIMIT 5")
+        assert len(hits) == 5
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,57 @@
+"""Tests for the behavioral fallback in version recovery."""
+
+import pytest
+
+from repro.core.versioning import RecoveryConfig, VersionGraph, recover_version_graph
+
+
+class TestBehavioralFallback:
+    @pytest.fixture(scope="class")
+    def recoveries(self, lake_bundle, probes):
+        plain = recover_version_graph(lake_bundle.lake, config=RecoveryConfig())
+        fallback = recover_version_graph(
+            lake_bundle.lake,
+            config=RecoveryConfig(behavioral_probes=probes),
+        )
+        return plain, fallback
+
+    def test_disabled_by_default(self, recoveries):
+        plain, _ = recoveries
+        assert plain.behavioral_edges == []
+
+    def test_only_adds_edges(self, recoveries):
+        plain, fallback = recoveries
+        assert plain.graph.edge_set() <= fallback.graph.edge_set()
+
+    def test_behavioral_edges_labeled(self, recoveries):
+        _, fallback = recoveries
+        for parent, child, similarity in fallback.behavioral_edges:
+            data = fallback.graph._graph.get_edge_data(parent, child)
+            assert data["kind"] == "behavioral"
+            assert abs(data["confidence"] - similarity) < 1e-12
+            assert similarity >= 0.85
+
+    def test_behavioral_edges_lineage_consistent(self, recoveries, lake_bundle):
+        """Added edges must connect models of the same true lineage tree
+        (teacher or sibling — both are correct version relationships)."""
+        _, fallback = recoveries
+        history = VersionGraph.from_lake_history(lake_bundle.lake)
+        for parent, child, _ in fallback.behavioral_edges:
+            assert history.is_version_of(parent, child), (parent, child)
+
+    def test_earliest_model_never_attached(self, recoveries, lake_bundle):
+        _, fallback = recoveries
+        earliest = min(
+            lake_bundle.lake, key=lambda r: r.created_at
+        ).model_id
+        children = {c for _, c, _ in fallback.behavioral_edges}
+        assert earliest not in children
+
+    def test_high_threshold_adds_nothing(self, lake_bundle, probes):
+        result = recover_version_graph(
+            lake_bundle.lake,
+            config=RecoveryConfig(
+                behavioral_probes=probes, behavioral_threshold=1.01
+            ),
+        )
+        assert result.behavioral_edges == []

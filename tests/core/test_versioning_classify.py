@@ -1,0 +1,101 @@
+"""Tests for transform-kind classification from weight deltas."""
+
+import numpy as np
+import pytest
+
+from repro.core.versioning import classify_transform, looks_like_merge
+from repro.data import make_domain_dataset
+from repro.transforms import (
+    edit_classifier,
+    finetune_classifier,
+    lora_adapt_classifier,
+    merge_models,
+    prune_model,
+    quantize_model,
+)
+
+
+@pytest.fixture(scope="module")
+def target_dataset(tokenizer):
+    return make_domain_dataset(
+        ["finance", "sports"], 25, seq_len=24, seed=51, tokenizer=tokenizer
+    )
+
+
+class TestClassifyTransform:
+    def test_identity(self, foundation_model):
+        state = foundation_model.state_dict()
+        assert classify_transform(state, state) == "identity"
+
+    def test_unknown_for_misaligned(self, foundation_model):
+        state = foundation_model.state_dict()
+        other = {k: v for k, v in state.items() if "bias" not in k}
+        assert classify_transform(state, other) == "unknown"
+
+    def test_finetune(self, foundation_model, target_dataset):
+        child, _ = finetune_classifier(foundation_model, target_dataset, epochs=3, seed=0)
+        kind = classify_transform(
+            foundation_model.state_dict(), child.state_dict()
+        )
+        assert kind == "finetune"
+
+    def test_lora(self, foundation_model, target_dataset):
+        child, _ = lora_adapt_classifier(
+            foundation_model, target_dataset, rank=2, epochs=3, lr=1e-2, seed=0
+        )
+        kind = classify_transform(
+            foundation_model.state_dict(), child.state_dict()
+        )
+        assert kind == "lora"
+
+    def test_edit(self, foundation_model, target_dataset):
+        child, _ = edit_classifier(
+            foundation_model, target_dataset.tokens[0], target_class=3
+        )
+        kind = classify_transform(
+            foundation_model.state_dict(), child.state_dict()
+        )
+        assert kind == "edit"
+
+    def test_prune(self, foundation_model):
+        child, _ = prune_model(foundation_model, sparsity=0.5)
+        kind = classify_transform(
+            foundation_model.state_dict(), child.state_dict()
+        )
+        assert kind == "prune"
+
+    def test_quantize(self, foundation_model):
+        child, _ = quantize_model(foundation_model, bits=5)
+        kind = classify_transform(
+            foundation_model.state_dict(), child.state_dict()
+        )
+        assert kind == "quantize"
+
+
+class TestLooksLikeMerge:
+    def test_detects_alpha(self, foundation_model, target_dataset):
+        sibling, _ = finetune_classifier(
+            foundation_model, target_dataset, epochs=3, seed=1
+        )
+        merged, _ = merge_models(foundation_model, sibling, alpha=0.3)
+        alpha = looks_like_merge(
+            merged.state_dict(),
+            foundation_model.state_dict(),
+            sibling.state_dict(),
+        )
+        assert alpha is not None
+        assert abs(alpha - 0.3) < 1e-6
+
+    def test_rejects_non_merge(self, foundation_model, target_dataset):
+        child, _ = finetune_classifier(
+            foundation_model, target_dataset, epochs=3, seed=2
+        )
+        sibling, _ = finetune_classifier(
+            foundation_model, target_dataset, epochs=3, seed=3
+        )
+        alpha = looks_like_merge(
+            child.state_dict(),
+            foundation_model.state_dict(),
+            sibling.state_dict(),
+        )
+        assert alpha is None

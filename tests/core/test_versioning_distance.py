@@ -1,0 +1,89 @@
+"""Tests for model distances."""
+
+import numpy as np
+import pytest
+
+from repro.core.versioning import (
+    behavioral_distance,
+    model_distance,
+    per_layer_distances,
+    states_aligned,
+    weight_cosine_distance,
+    weight_l2_distance,
+)
+from repro.index import BehavioralEmbedder
+
+
+class TestAlignment:
+    def test_aligned(self, foundation_model):
+        state = foundation_model.state_dict()
+        assert states_aligned(state, state)
+
+    def test_misaligned_names(self, foundation_model):
+        state = foundation_model.state_dict()
+        other = dict(state)
+        other["extra"] = np.zeros(3)
+        assert not states_aligned(state, other)
+
+    def test_misaligned_shapes(self, foundation_model):
+        state = foundation_model.state_dict()
+        other = {k: v for k, v in state.items()}
+        key = next(iter(other))
+        other[key] = np.zeros(other[key].shape + (1,)).squeeze(-1)[:1]
+        assert not states_aligned(state, other)
+
+
+class TestWeightDistances:
+    def test_zero_self_distance(self, foundation_model):
+        state = foundation_model.state_dict()
+        assert weight_l2_distance(state, state) == 0.0
+        assert weight_cosine_distance(state, state) < 1e-12
+
+    def test_parent_child_closer_than_siblings(self, lake_bundle):
+        """A child is nearer its parent than two siblings are to each
+        other (each sibling drifted independently)."""
+        truth = lake_bundle.truth
+        lake = lake_bundle.lake
+        lora_edges = [e for e in truth.edges if e[2].kind == "lora"]
+        assert len(lora_edges) >= 2
+        parent_id = lora_edges[0][0][0]
+        siblings = [e[1] for e in lora_edges if e[0][0] == parent_id]
+        if len(siblings) < 2:
+            siblings = [lora_edges[0][1], lora_edges[1][1]]
+        parent_state = lake.get_model(parent_id, force=True).state_dict()
+        child_state = lake.get_model(lora_edges[0][1], force=True).state_dict()
+        sib_a = lake.get_model(siblings[0], force=True).state_dict()
+        sib_b = lake.get_model(siblings[1], force=True).state_dict()
+        if states_aligned(sib_a, sib_b):
+            assert weight_l2_distance(parent_state, child_state) < weight_l2_distance(
+                sib_a, sib_b
+            ) * 1.05
+
+    def test_per_layer(self, foundation_model):
+        state = foundation_model.state_dict()
+        shifted = {k: v + 1.0 for k, v in state.items()}
+        distances = per_layer_distances(state, shifted)
+        assert set(distances) == set(state)
+        assert all(v > 0 for v in distances.values())
+
+
+class TestBehavioralFallback:
+    def test_cross_architecture(self, lake_bundle, probes):
+        lake = lake_bundle.lake
+        ids = lake_bundle.truth.foundations
+        a = lake.get_model(ids[0], force=True)
+        b = lake.get_model(ids[1], force=True)
+        embedder = BehavioralEmbedder(probes)
+        distance = behavioral_distance(a, b, embedder)
+        assert 0.0 <= distance <= 2.0
+
+    def test_model_distance_dispatches(self, lake_bundle, probes):
+        lake = lake_bundle.lake
+        ids = lake_bundle.truth.foundations
+        a = lake.get_model(ids[0], force=True)
+        b = lake.get_model(ids[1], force=True)
+        with pytest.raises(ValueError):
+            model_distance(a, b)  # misaligned, no fallback provided
+        embedder = BehavioralEmbedder(probes)
+        assert model_distance(a, b, embedder) >= 0.0
+        assert model_distance(a, a) == 0.0  # aligned path

@@ -1,0 +1,70 @@
+"""Tests for the version graph."""
+
+import pytest
+
+from repro.core.versioning import VersionGraph
+from repro.errors import ModelNotFoundError
+from repro.transforms import TransformRecord
+
+
+@pytest.fixture()
+def chain_graph():
+    graph = VersionGraph()
+    graph.add_edge("root", "mid", TransformRecord(kind="finetune"))
+    graph.add_edge("mid", "leaf", TransformRecord(kind="quantize"))
+    graph.add_edge("root", "other", TransformRecord(kind="lora"))
+    graph.add_model("island")
+    return graph
+
+
+class TestStructure:
+    def test_parents_children(self, chain_graph):
+        assert chain_graph.parents("mid") == ["root"]
+        assert set(chain_graph.children("root")) == {"mid", "other"}
+
+    def test_ancestors_descendants(self, chain_graph):
+        assert chain_graph.ancestors("leaf") == {"root", "mid"}
+        assert chain_graph.descendants("root") == {"mid", "leaf", "other"}
+
+    def test_roots(self, chain_graph):
+        assert set(chain_graph.roots()) == {"root", "island"}
+
+    def test_root_of(self, chain_graph):
+        assert chain_graph.root_of("leaf") == "root"
+        assert chain_graph.root_of("island") == "island"
+
+    def test_lineage_path(self, chain_graph):
+        assert chain_graph.lineage_path("root", "leaf") == ["root", "mid", "leaf"]
+        assert chain_graph.lineage_path("other", "leaf") is None
+
+    def test_transform_between(self, chain_graph):
+        record = chain_graph.transform_between("mid", "leaf")
+        assert record is not None and record.kind == "quantize"
+        assert chain_graph.transform_between("root", "leaf") is None
+
+    def test_is_version_of(self, chain_graph):
+        assert chain_graph.is_version_of("leaf", "other")  # common root
+        assert not chain_graph.is_version_of("leaf", "island")
+
+    def test_unknown_node_raises(self, chain_graph):
+        with pytest.raises(ModelNotFoundError):
+            chain_graph.parents("nope")
+
+    def test_to_dot(self, chain_graph):
+        dot = chain_graph.to_dot()
+        assert "digraph" in dot
+        assert "finetune" in dot
+
+
+class TestFromLakeHistory:
+    def test_matches_ground_truth(self, lake_bundle):
+        graph = VersionGraph.from_lake_history(lake_bundle.lake)
+        assert graph.edge_set() == lake_bundle.truth.edge_set()
+
+    def test_hidden_history_omitted(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        child = next(c for _, c, _ in bundle.truth.edges)
+        bundle.lake.set_history_visibility(child, False)
+        graph = VersionGraph.from_lake_history(bundle.lake)
+        assert not graph.parents(child)
+        assert child in graph  # still listed as an isolated node

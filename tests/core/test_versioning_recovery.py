@@ -1,0 +1,76 @@
+"""Tests for blind version-graph recovery (MoTHer-style)."""
+
+import numpy as np
+import pytest
+
+from repro.core.benchmarking import (
+    edge_precision_recall,
+    version_edge_truth,
+)
+from repro.core.versioning import RecoveryConfig, recover_version_graph
+
+
+class TestRecovery:
+    def test_never_uses_history(self, lake_bundle):
+        """Recovery must work on a lake with all history hidden."""
+        for record in lake_bundle.lake:
+            lake_bundle.lake.set_history_visibility(record.model_id, False)
+        try:
+            result = recover_version_graph(lake_bundle.lake)
+            assert result.graph.num_edges > 0
+        finally:
+            for record in lake_bundle.lake:
+                lake_bundle.lake.set_history_visibility(record.model_id, True)
+
+    def test_weight_preserving_recall(self, lake_bundle):
+        """Recovery should find most weight-preserving edges."""
+        result = recover_version_graph(lake_bundle.lake)
+        truth = version_edge_truth(lake_bundle, weight_preserving_only=True)
+        predicted = result.graph.edge_set()
+        _, recall, _ = edge_precision_recall(predicted, truth)
+        assert recall >= 0.5
+
+    def test_precision_reasonable(self, lake_bundle):
+        result = recover_version_graph(lake_bundle.lake)
+        truth = lake_bundle.truth.edge_set()
+        precision, _, _ = edge_precision_recall(result.graph.edge_set(), truth)
+        assert precision >= 0.5
+
+    def test_clusters_respect_architecture(self, lake_bundle):
+        result = recover_version_graph(lake_bundle.lake)
+        for cluster in result.clusters:
+            families = {
+                str(sorted(lake_bundle.lake.get_record(m).architecture.items()))
+                for m in cluster
+            }
+            assert len(families) == 1
+
+    def test_merge_detection(self, lake_bundle):
+        result = recover_version_graph(lake_bundle.lake)
+        true_merges = {
+            (tuple(sorted(parents)), child)
+            for parents, child, record in lake_bundle.truth.edges
+            if record.kind == "merge"
+        }
+        found = {
+            (tuple(sorted((a, b))), child) for a, b, child in result.merge_edges
+        }
+        assert true_merges <= found
+
+    def test_direction_penalty_helps_or_neutral(self, lake_bundle):
+        truth = version_edge_truth(lake_bundle, weight_preserving_only=True)
+
+        def f1(config):
+            result = recover_version_graph(lake_bundle.lake, config=config)
+            _, _, value = edge_precision_recall(result.graph.edge_set(), truth)
+            return value
+
+        with_direction = f1(RecoveryConfig(direction_penalty=0.5))
+        without = f1(RecoveryConfig(direction_penalty=0.0))
+        assert with_direction >= without - 0.15
+
+    def test_subset_of_models(self, lake_bundle):
+        ids = lake_bundle.truth.foundations[:1]
+        result = recover_version_graph(lake_bundle.lake, model_ids=ids)
+        assert result.graph.num_edges == 0
+        assert len(result.graph) == 1

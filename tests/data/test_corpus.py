@@ -1,0 +1,64 @@
+"""Tests for the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import CorpusGenerator
+from repro.data.domains import get_domain
+from repro.errors import ConfigError
+
+
+class TestGenerateDocument:
+    def test_deterministic(self):
+        a = CorpusGenerator(seed=3).generate_corpus("legal", 5)
+        b = CorpusGenerator(seed=3).generate_corpus("legal", 5)
+        assert [d.tokens for d in a] == [f.tokens for f in b]
+
+    def test_seed_changes_output(self):
+        a = CorpusGenerator(seed=3).generate_corpus("legal", 5)
+        b = CorpusGenerator(seed=4).generate_corpus("legal", 5)
+        assert [d.tokens for d in a] != [f.tokens for f in b]
+
+    def test_domain_words_dominate(self):
+        docs = CorpusGenerator(seed=0, mixture_noise=0.0).generate_corpus("medical", 10)
+        medical_words = set(get_domain("medical").content_words())
+        legal_words = set(get_domain("legal").content_words())
+        all_tokens = [t for d in docs for t in d.tokens]
+        medical_count = sum(1 for t in all_tokens if t in medical_words)
+        legal_count = sum(1 for t in all_tokens if t in legal_words)
+        assert medical_count > 0
+        assert legal_count == 0
+
+    def test_mixture_noise_leaks_other_domains(self):
+        generator = CorpusGenerator(seed=0, mixture_noise=0.3)
+        docs = generator.generate_corpus(
+            "medical", 20, noise_domains=["legal", "medical"]
+        )
+        legal_words = set(get_domain("legal").content_words())
+        leaked = sum(1 for d in docs for t in d.tokens if t in legal_words)
+        assert leaked > 0
+
+    def test_invalid_sentences(self):
+        with pytest.raises(ConfigError):
+            CorpusGenerator(seed=0).generate_document("legal", 0)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ConfigError):
+            CorpusGenerator(seed=0, mixture_noise=1.5)
+
+    def test_doc_ids_unique(self):
+        docs = CorpusGenerator(seed=0).generate_corpus("news", 10)
+        ids = [d.doc_id for d in docs]
+        assert len(set(ids)) == len(ids)
+
+
+class TestMixedCorpus:
+    def test_round_robin_order(self):
+        generator = CorpusGenerator(seed=0)
+        docs = generator.generate_mixed_corpus(["legal", "news"], 3)
+        assert [d.domain for d in docs] == ["legal", "news"] * 3
+
+    def test_counts(self):
+        generator = CorpusGenerator(seed=0)
+        docs = generator.generate_mixed_corpus(["legal", "news", "code"], 4)
+        assert len(docs) == 12

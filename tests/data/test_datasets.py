@@ -1,0 +1,79 @@
+"""Tests for dataset construction and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_domain_dataset, make_lm_sequences
+from repro.data.datasets import TextDataset
+from repro.errors import ConfigError
+
+
+class TestTextDataset:
+    def test_alignment_enforced(self):
+        with pytest.raises(ConfigError):
+            TextDataset(
+                tokens=np.zeros((3, 4), dtype=np.int64),
+                labels=np.zeros(2, dtype=np.int64),
+                domains=["a", "b", "c"],
+            )
+
+    def test_digest_content_based(self, tokenizer):
+        a = make_domain_dataset(["legal"], 5, seed=0, tokenizer=tokenizer, name="x")
+        b = make_domain_dataset(["legal"], 5, seed=0, tokenizer=tokenizer, name="y")
+        assert a.content_digest() == b.content_digest()  # names differ, content same
+
+    def test_digest_changes_with_content(self, tokenizer):
+        a = make_domain_dataset(["legal"], 5, seed=0, tokenizer=tokenizer)
+        b = make_domain_dataset(["legal"], 5, seed=1, tokenizer=tokenizer)
+        assert a.content_digest() != b.content_digest()
+
+    def test_subset(self, small_dataset):
+        sub = small_dataset.subset([0, 2, 4])
+        assert len(sub) == 3
+        assert sub.domains == [small_dataset.domains[i] for i in (0, 2, 4)]
+
+    def test_split_partitions(self, small_dataset):
+        train, test = small_dataset.split(0.75, seed=0)
+        assert len(train) + len(test) == len(small_dataset)
+        assert len(train) == round(0.75 * len(small_dataset))
+
+    def test_split_deterministic(self, small_dataset):
+        a_train, _ = small_dataset.split(0.5, seed=3)
+        b_train, _ = small_dataset.split(0.5, seed=3)
+        assert np.array_equal(a_train.tokens, b_train.tokens)
+
+    def test_split_invalid_fraction(self, small_dataset):
+        with pytest.raises(ConfigError):
+            small_dataset.split(1.5)
+
+    def test_domain_histogram(self, small_dataset):
+        hist = small_dataset.domain_histogram()
+        assert sum(hist.values()) == len(small_dataset)
+        assert set(hist) == {"legal", "medical", "news", "code"}
+
+
+class TestMakeDomainDataset:
+    def test_balanced(self, tokenizer):
+        ds = make_domain_dataset(["legal", "news"], 7, seed=0, tokenizer=tokenizer)
+        assert ds.domain_histogram() == {"legal": 7, "news": 7}
+
+    def test_labels_are_domain_indices(self, tokenizer):
+        from repro.data.domains import domain_index
+
+        ds = make_domain_dataset(["legal", "news"], 3, seed=0, tokenizer=tokenizer)
+        for label, domain in zip(ds.labels, ds.domains):
+            assert label == domain_index(domain)
+
+    def test_empty_domains_raises(self, tokenizer):
+        with pytest.raises(ConfigError):
+            make_domain_dataset([], 3, tokenizer=tokenizer)
+
+
+class TestMakeLMSequences:
+    def test_starts_with_bos(self, tokenizer):
+        ds = make_lm_sequences(["legal"], 4, seq_len=12, seed=0, tokenizer=tokenizer)
+        assert np.all(ds.tokens[:, 0] == tokenizer.vocabulary.bos_id)
+
+    def test_shape(self, tokenizer):
+        ds = make_lm_sequences(["legal", "news"], 3, seq_len=10, seed=0, tokenizer=tokenizer)
+        assert ds.tokens.shape == (6, 10)

@@ -1,0 +1,81 @@
+"""Tests for dataset derivation operators and provenance records."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    augment_with_noise,
+    filter_by_domain,
+    merge_datasets,
+    sample_dataset,
+)
+from repro.errors import ConfigError
+
+
+class TestSample:
+    def test_size(self, small_dataset):
+        result, record = sample_dataset(small_dataset, 0.5, seed=0)
+        assert len(result) == round(0.5 * len(small_dataset))
+        assert record.operation == "sample"
+
+    def test_provenance_digests(self, small_dataset):
+        result, record = sample_dataset(small_dataset, 0.5, seed=0)
+        assert record.source_digests == (small_dataset.content_digest(),)
+        assert record.result_digest == result.content_digest()
+
+    def test_deterministic(self, small_dataset):
+        a, _ = sample_dataset(small_dataset, 0.4, seed=9)
+        b, _ = sample_dataset(small_dataset, 0.4, seed=9)
+        assert np.array_equal(a.tokens, b.tokens)
+
+    def test_invalid_fraction(self, small_dataset):
+        with pytest.raises(ConfigError):
+            sample_dataset(small_dataset, 0.0)
+
+
+class TestFilter:
+    def test_keeps_only_requested(self, small_dataset):
+        result, record = filter_by_domain(small_dataset, ["legal"])
+        assert set(result.domains) == {"legal"}
+        assert record.operation == "filter_domain"
+
+    def test_no_match_raises(self, small_dataset):
+        with pytest.raises(ConfigError):
+            filter_by_domain(small_dataset, ["travel"])
+
+
+class TestAugment:
+    def test_labels_preserved(self, small_dataset):
+        result, _ = augment_with_noise(small_dataset, 0.2, seed=0)
+        assert np.array_equal(result.labels, small_dataset.labels)
+
+    def test_padding_untouched(self, small_dataset):
+        result, _ = augment_with_noise(small_dataset, 0.5, seed=0)
+        assert np.array_equal(result.tokens == 0, small_dataset.tokens == 0)
+
+    def test_swap_rate_approximate(self, small_dataset):
+        result, _ = augment_with_noise(small_dataset, 0.3, seed=0)
+        nonpad = small_dataset.tokens != 0
+        changed = (result.tokens != small_dataset.tokens) & nonpad
+        rate = changed.sum() / nonpad.sum()
+        assert 0.2 < rate < 0.35  # some swaps pick the same token
+
+    def test_zero_noise_identity(self, small_dataset):
+        result, _ = augment_with_noise(small_dataset, 0.0, seed=0)
+        assert np.array_equal(result.tokens, small_dataset.tokens)
+
+
+class TestMerge:
+    def test_concatenates(self, small_dataset):
+        first = small_dataset.subset(range(10))
+        second = small_dataset.subset(range(10, 25))
+        merged, record = merge_datasets(first, second)
+        assert len(merged) == 25
+        assert len(record.source_digests) == 2
+
+    def test_seq_len_mismatch_raises(self, small_dataset, tokenizer):
+        from repro.data import make_domain_dataset
+
+        other = make_domain_dataset(["legal"], 3, seq_len=10, seed=0, tokenizer=tokenizer)
+        with pytest.raises(ConfigError):
+            merge_datasets(small_dataset, other)

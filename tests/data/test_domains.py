@@ -1,0 +1,43 @@
+"""Tests for domain specifications."""
+
+import pytest
+
+from repro.data.domains import (
+    ALL_DOMAINS,
+    DOMAIN_NAMES,
+    domain_index,
+    get_domain,
+)
+from repro.errors import ConfigError
+
+
+class TestDomainRegistry:
+    def test_eight_domains(self):
+        assert len(ALL_DOMAINS) == 8
+        assert "legal" in DOMAIN_NAMES and "medical" in DOMAIN_NAMES
+
+    def test_get_domain(self):
+        legal = get_domain("legal")
+        assert legal.name == "legal"
+        assert "court" in legal.nouns
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(ConfigError):
+            get_domain("astrology")
+
+    def test_domain_index_stable(self):
+        assert domain_index(DOMAIN_NAMES[0]) == 0
+        assert domain_index(DOMAIN_NAMES[-1]) == len(DOMAIN_NAMES) - 1
+
+    def test_content_words_nonempty_and_typed(self):
+        for domain in ALL_DOMAINS:
+            assert len(domain.nouns) >= 10
+            assert len(domain.verbs) >= 8
+            assert len(domain.adjectives) >= 6
+
+    def test_content_words_mostly_disjoint(self):
+        """Domain vocabularies must be separable for tasks to work."""
+        for i, a in enumerate(ALL_DOMAINS):
+            for b in ALL_DOMAINS[i + 1 :]:
+                overlap = set(a.content_words()) & set(b.content_words())
+                assert not overlap, f"{a.name}/{b.name} share {overlap}"

@@ -1,0 +1,58 @@
+"""Tests for probe sets."""
+
+import numpy as np
+import pytest
+
+from repro.data.probes import make_feature_probes, make_lm_prompts, make_text_probes
+from repro.errors import ConfigError
+
+
+class TestTextProbes:
+    def test_balanced_coverage(self, tokenizer):
+        probes = make_text_probes(probes_per_domain=2, tokenizer=tokenizer)
+        from repro.data.domains import DOMAIN_NAMES
+
+        for domain in DOMAIN_NAMES:
+            assert probes.domains.count(domain) == 2
+
+    def test_deterministic(self, tokenizer):
+        a = make_text_probes(probes_per_domain=2, seed=5, tokenizer=tokenizer)
+        b = make_text_probes(probes_per_domain=2, seed=5, tokenizer=tokenizer)
+        assert np.array_equal(a.tokens, b.tokens)
+
+    def test_domain_subset(self, tokenizer):
+        probes = make_text_probes(
+            probes_per_domain=3, domain_names=["legal", "news"], tokenizer=tokenizer
+        )
+        assert set(probes.domains) == {"legal", "news"}
+
+    def test_invalid_count(self, tokenizer):
+        with pytest.raises(ConfigError):
+            make_text_probes(probes_per_domain=0, tokenizer=tokenizer)
+
+
+class TestFeatureProbes:
+    def test_shape(self):
+        probes = make_feature_probes(10, 6, seed=1)
+        assert probes.shape == (10, 6)
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            make_feature_probes(5, 4, seed=2), make_feature_probes(5, 4, seed=2)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            make_feature_probes(0, 4)
+
+
+class TestLMPrompts:
+    def test_starts_with_bos(self, tokenizer):
+        prompts = make_lm_prompts(prompts_per_domain=1, tokenizer=tokenizer)
+        assert np.all(prompts.tokens[:, 0] == tokenizer.vocabulary.bos_id)
+
+    def test_prompt_length(self, tokenizer):
+        prompts = make_lm_prompts(
+            prompts_per_domain=1, prompt_len=5, tokenizer=tokenizer
+        )
+        assert prompts.tokens.shape[1] == 5

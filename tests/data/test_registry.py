@@ -1,0 +1,77 @@
+"""Tests for the dataset registry and its lineage graph."""
+
+import pytest
+
+from repro.data import (
+    DatasetRegistry,
+    augment_with_noise,
+    filter_by_domain,
+    sample_dataset,
+)
+from repro.errors import DatasetNotFoundError
+
+
+@pytest.fixture()
+def populated(small_dataset):
+    registry = DatasetRegistry()
+    root = registry.register(small_dataset)
+    sampled, record1 = sample_dataset(small_dataset, 0.5, seed=1)
+    mid = registry.register(sampled, record1)
+    augmented, record2 = augment_with_noise(sampled, 0.1, seed=2)
+    leaf = registry.register(augmented, record2)
+    return registry, root, mid, leaf
+
+
+class TestRegistration:
+    def test_content_addressing_idempotent(self, small_dataset):
+        registry = DatasetRegistry()
+        a = registry.register(small_dataset)
+        b = registry.register(small_dataset)
+        assert a == b
+        assert len(registry) == 1
+
+    def test_get_unknown_raises(self):
+        registry = DatasetRegistry()
+        with pytest.raises(DatasetNotFoundError):
+            registry.get("nope")
+
+    def test_derivation_with_unknown_source_raises(self, small_dataset):
+        registry = DatasetRegistry()
+        sampled, record = sample_dataset(small_dataset, 0.5, seed=1)
+        with pytest.raises(DatasetNotFoundError):
+            registry.register(sampled, record)  # source never registered
+
+    def test_find_by_name(self, small_dataset):
+        registry = DatasetRegistry()
+        registry.register(small_dataset)
+        assert registry.find_by_name(small_dataset.name)
+
+
+class TestLineage:
+    def test_parents_children(self, populated):
+        registry, root, mid, leaf = populated
+        assert registry.parents(mid) == [root]
+        assert registry.children(mid) == [leaf]
+
+    def test_ancestors_descendants(self, populated):
+        registry, root, mid, leaf = populated
+        assert registry.ancestors(leaf) == {root, mid}
+        assert registry.descendants(root) == {mid, leaf}
+
+    def test_versions_of_is_symmetric_closure(self, populated):
+        registry, root, mid, leaf = populated
+        assert registry.versions_of(root) == {root, mid, leaf}
+        assert registry.versions_of(leaf) == {root, mid, leaf}
+
+    def test_derivation_path(self, populated):
+        registry, root, mid, leaf = populated
+        assert registry.derivation_path(root, leaf) == [root, mid, leaf]
+        assert registry.derivation_path(leaf, root) is None
+
+    def test_unrelated_datasets_not_versions(self, populated, tokenizer):
+        from repro.data import make_domain_dataset
+
+        registry, root, _, _ = populated
+        other = make_domain_dataset(["travel"], 4, seed=9, tokenizer=tokenizer)
+        other_digest = registry.register(other)
+        assert other_digest not in registry.versions_of(root)

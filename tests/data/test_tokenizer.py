@@ -1,0 +1,55 @@
+"""Tests for the tokenizer."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import Document
+from repro.data.tokenizer import Tokenizer
+from repro.data.vocab import Vocabulary
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def tok():
+    return Tokenizer(Vocabulary(["alpha", "beta", "gamma"]))
+
+
+class TestEncode:
+    def test_round_trip(self, tok):
+        ids = tok.encode(["alpha", "gamma"])
+        assert tok.decode(ids) == ["alpha", "gamma"]
+
+    def test_special_tokens(self, tok):
+        ids = tok.encode(["alpha"], add_special=True)
+        assert ids[0] == tok.vocabulary.bos_id
+        assert ids[-1] == tok.vocabulary.eos_id
+
+    def test_decode_skips_special(self, tok):
+        ids = tok.encode(["alpha"], add_special=True)
+        assert tok.decode(ids) == ["alpha"]
+        assert len(tok.decode(ids, skip_special=False)) == 3
+
+    def test_encode_text(self, tok):
+        assert tok.encode_text("alpha beta") == tok.encode(["alpha", "beta"])
+
+    def test_unknown_becomes_unk(self, tok):
+        ids = tok.encode(["delta"])
+        assert ids == [tok.vocabulary.unk_id]
+
+
+class TestPadBatch:
+    def test_pads_and_truncates(self, tok):
+        batch = tok.pad_batch([[5], [5, 6, 7, 8]], max_length=3)
+        assert batch.shape == (2, 3)
+        assert batch[0].tolist() == [5, 0, 0]
+        assert batch[1].tolist() == [5, 6, 7]
+
+    def test_invalid_length(self, tok):
+        with pytest.raises(ConfigError):
+            tok.pad_batch([[1]], max_length=0)
+
+    def test_encode_documents(self, tok):
+        docs = [Document(tokens=["alpha", "beta"], domain="x")]
+        batch = tok.encode_documents(docs, max_length=4)
+        assert batch.shape == (1, 4)
+        assert batch[0, 0] == tok.vocabulary.id_of("alpha")

@@ -1,0 +1,61 @@
+"""Tests for the vocabulary."""
+
+import pytest
+
+from repro.data.vocab import (
+    PAD_TOKEN,
+    UNK_TOKEN,
+    Vocabulary,
+    build_default_vocabulary,
+)
+from repro.errors import ConfigError
+
+
+class TestVocabulary:
+    def test_pad_is_zero(self):
+        vocab = Vocabulary(["apple", "banana"])
+        assert vocab.pad_id == 0
+        assert vocab.token_of(0) == PAD_TOKEN
+
+    def test_round_trip(self):
+        vocab = Vocabulary(["apple", "banana"])
+        ids = vocab.encode(["banana", "apple"])
+        assert vocab.decode(ids) == ["banana", "apple"]
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["apple"])
+        assert vocab.id_of("mystery") == vocab.unk_id
+
+    def test_duplicates_collapsed(self):
+        vocab = Vocabulary(["apple", "apple", "banana"])
+        assert len(vocab) == 4 + 2  # specials + uniques
+
+    def test_out_of_range_raises(self):
+        vocab = Vocabulary(["apple"])
+        with pytest.raises(ConfigError):
+            vocab.token_of(99)
+
+    def test_contains(self):
+        vocab = Vocabulary(["apple"])
+        assert "apple" in vocab
+        assert UNK_TOKEN in vocab
+        assert "pear" not in vocab
+
+
+class TestDefaultVocabulary:
+    def test_deterministic(self):
+        a = build_default_vocabulary()
+        b = build_default_vocabulary()
+        assert a.tokens() == b.tokens()
+
+    def test_covers_all_domain_words(self):
+        from repro.data.domains import ALL_DOMAINS
+
+        vocab = build_default_vocabulary()
+        for domain in ALL_DOMAINS:
+            for word in domain.content_words():
+                assert word in vocab, word
+
+    def test_reasonable_size(self):
+        vocab = build_default_vocabulary()
+        assert 200 < len(vocab) < 500

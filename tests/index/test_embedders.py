@@ -1,0 +1,146 @@
+"""Tests for model embedders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.index import (
+    BehavioralEmbedder,
+    ConcatEmbedder,
+    MetadataEmbedder,
+    OutputEmbedder,
+    WeightStatEmbedder,
+    l2_normalize,
+)
+from repro.lake import ModelCard
+from repro.nn import TransformerLM
+
+
+class TestL2Normalize:
+    def test_unit_norm(self):
+        v = l2_normalize(np.array([3.0, 4.0]))
+        assert abs(np.linalg.norm(v) - 1.0) < 1e-12
+
+    def test_zero_vector_unchanged(self):
+        assert np.array_equal(l2_normalize(np.zeros(3)), np.zeros(3))
+
+
+class TestBehavioralEmbedder:
+    def test_unit_vectors(self, probes, foundation_model):
+        embedder = BehavioralEmbedder(probes)
+        vector = embedder.embed(foundation_model)
+        assert vector.shape == (probes.num_probes,)
+        assert abs(np.linalg.norm(vector) - 1.0) < 1e-9
+
+    def test_identical_models_identical_embeddings(self, probes, foundation_model):
+        from repro.transforms import clone_model
+
+        embedder = BehavioralEmbedder(probes)
+        a = embedder.embed(foundation_model)
+        b = embedder.embed(clone_model(foundation_model))
+        assert np.allclose(a, b)
+
+    def test_lm_profile_in_unit_range(self, probes):
+        embedder = BehavioralEmbedder(probes)
+        lm = TransformerLM(
+            vocab_size=300, d_model=16, num_heads=2, num_layers=1,
+            max_seq_len=probes.seq_len, seed=0,
+        )
+        vector = embedder.embed(lm)
+        assert vector.shape == (probes.num_probes,)
+        assert np.all(np.isfinite(vector))
+
+    def test_specialist_peaks_on_specialty(self, probes, lake_bundle):
+        """A domain specialist's profile mass concentrates on its domain."""
+        embedder = BehavioralEmbedder(probes)
+        domains = np.asarray(probes.domains)
+        best = None
+        for model_id, specialty in lake_bundle.truth.specialty.items():
+            transform = lake_bundle.truth.transform_of(model_id)
+            if specialty is None or transform is None or transform.kind != "finetune":
+                continue
+            model = lake_bundle.lake.get_model(model_id, force=True)
+            profile = embedder.embed(model)
+            on_specialty = profile[domains == specialty].mean()
+            off = profile[domains != specialty].mean()
+            best = (on_specialty, off)
+            assert on_specialty >= off
+        assert best is not None
+
+
+class TestOutputEmbedder:
+    def test_dim(self, probes, foundation_model):
+        embedder = OutputEmbedder(probes)
+        vector = embedder.embed(foundation_model)
+        assert vector.shape == (probes.num_probes * 8,)
+
+    def test_rejects_lm(self, probes):
+        lm = TransformerLM(vocab_size=10, d_model=8, num_heads=2, num_layers=1, seed=0)
+        with pytest.raises(ConfigError):
+            OutputEmbedder(probes).embed(lm)
+
+
+class TestWeightStatEmbedder:
+    def test_fixed_dim_across_architectures(self, foundation_model, vocabulary):
+        from repro.nn import TextClassifier
+
+        embedder = WeightStatEmbedder()
+        a = embedder.embed(foundation_model)
+        other = TextClassifier(len(vocabulary), 8, dim=20, hidden=(16, 16), seed=3)
+        b = embedder.embed(other)
+        assert a.shape == b.shape == (embedder.dim,)
+
+    def test_pruning_signature_visible(self, foundation_model):
+        from repro.transforms import prune_model
+
+        embedder = WeightStatEmbedder()
+        pruned, _ = prune_model(foundation_model, sparsity=0.7)
+        base = embedder.embed(foundation_model)
+        after = embedder.embed(pruned)
+        assert not np.allclose(base, after)
+
+    def test_finetune_child_closer_than_stranger(self, lake_bundle):
+        embedder = WeightStatEmbedder()
+        truth = lake_bundle.truth
+        lake = lake_bundle.lake
+        edge = next(
+            e for e in truth.edges if e[2].kind == "finetune" and len(e[0]) == 1
+        )
+        parent_vec = embedder.embed(lake.get_model(edge[0][0], force=True))
+        child_vec = embedder.embed(lake.get_model(edge[1], force=True))
+        stranger_id = next(
+            f for f in truth.foundations if f != edge[0][0]
+        )
+        stranger_vec = embedder.embed(lake.get_model(stranger_id, force=True))
+        assert parent_vec @ child_vec > parent_vec @ stranger_vec
+
+
+class TestMetadataEmbedder:
+    def test_similar_cards_closer(self):
+        embedder = MetadataEmbedder(dim=128)
+        legal_a = ModelCard(model_name="a", description="legal court contract model")
+        legal_b = ModelCard(model_name="b", description="court statute legal expert")
+        cooking = ModelCard(model_name="c", description="recipe sauce oven baking")
+        sim_legal = embedder.embed_card(legal_a) @ embedder.embed_card(legal_b)
+        sim_cross = embedder.embed_card(legal_a) @ embedder.embed_card(cooking)
+        assert sim_legal > sim_cross
+
+    def test_invalid_dim(self):
+        with pytest.raises(ConfigError):
+            MetadataEmbedder(dim=0)
+
+
+class TestConcatEmbedder:
+    def test_concatenates(self, probes, foundation_model):
+        behavioral = BehavioralEmbedder(probes)
+        weights = WeightStatEmbedder()
+        combined = ConcatEmbedder([behavioral, weights], weights=[1.0, 0.5])
+        vector = combined.embed(foundation_model)
+        assert vector.shape == (behavioral.dim + weights.dim,)
+        assert abs(np.linalg.norm(vector) - 1.0) < 1e-9
+
+    def test_validation(self, probes):
+        with pytest.raises(ConfigError):
+            ConcatEmbedder([])
+        with pytest.raises(ConfigError):
+            ConcatEmbedder([BehavioralEmbedder(probes)], weights=[1.0, 2.0])

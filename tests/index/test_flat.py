@@ -1,0 +1,73 @@
+"""Tests for the exact flat index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index import FlatIndex
+
+
+@pytest.fixture()
+def built():
+    rng = np.random.default_rng(0)
+    vectors = rng.normal(size=(50, 8))
+    ids = [f"m{i}" for i in range(50)]
+    index = FlatIndex()
+    index.build(ids, vectors)
+    return index, ids, vectors
+
+
+class TestFlatIndex:
+    def test_self_query_top1(self, built):
+        index, ids, vectors = built
+        for i in (0, 10, 49):
+            results = index.query(vectors[i], k=1)
+            assert results[0][0] == ids[i]
+            assert abs(results[0][1] - 1.0) < 1e-9
+
+    def test_scores_descending(self, built):
+        index, _, vectors = built
+        results = index.query(vectors[0], k=10)
+        scores = [s for _, s in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_larger_than_index(self, built):
+        index, _, vectors = built
+        assert len(index.query(vectors[0], k=500)) == 50
+
+    def test_empty_index(self):
+        assert FlatIndex().query(np.ones(4)) == []
+
+    def test_incremental_add_matches_build(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.normal(size=(10, 4))
+        ids = [f"v{i}" for i in range(10)]
+        a = FlatIndex()
+        a.build(ids, vectors)
+        b = FlatIndex()
+        for item_id, vec in zip(ids, vectors):
+            b.add(item_id, vec)
+        q = rng.normal(size=4)
+        result_a, result_b = a.query(q, k=5), b.query(q, k=5)
+        assert [i for i, _ in result_a] == [i for i, _ in result_b]
+        assert np.allclose([s for _, s in result_a], [s for _, s in result_b])
+
+    def test_dim_mismatch(self, built):
+        index, _, _ = built
+        with pytest.raises(IndexError_):
+            index.add("bad", np.ones(3))
+
+    def test_build_length_mismatch(self):
+        with pytest.raises(IndexError_):
+            FlatIndex().build(["a"], np.ones((2, 3)))
+
+    def test_vector_of(self, built):
+        index, ids, vectors = built
+        stored = index.vector_of(ids[3])
+        expected = vectors[3] / np.linalg.norm(vectors[3])
+        assert np.allclose(stored, expected)
+
+    def test_vector_of_unknown(self, built):
+        index, _, _ = built
+        with pytest.raises(IndexError_):
+            index.vector_of("nope")

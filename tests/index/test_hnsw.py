@@ -1,0 +1,107 @@
+"""Tests for the from-scratch HNSW index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, IndexError_
+from repro.index import FlatIndex, HNSWIndex, measure_recall
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(7)
+    # Clustered data (realistic for model embeddings).
+    centers = rng.normal(size=(10, 16)) * 3
+    vectors = np.concatenate([
+        center + rng.normal(scale=0.3, size=(40, 16)) for center in centers
+    ])
+    ids = [f"v{i}" for i in range(len(vectors))]
+    return ids, vectors
+
+
+class TestHNSWConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HNSWIndex(m=1)
+        with pytest.raises(ConfigError):
+            HNSWIndex(m=8, ef_construction=4)
+
+    def test_duplicate_id_rejected(self):
+        index = HNSWIndex(seed=0)
+        index.add("a", np.ones(4))
+        with pytest.raises(IndexError_):
+            index.add("a", np.ones(4))
+
+    def test_stats(self, corpus):
+        ids, vectors = corpus
+        index = HNSWIndex(m=6, ef_construction=32, seed=0)
+        index.build(ids, vectors)
+        stats = index.stats()
+        assert stats["num_elements"] == len(ids)
+        assert stats["num_layers"] >= 1
+        assert stats["max_degree"] <= 2 * 6
+
+
+class TestHNSWSearch:
+    def test_empty(self):
+        assert HNSWIndex(seed=0).query(np.ones(4)) == []
+
+    def test_self_recall(self, corpus):
+        ids, vectors = corpus
+        index = HNSWIndex(m=8, ef_construction=64, ef_search=32, seed=0)
+        index.build(ids, vectors)
+        hits = sum(
+            index.query(vectors[i], k=1)[0][0] == ids[i]
+            for i in range(0, len(ids), 7)
+        )
+        assert hits >= len(range(0, len(ids), 7)) - 2
+
+    def test_recall_vs_exact(self, corpus):
+        ids, vectors = corpus
+        flat = FlatIndex()
+        flat.build(ids, vectors)
+        index = HNSWIndex(m=8, ef_construction=64, ef_search=64, seed=0)
+        index.build(ids, vectors)
+        rng = np.random.default_rng(1)
+        queries = rng.normal(size=(20, 16)) * 2
+        recall = measure_recall(index, flat, queries, k=10)
+        assert recall > 0.85
+
+    def test_higher_ef_higher_recall(self, corpus):
+        ids, vectors = corpus
+        flat = FlatIndex()
+        flat.build(ids, vectors)
+        index = HNSWIndex(m=6, ef_construction=48, seed=0)
+        index.build(ids, vectors)
+        rng = np.random.default_rng(2)
+        queries = rng.normal(size=(25, 16)) * 2
+        low = np.mean([
+            len({i for i, _ in index.query(q, k=10, ef=10)}
+                & {i for i, _ in flat.query(q, k=10)}) / 10
+            for q in queries
+        ])
+        high = np.mean([
+            len({i for i, _ in index.query(q, k=10, ef=128)}
+                & {i for i, _ in flat.query(q, k=10)}) / 10
+            for q in queries
+        ])
+        assert high >= low
+
+    def test_scores_are_cosine_similarities(self, corpus):
+        ids, vectors = corpus
+        index = HNSWIndex(m=8, ef_construction=48, seed=0)
+        index.build(ids, vectors)
+        results = index.query(vectors[0], k=1)
+        assert abs(results[0][1] - 1.0) < 1e-9
+
+    def test_incremental_insert_consistency(self):
+        """Insertions after initial build remain findable."""
+        rng = np.random.default_rng(3)
+        index = HNSWIndex(m=6, ef_construction=32, ef_search=48, seed=0)
+        vectors = rng.normal(size=(100, 8))
+        for i, v in enumerate(vectors):
+            index.add(f"v{i}", v)
+        late = rng.normal(size=8)
+        index.add("late", late)
+        results = index.query(late, k=3)
+        assert results[0][0] == "late"

@@ -1,0 +1,49 @@
+"""Tests for the hybrid (metadata + content) index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.index import FlatIndex, HybridIndex
+
+
+@pytest.fixture()
+def channels():
+    metadata = FlatIndex()
+    content = FlatIndex()
+    # Item "a": strong metadata match; item "b": strong content match.
+    metadata.build(["a", "b"], np.array([[1.0, 0.0], [0.0, 1.0]]))
+    content.build(["a", "b"], np.array([[0.0, 1.0], [1.0, 0.0]]))
+    return metadata, content
+
+
+class TestHybridIndex:
+    def test_alpha_one_is_metadata_only(self, channels):
+        metadata, content = channels
+        hybrid = HybridIndex(metadata, content, alpha=1.0)
+        results = hybrid.query(np.array([1.0, 0.0]), np.array([1.0, 0.0]), k=2)
+        assert results[0][0] == "a"
+
+    def test_alpha_zero_is_content_only(self, channels):
+        metadata, content = channels
+        hybrid = HybridIndex(metadata, content, alpha=0.0)
+        results = hybrid.query(np.array([1.0, 0.0]), np.array([1.0, 0.0]), k=2)
+        assert results[0][0] == "b"
+
+    def test_fusion_sums_channels(self, channels):
+        metadata, content = channels
+        hybrid = HybridIndex(metadata, content, alpha=0.5)
+        results = dict(hybrid.query(np.array([1.0, 0.0]), np.array([0.0, 1.0]), k=2))
+        # "a" matches both channels here.
+        assert results["a"] > results["b"]
+
+    def test_none_channel_skipped(self, channels):
+        metadata, content = channels
+        hybrid = HybridIndex(metadata, content, alpha=0.5)
+        results = hybrid.query(None, np.array([1.0, 0.0]), k=2)
+        assert results[0][0] == "b"
+
+    def test_invalid_alpha(self, channels):
+        metadata, content = channels
+        with pytest.raises(ConfigError):
+            HybridIndex(metadata, content, alpha=1.5)

@@ -1,0 +1,56 @@
+"""Tests for the LSH index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, IndexError_
+from repro.index import FlatIndex, LSHIndex
+
+
+class TestLSH:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LSHIndex(num_tables=0)
+
+    def test_self_query(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(30, 8))
+        index = LSHIndex(num_tables=6, bits_per_table=6, seed=0)
+        index.build([f"v{i}" for i in range(30)], vectors)
+        results = index.query(vectors[4], k=1)
+        assert results[0][0] == "v4"
+
+    def test_empty(self):
+        assert LSHIndex(seed=0).query(np.ones(4)) == []
+
+    def test_dim_mismatch(self):
+        index = LSHIndex(seed=0)
+        index.add("a", np.ones(4))
+        with pytest.raises(IndexError_):
+            index.add("b", np.ones(5))
+
+    def test_reasonable_recall_on_clustered_data(self):
+        rng = np.random.default_rng(5)
+        centers = rng.normal(size=(5, 12)) * 4
+        vectors = np.concatenate([
+            c + rng.normal(scale=0.2, size=(30, 12)) for c in centers
+        ])
+        ids = [f"v{i}" for i in range(len(vectors))]
+        flat = FlatIndex()
+        flat.build(ids, vectors)
+        lsh = LSHIndex(num_tables=10, bits_per_table=6, seed=0)
+        lsh.build(ids, vectors)
+        recalls = []
+        for i in range(0, len(ids), 15):
+            exact = {x for x, _ in flat.query(vectors[i], k=5)}
+            approx = {x for x, _ in lsh.query(vectors[i], k=5)}
+            recalls.append(len(exact & approx) / 5)
+        assert np.mean(recalls) > 0.6
+
+    def test_fallback_when_no_collision(self):
+        """A query colliding with nothing falls back to a full scan."""
+        rng = np.random.default_rng(1)
+        index = LSHIndex(num_tables=1, bits_per_table=16, seed=0)
+        index.build(["a", "b"], rng.normal(size=(2, 6)))
+        results = index.query(rng.normal(size=6) * 100, k=2)
+        assert len(results) == 2

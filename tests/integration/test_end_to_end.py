@@ -1,0 +1,144 @@
+"""End-to-end integration: every lake task over one generated lake.
+
+This exercises the Figure 2 system: lake -> indexer / weight-space /
+interpretability -> version graph, generated docs, citations, ranked
+models — and checks consistency *between* tasks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.audit import ModelAuditor, propagate_risk
+from repro.core.benchmarking import (
+    Benchmark,
+    LifelongLedger,
+    precision_at_k,
+    search_ground_truth,
+)
+from repro.core.citation import cite_model, resolve_citation
+from repro.core.docgen import CardGenerator, CardVerifier
+from repro.core.search import SearchEngine, execute_query
+from repro.core.versioning import VersionGraph, recover_version_graph
+from repro.lake import CardCorruptor
+
+
+class TestFullPipeline:
+    def test_search_then_audit_then_cite(self, lake_bundle, probes):
+        """The §6 user journey: search for a model, audit it, cite it."""
+        engine = SearchEngine(lake_bundle.lake, probes)
+        hits = engine.search("summarize legal court documents", k=3)
+        assert hits
+        chosen = hits[0].model_id
+
+        generator = CardGenerator(lake_bundle.lake, probes)
+        auditor = ModelAuditor(lake_bundle.lake, generator)
+        report = auditor.audit(chosen)
+        assert report.answers
+
+        citation = cite_model(lake_bundle.lake, chosen)
+        assert resolve_citation(lake_bundle.lake, citation).status in (
+            "exact", "lake_evolved",
+        )
+
+    def test_search_quality_against_ground_truth(self, lake_bundle, probes):
+        engine = SearchEngine(lake_bundle.lake, probes)
+        truth = search_ground_truth(lake_bundle, accuracy_threshold=0.9)
+        precisions = []
+        for domain in ("legal", "medical", "news", "code"):
+            relevant = truth.relevant[domain]
+            if not relevant:
+                continue
+            hits = engine.search_domains([domain], k=3)
+            precisions.append(
+                precision_at_k([h.model_id for h in hits], relevant, 3)
+            )
+        assert precisions
+        assert np.mean(precisions) > 0.5
+
+    def test_recovered_graph_supports_risk_propagation(self, lake_bundle):
+        """Risk warnings must work even from a *recovered* graph."""
+        recovered = recover_version_graph(lake_bundle.lake).graph
+        root = lake_bundle.truth.foundations[0]
+        assessment = propagate_risk(recovered, {root: 1.0})
+        true_descendants = {
+            child for parents, child, _ in lake_bundle.truth.edges
+            if root in parents
+        }
+        flagged = assessment.flagged(0.2)
+        # At least half the direct children are warned via recovery alone.
+        overlap = len(flagged & true_descendants)
+        assert overlap >= len(true_descendants) / 2
+
+    def test_docgen_repairs_corrupted_lake(self, mutable_lake_bundle, probes):
+        """Blank out all cards, regenerate, and verify search recovers."""
+        bundle = mutable_lake_bundle
+        CardCorruptor(missing_rate=1.0, seed=0).apply(bundle.lake)
+        generator = CardGenerator(bundle.lake, probes)
+        for record in bundle.lake:
+            repaired = generator.fill_missing_fields(record.model_id)
+            bundle.lake.update_card(record.model_id, repaired)
+        completeness = [r.card.completeness() for r in bundle.lake]
+        assert min(completeness) > 0.5
+        # Keyword search over regenerated cards works again.
+        engine = SearchEngine(bundle.lake, probes)
+        hits = engine.search("legal court documents", k=3, method="keyword")
+        assert hits
+
+    def test_declarative_query_pipeline(self, lake_bundle, probes):
+        engine = SearchEngine(lake_bundle.lake, probes)
+        foundation_name = lake_bundle.lake.get_record(
+            lake_bundle.truth.foundations[0]
+        ).name
+        queries = [
+            "FIND MODELS WHERE task ~ 'legal court statute' LIMIT 3",
+            f"FIND MODELS WHERE SIMILAR_TO('{foundation_name}') LIMIT 3",
+            f"FIND MODELS WHERE OUTPERFORMS('{foundation_name}', 'acc_overall') LIMIT 5",
+            "FIND MODELS WHERE family = 'text_classifier' LIMIT 5",
+        ]
+        for query in queries:
+            hits = execute_query(engine, query)
+            assert isinstance(hits, list), query
+
+    def test_lifelong_ledger_over_generated_lake(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        ledger = LifelongLedger(lake=bundle.lake)
+        ledger.add_benchmark(Benchmark("eval", bundle.eval_dataset, "accuracy"))
+        full_cost = ledger.refresh()
+        board = ledger.leaderboard("eval", k=1)
+        top_id, top_score = board[0]
+        # The leaderboard's top model really is the best by ground truth.
+        best_true = max(
+            bundle.truth.domain_accuracy,
+            key=lambda m: np.mean(list(bundle.truth.domain_accuracy[m].values())),
+        )
+        true_best_score = np.mean(
+            list(bundle.truth.domain_accuracy[best_true].values())
+        )
+        assert top_score >= true_best_score - 0.15
+        assert full_cost == len(bundle.lake)
+
+
+class TestViewpointConsistency:
+    def test_history_and_intrinsic_versioning_agree(self, lake_bundle):
+        """Edges found by blind recovery should be lineage-consistent with
+        recorded history (parent and child share a tree)."""
+        history_graph = VersionGraph.from_lake_history(lake_bundle.lake)
+        recovered = recover_version_graph(lake_bundle.lake).graph
+        consistent = 0
+        total = 0
+        for parent, child in recovered.edge_set():
+            total += 1
+            if parent in history_graph and child in history_graph:
+                if history_graph.is_version_of(parent, child):
+                    consistent += 1
+        assert total > 0
+        assert consistent / total >= 0.7
+
+    def test_behavioral_and_metric_views_agree(self, lake_bundle, probes):
+        """Behavioral top hit for a domain should have high recorded
+        accuracy on that domain."""
+        engine = SearchEngine(lake_bundle.lake, probes)
+        for domain in ("legal", "medical"):
+            hits = engine.search_domains([domain], k=1)
+            top = hits[0].model_id
+            assert lake_bundle.truth.domain_accuracy[top][domain] >= 0.8

@@ -1,0 +1,54 @@
+"""Tests for representation inversion."""
+
+import numpy as np
+import pytest
+
+from repro.data import get_domain
+from repro.errors import ConfigError
+from repro.interp import invert_input_tokens, invert_pooled_embedding
+
+
+class TestInversion:
+    def test_recovers_domain_vocabulary(
+        self, foundation_model, broad_dataset, vocabulary
+    ):
+        """Inverted tokens should leak the input's domain vocabulary."""
+        domains = np.asarray(broad_dataset.domains)
+        legal_input = broad_dataset.tokens[domains == "legal"][0]
+        result, leak = invert_input_tokens(
+            foundation_model, legal_input, max_tokens=8
+        )
+        assert leak > 0.2
+        # Most recovered content tokens should be legal-domain words.
+        legal_ids = {
+            vocabulary.id_of(w) for w in get_domain("legal").content_words()
+        }
+        cooking_ids = {
+            vocabulary.id_of(w) for w in get_domain("cooking").content_words()
+        }
+        legal_hits = sum(1 for t in result.token_ids if t in legal_ids)
+        cooking_hits = sum(1 for t in result.token_ids if t in cooking_ids)
+        assert legal_hits > cooking_hits
+
+    def test_reconstruction_error_decreases_with_budget(
+        self, foundation_model, broad_dataset
+    ):
+        target = foundation_model.embed_tokens(broad_dataset.tokens[:1]).data[0]
+        small = invert_pooled_embedding(foundation_model, target, max_tokens=2)
+        large = invert_pooled_embedding(foundation_model, target, max_tokens=12)
+        assert large.reconstruction_error <= small.reconstruction_error + 1e-9
+
+    def test_shape_validation(self, foundation_model):
+        with pytest.raises(ConfigError):
+            invert_pooled_embedding(foundation_model, np.zeros(3))
+
+    def test_budget_validation(self, foundation_model):
+        with pytest.raises(ConfigError):
+            invert_pooled_embedding(
+                foundation_model, np.zeros(foundation_model.dim), max_tokens=0
+            )
+
+    def test_no_special_tokens_recovered(self, foundation_model, broad_dataset):
+        target = foundation_model.embed_tokens(broad_dataset.tokens[:1]).data[0]
+        result = invert_pooled_embedding(foundation_model, target, max_tokens=6)
+        assert all(t > 3 for t in result.token_ids)

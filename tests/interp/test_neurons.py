@@ -1,0 +1,58 @@
+"""Tests for neuron-level interpretability."""
+
+import numpy as np
+import pytest
+
+from repro.interp import ablation_importance, domain_selectivity, selectivity_index
+
+
+class TestAblationImportance:
+    def test_shape(self, foundation_model, broad_dataset):
+        report = ablation_importance(
+            foundation_model, broad_dataset.tokens[:40], broad_dataset.labels[:40]
+        )
+        assert len(report.importance) == 24  # hidden width of the fixture model
+
+    def test_model_restored_after_ablation(self, foundation_model, broad_dataset):
+        before = {k: v.copy() for k, v in foundation_model.state_dict().items()}
+        ablation_importance(
+            foundation_model, broad_dataset.tokens[:20], broad_dataset.labels[:20]
+        )
+        after = foundation_model.state_dict()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+    def test_some_neurons_matter(self, foundation_model, broad_dataset):
+        report = ablation_importance(
+            foundation_model, broad_dataset.tokens[:60], broad_dataset.labels[:60]
+        )
+        assert report.importance.max() > 0
+
+    def test_top_neurons_sorted(self, foundation_model, broad_dataset):
+        report = ablation_importance(
+            foundation_model, broad_dataset.tokens[:40], broad_dataset.labels[:40]
+        )
+        top = report.top_neurons(5)
+        values = report.importance[top]
+        assert np.all(np.diff(values) <= 1e-12)
+
+
+class TestDomainSelectivity:
+    def test_activation_shapes(self, foundation_model, broad_dataset):
+        domains = np.asarray(broad_dataset.domains)
+        by_domain = {
+            d: broad_dataset.tokens[domains == d] for d in ("legal", "medical")
+        }
+        activations = domain_selectivity(foundation_model, by_domain)
+        assert set(activations) == {"legal", "medical"}
+        assert activations["legal"].shape == (24,)
+
+    def test_selectivity_index_range(self, foundation_model, broad_dataset):
+        domains = np.asarray(broad_dataset.domains)
+        by_domain = {
+            d: broad_dataset.tokens[domains == d]
+            for d in ("legal", "medical", "news")
+        }
+        activations = domain_selectivity(foundation_model, by_domain)
+        index = selectivity_index(activations)
+        assert index.shape == (24,)
+        assert np.all(np.isfinite(index))

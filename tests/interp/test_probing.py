@@ -1,0 +1,53 @@
+"""Tests for probing classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_lm_sequences
+from repro.errors import ConfigError
+from repro.interp import probe_classifier_representation, probe_lm_layers
+from repro.nn import TransformerLM, train_language_model
+
+
+class TestClassifierProbe:
+    def test_trained_representation_decodable(self, foundation_model, broad_dataset):
+        result = probe_classifier_representation(
+            foundation_model, broad_dataset.tokens, broad_dataset.labels, seed=0
+        )
+        assert result.test_accuracy > 0.5  # far above 1/8 chance
+
+    def test_rejects_model_without_embed_tokens(self, broad_dataset):
+        from repro.nn import MLPClassifier
+
+        with pytest.raises(ConfigError):
+            probe_classifier_representation(
+                MLPClassifier(4, 2, seed=0), broad_dataset.tokens, broad_dataset.labels
+            )
+
+
+class TestLMProbes:
+    @pytest.fixture(scope="class")
+    def trained_lm(self, tokenizer):
+        dataset = make_lm_sequences(
+            ["legal", "medical", "news"], 25, seq_len=16, seed=111,
+            tokenizer=tokenizer,
+        )
+        lm = TransformerLM(
+            vocab_size=tokenizer.vocab_size, d_model=16, num_heads=2,
+            num_layers=2, max_seq_len=16, seed=0,
+        )
+        train_language_model(lm, dataset.tokens, epochs=3, batch_size=16, seed=0)
+        return lm, dataset
+
+    def test_one_result_per_site(self, trained_lm):
+        lm, dataset = trained_lm
+        results = probe_lm_layers(lm, dataset.tokens, dataset.labels, seed=0)
+        assert len(results) == lm.num_layers + 1
+        assert results[0].site == "embed"
+        assert results[-1].site == f"block_{lm.num_layers - 1}"
+
+    def test_domain_decodable_somewhere(self, trained_lm):
+        lm, dataset = trained_lm
+        results = probe_lm_layers(lm, dataset.tokens, dataset.labels, seed=0)
+        best = max(r.test_accuracy for r in results)
+        assert best > 1.0 / 3 + 0.1  # clearly above chance for 3 domains

@@ -1,0 +1,71 @@
+"""Tests for representation steering."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribution import extract_concept_direction
+from repro.data import domain_index
+from repro.errors import ConfigError
+from repro.interp import dose_response, steer
+
+
+@pytest.fixture(scope="module")
+def steering_setup(foundation_model, broad_dataset):
+    domains = np.asarray(broad_dataset.domains)
+    legal = broad_dataset.tokens[domains == "legal"]
+    medical = broad_dataset.tokens[domains == "medical"]
+    direction = extract_concept_direction(
+        foundation_model, legal, medical, concept="legal"
+    )
+    return foundation_model, medical, direction
+
+
+class TestSteer:
+    def test_positive_steering_raises_target_probability(self, steering_setup):
+        model, medical_inputs, direction = steering_setup
+        target = domain_index("legal")
+        result = steer(model, medical_inputs, direction, strength=1.0,
+                       target_class=target)
+        assert result.shift > 0
+
+    def test_negative_steering_suppresses(self, steering_setup):
+        model, medical_inputs, direction = steering_setup
+        target = domain_index("legal")
+        result = steer(model, medical_inputs, direction, strength=-1.0,
+                       target_class=target)
+        assert result.shift <= 1e-9
+
+    def test_strong_steering_flips_predictions(self, steering_setup):
+        model, medical_inputs, direction = steering_setup
+        result = steer(model, medical_inputs, direction, strength=3.0,
+                       target_class=domain_index("legal"))
+        assert result.flip_rate > 0.5
+        legal = domain_index("legal")
+        assert (result.steered_predictions == legal).mean() > 0.5
+
+    def test_zero_strength_is_identity(self, steering_setup):
+        model, medical_inputs, direction = steering_setup
+        result = steer(model, medical_inputs, direction, strength=0.0,
+                       target_class=domain_index("legal"))
+        assert np.array_equal(result.base_predictions, result.steered_predictions)
+        assert abs(result.shift) < 1e-12
+
+    def test_requires_compatible_model(self, steering_setup, broad_dataset):
+        from repro.nn import MLPClassifier
+
+        _, _, direction = steering_setup
+        with pytest.raises(ConfigError):
+            steer(MLPClassifier(4, 2, seed=0), broad_dataset.tokens[:2],
+                  direction, 1.0)
+
+
+class TestDoseResponse:
+    def test_monotone_curve(self, steering_setup):
+        """A real concept direction shows monotone dose-response."""
+        model, medical_inputs, direction = steering_setup
+        curve = dose_response(
+            model, medical_inputs, direction,
+            target_class=domain_index("legal"),
+            strengths=[-2.0, 0.0, 2.0],
+        )
+        assert curve[-2.0] <= curve[0.0] <= curve[2.0]

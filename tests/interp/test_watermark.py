@@ -1,0 +1,74 @@
+"""Tests for generation watermarking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.interp import (
+    WatermarkConfig,
+    detect_watermark,
+    generate_watermarked,
+)
+from repro.nn import TransformerLM
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return TransformerLM(
+        vocab_size=60, d_model=16, num_heads=2, num_layers=1,
+        max_seq_len=32, seed=0,
+    )
+
+
+class TestWatermark:
+    def test_watermarked_text_detected(self, lm):
+        config = WatermarkConfig(gamma=0.5, delta=6.0, key=7)
+        rng = np.random.default_rng(0)
+        tokens = generate_watermarked(lm, np.array([1, 2]), 60, rng, config=config)
+        result = detect_watermark(tokens, lm.vocab_size, config=config)
+        assert result.z_score > 3.0
+        assert result.is_watermarked()
+
+    def test_unwatermarked_text_not_flagged(self, lm):
+        config = WatermarkConfig(gamma=0.5, delta=6.0, key=7)
+        rng = np.random.default_rng(1)
+        tokens = lm.generate(np.array([1, 2]), 60, rng)
+        result = detect_watermark(tokens, lm.vocab_size, config=config)
+        assert result.z_score < 3.0
+
+    def test_wrong_key_fails_detection(self, lm):
+        config = WatermarkConfig(gamma=0.5, delta=6.0, key=7)
+        wrong = WatermarkConfig(gamma=0.5, delta=6.0, key=8)
+        rng = np.random.default_rng(2)
+        tokens = generate_watermarked(lm, np.array([1, 2]), 60, rng, config=config)
+        result = detect_watermark(tokens, lm.vocab_size, config=wrong)
+        assert result.z_score < 3.0
+
+    def test_stronger_delta_stronger_signal(self, lm):
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        weak = generate_watermarked(
+            lm, np.array([1, 2]), 50, rng_a,
+            config=WatermarkConfig(delta=1.0, key=7),
+        )
+        strong = generate_watermarked(
+            lm, np.array([1, 2]), 50, rng_b,
+            config=WatermarkConfig(delta=8.0, key=7),
+        )
+        z_weak = detect_watermark(weak, lm.vocab_size, WatermarkConfig(key=7)).z_score
+        z_strong = detect_watermark(strong, lm.vocab_size, WatermarkConfig(key=7)).z_score
+        assert z_strong > z_weak
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WatermarkConfig(gamma=0.0).validate()
+        with pytest.raises(ConfigError):
+            WatermarkConfig(delta=-1.0).validate()
+        with pytest.raises(ConfigError):
+            detect_watermark([1], 60)
+
+    def test_green_fraction_counted(self, lm):
+        config = WatermarkConfig(gamma=0.5, key=7)
+        result = detect_watermark([1, 2, 3, 4, 5], lm.vocab_size, config=config)
+        assert 0.0 <= result.green_fraction <= 1.0
+        assert result.num_scored == 4

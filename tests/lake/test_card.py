@@ -1,0 +1,73 @@
+"""Tests for model cards."""
+
+from repro.lake import CARD_CONTENT_FIELDS, ModelCard
+
+
+def full_card():
+    return ModelCard(
+        model_name="legal-expert-v1",
+        description="A legal text model.",
+        intended_use="Legal document analysis.",
+        training_data="legal-corpus-v1",
+        training_domains=["legal"],
+        base_model="foundation-0",
+        transform_summary="finetune on legal-corpus-v1",
+        metrics={"acc_legal": 0.97},
+        limitations="Not for medical use.",
+        license="mit",
+        tags=["legal", "classifier"],
+    )
+
+
+class TestCompleteness:
+    def test_full_card_is_complete(self):
+        assert full_card().completeness() == 1.0
+
+    def test_empty_card_is_incomplete(self):
+        assert ModelCard(model_name="x").completeness() == 0.0
+
+    def test_partial(self):
+        card = ModelCard(model_name="x", description="y")
+        assert card.completeness() == 1 / len(CARD_CONTENT_FIELDS)
+
+
+class TestText:
+    def test_contains_key_fields(self):
+        text = full_card().text()
+        assert "legal-expert-v1" in text
+        assert "legal-corpus-v1" in text
+        assert "foundation-0" in text
+
+    def test_empty_fields_omitted(self):
+        text = ModelCard(model_name="x").text()
+        assert text == "x"
+
+
+class TestMarkdown:
+    def test_undocumented_marked(self):
+        md = ModelCard(model_name="x").to_markdown()
+        assert "*undocumented*" in md
+
+    def test_sections_present(self):
+        md = full_card().to_markdown()
+        for section in ("Description", "Training data", "Metrics", "License"):
+            assert f"## {section}" in md
+
+
+class TestDigestAndCopy:
+    def test_digest_stable(self):
+        assert full_card().digest() == full_card().digest()
+
+    def test_digest_changes_with_content(self):
+        a = full_card()
+        b = full_card()
+        b.description = "changed"
+        assert a.digest() != b.digest()
+
+    def test_copy_is_deep_enough(self):
+        a = full_card()
+        b = a.copy()
+        b.training_domains.append("medical")
+        b.metrics["x"] = 1.0
+        assert a.training_domains == ["legal"]
+        assert "x" not in a.metrics

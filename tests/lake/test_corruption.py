@@ -1,0 +1,82 @@
+"""Tests for the card-corruption model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lake import CardCorruptor
+
+
+class TestCorruptionRates:
+    def test_zero_rates_change_nothing(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        before = {r.model_id: r.card.digest() for r in bundle.lake}
+        report = CardCorruptor(missing_rate=0.0, seed=0).apply(bundle.lake)
+        assert report.total == 0
+        after = {r.model_id: r.card.digest() for r in bundle.lake}
+        assert before == after
+
+    def test_full_missing_blanks_everything(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        CardCorruptor(missing_rate=1.0, seed=0).apply(bundle.lake)
+        for record in bundle.lake:
+            assert record.card.description is None
+            assert record.card.training_domains == []
+            assert record.card.base_model is None
+
+    def test_report_matches_changes(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        report = CardCorruptor(missing_rate=0.5, seed=3).apply(bundle.lake)
+        assert report.total > 0
+        for model_id, fields in report.corrupted.items():
+            card = bundle.lake.get_record(model_id).card
+            for field_name, mode in fields:
+                if mode == "missing":
+                    value = getattr(card, field_name)
+                    assert not value
+
+    def test_poison_inserts_lies(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        report = CardCorruptor(missing_rate=0.0, poison_rate=1.0, seed=1).apply(
+            bundle.lake
+        )
+        assert report.total > 0
+        poisoned_base = [
+            r for r in bundle.lake if r.card.base_model == "foundation-999"
+        ]
+        assert poisoned_base
+
+    def test_stale_copies_parent_value(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        report = CardCorruptor(missing_rate=0.0, stale_rate=1.0, seed=2).apply(
+            bundle.lake
+        )
+        for model_id, fields in report.corrupted.items():
+            history = bundle.lake.get_history(model_id, force=True)
+            parent_card = bundle.lake.get_record(history.parent_ids[0]).card
+            card = bundle.lake.get_record(model_id).card
+            for field_name, mode in fields:
+                assert mode == "stale"
+                # Stale fields equal the parent's *current* field.
+                assert getattr(card, field_name) == getattr(parent_card, field_name)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ConfigError):
+            CardCorruptor(missing_rate=0.8, poison_rate=0.5)
+        with pytest.raises(ConfigError):
+            CardCorruptor(missing_rate=-0.1)
+
+    def test_deterministic(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        report = CardCorruptor(missing_rate=0.5, seed=9).apply(bundle.lake)
+        # Same seed on an identical fresh lake gives the same report keys.
+        from repro.lake import LakeSpec, generate_lake
+
+        fresh = generate_lake(LakeSpec(
+            num_foundations=2, chains_per_foundation=2, max_chain_depth=1,
+            docs_per_domain=15, foundation_epochs=6, specialize_epochs=5,
+            num_merges=0, num_stitches=0, seed=11,
+        ))
+        report2 = CardCorruptor(missing_rate=0.5, seed=9).apply(fresh.lake)
+        assert {
+            tuple(v) for v in report.corrupted.values()
+        } == {tuple(v) for v in report2.corrupted.values()}

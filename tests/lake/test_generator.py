@@ -1,0 +1,103 @@
+"""Tests for benchmark-lake generation and its ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.lake import LakeSpec, generate_lake
+
+
+class TestLakeStructure:
+    def test_model_count(self, lake_bundle):
+        spec_min = 2  # foundations
+        assert lake_bundle.num_models >= spec_min + 2 * 4  # + chains
+
+    def test_foundations_are_roots(self, lake_bundle):
+        children = {c for _, c, _ in lake_bundle.truth.edges}
+        for foundation in lake_bundle.truth.foundations:
+            assert foundation not in children
+
+    def test_every_edge_child_registered(self, lake_bundle):
+        for parents, child, _ in lake_bundle.truth.edges:
+            assert child in lake_bundle.lake
+            for parent in parents:
+                assert parent in lake_bundle.lake
+
+    def test_history_matches_truth(self, lake_bundle):
+        truth_parents = lake_bundle.truth.parent_map()
+        for record in lake_bundle.lake:
+            history = lake_bundle.lake.get_history(record.model_id, force=True)
+            expected = truth_parents.get(record.model_id, ())
+            assert tuple(history.parent_ids) == tuple(expected)
+
+    def test_merge_has_two_parents(self, lake_bundle):
+        merge_edges = [e for e in lake_bundle.truth.edges if e[2].kind == "merge"]
+        assert merge_edges
+        assert all(len(parents) == 2 for parents, _, _ in merge_edges)
+
+    def test_stitch_present(self, lake_bundle):
+        stitch_edges = [e for e in lake_bundle.truth.edges if e[2].kind == "stitch"]
+        assert stitch_edges
+
+    def test_datasets_registered_with_lineage(self, lake_bundle):
+        registry = lake_bundle.lake.datasets
+        assert len(registry) >= 2
+        base_digest = lake_bundle.base_dataset.content_digest()
+        assert base_digest in registry
+        # Specialty datasets must be versions of the base corpus.
+        versions = registry.versions_of(base_digest)
+        assert len(versions) > 1
+
+
+class TestGroundTruthQuality:
+    def test_foundations_are_generalists(self, lake_bundle):
+        for foundation in lake_bundle.truth.foundations:
+            accuracy = lake_bundle.truth.domain_accuracy[foundation]
+            assert np.mean(list(accuracy.values())) > 0.9
+
+    def test_specialists_good_on_specialty(self, lake_bundle):
+        checked = 0
+        for model_id, specialty in lake_bundle.truth.specialty.items():
+            transform = lake_bundle.truth.transform_of(model_id)
+            if specialty is None or transform is None:
+                continue
+            if transform.kind in ("finetune", "lora"):
+                assert lake_bundle.truth.domain_accuracy[model_id][specialty] > 0.8
+                checked += 1
+        assert checked > 0
+
+    def test_cards_are_truthful_before_corruption(self, lake_bundle):
+        for record in lake_bundle.lake:
+            card = record.card
+            true_domains = set(lake_bundle.truth.model_domains[record.model_id])
+            assert set(card.training_domains) == true_domains
+            assert card.completeness() > 0.7
+
+
+class TestDeterminismAndValidation:
+    def test_same_seed_same_lake(self):
+        spec = LakeSpec(
+            num_foundations=1, chains_per_foundation=2, max_chain_depth=1,
+            docs_per_domain=10, foundation_epochs=4, specialize_epochs=3,
+            num_merges=0, num_stitches=0, seed=77,
+        )
+        a = generate_lake(spec)
+        b = generate_lake(spec)
+        assert [r.weights_digest for r in a.lake] == [r.weights_digest for r in b.lake]
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigError):
+            LakeSpec(num_foundations=0).validate()
+        with pytest.raises(ConfigError):
+            LakeSpec(hidden_history_fraction=2.0).validate()
+
+    def test_hidden_history_fraction(self):
+        spec = LakeSpec(
+            num_foundations=1, chains_per_foundation=3, max_chain_depth=1,
+            docs_per_domain=10, foundation_epochs=4, specialize_epochs=3,
+            num_merges=0, num_stitches=0, seed=13, hidden_history_fraction=1.0,
+        )
+        bundle = generate_lake(spec)
+        assert all(
+            not bundle.lake.has_public_history(r.model_id) for r in bundle.lake
+        )

@@ -1,0 +1,107 @@
+"""Tests for the ModelLake facade and viewpoint visibility rules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DuplicateIdError,
+    HistoryUnavailableError,
+    IntrinsicsUnavailableError,
+    ModelNotFoundError,
+)
+from repro.lake import ModelCard, ModelHistory, ModelLake
+from repro.nn import TextClassifier
+
+
+@pytest.fixture()
+def lake_with_model(vocabulary):
+    lake = ModelLake()
+    model = TextClassifier(len(vocabulary), 8, dim=8, hidden=(8,), seed=0)
+    record = lake.add_model(
+        model,
+        name="demo",
+        card=ModelCard(model_name="demo"),
+        history=ModelHistory(algorithm="train_from_scratch"),
+        tags=["demo"],
+    )
+    return lake, model, record
+
+
+class TestRegistration:
+    def test_rehydration_matches(self, lake_with_model, vocabulary):
+        lake, model, record = lake_with_model
+        restored = lake.get_model(record.model_id)
+        x = np.array([[5, 6, 7]])
+        assert np.allclose(restored.predict_proba(x), model.predict_proba(x))
+
+    def test_duplicate_id_rejected(self, lake_with_model, vocabulary):
+        lake, model, record = lake_with_model
+        with pytest.raises(DuplicateIdError):
+            lake.add_model(model, name="again", model_id=record.model_id)
+
+    def test_unknown_model_raises(self, lake_with_model):
+        lake, _, _ = lake_with_model
+        with pytest.raises(ModelNotFoundError):
+            lake.get_record("nope")
+
+    def test_clock_advances(self, lake_with_model, vocabulary):
+        lake, model, _ = lake_with_model
+        before = lake.clock
+        lake.add_model(model, name="second")
+        assert lake.clock == before + 1
+
+    def test_identical_weights_shared(self, lake_with_model, vocabulary):
+        lake, model, record = lake_with_model
+        second = lake.add_model(model, name="duplicate-weights")
+        assert second.weights_digest == record.weights_digest
+        assert len(lake.weights) == 1
+
+
+class TestVisibility:
+    def test_hidden_history(self, lake_with_model):
+        lake, _, record = lake_with_model
+        lake.set_history_visibility(record.model_id, False)
+        with pytest.raises(HistoryUnavailableError):
+            lake.get_history(record.model_id)
+        # The lake operator can force access.
+        assert lake.get_history(record.model_id, force=True) is not None
+        assert not lake.has_public_history(record.model_id)
+
+    def test_api_only_weights(self, lake_with_model):
+        lake, _, record = lake_with_model
+        lake.set_weights_visibility(record.model_id, False)
+        with pytest.raises(IntrinsicsUnavailableError):
+            lake.get_model(record.model_id)
+        assert lake.get_model(record.model_id, force=True) is not None
+
+    def test_no_history_recorded(self, vocabulary):
+        lake = ModelLake()
+        model = TextClassifier(len(vocabulary), 8, dim=8, seed=0)
+        record = lake.add_model(model, name="undocumented")
+        with pytest.raises(HistoryUnavailableError):
+            lake.get_history(record.model_id)
+
+
+class TestQueriesAndSnapshot:
+    def test_filter_by_tag_and_family(self, lake_with_model, vocabulary):
+        lake, _, _ = lake_with_model
+        assert len(lake.filter(tag="demo")) == 1
+        assert len(lake.filter(family="text_classifier")) == 1
+        assert len(lake.filter(family="mlp_classifier")) == 0
+
+    def test_find_by_name(self, lake_with_model):
+        lake, _, _ = lake_with_model
+        assert len(lake.find_by_name("demo")) == 1
+        assert lake.find_by_name("missing") == []
+
+    def test_snapshot_changes_on_mutation(self, lake_with_model):
+        lake, _, record = lake_with_model
+        before = lake.snapshot_digest()
+        lake.record_metric(record.model_id, "acc", 0.5)
+        assert lake.snapshot_digest() != before
+
+    def test_iteration_ordered_by_creation(self, lake_with_model, vocabulary):
+        lake, model, _ = lake_with_model
+        lake.add_model(model, name="later")
+        names = [r.name for r in lake]
+        assert names == ["demo", "later"]

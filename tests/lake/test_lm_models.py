@@ -1,0 +1,91 @@
+"""Tests for mixed-modality lakes (language models alongside classifiers)."""
+
+import numpy as np
+import pytest
+
+from repro.lake import LakeSpec, generate_lake
+
+
+@pytest.fixture(scope="module")
+def lm_lake():
+    spec = LakeSpec(
+        num_foundations=1, chains_per_foundation=2, max_chain_depth=1,
+        docs_per_domain=15, foundation_epochs=6, specialize_epochs=5,
+        num_merges=0, num_stitches=0, seed=17,
+        num_lm_foundations=1, lm_chains=2, lm_epochs=3,
+    )
+    return generate_lake(spec)
+
+
+class TestMixedModalityLake:
+    def test_both_families_present(self, lm_lake):
+        families = {r.family for r in lm_lake.lake}
+        assert "text_classifier" in families
+        assert "transformer_lm" in families
+
+    def test_lm_foundation_is_root(self, lm_lake):
+        lm_roots = [
+            mid for mid in lm_lake.truth.foundations
+            if lm_lake.lake.get_record(mid).family == "transformer_lm"
+        ]
+        assert lm_roots
+        children = {c for _, c, _ in lm_lake.truth.edges}
+        assert all(root not in children for root in lm_roots)
+
+    def test_lm_chains_have_history(self, lm_lake):
+        lm_children = [
+            c for p, c, r in lm_lake.truth.edges
+            if lm_lake.lake.get_record(c).family == "transformer_lm"
+        ]
+        assert len(lm_children) == 2
+        for child in lm_children:
+            history = lm_lake.lake.get_history(child)
+            assert history.transform.kind == "finetune"
+            assert history.dataset_digest in lm_lake.lake.datasets
+
+    def test_lm_specialist_prefers_its_domain(self, lm_lake):
+        specialist = next(
+            mid for mid, s in lm_lake.truth.specialty.items()
+            if s and lm_lake.lake.get_record(mid).family == "transformer_lm"
+        )
+        specialty = lm_lake.truth.specialty[specialist]
+        scores = lm_lake.truth.domain_accuracy[specialist]
+        others = [v for d, v in scores.items() if d != specialty]
+        assert scores[specialty] > np.mean(others)
+
+    def test_lm_rehydrates(self, lm_lake):
+        lm_id = next(
+            r.model_id for r in lm_lake.lake if r.family == "transformer_lm"
+        )
+        model = lm_lake.lake.get_model(lm_id, force=True)
+        logits = model(lm_lake.eval_dataset.tokens[:2])
+        assert logits.shape[-1] == lm_lake.tokenizer.vocab_size
+
+
+class TestCrossModalitySearch:
+    def test_behavioral_search_covers_lms(self, lm_lake, probes):
+        """Content-based search must cover ALL models, including LMs."""
+        from repro.core.search import SearchEngine
+
+        engine = SearchEngine(lm_lake.lake, probes)
+        total = len(lm_lake.lake)
+        hits = engine.search("legal court statute", k=total, method="behavioral")
+        hit_families = {
+            lm_lake.lake.get_record(h.model_id).family for h in hits
+        }
+        assert "transformer_lm" in hit_families
+
+    def test_lm_as_query(self, lm_lake, probes):
+        """Model-as-query with an LM query finds its LM relatives first."""
+        from repro.core.search import SearchEngine
+
+        engine = SearchEngine(lm_lake.lake, probes)
+        lm_child = next(
+            c for _, c, _ in lm_lake.truth.edges
+            if lm_lake.lake.get_record(c).family == "transformer_lm"
+        )
+        hits = engine.related_models(lm_child, k=3, view="behavioral")
+        top_families = [
+            lm_lake.lake.get_record(h.model_id).family for h in hits[:1]
+        ]
+        assert "transformer_lm" in top_families

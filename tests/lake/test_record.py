@@ -1,0 +1,54 @@
+"""Tests for model records and histories."""
+
+from repro.lake import ModelCard, ModelHistory, ModelRecord
+from repro.transforms import TransformRecord
+
+
+def make_record(**overrides):
+    defaults = dict(
+        model_id="m0001-abcd",
+        name="demo-model",
+        architecture={"family": "text_classifier", "dim": 16},
+        weights_digest="deadbeef",
+        card=ModelCard(model_name="demo-model"),
+    )
+    defaults.update(overrides)
+    return ModelRecord(**defaults)
+
+
+class TestModelHistory:
+    def test_describe_scratch(self):
+        history = ModelHistory(algorithm="train_from_scratch", dataset_name="corpus")
+        assert "train_from_scratch" in history.describe()
+        assert "corpus" in history.describe()
+
+    def test_describe_transform(self):
+        history = ModelHistory(
+            parent_ids=("m0000-ffff",),
+            transform=TransformRecord(kind="lora", params={"rank": 2}),
+        )
+        text = history.describe()
+        assert "lora" in text
+        assert "m0000-ff" in text
+
+    def test_describe_no_parents(self):
+        history = ModelHistory(transform=TransformRecord(kind="merge"))
+        assert "?" in history.describe()
+
+
+class TestModelRecord:
+    def test_family(self):
+        assert make_record().family == "text_classifier"
+        assert make_record(architecture={}).family == "unknown"
+
+    def test_summary_contains_key_fields(self):
+        record = make_record()
+        summary = record.summary()
+        assert "demo-model" in summary
+        assert "text_classifier" in summary
+        assert "card_completeness" in summary
+
+    def test_summary_shows_base(self):
+        card = ModelCard(model_name="demo", base_model="foundation-0")
+        record = make_record(card=card)
+        assert "foundation-0" in record.summary()

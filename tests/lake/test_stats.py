@@ -1,0 +1,51 @@
+"""Tests for lake statistics."""
+
+import pytest
+
+from repro.lake import CardCorruptor
+from repro.lake.stats import compute_statistics
+
+
+class TestLakeStatistics:
+    def test_counts_match_lake(self, lake_bundle):
+        stats = compute_statistics(lake_bundle.lake)
+        assert stats.num_models == len(lake_bundle.lake)
+        assert stats.num_datasets == len(lake_bundle.lake.datasets)
+        assert sum(stats.families.values()) == stats.num_models
+
+    def test_transform_histogram_matches_truth(self, lake_bundle):
+        stats = compute_statistics(lake_bundle.lake)
+        from collections import Counter
+
+        truth_kinds = Counter(r.kind for _, _, r in lake_bundle.truth.edges)
+        assert stats.transform_kinds == dict(truth_kinds)
+
+    def test_roots_are_foundations(self, lake_bundle):
+        stats = compute_statistics(lake_bundle.lake)
+        assert stats.num_roots == len(lake_bundle.truth.foundations)
+
+    def test_lineage_depth_positive(self, lake_bundle):
+        stats = compute_statistics(lake_bundle.lake)
+        assert stats.max_lineage_depth >= 1
+
+    def test_documentation_health_tracks_corruption(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        before = compute_statistics(bundle.lake)
+        CardCorruptor(missing_rate=0.9, seed=0).apply(bundle.lake)
+        after = compute_statistics(bundle.lake)
+        assert after.card_completeness_mean < before.card_completeness_mean
+        assert len(after.undocumented_models) > len(before.undocumented_models)
+
+    def test_visibility_counters(self, mutable_lake_bundle):
+        bundle = mutable_lake_bundle
+        some = bundle.lake.model_ids()[0]
+        bundle.lake.set_history_visibility(some, False)
+        bundle.lake.set_weights_visibility(some, False)
+        stats = compute_statistics(bundle.lake)
+        assert stats.hidden_history_count == 1
+        assert stats.api_only_count == 1
+
+    def test_text_rendering(self, lake_bundle):
+        text = compute_statistics(lake_bundle.lake).to_text()
+        assert "models:" in text
+        assert "transforms:" in text

@@ -1,0 +1,54 @@
+"""Tests for the content-addressed weight store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LakeError
+from repro.lake import WeightStore
+
+
+@pytest.fixture()
+def state():
+    rng = np.random.default_rng(0)
+    return {"layer.weight": rng.normal(size=(4, 5)), "layer.bias": np.zeros(5)}
+
+
+class TestWeightStore:
+    def test_round_trip(self, state):
+        store = WeightStore()
+        digest = store.put(state)
+        restored = store.get(digest)
+        assert all(np.array_equal(restored[k], state[k]) for k in state)
+
+    def test_content_addressing(self, state):
+        store = WeightStore()
+        a = store.put(state)
+        b = store.put({k: v.copy() for k, v in state.items()})
+        assert a == b
+        assert len(store) == 1
+
+    def test_different_content_different_digest(self, state):
+        store = WeightStore()
+        a = store.put(state)
+        modified = {k: v.copy() for k, v in state.items()}
+        modified["layer.bias"][0] = 1.0
+        assert store.put(modified) != a
+
+    def test_missing_digest_raises(self):
+        store = WeightStore()
+        with pytest.raises(LakeError):
+            store.get("nope")
+
+    def test_disk_persistence(self, state, tmp_path):
+        directory = str(tmp_path / "weights")
+        store = WeightStore(directory=directory)
+        digest = store.put(state)
+        # New store instance reads the blob back from disk.
+        fresh = WeightStore(directory=directory)
+        restored = fresh.get(digest)
+        assert all(np.array_equal(restored[k], state[k]) for k in state)
+
+    def test_total_bytes_positive(self, state):
+        store = WeightStore()
+        store.put(state)
+        assert store.total_bytes() > 0

@@ -1,0 +1,70 @@
+"""Tests for multi-head self-attention."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import MultiHeadSelfAttention, Tensor
+from repro.nn.attention import causal_mask
+
+
+class TestCausalMask:
+    def test_shape_and_values(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert np.all(mask[np.tril_indices(4)] == 0)
+        assert np.all(mask[np.triu_indices(4, k=1)] < -1e8)
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self):
+        attn = MultiHeadSelfAttention(d_model=8, num_heads=2, seed=0)
+        out = attn(Tensor(np.random.default_rng(0).normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_head_divisibility(self):
+        with pytest.raises(ConfigError):
+            MultiHeadSelfAttention(d_model=7, num_heads=2)
+
+    def test_causal_no_future_leakage(self):
+        """Changing a future token must not change earlier outputs."""
+        attn = MultiHeadSelfAttention(d_model=8, num_heads=2, seed=0, causal=True)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 6, 8))
+        base = attn(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[0, 5, :] += 10.0
+        out = attn(Tensor(perturbed)).data
+        assert np.allclose(base[0, :5], out[0, :5], atol=1e-10)
+        assert not np.allclose(base[0, 5], out[0, 5])
+
+    def test_non_causal_attends_everywhere(self):
+        attn = MultiHeadSelfAttention(d_model=8, num_heads=2, seed=0, causal=False)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 4, 8))
+        base = attn(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[0, 3, :] += 10.0
+        out = attn(Tensor(perturbed)).data
+        assert not np.allclose(base[0, 0], out[0, 0])
+
+    def test_attention_pattern_rows_sum_to_one(self):
+        attn = MultiHeadSelfAttention(d_model=8, num_heads=2, seed=0)
+        x = Tensor(np.random.default_rng(2).normal(size=(1, 5, 8)))
+        pattern = attn.attention_pattern(x)
+        assert pattern.shape == (1, 2, 5, 5)
+        assert np.allclose(pattern.sum(axis=-1), 1.0)
+
+    def test_attention_pattern_is_causal(self):
+        attn = MultiHeadSelfAttention(d_model=8, num_heads=2, seed=0)
+        x = Tensor(np.random.default_rng(2).normal(size=(1, 5, 8)))
+        pattern = attn.attention_pattern(x)
+        upper = np.triu(np.ones((5, 5)), k=1).astype(bool)
+        assert np.all(pattern[0, :, upper] < 1e-8)
+
+    def test_gradients_flow(self):
+        attn = MultiHeadSelfAttention(d_model=8, num_heads=2, seed=0)
+        x = Tensor(np.random.default_rng(3).normal(size=(1, 4, 8)), requires_grad=True)
+        attn(x).sum().backward()
+        assert x.grad is not None
+        assert attn.q_proj.weight.grad is not None

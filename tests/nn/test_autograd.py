@@ -1,0 +1,189 @@
+"""Gradient correctness of the autograd engine (numeric finite differences)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.autograd import Tensor, concat, stack, where
+
+RNG = np.random.default_rng(1234)
+
+
+def numeric_check(fn, shapes, tol=1e-5):
+    """Compare analytic grads of scalarized fn against finite differences."""
+    tensors = [Tensor(RNG.normal(size=s), requires_grad=True) for s in shapes]
+
+    def scalar():
+        out = fn(*tensors)
+        return out if out.size == 1 else out.sum()
+
+    loss = scalar()
+    loss.backward()
+    eps = 1e-6
+    for tensor in tensors:
+        numeric = np.zeros_like(tensor.data)
+        it = np.nditer(tensor.data, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            original = tensor.data[idx]
+            tensor.data[idx] = original + eps
+            up = scalar().data
+            tensor.data[idx] = original - eps
+            down = scalar().data
+            tensor.data[idx] = original
+            numeric[idx] = (up - down) / (2 * eps)
+            it.iternext()
+        assert np.abs(numeric - tensor.grad).max() < tol
+
+
+class TestElementwiseGrads:
+    def test_add_mul(self):
+        numeric_check(lambda a, b: a * b + a, [(3, 4), (3, 4)])
+
+    def test_broadcast_add(self):
+        numeric_check(lambda a, b: a + b, [(3, 4), (4,)])
+
+    def test_broadcast_mul_scalar_tensor(self):
+        numeric_check(lambda a, b: a * b, [(2, 3), (1, 3)])
+
+    def test_div(self):
+        tensors = [Tensor(RNG.normal(size=(3,)) + 3.0, requires_grad=True)]
+        out = (1.0 / tensors[0]).sum()
+        out.backward()
+        expected = -1.0 / tensors[0].data ** 2
+        assert np.allclose(tensors[0].grad, expected)
+
+    def test_pow(self):
+        numeric_check(lambda a: (a * a + 1.0) ** 1.5, [(4,)])
+
+    def test_relu(self):
+        numeric_check(lambda a: a.relu(), [(5, 5)])
+
+    def test_tanh_sigmoid(self):
+        numeric_check(lambda a: a.tanh().sigmoid(), [(3, 3)])
+
+    def test_gelu(self):
+        numeric_check(lambda a: a.gelu(), [(4, 4)], tol=1e-4)
+
+    def test_exp_log(self):
+        numeric_check(lambda a: ((a * a) + 0.5).log().exp(), [(3,)])
+
+
+class TestMatmulGrads:
+    def test_2d(self):
+        numeric_check(lambda a, b: a @ b, [(3, 4), (4, 2)])
+
+    def test_batched(self):
+        numeric_check(lambda a, b: a @ b, [(2, 3, 4), (2, 4, 2)], tol=1e-4)
+
+    def test_broadcast_batched(self):
+        numeric_check(lambda a, b: a @ b, [(3, 4), (2, 4, 5)], tol=1e-4)
+
+    def test_vector_matrix(self):
+        numeric_check(lambda a, b: a @ b, [(4,), (4, 3)])
+
+    def test_matrix_vector(self):
+        numeric_check(lambda a, b: a @ b, [(3, 4), (4,)])
+
+    def test_vector_vector(self):
+        numeric_check(lambda a, b: a @ b, [(4,), (4,)])
+
+
+class TestReductionsAndShape:
+    def test_sum_axis(self):
+        numeric_check(lambda a: a.sum(axis=0), [(3, 4)])
+
+    def test_sum_keepdims(self):
+        numeric_check(lambda a: a - a.sum(axis=-1, keepdims=True), [(2, 5)])
+
+    def test_mean(self):
+        numeric_check(lambda a: a.mean(axis=1), [(4, 3)])
+
+    def test_reshape_transpose(self):
+        numeric_check(lambda a: a.transpose(1, 0).reshape(2, 6), [(4, 3)])
+
+    def test_swapaxes(self):
+        numeric_check(lambda a: a.swapaxes(-1, -2) @ a, [(2, 3, 4)], tol=1e-4)
+
+    def test_getitem(self):
+        numeric_check(lambda a: a[1:, :2], [(4, 4)])
+
+    def test_take_rows(self):
+        idx = np.array([0, 2, 2, 1])
+        numeric_check(lambda a: a.take_rows(idx), [(4, 3)])
+
+
+class TestSoftmaxFamily:
+    def test_softmax(self):
+        fixed = Tensor(RNG.normal(size=(2, 5)))
+        numeric_check(lambda a: a.softmax(axis=-1) * fixed, [(2, 5)])
+
+    def test_log_softmax(self):
+        fixed = Tensor(RNG.normal(size=(2, 5)))
+        numeric_check(lambda a: a.log_softmax(axis=-1) * fixed, [(2, 5)])
+
+    def test_softmax_rows_sum_to_one(self):
+        t = Tensor(RNG.normal(size=(4, 7)))
+        assert np.allclose(t.softmax(axis=-1).data.sum(axis=-1), 1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        t = Tensor(RNG.normal(size=(3, 6)))
+        assert np.allclose(
+            t.log_softmax(axis=-1).data, np.log(t.softmax(axis=-1).data)
+        )
+
+
+class TestStructuralOps:
+    def test_concat(self):
+        numeric_check(lambda a, b: concat([a, b], axis=1), [(2, 3), (2, 2)])
+
+    def test_stack(self):
+        numeric_check(lambda a, b: stack([a, b], axis=0), [(3,), (3,)])
+
+    def test_where(self):
+        cond = RNG.random((3, 3)) > 0.5
+        numeric_check(lambda a, b: where(cond, a, b), [(3, 3), (3, 3)])
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ShapeError):
+            (t * 2).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t.sum()).backward()
+        (t.sum()).backward()
+        assert np.allclose(t.grad, 2.0)
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        t.sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_detach_cuts_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        (d * 2).sum()  # no backward path, no error
+
+    def test_shared_subexpression(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        y = t * t  # t used twice
+        y.sum().backward()
+        assert np.allclose(t.grad, 4.0)
+
+    def test_no_grad_for_constants(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3))
+        (a * b).sum().backward()
+        assert b.grad is None
+
+    def test_diamond_graph(self):
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        left = t * 2
+        right = t * 5
+        (left + right).sum().backward()
+        assert np.allclose(t.grad, 7.0)

@@ -1,0 +1,120 @@
+"""Tests for core layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import (
+    MLP,
+    Activation,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Sequential,
+    Tensor,
+)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 7, seed=0)
+        out = layer(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_no_bias(self):
+        layer = Linear(4, 7, seed=0, bias=False)
+        assert layer.bias is None
+        assert layer(Tensor(np.zeros((2, 4)))).data.max() == 0.0
+
+    def test_glorot_scale(self):
+        layer = Linear(100, 100, seed=0)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= limit + 1e-12
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigError):
+            Linear(0, 3)
+
+    def test_seed_determinism(self):
+        a = Linear(4, 4, seed=3)
+        b = Linear(4, 4, seed=3)
+        assert np.array_equal(a.weight.data, b.weight.data)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, seed=0)
+        out = emb(np.array([[1, 2], [3, 3]]))
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out.data[1, 0], out.data[1, 1])
+
+    def test_out_of_range(self):
+        emb = Embedding(10, 4, seed=0)
+        with pytest.raises(ConfigError):
+            emb(np.array([10]))
+
+    def test_gradient_accumulates_on_repeats(self):
+        emb = Embedding(5, 3, seed=0)
+        out = emb(np.array([2, 2, 2]))
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[2], 3.0)
+        assert np.allclose(emb.weight.grad[1], 0.0)
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        ln = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(5.0, 3.0, size=(4, 8)))
+        out = ln(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gamma_beta_applied(self):
+        ln = LayerNorm(4)
+        ln.gamma.data = np.full(4, 2.0)
+        ln.beta.data = np.full(4, 1.0)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4)))
+        out = ln(x).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        drop = Dropout(0.5, seed=0)
+        drop.training = False
+        x = Tensor(np.ones((10, 10)))
+        assert np.array_equal(drop(x).data, x.data)
+
+    def test_train_scales(self):
+        drop = Dropout(0.5, seed=0)
+        drop.training = True
+        x = Tensor(np.ones((200, 200)))
+        out = drop(x).data
+        kept = out[out > 0]
+        assert np.allclose(kept, 2.0)
+        assert abs((out > 0).mean() - 0.5) < 0.05
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigError):
+            Dropout(1.0)
+
+
+class TestActivationAndMLP:
+    def test_unknown_activation(self):
+        with pytest.raises(ConfigError):
+            Activation("swish")
+
+    def test_mlp_needs_two_sizes(self):
+        with pytest.raises(ConfigError):
+            MLP([4])
+
+    def test_mlp_forward_shape(self):
+        mlp = MLP([4, 16, 8, 3], seed=0)
+        out = mlp(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_sequential_order(self):
+        seq = Sequential(Linear(2, 3, seed=0), Activation("relu"), Linear(3, 1, seed=1))
+        out = seq(Tensor(np.ones((1, 2))))
+        assert out.shape == (1, 1)

@@ -1,0 +1,102 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import Tensor, cross_entropy, kl_divergence, mse_loss, perplexity
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]]), requires_grad=True)
+        loss = cross_entropy(logits, np.array([0, 1]))
+        expected = -np.log(np.exp(2) / (np.exp(2) + 1))
+        assert abs(loss.item() - expected) < 1e-10
+
+    def test_padding_ignored(self):
+        logits = Tensor(np.array([[2.0, 0.0], [100.0, -100.0]]))
+        with_pad = cross_entropy(logits, np.array([0, -1]))
+        only_first = cross_entropy(
+            Tensor(np.array([[2.0, 0.0]])), np.array([0])
+        )
+        assert abs(with_pad.item() - only_first.item()) < 1e-12
+
+    def test_3d_logits(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(2, 3, 4)))
+        targets = rng.integers(0, 4, size=(2, 3))
+        loss = cross_entropy(logits, targets)
+        assert loss.size == 1
+
+    def test_all_padding_raises(self):
+        logits = Tensor(np.zeros((2, 3)))
+        with pytest.raises(ShapeError):
+            cross_entropy(logits, np.array([-1, -1]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_gradient_direction(self):
+        """Gradient should push the correct logit up."""
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        cross_entropy(logits, np.array([1])).backward()
+        assert logits.grad[0, 1] < 0  # increasing logit 1 lowers the loss
+        assert logits.grad[0, 0] > 0
+
+
+class TestMSE:
+    def test_zero_for_exact(self):
+        pred = Tensor(np.ones((2, 2)))
+        assert mse_loss(pred, np.ones((2, 2))).item() == 0.0
+
+    def test_value(self):
+        pred = Tensor(np.zeros(4))
+        assert abs(mse_loss(pred, np.full(4, 2.0)).item() - 4.0) < 1e-12
+
+
+class TestKLDivergence:
+    def test_zero_gradient_at_match(self):
+        """When the student matches the teacher, the gradient vanishes."""
+        teacher = np.array([[0.7, 0.3]])
+        logits = Tensor(np.log(teacher), requires_grad=True)
+        kl_divergence(logits, teacher).backward()
+        assert np.allclose(logits.grad, 0.0, atol=1e-10)
+
+    def test_decreases_under_optimization(self):
+        from repro.nn import Adam, Parameter
+
+        teacher = np.array([[0.8, 0.1, 0.1], [0.2, 0.5, 0.3]])
+        logits = Parameter(np.zeros((2, 3)))
+        opt = Adam([logits], lr=0.1)
+        first = kl_divergence(logits, teacher).item()
+        for _ in range(50):
+            opt.zero_grad()
+            loss = kl_divergence(logits, teacher)
+            loss.backward()
+            opt.step()
+        assert loss.item() < first
+        student = np.exp(logits.data) / np.exp(logits.data).sum(-1, keepdims=True)
+        assert np.abs(student - teacher).max() < 0.05
+
+
+class TestPerplexity:
+    def test_uniform_model(self):
+        vocab = 8
+        logits = np.zeros((2, 5, vocab))
+        targets = np.random.default_rng(0).integers(0, vocab, size=(2, 5))
+        assert abs(perplexity(logits, targets) - vocab) < 1e-9
+
+    def test_perfect_model(self):
+        targets = np.array([[1, 2, 3]])
+        logits = np.full((1, 3, 5), -1e9)
+        for i, t in enumerate(targets[0]):
+            logits[0, i, t] = 0.0
+        assert abs(perplexity(logits, targets) - 1.0) < 1e-6
+
+    def test_padding_ignored(self):
+        logits = np.zeros((1, 4, 6))
+        full = perplexity(logits, np.array([[1, 2, -1, -1]]))
+        short = perplexity(logits[:, :2], np.array([[1, 2]]))
+        assert abs(full - short) < 1e-9

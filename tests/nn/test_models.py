@@ -1,0 +1,67 @@
+"""Tests for concrete model families and the build registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import MLPClassifier, TextClassifier, build_model
+from repro.nn.models import register_model_family
+
+
+class TestMLPClassifier:
+    def test_predict_shapes(self):
+        model = MLPClassifier(6, 3, hidden=(8,), seed=0)
+        x = np.random.default_rng(0).normal(size=(5, 6))
+        assert model.predict_proba(x).shape == (5, 3)
+        assert model.predict(x).shape == (5,)
+
+    def test_proba_sums_to_one(self):
+        model = MLPClassifier(6, 3, hidden=(8,), seed=0)
+        x = np.random.default_rng(0).normal(size=(5, 6))
+        assert np.allclose(model.predict_proba(x).sum(axis=-1), 1.0)
+
+    def test_spec_round_trip(self):
+        model = MLPClassifier(6, 3, hidden=(8, 4), activation="tanh", seed=2)
+        rebuilt = build_model(model.architecture_spec())
+        rebuilt.load_state_dict(model.state_dict())
+        x = np.random.default_rng(1).normal(size=(4, 6))
+        assert np.allclose(rebuilt.predict_proba(x), model.predict_proba(x))
+
+
+class TestTextClassifier:
+    def test_padding_ignored_in_pool(self):
+        model = TextClassifier(20, 3, dim=8, seed=0)
+        with_pad = np.array([[5, 6, 0, 0]])
+        without_pad = np.array([[5, 6]])
+        a = model.embed_tokens(with_pad).data
+        b = model.embed_tokens(without_pad).data
+        assert np.allclose(a, b)
+
+    def test_all_padding_is_safe(self):
+        model = TextClassifier(20, 3, dim=8, seed=0)
+        out = model.predict_proba(np.zeros((1, 4), dtype=np.int64))
+        assert np.all(np.isfinite(out))
+
+    def test_spec_round_trip(self):
+        model = TextClassifier(30, 4, dim=10, hidden=(12,), seed=1)
+        rebuilt = build_model(model.architecture_spec())
+        rebuilt.load_state_dict(model.state_dict())
+        x = np.array([[1, 2, 3, 0]])
+        assert np.allclose(rebuilt.predict_proba(x), model.predict_proba(x))
+
+
+class TestBuildRegistry:
+    def test_unknown_family_raises(self):
+        with pytest.raises(ConfigError):
+            build_model({"family": "does_not_exist"})
+
+    def test_registered_family_used(self):
+        calls = []
+
+        def builder(spec, seed=0):
+            calls.append(spec)
+            return MLPClassifier(2, 2, seed=seed)
+
+        register_model_family("test_only_family", builder)
+        model = build_model({"family": "test_only_family"})
+        assert calls and isinstance(model, MLPClassifier)

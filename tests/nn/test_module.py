@@ -1,0 +1,101 @@
+"""Tests for Module / Parameter / state-dict machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import MLP, Linear, Module, ModuleList, Parameter, Sequential
+
+
+class TestNamedParameters:
+    def test_discovers_nested(self):
+        mlp = MLP([4, 8, 2], seed=0)
+        names = [name for name, _ in mlp.named_parameters()]
+        assert "net.layers.0.weight" in names
+        assert "net.layers.0.bias" in names
+        assert "net.layers.2.weight" in names
+
+    def test_deterministic_order(self):
+        mlp = MLP([4, 8, 2], seed=0)
+        order1 = [name for name, _ in mlp.named_parameters()]
+        order2 = [name for name, _ in mlp.named_parameters()]
+        assert order1 == order2
+
+    def test_num_parameters(self):
+        mlp = MLP([4, 8, 2], seed=0)
+        assert mlp.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a = MLP([3, 5, 2], seed=1)
+        b = MLP([3, 5, 2], seed=2)
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_copy(self):
+        mlp = MLP([3, 5, 2], seed=1)
+        state = mlp.state_dict()
+        state["net.layers.0.weight"][:] = 0.0
+        assert not np.allclose(mlp.net.layers[0].weight.data, 0.0)
+
+    def test_strict_missing_raises(self):
+        mlp = MLP([3, 5, 2], seed=1)
+        state = mlp.state_dict()
+        del state["net.layers.0.bias"]
+        with pytest.raises(ShapeError):
+            mlp.load_state_dict(state)
+
+    def test_strict_unexpected_raises(self):
+        mlp = MLP([3, 5, 2], seed=1)
+        state = mlp.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(ShapeError):
+            mlp.load_state_dict(state)
+
+    def test_non_strict_partial(self):
+        mlp = MLP([3, 5, 2], seed=1)
+        state = {"net.layers.0.bias": np.ones(5)}
+        mlp.load_state_dict(state, strict=False)
+        assert np.allclose(mlp.net.layers[0].bias.data, 1.0)
+
+    def test_shape_mismatch_raises(self):
+        mlp = MLP([3, 5, 2], seed=1)
+        state = mlp.state_dict()
+        state["net.layers.0.weight"] = np.zeros((3, 6))
+        with pytest.raises(ShapeError):
+            mlp.load_state_dict(state)
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        mlp = MLP([3, 5, 2], seed=1, dropout=0.5)
+        mlp.eval()
+        assert all(not m.training for _, m in mlp.named_modules())
+        mlp.train()
+        assert all(m.training for _, m in mlp.named_modules())
+
+
+class TestZeroGrad:
+    def test_clears_all(self):
+        from repro.nn import Tensor, cross_entropy
+
+        mlp = MLP([3, 5, 2], seed=1)
+        loss = cross_entropy(mlp(Tensor(np.ones((2, 3)))), np.array([0, 1]))
+        loss.backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+
+class TestModuleList:
+    def test_len_and_index(self):
+        ml = ModuleList([Linear(2, 3), Linear(3, 4)])
+        assert len(ml) == 2
+        assert ml[1].out_features == 4
+
+    def test_append(self):
+        ml = ModuleList()
+        ml.append(Linear(2, 2))
+        assert len(ml) == 1

@@ -1,0 +1,75 @@
+"""Tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import SGD, Adam, Parameter
+
+
+def quadratic_step(optimizer, param, target):
+    optimizer.zero_grad()
+    # d/dp of 0.5*(p - target)^2 = (p - target)
+    param.grad = param.data - target
+    optimizer.step()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([10.0]))
+        opt = SGD([param], lr=0.1)
+        for _ in range(100):
+            quadratic_step(opt, param, 3.0)
+        assert abs(param.data[0] - 3.0) < 1e-3
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param = Parameter(np.array([10.0]))
+            opt = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                quadratic_step(opt, param, 0.0)
+            return abs(param.data[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ConfigError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_skips_params_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1)
+        opt.step()  # no grad set: no change, no crash
+        assert param.data[0] == 1.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([10.0]))
+        opt = Adam([param], lr=0.3)
+        for _ in range(200):
+            quadratic_step(opt, param, -2.0)
+        assert abs(param.data[0] + 2.0) < 1e-2
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([5.0]))
+        opt = Adam([param], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            opt.zero_grad()
+            param.grad = np.zeros(1)  # only decay acts
+            opt.step()
+        assert abs(param.data[0]) < 5.0
+
+    def test_bias_correction_first_step(self):
+        """First Adam step should move by ~lr regardless of grad scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            param = Parameter(np.array([0.0]))
+            opt = Adam([param], lr=0.1)
+            opt.zero_grad()
+            param.grad = np.array([scale])
+            opt.step()
+            assert abs(abs(param.data[0]) - 0.1) < 1e-6

@@ -1,0 +1,117 @@
+"""Tests for training loops and gradient utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import (
+    MLPClassifier,
+    evaluate_accuracy,
+    example_gradient,
+    flat_gradient,
+    per_example_losses,
+    train_classifier,
+)
+from repro.nn.train import iterate_minibatches
+
+
+class TestIterateMinibatches:
+    def test_covers_all_indices(self):
+        rng = np.random.default_rng(0)
+        batches = list(iterate_minibatches(10, 3, rng))
+        flat = np.concatenate(batches)
+        assert sorted(flat.tolist()) == list(range(10))
+
+    def test_batch_sizes(self):
+        rng = np.random.default_rng(0)
+        sizes = [len(b) for b in iterate_minibatches(10, 3, rng)]
+        assert sizes == [3, 3, 3, 1]
+
+    def test_no_shuffle_order(self):
+        rng = np.random.default_rng(0)
+        batches = list(iterate_minibatches(6, 2, rng, shuffle=False))
+        assert np.concatenate(batches).tolist() == list(range(6))
+
+
+@pytest.fixture(scope="module")
+def toy_problem():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(120, 5))
+    w = rng.normal(size=5)
+    y = (x @ w > 0).astype(np.int64)
+    return x, y
+
+
+class TestTrainClassifier:
+    def test_learns(self, toy_problem):
+        x, y = toy_problem
+        model = MLPClassifier(5, 2, hidden=(16,), seed=0)
+        train_classifier(model, x, y, epochs=15, lr=5e-3, seed=0)
+        assert evaluate_accuracy(model, x, y) > 0.9
+
+    def test_deterministic(self, toy_problem):
+        x, y = toy_problem
+        a = MLPClassifier(5, 2, hidden=(8,), seed=1)
+        b = MLPClassifier(5, 2, hidden=(8,), seed=1)
+        ra = train_classifier(a, x, y, epochs=3, seed=7)
+        rb = train_classifier(b, x, y, epochs=3, seed=7)
+        assert ra.losses == rb.losses
+        assert all(
+            np.array_equal(pa.data, pb.data)
+            for pa, pb in zip(a.parameters(), b.parameters())
+        )
+
+    def test_checkpoints_recorded(self, toy_problem):
+        x, y = toy_problem
+        model = MLPClassifier(5, 2, hidden=(8,), seed=0)
+        result = train_classifier(
+            model, x, y, epochs=5, seed=0, checkpoint_every=2
+        )
+        # epochs 2, 4, and the final state at 5.
+        assert len(result.checkpoints) == 3
+        final = result.checkpoints[-1]
+        assert all(
+            np.array_equal(final[name], param.data)
+            for name, param in model.named_parameters()
+        )
+
+    def test_length_mismatch_raises(self, toy_problem):
+        x, y = toy_problem
+        model = MLPClassifier(5, 2, seed=0)
+        with pytest.raises(ConfigError):
+            train_classifier(model, x, y[:-1])
+
+    def test_model_left_in_eval_mode(self, toy_problem):
+        x, y = toy_problem
+        model = MLPClassifier(5, 2, seed=0)
+        train_classifier(model, x, y, epochs=1)
+        assert not model.training
+
+
+class TestGradientUtilities:
+    def test_example_gradient_keys(self, toy_problem):
+        x, y = toy_problem
+        model = MLPClassifier(5, 2, hidden=(8,), seed=0)
+        grads = example_gradient(model, x[0], int(y[0]))
+        assert set(grads) == {name for name, _ in model.named_parameters()}
+
+    def test_flat_gradient_length(self, toy_problem):
+        x, y = toy_problem
+        model = MLPClassifier(5, 2, hidden=(8,), seed=0)
+        grads = example_gradient(model, x[0], int(y[0]))
+        assert len(flat_gradient(grads)) == model.num_parameters()
+
+    def test_example_gradient_leaves_model_clean(self, toy_problem):
+        x, y = toy_problem
+        model = MLPClassifier(5, 2, hidden=(8,), seed=0)
+        example_gradient(model, x[0], int(y[0]))
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_per_example_losses_match_mean_loss(self, toy_problem):
+        from repro.nn import Tensor, cross_entropy
+
+        x, y = toy_problem
+        model = MLPClassifier(5, 2, hidden=(8,), seed=0)
+        per = per_example_losses(model, x[:10], y[:10])
+        mean = cross_entropy(model(x[:10]), y[:10]).item()
+        assert abs(per.mean() - mean) < 1e-10

@@ -1,0 +1,84 @@
+"""Tests for the tiny transformer language model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import TransformerLM, build_model, train_language_model
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return TransformerLM(
+        vocab_size=30, d_model=16, num_heads=2, num_layers=2, max_seq_len=12, seed=7
+    )
+
+
+class TestForward:
+    def test_logit_shape(self, lm):
+        out = lm(np.array([[1, 2, 3], [4, 5, 6]]))
+        assert out.shape == (2, 3, 30)
+
+    def test_1d_input_promoted(self, lm):
+        out = lm(np.array([1, 2, 3]))
+        assert out.shape == (1, 3, 30)
+
+    def test_sequence_too_long(self, lm):
+        with pytest.raises(ConfigError):
+            lm(np.ones((1, 13), dtype=np.int64))
+
+    def test_causality(self, lm):
+        a = np.array([[1, 2, 3, 4]])
+        b = np.array([[1, 2, 3, 9]])
+        out_a = lm(a).data
+        out_b = lm(b).data
+        assert np.allclose(out_a[0, :3], out_b[0, :3], atol=1e-10)
+
+    def test_hidden_states_count(self, lm):
+        states = lm.hidden_states(np.array([[1, 2, 3]]))
+        assert len(states) == lm.num_layers + 1
+
+
+class TestBehavior:
+    def test_next_token_distribution_sums_to_one(self, lm):
+        dist = lm.next_token_distribution(np.array([1, 2, 3]))
+        assert dist.shape == (30,)
+        assert abs(dist.sum() - 1.0) < 1e-10
+
+    def test_generate_length_and_range(self, lm):
+        tokens = lm.generate(np.array([1, 2]), 5, np.random.default_rng(0))
+        assert len(tokens) == 5
+        assert all(0 <= t < 30 for t in tokens)
+
+    def test_generate_deterministic_at_zero_temperature(self, lm):
+        a = lm.generate(np.array([1, 2]), 4, np.random.default_rng(0), temperature=0)
+        b = lm.generate(np.array([1, 2]), 4, np.random.default_rng(9), temperature=0)
+        assert a == b
+
+    def test_logit_bias_steers_sampling(self, lm):
+        bias = np.full(30, -1e9)
+        bias[7] = 1e9
+        tokens = lm.generate(
+            np.array([1]), 3, np.random.default_rng(0), logit_bias=bias
+        )
+        assert tokens == [7, 7, 7]
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        model = TransformerLM(
+            vocab_size=20, d_model=16, num_heads=2, num_layers=1,
+            max_seq_len=10, seed=0,
+        )
+        rng = np.random.default_rng(0)
+        # Learnable structure: token t follows t-1 cyclically.
+        starts = rng.integers(0, 20, size=32)
+        seqs = (starts[:, None] + np.arange(10)[None, :]) % 20
+        result = train_language_model(model, seqs, epochs=4, batch_size=8, seed=0)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_spec_round_trip(self, lm):
+        rebuilt = build_model(lm.architecture_spec())
+        rebuilt.load_state_dict(lm.state_dict())
+        x = np.array([[1, 2, 3]])
+        assert np.allclose(rebuilt(x).data, lm(x).data)

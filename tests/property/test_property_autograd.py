@@ -1,0 +1,77 @@
+"""Property-based tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn.autograd import Tensor
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False,
+    width=64,
+)
+
+
+def small_arrays(max_dims=2, max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+class TestAlgebraicProperties:
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_addition_commutes(self, data):
+        a = Tensor(data)
+        b = Tensor(data * 2 + 1)
+        assert np.allclose((a + b).data, (b + a).data)
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_simplex(self, data):
+        t = Tensor(data)
+        out = t.softmax(axis=-1).data
+        assert np.all(out >= 0)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_relu_idempotent(self, data):
+        t = Tensor(data)
+        once = t.relu().data
+        twice = t.relu().relu().data
+        assert np.array_equal(once, twice)
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, data):
+        t = Tensor(data)
+        assert np.allclose((-(-t)).data, t.data)
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_sum_linearity_of_gradient(self, data):
+        """grad of (2x).sum() is exactly 2 everywhere."""
+        t = Tensor(data, requires_grad=True)
+        (t * 2).sum().backward()
+        assert np.allclose(t.grad, 2.0)
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_accumulation_additivity(self, data):
+        """Backward twice accumulates exactly double the gradient."""
+        t1 = Tensor(data, requires_grad=True)
+        t1.sum().backward()
+        once = t1.grad.copy()
+        t1.sum().backward()
+        assert np.allclose(t1.grad, 2 * once)
+
+    @given(small_arrays(max_dims=2))
+    @settings(max_examples=30, deadline=None)
+    def test_reshape_roundtrip_preserves_gradient(self, data):
+        t = Tensor(data, requires_grad=True)
+        t.reshape(-1).reshape(*data.shape).sum().backward()
+        assert np.allclose(t.grad, 1.0)

@@ -1,0 +1,77 @@
+"""Property-based tests for nearest-neighbor indexes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import FlatIndex, HNSWIndex
+
+
+def vectors_strategy(n_min=2, n_max=20, dim=6):
+    return st.lists(
+        st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False, width=32),
+            min_size=dim, max_size=dim,
+        ),
+        min_size=n_min, max_size=n_max,
+    )
+
+
+class TestFlatIndexProperties:
+    @given(vectors_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_self_query_returns_self_or_duplicate(self, rows):
+        vectors = np.array(rows)
+        # Skip degenerate all-zero rows (cosine undefined).
+        if np.any(np.linalg.norm(vectors, axis=1) < 1e-9):
+            return
+        index = FlatIndex()
+        ids = [f"v{i}" for i in range(len(vectors))]
+        index.build(ids, vectors)
+        top_id, top_score = index.query(vectors[0], k=1)[0]
+        # The top hit must score at least as high as the query itself.
+        assert top_score >= 1.0 - 1e-9
+
+    @given(vectors_strategy(), st.integers(min_value=1, max_value=25))
+    @settings(max_examples=40, deadline=None)
+    def test_result_count_bounded(self, rows, k):
+        vectors = np.array(rows)
+        index = FlatIndex()
+        index.build([f"v{i}" for i in range(len(vectors))], vectors)
+        results = index.query(vectors[0], k=k)
+        assert len(results) == min(k, len(vectors))
+
+    @given(vectors_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_scores_monotone(self, rows):
+        vectors = np.array(rows)
+        index = FlatIndex()
+        index.build([f"v{i}" for i in range(len(vectors))], vectors)
+        results = index.query(vectors[0], k=len(vectors))
+        scores = [s for _, s in results]
+        assert all(a >= b - 1e-12 for a, b in zip(scores, scores[1:]))
+
+
+class TestHNSWProperties:
+    @given(vectors_strategy(n_min=3, n_max=15), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_all_elements_reachable(self, rows, seed):
+        """Every inserted element is returned by a wide-enough search."""
+        vectors = np.array(rows)
+        if np.any(np.linalg.norm(vectors, axis=1) < 1e-9):
+            return
+        index = HNSWIndex(m=4, ef_construction=16, seed=seed)
+        ids = [f"v{i}" for i in range(len(vectors))]
+        index.build(ids, vectors)
+        results = index.query(vectors[0], k=len(vectors), ef=4 * len(vectors))
+        assert {i for i, _ in results} == set(ids)
+
+    @given(vectors_strategy(n_min=3, n_max=12))
+    @settings(max_examples=25, deadline=None)
+    def test_results_subset_of_inserted(self, rows):
+        vectors = np.array(rows)
+        index = HNSWIndex(m=4, ef_construction=16, seed=0)
+        ids = [f"v{i}" for i in range(len(vectors))]
+        index.build(ids, vectors)
+        results = index.query(np.ones(vectors.shape[1]), k=5)
+        assert {i for i, _ in results} <= set(ids)

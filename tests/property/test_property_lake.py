@@ -1,0 +1,99 @@
+"""Property-based tests for lake data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.audit import propagate_risk
+from repro.core.versioning import VersionGraph
+from repro.lake import ModelCard
+from repro.transforms import TransformRecord
+from repro.utils.serialization import arrays_to_bytes, bytes_to_arrays
+
+field_text = st.one_of(st.none(), st.text(max_size=30))
+
+
+class TestCardProperties:
+    @given(
+        field_text, field_text, field_text,
+        st.lists(st.sampled_from(["legal", "medical", "news"]), max_size=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_completeness_bounds_and_monotonicity(
+        self, description, intended, training, domains
+    ):
+        card = ModelCard(
+            model_name="x", description=description,
+            intended_use=intended, training_data=training,
+            training_domains=domains,
+        )
+        value = card.completeness()
+        assert 0.0 <= value <= 1.0
+        # Filling one more empty field never lowers completeness.
+        filled = card.copy()
+        filled.limitations = "documented"
+        assert filled.completeness() >= value
+
+    @given(field_text, field_text)
+    @settings(max_examples=60, deadline=None)
+    def test_copy_digest_identity(self, description, intended):
+        card = ModelCard(model_name="x", description=description, intended_use=intended)
+        assert card.copy().digest() == card.digest()
+
+
+class TestSerializationRoundTrip:
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcxyz_./", min_size=1, max_size=10),
+            st.integers(min_value=1, max_value=6),
+            min_size=1, max_size=4,
+        ),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arrays_round_trip(self, spec, seed):
+        rng = np.random.default_rng(seed)
+        arrays = {name: rng.normal(size=size) for name, size in spec.items()}
+        restored = bytes_to_arrays(arrays_to_bytes(arrays))
+        assert set(restored) == set(arrays)
+        for name in arrays:
+            assert np.array_equal(restored[name], arrays[name])
+
+
+def chain_graph(num_nodes, kinds):
+    graph = VersionGraph()
+    for i in range(num_nodes - 1):
+        graph.add_edge(
+            f"n{i}", f"n{i + 1}", TransformRecord(kind=kinds[i % len(kinds)])
+        )
+    return graph
+
+
+class TestRiskProperties:
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.lists(
+            st.sampled_from(["finetune", "lora", "distill", "merge", "quantize"]),
+            min_size=1, max_size=4,
+        ),
+        st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_risk_never_amplifies(self, num_nodes, kinds, seed_risk):
+        graph = chain_graph(num_nodes, kinds)
+        assessment = propagate_risk(graph, {"n0": seed_risk})
+        for node, value in assessment.risk.items():
+            assert 0.0 <= value <= seed_risk + 1e-12
+
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.lists(
+            st.sampled_from(["finetune", "lora", "distill"]), min_size=1, max_size=3
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_risk_monotone_along_chain(self, num_nodes, kinds):
+        graph = chain_graph(num_nodes, kinds)
+        assessment = propagate_risk(graph, {"n0": 1.0})
+        values = [assessment.risk.get(f"n{i}", 0.0) for i in range(num_nodes)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))

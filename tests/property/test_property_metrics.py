@@ -1,0 +1,83 @@
+"""Property-based tests for ranking metrics and hashing invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benchmarking import (
+    edge_precision_recall,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.utils.hashing import stable_hash
+
+ids = st.lists(
+    st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1, max_size=10,
+    unique=True,
+)
+
+
+class TestMetricBounds:
+    @given(ids, ids, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_precision_recall_in_unit_interval(self, ranked, relevant, k):
+        relevant_set = set(relevant)
+        assert 0.0 <= precision_at_k(ranked, relevant_set, k) <= 1.0
+        assert 0.0 <= recall_at_k(ranked, relevant_set, k) <= 1.0
+
+    @given(ids, ids)
+    @settings(max_examples=60, deadline=None)
+    def test_reciprocal_rank_bounds(self, ranked, relevant):
+        value = reciprocal_rank(ranked, set(relevant))
+        assert 0.0 <= value <= 1.0
+
+    @given(ids, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_ndcg_bounds(self, ranked, k):
+        gains = {item: float(len(item)) for item in ranked}
+        value = ndcg_at_k(ranked, gains, k)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(ids, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_ideal_ranking_is_optimal(self, ranked, k):
+        gains = {item: float(i) for i, item in enumerate(ranked)}
+        ideal = sorted(ranked, key=lambda x: -gains[x])
+        assert ndcg_at_k(ideal, gains, k) >= ndcg_at_k(ranked, gains, k) - 1e-12
+
+
+class TestEdgeMetricProperties:
+    @given(
+        st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=10),
+        st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_prediction_gives_ones(self, predicted, truth):
+        p, r, f = edge_precision_recall(truth, truth)
+        assert p == r == f == 1.0
+
+    @given(
+        st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=10),
+        st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_f1_between_precision_and_recall_bounds(self, predicted, truth):
+        p, r, f = edge_precision_recall(predicted, truth)
+        assert 0.0 <= f <= 1.0
+        assert f <= max(p, r) + 1e-12
+
+
+class TestHashingProperties:
+    @given(st.dictionaries(st.text(max_size=6), st.integers(), max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_dict_order_invariance(self, mapping):
+        reordered = dict(reversed(list(mapping.items())))
+        assert stable_hash(mapping) == stable_hash(reordered)
+
+    @given(st.lists(st.integers(), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_list_order_sensitivity(self, items):
+        if items != sorted(items):
+            assert stable_hash(items) != stable_hash(sorted(items))

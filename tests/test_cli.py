@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def lake_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("cli-lake"))
+    code = main([
+        "generate", "--dir", directory, "--seed", "3",
+        "--foundations", "1", "--chains", "2", "--depth", "1", "--docs", "12",
+    ])
+    assert code == 0
+    return directory
+
+
+class TestCLI:
+    def test_stats(self, lake_dir, capsys):
+        assert main(["stats", "--dir", lake_dir]) == 0
+        out = capsys.readouterr().out
+        assert "models:" in out
+
+    def test_search(self, lake_dir, capsys):
+        code = main([
+            "search", "--dir", lake_dir, "--query", "legal court statute",
+            "--method", "behavioral", "-k", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1." in out
+
+    def test_declarative_query(self, lake_dir, capsys):
+        code = main([
+            "query", "--dir", lake_dir,
+            "--q", "FIND MODELS WHERE family = 'text_classifier' LIMIT 3",
+        ])
+        assert code == 0
+        assert "text" not in capsys.readouterr().err
+
+    def test_audit(self, lake_dir, capsys):
+        code = main(["audit", "--dir", lake_dir, "--model", "foundation-0"])
+        out = capsys.readouterr().out
+        assert "Audit report" in out
+        assert code in (0, 1)
+
+    def test_cite(self, lake_dir, capsys):
+        assert main(["cite", "--dir", lake_dir, "--model", "foundation-0"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("model:")
+        assert "@misc" in out
+
+    def test_card(self, lake_dir, capsys):
+        assert main(["card", "--dir", lake_dir, "--model", "foundation-0"]) == 0
+        assert "# foundation-0" in capsys.readouterr().out
+
+    def test_unknown_model_is_error(self, lake_dir, capsys):
+        assert main(["cite", "--dir", lake_dir, "--model", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_lake_is_error(self, tmp_path, capsys):
+        assert main(["stats", "--dir", str(tmp_path / "void")]) == 2

@@ -1,0 +1,44 @@
+"""Tests for the error hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_inherit_repro_error(self):
+        for name in (
+            "LakeError", "ModelNotFoundError", "DatasetNotFoundError",
+            "DuplicateIdError", "HistoryUnavailableError",
+            "IntrinsicsUnavailableError", "ShapeError", "ConfigError",
+            "QueryError", "IndexError_", "TransformError",
+            "IncompatibleModelsError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_not_found_errors_are_key_errors(self):
+        """Callers can catch them as KeyError (mapping semantics)."""
+        assert issubclass(errors.ModelNotFoundError, KeyError)
+        assert issubclass(errors.DatasetNotFoundError, KeyError)
+
+    def test_value_errors(self):
+        """Config/shape/query errors double as ValueError."""
+        for cls in (errors.ShapeError, errors.ConfigError, errors.QueryError):
+            assert issubclass(cls, ValueError)
+
+    def test_messages_carry_ids(self):
+        error = errors.ModelNotFoundError("m1234")
+        assert "m1234" in str(error)
+        assert error.model_id == "m1234"
+        error2 = errors.DatasetNotFoundError("d5678")
+        assert error2.dataset_id == "d5678"
+
+    def test_incompatible_is_transform_error(self):
+        assert issubclass(errors.IncompatibleModelsError, errors.TransformError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.QueryError("bad query")
+        with pytest.raises(errors.ReproError):
+            raise errors.IncompatibleModelsError("no")

@@ -1,0 +1,48 @@
+"""Tests for transform base helpers."""
+
+import numpy as np
+
+from repro.transforms import clone_model, flatten_state, weight_delta
+
+
+class TestCloneModel:
+    def test_independent_weights(self, foundation_model):
+        clone = clone_model(foundation_model)
+        clone.state_dict()  # sanity
+        first_param = next(iter(clone.parameters()))
+        first_param.data[:] = 0.0
+        original_first = next(iter(foundation_model.parameters()))
+        assert not np.allclose(original_first.data, 0.0)
+
+    def test_same_behavior(self, foundation_model, broad_dataset):
+        clone = clone_model(foundation_model)
+        x = broad_dataset.tokens[:4]
+        assert np.allclose(
+            clone.predict_proba(x), foundation_model.predict_proba(x)
+        )
+
+    def test_eval_mode(self, foundation_model):
+        assert not clone_model(foundation_model).training
+
+
+class TestWeightDelta:
+    def test_zero_for_identical(self, foundation_model):
+        state = foundation_model.state_dict()
+        deltas = weight_delta(state, state)
+        assert all(np.allclose(d, 0.0) for d in deltas.values())
+
+    def test_skips_mismatched_shapes(self):
+        a = {"w": np.zeros((2, 2)), "v": np.zeros(3)}
+        b = {"w": np.ones((2, 2)), "v": np.zeros(4)}
+        deltas = weight_delta(a, b)
+        assert set(deltas) == {"w"}
+
+
+class TestFlattenState:
+    def test_sorted_order(self):
+        state = {"b": np.array([2.0]), "a": np.array([1.0])}
+        assert flatten_state(state).tolist() == [1.0, 2.0]
+
+    def test_total_length(self, foundation_model):
+        state = foundation_model.state_dict()
+        assert len(flatten_state(state)) == foundation_model.num_parameters()

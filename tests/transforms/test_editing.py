@@ -1,0 +1,64 @@
+"""Tests for rank-one model editing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.transforms import edit_classifier, weight_delta
+
+
+class TestEditClassifier:
+    def test_edit_takes_effect(self, foundation_model, broad_dataset):
+        probe = broad_dataset.tokens[0]
+        current = int(foundation_model.predict(probe[None, :])[0])
+        target = (current + 3) % 8
+        edited, record = edit_classifier(foundation_model, probe, target_class=target)
+        assert int(edited.predict(probe[None, :])[0]) == target
+        assert record.kind == "edit"
+
+    def test_delta_is_rank_one_single_layer(self, foundation_model, broad_dataset):
+        probe = broad_dataset.tokens[0]
+        edited, _ = edit_classifier(foundation_model, probe, target_class=5)
+        deltas = weight_delta(foundation_model.state_dict(), edited.state_dict())
+        changed = [
+            (name, d) for name, d in deltas.items()
+            if np.abs(d).max() > 1e-12
+        ]
+        assert len(changed) == 1
+        name, delta = changed[0]
+        assert delta.ndim == 2
+        assert np.linalg.matrix_rank(delta, tol=1e-10) == 1
+
+    def test_locality_with_preservation_set(self, foundation_model, broad_dataset):
+        """With a preservation set, most other predictions are unchanged."""
+        probe = broad_dataset.tokens[0]
+        others = broad_dataset.tokens[10:60]
+        edited, _ = edit_classifier(
+            foundation_model, probe, target_class=5, preserve_tokens=others
+        )
+        agreement = (
+            edited.predict(others) == foundation_model.predict(others)
+        ).mean()
+        assert agreement >= 0.6
+
+    def test_preservation_improves_locality(self, foundation_model, broad_dataset):
+        probe = broad_dataset.tokens[0]
+        others = broad_dataset.tokens[10:60]
+        plain, _ = edit_classifier(foundation_model, probe, target_class=5)
+        corrected, _ = edit_classifier(
+            foundation_model, probe, target_class=5, preserve_tokens=others
+        )
+        base_preds = foundation_model.predict(others)
+        plain_agree = (plain.predict(others) == base_preds).mean()
+        corrected_agree = (corrected.predict(others) == base_preds).mean()
+        assert corrected_agree >= plain_agree
+
+    def test_invalid_target(self, foundation_model, broad_dataset):
+        with pytest.raises(TransformError):
+            edit_classifier(foundation_model, broad_dataset.tokens[0], target_class=99)
+
+    def test_parent_unchanged(self, foundation_model, broad_dataset):
+        before = {k: v.copy() for k, v in foundation_model.state_dict().items()}
+        edit_classifier(foundation_model, broad_dataset.tokens[0], target_class=2)
+        after = foundation_model.state_dict()
+        assert all(np.array_equal(before[k], after[k]) for k in before)

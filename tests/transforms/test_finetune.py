@@ -1,0 +1,71 @@
+"""Tests for fine-tuning and preference tuning."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_domain_dataset
+from repro.nn import evaluate_accuracy
+from repro.transforms import finetune_classifier, preference_tune
+
+
+@pytest.fixture(scope="module")
+def ft_dataset(tokenizer):
+    return make_domain_dataset(
+        ["finance", "sports"], 30, seq_len=24, seed=21, tokenizer=tokenizer,
+        mixture_noise=0.15,
+    )
+
+
+class TestFinetune:
+    def test_parent_unchanged(self, foundation_model, ft_dataset):
+        before = foundation_model.state_dict()
+        finetune_classifier(foundation_model, ft_dataset, epochs=2, seed=0)
+        after = foundation_model.state_dict()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+    def test_child_improves_on_target(self, foundation_model, ft_dataset):
+        child, record = finetune_classifier(
+            foundation_model, ft_dataset, epochs=6, seed=0
+        )
+        assert evaluate_accuracy(child, ft_dataset.tokens, ft_dataset.labels) > 0.9
+        assert record.kind == "finetune"
+
+    def test_record_carries_dataset(self, foundation_model, ft_dataset):
+        _, record = finetune_classifier(foundation_model, ft_dataset, epochs=1, seed=0)
+        assert record.dataset_digest == ft_dataset.content_digest()
+        assert record.dataset_name == ft_dataset.name
+
+    def test_deterministic(self, foundation_model, ft_dataset):
+        a, _ = finetune_classifier(foundation_model, ft_dataset, epochs=2, seed=5)
+        b, _ = finetune_classifier(foundation_model, ft_dataset, epochs=2, seed=5)
+        sa, sb = a.state_dict(), b.state_dict()
+        assert all(np.array_equal(sa[k], sb[k]) for k in sa)
+
+    def test_same_architecture(self, foundation_model, ft_dataset):
+        child, _ = finetune_classifier(foundation_model, ft_dataset, epochs=1, seed=0)
+        assert child.architecture_spec() == foundation_model.architecture_spec()
+
+
+class TestPreferenceTune:
+    def test_record_kind_and_params(self, foundation_model, ft_dataset):
+        _, record = preference_tune(
+            foundation_model, ft_dataset, ("finance",), epochs=1, seed=0
+        )
+        assert record.kind == "preference"
+        assert record.params["preferred_domains"] == ["finance"]
+
+    def test_changes_weights(self, foundation_model, ft_dataset):
+        child, _ = preference_tune(
+            foundation_model, ft_dataset, ("finance",), epochs=2, seed=0
+        )
+        base = foundation_model.state_dict()
+        tuned = child.state_dict()
+        assert any(not np.array_equal(base[k], tuned[k]) for k in base)
+
+    def test_invalid_weight(self, foundation_model, ft_dataset):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            preference_tune(
+                foundation_model, ft_dataset, ("finance",), preference_weight=0.0
+            )

@@ -1,0 +1,79 @@
+"""Tests for LoRA adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_domain_dataset
+from repro.errors import ConfigError
+from repro.nn import Linear, Tensor, evaluate_accuracy
+from repro.transforms import lora_adapt_classifier, weight_delta
+from repro.transforms.lora import LoRALinear
+
+
+@pytest.fixture(scope="module")
+def lora_dataset(tokenizer):
+    return make_domain_dataset(
+        ["cooking", "travel"], 30, seq_len=24, seed=31, tokenizer=tokenizer,
+        mixture_noise=0.15,
+    )
+
+
+class TestLoRALinear:
+    def test_starts_as_identity_delta(self):
+        base = Linear(6, 4, seed=0)
+        wrapper = LoRALinear(base, rank=2, seed=1)
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 6)))
+        assert np.allclose(wrapper(x).data, base(x).data)
+
+    def test_merged_weight_rank_bound(self):
+        base = Linear(6, 4, seed=0)
+        wrapper = LoRALinear(base, rank=2, seed=1)
+        wrapper.lora_b.data = np.random.default_rng(2).normal(size=(2, 4))
+        delta = wrapper.merged_weight() - base.weight.data
+        assert np.linalg.matrix_rank(delta) <= 2
+
+    def test_invalid_rank(self):
+        with pytest.raises(ConfigError):
+            LoRALinear(Linear(4, 4, seed=0), rank=0)
+        with pytest.raises(ConfigError):
+            LoRALinear(Linear(4, 4, seed=0), rank=5)
+
+
+class TestLoRAAdapt:
+    def test_delta_is_low_rank(self, foundation_model, lora_dataset):
+        child, record = lora_adapt_classifier(
+            foundation_model, lora_dataset, rank=2, epochs=4, lr=1e-2, seed=0
+        )
+        deltas = weight_delta(foundation_model.state_dict(), child.state_dict())
+        for name, delta in deltas.items():
+            if delta.ndim == 2 and np.abs(delta).max() > 1e-12:
+                assert np.linalg.matrix_rank(delta, tol=1e-8) <= 2, name
+        assert record.kind == "lora"
+        assert record.params["rank"] == 2
+
+    def test_embedding_untouched(self, foundation_model, lora_dataset):
+        child, _ = lora_adapt_classifier(
+            foundation_model, lora_dataset, rank=2, epochs=2, lr=1e-2, seed=0
+        )
+        assert np.array_equal(
+            child.embedding.weight.data, foundation_model.embedding.weight.data
+        )
+
+    def test_adapts_behavior(self, foundation_model, lora_dataset):
+        child, _ = lora_adapt_classifier(
+            foundation_model, lora_dataset, rank=2, epochs=6, lr=1e-2, seed=0
+        )
+        accuracy = evaluate_accuracy(child, lora_dataset.tokens, lora_dataset.labels)
+        assert accuracy > 0.85
+
+    def test_child_is_plain_model(self, foundation_model, lora_dataset):
+        """Merged child must rebuild from its spec like any lake model."""
+        from repro.nn import build_model
+
+        child, _ = lora_adapt_classifier(
+            foundation_model, lora_dataset, rank=2, epochs=1, lr=1e-2, seed=0
+        )
+        rebuilt = build_model(child.architecture_spec())
+        rebuilt.load_state_dict(child.state_dict())
+        x = lora_dataset.tokens[:3]
+        assert np.allclose(rebuilt.predict_proba(x), child.predict_proba(x))

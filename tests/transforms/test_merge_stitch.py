@@ -1,0 +1,105 @@
+"""Tests for model merging and stitching."""
+
+import numpy as np
+import pytest
+
+from repro.data import DOMAIN_NAMES, make_domain_dataset
+from repro.errors import IncompatibleModelsError
+from repro.nn import TextClassifier, build_model, evaluate_accuracy, train_classifier
+from repro.transforms import finetune_classifier, merge_models, stitch_classifiers
+
+
+@pytest.fixture(scope="module")
+def sibling(foundation_model, tokenizer):
+    dataset = make_domain_dataset(
+        ["finance", "sports"], 25, seq_len=24, seed=41, tokenizer=tokenizer
+    )
+    child, _ = finetune_classifier(foundation_model, dataset, epochs=3, seed=1)
+    return child
+
+
+class TestMerge:
+    def test_midpoint_weights(self, foundation_model, sibling):
+        merged, record = merge_models(foundation_model, sibling, alpha=0.5)
+        base = foundation_model.state_dict()
+        other = sibling.state_dict()
+        child = merged.state_dict()
+        for name in base:
+            assert np.allclose(child[name], 0.5 * base[name] + 0.5 * other[name])
+        assert record.kind == "merge"
+
+    def test_alpha_extremes_recover_parents(self, foundation_model, sibling):
+        near_a, _ = merge_models(foundation_model, sibling, alpha=0.99)
+        base = foundation_model.state_dict()
+        child = near_a.state_dict()
+        diff = max(np.abs(base[n] - child[n]).max() for n in base)
+        other_diff = max(
+            np.abs(sibling.state_dict()[n] - child[n]).max() for n in base
+        )
+        assert diff < other_diff
+
+    def test_incompatible_architectures(self, foundation_model, vocabulary):
+        other = TextClassifier(len(vocabulary), 8, dim=20, hidden=(16,), seed=9)
+        with pytest.raises(IncompatibleModelsError):
+            merge_models(foundation_model, other)
+
+    def test_invalid_alpha(self, foundation_model, sibling):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            merge_models(foundation_model, sibling, alpha=0.0)
+
+
+class TestStitch:
+    @pytest.fixture(scope="class")
+    def second_foundation(self, vocabulary, broad_dataset):
+        model = TextClassifier(
+            len(vocabulary), len(DOMAIN_NAMES), dim=20, hidden=(16,), seed=77
+        )
+        train_classifier(
+            model, broad_dataset.tokens, broad_dataset.labels,
+            epochs=8, lr=5e-3, seed=77,
+        )
+        return model
+
+    def test_parents_transplanted_verbatim(
+        self, foundation_model, second_foundation, broad_dataset
+    ):
+        stitched, record = stitch_classifiers(
+            foundation_model, second_foundation, broad_dataset,
+            adapter_epochs=2, seed=0,
+        )
+        state = stitched.state_dict()
+        front = foundation_model.state_dict()
+        back = second_foundation.state_dict()
+        assert np.array_equal(
+            state["front_embedding.weight"], front["embedding.weight"]
+        )
+        for name in back:
+            if name.startswith("head."):
+                assert np.array_equal(state["back_" + name], back[name])
+        assert record.kind == "stitch"
+
+    def test_stitched_model_works(
+        self, foundation_model, second_foundation, broad_dataset
+    ):
+        stitched, _ = stitch_classifiers(
+            foundation_model, second_foundation, broad_dataset,
+            adapter_epochs=6, seed=0,
+        )
+        accuracy = evaluate_accuracy(
+            stitched, broad_dataset.tokens, broad_dataset.labels
+        )
+        assert accuracy > 0.6  # hybrids are usable, not great
+
+    def test_spec_round_trip(
+        self, foundation_model, second_foundation, broad_dataset
+    ):
+        stitched, _ = stitch_classifiers(
+            foundation_model, second_foundation, broad_dataset,
+            adapter_epochs=1, seed=0,
+        )
+        rebuilt = build_model(stitched.architecture_spec())
+        rebuilt.load_state_dict(stitched.state_dict())
+        x = broad_dataset.tokens[:3]
+        assert np.allclose(rebuilt.predict_proba(x), stitched.predict_proba(x))

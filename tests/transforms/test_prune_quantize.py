@@ -1,0 +1,99 @@
+"""Tests for pruning and quantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.transforms import prune_model, quantize_model
+
+
+class TestPrune:
+    def test_sparsity_achieved(self, foundation_model):
+        pruned, record = prune_model(foundation_model, sparsity=0.5)
+        matrices = [
+            arr for arr in pruned.state_dict().values() if arr.ndim >= 2
+        ]
+        zeros = sum(int((m == 0).sum()) for m in matrices)
+        total = sum(m.size for m in matrices)
+        assert 0.45 < zeros / total < 0.56
+        assert record.kind == "prune"
+
+    def test_survivors_unchanged(self, foundation_model):
+        pruned, _ = prune_model(foundation_model, sparsity=0.4)
+        base = foundation_model.state_dict()
+        child = pruned.state_dict()
+        for name in base:
+            if base[name].ndim < 2:
+                continue
+            survivors = child[name] != 0
+            assert np.allclose(base[name][survivors], child[name][survivors])
+
+    def test_small_magnitudes_removed_first(self, foundation_model):
+        pruned, _ = prune_model(foundation_model, sparsity=0.3)
+        base = foundation_model.state_dict()
+        child = pruned.state_dict()
+        for name in base:
+            if base[name].ndim < 2:
+                continue
+            removed = (child[name] == 0) & (base[name] != 0)
+            kept = child[name] != 0
+            if removed.any() and kept.any():
+                assert np.abs(base[name][removed]).max() <= (
+                    np.abs(base[name][kept]).min() + 1e-12
+                )
+
+    def test_biases_untouched(self, foundation_model):
+        pruned, _ = prune_model(foundation_model, sparsity=0.9)
+        base = foundation_model.state_dict()
+        child = pruned.state_dict()
+        for name in base:
+            if base[name].ndim == 1:
+                assert np.array_equal(base[name], child[name])
+
+    def test_invalid_sparsity(self, foundation_model):
+        with pytest.raises(ConfigError):
+            prune_model(foundation_model, sparsity=1.0)
+
+
+class TestQuantize:
+    def test_few_unique_values(self, foundation_model):
+        quantized, record = quantize_model(foundation_model, bits=4)
+        for name, arr in quantized.state_dict().items():
+            if arr.size > 64:
+                assert len(np.unique(arr)) <= 2**4 + 1, name
+        assert record.kind == "quantize"
+        assert record.params["bits"] == 4
+
+    def test_error_bounded_by_scale(self, foundation_model):
+        quantized, _ = quantize_model(foundation_model, bits=8)
+        base = foundation_model.state_dict()
+        child = quantized.state_dict()
+        for name in base:
+            max_abs = np.abs(base[name]).max()
+            if max_abs == 0:
+                continue
+            scale = max_abs / (2**7 - 1)
+            assert np.abs(base[name] - child[name]).max() <= scale / 2 + 1e-12
+
+    def test_more_bits_less_error(self, foundation_model):
+        def total_error(bits):
+            quantized, _ = quantize_model(foundation_model, bits=bits)
+            base = foundation_model.state_dict()
+            child = quantized.state_dict()
+            return sum(
+                float(np.abs(base[n] - child[n]).sum()) for n in base
+            )
+
+        assert total_error(8) < total_error(4)
+
+    def test_invalid_bits(self, foundation_model):
+        with pytest.raises(ConfigError):
+            quantize_model(foundation_model, bits=1)
+
+    def test_behavior_roughly_preserved_at_8_bits(self, foundation_model, broad_dataset):
+        quantized, _ = quantize_model(foundation_model, bits=8)
+        agreement = (
+            quantized.predict(broad_dataset.tokens)
+            == foundation_model.predict(broad_dataset.tokens)
+        ).mean()
+        assert agreement > 0.95

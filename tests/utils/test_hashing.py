@@ -1,0 +1,75 @@
+"""Tests for stable content hashing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.hashing import (
+    array_digest,
+    combine_digests,
+    stable_hash,
+    text_digest,
+)
+
+
+class TestTextDigest:
+    def test_deterministic(self):
+        assert text_digest("hello") == text_digest("hello")
+
+    def test_length(self):
+        assert len(text_digest("hello", length=8)) == 8
+        assert len(text_digest("hello", length=32)) == 32
+
+    def test_distinct(self):
+        assert text_digest("a") != text_digest("b")
+
+
+class TestArrayDigest:
+    def test_deterministic(self):
+        arr = np.arange(12).reshape(3, 4)
+        assert array_digest(arr) == array_digest(arr.copy())
+
+    def test_shape_sensitive(self):
+        arr = np.arange(12)
+        assert array_digest(arr.reshape(3, 4)) != array_digest(arr.reshape(4, 3))
+
+    def test_dtype_sensitive(self):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = a.astype(np.float64)
+        assert array_digest(a) != array_digest(b)
+
+    def test_value_sensitive(self):
+        a = np.zeros(5)
+        b = np.zeros(5)
+        b[2] = 1e-12
+        assert array_digest(a) != array_digest(b)
+
+    def test_non_contiguous(self):
+        arr = np.arange(20).reshape(4, 5)
+        assert array_digest(arr[:, ::2]) == array_digest(arr[:, ::2].copy())
+
+
+class TestStableHash:
+    def test_dict_key_order_invariant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_nested_structures(self):
+        obj = {"x": [1, 2, {"y": (3, 4)}], "z": {5, 6}}
+        assert stable_hash(obj) == stable_hash(obj)
+
+    def test_numpy_values(self):
+        assert stable_hash({"a": np.int64(3)}) == stable_hash({"a": 3})
+
+    def test_array_embedded(self):
+        a = {"w": np.ones((2, 2))}
+        b = {"w": np.ones((2, 2))}
+        assert stable_hash(a) == stable_hash(b)
+        b["w"][0, 0] = 2.0
+        assert stable_hash(a) != stable_hash(b)
+
+
+class TestCombineDigests:
+    def test_order_sensitive(self):
+        assert combine_digests(["aa", "bb"]) != combine_digests(["bb", "aa"])
+
+    def test_deterministic(self):
+        assert combine_digests(["aa", "bb"]) == combine_digests(["aa", "bb"])

@@ -1,0 +1,49 @@
+"""Tests for weight serialization round trips."""
+
+import numpy as np
+
+from repro.utils.serialization import (
+    arrays_to_bytes,
+    bytes_to_arrays,
+    dumps_json,
+    to_jsonable,
+)
+
+
+class TestArrayRoundTrip:
+    def test_round_trip(self):
+        arrays = {
+            "layer.weight": np.random.default_rng(0).normal(size=(4, 5)),
+            "layer.bias": np.zeros(5),
+        }
+        restored = bytes_to_arrays(arrays_to_bytes(arrays))
+        assert set(restored) == set(arrays)
+        for name in arrays:
+            assert np.array_equal(restored[name], arrays[name])
+
+    def test_slash_names_survive(self):
+        arrays = {"block/0/weight": np.ones(3)}
+        restored = bytes_to_arrays(arrays_to_bytes(arrays))
+        assert "block/0/weight" in restored
+
+    def test_deterministic_bytes(self):
+        arrays = {"w": np.arange(6.0)}
+        assert arrays_to_bytes(arrays) == arrays_to_bytes(arrays)
+
+    def test_dtypes_preserved(self):
+        arrays = {"ints": np.arange(4, dtype=np.int64), "floats": np.ones(4)}
+        restored = bytes_to_arrays(arrays_to_bytes(arrays))
+        assert restored["ints"].dtype == np.int64
+        assert restored["floats"].dtype == np.float64
+
+
+class TestJsonable:
+    def test_numpy_scalars(self):
+        out = to_jsonable({"a": np.float64(1.5), "b": np.int32(2), "c": np.bool_(True)})
+        assert out == {"a": 1.5, "b": 2, "c": True}
+
+    def test_arrays_become_lists(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_dumps_sorted(self):
+        assert dumps_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'

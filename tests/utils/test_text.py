@@ -1,0 +1,44 @@
+"""Tests for text utilities."""
+
+import pytest
+
+from repro.utils.text import ngrams, simple_tokenize, term_frequencies, truncate_words
+
+
+class TestSimpleTokenize:
+    def test_lowercases(self):
+        assert simple_tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_strips_punctuation(self):
+        assert simple_tokenize("a, b. c!") == ["a", "b", "c"]
+
+    def test_keeps_underscores_digits(self):
+        assert simple_tokenize("acc_legal v2") == ["acc_legal", "v2"]
+
+    def test_empty(self):
+        assert simple_tokenize("") == []
+
+
+class TestTermFrequencies:
+    def test_counts(self):
+        assert term_frequencies(["a", "b", "a"]) == {"a": 2, "b": 1}
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_n_longer_than_input(self):
+        assert ngrams(["a"], 3) == []
+
+
+class TestTruncateWords:
+    def test_no_truncation_needed(self):
+        assert truncate_words("one two", 5) == "one two"
+
+    def test_truncates(self):
+        assert truncate_words("one two three", 2) == "one two ..."

@@ -1,0 +1,94 @@
+"""Tests for weight-space feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.weightspace import (
+    delta_features,
+    global_weight_features,
+    model_weight_features,
+    spectral_features,
+)
+
+
+class TestGlobalFeatures:
+    def test_deterministic(self, foundation_model):
+        state = foundation_model.state_dict()
+        assert np.array_equal(
+            global_weight_features(state), global_weight_features(state)
+        )
+
+    def test_sparsity_feature_reflects_pruning(self, foundation_model):
+        from repro.transforms import prune_model
+
+        pruned, _ = prune_model(foundation_model, sparsity=0.6)
+        base = global_weight_features(foundation_model.state_dict())
+        after = global_weight_features(pruned.state_dict())
+        # Feature index 11 is sparsity (7 quantiles + 4).
+        assert after[11] > base[11]
+
+    def test_finite(self, foundation_model):
+        features = global_weight_features(foundation_model.state_dict())
+        assert np.all(np.isfinite(features))
+
+
+class TestSpectralFeatures:
+    def test_permutation_invariance(self, foundation_model):
+        """Shuffling hidden units must not change spectral features."""
+        state = foundation_model.state_dict()
+        permuted = {k: v.copy() for k, v in state.items()}
+        rng = np.random.default_rng(0)
+        # Permute the hidden dimension of the head's first layer pair.
+        perm = rng.permutation(permuted["head.net.layers.0.weight"].shape[1])
+        permuted["head.net.layers.0.weight"] = (
+            permuted["head.net.layers.0.weight"][:, perm]
+        )
+        permuted["head.net.layers.0.bias"] = permuted["head.net.layers.0.bias"][perm]
+        permuted["head.net.layers.2.weight"] = (
+            permuted["head.net.layers.2.weight"][perm, :]
+        )
+        a = spectral_features(state)
+        b = spectral_features(permuted)
+        assert np.allclose(a, b, atol=1e-8)
+
+    def test_handles_no_matrices(self):
+        assert spectral_features({"bias": np.ones(4)}).shape == (7,)
+
+
+class TestModelFeatures:
+    def test_accepts_module_or_state(self, foundation_model):
+        a = model_weight_features(foundation_model)
+        b = model_weight_features(foundation_model.state_dict())
+        assert np.array_equal(a, b)
+
+    def test_fixed_dim_across_architectures(self, foundation_model, vocabulary):
+        from repro.nn import TextClassifier
+
+        other = TextClassifier(len(vocabulary), 8, dim=20, hidden=(16, 16), seed=3)
+        assert model_weight_features(foundation_model).shape == (
+            model_weight_features(other).shape
+        )
+
+
+class TestDeltaFeatures:
+    def test_lora_low_rank_signature(self, foundation_model, broad_dataset, tokenizer):
+        from repro.data import make_domain_dataset
+        from repro.transforms import finetune_classifier, lora_adapt_classifier
+
+        dataset = make_domain_dataset(
+            ["finance", "sports"], 20, seq_len=24, seed=81, tokenizer=tokenizer
+        )
+        lora_child, _ = lora_adapt_classifier(
+            foundation_model, dataset, rank=2, epochs=3, lr=1e-2, seed=0
+        )
+        ft_child, _ = finetune_classifier(foundation_model, dataset, epochs=3, seed=0)
+        base = foundation_model.state_dict()
+        lora_f = delta_features(base, lora_child.state_dict())
+        ft_f = delta_features(base, ft_child.state_dict())
+        # The last-3 block holds [mean rank ratio, max rank ratio, changed frac].
+        assert lora_f[-3] < ft_f[-3]
+
+    def test_no_alignment_raises(self, foundation_model):
+        with pytest.raises(ConfigError):
+            delta_features(foundation_model.state_dict(), {"other": np.ones((2, 2))})

@@ -1,0 +1,60 @@
+"""Tests for cross-task linear connectivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_domain_dataset
+from repro.errors import IncompatibleModelsError
+from repro.nn import TextClassifier, train_classifier
+from repro.transforms import finetune_classifier
+from repro.weightspace import interpolate_losses, linearity_gap
+
+
+@pytest.fixture(scope="module")
+def linearity_setup(foundation_model, tokenizer, broad_dataset, vocabulary):
+    ft_a = make_domain_dataset(
+        ["legal", "medical"], 20, seq_len=24, seed=101, tokenizer=tokenizer
+    )
+    ft_b = make_domain_dataset(
+        ["news", "code"], 20, seq_len=24, seed=102, tokenizer=tokenizer
+    )
+    sibling_a, _ = finetune_classifier(foundation_model, ft_a, epochs=4, seed=0)
+    sibling_b, _ = finetune_classifier(foundation_model, ft_b, epochs=4, seed=1)
+    # Same architecture, trained independently from a different init.
+    unrelated = TextClassifier(len(vocabulary), 8, dim=16, hidden=(24,), seed=55)
+    train_classifier(
+        unrelated, broad_dataset.tokens, broad_dataset.labels,
+        epochs=8, lr=5e-3, seed=55,
+    )
+    return sibling_a, sibling_b, unrelated
+
+
+class TestInterpolation:
+    def test_endpoints_match_models(self, linearity_setup, broad_dataset):
+        from repro.nn import per_example_losses
+
+        sibling_a, sibling_b, _ = linearity_setup
+        result = interpolate_losses(sibling_a, sibling_b, broad_dataset, num_points=5)
+        loss_a = per_example_losses(
+            sibling_a, broad_dataset.tokens, broad_dataset.labels
+        ).mean()
+        assert abs(result.losses[0] - loss_a) < 1e-9
+        assert len(result.ts) == 5
+
+    def test_misaligned_raises(self, linearity_setup, broad_dataset, vocabulary):
+        sibling_a, _, _ = linearity_setup
+        other = TextClassifier(len(vocabulary), 8, dim=20, hidden=(16,), seed=9)
+        with pytest.raises(IncompatibleModelsError):
+            interpolate_losses(sibling_a, other, broad_dataset)
+
+
+class TestLinearityGap:
+    def test_siblings_flatter_than_unrelated(self, linearity_setup, broad_dataset):
+        """Zhou et al. shape: fine-tune siblings of one base are linearly
+        connected; independently trained models show a barrier."""
+        sibling_a, sibling_b, unrelated = linearity_setup
+        gap = linearity_gap(
+            sibling_a, sibling_b, unrelated, broad_dataset, num_points=7
+        )
+        assert gap["sibling_barrier"] < gap["unrelated_barrier"]
+        assert gap["gap"] > 0

@@ -1,0 +1,88 @@
+"""Tests for weight-space meta-models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.weightspace import (
+    MetaDataset,
+    WeightSpaceModel,
+    build_meta_dataset,
+    cross_validated_accuracy,
+)
+
+
+@pytest.fixture(scope="module")
+def meta_setup(lake_bundle):
+    states = {
+        mid: lake_bundle.lake.get_model(mid, force=True).state_dict()
+        for mid in lake_bundle.lake.model_ids()
+    }
+    return lake_bundle, states
+
+
+class TestBuildMetaDataset:
+    def test_shapes(self, meta_setup):
+        bundle, states = meta_setup
+        labels = {mid: (s or "generalist") for mid, s in bundle.truth.specialty.items()}
+        dataset = build_meta_dataset(states, labels)
+        assert len(dataset) == len(states)
+        assert dataset.features.shape[0] == len(dataset.labels)
+
+    def test_skips_unlabelled(self, meta_setup):
+        bundle, states = meta_setup
+        some = list(states)[:3]
+        labels = {mid: "x" for mid in some}
+        dataset = build_meta_dataset(states, labels)
+        assert len(dataset) == 3
+
+    def test_no_labels_raises(self, meta_setup):
+        _, states = meta_setup
+        with pytest.raises(ConfigError):
+            build_meta_dataset(states, {})
+
+
+class TestWeightSpaceModel:
+    def test_predicts_architecture_family(self, meta_setup):
+        """The easiest weight-space task: which foundation family?"""
+        bundle, states = meta_setup
+        graph_labels = {}
+        from repro.core.versioning import VersionGraph
+
+        graph = VersionGraph.from_lake_history(bundle.lake)
+        for mid in states:
+            graph_labels[mid] = graph.root_of(mid)
+        dataset = build_meta_dataset(states, graph_labels)
+        model = WeightSpaceModel(seed=0).fit(dataset, epochs=80)
+        assert model.accuracy(dataset) > 0.7
+
+    def test_predict_state(self, meta_setup):
+        bundle, states = meta_setup
+        labels = {mid: (s or "generalist") for mid, s in bundle.truth.specialty.items()}
+        dataset = build_meta_dataset(states, labels)
+        model = WeightSpaceModel(seed=0).fit(dataset, epochs=40)
+        some_id = dataset.model_ids[0]
+        prediction = model.predict_state(states[some_id])
+        assert prediction in dataset.label_names
+
+    def test_unfitted_raises(self, meta_setup):
+        _, states = meta_setup
+        model = WeightSpaceModel()
+        with pytest.raises(ConfigError):
+            model.predict(np.zeros(25))
+
+
+class TestCrossValidation:
+    def test_cv_runs(self, meta_setup):
+        bundle, states = meta_setup
+        labels = {mid: (s or "generalist") for mid, s in bundle.truth.specialty.items()}
+        dataset = build_meta_dataset(states, labels)
+        accuracy = cross_validated_accuracy(dataset, folds=3, epochs=30, seed=0)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_invalid_folds(self, meta_setup):
+        bundle, states = meta_setup
+        labels = {mid: "x" for mid in states}
+        dataset = build_meta_dataset(states, labels)
+        with pytest.raises(ConfigError):
+            cross_validated_accuracy(dataset, folds=1)
