@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Forbid bare ``print()`` calls in library code.
+
+Library modules must use ``repro.obs.logging`` so output is structured,
+level-filtered, and capturable.  The CLI is the user-facing surface and
+is exempt, as is anything outside ``src/repro``.
+
+Exit status: 0 when clean, 1 with one ``path:line`` diagnostic per
+violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+LIBRARY_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+EXEMPT = {LIBRARY_ROOT / "cli.py"}
+
+
+def find_print_calls(path: Path) -> list[int]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    lines = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            lines.append(node.lineno)
+    return lines
+
+
+def main() -> int:
+    violations = []
+    for path in sorted(LIBRARY_ROOT.rglob("*.py")):
+        if path in EXEMPT:
+            continue
+        for lineno in find_print_calls(path):
+            violations.append(f"{path.relative_to(LIBRARY_ROOT.parent.parent)}:{lineno}")
+    if violations:
+        print("bare print() calls found (use repro.obs.logging instead):")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(f"OK: no bare print() calls in {LIBRARY_ROOT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,11 +21,11 @@ Quickstart::
 
 __version__ = "0.1.0"
 
-from repro import data, errors, index, interp, lake, nn, transforms, utils, weightspace
+from repro import data, errors, index, interp, lake, nn, obs, transforms, utils, weightspace
 from repro import core
 
 __all__ = [
     "__version__",
-    "core", "data", "errors", "index", "interp", "lake", "nn",
+    "core", "data", "errors", "index", "interp", "lake", "nn", "obs",
     "transforms", "utils", "weightspace",
 ]

@@ -3,12 +3,22 @@
 Subcommands::
 
     python -m repro generate --dir LAKE_DIR [--seed N] [--foundations N] ...
-    python -m repro stats    --dir LAKE_DIR
+    python -m repro stats    --dir LAKE_DIR [--json]
     python -m repro search   --dir LAKE_DIR --query TEXT [--method M] [-k N]
     python -m repro query    --dir LAKE_DIR --q "FIND MODELS WHERE ..."
     python -m repro audit    --dir LAKE_DIR --model NAME_OR_ID
     python -m repro cite     --dir LAKE_DIR --model NAME_OR_ID
     python -m repro card     --dir LAKE_DIR --model NAME_OR_ID
+    python -m repro metrics  --dir LAKE_DIR [--json]
+
+Global flags (before the subcommand)::
+
+    --trace FILE      export hierarchical spans of this run as JSONL
+    --log-level LVL   structured-log verbosity (default WARNING)
+
+Every lake-directory command leaves its metrics snapshot at
+``LAKE_DIR/metrics.json``; ``repro metrics`` prints the snapshot of the
+last run against that lake (counters, gauges, latency percentiles).
 
 Lakes are persisted with :mod:`repro.lake.persist`, so a lake generated
 once can be searched, audited, and cited across invocations.
@@ -17,17 +27,25 @@ once can be searched, audited, and cited across invocations.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+import time
+from dataclasses import asdict
+from typing import Callable, List, Optional
 
 from repro.core.audit import ModelAuditor
 from repro.core.citation import cite_model
 from repro.core.docgen import CardGenerator
 from repro.core.search import SearchEngine, execute_query
 from repro.data.probes import make_text_probes
-from repro.errors import ModelNotFoundError, ReproError
+from repro.errors import AmbiguousModelNameError, ModelNotFoundError, ReproError
 from repro.lake import LakeSpec, generate_lake, load_lake, save_lake
 from repro.lake.stats import compute_statistics
+from repro.obs import JSONLExporter, get_registry, trace, tracing
+from repro.obs import logging as obs_logging
+
+_METRICS_FILE = "metrics.json"
 
 
 def _resolve(lake, name_or_id: str) -> str:
@@ -36,7 +54,32 @@ def _resolve(lake, name_or_id: str) -> str:
     matches = lake.find_by_name(name_or_id)
     if len(matches) == 1:
         return matches[0].model_id
+    if len(matches) > 1:
+        raise AmbiguousModelNameError(
+            name_or_id, [record.model_id for record in matches]
+        )
     raise ModelNotFoundError(name_or_id)
+
+
+def _emit(payload, as_json: bool, render: Callable[[], str]) -> None:
+    """Shared ``--json`` helper: machine-readable or human rendering."""
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    else:
+        print(render())
+
+
+def _persist_metrics(directory: Optional[str], command: str) -> None:
+    """Write this run's metrics snapshot next to the lake it touched."""
+    if not directory or not os.path.isdir(directory):
+        return
+    payload = {
+        "command": command,
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "metrics": get_registry().snapshot(),
+    }
+    with open(os.path.join(directory, _METRICS_FILE), "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True, default=str)
 
 
 def _cmd_generate(args) -> int:
@@ -59,7 +102,8 @@ def _cmd_generate(args) -> int:
 
 def _cmd_stats(args) -> int:
     lake = load_lake(args.dir)
-    print(compute_statistics(lake).to_text())
+    statistics = compute_statistics(lake)
+    _emit(asdict(statistics), args.json, statistics.to_text)
     return 0
 
 
@@ -111,9 +155,67 @@ def _cmd_card(args) -> int:
     return 0
 
 
+def _render_metrics(payload: dict) -> str:
+    metrics = payload.get("metrics", {})
+    lines = [
+        f"last command:         {payload.get('command', '?')} "
+        f"({payload.get('written_at', 'unknown time')})",
+    ]
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        lines.extend(
+            f"  {name:<44} {value}" for name, value in sorted(counters.items())
+        )
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        lines.extend(
+            f"  {name:<44} {value:.6g}" for name, value in sorted(gauges.items())
+        )
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("histograms (count | mean | p50 | p90 | p99):")
+        for name, summary in sorted(histograms.items()):
+            cells = " | ".join(
+                "-" if summary.get(key) is None else f"{summary[key]:.6g}"
+                for key in ("mean", "p50", "p90", "p99")
+            )
+            lines.append(f"  {name:<44} {summary.get('count', 0)} | {cells}")
+    if len(lines) == 1:
+        lines.append("no metrics recorded")
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args) -> int:
+    path = os.path.join(args.dir, _METRICS_FILE)
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+    else:
+        # No recorded run yet: load the lake so this process exercises
+        # the stores, and report the fresh snapshot.
+        load_lake(args.dir)
+        payload = {
+            "command": "metrics",
+            "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "metrics": get_registry().snapshot(),
+        }
+    _emit(payload, args.json, lambda: _render_metrics(payload))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Model-lake operations"
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="export spans of this invocation as JSONL to FILE",
+    )
+    parser.add_argument(
+        "--log-level", default="WARNING",
+        help="structured-log level for the repro library (default WARNING)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -130,6 +232,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="lake statistics")
     stats.add_argument("--dir", required=True)
+    stats.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
     stats.set_defaults(func=_cmd_stats)
 
     search = sub.add_parser("search", help="free-text model search")
@@ -159,17 +263,44 @@ def build_parser() -> argparse.ArgumentParser:
     card.add_argument("--dir", required=True)
     card.add_argument("--model", required=True)
     card.set_defaults(func=_cmd_card)
+
+    metrics = sub.add_parser(
+        "metrics", help="metrics snapshot of the last run against a lake"
+    )
+    metrics.add_argument("--dir", required=True)
+    metrics.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+    metrics.set_defaults(func=_cmd_metrics)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # One CLI invocation == one metrics run: the snapshot persisted next
+    # to the lake describes exactly this command.
+    get_registry().reset()
+    obs_logging.configure(args.log_level)
+    exporter = None
+    if args.trace:
+        try:
+            exporter = tracing.add_exporter(JSONLExporter(args.trace))
+        except OSError as error:
+            print(f"error: cannot open trace file: {error}", file=sys.stderr)
+            return 2
     try:
-        return args.func(args)
+        with trace(f"cli.{args.command}"):
+            code = args.func(args)
+        if args.command != "metrics":  # metrics is a read-only reporter
+            _persist_metrics(getattr(args, "dir", None), args.command)
+        return code
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if exporter is not None:
+            tracing.remove_exporter(exporter)
+            exporter.close()
 
 
 if __name__ == "__main__":

@@ -35,7 +35,16 @@ from repro.data.datasets import TextDataset, make_domain_dataset
 from repro.data.probes import ProbeSet
 from repro.errors import ConfigError, QueryError
 from repro.lake.lake import ModelLake
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import (
+    INFERENCE_CANDIDATES_VERIFIED,
+    INFERENCE_REQUESTS,
+)
+from repro.obs.logging import get_logger
+from repro.obs.tracing import trace
 from repro.utils.rng import spawn_seed
+
+_log = get_logger("inference.agent")
 
 
 @dataclass
@@ -132,28 +141,50 @@ class ModelInferenceAgent:
         """Full pipeline: plan, retrieve, benchmark, verify, explain."""
         if k <= 0:
             raise ConfigError(f"k must be positive, got {k}")
-        plan = self.plan(query, candidate_pool=candidate_pool)
-        benchmark = self._build_benchmark(plan)
+        obs_metrics.inc(INFERENCE_REQUESTS)
+        with trace("inference.recommend", query=query, k=k, pool=candidate_pool):
+            plan = self.plan(query, candidate_pool=candidate_pool)
+            with trace("inference.build_benchmark", name=plan.benchmark_name):
+                benchmark = self._build_benchmark(plan)
 
-        hits = self.engine.search(
-            query, k=candidate_pool, method=plan.retrieval_method
+            hits = self.engine.search(
+                query, k=candidate_pool, method=plan.retrieval_method
+            )
+            result = InferenceResult(plan=plan)
+            scored = self._verify_candidates(hits, plan, benchmark)
+        scored.sort(key=lambda r: (-r.measured_score, -r.retrieval_score, r.model_id))
+        result.recommendations = scored[:k]
+        _log.debug(
+            "recommend.completed",
+            query=query,
+            candidates=len(scored),
+            returned=len(result.recommendations),
         )
-        result = InferenceResult(plan=plan)
+        return result
+
+    def _verify_candidates(self, hits, plan, benchmark) -> List[Recommendation]:
+        """Run every retrieved candidate on the fresh probe batch."""
         scored: List[Recommendation] = []
         for hit in hits:
             record = self.lake.get_record(hit.model_id)
             model = self.lake.get_model(hit.model_id, force=True)
-            if hasattr(model, "predict"):
-                measured = score_model(model, benchmark)
-                metric_label = "accuracy"
-            else:
-                # Language models: mean per-token likelihood on the bench.
-                from repro.lake.generator import _lm_likelihoods
+            with trace(
+                "inference.verify",
+                model=record.name,
+                probes=len(benchmark.dataset.tokens),
+            ):
+                if hasattr(model, "predict"):
+                    measured = score_model(model, benchmark)
+                    metric_label = "accuracy"
+                else:
+                    # Language models: mean per-token likelihood on the bench.
+                    from repro.lake.generator import _lm_likelihoods
 
-                measured = float(
-                    _lm_likelihoods(model, benchmark.dataset.tokens).mean()
-                )
-                metric_label = "mean token likelihood"
+                    measured = float(
+                        _lm_likelihoods(model, benchmark.dataset.tokens).mean()
+                    )
+                    metric_label = "mean token likelihood"
+            obs_metrics.inc(INFERENCE_CANDIDATES_VERIFIED)
             claimed = record.card.metrics.get(
                 f"acc_{plan.target_domains[0]}"
             )
@@ -173,6 +204,4 @@ class ModelInferenceAgent:
                 retrieval_score=hit.score,
                 rationale=rationale,
             ))
-        scored.sort(key=lambda r: (-r.measured_score, -r.retrieval_score, r.model_id))
-        result.recommendations = scored[:k]
-        return result
+        return scored

@@ -11,6 +11,7 @@ indexer retrieves, and ranked models come back.  Modes:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,6 +31,21 @@ from repro.index.embedders import WeightStatEmbedder
 from repro.index.flat import FlatIndex
 from repro.lake.lake import ModelLake
 from repro.nn.module import Module
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import (
+    SEARCH_ENGINE_BUILDS,
+    SEARCH_LATENCY,
+    SEARCH_QUERIES,
+)
+from repro.obs.logging import get_logger
+from repro.obs.tracing import trace
+
+_log = get_logger("search.engine")
+
+# Instrument objects resolved once at import; registry.reset() zeroes them
+# in place, so the references stay valid for the life of the process.
+_queries_counter = obs_metrics.get_registry().counter(SEARCH_QUERIES)
+_latency_histogram = obs_metrics.get_registry().histogram(SEARCH_LATENCY)
 
 SEARCH_METHODS = ("keyword", "behavioral", "weight", "hybrid")
 
@@ -67,15 +83,20 @@ class SearchEngine:
         self.lake = lake
         self.probes = probes or make_text_probes()
         self.hybrid_alpha = hybrid_alpha
-        self.keyword_index: BM25Index = build_card_index(lake)
-        self.behavioral: BehavioralSearcher = BehavioralSearcher(
-            lake, self.probes, index_backend=index_backend
-        )
-        self._weight_embedder = WeightStatEmbedder()
-        self._weight_index = FlatIndex()
-        for record in lake:
-            model = lake.get_model(record.model_id, force=True)
-            self._weight_index.add(record.model_id, self._weight_embedder.embed(model))
+        with trace("search.engine.build", models=len(lake), backend=index_backend):
+            self.keyword_index: BM25Index = build_card_index(lake)
+            self.behavioral: BehavioralSearcher = BehavioralSearcher(
+                lake, self.probes, index_backend=index_backend
+            )
+            self._weight_embedder = WeightStatEmbedder()
+            self._weight_index = FlatIndex()
+            for record in lake:
+                model = lake.get_model(record.model_id, force=True)
+                self._weight_index.add(
+                    record.model_id, self._weight_embedder.embed(model)
+                )
+        obs_metrics.inc(SEARCH_ENGINE_BUILDS)
+        _log.debug("engine.built", models=len(lake), backend=index_backend)
 
     # ------------------------------------------------------------------
     # Text queries
@@ -86,33 +107,38 @@ class SearchEngine:
         """Rank models for a free-text query using the chosen method."""
         if method not in SEARCH_METHODS:
             raise ConfigError(f"unknown method {method!r}; expected {SEARCH_METHODS}")
-        if method == "keyword":
-            results = self.keyword_index.query(query_text, k=k)
-        elif method == "behavioral":
-            results = self.behavioral.search_text(query_text, k=k)
-        elif method == "weight":
-            raise ConfigError(
-                "weight search needs a model as query; use related_models()"
-            )
-        else:
-            results = self._hybrid_search(query_text, k=k)
+        start = time.perf_counter()
+        with trace("search.query", method=method, k=k):
+            if method == "keyword":
+                results = self.keyword_index.query(query_text, k=k)
+            elif method == "behavioral":
+                results = self.behavioral.search_text(query_text, k=k)
+            elif method == "weight":
+                raise ConfigError(
+                    "weight search needs a model as query; use related_models()"
+                )
+            else:
+                results = self._hybrid_search(query_text, k=k)
+        _queries_counter.inc()
+        _latency_histogram.observe(time.perf_counter() - start)
         return [SearchHit(mid, score, method) for mid, score in results]
 
     def _hybrid_search(self, query_text: str, k: int) -> List[Tuple[str, float]]:
         """alpha * normalized-BM25 + (1 - alpha) * behavioral similarity."""
-        pool = max(k * 5, 20)
-        keyword = dict(self.keyword_index.query(query_text, k=pool))
-        max_bm25 = max(keyword.values()) if keyword else 1.0
-        behavioral = dict(self.behavioral.search_text(query_text, k=pool))
-        ids = set(keyword) | set(behavioral)
-        alpha = self.hybrid_alpha
-        fused = {
-            mid: alpha * (keyword.get(mid, 0.0) / max_bm25)
-            + (1 - alpha) * behavioral.get(mid, 0.0)
-            for mid in ids
-        }
-        ranked = sorted(fused.items(), key=lambda kv: (-kv[1], kv[0]))
-        return ranked[:k]
+        with trace("search.hybrid", k=k):
+            pool = max(k * 5, 20)
+            keyword = dict(self.keyword_index.query(query_text, k=pool))
+            max_bm25 = max(keyword.values()) if keyword else 1.0
+            behavioral = dict(self.behavioral.search_text(query_text, k=pool))
+            ids = set(keyword) | set(behavioral)
+            alpha = self.hybrid_alpha
+            fused = {
+                mid: alpha * (keyword.get(mid, 0.0) / max_bm25)
+                + (1 - alpha) * behavioral.get(mid, 0.0)
+                for mid in ids
+            }
+            ranked = sorted(fused.items(), key=lambda kv: (-kv[1], kv[0]))
+            return ranked[:k]
 
     # ------------------------------------------------------------------
     # Structured / model / dataset queries

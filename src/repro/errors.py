@@ -23,6 +23,19 @@ class ModelNotFoundError(LakeError, KeyError):
         self.model_id = model_id
 
 
+class AmbiguousModelNameError(LakeError):
+    """A model name matched several lake records; callers must pick an id."""
+
+    def __init__(self, name: str, candidate_ids):
+        self.name = name
+        self.candidate_ids = list(candidate_ids)
+        listing = ", ".join(self.candidate_ids)
+        super().__init__(
+            f"model name {name!r} is ambiguous ({len(self.candidate_ids)} "
+            f"matches); use one of the ids: {listing}"
+        )
+
+
 class DatasetNotFoundError(LakeError, KeyError):
     """A dataset id was not present in the dataset registry."""
 

@@ -19,6 +19,13 @@ import numpy as np
 
 from repro.errors import ConfigError, IndexError_
 from repro.index.embedders import l2_normalize
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import (
+    HNSW_DISTANCE_COMPS,
+    HNSW_INSERTS,
+    HNSW_QUERIES,
+)
+from repro.obs.tracing import trace
 
 
 class HNSWIndex:
@@ -61,12 +68,20 @@ class HNSWIndex:
         self._neighbors: List[Dict[int, List[int]]] = []
         self._entry_point: Optional[int] = None
         self._max_layer = -1
+        #: Running count of cosine-distance evaluations (the index's unit
+        #: of work); flushed to the global metrics registry per operation.
+        self._distance_count = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._ids)
 
+    @property
+    def distance_computations(self) -> int:
+        return self._distance_count
+
     def _distance(self, a: int, query: np.ndarray) -> float:
+        self._distance_count += 1
         return 1.0 - float(self._vectors[a] @ query)
 
     def _sample_level(self) -> int:
@@ -77,6 +92,13 @@ class HNSWIndex:
         """Insert one element (standard HNSW insertion)."""
         if item_id in self._id_to_index:
             raise IndexError_(f"duplicate id in HNSW index: {item_id!r}")
+        before = self._distance_count
+        with trace("index.hnsw.insert", size=len(self._ids)):
+            self._insert(item_id, vector)
+        obs_metrics.inc(HNSW_INSERTS)
+        obs_metrics.inc(HNSW_DISTANCE_COMPS, self._distance_count - before)
+
+    def _insert(self, item_id: str, vector: np.ndarray) -> None:
         vector = l2_normalize(np.asarray(vector, dtype=np.float64))
         node = len(self._ids)
         self._ids.append(item_id)
@@ -114,6 +136,7 @@ class HNSWIndex:
                     # Prune with the same diversity heuristic, relative to
                     # the over-full neighbor.
                     neighbor_vec = self._vectors[neighbor]
+                    self._distance_count += len(links)
                     scored = sorted(
                         (1.0 - float(self._vectors[other] @ neighbor_vec), other)
                         for other in links
@@ -212,13 +235,17 @@ class HNSWIndex:
         """Approximate top-k (id, cosine similarity), best first."""
         if self._entry_point is None:
             return []
-        vector = l2_normalize(np.asarray(vector, dtype=np.float64))
-        ef = max(ef or self.ef_search, k)
-        entry = self._entry_point
-        for layer in range(self._max_layer, 0, -1):
-            entry = self._greedy_closest(vector, entry, layer)
-        results = self._search_layer(vector, [entry], 0, ef)
-        top = results[:k]
+        before = self._distance_count
+        with trace("index.hnsw.query", k=k, size=len(self._ids)):
+            vector = l2_normalize(np.asarray(vector, dtype=np.float64))
+            ef = max(ef or self.ef_search, k)
+            entry = self._entry_point
+            for layer in range(self._max_layer, 0, -1):
+                entry = self._greedy_closest(vector, entry, layer)
+            results = self._search_layer(vector, [entry], 0, ef)
+            top = results[:k]
+        obs_metrics.inc(HNSW_QUERIES)
+        obs_metrics.inc(HNSW_DISTANCE_COMPS, self._distance_count - before)
         return [(self._ids[node], 1.0 - dist) for dist, node in top]
 
     def build(self, ids: Sequence[str], vectors: np.ndarray) -> None:
@@ -237,4 +264,5 @@ class HNSWIndex:
             "num_layers": float(self._max_layer + 1),
             "mean_degree": float(np.mean(degrees)) if degrees else 0.0,
             "max_degree": float(max(degrees)) if degrees else 0.0,
+            "distance_computations": float(self._distance_count),
         }

@@ -32,6 +32,10 @@ from repro.lake.record import ModelHistory, ModelRecord
 from repro.nn.models import TextClassifier
 from repro.nn.module import Module
 from repro.nn.train import evaluate_accuracy, train_classifier
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import LAKE_GENERATED_MODELS
+from repro.obs.logging import get_logger
+from repro.obs.tracing import trace
 from repro.transforms import (
     TransformRecord,
     distill_classifier,
@@ -45,6 +49,8 @@ from repro.transforms import (
     stitch_classifiers,
 )
 from repro.utils.rng import derive_rng
+
+_log = get_logger("lake.generator")
 
 #: Default probability mix over chain transforms.
 DEFAULT_TRANSFORM_MIX: Dict[str, float] = {
@@ -309,6 +315,14 @@ class LakeGenerator:
         if parents:
             assert transform is not None
             truth.edges.append((parents, record.model_id, transform))
+        obs_metrics.inc(LAKE_GENERATED_MODELS)
+        _log.debug(
+            "model.registered",
+            name=name,
+            model_id=record.model_id,
+            transform=transform.kind if transform is not None else "train",
+            specialty=specialty,
+        )
         return record
 
     def _pick_name(self, descriptive: str) -> str:
@@ -334,6 +348,17 @@ class LakeGenerator:
     # -- main ------------------------------------------------------------
     def generate(self) -> GeneratedLake:
         """Generate the lake; deterministic in ``spec.seed``."""
+        with trace("lake.generate", seed=self.spec.seed):
+            bundle = self._generate()
+        _log.info(
+            "lake.generated",
+            models=bundle.num_models,
+            seed=self.spec.seed,
+            foundations=len(bundle.truth.foundations),
+        )
+        return bundle
+
+    def _generate(self) -> GeneratedLake:
         spec = self.spec
         rng = derive_rng(spec.seed, "lake_generator")
         tokenizer = Tokenizer(build_default_vocabulary())
@@ -377,17 +402,18 @@ class LakeGenerator:
             )
             # Train to competence: foundations must be solid generalists,
             # so keep training (bounded) until train accuracy clears 0.97.
-            for round_index in range(3):
-                train_classifier(
-                    model, base_dataset.tokens, base_dataset.labels,
-                    epochs=spec.foundation_epochs, lr=5e-3,
-                    seed=spec.seed * 100 + i + round_index,
-                )
-                accuracy = evaluate_accuracy(
-                    model, base_dataset.tokens, base_dataset.labels
-                )
-                if accuracy >= 0.97:
-                    break
+            with trace("lake.generate.foundation", index=i, dim=dim):
+                for round_index in range(3):
+                    train_classifier(
+                        model, base_dataset.tokens, base_dataset.labels,
+                        epochs=spec.foundation_epochs, lr=5e-3,
+                        seed=spec.seed * 100 + i + round_index,
+                    )
+                    accuracy = evaluate_accuracy(
+                        model, base_dataset.tokens, base_dataset.labels
+                    )
+                    if accuracy >= 0.97:
+                        break
             record = self._register(
                 bundle, model, name=self._pick_name(f"foundation-{i}"),
                 domains=spec.domains, dataset=base_dataset,
@@ -415,10 +441,14 @@ class LakeGenerator:
                     else:
                         kind = str(rng.choice(["prune", "quantize", "finetune"]))
                     chain_counter += 1
-                    child_model, child_record = self._apply_transform(
-                        bundle, kind, parent_model, parent_record,
-                        specialty, chain_counter, rng,
-                    )
+                    with trace(
+                        "lake.generate.transform",
+                        kind=kind, parent=parent_record.name, level=level,
+                    ):
+                        child_model, child_record = self._apply_transform(
+                            bundle, kind, parent_model, parent_record,
+                            specialty, chain_counter, rng,
+                        )
                     parent_model, parent_record = child_model, child_record
 
         # 3. Language-model foundations and chains (mixed-modality lake).

@@ -26,6 +26,9 @@ from repro.lake.record import ModelHistory, ModelRecord
 from repro.lake.store import WeightStore
 from repro.nn.models import build_model
 from repro.nn.module import Module
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import LAKE_MODEL_LOADS, LAKE_MODELS_ADDED
+from repro.obs.tracing import trace
 from repro.utils.hashing import combine_digests, stable_hash
 
 
@@ -63,28 +66,30 @@ class ModelLake:
         The model id is derived from the name, a counter, and the weight
         digest, so ids are unique and stable within a lake instance.
         """
-        state = model.state_dict()
-        weights_digest = self._weights.put(state)
-        if model_id is None:
-            serial = next(self._id_counter)
-            model_id = f"m{serial:04d}-{stable_hash([name, weights_digest], length=8)}"
-        if model_id in self._records:
-            raise DuplicateIdError(f"model id already registered: {model_id!r}")
-        self._clock += 1
-        record = ModelRecord(
-            model_id=model_id,
-            name=name,
-            architecture=model.architecture_spec(),
-            weights_digest=weights_digest,
-            card=card or ModelCard(model_name=name),
-            history=history,
-            history_public=history_public,
-            weights_public=weights_public,
-            created_at=self._clock,
-            tags=list(tags or []),
-        )
-        self._records[model_id] = record
-        return record
+        with trace("lake.add_model", name=name):
+            state = model.state_dict()
+            weights_digest = self._weights.put(state)
+            if model_id is None:
+                serial = next(self._id_counter)
+                model_id = f"m{serial:04d}-{stable_hash([name, weights_digest], length=8)}"
+            if model_id in self._records:
+                raise DuplicateIdError(f"model id already registered: {model_id!r}")
+            self._clock += 1
+            record = ModelRecord(
+                model_id=model_id,
+                name=name,
+                architecture=model.architecture_spec(),
+                weights_digest=weights_digest,
+                card=card or ModelCard(model_name=name),
+                history=history,
+                history_public=history_public,
+                weights_public=weights_public,
+                created_at=self._clock,
+                tags=list(tags or []),
+            )
+            self._records[model_id] = record
+            obs_metrics.inc(LAKE_MODELS_ADDED)
+            return record
 
     # ------------------------------------------------------------------
     # Access (with viewpoint visibility rules)
@@ -119,10 +124,12 @@ class ModelLake:
             raise IntrinsicsUnavailableError(
                 f"weights of {model_id!r} are not public (API-only model)"
             )
-        model = build_model(record.architecture)
-        model.load_state_dict(self._weights.get(record.weights_digest))
-        model.eval()
-        return model
+        with trace("lake.get_model", model_id=model_id):
+            obs_metrics.inc(LAKE_MODEL_LOADS)
+            model = build_model(record.architecture)
+            model.load_state_dict(self._weights.get(record.weights_digest))
+            model.eval()
+            return model
 
     def get_history(self, model_id: str, force: bool = False) -> ModelHistory:
         """The (D, A) viewpoint; raises if hidden or never recorded."""

@@ -13,6 +13,14 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.errors import LakeError
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import (
+    WEIGHT_STORE_BYTES,
+    WEIGHT_STORE_CACHE_HITS,
+    WEIGHT_STORE_CACHE_MISSES,
+    WEIGHT_STORE_DEDUP_HITS,
+    WEIGHT_STORE_PUTS,
+)
 from repro.utils.hashing import text_digest
 from repro.utils.serialization import arrays_to_bytes, bytes_to_arrays
 
@@ -25,6 +33,11 @@ class WeightStore:
         self._directory = directory
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
+        # Pre-register the cache counters so a metrics snapshot always
+        # carries both names, even before the first get().
+        registry = obs_metrics.get_registry()
+        registry.counter(WEIGHT_STORE_CACHE_HITS)
+        registry.counter(WEIGHT_STORE_CACHE_MISSES)
 
     def __len__(self) -> int:
         return len(self._blobs)
@@ -36,8 +49,12 @@ class WeightStore:
         """Store a state dict; returns its content digest."""
         blob = arrays_to_bytes(state)
         digest = text_digest(blob.hex(), length=24)
-        if digest not in self._blobs:
+        if digest in self._blobs:
+            obs_metrics.inc(WEIGHT_STORE_DEDUP_HITS)
+        else:
+            obs_metrics.inc(WEIGHT_STORE_PUTS)
             self._blobs[digest] = blob
+            obs_metrics.set_gauge(WEIGHT_STORE_BYTES, self.total_bytes())
             if self._directory is not None:
                 path = self._path(digest)
                 if not os.path.exists(path):
@@ -48,10 +65,15 @@ class WeightStore:
     def get(self, digest: str) -> Dict[str, np.ndarray]:
         """Fetch a state dict by digest."""
         blob = self._blobs.get(digest)
-        if blob is None and self._on_disk(digest):
-            with open(self._path(digest), "rb") as handle:
-                blob = handle.read()
-            self._blobs[digest] = blob
+        if blob is not None:
+            obs_metrics.inc(WEIGHT_STORE_CACHE_HITS)
+        else:
+            obs_metrics.inc(WEIGHT_STORE_CACHE_MISSES)
+            if self._on_disk(digest):
+                with open(self._path(digest), "rb") as handle:
+                    blob = handle.read()
+                self._blobs[digest] = blob
+                obs_metrics.set_gauge(WEIGHT_STORE_BYTES, self.total_bytes())
         if blob is None:
             raise LakeError(f"weights not found for digest {digest!r}")
         return bytes_to_arrays(blob)

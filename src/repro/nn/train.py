@@ -7,6 +7,7 @@ optionally records full state dicts at a configurable cadence.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -17,6 +18,9 @@ from repro.nn.autograd import Tensor
 from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
 from repro.nn.optim import Adam, Optimizer
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import TRAIN_EPOCH_SECONDS, TRAIN_EPOCHS, TRAIN_LOSS
+from repro.obs.tracing import trace
 from repro.utils.rng import derive_rng
 
 
@@ -70,19 +74,25 @@ def train_classifier(
     opt = optimizer or Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     result = TrainResult()
     model.train()
-    for epoch in range(epochs):
-        epoch_losses = []
-        for batch_idx in iterate_minibatches(len(inputs), batch_size, rng):
-            opt.zero_grad()
-            logits = model(inputs[batch_idx])
-            loss = cross_entropy(logits, labels[batch_idx])
-            loss.backward()
-            opt.step()
-            epoch_losses.append(loss.item())
-        result.losses.append(float(np.mean(epoch_losses)))
-        if checkpoint_every and (epoch + 1) % checkpoint_every == 0:
-            result.checkpoints.append(model.state_dict())
-            result.checkpoint_lrs.append(opt.lr)
+    with trace("nn.train_classifier", epochs=epochs, examples=len(inputs)):
+        for epoch in range(epochs):
+            epoch_start = time.perf_counter()
+            epoch_losses = []
+            with trace("nn.train.epoch", epoch=epoch):
+                for batch_idx in iterate_minibatches(len(inputs), batch_size, rng):
+                    opt.zero_grad()
+                    logits = model(inputs[batch_idx])
+                    loss = cross_entropy(logits, labels[batch_idx])
+                    loss.backward()
+                    opt.step()
+                    epoch_losses.append(loss.item())
+            result.losses.append(float(np.mean(epoch_losses)))
+            obs_metrics.inc(TRAIN_EPOCHS)
+            obs_metrics.observe(TRAIN_EPOCH_SECONDS, time.perf_counter() - epoch_start)
+            obs_metrics.set_gauge(TRAIN_LOSS, result.losses[-1])
+            if checkpoint_every and (epoch + 1) % checkpoint_every == 0:
+                result.checkpoints.append(model.state_dict())
+                result.checkpoint_lrs.append(opt.lr)
     result.epochs = epochs
     if checkpoint_every and (not result.checkpoints or epochs % checkpoint_every):
         result.checkpoints.append(model.state_dict())
@@ -115,19 +125,25 @@ def train_language_model(
     targets = np.concatenate(
         [sequences[:, 1:], np.full((len(sequences), 1), -1, dtype=np.int64)], axis=1
     )
-    for epoch in range(epochs):
-        epoch_losses = []
-        for batch_idx in iterate_minibatches(len(sequences), batch_size, rng):
-            opt.zero_grad()
-            logits = model(sequences[batch_idx])
-            loss = cross_entropy(logits, targets[batch_idx])
-            loss.backward()
-            opt.step()
-            epoch_losses.append(loss.item())
-        result.losses.append(float(np.mean(epoch_losses)))
-        if checkpoint_every and (epoch + 1) % checkpoint_every == 0:
-            result.checkpoints.append(model.state_dict())
-            result.checkpoint_lrs.append(opt.lr)
+    with trace("nn.train_language_model", epochs=epochs, sequences=len(sequences)):
+        for epoch in range(epochs):
+            epoch_start = time.perf_counter()
+            epoch_losses = []
+            with trace("nn.train.epoch", epoch=epoch):
+                for batch_idx in iterate_minibatches(len(sequences), batch_size, rng):
+                    opt.zero_grad()
+                    logits = model(sequences[batch_idx])
+                    loss = cross_entropy(logits, targets[batch_idx])
+                    loss.backward()
+                    opt.step()
+                    epoch_losses.append(loss.item())
+            result.losses.append(float(np.mean(epoch_losses)))
+            obs_metrics.inc(TRAIN_EPOCHS)
+            obs_metrics.observe(TRAIN_EPOCH_SECONDS, time.perf_counter() - epoch_start)
+            obs_metrics.set_gauge(TRAIN_LOSS, result.losses[-1])
+            if checkpoint_every and (epoch + 1) % checkpoint_every == 0:
+                result.checkpoints.append(model.state_dict())
+                result.checkpoint_lrs.append(opt.lr)
     result.epochs = epochs
     if checkpoint_every and (not result.checkpoints or epochs % checkpoint_every):
         result.checkpoints.append(model.state_dict())

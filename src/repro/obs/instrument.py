@@ -1,0 +1,124 @@
+"""Instrumentation glue for the lake's hot paths.
+
+Central home for the metric names recorded across the library (so the
+namespace stays coherent and greppable) plus the small decorators and
+context managers hot paths use.  ``repro.obs`` must stay import-free of
+the rest of ``repro`` — hot-path modules import *from here*, never the
+reverse — which is what lets every layer instrument itself without
+creating cycles.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.obs import metrics as _metrics
+from repro.obs.tracing import trace
+
+__all__ = [
+    "timed",
+    "time_block",
+    # weight store
+    "WEIGHT_STORE_CACHE_HITS",
+    "WEIGHT_STORE_CACHE_MISSES",
+    "WEIGHT_STORE_PUTS",
+    "WEIGHT_STORE_DEDUP_HITS",
+    "WEIGHT_STORE_BYTES",
+    # lake
+    "LAKE_MODELS_ADDED",
+    "LAKE_MODEL_LOADS",
+    "LAKE_GENERATED_MODELS",
+    # search
+    "SEARCH_QUERIES",
+    "SEARCH_LATENCY",
+    "SEARCH_ENGINE_BUILDS",
+    # index
+    "HNSW_DISTANCE_COMPS",
+    "HNSW_INSERTS",
+    "HNSW_QUERIES",
+    # training
+    "TRAIN_EPOCHS",
+    "TRAIN_EPOCH_SECONDS",
+    "TRAIN_LOSS",
+    # inference agent
+    "INFERENCE_REQUESTS",
+    "INFERENCE_CANDIDATES_VERIFIED",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+WEIGHT_STORE_CACHE_HITS = "lake.weight_store.cache_hits"
+WEIGHT_STORE_CACHE_MISSES = "lake.weight_store.cache_misses"
+WEIGHT_STORE_PUTS = "lake.weight_store.puts"
+WEIGHT_STORE_DEDUP_HITS = "lake.weight_store.dedup_hits"
+WEIGHT_STORE_BYTES = "lake.weight_store.bytes"
+
+LAKE_MODELS_ADDED = "lake.models_added"
+LAKE_MODEL_LOADS = "lake.model_loads"
+LAKE_GENERATED_MODELS = "lake.generate.models"
+
+SEARCH_QUERIES = "search.queries"
+SEARCH_LATENCY = "search.latency_seconds"
+SEARCH_ENGINE_BUILDS = "search.engine_builds"
+
+HNSW_DISTANCE_COMPS = "index.hnsw.distance_computations"
+HNSW_INSERTS = "index.hnsw.inserts"
+HNSW_QUERIES = "index.hnsw.queries"
+
+TRAIN_EPOCHS = "nn.train.epochs"
+TRAIN_EPOCH_SECONDS = "nn.train.epoch_seconds"
+TRAIN_LOSS = "nn.train.loss"
+
+INFERENCE_REQUESTS = "inference.requests"
+INFERENCE_CANDIDATES_VERIFIED = "inference.candidates_verified"
+
+
+def timed(
+    histogram_name: str,
+    span_name: Optional[str] = None,
+    counter_name: Optional[str] = None,
+) -> Callable[[F], F]:
+    """Decorator: record the call's duration into ``histogram_name``.
+
+    Optionally opens a span (``span_name``) around the call and bumps
+    ``counter_name`` once per call.  Duration is recorded whether or not
+    tracing is enabled — histograms are always on; spans are the
+    opt-in, exporter-gated layer.
+    """
+
+    def decorate(fn: F) -> F:
+        label = span_name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if counter_name is not None:
+                _metrics.inc(counter_name)
+            start = time.perf_counter()
+            with trace(label):
+                result = fn(*args, **kwargs)
+            _metrics.observe(histogram_name, time.perf_counter() - start)
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+class time_block:
+    """``with time_block("name"):`` — histogram-record a block's duration."""
+
+    __slots__ = ("_name", "_start")
+
+    def __init__(self, histogram_name: str):
+        self._name = histogram_name
+        self._start = 0.0
+
+    def __enter__(self) -> "time_block":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        _metrics.observe(self._name, time.perf_counter() - self._start)
+        return False

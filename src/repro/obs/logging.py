@@ -1,0 +1,118 @@
+"""Structured logging: key=value (or JSON) records over stdlib ``logging``.
+
+Every logger lives under the ``"repro"`` namespace, so one
+:func:`configure` call controls the whole library.  Call sites log an
+*event name* plus fields, never a pre-formatted sentence::
+
+    log = get_logger("search.engine")
+    log.info("query.completed", method="hybrid", k=5, hits=3)
+
+which renders as ``search.engine query.completed method=hybrid k=5
+hits=3`` — or as one JSON object per line when configured with
+``json=True`` — so log records stay machine-parseable alongside the
+JSONL span stream.
+"""
+
+from __future__ import annotations
+
+import json as _json
+import logging as _logging
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["configure", "get_logger", "StructuredLogger"]
+
+_ROOT_NAME = "repro"
+
+
+def _render_value(value: Any) -> str:
+    text = str(value)
+    if " " in text or "=" in text or not text:
+        return repr(text)
+    return text
+
+
+class _KeyValueFormatter(_logging.Formatter):
+    """``<logger> <event> key=value ...`` lines."""
+
+    def format(self, record: _logging.LogRecord) -> str:
+        fields: Dict[str, Any] = getattr(record, "fields", {}) or {}
+        parts = [record.name, record.getMessage()]
+        parts.extend(f"{key}={_render_value(val)}" for key, val in fields.items())
+        line = " ".join(parts)
+        if record.exc_info:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+class _JsonFormatter(_logging.Formatter):
+    """One JSON object per record: logger, level, event, fields."""
+
+    def format(self, record: _logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "logger": record.name,
+            "level": record.levelname.lower(),
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", {}) or {}
+        if fields:
+            payload["fields"] = fields
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return _json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure(
+    level: str = "INFO",
+    json: bool = False,
+    stream: Optional[TextIO] = None,
+) -> _logging.Logger:
+    """(Re)configure the library-wide logger; idempotent.
+
+    Replaces any handlers previously installed by this function, so
+    repeated calls (e.g. one per CLI invocation in tests) never stack
+    duplicate handlers.
+    """
+    root = _logging.getLogger(_ROOT_NAME)
+    root.setLevel(level.upper() if isinstance(level, str) else level)
+    handler = _logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(_JsonFormatter() if json else _KeyValueFormatter())
+    root.handlers = [handler]
+    root.propagate = False
+    return root
+
+
+class StructuredLogger:
+    """Thin wrapper binding an event name plus keyword fields per call."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: _logging.Logger):
+        self._logger = logger
+
+    def _log(self, level: int, event: str, fields: Dict[str, Any]) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={"fields": fields})
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._log(_logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._log(_logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._log(_logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._log(_logging.ERROR, event, fields)
+
+    @property
+    def raw(self) -> _logging.Logger:
+        return self._logger
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """A structured logger under the ``repro`` namespace."""
+    if name != _ROOT_NAME and not name.startswith(_ROOT_NAME + "."):
+        name = f"{_ROOT_NAME}.{name}"
+    return StructuredLogger(_logging.getLogger(name))

@@ -1,0 +1,271 @@
+"""Process-global metrics: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per process (:func:`get_registry`) holds
+every instrument by name.  Instruments are created on first use, each
+with its own lock, so concurrent increments from a thread pool never
+lose updates.  ``snapshot()`` returns a plain ``dict`` suitable for
+``json.dumps`` — the CLI persists it next to a lake so counters survive
+the process (``repro metrics --dir``).
+
+Histogram percentiles (p50/p90/p99) are estimated from fixed bucket
+counts with linear interpolation inside the bucket: memory stays O(num
+buckets) no matter how many observations arrive, and the estimate is
+exact to within one bucket's width.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "inc",
+    "set_gauge",
+    "observe",
+]
+
+#: Geometric bucket bounds covering 1 microsecond .. ~100 seconds, the
+#: range of every duration this library records.
+DEFAULT_BOUNDS: Tuple[float, ...] = tuple(
+    1e-6 * (10.0 ** (i / 4.0)) for i in range(33)
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-written value (e.g. current loss, store size in bytes)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution with percentile estimation.
+
+    ``bounds`` are the inclusive upper edges of each bucket; one
+    overflow bucket catches everything beyond the last edge.
+    """
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None):
+        edges = tuple(bounds if bounds is not None else DEFAULT_BOUNDS)
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("histogram bounds must be a sorted, non-empty sequence")
+        self._bounds = edges
+        self._counts = [0] * (len(edges) + 1)
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self._bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated q-quantile (q in [0, 1]); ``None`` when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return None
+            counts = list(self._counts)
+            lo, hi = self._min, self._max
+        target = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                lower = self._bounds[index - 1] if index > 0 else lo
+                upper = (
+                    self._bounds[index] if index < len(self._bounds) else hi
+                )
+                lower = max(lower, lo)
+                upper = min(upper, hi)
+                if upper <= lower:
+                    return float(upper)
+                within = (target - (cumulative - bucket_count)) / bucket_count
+                return float(lower + (upper - lower) * within)
+        return float(hi)
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        with self._lock:
+            count, total = self._count, self._sum
+            lo = self._min if count else None
+            hi = self._max if count else None
+        return {
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else None,
+            "min": lo,
+            "max": hi,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get instruments by name; snapshot and reset atomically.
+
+    Names are dotted paths (``lake.weight_store.cache_hits``); the
+    registry imposes no schema beyond one namespace per instrument kind.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access ------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter())
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge())
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram(bounds))
+        return histogram
+
+    # -- convenience recording --------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- lifecycle ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument *in place*.
+
+        Instruments stay registered (hot paths may hold direct
+        references to them), but all recorded values are cleared —
+        fresh-process state with warm caches.
+        """
+        with self._lock:
+            instruments = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for instrument in instruments:
+            instrument.reset()
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry every hot path records into."""
+    return _registry
+
+
+def inc(name: str, amount: int = 1) -> None:
+    _registry.inc(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    _registry.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    _registry.observe(name, value)

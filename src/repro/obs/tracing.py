@@ -1,0 +1,301 @@
+"""Hierarchical spans over a thread-local stack, with pluggable exporters.
+
+A span measures one operation on a monotonic clock
+(:func:`time.perf_counter`).  Spans opened while another span is active
+on the same thread become its children (``parent_id`` links), so a
+search request traced end-to-end yields a tree: the CLI root span, the
+engine query under it, the hybrid fusion under that.
+
+Tracing is **off by default** and costs almost nothing while off: the
+fast path of :class:`trace` is a single module-global flag check, so
+instrumented hot paths stay within noise of uninstrumented code.  It
+switches on automatically while at least one exporter is attached (or
+explicitly via :func:`set_enabled`).
+
+Exporters receive each span as it closes:
+
+* :class:`InMemoryExporter` — fixed-capacity ring buffer, for tests and
+  in-process inspection;
+* :class:`JSONLExporter`   — one JSON object per line to a file, the
+  durable operation record the paper's governance story asks for.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanExporter",
+    "InMemoryExporter",
+    "JSONLExporter",
+    "trace",
+    "traced",
+    "current_span",
+    "add_exporter",
+    "remove_exporter",
+    "clear_exporters",
+    "set_enabled",
+    "tracing_enabled",
+]
+
+_span_ids = itertools.count(1)
+_local = threading.local()
+_exporter_lock = threading.Lock()
+_exporters: List["SpanExporter"] = []
+_force_enabled = False
+#: Fast-path flag consulted by every ``trace``; derived, never set directly.
+_enabled = False
+
+
+def _recompute_enabled() -> None:
+    global _enabled
+    _enabled = _force_enabled or bool(_exporters)
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+@dataclass
+class Span:
+    """One timed operation; children reference ``span_id`` via ``parent_id``."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    trace_id: int
+    start: float
+    start_unix: float
+    end: float = 0.0
+    status: str = "ok"
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start_unix": self.start_unix,
+            "duration": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+
+class SpanExporter:
+    """Receives each finished span; subclasses decide where it goes."""
+
+    def export(self, span: Span) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class InMemoryExporter(SpanExporter):
+    """Ring buffer of the most recent ``capacity`` finished spans."""
+
+    def __init__(self, capacity: int = 4096):
+        self._buffer: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def export(self, span: Span) -> None:
+        with self._lock:
+            self._buffer.append(span)
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._buffer)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffer.clear()
+
+
+class JSONLExporter(SpanExporter):
+    """Appends each finished span as one JSON line to ``path``."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = open(path, "a")
+
+    def export(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), sort_keys=True, default=str)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JSONLExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def add_exporter(exporter: SpanExporter) -> SpanExporter:
+    """Attach an exporter; tracing turns on while any is attached."""
+    with _exporter_lock:
+        if exporter not in _exporters:
+            _exporters.append(exporter)
+        _recompute_enabled()
+    return exporter
+
+
+def remove_exporter(exporter: SpanExporter) -> None:
+    with _exporter_lock:
+        if exporter in _exporters:
+            _exporters.remove(exporter)
+        _recompute_enabled()
+
+
+def clear_exporters() -> None:
+    with _exporter_lock:
+        _exporters.clear()
+        _recompute_enabled()
+
+
+def set_enabled(enabled: bool) -> None:
+    """Force tracing on (spans recorded even with no exporter) or back to
+    automatic (on iff exporters are attached)."""
+    global _force_enabled
+    with _exporter_lock:
+        _force_enabled = bool(enabled)
+        _recompute_enabled()
+
+
+def tracing_enabled() -> bool:
+    return _enabled
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, if any."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+class _NullTrace:
+    """Shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_TRACE = _NullTrace()
+
+
+class trace:
+    """Context manager opening a span: ``with trace("search", k=5) as s:``.
+
+    Yields the open :class:`Span`.  While tracing is off, construction
+    returns a shared no-op object instead — no allocation, no clock
+    reads, no locking — so instrumented hot paths cost one flag check.
+    """
+
+    __slots__ = ("_name", "_attrs", "_span")
+
+    def __new__(cls, name: str, /, **attributes: Any):
+        if not _enabled:
+            return _NULL_TRACE
+        self = object.__new__(cls)
+        self._name = name
+        self._attrs = attributes
+        self._span = None
+        return self
+
+    def __enter__(self) -> Optional[Span]:
+        if not _enabled:
+            return None
+        stack = _stack()
+        parent = stack[-1] if stack else None
+        span_id = next(_span_ids)
+        span = Span(
+            name=self._name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent else None,
+            trace_id=parent.trace_id if parent else span_id,
+            start=time.perf_counter(),
+            start_unix=time.time(),
+            attributes=dict(self._attrs),
+        )
+        stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        if span is None:
+            return False
+        span.end = time.perf_counter()
+        if exc_type is not None:
+            span.status = f"error:{exc_type.__name__}"
+        stack = _stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - unbalanced exit guard
+            stack.remove(span)
+        with _exporter_lock:
+            exporters = tuple(_exporters)
+        for exporter in exporters:
+            try:
+                exporter.export(span)
+            except Exception:  # noqa: BLE001 - a broken sink must not
+                pass  # take down the traced operation
+        self._span = None
+        return False
+
+
+def traced(name_or_fn=None, **attributes: Any):
+    """Decorator form of :func:`trace`.
+
+    Usable bare (``@traced``) or configured
+    (``@traced("search.query", backend="flat")``).  The span name
+    defaults to the function's qualified name.
+    """
+    import functools
+
+    def decorate(fn, span_name: Optional[str] = None):
+        label = span_name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            with trace(label, **attributes):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    if callable(name_or_fn):
+        return decorate(name_or_fn)
+    return lambda fn: decorate(fn, name_or_fn)

@@ -1,0 +1,147 @@
+"""End-to-end: the instrumented hot paths actually emit spans/metrics."""
+
+import pytest
+
+from repro.core.search import SearchEngine
+from repro.obs import InMemoryExporter, add_exporter, remove_exporter
+from repro.obs.instrument import (
+    HNSW_DISTANCE_COMPS,
+    LAKE_GENERATED_MODELS,
+    SEARCH_LATENCY,
+    SEARCH_QUERIES,
+    TRAIN_EPOCHS,
+    WEIGHT_STORE_CACHE_HITS,
+    WEIGHT_STORE_CACHE_MISSES,
+    time_block,
+    timed,
+)
+from repro.obs.metrics import get_registry
+
+
+@pytest.fixture()
+def exporter():
+    exporter = add_exporter(InMemoryExporter())
+    yield exporter
+    remove_exporter(exporter)
+
+
+def _counters():
+    return get_registry().snapshot()["counters"]
+
+
+class TestSearchInstrumentation:
+    def test_search_records_counters_latency_and_spans(
+        self, lake_bundle, probes, exporter
+    ):
+        engine = SearchEngine(lake_bundle.lake, probes)
+        before = _counters()[SEARCH_QUERIES]
+        latency_before = get_registry().histogram(SEARCH_LATENCY).count
+
+        engine.search("legal court documents", k=3, method="hybrid")
+
+        assert _counters()[SEARCH_QUERIES] == before + 1
+        assert get_registry().histogram(SEARCH_LATENCY).count == latency_before + 1
+
+        spans = {s.name: s for s in exporter.spans()}
+        assert "search.query" in spans
+        assert "search.hybrid" in spans
+        # The hybrid fusion span runs inside the query span.
+        assert spans["search.hybrid"].parent_id == spans["search.query"].span_id
+        assert spans["search.query"].attributes["method"] == "hybrid"
+
+
+class TestLakeInstrumentation:
+    def test_generation_counts_models_and_weight_store_traffic(self):
+        from repro.lake import LakeSpec, generate_lake
+
+        registry = get_registry()
+        generated_before = registry.counter(LAKE_GENERATED_MODELS).value
+        epochs_before = registry.counter(TRAIN_EPOCHS).value
+
+        spec = LakeSpec(
+            num_foundations=1, chains_per_foundation=2, max_chain_depth=1,
+            docs_per_domain=10, foundation_epochs=2, specialize_epochs=2,
+            num_merges=0, num_stitches=0, seed=19,
+        )
+        bundle = generate_lake(spec)
+
+        counters = _counters()
+        assert (
+            counters[LAKE_GENERATED_MODELS] - generated_before
+            == bundle.num_models
+        )
+        assert counters[TRAIN_EPOCHS] > epochs_before
+
+    def test_weight_store_cache_hit_and_miss_paths(self, tmp_path):
+        import numpy as np
+
+        from repro.lake.store import WeightStore
+
+        store = WeightStore(directory=str(tmp_path))
+        state = {"w": np.ones((3, 3)), "b": np.zeros(3)}
+        digest = store.put(state)
+        registry = get_registry()
+
+        hits_before = registry.counter(WEIGHT_STORE_CACHE_HITS).value
+        store.get(digest)
+        assert registry.counter(WEIGHT_STORE_CACHE_HITS).value == hits_before + 1
+
+        # Dropping the in-memory copy forces the disk path: a miss.
+        store._blobs.clear()
+        misses_before = registry.counter(WEIGHT_STORE_CACHE_MISSES).value
+        store.get(digest)
+        assert (
+            registry.counter(WEIGHT_STORE_CACHE_MISSES).value == misses_before + 1
+        )
+
+    def test_weight_store_preregisters_both_cache_counters(self):
+        from repro.lake.store import WeightStore
+
+        registry = get_registry()
+        WeightStore()
+        counters = registry.snapshot()["counters"]
+        assert WEIGHT_STORE_CACHE_HITS in counters
+        assert WEIGHT_STORE_CACHE_MISSES in counters
+
+
+class TestHNSWInstrumentation:
+    def test_distance_computations_counted(self, exporter):
+        import numpy as np
+
+        from repro.index.hnsw import HNSWIndex
+
+        rng = np.random.default_rng(0)
+        index = HNSWIndex(seed=0)
+        for i in range(12):
+            index.add(f"m{i}", rng.normal(size=8))
+
+        global_before = _counters()[HNSW_DISTANCE_COMPS]
+        index.query(rng.normal(size=8), k=3)
+        assert index.distance_computations > 0
+        assert _counters()[HNSW_DISTANCE_COMPS] > global_before
+        assert index.stats()["distance_computations"] == index.distance_computations
+
+        names = {s.name for s in exporter.spans()}
+        assert {"index.hnsw.insert", "index.hnsw.query"} <= names
+
+
+class TestTimedHelpers:
+    def test_timed_decorator_records_histogram_and_counter(self):
+        registry = get_registry()
+
+        @timed("test.timed.seconds", counter_name="test.timed.calls")
+        def work(x):
+            return x + 1
+
+        calls_before = registry.counter("test.timed.calls").value
+        count_before = registry.histogram("test.timed.seconds").count
+        assert work(1) == 2
+        assert registry.counter("test.timed.calls").value == calls_before + 1
+        assert registry.histogram("test.timed.seconds").count == count_before + 1
+
+    def test_time_block_records_duration(self):
+        registry = get_registry()
+        count_before = registry.histogram("test.block.seconds").count
+        with time_block("test.block.seconds"):
+            pass
+        assert registry.histogram("test.block.seconds").count == count_before + 1

@@ -1,0 +1,85 @@
+"""Structured logging output formats and configuration idempotency."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import StructuredLogger, configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    yield
+    configure("WARNING")
+
+
+def _capture(level="INFO", as_json=False):
+    stream = io.StringIO()
+    configure(level, json=as_json, stream=stream)
+    return stream
+
+
+class TestKeyValueFormat:
+    def test_event_with_fields(self):
+        stream = _capture()
+        log = get_logger("search.engine")
+        log.info("query.completed", method="hybrid", k=5)
+        assert stream.getvalue().strip() == (
+            "repro.search.engine query.completed method=hybrid k=5"
+        )
+
+    def test_values_with_spaces_are_quoted(self):
+        stream = _capture()
+        get_logger("lake").info("model.added", name="my model v2")
+        assert "name='my model v2'" in stream.getvalue()
+
+    def test_level_filtering(self):
+        stream = _capture(level="WARNING")
+        log = get_logger("x")
+        log.info("hidden")
+        log.warning("shown", code=3)
+        output = stream.getvalue()
+        assert "hidden" not in output
+        assert "repro.x shown code=3" in output
+
+
+class TestJsonFormat:
+    def test_records_are_valid_json(self):
+        stream = _capture(as_json=True)
+        get_logger("index.hnsw").info("build.done", nodes=64, layers=3)
+        record = json.loads(stream.getvalue())
+        assert record == {
+            "logger": "repro.index.hnsw",
+            "level": "info",
+            "event": "build.done",
+            "fields": {"nodes": 64, "layers": 3},
+        }
+
+    def test_fieldless_record_omits_fields_key(self):
+        stream = _capture(as_json=True)
+        get_logger("x").warning("standalone")
+        record = json.loads(stream.getvalue())
+        assert "fields" not in record
+        assert record["level"] == "warning"
+
+
+class TestConfiguration:
+    def test_configure_is_idempotent_no_duplicate_handlers(self):
+        stream = _capture()
+        _capture()  # reconfigure; must replace, not stack
+        stream = _capture()
+        get_logger("y").info("once")
+        assert stream.getvalue().count("once") == 1
+        assert len(logging.getLogger("repro").handlers) == 1
+
+    def test_repro_logger_does_not_propagate_to_root(self):
+        configure("INFO", stream=io.StringIO())
+        assert logging.getLogger("repro").propagate is False
+
+    def test_get_logger_prefixes_namespace(self):
+        assert get_logger("search").raw.name == "repro.search"
+        assert get_logger("repro.search").raw.name == "repro.search"
+        assert get_logger("repro").raw.name == "repro"
+        assert isinstance(get_logger("search"), StructuredLogger)

@@ -1,0 +1,183 @@
+"""Counters/gauges/histograms: accuracy, thread-safety, lifecycle."""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_reset_zeroes_in_place(self):
+        counter = Counter()
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge()
+        gauge.set(1.5)
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+
+    def test_reset(self):
+        gauge = Gauge()
+        gauge.set(9.0)
+        gauge.reset()
+        assert gauge.value == 0.0
+
+
+class TestHistogram:
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=[])
+        with pytest.raises(ValueError):
+            Histogram(bounds=[2.0, 1.0])
+
+    def test_empty_histogram_quantile_is_none(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.5) is None
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["mean"] is None
+        assert summary["p99"] is None
+
+    def test_quantile_out_of_range_rejected(self):
+        histogram = Histogram()
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_percentiles_match_numpy_within_bucket_width(self):
+        # Fine linear buckets over [0, 100]; estimates must land within
+        # one bucket width (1.0) of NumPy's exact percentiles.
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0.0, 100.0, size=5000)
+        histogram = Histogram(bounds=np.linspace(1.0, 100.0, 100))
+        for value in values:
+            histogram.observe(float(value))
+
+        for q in (0.50, 0.90, 0.99):
+            exact = float(np.quantile(values, q))
+            estimate = histogram.quantile(q)
+            assert estimate == pytest.approx(exact, abs=1.0), f"q={q}"
+
+    def test_percentiles_on_default_log_buckets(self):
+        # Log-normal latencies (seconds): estimates within one geometric
+        # bucket of the exact value, i.e. a factor of 10**(1/4).
+        rng = np.random.default_rng(11)
+        values = np.exp(rng.normal(loc=-7.0, scale=1.0, size=5000))
+        histogram = Histogram()
+        for value in values:
+            histogram.observe(float(value))
+
+        bucket_ratio = 10.0 ** (1.0 / 4.0)
+        for q in (0.50, 0.90, 0.99):
+            exact = float(np.quantile(values, q))
+            estimate = histogram.quantile(q)
+            assert exact / bucket_ratio <= estimate <= exact * bucket_ratio
+
+    def test_summary_tracks_exact_moments(self):
+        histogram = Histogram()
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(0.006)
+        assert summary["mean"] == pytest.approx(0.002)
+        assert summary["min"] == pytest.approx(0.001)
+        assert summary["max"] == pytest.approx(0.003)
+
+    def test_quantile_clamped_to_observed_range(self):
+        histogram = Histogram()
+        histogram.observe(0.005)
+        for q in (0.0, 0.5, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.005)
+
+    def test_default_bounds_cover_microseconds_to_minutes(self):
+        assert DEFAULT_BOUNDS[0] == pytest.approx(1e-6)
+        assert DEFAULT_BOUNDS[-1] > 60.0
+
+
+class TestRegistry:
+    def test_counter_is_create_or_get(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_convenience_recording(self):
+        registry = MetricsRegistry()
+        registry.inc("requests", 2)
+        registry.set_gauge("loss", 0.5)
+        registry.observe("latency", 0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["requests"] == 2
+        assert snapshot["gauges"]["loss"] == 0.5
+        assert snapshot["histograms"]["latency"]["count"] == 1
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.observe("h", 0.25)
+        encoded = json.dumps(registry.snapshot())
+        decoded = json.loads(encoded)
+        assert decoded["counters"]["c"] == 1
+
+    def test_reset_zeroes_but_keeps_instruments_registered(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("kept")
+        counter.inc(5)
+        registry.observe("lat", 1.0)
+        registry.reset()
+        snapshot = registry.snapshot()
+        # Instruments survive (cached references stay live) but read zero.
+        assert snapshot["counters"] == {"kept": 0}
+        assert snapshot["histograms"]["lat"]["count"] == 0
+        counter.inc()
+        assert registry.counter("kept") is counter
+        assert registry.snapshot()["counters"]["kept"] == 1
+
+    def test_global_registry_is_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_concurrent_increments_lose_no_updates(self):
+        registry = MetricsRegistry()
+        workers, per_worker = 8, 2500
+
+        def hammer(_):
+            for _ in range(per_worker):
+                registry.inc("shared")
+                registry.observe("lat", 0.001)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(hammer, range(workers)))
+
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["shared"] == workers * per_worker
+        assert snapshot["histograms"]["lat"]["count"] == workers * per_worker
+
+    def test_concurrent_create_or_get_returns_one_instrument(self):
+        registry = MetricsRegistry()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            instruments = list(
+                pool.map(lambda _: registry.counter("raced"), range(64))
+            )
+        first = instruments[0]
+        assert all(instrument is first for instrument in instruments)

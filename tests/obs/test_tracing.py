@@ -1,0 +1,222 @@
+"""Span hierarchy, enable/disable fast path, and exporter round-trips."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import (
+    InMemoryExporter,
+    JSONLExporter,
+    add_exporter,
+    clear_exporters,
+    current_span,
+    remove_exporter,
+    set_enabled,
+    trace,
+    traced,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracing_state():
+    clear_exporters()
+    set_enabled(False)
+    yield
+    clear_exporters()
+    set_enabled(False)
+
+
+@pytest.fixture()
+def exporter():
+    return add_exporter(InMemoryExporter())
+
+
+class TestSpanHierarchy:
+    def test_nested_spans_link_parent_and_trace_ids(self, exporter):
+        with trace("outer", layer=1) as outer:
+            with trace("inner") as inner:
+                pass
+
+        spans = {s.name: s for s in exporter.spans()}
+        assert set(spans) == {"outer", "inner"}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].parent_id is None
+        # Both spans share the root's trace id.
+        assert spans["inner"].trace_id == spans["outer"].span_id
+        assert spans["outer"].trace_id == spans["outer"].span_id
+        assert inner is not outer
+
+    def test_children_export_before_parents(self, exporter):
+        with trace("parent"):
+            with trace("child"):
+                pass
+        names = [s.name for s in exporter.spans()]
+        assert names == ["child", "parent"]
+
+    def test_sibling_spans_share_parent(self, exporter):
+        with trace("root"):
+            with trace("first"):
+                pass
+            with trace("second"):
+                pass
+        spans = {s.name: s for s in exporter.spans()}
+        assert spans["first"].parent_id == spans["root"].span_id
+        assert spans["second"].parent_id == spans["root"].span_id
+        assert spans["first"].span_id != spans["second"].span_id
+
+    def test_current_span_tracks_innermost(self, exporter):
+        assert current_span() is None
+        with trace("outer"):
+            assert current_span().name == "outer"
+            with trace("inner"):
+                assert current_span().name == "inner"
+            assert current_span().name == "outer"
+        assert current_span() is None
+
+    def test_exception_marks_span_status_and_propagates(self, exporter):
+        with pytest.raises(ValueError):
+            with trace("failing"):
+                raise ValueError("boom")
+        (span,) = exporter.spans()
+        assert span.status == "error:ValueError"
+
+    def test_spans_on_separate_threads_get_separate_stacks(self, exporter):
+        started = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with trace("thread_span"):
+                started.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=worker)
+        with trace("main_span"):
+            thread.start()
+            assert started.wait(timeout=5)
+            # The worker's open span must not become our child/parent.
+            assert current_span().name == "main_span"
+            release.set()
+        thread.join(timeout=5)
+
+        spans = {s.name: s for s in exporter.spans()}
+        assert spans["thread_span"].parent_id is None
+        assert spans["main_span"].parent_id is None
+
+
+class TestEnableDisable:
+    def test_disabled_by_default_records_nothing(self):
+        assert not tracing_enabled()
+        with trace("invisible") as span:
+            assert span is None
+
+    def test_disabled_trace_returns_shared_null_object(self):
+        assert trace("a") is trace("b", k=1)
+
+    def test_attaching_exporter_enables_tracing(self):
+        assert not tracing_enabled()
+        exporter = add_exporter(InMemoryExporter())
+        assert tracing_enabled()
+        remove_exporter(exporter)
+        assert not tracing_enabled()
+
+    def test_set_enabled_forces_on_without_exporters(self):
+        set_enabled(True)
+        assert tracing_enabled()
+        with trace("forced") as span:
+            assert span is not None
+            assert span.name == "forced"
+
+    def test_span_attributes_and_duration(self, exporter):
+        with trace("op", model="m1", k=5) as span:
+            span.set_attribute("extra", True)
+        (finished,) = exporter.spans()
+        assert finished.attributes == {"model": "m1", "k": 5, "extra": True}
+        assert finished.duration >= 0.0
+
+    def test_broken_exporter_does_not_break_traced_code(self, exporter):
+        class Broken(tracing.SpanExporter):
+            def export(self, span):
+                raise RuntimeError("sink down")
+
+        broken = add_exporter(Broken())
+        try:
+            with trace("survives"):
+                pass
+        finally:
+            remove_exporter(broken)
+        assert [s.name for s in exporter.spans()] == ["survives"]
+
+
+class TestTracedDecorator:
+    def test_bare_decorator_uses_qualname(self, exporter):
+        @traced
+        def compute(x):
+            return x * 2
+
+        assert compute(21) == 42
+        (span,) = exporter.spans()
+        assert span.name.endswith("compute")
+
+    def test_named_decorator_with_attributes(self, exporter):
+        @traced("custom.op", backend="flat")
+        def compute():
+            return "ok"
+
+        assert compute() == "ok"
+        (span,) = exporter.spans()
+        assert span.name == "custom.op"
+        assert span.attributes == {"backend": "flat"}
+
+    def test_disabled_decorator_calls_through(self):
+        @traced
+        def compute():
+            return 7
+
+        assert compute() == 7
+
+
+class TestExporters:
+    def test_in_memory_ring_buffer_caps_capacity(self):
+        exporter = add_exporter(InMemoryExporter(capacity=3))
+        for i in range(5):
+            with trace(f"span{i}"):
+                pass
+        names = [s.name for s in exporter.spans()]
+        assert names == ["span2", "span3", "span4"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        exporter = add_exporter(JSONLExporter(str(path)))
+        try:
+            with trace("outer", stage="test"):
+                with trace("inner"):
+                    pass
+        finally:
+            remove_exporter(exporter)
+            exporter.close()
+
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["outer"]["attributes"] == {"stage": "test"}
+        for record in records:
+            assert record["duration"] >= 0.0
+            assert record["status"] == "ok"
+
+    def test_jsonl_export_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JSONLExporter(str(path)) as exporter:
+            add_exporter(exporter)
+            with trace("before_close"):
+                pass
+        # Exporter closed but still attached: spans are dropped, not errors.
+        with trace("after_close"):
+            pass
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["before_close"]

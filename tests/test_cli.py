@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import _resolve, main
 
 
 @pytest.fixture(scope="module")
@@ -61,3 +63,80 @@ class TestCLI:
 
     def test_missing_lake_is_error(self, tmp_path, capsys):
         assert main(["stats", "--dir", str(tmp_path / "void")]) == 2
+
+    def test_ambiguous_model_name_lists_candidates(self, capsys):
+        from repro.errors import AmbiguousModelNameError
+        from repro.lake.lake import ModelLake
+        from repro.nn import TextClassifier
+
+        lake = ModelLake()
+        first = lake.add_model(
+            TextClassifier(50, num_classes=2, dim=4, hidden=(6,), seed=0),
+            name="twin",
+        )
+        second = lake.add_model(
+            TextClassifier(50, num_classes=2, dim=4, hidden=(6,), seed=1),
+            name="twin",
+        )
+        with pytest.raises(AmbiguousModelNameError) as excinfo:
+            _resolve(lake, "twin")
+        message = str(excinfo.value)
+        assert first.model_id in message
+        assert second.model_id in message
+        assert "2 matches" in message
+
+
+class TestObservabilityCLI:
+    def test_stats_json(self, lake_dir, capsys):
+        assert main(["stats", "--dir", lake_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_models"] > 0
+
+    def test_metrics_reports_weight_store_cache_counters(self, lake_dir, capsys):
+        # A search run persists its metrics snapshot into the lake dir...
+        assert main([
+            "search", "--dir", lake_dir, "--query", "legal court", "-k", "2",
+        ]) == 0
+        capsys.readouterr()
+        # ...which `repro metrics` then reports.
+        assert main(["metrics", "--dir", lake_dir]) == 0
+        out = capsys.readouterr().out
+        assert "lake.weight_store.cache_hits" in out
+        assert "lake.weight_store.cache_misses" in out
+        assert "search.queries" in out
+
+    def test_metrics_json_round_trips(self, lake_dir, capsys):
+        assert main(["stats", "--dir", lake_dir]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "--dir", lake_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "counters" in payload["metrics"]
+
+    def test_trace_flag_writes_nested_jsonl_spans(self, lake_dir, tmp_path, capsys):
+        trace_file = str(tmp_path / "trace.jsonl")
+        code = main([
+            "--trace", trace_file,
+            "search", "--dir", lake_dir, "--query", "legal court statute",
+            "--method", "hybrid", "-k", "2",
+        ])
+        assert code == 0
+
+        records = [
+            json.loads(line)
+            for line in open(trace_file).read().splitlines()
+        ]
+        assert records, "trace file must contain spans"
+        by_name = {record["name"]: record for record in records}
+        # One root span for the CLI command; the engine query nests under it.
+        root = by_name["cli.search"]
+        assert root["parent_id"] is None
+        assert by_name["search.query"]["trace_id"] == root["span_id"]
+        span_ids = {record["span_id"] for record in records}
+        for record in records:
+            if record["parent_id"] is not None:
+                assert record["parent_id"] in span_ids
+            assert record["duration"] >= 0.0
+
+    def test_metrics_on_missing_dir_is_error(self, tmp_path, capsys):
+        assert main(["metrics", "--dir", str(tmp_path / "void")]) == 2
+        assert "error:" in capsys.readouterr().err
