@@ -1,0 +1,249 @@
+"""Parallel-generation and index hot-path benchmark.
+
+Measures the three perf claims of the parallel subsystem and writes the
+results to ``BENCH_parallel.json`` at the repo root:
+
+1. **Wave-scheduled generation** — wall time of ``generate_lake`` at
+   ``workers=1`` versus ``workers=N``, with a bit-identity check (same
+   model ids, weight digests, and derivation edges).  The speedup is
+   bounded by the physical core count of the host: on a single-core
+   container the parallel run pays pool overhead and cannot beat
+   sequential, which is why the report records ``cpu_count``.
+2. **Embedding cache** — a cold ``SearchEngine`` build (every model
+   loaded and embedded) versus a warm rebuild from the on-disk cache.
+3. **Vectorized HNSW** — build and query time of the batched-distance
+   search path versus the scalar reference path, plus an id-level
+   parity check.
+
+Usage::
+
+    python benchmarks/bench_parallel.py            # full run
+    python benchmarks/bench_parallel.py --smoke    # quick CI gate
+
+``--smoke`` builds a tiny lake twice (sequential and parallel), asserts
+the digests match, exercises the warm-cache path, and exits non-zero on
+any divergence.  It does not overwrite ``BENCH_parallel.json`` unless
+``--output`` is given explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.search import SearchEngine  # noqa: E402
+from repro.data.probes import make_text_probes  # noqa: E402
+from repro.index import HNSWIndex  # noqa: E402
+from repro.lake.generator import LakeSpec, generate_lake  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+
+FULL_SPEC = dict(
+    num_foundations=8,
+    chains_per_foundation=4,
+    max_chain_depth=2,
+    docs_per_domain=12,
+    eval_docs_per_domain=5,
+    foundation_epochs=4,
+    specialize_epochs=3,
+    num_merges=2,
+    num_stitches=2,
+    seed=17,
+    hidden_history_fraction=0.3,
+    num_lm_foundations=2,
+    lm_chains=1,
+    lm_epochs=1,
+)
+
+SMOKE_SPEC = dict(
+    num_foundations=2,
+    chains_per_foundation=2,
+    max_chain_depth=1,
+    docs_per_domain=8,
+    eval_docs_per_domain=4,
+    foundation_epochs=2,
+    specialize_epochs=2,
+    num_merges=1,
+    num_stitches=1,
+    seed=3,
+    num_lm_foundations=1,
+    lm_chains=1,
+    lm_epochs=1,
+)
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _fingerprint(bundle) -> dict:
+    records = list(bundle.lake)
+    return {
+        "ids": [r.model_id for r in records],
+        "digests": [r.weights_digest for r in records],
+        "edges": [
+            (tuple(parents), child, transform.kind)
+            for parents, child, transform in bundle.truth.edges
+        ],
+    }
+
+
+def _timed_generate(spec_kwargs: dict, workers: int):
+    start = time.perf_counter()
+    bundle = generate_lake(LakeSpec(**spec_kwargs, workers=workers))
+    return bundle, time.perf_counter() - start
+
+
+def bench_generation(spec_kwargs: dict, parallel_workers: int) -> dict:
+    sequential, seq_seconds = _timed_generate(spec_kwargs, workers=1)
+    parallel, par_seconds = _timed_generate(spec_kwargs, workers=parallel_workers)
+    identical = _fingerprint(sequential) == _fingerprint(parallel)
+    return {
+        "models": len(list(sequential.lake)),
+        "sequential_seconds": round(seq_seconds, 3),
+        "parallel_workers": parallel_workers,
+        "parallel_seconds": round(par_seconds, 3),
+        "speedup": round(seq_seconds / par_seconds, 3),
+        "bit_identical": identical,
+        "_bundle": sequential,
+    }
+
+
+def bench_warm_cache(bundle) -> dict:
+    probes = make_text_probes(probes_per_domain=4, seq_len=24)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        SearchEngine(bundle.lake, probes, cache_dir=cache_dir)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        SearchEngine(bundle.lake, probes, cache_dir=cache_dir)
+        warm = time.perf_counter() - start
+    return {
+        "cold_build_seconds": round(cold, 3),
+        "warm_build_seconds": round(warm, 3),
+        "speedup": round(cold / warm, 2),
+    }
+
+
+def bench_hnsw(n: int = 1500, dim: int = 32, num_queries: int = 50) -> dict:
+    rng = np.random.default_rng(21)
+    centers = rng.normal(size=(12, dim)) * 3
+    vectors = centers[rng.integers(12, size=n)] + rng.normal(scale=0.4, size=(n, dim))
+    ids = [f"v{i}" for i in range(n)]
+    queries = vectors[rng.choice(n, num_queries, replace=False)] + rng.normal(
+        scale=0.2, size=(num_queries, dim)
+    )
+
+    timings = {}
+    results = {}
+    for label, vectorized in (("scalar", False), ("vectorized", True)):
+        index = HNSWIndex(m=8, ef_construction=64, ef_search=48, seed=0,
+                          vectorized=vectorized)
+        start = time.perf_counter()
+        index.build(ids, vectors)
+        build = time.perf_counter() - start
+        start = time.perf_counter()
+        hits = [index.query(q, k=10) for q in queries]
+        query = time.perf_counter() - start
+        timings[label] = (build, query)
+        results[label] = [[i for i, _ in per_query] for per_query in hits]
+
+    scalar_build, scalar_query = timings["scalar"]
+    vector_build, vector_query = timings["vectorized"]
+    return {
+        "indexed_vectors": n,
+        "queries": num_queries,
+        "scalar_build_seconds": round(scalar_build, 3),
+        "vectorized_build_seconds": round(vector_build, 3),
+        "build_speedup": round(scalar_build / vector_build, 2),
+        "scalar_query_us": round(scalar_query / num_queries * 1e6, 1),
+        "vectorized_query_us": round(vector_query / num_queries * 1e6, 1),
+        "query_speedup": round(scalar_query / vector_query, 2),
+        "same_ids": results["scalar"] == results["vectorized"],
+    }
+
+
+def run(smoke: bool, output: str | None) -> int:
+    cpus = _cpu_count()
+    spec_kwargs = SMOKE_SPEC if smoke else FULL_SPEC
+    parallel_workers = 2 if smoke else min(4, max(2, cpus))
+
+    print(f"[bench_parallel] mode={'smoke' if smoke else 'full'} cpus={cpus}")
+    generation = bench_generation(spec_kwargs, parallel_workers)
+    bundle = generation.pop("_bundle")
+    print(
+        f"[bench_parallel] generation: {generation['models']} models, "
+        f"seq {generation['sequential_seconds']}s, "
+        f"x{parallel_workers} {generation['parallel_seconds']}s, "
+        f"identical={generation['bit_identical']}"
+    )
+    if not generation["bit_identical"]:
+        print("[bench_parallel] FAIL: parallel lake diverged from sequential")
+        return 1
+
+    warm = bench_warm_cache(bundle)
+    print(
+        f"[bench_parallel] cache: cold {warm['cold_build_seconds']}s, "
+        f"warm {warm['warm_build_seconds']}s ({warm['speedup']}x)"
+    )
+
+    report = {
+        "mode": "smoke" if smoke else "full",
+        "cpu_count": cpus,
+        "generation": generation,
+        "warm_cache": warm,
+        "notes": [
+            "Generation speedup is bounded by physical cores: on a "
+            f"{cpus}-core host the parallel run mostly measures pool "
+            "overhead; >=2x requires >=4 cores.",
+            "bit_identical compares model ids, weight digests, and "
+            "derivation edges between workers=1 and the parallel run.",
+        ],
+    }
+    if not smoke:
+        hnsw = bench_hnsw()
+        print(
+            f"[bench_parallel] hnsw query: scalar {hnsw['scalar_query_us']}us, "
+            f"vectorized {hnsw['vectorized_query_us']}us "
+            f"({hnsw['query_speedup']}x), same_ids={hnsw['same_ids']}"
+        )
+        report["hnsw"] = hnsw
+        if not hnsw["same_ids"]:
+            print("[bench_parallel] FAIL: vectorized HNSW returned different ids")
+            return 1
+
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"[bench_parallel] wrote {output}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick determinism gate for CI (tiny lake)")
+    parser.add_argument("--output", default=None,
+                        help=f"report path (full mode defaults to {DEFAULT_OUTPUT})")
+    args = parser.parse_args()
+    output = args.output
+    if output is None and not args.smoke:
+        output = DEFAULT_OUTPUT
+    return run(smoke=args.smoke, output=output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

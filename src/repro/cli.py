@@ -82,6 +82,11 @@ def _persist_metrics(directory: Optional[str], command: str) -> None:
         json.dump(payload, handle, indent=1, sort_keys=True, default=str)
 
 
+def _cache_dir(lake_dir: str) -> str:
+    """Embedding-cache location for a persisted lake."""
+    return os.path.join(lake_dir, "cache")
+
+
 def _cmd_generate(args) -> int:
     spec = LakeSpec(
         num_foundations=args.foundations,
@@ -91,8 +96,12 @@ def _cmd_generate(args) -> int:
         seed=args.seed,
         num_lm_foundations=args.lm_foundations,
         opaque_names=args.opaque_names,
+        workers=args.workers,
     )
-    print(f"generating lake (seed={args.seed}) ...", file=sys.stderr)
+    print(
+        f"generating lake (seed={args.seed}, workers={args.workers}) ...",
+        file=sys.stderr,
+    )
     bundle = generate_lake(spec)
     save_lake(bundle.lake, args.dir)
     print(f"saved {bundle.num_models} models to {args.dir}")
@@ -109,7 +118,7 @@ def _cmd_stats(args) -> int:
 
 def _cmd_search(args) -> int:
     lake = load_lake(args.dir)
-    engine = SearchEngine(lake, make_text_probes())
+    engine = SearchEngine(lake, make_text_probes(), cache_dir=_cache_dir(args.dir))
     hits = engine.search(args.query, k=args.k, method=args.method)
     if not hits:
         print("no results")
@@ -122,7 +131,7 @@ def _cmd_search(args) -> int:
 
 def _cmd_query(args) -> int:
     lake = load_lake(args.dir)
-    engine = SearchEngine(lake, make_text_probes())
+    engine = SearchEngine(lake, make_text_probes(), cache_dir=_cache_dir(args.dir))
     hits = execute_query(engine, args.q)
     for rank, hit in enumerate(hits, start=1):
         record = lake.get_record(hit.model_id)
@@ -228,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--docs", type=int, default=18)
     generate.add_argument("--lm-foundations", type=int, default=0)
     generate.add_argument("--opaque-names", action="store_true")
+    generate.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel training workers (result is identical for any value)",
+    )
     generate.set_defaults(func=_cmd_generate)
 
     stats = sub.add_parser("stats", help="lake statistics")

@@ -22,6 +22,7 @@ import numpy as np
 from repro.data.domains import DOMAIN_NAMES, domain_index, get_domain
 from repro.data.probes import ProbeSet
 from repro.errors import ConfigError
+from repro.index.cache import EmbeddingCache
 from repro.index.embedders import BehavioralEmbedder, l2_normalize
 from repro.index.flat import FlatIndex
 from repro.lake.lake import ModelLake
@@ -85,9 +86,20 @@ class BehavioralSearcher:
     ``index_backend`` selects the ANN structure: ``"flat"`` (exact, the
     default at laptop scale) or ``"hnsw"`` (sublinear, the §5 indexer for
     large lakes).
+
+    Profiles are computed in one batch and fed to the index's bulk
+    ``build``; a :class:`~repro.index.cache.EmbeddingCache` (keyed by
+    weight-store digest) lets warm rebuilds skip model loading and
+    probing entirely.
     """
 
-    def __init__(self, lake: ModelLake, probes: ProbeSet, index_backend: str = "flat"):
+    def __init__(
+        self,
+        lake: ModelLake,
+        probes: ProbeSet,
+        index_backend: str = "flat",
+        cache: Optional[EmbeddingCache] = None,
+    ):
         self.lake = lake
         self.probes = probes
         self.embedder = BehavioralEmbedder(probes)
@@ -103,11 +115,24 @@ class BehavioralSearcher:
             )
         self.index_backend = index_backend
         self._profiles: Dict[str, np.ndarray] = {}
+        space = self.embedder.space_key
+        ids: List[str] = []
+        vectors: List[np.ndarray] = []
         for record in lake:
-            model = lake.get_model(record.model_id, force=True)
-            vector = self.embedder.embed(model)
+            vector = (
+                cache.get(space, record.weights_digest)
+                if cache is not None else None
+            )
+            if vector is None:
+                model = lake.get_model(record.model_id, force=True)
+                vector = self.embedder.embed(model)
+                if cache is not None:
+                    cache.put(space, record.weights_digest, vector)
             self._profiles[record.model_id] = vector
-            self._index.add(record.model_id, vector)
+            ids.append(record.model_id)
+            vectors.append(vector)
+        if ids:
+            self._index.build(ids, np.stack(vectors))
 
     @property
     def index(self):

@@ -27,6 +27,7 @@ from repro.core.search.keyword import BM25Index, build_card_index
 from repro.data.datasets import TextDataset
 from repro.data.probes import ProbeSet, make_text_probes
 from repro.errors import ConfigError, ModelNotFoundError
+from repro.index.cache import EmbeddingCache
 from repro.index.embedders import WeightStatEmbedder
 from repro.index.flat import FlatIndex
 from repro.lake.lake import ModelLake
@@ -69,6 +70,12 @@ class SearchEngine:
     The engine indexes at construction time; re-create it after lake
     mutations (real deployments would index incrementally — see
     :mod:`repro.core.benchmarking.lifelong` for the incremental story).
+
+    ``cache_dir`` (conventionally ``<lake>/cache/``) enables the
+    persistent embedding cache: rebuilds against unchanged weights skip
+    model rehydration and embedding, loading vectors by weight digest
+    instead.  Pass an :class:`EmbeddingCache` via ``cache`` to share one
+    across engines (``cache_dir`` is then ignored).
     """
 
     def __init__(
@@ -77,24 +84,43 @@ class SearchEngine:
         probes: Optional[ProbeSet] = None,
         hybrid_alpha: float = 0.5,
         index_backend: str = "flat",
+        cache_dir: Optional[str] = None,
+        cache: Optional[EmbeddingCache] = None,
     ):
         if not 0.0 <= hybrid_alpha <= 1.0:
             raise ConfigError(f"hybrid_alpha must be in [0, 1], got {hybrid_alpha}")
         self.lake = lake
         self.probes = probes or make_text_probes()
         self.hybrid_alpha = hybrid_alpha
+        if cache is None and cache_dir is not None:
+            cache = EmbeddingCache(cache_dir)
+        self.cache = cache
         with trace("search.engine.build", models=len(lake), backend=index_backend):
             self.keyword_index: BM25Index = build_card_index(lake)
             self.behavioral: BehavioralSearcher = BehavioralSearcher(
-                lake, self.probes, index_backend=index_backend
+                lake, self.probes, index_backend=index_backend, cache=cache
             )
             self._weight_embedder = WeightStatEmbedder()
             self._weight_index = FlatIndex()
+            space = self._weight_embedder.space_key
+            ids: List[str] = []
+            vectors: List[np.ndarray] = []
             for record in lake:
-                model = lake.get_model(record.model_id, force=True)
-                self._weight_index.add(
-                    record.model_id, self._weight_embedder.embed(model)
+                vector = (
+                    cache.get(space, record.weights_digest)
+                    if cache is not None else None
                 )
+                if vector is None:
+                    model = lake.get_model(record.model_id, force=True)
+                    vector = self._weight_embedder.embed(model)
+                    if cache is not None:
+                        cache.put(space, record.weights_digest, vector)
+                ids.append(record.model_id)
+                vectors.append(vector)
+            if ids:
+                self._weight_index.build(ids, np.stack(vectors))
+            if cache is not None:
+                cache.flush()
         obs_metrics.inc(SEARCH_ENGINE_BUILDS)
         _log.debug("engine.built", models=len(lake), backend=index_backend)
 

@@ -1,5 +1,6 @@
 """Embedders and nearest-neighbor indexes over model embeddings."""
 
+from repro.index.cache import EmbeddingCache
 from repro.index.embedders import (
     BehavioralEmbedder,
     ConcatEmbedder,
@@ -15,8 +16,8 @@ from repro.index.hybrid import HybridIndex
 from repro.index.metrics import measure_recall, recall_at_k
 
 __all__ = [
-    "BehavioralEmbedder", "ConcatEmbedder", "MetadataEmbedder",
-    "OutputEmbedder", "WeightStatEmbedder", "l2_normalize",
-    "FlatIndex", "HNSWIndex", "LSHIndex", "HybridIndex",
+    "BehavioralEmbedder", "ConcatEmbedder", "EmbeddingCache",
+    "MetadataEmbedder", "OutputEmbedder", "WeightStatEmbedder",
+    "l2_normalize", "FlatIndex", "HNSWIndex", "LSHIndex", "HybridIndex",
     "measure_recall", "recall_at_k",
 ]

@@ -1,0 +1,100 @@
+"""Persistent embedding cache keyed by weight-store content digests.
+
+Embedding a model means rehydrating its weights and running probes or
+SVDs over them — by far the most expensive part of building a
+:class:`~repro.core.search.engine.SearchEngine`.  But an embedding is a
+pure function of (embedder identity, model weights), and the weight
+store already names every parameter set by content digest.  So the cache
+key is ``(space, weights_digest)`` where *space* encodes the embedder
+and its configuration; any model whose digest is cached skips
+rehydration and embedding entirely.
+
+On disk each space is one ``.npz`` under the cache directory
+(conventionally ``<lake>/cache/``) mapping digests to vectors, so warm
+rebuilds across processes cost one file read.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import EMBED_CACHE_HITS, EMBED_CACHE_MISSES
+from repro.obs.logging import get_logger
+
+_log = get_logger("index.embed_cache")
+
+
+class EmbeddingCache:
+    """Two-level (memory + optional directory) embedding cache.
+
+    ``directory=None`` keeps the cache purely in-memory, which still
+    dedups embeddings within a process; with a directory, spaces are
+    persisted as ``embeddings-<space>.npz`` and survive across runs.
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        self._directory = directory
+        self._spaces: Dict[str, Dict[str, np.ndarray]] = {}
+        self._dirty: Set[str] = set()
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, space: str) -> str:
+        assert self._directory is not None
+        return os.path.join(self._directory, f"embeddings-{space}.npz")
+
+    def _load_space(self, space: str) -> Dict[str, np.ndarray]:
+        vectors = self._spaces.get(space)
+        if vectors is not None:
+            return vectors
+        vectors = {}
+        if self._directory is not None and os.path.exists(self._path(space)):
+            with np.load(self._path(space)) as archive:
+                vectors = {digest: archive[digest] for digest in archive.files}
+            _log.debug("space.loaded", space=space, entries=len(vectors))
+        self._spaces[space] = vectors
+        return vectors
+
+    # ------------------------------------------------------------------
+    def get(self, space: str, digest: str) -> Optional[np.ndarray]:
+        """Cached embedding for ``digest`` in ``space``, or None."""
+        vector = self._load_space(space).get(digest)
+        if vector is None:
+            obs_metrics.inc(EMBED_CACHE_MISSES)
+            return None
+        obs_metrics.inc(EMBED_CACHE_HITS)
+        return vector
+
+    def put(self, space: str, digest: str, vector: np.ndarray) -> None:
+        self._load_space(space)[digest] = np.asarray(vector, dtype=np.float64)
+        self._dirty.add(space)
+
+    def __len__(self) -> int:
+        return sum(len(vectors) for vectors in self._spaces.values())
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Persist dirty spaces to disk (atomic per space); no-op in memory mode."""
+        if self._directory is None:
+            self._dirty.clear()
+            return
+        for space in sorted(self._dirty):
+            vectors = self._spaces[space]
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self._directory, suffix=".npz.tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(handle, **vectors)
+                os.replace(tmp_path, self._path(space))
+            finally:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+            _log.debug("space.flushed", space=space, entries=len(vectors))
+        self._dirty.clear()

@@ -27,7 +27,7 @@ from repro.data.domains import domain_index
 from repro.errors import ConfigError
 from repro.lake.card import ModelCard
 from repro.nn.module import Module
-from repro.utils.hashing import text_digest
+from repro.utils.hashing import array_digest, text_digest
 from repro.utils.text import simple_tokenize
 
 
@@ -39,7 +39,20 @@ def l2_normalize(vector: np.ndarray) -> np.ndarray:
     return vector / norm
 
 
-class BehavioralEmbedder:
+class _BatchEmbedMixin:
+    """Shared batch path: embed many models into one matrix.
+
+    The matrix feeds ``FlatIndex.build`` (one vectorized normalize +
+    assignment) instead of per-model ``add`` calls.
+    """
+
+    def embed_all(self, models: Sequence[Module]) -> np.ndarray:
+        if not models:
+            return np.zeros((0, getattr(self, "dim", 0)))
+        return np.stack([self.embed(model) for model in models])
+
+
+class BehavioralEmbedder(_BatchEmbedMixin):
     """Competence profile over a shared probe set.
 
     For classifier-style models (anything exposing ``predict_proba``),
@@ -54,6 +67,11 @@ class BehavioralEmbedder:
     def __init__(self, probes: ProbeSet):
         self.probes = probes
         self.dim = probes.num_probes
+
+    @property
+    def space_key(self) -> str:
+        """Embedding-cache space: ties cached vectors to this probe set."""
+        return f"behavioral-{array_digest(self.probes.tokens, length=12)}"
 
     def embed(self, model: Module) -> np.ndarray:
         if hasattr(model, "predict_proba"):
@@ -100,7 +118,7 @@ class OutputEmbedder:
         return l2_normalize(model.predict_proba(self.probes.tokens).ravel())
 
 
-class WeightStatEmbedder:
+class WeightStatEmbedder(_BatchEmbedMixin):
     """Fixed-dimension intrinsic embedding from parameter statistics.
 
     Cross-architecture comparable: global weight quantiles, moments,
@@ -115,6 +133,11 @@ class WeightStatEmbedder:
     def __init__(self, num_singular: int = 4):
         self.num_singular = num_singular
         self.dim = len(self.QUANTILES) + 6 + num_singular
+
+    @property
+    def space_key(self) -> str:
+        """Embedding-cache space: ties cached vectors to this config."""
+        return f"weightstat-s{self.num_singular}"
 
     def embed(self, model: Module) -> np.ndarray:
         state = model.state_dict()

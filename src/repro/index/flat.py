@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -15,28 +15,51 @@ class FlatIndex:
 
     Serves both as a usable small-lake index and as the ground truth
     against which approximate indexes (HNSW, LSH) are measured.
+
+    Incremental ``add`` calls buffer rows and materialize the matrix
+    lazily (one stack per query burst instead of one copy per add);
+    ``build`` ingests a whole batch in a single vectorized pass.
     """
 
     def __init__(self) -> None:
         self._ids: List[str] = []
         self._vectors: Optional[np.ndarray] = None
+        self._pending: List[np.ndarray] = []
+        self._id_to_row: Dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._ids)
 
+    def _dim(self) -> Optional[int]:
+        if self._vectors is not None:
+            return self._vectors.shape[1]
+        if self._pending:
+            return self._pending[0].shape[0]
+        return None
+
     def add(self, item_id: str, vector: np.ndarray) -> None:
         vector = l2_normalize(np.asarray(vector, dtype=np.float64))
-        if self._vectors is None:
-            self._vectors = vector[None, :]
-        else:
-            if vector.shape[0] != self._vectors.shape[1]:
-                raise IndexError_(
-                    f"vector dim {vector.shape[0]} != index dim {self._vectors.shape[1]}"
-                )
-            self._vectors = np.vstack([self._vectors, vector])
+        dim = self._dim()
+        if dim is not None and vector.shape[0] != dim:
+            raise IndexError_(
+                f"vector dim {vector.shape[0]} != index dim {dim}"
+            )
+        self._pending.append(vector)
+        self._id_to_row.setdefault(item_id, len(self._ids))
         self._ids.append(item_id)
 
+    def _materialize(self) -> None:
+        if not self._pending:
+            return
+        block = np.stack(self._pending)
+        self._vectors = (
+            block if self._vectors is None
+            else np.concatenate([self._vectors, block])
+        )
+        self._pending = []
+
     def build(self, ids: Sequence[str], vectors: np.ndarray) -> None:
+        """Replace the index contents with a whole batch at once."""
         vectors = np.asarray(vectors, dtype=np.float64)
         if len(ids) != len(vectors):
             raise IndexError_(f"{len(ids)} ids but {len(vectors)} vectors")
@@ -44,9 +67,14 @@ class FlatIndex:
         norms[norms < 1e-12] = 1.0
         self._vectors = vectors / norms
         self._ids = list(ids)
+        self._pending = []
+        self._id_to_row = {}
+        for row, item_id in enumerate(self._ids):
+            self._id_to_row.setdefault(item_id, row)
 
     def query(self, vector: np.ndarray, k: int = 10) -> List[Tuple[str, float]]:
         """Top-k (id, cosine similarity) pairs, best first."""
+        self._materialize()
         if self._vectors is None or not len(self._ids):
             return []
         vector = l2_normalize(np.asarray(vector, dtype=np.float64))
@@ -57,9 +85,9 @@ class FlatIndex:
         return [(self._ids[i], float(similarities[i])) for i in top]
 
     def vector_of(self, item_id: str) -> np.ndarray:
-        try:
-            index = self._ids.index(item_id)
-        except ValueError:
-            raise IndexError_(f"id not in index: {item_id!r}") from None
+        row = self._id_to_row.get(item_id)
+        if row is None:
+            raise IndexError_(f"id not in index: {item_id!r}")
+        self._materialize()
         assert self._vectors is not None
-        return self._vectors[index]
+        return self._vectors[row]

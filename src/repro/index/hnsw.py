@@ -7,6 +7,10 @@ under-explored" — so we build it and measure its recall/latency
 trade-offs ourselves (benchmark E5).
 
 Distances are cosine distances (vectors are normalized on insert).
+Vectors live in one contiguous matrix, so each beam expansion scores all
+of a node's unvisited neighbors with a single matrix-vector product; the
+original one-distance-at-a-time path is kept behind ``vectorized=False``
+and the two are verified equivalent by the test suite.
 """
 
 from __future__ import annotations
@@ -41,6 +45,10 @@ class HNSWIndex:
         Default candidate-list width during queries (>= k for good recall).
     seed:
         Level-sampling RNG seed (levels follow Geom(1/ln m)).
+    vectorized:
+        Score neighbor batches with one matrix op per beam expansion
+        (default).  ``False`` selects the scalar reference path, which
+        visits nodes in the same order and returns the same results.
     """
 
     def __init__(
@@ -49,6 +57,7 @@ class HNSWIndex:
         ef_construction: int = 64,
         ef_search: int = 32,
         seed: int = 0,
+        vectorized: bool = True,
     ):
         if m < 2:
             raise ConfigError(f"m must be >= 2, got {m}")
@@ -58,12 +67,15 @@ class HNSWIndex:
         self.m0 = 2 * m
         self.ef_construction = ef_construction
         self.ef_search = ef_search
+        self.vectorized = vectorized
         self._ml = 1.0 / math.log(m)
         self._rng = np.random.default_rng(seed)
 
         self._ids: List[str] = []
         self._id_to_index: Dict[str, int] = {}
-        self._vectors: List[np.ndarray] = []
+        #: All vectors, row-per-node, grown geometrically.
+        self._matrix: np.ndarray = np.empty((0, 0), dtype=np.float64)
+        self._count = 0
         #: neighbors[layer][node] -> list of neighbor node indices
         self._neighbors: List[Dict[int, List[int]]] = []
         self._entry_point: Optional[int] = None
@@ -80,9 +92,30 @@ class HNSWIndex:
     def distance_computations(self) -> int:
         return self._distance_count
 
+    def _append_vector(self, vector: np.ndarray) -> None:
+        if self._matrix.shape[1] != vector.shape[0]:
+            if self._count:
+                raise IndexError_(
+                    f"vector dim {vector.shape[0]} != index dim {self._matrix.shape[1]}"
+                )
+            self._matrix = np.empty((4, vector.shape[0]), dtype=np.float64)
+        if self._count == self._matrix.shape[0]:
+            grown = np.empty(
+                (2 * self._matrix.shape[0], self._matrix.shape[1]), dtype=np.float64
+            )
+            grown[: self._count] = self._matrix[: self._count]
+            self._matrix = grown
+        self._matrix[self._count] = vector
+        self._count += 1
+
     def _distance(self, a: int, query: np.ndarray) -> float:
         self._distance_count += 1
-        return 1.0 - float(self._vectors[a] @ query)
+        return 1.0 - float(self._matrix[a] @ query)
+
+    def _batch_distances(self, nodes: List[int], query: np.ndarray) -> np.ndarray:
+        """All cosine distances node->query in one matrix-vector product."""
+        self._distance_count += len(nodes)
+        return 1.0 - self._matrix[nodes] @ query
 
     def _sample_level(self) -> int:
         return int(-math.log(max(self._rng.random(), 1e-12)) * self._ml)
@@ -103,7 +136,7 @@ class HNSWIndex:
         node = len(self._ids)
         self._ids.append(item_id)
         self._id_to_index[item_id] = node
-        self._vectors.append(vector)
+        self._append_vector(vector)
 
         level = self._sample_level()
         old_max = self._max_layer
@@ -135,12 +168,16 @@ class HNSWIndex:
                 if len(links) > max_degree:
                     # Prune with the same diversity heuristic, relative to
                     # the over-full neighbor.
-                    neighbor_vec = self._vectors[neighbor]
-                    self._distance_count += len(links)
-                    scored = sorted(
-                        (1.0 - float(self._vectors[other] @ neighbor_vec), other)
-                        for other in links
-                    )
+                    neighbor_vec = self._matrix[neighbor]
+                    if self.vectorized:
+                        link_dists = self._batch_distances(links, neighbor_vec)
+                        scored = sorted(zip((float(d) for d in link_dists), links))
+                    else:
+                        self._distance_count += len(links)
+                        scored = sorted(
+                            (1.0 - float(self._matrix[other] @ neighbor_vec), other)
+                            for other in links
+                        )
                     kept = self._select_neighbors(scored, max_degree)
                     self._neighbors[layer][neighbor] = [o for _, o in kept]
             entry = selected[0][1] if selected else entry
@@ -158,6 +195,16 @@ class HNSWIndex:
         """Greedy search: move to the closest neighbor until no improvement."""
         current = entry
         current_dist = self._distance(current, query)
+        if self.vectorized:
+            while True:
+                neighbors = self._neighbors[layer].get(current, [])
+                if not neighbors:
+                    return current
+                dists = self._batch_distances(neighbors, query)
+                best = int(np.argmin(dists))
+                if float(dists[best]) >= current_dist:
+                    return current
+                current, current_dist = neighbors[best], float(dists[best])
         improved = True
         while improved:
             improved = False
@@ -171,7 +218,13 @@ class HNSWIndex:
     def _search_layer(
         self, query: np.ndarray, entries: Sequence[int], layer: int, ef: int
     ) -> List[Tuple[float, int]]:
-        """Best-first beam search on one layer; returns sorted (dist, node)."""
+        """Best-first beam search on one layer; returns sorted (dist, node).
+
+        The vectorized path batches each expansion's unvisited-neighbor
+        distances into one matrix op, then runs the identical heap logic
+        over the precomputed values, so both paths visit and return the
+        same nodes in the same order.
+        """
         visited: Set[int] = set(entries)
         candidates: List[Tuple[float, int]] = []
         results: List[Tuple[float, int]] = []  # max-heap via negative dist
@@ -184,11 +237,21 @@ class HNSWIndex:
             worst = -results[0][0]
             if dist > worst and len(results) >= ef:
                 break
+            fresh: List[int] = []
             for neighbor in self._neighbors[layer].get(node, []):
-                if neighbor in visited:
-                    continue
-                visited.add(neighbor)
-                neighbor_dist = self._distance(neighbor, query)
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    fresh.append(neighbor)
+            if not fresh:
+                continue
+            if self.vectorized:
+                fresh_dists = self._batch_distances(fresh, query)
+            else:
+                fresh_dists = np.array(
+                    [self._distance(neighbor, query) for neighbor in fresh]
+                )
+            for neighbor, neighbor_dist in zip(fresh, fresh_dists):
+                neighbor_dist = float(neighbor_dist)
                 worst = -results[0][0]
                 if len(results) < ef or neighbor_dist < worst:
                     heapq.heappush(candidates, (neighbor_dist, neighbor))
@@ -213,9 +276,9 @@ class HNSWIndex:
         for dist, node in candidates:
             if len(selected) >= m:
                 break
-            vec = self._vectors[node]
+            vec = self._matrix[node]
             diverse = all(
-                dist < 1.0 - float(vec @ self._vectors[other])
+                dist < 1.0 - float(vec @ self._matrix[other])
                 for _, other in selected
             )
             if diverse:

@@ -11,12 +11,21 @@ multi-domain corpus (general features), then derivation chains
 specialize them — fine-tunes, LoRA adapters, preference tunes, edits,
 pruned/quantized releases, distilled students, merges, stitches —
 mirroring how real hubs are populated.
+
+Generation is wave-scheduled (``LakeSpec.workers``): a sequential
+*planning* pass makes every shared-RNG decision (chain depths, transform
+kinds, edit targets, hidden-history flags, model names) in the exact
+order the models will be registered, then the resulting task DAG is
+leveled into waves of independent training jobs executed by
+:class:`repro.parallel.WaveExecutor`.  Results are registered in
+canonical plan order, so a lake built with ``workers=N`` is bit-identical
+— same model ids, weight digests, edges, clock values — to ``workers=1``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,28 +38,37 @@ from repro.errors import ConfigError
 from repro.lake.card import ModelCard
 from repro.lake.lake import ModelLake
 from repro.lake.record import ModelHistory, ModelRecord
-from repro.nn.models import TextClassifier
+from repro.lake.waves import (
+    ChainStep,
+    ChainTask,
+    FoundationTask,
+    LMChainTask,
+    LMFoundationTask,
+    MergeTask,
+    ModelResult,
+    StitchTask,
+    WorkerContext,
+    domain_accuracy,
+    init_context,
+    lm_likelihoods,
+    run_task,
+)
+from repro.nn.models import build_model
 from repro.nn.module import Module
-from repro.nn.train import evaluate_accuracy, train_classifier
 from repro.obs import metrics as obs_metrics
 from repro.obs.instrument import LAKE_GENERATED_MODELS
 from repro.obs.logging import get_logger
 from repro.obs.tracing import trace
-from repro.transforms import (
-    TransformRecord,
-    distill_classifier,
-    edit_classifier,
-    finetune_classifier,
-    lora_adapt_classifier,
-    merge_models,
-    preference_tune,
-    prune_model,
-    quantize_model,
-    stitch_classifiers,
-)
+from repro.parallel import WaveExecutor, topological_waves
+from repro.transforms import TransformRecord
 from repro.utils.rng import derive_rng
 
 _log = get_logger("lake.generator")
+
+#: Backwards-compatible aliases; the implementations live with the
+#: worker tasks so pool workers can score models without this module.
+_domain_accuracy = domain_accuracy
+_lm_likelihoods = lm_likelihoods
 
 #: Default probability mix over chain transforms.
 DEFAULT_TRANSFORM_MIX: Dict[str, float] = {
@@ -62,6 +80,9 @@ DEFAULT_TRANSFORM_MIX: Dict[str, float] = {
     "quantize": 0.05,
     "distill": 0.10,
 }
+
+#: Chain transforms that train on a specialty dataset.
+_DATA_KINDS = ("finetune", "lora", "preference", "distill")
 
 #: Architecture variety cycled across foundations.
 _ARCH_CYCLE: Tuple[Tuple[int, Tuple[int, ...]], ...] = (
@@ -103,6 +124,10 @@ class LakeSpec:
     num_lm_foundations: int = 0
     lm_chains: int = 2
     lm_epochs: int = 3
+    #: Degree of parallelism for model training.  ``1`` runs inline;
+    #: ``N > 1`` trains each wave of independent models across N worker
+    #: processes.  The generated lake is bit-identical either way.
+    workers: int = 1
 
     def validate(self) -> None:
         if self.num_foundations <= 0:
@@ -113,6 +138,8 @@ class LakeSpec:
             raise ConfigError("transform_mix weights must be non-negative")
         if not 0.0 <= self.hidden_history_fraction <= 1.0:
             raise ConfigError("hidden_history_fraction must be in [0, 1]")
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
 
 
 @dataclass
@@ -169,6 +196,39 @@ class GeneratedLake:
         return len(self.lake)
 
 
+@dataclass
+class _PlannedModel:
+    """Registration metadata for one model slot, fixed at plan time.
+
+    Slots are ordered canonically (foundations, chains, LM models); every
+    decision that feeds a model id, name, or hidden flag is made here,
+    before any training runs, which is what makes registration
+    independent of execution order.
+    """
+
+    task_key: Hashable
+    result_index: int
+    name: str
+    domains: Tuple[str, ...]
+    dataset: Optional[TextDataset]
+    parent_slots: Tuple[int, ...]
+    specialty: Optional[str]
+    hidden: bool
+    is_foundation: bool
+
+
+@dataclass
+class _GenerationPlan:
+    """Task DAG plus per-model registration metadata."""
+
+    tasks: Dict[Hashable, object] = field(default_factory=dict)
+    dependencies: Dict[Hashable, List[Hashable]] = field(default_factory=dict)
+    slots: List[_PlannedModel] = field(default_factory=list)
+    #: Chain tasks need their parent's trained weights, which only exist
+    #: after the foundation wave; maps task key -> foundation task key.
+    parent_of: Dict[Hashable, Hashable] = field(default_factory=dict)
+
+
 def _truthful_card(
     name: str,
     family: str,
@@ -214,41 +274,6 @@ def _truthful_card(
     )
 
 
-def _domain_accuracy(model: Module, eval_set: TextDataset) -> Dict[str, float]:
-    """Held-out per-domain competence score in [0, 1].
-
-    Classifiers: accuracy.  Language models: mean per-token likelihood
-    ``exp(-NLL)`` of the domain's held-out documents — the LM analogue of
-    "how well does this model handle this domain's text".
-    """
-    domains = np.asarray(eval_set.domains)
-    if hasattr(model, "predict"):
-        predictions = model.predict(eval_set.tokens)
-        per_example = (predictions == eval_set.labels).astype(np.float64)
-    else:
-        per_example = _lm_likelihoods(model, eval_set.tokens)
-    return {
-        domain: float(per_example[domains == domain].mean())
-        for domain in sorted(set(eval_set.domains))
-    }
-
-
-def _lm_likelihoods(model: Module, tokens: np.ndarray) -> np.ndarray:
-    """Per-document mean next-token likelihood exp(-NLL) for an LM."""
-    logits = model(tokens).data
-    shifted = logits - logits.max(axis=-1, keepdims=True)
-    log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
-    scores = np.zeros(len(tokens))
-    for i, row in enumerate(tokens):
-        positions = np.where(row > 0)[0]
-        if len(positions) < 2:
-            continue
-        steps = positions[:-1]
-        nll = -log_probs[i, steps, row[steps + 1]].mean()
-        scores[i] = float(np.exp(-nll))
-    return scores
-
-
 class LakeGenerator:
     """Builds a :class:`GeneratedLake` according to a :class:`LakeSpec`."""
 
@@ -267,9 +292,11 @@ class LakeGenerator:
         parents: Tuple[str, ...],
         transform: Optional[TransformRecord],
         specialty: Optional[str],
-        rng: np.random.Generator,
+        hidden: bool,
+        accuracy: Optional[Dict[str, float]] = None,
     ) -> ModelRecord:
-        accuracy = _domain_accuracy(model, bundle.eval_dataset)
+        if accuracy is None:
+            accuracy = domain_accuracy(model, bundle.eval_dataset)
         overall = float(np.mean(list(accuracy.values())))
         metrics = {f"acc_{d}": v for d, v in accuracy.items()}
         metrics["acc_overall"] = overall
@@ -294,7 +321,6 @@ class LakeGenerator:
             algorithm=transform.kind if transform is not None else "train_from_scratch",
             seed=self.spec.seed,
         )
-        hidden = rng.random() < self.spec.hidden_history_fraction
         record = bundle.lake.add_model(
             model,
             name=name,
@@ -345,15 +371,30 @@ class LakeGenerator:
         bundle.lake.datasets.register(sampled, derivation2)
         return sampled
 
+    @staticmethod
+    def _model_from(result: ModelResult) -> Module:
+        """Live model when inline execution kept it, else rehydrate."""
+        if result.model is not None:
+            return result.model
+        model = build_model(dict(result.architecture))
+        model.load_state_dict(result.state)
+        model.eval()
+        return model
+
     # -- main ------------------------------------------------------------
     def generate(self) -> GeneratedLake:
-        """Generate the lake; deterministic in ``spec.seed``."""
-        with trace("lake.generate", seed=self.spec.seed):
+        """Generate the lake; deterministic in ``spec.seed``.
+
+        The result does not depend on ``spec.workers``: parallel runs are
+        bit-identical to sequential ones.
+        """
+        with trace("lake.generate", seed=self.spec.seed, workers=self.spec.workers):
             bundle = self._generate()
         _log.info(
             "lake.generated",
             models=bundle.num_models,
             seed=self.spec.seed,
+            workers=self.spec.workers,
             foundations=len(bundle.truth.foundations),
         )
         return bundle
@@ -362,8 +403,6 @@ class LakeGenerator:
         spec = self.spec
         rng = derive_rng(spec.seed, "lake_generator")
         tokenizer = Tokenizer(build_default_vocabulary())
-        vocab_size = tokenizer.vocab_size
-        num_classes = len(DOMAIN_NAMES)
 
         base_dataset = make_domain_dataset(
             list(spec.domains),
@@ -392,35 +431,55 @@ class LakeGenerator:
             eval_dataset=eval_dataset,
         )
 
+        plan = self._plan(bundle, rng)
+        context = WorkerContext(
+            base_dataset=base_dataset,
+            eval_dataset=eval_dataset,
+            vocab_size=tokenizer.vocab_size,
+            num_classes=len(DOMAIN_NAMES),
+            keep_models=spec.workers <= 1,
+        )
+        with WaveExecutor(
+            spec.workers, initializer=init_context, initargs=(context,)
+        ) as executor:
+            results = self._execute_plan(plan, executor)
+            foundation_records = self._register_plan(bundle, plan, results)
+            # Merges and stitches are planned adaptively from registered
+            # records (merge pairing needs final architectures), so they
+            # form their own tail wave after canonical registration.
+            self._add_merges(bundle, rng, executor)
+            self._add_stitches(bundle, foundation_records, rng, executor)
+        return bundle
+
+    # -- planning --------------------------------------------------------
+    def _plan(self, bundle: GeneratedLake, rng: np.random.Generator) -> _GenerationPlan:
+        """Make every shared-RNG decision, sequentially, before training.
+
+        Draw order here replicates the registration-time order exactly
+        (one hidden-history draw per model, chain structure draws between
+        them), so the RNG stream — and therefore every downstream id,
+        name, and flag — matches a fully sequential build.
+        """
+        spec = self.spec
+        plan = _GenerationPlan()
+
         # 1. Foundations: broad multi-domain training, varied architectures.
-        foundation_records: List[ModelRecord] = []
         for i in range(spec.num_foundations):
-            dim, hidden = _ARCH_CYCLE[i % len(_ARCH_CYCLE)]
-            model = TextClassifier(
-                vocab_size, num_classes, dim=dim, hidden=hidden,
-                seed=spec.seed * 100 + i,
+            dim, hidden_layers = _ARCH_CYCLE[i % len(_ARCH_CYCLE)]
+            key = ("foundation", i)
+            plan.tasks[key] = FoundationTask(
+                index=i, dim=dim, hidden_layers=hidden_layers,
+                seed=spec.seed * 100 + i, epochs=spec.foundation_epochs,
             )
-            # Train to competence: foundations must be solid generalists,
-            # so keep training (bounded) until train accuracy clears 0.97.
-            with trace("lake.generate.foundation", index=i, dim=dim):
-                for round_index in range(3):
-                    train_classifier(
-                        model, base_dataset.tokens, base_dataset.labels,
-                        epochs=spec.foundation_epochs, lr=5e-3,
-                        seed=spec.seed * 100 + i + round_index,
-                    )
-                    accuracy = evaluate_accuracy(
-                        model, base_dataset.tokens, base_dataset.labels
-                    )
-                    if accuracy >= 0.97:
-                        break
-            record = self._register(
-                bundle, model, name=self._pick_name(f"foundation-{i}"),
-                domains=spec.domains, dataset=base_dataset,
-                parents=(), transform=None, specialty=None, rng=rng,
-            )
-            bundle.truth.foundations.append(record.model_id)
-            foundation_records.append(record)
+            plan.dependencies[key] = []
+            hidden = rng.random() < spec.hidden_history_fraction
+            plan.slots.append(_PlannedModel(
+                task_key=key, result_index=0,
+                name=self._pick_name(f"foundation-{i}"),
+                domains=tuple(spec.domains), dataset=bundle.base_dataset,
+                parent_slots=(), specialty=None, hidden=hidden,
+                is_foundation=True,
+            ))
 
         # 2. Derivation chains off each foundation.
         kinds = sorted(spec.transform_mix)
@@ -428,11 +487,17 @@ class LakeGenerator:
         weights /= weights.sum()
         domain_cycle = list(spec.domains)
         chain_counter = 0
-        for f_index, foundation in enumerate(foundation_records):
+        for f_index in range(spec.num_foundations):
             for c in range(spec.chains_per_foundation):
-                specialty = domain_cycle[(f_index * spec.chains_per_foundation + c) % len(domain_cycle)]
-                parent_record = foundation
-                parent_model = lake.get_model(foundation.model_id, force=True)
+                specialty = domain_cycle[
+                    (f_index * spec.chains_per_foundation + c) % len(domain_cycle)
+                ]
+                key = ("chain", f_index, c)
+                parent_slot = f_index
+                parent_name = plan.slots[f_index].name
+                parent_domains = plan.slots[f_index].domains
+                parent_specialty: Optional[str] = None
+                steps: List[ChainStep] = []
                 depth = 1 + int(rng.integers(spec.max_chain_depth))
                 for level in range(depth):
                     # First hop specializes; later hops are release ops.
@@ -441,145 +506,101 @@ class LakeGenerator:
                     else:
                         kind = str(rng.choice(["prune", "quantize", "finetune"]))
                     chain_counter += 1
-                    with trace(
-                        "lake.generate.transform",
-                        kind=kind, parent=parent_record.name, level=level,
-                    ):
-                        child_model, child_record = self._apply_transform(
-                            bundle, kind, parent_model, parent_record,
-                            specialty, chain_counter, rng,
+                    serial = chain_counter
+                    seed = spec.seed * 1000 + serial
+                    companion = spec.domains[
+                        (list(spec.domains).index(specialty) + 1) % len(spec.domains)
+                    ]
+                    dataset: Optional[TextDataset] = None
+                    if kind in _DATA_KINDS:
+                        dataset = self._specialty_dataset(
+                            bundle, [specialty, companion], seed
                         )
-                    parent_model, parent_record = child_model, child_record
+                    params: Dict[str, object] = {}
+                    if kind == "edit":
+                        probe_index = int(rng.integers(len(bundle.base_dataset)))
+                        target = int(rng.integers(len(DOMAIN_NAMES)))
+                        preserve_count = min(40, len(bundle.base_dataset))
+                        preserve_idx = rng.choice(
+                            len(bundle.base_dataset), size=preserve_count,
+                            replace=False,
+                        )
+                        params = {
+                            "probe_tokens": bundle.base_dataset.tokens[probe_index],
+                            "target_class": target,
+                            "preserve_tokens": bundle.base_dataset.tokens[preserve_idx],
+                        }
+                    elif kind == "prune":
+                        params = {"sparsity": float(rng.uniform(0.3, 0.6))}
+                    elif kind == "quantize":
+                        params = {"bits": int(rng.choice([4, 6, 8]))}
+                    if kind == "distill":
+                        child_specialty = parent_specialty or specialty
+                        domains = (specialty, companion)
+                    elif kind in _DATA_KINDS:
+                        child_specialty = specialty
+                        domains = (specialty, companion)
+                    else:
+                        child_specialty = parent_specialty
+                        domains = parent_domains
+                    hidden = rng.random() < spec.hidden_history_fraction
+                    descriptive = (
+                        f"{parent_name}--{kind}-"
+                        f"{specialty if dataset is not None else 'release'}-{serial}"
+                    )
+                    name = self._pick_name(descriptive)
+                    steps.append(ChainStep(
+                        kind=kind, seed=seed, specialty=specialty,
+                        epochs=spec.specialize_epochs, dataset=dataset,
+                        params=params,
+                    ))
+                    plan.slots.append(_PlannedModel(
+                        task_key=key, result_index=level, name=name,
+                        domains=tuple(domains), dataset=dataset,
+                        parent_slots=(parent_slot,), specialty=child_specialty,
+                        hidden=hidden, is_foundation=False,
+                    ))
+                    parent_slot = len(plan.slots) - 1
+                    parent_name = name
+                    parent_domains = tuple(domains)
+                    parent_specialty = child_specialty
+                plan.tasks[key] = ChainTask(
+                    parent_architecture={}, parent_state={}, steps=steps
+                )
+                plan.dependencies[key] = [("foundation", f_index)]
+                plan.parent_of[key] = ("foundation", f_index)
 
         # 3. Language-model foundations and chains (mixed-modality lake).
-        self._add_lm_models(bundle, rng)
-        # 4. Merges between same-foundation specialists.
-        self._add_merges(bundle, rng)
-        # 5. Stitches between foundations of different widths.
-        self._add_stitches(bundle, foundation_records, rng)
-        return bundle
+        self._plan_lm_models(bundle, plan, rng)
+        return plan
 
-    def _apply_transform(
-        self,
-        bundle: GeneratedLake,
-        kind: str,
-        parent_model: Module,
-        parent_record: ModelRecord,
-        specialty: str,
-        serial: int,
-        rng: np.random.Generator,
-    ) -> Tuple[Module, ModelRecord]:
-        spec = self.spec
-        seed = spec.seed * 1000 + serial
-        parent_id = parent_record.model_id
-        parent_specialty = bundle.truth.specialty.get(parent_id)
-        companion = spec.domains[(list(spec.domains).index(specialty) + 1) % len(spec.domains)]
-
-        if kind in ("finetune", "lora", "preference", "distill"):
-            dataset = self._specialty_dataset(bundle, [specialty, companion], seed)
-        else:
-            dataset = None
-
-        if kind == "finetune":
-            child, record = finetune_classifier(
-                parent_model, dataset, epochs=spec.specialize_epochs, seed=seed
-            )
-            child_specialty: Optional[str] = specialty
-            domains = (specialty, companion)
-        elif kind == "lora":
-            child, record = lora_adapt_classifier(
-                parent_model, dataset, rank=2,
-                epochs=spec.specialize_epochs, lr=1e-2, seed=seed,
-            )
-            child_specialty = specialty
-            domains = (specialty, companion)
-        elif kind == "preference":
-            child, record = preference_tune(
-                parent_model, dataset, (specialty,),
-                epochs=max(2, spec.specialize_epochs // 2), seed=seed,
-            )
-            child_specialty = specialty
-            domains = (specialty, companion)
-        elif kind == "distill":
-            child, record = distill_classifier(
-                parent_model, dataset, epochs=spec.specialize_epochs, seed=seed
-            )
-            child_specialty = parent_specialty or specialty
-            domains = (specialty, companion)
-        elif kind == "edit":
-            probe_index = int(rng.integers(len(bundle.base_dataset)))
-            target = int(rng.integers(len(DOMAIN_NAMES)))
-            preserve_count = min(40, len(bundle.base_dataset))
-            preserve_idx = rng.choice(
-                len(bundle.base_dataset), size=preserve_count, replace=False
-            )
-            child, record = edit_classifier(
-                parent_model, bundle.base_dataset.tokens[probe_index],
-                target_class=target, seed=seed,
-                preserve_tokens=bundle.base_dataset.tokens[preserve_idx],
-            )
-            child_specialty = parent_specialty
-            domains = bundle.truth.model_domains[parent_id]
-        elif kind == "prune":
-            child, record = prune_model(
-                parent_model, sparsity=float(rng.uniform(0.3, 0.6)), seed=seed
-            )
-            child_specialty = parent_specialty
-            domains = bundle.truth.model_domains[parent_id]
-        elif kind == "quantize":
-            child, record = quantize_model(
-                parent_model, bits=int(rng.choice([4, 6, 8])), seed=seed
-            )
-            child_specialty = parent_specialty
-            domains = bundle.truth.model_domains[parent_id]
-        else:
-            raise ConfigError(f"unknown chain transform kind {kind!r}")
-
-        descriptive = (
-            f"{parent_record.name}--{kind}-"
-            f"{specialty if dataset is not None else 'release'}-{serial}"
-        )
-        name = self._pick_name(descriptive)
-        child_record = self._register(
-            bundle, child, name=name, domains=domains, dataset=dataset,
-            parents=(parent_id,), transform=record,
-            specialty=child_specialty, rng=rng,
-        )
-        return child, child_record
-
-    def _add_lm_models(self, bundle: GeneratedLake, rng: np.random.Generator) -> None:
-        """Add language-model foundations plus specialization chains.
+    def _plan_lm_models(
+        self, bundle: GeneratedLake, plan: _GenerationPlan, rng: np.random.Generator
+    ) -> None:
+        """Plan LM foundations plus specialization chains.
 
         LMs train next-token prediction directly on the lake's document
         token matrices, so they share the dataset registry (and lineage)
         with the classifier population.
         """
-        from repro.nn.train import train_language_model
-        from repro.nn.transformer import TransformerLM
-        from repro.transforms.finetune import finetune_language_model
-
         spec = self.spec
         domain_cycle = list(spec.domains)
         for i in range(spec.num_lm_foundations):
-            lm = TransformerLM(
-                vocab_size=bundle.tokenizer.vocab_size,
-                d_model=24, num_heads=2, num_layers=2,
+            key = ("lm_foundation", i)
+            plan.tasks[key] = LMFoundationTask(
+                index=i, seed=spec.seed * 400 + i, epochs=spec.lm_epochs,
                 max_seq_len=max(spec.seq_len, 32),
-                seed=spec.seed * 400 + i,
             )
-            train_language_model(
-                lm, bundle.base_dataset.tokens,
-                epochs=spec.lm_epochs, batch_size=16, seed=spec.seed * 400 + i,
-            )
-            record = self._register(
-                bundle, lm, name=self._pick_name(f"lm-foundation-{i}"),
-                domains=spec.domains, dataset=bundle.base_dataset,
-                parents=(), transform=None, specialty=None, rng=rng,
-            )
-            bundle.truth.foundations.append(record.model_id)
-
-            parent_model: Module = lm
-            parent_record = record
+            plan.dependencies[key] = []
+            hidden = rng.random() < spec.hidden_history_fraction
+            foundation_name = self._pick_name(f"lm-foundation-{i}")
+            foundation_slot = len(plan.slots)
+            plan.slots.append(_PlannedModel(
+                task_key=key, result_index=0, name=foundation_name,
+                domains=tuple(spec.domains), dataset=bundle.base_dataset,
+                parent_slots=(), specialty=None, hidden=hidden,
+                is_foundation=True,
+            ))
             for c in range(spec.lm_chains):
                 specialty = domain_cycle[(i * spec.lm_chains + c) % len(domain_cycle)]
                 companion = domain_cycle[
@@ -589,22 +610,82 @@ class LakeGenerator:
                 dataset = self._specialty_dataset(
                     bundle, [specialty, companion], seed
                 )
-                child, transform = finetune_language_model(
-                    lm, dataset, epochs=max(2, spec.lm_epochs), seed=seed
+                chain_key = ("lm_chain", i, c)
+                plan.tasks[chain_key] = LMChainTask(
+                    parent_architecture={}, parent_state={}, dataset=dataset,
+                    seed=seed, epochs=max(2, spec.lm_epochs),
                 )
+                plan.dependencies[chain_key] = [key]
+                plan.parent_of[chain_key] = key
+                hidden = rng.random() < spec.hidden_history_fraction
                 name = self._pick_name(
-                    f"{record.name}--finetune-{specialty}-{c}"
+                    f"{foundation_name}--finetune-{specialty}-{c}"
                 )
-                self._register(
-                    bundle, child, name=name, domains=(specialty, companion),
-                    dataset=dataset, parents=(record.model_id,),
-                    transform=transform, specialty=specialty, rng=rng,
-                )
+                plan.slots.append(_PlannedModel(
+                    task_key=chain_key, result_index=0, name=name,
+                    domains=(specialty, companion), dataset=dataset,
+                    parent_slots=(foundation_slot,), specialty=specialty,
+                    hidden=hidden, is_foundation=False,
+                ))
 
-    def _add_merges(self, bundle: GeneratedLake, rng: np.random.Generator) -> None:
+    # -- execution -------------------------------------------------------
+    def _execute_plan(
+        self, plan: _GenerationPlan, executor: WaveExecutor
+    ) -> Dict[Hashable, List[ModelResult]]:
+        """Run the planned task DAG wave by wave."""
+        results: Dict[Hashable, List[ModelResult]] = {}
+        for wave_index, wave in enumerate(topological_waves(plan.dependencies)):
+            payloads = []
+            for key in wave:
+                task = plan.tasks[key]
+                parent_key = plan.parent_of.get(key)
+                if parent_key is not None:
+                    parent = results[parent_key][0]
+                    task.parent_architecture = parent.architecture
+                    task.parent_state = parent.state
+                payloads.append(task)
+            wave_results = executor.run_wave(
+                run_task, payloads, label=f"generate.wave{wave_index}"
+            )
+            for key, task_results in zip(wave, wave_results):
+                results[key] = task_results
+        return results
+
+    # -- registration ----------------------------------------------------
+    def _register_plan(
+        self,
+        bundle: GeneratedLake,
+        plan: _GenerationPlan,
+        results: Dict[Hashable, List[ModelResult]],
+    ) -> List[ModelRecord]:
+        """Register all planned models in canonical slot order."""
+        slot_ids: List[str] = []
+        foundation_records: List[ModelRecord] = []
+        for slot in plan.slots:
+            result = results[slot.task_key][slot.result_index]
+            model = self._model_from(result)
+            parents = tuple(slot_ids[p] for p in slot.parent_slots)
+            record = self._register(
+                bundle, model, name=slot.name, domains=slot.domains,
+                dataset=slot.dataset, parents=parents,
+                transform=result.transform, specialty=slot.specialty,
+                hidden=slot.hidden, accuracy=result.accuracy,
+            )
+            slot_ids.append(record.model_id)
+            if slot.is_foundation:
+                bundle.truth.foundations.append(record.model_id)
+                foundation_records.append(record)
+        return foundation_records
+
+    # -- adaptive tail: merges and stitches ------------------------------
+    def _add_merges(
+        self,
+        bundle: GeneratedLake,
+        rng: np.random.Generator,
+        executor: WaveExecutor,
+    ) -> None:
         """Merge pairs of same-architecture specialists."""
         spec = self.spec
-        done = 0
         records = list(bundle.lake)
         by_arch: Dict[str, List[ModelRecord]] = {}
         for record in records:
@@ -612,40 +693,58 @@ class LakeGenerator:
                 continue
             key = str(sorted(record.architecture.items()))
             by_arch.setdefault(key, []).append(record)
+        pairs: List[Tuple[ModelRecord, ModelRecord]] = []
         for group in by_arch.values():
-            if done >= spec.num_merges or len(group) < 2:
+            if len(pairs) >= spec.num_merges or len(group) < 2:
                 continue
-            first, second = group[0], group[1]
+            pairs.append((group[0], group[1]))
+        tasks = []
+        for first, second in pairs:
             model_a = bundle.lake.get_model(first.model_id, force=True)
             model_b = bundle.lake.get_model(second.model_id, force=True)
-            child, record = merge_models(model_a, model_b, alpha=0.5, seed=spec.seed)
+            tasks.append(MergeTask(
+                first_architecture=model_a.architecture_spec(),
+                first_state=model_a.state_dict(),
+                second_architecture=model_b.architecture_spec(),
+                second_state=model_b.state_dict(),
+                alpha=0.5, seed=spec.seed,
+            ))
+        if not tasks:
+            return
+        merge_results = executor.run_wave(run_task, tasks, label="merge")
+        for (first, second), task_results in zip(pairs, merge_results):
+            result = task_results[0]
             domains = tuple(
                 dict.fromkeys(
                     bundle.truth.model_domains[first.model_id]
                     + bundle.truth.model_domains[second.model_id]
                 )
             )
+            hidden = rng.random() < spec.hidden_history_fraction
             self._register(
-                bundle, child, name=self._pick_name(f"merge-{first.name[:18]}-{second.name[:18]}"),
+                bundle, self._model_from(result),
+                name=self._pick_name(f"merge-{first.name[:18]}-{second.name[:18]}"),
                 domains=domains, dataset=None,
                 parents=(first.model_id, second.model_id),
-                transform=record, specialty=None, rng=rng,
+                transform=result.transform, specialty=None,
+                hidden=hidden, accuracy=result.accuracy,
             )
-            done += 1
 
     def _add_stitches(
         self,
         bundle: GeneratedLake,
         foundations: List[ModelRecord],
         rng: np.random.Generator,
+        executor: WaveExecutor,
     ) -> None:
         spec = self.spec
         text_foundations = [
             r for r in foundations if r.family == "text_classifier"
         ]
-        done = 0
+        pairs: List[Tuple[ModelRecord, ModelRecord]] = []
+        tasks = []
         for i in range(len(text_foundations) - 1):
-            if done >= spec.num_stitches:
+            if len(pairs) >= spec.num_stitches:
                 break
             front_rec, back_rec = text_foundations[i], text_foundations[i + 1]
             front = bundle.lake.get_model(front_rec.model_id, force=True)
@@ -654,16 +753,31 @@ class LakeGenerator:
                 bundle.base_dataset, 0.5, seed=spec.seed + 777 + i
             )
             bundle.lake.datasets.register(adapter_data, derivation)
-            child, record = stitch_classifiers(
-                front, back, adapter_data, adapter_epochs=5, seed=spec.seed + i
-            )
+            pairs.append((front_rec, back_rec))
+            tasks.append(StitchTask(
+                front_architecture=front.architecture_spec(),
+                front_state=front.state_dict(),
+                back_architecture=back.architecture_spec(),
+                back_state=back.state_dict(),
+                adapter_data=adapter_data, adapter_epochs=5,
+                seed=spec.seed + i,
+            ))
+        if not tasks:
+            return
+        stitch_results = executor.run_wave(run_task, tasks, label="stitch")
+        for (front_rec, back_rec), task, task_results in zip(
+            pairs, tasks, stitch_results
+        ):
+            result = task_results[0]
+            hidden = rng.random() < spec.hidden_history_fraction
             self._register(
-                bundle, child, name=self._pick_name(f"stitch-{front_rec.name}-{back_rec.name}"),
-                domains=spec.domains, dataset=adapter_data,
+                bundle, self._model_from(result),
+                name=self._pick_name(f"stitch-{front_rec.name}-{back_rec.name}"),
+                domains=spec.domains, dataset=task.adapter_data,
                 parents=(front_rec.model_id, back_rec.model_id),
-                transform=record, specialty=None, rng=rng,
+                transform=result.transform, specialty=None,
+                hidden=hidden, accuracy=result.accuracy,
             )
-            done += 1
 
 
 def generate_lake(spec: Optional[LakeSpec] = None) -> GeneratedLake:

@@ -21,7 +21,7 @@ from repro.obs.instrument import (
     WEIGHT_STORE_DEDUP_HITS,
     WEIGHT_STORE_PUTS,
 )
-from repro.utils.hashing import text_digest
+from repro.utils.hashing import bytes_digest
 from repro.utils.serialization import arrays_to_bytes, bytes_to_arrays
 
 
@@ -47,8 +47,11 @@ class WeightStore:
 
     def put(self, state: Dict[str, np.ndarray]) -> str:
         """Store a state dict; returns its content digest."""
+        # Digest format v2: hash the serialized bytes directly.  (v1
+        # hex-encoded the blob first — an avoidable 2x copy and encode on
+        # a hot path; digests changed with the bump.)
         blob = arrays_to_bytes(state)
-        digest = text_digest(blob.hex(), length=24)
+        digest = bytes_digest(blob, length=24)
         if digest in self._blobs:
             obs_metrics.inc(WEIGHT_STORE_DEDUP_HITS)
         else:

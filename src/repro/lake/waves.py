@@ -1,0 +1,325 @@
+"""Worker-side tasks for wave-scheduled lake generation.
+
+The generator's planning phase (:meth:`LakeGenerator._plan`) turns a
+:class:`LakeSpec` into task payloads defined here; a
+:class:`repro.parallel.WaveExecutor` runs them — inline for
+``workers=1``, in a process pool otherwise.  Every payload is
+self-contained (parent weights, datasets, seeds all inside), so a task
+computes the same bits no matter which process executes it.
+
+Workers never touch the lake: they return plain
+:class:`ModelResult` payloads (state dict, architecture, transform
+record, per-domain accuracy) and the coordinator registers them in
+canonical plan order, which is what keeps model ids, derivation edges,
+and weight digests bit-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.datasets import TextDataset
+from repro.errors import ConfigError
+from repro.nn.models import TextClassifier, build_model
+from repro.nn.module import Module
+from repro.nn.train import (
+    evaluate_accuracy,
+    train_classifier,
+    train_language_model,
+)
+from repro.obs.tracing import trace
+from repro.transforms import (
+    TransformRecord,
+    distill_classifier,
+    edit_classifier,
+    finetune_classifier,
+    lora_adapt_classifier,
+    merge_models,
+    preference_tune,
+    prune_model,
+    quantize_model,
+    stitch_classifiers,
+)
+
+
+@dataclass
+class WorkerContext:
+    """Shared read-only inputs installed once per worker process."""
+
+    base_dataset: TextDataset
+    eval_dataset: TextDataset
+    vocab_size: int
+    num_classes: int
+    #: Inline mode keeps the live Module on each result so the
+    #: coordinator can skip a rebuild; pool mode ships state dicts only.
+    keep_models: bool = False
+
+
+_CONTEXT: Optional[WorkerContext] = None
+
+
+def init_context(context: WorkerContext) -> None:
+    """Process-pool initializer: install the shared worker context."""
+    global _CONTEXT
+    _CONTEXT = context
+
+
+@dataclass
+class ModelResult:
+    """One generated model, as returned from a worker."""
+
+    state: Dict[str, np.ndarray]
+    architecture: Dict
+    transform: Optional[TransformRecord]
+    accuracy: Dict[str, float]
+    #: Live model object (inline execution only; never pickled back).
+    model: Optional[Module] = None
+
+
+def domain_accuracy(model: Module, eval_set: TextDataset) -> Dict[str, float]:
+    """Held-out per-domain competence score in [0, 1].
+
+    Classifiers: accuracy.  Language models: mean per-token likelihood
+    ``exp(-NLL)`` of the domain's held-out documents — the LM analogue of
+    "how well does this model handle this domain's text".
+    """
+    domains = np.asarray(eval_set.domains)
+    if hasattr(model, "predict"):
+        predictions = model.predict(eval_set.tokens)
+        per_example = (predictions == eval_set.labels).astype(np.float64)
+    else:
+        per_example = lm_likelihoods(model, eval_set.tokens)
+    return {
+        domain: float(per_example[domains == domain].mean())
+        for domain in sorted(set(eval_set.domains))
+    }
+
+
+def lm_likelihoods(model: Module, tokens: np.ndarray) -> np.ndarray:
+    """Per-document mean next-token likelihood exp(-NLL) for an LM."""
+    logits = model(tokens).data
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    scores = np.zeros(len(tokens))
+    for i, row in enumerate(tokens):
+        positions = np.where(row > 0)[0]
+        if len(positions) < 2:
+            continue
+        steps = positions[:-1]
+        nll = -log_probs[i, steps, row[steps + 1]].mean()
+        scores[i] = float(np.exp(-nll))
+    return scores
+
+
+def _rebuild(architecture: Dict, state: Dict[str, np.ndarray]) -> Module:
+    """Rehydrate a model exactly like ``ModelLake.get_model`` does."""
+    model = build_model(dict(architecture))
+    model.load_state_dict(state)
+    model.eval()
+    return model
+
+
+def _result(model: Module, transform: Optional[TransformRecord], ctx: WorkerContext) -> ModelResult:
+    return ModelResult(
+        state=model.state_dict(),
+        architecture=model.architecture_spec(),
+        transform=transform,
+        accuracy=domain_accuracy(model, ctx.eval_dataset),
+        model=model if ctx.keep_models else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Task payloads
+# ----------------------------------------------------------------------
+@dataclass
+class FoundationTask:
+    """Train one foundation classifier from scratch on the base corpus."""
+
+    index: int
+    dim: int
+    hidden_layers: Tuple[int, ...]
+    seed: int
+    epochs: int
+
+    def execute(self, ctx: WorkerContext) -> List[ModelResult]:
+        model = TextClassifier(
+            ctx.vocab_size, ctx.num_classes,
+            dim=self.dim, hidden=self.hidden_layers, seed=self.seed,
+        )
+        # Train to competence: foundations must be solid generalists,
+        # so keep training (bounded) until train accuracy clears 0.97.
+        with trace("lake.generate.foundation", index=self.index, dim=self.dim):
+            for round_index in range(3):
+                train_classifier(
+                    model, ctx.base_dataset.tokens, ctx.base_dataset.labels,
+                    epochs=self.epochs, lr=5e-3, seed=self.seed + round_index,
+                )
+                accuracy = evaluate_accuracy(
+                    model, ctx.base_dataset.tokens, ctx.base_dataset.labels
+                )
+                if accuracy >= 0.97:
+                    break
+        return [_result(model, None, ctx)]
+
+
+@dataclass
+class ChainStep:
+    """One planned transform within a derivation chain."""
+
+    kind: str
+    seed: int
+    specialty: str
+    epochs: int
+    dataset: Optional[TextDataset] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ChainTask:
+    """Run a full derivation chain (all levels) off one parent model.
+
+    Levels within a chain are inherently sequential — each trains on its
+    predecessor's live output — so the chain is the unit of parallelism.
+    """
+
+    parent_architecture: Dict
+    parent_state: Dict[str, np.ndarray]
+    steps: List[ChainStep]
+
+    def execute(self, ctx: WorkerContext) -> List[ModelResult]:
+        parent = _rebuild(self.parent_architecture, self.parent_state)
+        results: List[ModelResult] = []
+        for level, step in enumerate(self.steps):
+            with trace("lake.generate.transform", kind=step.kind, level=level):
+                child, record = _apply_step(parent, step)
+            results.append(_result(child, record, ctx))
+            parent = child
+        return results
+
+
+def _apply_step(parent: Module, step: ChainStep) -> Tuple[Module, TransformRecord]:
+    kind, seed, dataset = step.kind, step.seed, step.dataset
+    if kind == "finetune":
+        return finetune_classifier(parent, dataset, epochs=step.epochs, seed=seed)
+    if kind == "lora":
+        return lora_adapt_classifier(
+            parent, dataset, rank=2, epochs=step.epochs, lr=1e-2, seed=seed
+        )
+    if kind == "preference":
+        return preference_tune(
+            parent, dataset, (step.specialty,),
+            epochs=max(2, step.epochs // 2), seed=seed,
+        )
+    if kind == "distill":
+        return distill_classifier(parent, dataset, epochs=step.epochs, seed=seed)
+    if kind == "edit":
+        return edit_classifier(
+            parent, step.params["probe_tokens"],
+            target_class=step.params["target_class"], seed=seed,
+            preserve_tokens=step.params["preserve_tokens"],
+        )
+    if kind == "prune":
+        return prune_model(parent, sparsity=step.params["sparsity"], seed=seed)
+    if kind == "quantize":
+        return quantize_model(parent, bits=step.params["bits"], seed=seed)
+    raise ConfigError(f"unknown chain transform kind {kind!r}")
+
+
+@dataclass
+class LMFoundationTask:
+    """Train one language-model foundation on the base corpus."""
+
+    index: int
+    seed: int
+    epochs: int
+    max_seq_len: int
+
+    def execute(self, ctx: WorkerContext) -> List[ModelResult]:
+        from repro.nn.transformer import TransformerLM
+
+        lm = TransformerLM(
+            vocab_size=ctx.vocab_size,
+            d_model=24, num_heads=2, num_layers=2,
+            max_seq_len=self.max_seq_len,
+            seed=self.seed,
+        )
+        with trace("lake.generate.lm_foundation", index=self.index):
+            train_language_model(
+                lm, ctx.base_dataset.tokens,
+                epochs=self.epochs, batch_size=16, seed=self.seed,
+            )
+        return [_result(lm, None, ctx)]
+
+
+@dataclass
+class LMChainTask:
+    """Fine-tune one specialization off a language-model foundation."""
+
+    parent_architecture: Dict
+    parent_state: Dict[str, np.ndarray]
+    dataset: TextDataset
+    seed: int
+    epochs: int
+
+    def execute(self, ctx: WorkerContext) -> List[ModelResult]:
+        from repro.transforms.finetune import finetune_language_model
+
+        parent = _rebuild(self.parent_architecture, self.parent_state)
+        with trace("lake.generate.transform", kind="finetune", level=0):
+            child, record = finetune_language_model(
+                parent, self.dataset, epochs=self.epochs, seed=self.seed
+            )
+        return [_result(child, record, ctx)]
+
+
+@dataclass
+class MergeTask:
+    """Interpolate two same-architecture specialists."""
+
+    first_architecture: Dict
+    first_state: Dict[str, np.ndarray]
+    second_architecture: Dict
+    second_state: Dict[str, np.ndarray]
+    alpha: float
+    seed: int
+
+    def execute(self, ctx: WorkerContext) -> List[ModelResult]:
+        first = _rebuild(self.first_architecture, self.first_state)
+        second = _rebuild(self.second_architecture, self.second_state)
+        with trace("lake.generate.transform", kind="merge", level=0):
+            child, record = merge_models(first, second, alpha=self.alpha, seed=self.seed)
+        return [_result(child, record, ctx)]
+
+
+@dataclass
+class StitchTask:
+    """Stitch two foundations of different widths through an adapter."""
+
+    front_architecture: Dict
+    front_state: Dict[str, np.ndarray]
+    back_architecture: Dict
+    back_state: Dict[str, np.ndarray]
+    adapter_data: TextDataset
+    adapter_epochs: int
+    seed: int
+
+    def execute(self, ctx: WorkerContext) -> List[ModelResult]:
+        front = _rebuild(self.front_architecture, self.front_state)
+        back = _rebuild(self.back_architecture, self.back_state)
+        with trace("lake.generate.transform", kind="stitch", level=0):
+            child, record = stitch_classifiers(
+                front, back, self.adapter_data,
+                adapter_epochs=self.adapter_epochs, seed=self.seed,
+            )
+        return [_result(child, record, ctx)]
+
+
+def run_task(task) -> List[ModelResult]:
+    """Process-pool entry point: execute one task against the context."""
+    if _CONTEXT is None:
+        raise ConfigError("worker context not initialized (init_context not run)")
+    return task.execute(_CONTEXT)

@@ -38,6 +38,13 @@ __all__ = [
     "HNSW_DISTANCE_COMPS",
     "HNSW_INSERTS",
     "HNSW_QUERIES",
+    "EMBED_CACHE_HITS",
+    "EMBED_CACHE_MISSES",
+    # parallel execution
+    "PARALLEL_WAVES",
+    "PARALLEL_TASKS",
+    "PARALLEL_WAVE_SECONDS",
+    "PARALLEL_WORKERS",
     # training
     "TRAIN_EPOCHS",
     "TRAIN_EPOCH_SECONDS",
@@ -66,6 +73,13 @@ SEARCH_ENGINE_BUILDS = "search.engine_builds"
 HNSW_DISTANCE_COMPS = "index.hnsw.distance_computations"
 HNSW_INSERTS = "index.hnsw.inserts"
 HNSW_QUERIES = "index.hnsw.queries"
+EMBED_CACHE_HITS = "index.embed_cache.hits"
+EMBED_CACHE_MISSES = "index.embed_cache.misses"
+
+PARALLEL_WAVES = "parallel.waves"
+PARALLEL_TASKS = "parallel.tasks"
+PARALLEL_WAVE_SECONDS = "parallel.wave_seconds"
+PARALLEL_WORKERS = "parallel.workers"
 
 TRAIN_EPOCHS = "nn.train.epochs"
 TRAIN_EPOCH_SECONDS = "nn.train.epoch_seconds"

@@ -1,0 +1,20 @@
+"""Parallel-execution subsystem: deterministic wave scheduling.
+
+Hub-scale lakes (millions of models, per the paper's framing) cannot be
+built or indexed serially.  This package provides the two primitives the
+rest of the library parallelizes with:
+
+* :func:`repro.parallel.plan.topological_waves` — level a task DAG into
+  waves of mutually independent tasks;
+* :class:`repro.parallel.executor.WaveExecutor` — run each wave over a
+  process pool (or inline at ``workers=1``) with results returned in
+  deterministic task order.
+
+Determinism is the design center: given per-task seeds, a workload run
+with ``workers=N`` produces bit-identical artifacts to ``workers=1``.
+"""
+
+from repro.parallel.executor import WaveExecutor
+from repro.parallel.plan import topological_waves
+
+__all__ = ["WaveExecutor", "topological_waves"]

@@ -1,0 +1,64 @@
+"""Deterministic wave planning over task dependency DAGs.
+
+Lake generation (and any other fan-out workload) is expressed as a set
+of tasks with explicit dependencies.  :func:`topological_waves` levels
+that DAG: wave ``k`` holds every task whose longest dependency chain has
+length ``k``, so all tasks within one wave are mutually independent and
+can execute concurrently while waves themselves run in order.
+
+The leveling is deterministic: within a wave, tasks keep the order in
+which they were declared, which is what lets the coordinator register
+results in a canonical order regardless of worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence
+
+from repro.errors import ConfigError
+
+
+def topological_waves(
+    dependencies: Mapping[Hashable, Sequence[Hashable]],
+) -> List[List[Hashable]]:
+    """Level a dependency DAG into executable waves.
+
+    ``dependencies`` maps each task key to the task keys it depends on.
+    Every dependency must itself appear as a key.  Returns a list of
+    waves; concatenated, they contain each task exactly once, and every
+    task appears in a strictly later wave than all of its dependencies.
+
+    Raises :class:`ConfigError` on unknown dependencies or cycles.
+    """
+    order = list(dependencies)
+    known = set(order)
+    for task, parents in dependencies.items():
+        unknown = [p for p in parents if p not in known]
+        if unknown:
+            raise ConfigError(
+                f"task {task!r} depends on undeclared tasks {unknown!r}"
+            )
+
+    level: Dict[Hashable, int] = {}
+
+    def resolve(task: Hashable, stack: tuple) -> int:
+        if task in level:
+            return level[task]
+        if task in stack:
+            raise ConfigError(f"dependency cycle involving task {task!r}")
+        parents = dependencies[task]
+        depth = (
+            0
+            if not parents
+            else 1 + max(resolve(p, stack + (task,)) for p in parents)
+        )
+        level[task] = depth
+        return depth
+
+    for task in order:
+        resolve(task, ())
+
+    waves: List[List[Hashable]] = [[] for _ in range(max(level.values(), default=-1) + 1)]
+    for task in order:  # declaration order within each wave
+        waves[level[task]].append(task)
+    return waves

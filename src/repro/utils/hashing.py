@@ -19,6 +19,11 @@ def text_digest(text: str, length: int = 16) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
 
 
+def bytes_digest(blob: bytes, length: int = 16) -> str:
+    """Hex digest of raw bytes (first ``length`` hex chars)."""
+    return hashlib.sha256(blob).hexdigest()[:length]
+
+
 def array_digest(array: np.ndarray, length: int = 16) -> str:
     """Hex digest of an array's dtype, shape, and raw bytes."""
     hasher = hashlib.sha256()

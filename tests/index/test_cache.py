@@ -1,0 +1,101 @@
+"""Tests for the persistent embedding cache and its SearchEngine wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.search import SearchEngine
+from repro.index import EmbeddingCache
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import (
+    EMBED_CACHE_HITS,
+    EMBED_CACHE_MISSES,
+    LAKE_MODEL_LOADS,
+)
+
+
+class TestEmbeddingCache:
+    def test_miss_then_hit_in_memory(self):
+        cache = EmbeddingCache()
+        assert cache.get("space", "digest") is None
+        cache.put("space", "digest", np.arange(3.0))
+        assert np.allclose(cache.get("space", "digest"), [0.0, 1.0, 2.0])
+
+    def test_spaces_are_isolated(self):
+        cache = EmbeddingCache()
+        cache.put("a", "d", np.ones(2))
+        assert cache.get("b", "d") is None
+
+    def test_persists_across_instances(self, tmp_path):
+        first = EmbeddingCache(str(tmp_path))
+        first.put("weightstat-s4", "abc123", np.array([1.0, 2.0]))
+        first.flush()
+        second = EmbeddingCache(str(tmp_path))
+        assert np.allclose(second.get("weightstat-s4", "abc123"), [1.0, 2.0])
+
+    def test_flush_is_idempotent_and_memory_mode_safe(self, tmp_path):
+        EmbeddingCache().flush()
+        cache = EmbeddingCache(str(tmp_path))
+        cache.flush()
+        cache.put("s", "d", np.zeros(1))
+        cache.flush()
+        cache.flush()
+        assert np.allclose(EmbeddingCache(str(tmp_path)).get("s", "d"), [0.0])
+
+    def test_hit_miss_counters(self):
+        registry = obs_metrics.get_registry()
+        hits = registry.counter(EMBED_CACHE_HITS)
+        misses = registry.counter(EMBED_CACHE_MISSES)
+        cache = EmbeddingCache()
+        h0, m0 = hits.value, misses.value
+        cache.get("s", "d")
+        assert (hits.value, misses.value) == (h0, m0 + 1)
+        cache.put("s", "d", np.ones(1))
+        cache.get("s", "d")
+        assert (hits.value, misses.value) == (h0 + 1, m0 + 1)
+
+
+class TestSearchEngineCache:
+    @pytest.fixture()
+    def lake(self, lake_bundle):
+        return lake_bundle.lake
+
+    def test_warm_rebuild_loads_no_models(self, lake, probes, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        registry = obs_metrics.get_registry()
+        loads = registry.counter(LAKE_MODEL_LOADS)
+
+        cold_start = loads.value
+        cold = SearchEngine(lake, probes, cache_dir=cache_dir)
+        assert loads.value > cold_start  # cold build embeds models
+
+        warm_start = loads.value
+        warm = SearchEngine(lake, probes, cache_dir=cache_dir)
+        assert loads.value == warm_start  # warm build loads zero models
+
+        for query in ("legal contracts", "medical notes"):
+            assert (
+                [(h.model_id, round(h.score, 12)) for h in cold.search(query, k=5)]
+                == [(h.model_id, round(h.score, 12)) for h in warm.search(query, k=5)]
+            )
+
+    def test_warm_rebuild_across_processes_shape(self, lake, probes, tmp_path):
+        """The on-disk layout is one npz per embedding space."""
+        cache_dir = tmp_path / "cache"
+        SearchEngine(lake, probes, cache_dir=str(cache_dir))
+        files = sorted(p.name for p in cache_dir.iterdir())
+        assert any(f.startswith("embeddings-behavioral-") for f in files)
+        assert "embeddings-weightstat-s4.npz" in files
+
+    def test_shared_cache_object(self, lake, probes):
+        cache = EmbeddingCache()
+        SearchEngine(lake, probes, cache=cache)
+        registry = obs_metrics.get_registry()
+        loads = registry.counter(LAKE_MODEL_LOADS)
+        before = loads.value
+        SearchEngine(lake, probes, cache=cache)
+        assert loads.value == before
+
+    def test_engine_without_cache_still_works(self, lake, probes):
+        engine = SearchEngine(lake, probes)
+        assert engine.cache is None
+        assert engine.search("legal", k=3)

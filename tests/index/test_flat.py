@@ -71,3 +71,53 @@ class TestFlatIndex:
         index, _, _ = built
         with pytest.raises(IndexError_):
             index.vector_of("nope")
+
+
+class TestBufferedAdds:
+    """The add path buffers rows; every read must see buffered state."""
+
+    def test_len_counts_pending(self):
+        index = FlatIndex()
+        index.add("a", np.ones(4))
+        index.add("b", np.ones(4))
+        assert len(index) == 2
+
+    def test_vector_of_pending_row(self):
+        index = FlatIndex()
+        vec = np.array([3.0, 4.0, 0.0])
+        index.add("a", vec)
+        assert np.allclose(index.vector_of("a"), vec / 5.0)
+
+    def test_query_between_adds(self):
+        rng = np.random.default_rng(2)
+        vectors = rng.normal(size=(6, 5))
+        index = FlatIndex()
+        for i in range(3):
+            index.add(f"v{i}", vectors[i])
+        first = index.query(vectors[0], k=1)
+        assert first[0][0] == "v0"
+        for i in range(3, 6):
+            index.add(f"v{i}", vectors[i])
+        assert index.query(vectors[5], k=1)[0][0] == "v5"
+        assert len(index.query(vectors[0], k=10)) == 6
+
+    def test_dim_mismatch_against_pending(self):
+        index = FlatIndex()
+        index.add("a", np.ones(4))
+        with pytest.raises(IndexError_):
+            index.add("b", np.ones(3))
+
+    def test_duplicate_id_keeps_first_vector(self):
+        index = FlatIndex()
+        index.add("x", np.array([1.0, 0.0]))
+        index.add("x", np.array([0.0, 1.0]))
+        assert np.allclose(index.vector_of("x"), [1.0, 0.0])
+
+    def test_build_resets_previous_adds(self):
+        index = FlatIndex()
+        index.add("old", np.ones(2))
+        index.build(["new"], np.array([[0.0, 1.0]]))
+        assert len(index) == 1
+        with pytest.raises(IndexError_):
+            index.vector_of("old")
+        assert np.allclose(index.vector_of("new"), [0.0, 1.0])

@@ -1,0 +1,91 @@
+"""Tests for WaveExecutor: ordering, initializer parity, errors, metrics."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import PARALLEL_TASKS, PARALLEL_WAVES
+from repro.parallel import WaveExecutor
+
+_STATE = {}
+
+
+def _init_state(value):
+    _STATE["value"] = value
+
+
+def _square_plus_state(x):
+    return x * x + _STATE.get("value", 0)
+
+
+def _record_pid(x):
+    return (x, os.getpid())
+
+
+def _maybe_fail(x):
+    if x == 2:
+        raise ValueError("task 2 exploded")
+    return x
+
+
+class TestWaveExecutorInline:
+    def test_results_in_task_order(self):
+        with WaveExecutor(workers=1) as executor:
+            assert executor.run_wave(lambda x: x * 10, [3, 1, 2]) == [30, 10, 20]
+
+    def test_empty_wave(self):
+        with WaveExecutor(workers=1) as executor:
+            assert executor.run_wave(lambda x: x, []) == []
+
+    def test_initializer_runs_once_in_process(self):
+        _STATE.clear()
+        with WaveExecutor(workers=1, initializer=_init_state, initargs=(7,)) as ex:
+            assert ex.run_wave(_square_plus_state, [2, 3]) == [11, 16]
+
+    def test_error_propagates(self):
+        with WaveExecutor(workers=1) as executor:
+            with pytest.raises(ValueError, match="exploded"):
+                executor.run_wave(_maybe_fail, [1, 2, 3])
+
+    def test_workers_below_one_rejected(self):
+        with pytest.raises(ConfigError, match="workers"):
+            WaveExecutor(workers=0)
+
+    def test_metrics_recorded(self):
+        registry = obs_metrics.get_registry()
+        waves_before = registry.counter(PARALLEL_WAVES).value
+        tasks_before = registry.counter(PARALLEL_TASKS).value
+        with WaveExecutor(workers=1) as executor:
+            executor.run_wave(lambda x: x, [1, 2, 3])
+        assert registry.counter(PARALLEL_WAVES).value == waves_before + 1
+        assert registry.counter(PARALLEL_TASKS).value == tasks_before + 3
+
+
+class TestWaveExecutorPool:
+    def test_results_in_task_order_across_processes(self):
+        with WaveExecutor(workers=2) as executor:
+            results = executor.run_wave(_record_pid, list(range(6)))
+        assert [x for x, _ in results] == list(range(6))
+        # Work actually left this process.
+        assert all(pid != os.getpid() for _, pid in results)
+
+    def test_initializer_reaches_workers(self):
+        with WaveExecutor(workers=2, initializer=_init_state, initargs=(5,)) as ex:
+            assert ex.run_wave(_square_plus_state, [1, 2]) == [6, 9]
+
+    def test_inline_and_pool_agree(self):
+        tasks = [4, 9, 16]
+        with WaveExecutor(workers=1, initializer=_init_state, initargs=(1,)) as ex:
+            inline = ex.run_wave(_square_plus_state, tasks)
+        with WaveExecutor(workers=2, initializer=_init_state, initargs=(1,)) as ex:
+            pooled = ex.run_wave(_square_plus_state, tasks)
+        assert inline == pooled
+
+    def test_error_propagates_after_draining(self):
+        with WaveExecutor(workers=2) as executor:
+            with pytest.raises(ValueError, match="exploded"):
+                executor.run_wave(_maybe_fail, [1, 2, 3])
+            # The pool is still usable afterwards.
+            assert executor.run_wave(_maybe_fail, [5, 6]) == [5, 6]

@@ -1,0 +1,62 @@
+"""Tests for deterministic wave planning (topological_waves)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import topological_waves
+
+
+class TestTopologicalWaves:
+    def test_empty(self):
+        assert topological_waves({}) == []
+
+    def test_independent_tasks_share_one_wave(self):
+        waves = topological_waves({"a": [], "b": [], "c": []})
+        assert waves == [["a", "b", "c"]]
+
+    def test_longest_path_leveling(self):
+        waves = topological_waves({
+            "a": [],
+            "b": ["a"],
+            "c": ["a", "b"],   # longest chain a->b->c: wave 2
+            "d": [],
+        })
+        assert waves == [["a", "d"], ["b"], ["c"]]
+
+    def test_declaration_order_within_wave(self):
+        waves = topological_waves({"z": [], "m": [], "a": []})
+        assert waves[0] == ["z", "m", "a"]
+
+    def test_every_task_after_its_dependencies(self):
+        deps = {
+            "f0": [], "f1": [],
+            "c0": ["f0"], "c1": ["f0"], "c2": ["f1"],
+            "m": ["c0", "c2"],
+        }
+        waves = topological_waves(deps)
+        position = {
+            task: index for index, wave in enumerate(waves) for task in wave
+        }
+        for task, parents in deps.items():
+            for parent in parents:
+                assert position[parent] < position[task]
+        assert sorted(position) == sorted(deps)
+
+    def test_unknown_dependency_raises(self):
+        with pytest.raises(ConfigError, match="undeclared"):
+            topological_waves({"a": ["ghost"]})
+
+    def test_cycle_raises(self):
+        with pytest.raises(ConfigError, match="cycle"):
+            topological_waves({"a": ["b"], "b": ["a"]})
+
+    def test_self_cycle_raises(self):
+        with pytest.raises(ConfigError, match="cycle"):
+            topological_waves({"a": ["a"]})
+
+    def test_tuple_keys(self):
+        waves = topological_waves({
+            ("foundation", 0): [],
+            ("chain", 0, 0): [("foundation", 0)],
+        })
+        assert waves == [[("foundation", 0)], [("chain", 0, 0)]]
