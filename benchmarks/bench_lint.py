@@ -1,0 +1,100 @@
+"""Static-analysis benchmark: full-tree lint latency, cold vs. cached.
+
+Lint sits on the critical path of every CI run and (via ``repro lint``)
+of the edit loop, so it has a latency budget: a full sweep of ``src``,
+``tests``, and ``benchmarks`` must finish in under ``BUDGET_SECONDS``
+even cold, and the content-hash cache must make warm runs dramatically
+cheaper.
+
+Usage::
+
+    python benchmarks/bench_lint.py            # report cold/warm timings
+    python benchmarks/bench_lint.py --smoke    # CI gate, exits non-zero on
+                                               # budget overrun or cold cache
+
+``--smoke`` runs the sweep twice against a throwaway cache file: the
+first pass must be all cache misses and beat the budget; the second
+must be all cache hits, strictly faster, and byte-identical in its
+findings — which is what proves the cache layer is both exercised and
+correct.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis import LintConfig, run_lint  # noqa: E402
+
+LINT_PATHS = ["src", "tests", "benchmarks"]
+BUDGET_SECONDS = 5.0
+
+
+def timed_sweep(cache_path: str) -> tuple:
+    config = LintConfig(paths=LINT_PATHS, root=REPO_ROOT, cache_path=cache_path)
+    start = time.perf_counter()
+    result = run_lint(config)
+    return result, time.perf_counter() - start
+
+
+def run(smoke: bool) -> int:
+    with tempfile.TemporaryDirectory(prefix="bench-lint-") as scratch:
+        cache_path = os.path.join(scratch, "lint-cache.json")
+        cold, cold_seconds = timed_sweep(cache_path)
+        warm, warm_seconds = timed_sweep(cache_path)
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(
+        f"[bench_lint] files={cold.files_scanned} "
+        f"findings={len(cold.findings)} baselined={len(cold.baseline_suppressed)}"
+    )
+    print(
+        f"[bench_lint] cold={cold_seconds:.3f}s "
+        f"(hits={cold.cache_hits} misses={cold.cache_misses})  "
+        f"warm={warm_seconds:.3f}s "
+        f"(hits={warm.cache_hits} misses={warm.cache_misses})  "
+        f"speedup={speedup:.1f}x  budget={BUDGET_SECONDS:.0f}s"
+    )
+
+    failures = []
+    if cold_seconds >= BUDGET_SECONDS:
+        failures.append(
+            f"cold full-tree lint took {cold_seconds:.3f}s "
+            f">= budget {BUDGET_SECONDS}s"
+        )
+    if cold.cache_hits != 0 or cold.cache_misses != cold.files_scanned:
+        failures.append("first sweep should miss the cache for every file")
+    if warm.cache_misses != 0 or warm.cache_hits != warm.files_scanned:
+        failures.append("second sweep should hit the cache for every file")
+    if warm_seconds >= cold_seconds:
+        failures.append("cached sweep was not faster than the cold sweep")
+    if warm.findings != cold.findings:
+        failures.append("cached findings diverged from cold findings")
+    if smoke and cold.exit_code(strict=True) != 0:
+        failures.append("tree is not lint-clean in strict mode")
+
+    for failure in failures:
+        print(f"[bench_lint] FAIL: {failure}")
+    if not failures:
+        print("[bench_lint] OK")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: also require a strict-clean tree",
+    )
+    args = parser.parse_args()
+    return run(smoke=args.smoke)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

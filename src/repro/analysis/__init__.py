@@ -1,0 +1,54 @@
+"""Static analysis: AST-based enforcement of the repo's invariants.
+
+The lake's guarantees — bit-reproducible generation, pickle-safe pool
+tasks, structured observability — are source-level properties, so this
+package checks them at the source level, before any test runs:
+
+* :mod:`repro.analysis.core` — :class:`Finding`, :class:`Rule`, the
+  pluggable rule registry;
+* :mod:`repro.analysis.rules` — the built-in determinism, pool-safety,
+  obs-convention, and API-hygiene rules;
+* :mod:`repro.analysis.pragmas` — ``# repro: noqa[rule]`` line pragmas;
+* :mod:`repro.analysis.baseline` — ``.repro-lint.json``, the justified-
+  exception ledger;
+* :mod:`repro.analysis.cache` — per-file result cache keyed on content
+  hash and rule-set fingerprint;
+* :mod:`repro.analysis.runner` / :mod:`repro.analysis.report` — the
+  sweep and its text/JSON rendering, surfaced as ``repro lint``.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, load_baseline
+from repro.analysis.cache import FindingsCache
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+    rule_names,
+    rules_fingerprint,
+)
+from repro.analysis.report import render_json, render_text
+from repro.analysis.runner import LintConfig, LintResult, lint_source, run_lint
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "Finding",
+    "FindingsCache",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_source",
+    "load_baseline",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_names",
+    "rules_fingerprint",
+    "run_lint",
+]

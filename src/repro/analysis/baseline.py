@@ -1,0 +1,100 @@
+"""The lint baseline: intentional, justified exceptions in one file.
+
+``.repro-lint.json`` records findings the project has decided to keep,
+each with a mandatory one-line reason — the reviewable ledger of every
+deliberate deviation from the invariants.  An entry matches on rule name
+plus path; paths are ``fnmatch`` patterns, so a directory of
+intentionally-printing benchmark scripts is one entry, not thirty.
+
+Entries that match nothing are reported as *unused* (and fail a
+``--strict`` run) so the ledger cannot silently rot as code is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.core import Finding
+from repro.errors import ConfigError
+
+__all__ = ["BaselineEntry", "Baseline", "load_baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".repro-lint.json"
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str  # fnmatch pattern against Finding.path
+    reason: str
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.rule == self.rule and fnmatch(finding.path, self.path)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"rule": self.rule, "path": self.path, "reason": self.reason}
+
+
+class Baseline:
+    """An ordered set of suppression entries."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()):
+        self.entries = list(entries)
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (kept, suppressed); also return unused entries."""
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        used = [False] * len(self.entries)
+        for finding in findings:
+            hit = False
+            for index, entry in enumerate(self.entries):
+                if entry.matches(finding):
+                    used[index] = True
+                    hit = True
+            (suppressed if hit else kept).append(finding)
+        unused = [
+            entry for entry, was_used in zip(self.entries, used) if not was_used
+        ]
+        return kept, suppressed, unused
+
+
+def load_baseline(path: str) -> Baseline:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return Baseline()
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigError(f"unreadable baseline file {path}: {error}") from error
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ConfigError(
+            f"baseline {path} has unsupported version {payload.get('version')!r}"
+        )
+    entries = []
+    for raw in payload.get("suppressions", []):
+        missing = {"rule", "path", "reason"} - set(raw)
+        if missing:
+            raise ConfigError(
+                f"baseline entry {raw!r} is missing {sorted(missing)}"
+            )
+        if not str(raw["reason"]).strip():
+            raise ConfigError(
+                f"baseline entry for {raw['rule']} at {raw['path']} "
+                "needs a non-empty reason"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                reason=str(raw["reason"]),
+            )
+        )
+    return Baseline(entries)

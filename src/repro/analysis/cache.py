@@ -1,0 +1,104 @@
+"""Per-file result cache keyed on content hash + rule-set fingerprint.
+
+Lint results for a file depend only on (a) the file's bytes — pragmas
+included — and (b) the active rule set.  The cache therefore stores the
+post-pragma findings of every file under its content digest, guarded by
+:func:`repro.analysis.core.rules_fingerprint`; touching a rule (version
+bump) or a file invalidates exactly the affected entries.  Baseline
+suppression is *not* cached: it is applied at report time so editing
+``.repro-lint.json`` never requires a re-lint.
+
+The cache is a single JSON file, written atomically (tmp + rename) so a
+killed run never leaves a truncated cache behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from repro.analysis.core import Finding
+from repro.utils.hashing import text_digest
+
+__all__ = ["FindingsCache", "DEFAULT_CACHE_NAME", "content_digest"]
+
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+_FORMAT_VERSION = 1
+
+
+def content_digest(source: str) -> str:
+    return text_digest(source, length=32)
+
+
+class FindingsCache:
+    """Load-once, save-once cache of per-file findings."""
+
+    def __init__(self, path: Optional[str], fingerprint: str):
+        self.path = path
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._files: Dict[str, Dict[str, object]] = {}
+        if path is not None:
+            self._files = self._load(path, fingerprint)
+
+    @staticmethod
+    def _load(path: str, fingerprint: str) -> Dict[str, Dict[str, object]]:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, ValueError):
+            return {}
+        if (
+            payload.get("version") != _FORMAT_VERSION
+            or payload.get("fingerprint") != fingerprint
+        ):
+            return {}
+        files = payload.get("files", {})
+        return files if isinstance(files, dict) else {}
+
+    # ------------------------------------------------------------------
+    def get(self, rel_path: str, digest: str) -> Optional[List[Finding]]:
+        """Cached findings for a file at this exact content, or ``None``."""
+        entry = self._files.get(rel_path)
+        if entry is None or entry.get("digest") != digest:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [Finding.from_dict(raw) for raw in entry.get("findings", [])]
+
+    def put(self, rel_path: str, digest: str, findings: List[Finding]) -> None:
+        self._files[rel_path] = {
+            "digest": digest,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache (no-op when pathless or clean)."""
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "version": _FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": self._files,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        descriptor, tmp_path = tempfile.mkstemp(
+            prefix=".repro-lint-cache.", dir=directory
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp_path, self.path)
+        except OSError:
+            # A cache that cannot be written must not fail the lint.
+            try:
+                os.unlink(tmp_path)
+            except OSError:  # repro: noqa[swallowed-exception]
+                pass
+        else:
+            self._dirty = False

@@ -1,0 +1,67 @@
+"""In-source suppression pragmas: ``# repro: noqa[rule-a,rule-b]``.
+
+A pragma suppresses findings on its own line.  The bare form
+``# repro: noqa`` suppresses every rule on that line; the bracketed form
+suppresses only the named rules.  Pragmas live in the file content, so
+the per-file result cache (keyed on a content hash) stays correct: the
+cache stores post-pragma findings, and editing a pragma re-lints the
+file.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding
+
+__all__ = ["pragma_lines", "apply_pragmas"]
+
+#: ``# repro: noqa`` or ``# repro: noqa[rule-one, rule-two]``
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\- ]+)\])?"
+)
+
+#: Sentinel meaning "all rules suppressed on this line".
+ALL_RULES = "*"
+
+
+def pragma_lines(source: str) -> Dict[int, Set[str]]:
+    """Map of 1-based line number -> set of suppressed rule names.
+
+    A bare ``noqa`` maps to ``{ALL_RULES}``.
+    """
+    pragmas: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        spec: Optional[str] = match.group("rules")
+        if spec is None:
+            pragmas[lineno] = {ALL_RULES}
+        else:
+            pragmas[lineno] = {
+                name.strip() for name in spec.split(",") if name.strip()
+            }
+    return pragmas
+
+
+def apply_pragmas(
+    findings: Sequence[Finding], source: str
+) -> Tuple[List[Finding], int]:
+    """Drop findings whose line carries a matching pragma.
+
+    Returns ``(kept, suppressed_count)``.
+    """
+    pragmas = pragma_lines(source)
+    if not pragmas:
+        return list(findings), 0
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        rules = pragmas.get(finding.line)
+        if rules is not None and (ALL_RULES in rules or finding.rule in rules):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -1,0 +1,116 @@
+"""API-hygiene rules: the classic Python footguns this repo bans.
+
+* ``mutable-default`` — a list/dict/set default argument is shared
+  across every call; in a lake whose generator is re-entered per wave
+  that is state leaking between models.
+* ``bare-except`` — ``except:`` catches ``SystemExit`` and
+  ``KeyboardInterrupt``, turning Ctrl-C into silent corruption.
+* ``swallowed-exception`` — a ``pass``-only handler in library code
+  hides failures; worker paths especially must surface or log errors
+  (a swallowed exception inside a pool task silently drops a model).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+__all__ = ["MutableDefault", "BareExcept", "SwallowedException"]
+
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_FACTORIES
+    )
+
+
+@register
+class MutableDefault(Rule):
+    """Mutable default arguments are shared across calls."""
+
+    name = "mutable-default"
+    description = "mutable default argument; default to None and allocate inside"
+    version = 1
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        "mutable default argument is shared across calls; "
+                        "use None and allocate in the body",
+                    )
+
+
+@register
+class BareExcept(Rule):
+    """``except:`` swallows SystemExit/KeyboardInterrupt."""
+
+    name = "bare-except"
+    description = "bare except: clause; name the exception type"
+    version = 1
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare except: catches SystemExit and KeyboardInterrupt; "
+                    "name the exception type",
+                )
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, ast.Pass):
+        return True
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+    )
+
+
+@register
+class SwallowedException(Rule):
+    """A ``pass``-only handler hides failures from operators."""
+
+    name = "swallowed-exception"
+    description = (
+        "except handler whose body is only pass; log, re-raise, or use "
+        "contextlib.suppress to make the intent explicit"
+    )
+    severity = "warning"
+    version = 1
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_library
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and all(
+                _is_noop(stmt) for stmt in node.body
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "exception swallowed silently; log it, re-raise, or use "
+                    "contextlib.suppress at the call site",
+                )

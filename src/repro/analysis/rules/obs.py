@@ -1,0 +1,138 @@
+"""Observability-convention rules.
+
+Library output must flow through ``repro.obs`` so it is structured,
+level-filtered, and capturable:
+
+* ``no-print`` — no bare ``print()`` in library code (the CLI is the
+  user-facing surface and is exempt) nor in benchmarks, where reports
+  are expected to go through the harness (intentional exceptions live
+  in the baseline).  Subsumes the retired ``scripts/check_no_print.py``.
+* ``obs-logger`` — loggers come from :func:`repro.obs.logging.get_logger`,
+  never from stdlib ``logging.getLogger``, so every record stays inside
+  the ``repro`` namespace and the structured formatter.
+* ``span-context`` — spans are opened with ``with trace(...)`` (or the
+  ``@traced`` decorator), never constructed bare or entered manually;
+  a span whose ``__exit__`` can be skipped leaks onto the thread-local
+  stack and corrupts every later span's parentage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+__all__ = ["NoPrint", "ObsLogger", "SpanContext"]
+
+_OBS_PREFIX = "src/repro/obs/"
+
+#: Canonical names under which the span context manager is reachable.
+_TRACE_TARGETS = {
+    "repro.obs.trace",
+    "repro.obs.tracing.trace",
+}
+
+
+@register
+class NoPrint(Rule):
+    """Bare ``print`` bypasses structured logging."""
+
+    name = "no-print"
+    description = (
+        "bare print() in library/benchmark code; use repro.obs.logging "
+        "(library) or the benchmark harness recorder"
+    )
+    version = 1
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (ctx.is_library and not ctx.is_cli) or ctx.is_benchmark
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare print() call; use repro.obs.logging so output is "
+                    "structured and capturable",
+                )
+
+
+@register
+class ObsLogger(Rule):
+    """Loggers must be minted by ``repro.obs.logging.get_logger``."""
+
+    name = "obs-logger"
+    description = (
+        "stdlib logging.getLogger in library code; use "
+        "repro.obs.logging.get_logger so records stay structured"
+    )
+    version = 1
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_library and _OBS_PREFIX not in ctx.rel_path
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.imports.qualified(node.func)
+            if qualified == "logging.getLogger":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "logging.getLogger bypasses the structured repro logger; "
+                    "use repro.obs.logging.get_logger",
+                )
+
+
+def _is_trace_call(ctx: FileContext, node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    qualified = ctx.imports.qualified(node.func)
+    return qualified in _TRACE_TARGETS
+
+
+@register
+class SpanContext(Rule):
+    """Spans must be scoped by ``with``; manual enter/exit leaks spans."""
+
+    name = "span-context"
+    description = (
+        "trace(...) span used outside a with-statement; manual span "
+        "lifecycles leak onto the thread-local stack"
+    )
+    version = 1
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Expr) and _is_trace_call(ctx, node.value):
+                yield self.finding(
+                    ctx,
+                    node.value,
+                    "trace(...) constructed but never entered; open spans "
+                    "with `with trace(...):`",
+                )
+            elif isinstance(node, ast.Assign) and _is_trace_call(ctx, node.value):
+                yield self.finding(
+                    ctx,
+                    node.value,
+                    "trace(...) assigned instead of scoped; open spans with "
+                    "`with trace(...):` so __exit__ always runs",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in {"__enter__", "__exit__"}
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"manual {node.func.attr}() call; use a with-statement "
+                    "so the span (or resource) cannot leak",
+                )

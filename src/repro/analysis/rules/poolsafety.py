@@ -1,0 +1,148 @@
+"""Pool-safety rule: tasks shipped to worker processes must pickle.
+
+:class:`repro.parallel.WaveExecutor` pickles the task function when
+``workers > 1``.  Lambdas, functions defined inside another function,
+and bound methods either fail to pickle outright or drag their whole
+enclosing object (a lake, a store, an open handle) across the process
+boundary.  Inline mode (``workers=1``) masks all of this, which is
+exactly why the invariant needs a static check: code that works in
+every test can still explode — or silently serialize a gigabyte lake —
+the first time someone passes ``--workers 4``.
+
+The rule checks the task argument of ``*.run_wave(fn, ...)`` and the
+``initializer=`` keyword of ``WaveExecutor(...)``:
+
+* a ``lambda`` is flagged unconditionally;
+* a name is resolved lexically — if it was bound by a nested ``def`` or
+  a local ``lambda`` assignment in an enclosing function scope, it is
+  flagged; module-level functions and imports pass;
+* an attribute access (``self.train``, ``obj.method``) is flagged as a
+  bound method.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+__all__ = ["PoolTaskModuleLevel"]
+
+#: name kind -> why it is unsafe (None means safe)
+_UNSAFE_KINDS = {
+    "nested-def": "a function defined inside another function",
+    "local-lambda": "a lambda bound to a local name",
+}
+
+
+class _ScopeVisitor(ast.NodeVisitor):
+    """Walks with a lexical scope stack, collecting pool submissions."""
+
+    def __init__(self) -> None:
+        #: stack of (scope_kind, {name: binding_kind}); scope kinds are
+        #: "module" | "function" | "class".  Class scopes exist only to
+        #: swallow method names — Python name lookup skips them.
+        self.scopes: List[Tuple[str, Dict[str, str]]] = [("module", {})]
+        #: (call node, offending expr, why) triples
+        self.violations: List[Tuple[ast.Call, ast.AST, str]] = []
+
+    # -- scope bookkeeping ---------------------------------------------
+    def _bind(self, name: str, kind: str) -> None:
+        self.scopes[-1][1][name] = kind
+
+    def _lookup(self, name: str) -> Optional[str]:
+        for scope_kind, names in reversed(self.scopes):
+            if scope_kind == "class":
+                continue  # class bodies are invisible to nested lookups
+            if name in names:
+                return names[name]
+        return None
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._bind(stmt.name, "module-def")
+        self.generic_visit(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        name = getattr(node, "name", None)
+        if name is not None and self.scopes[-1][0] == "function":
+            self._bind(name, "nested-def")
+        self.scopes.append(("function", {}))
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.scopes.append(("class", {}))
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Lambda) and self.scopes[-1][0] == "function":
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._bind(target.id, "local-lambda")
+        self.generic_visit(node)
+
+    # -- submissions ---------------------------------------------------
+    def _check_task_expr(self, call: ast.Call, expr: ast.AST) -> None:
+        if isinstance(expr, ast.Lambda):
+            self.violations.append(
+                (call, expr, "a lambda (lambdas cannot be pickled)")
+            )
+        elif isinstance(expr, ast.Attribute):
+            self.violations.append(
+                (
+                    call,
+                    expr,
+                    "a bound method (pickling it ships the whole instance "
+                    "to the worker)",
+                )
+            )
+        elif isinstance(expr, ast.Name):
+            kind = self._lookup(expr.id)
+            reason = _UNSAFE_KINDS.get(kind or "")
+            if reason is not None:
+                self.violations.append((call, expr, reason))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "run_wave":
+            if node.args:
+                self._check_task_expr(node, node.args[0])
+        target = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if target == "WaveExecutor":
+            for keyword in node.keywords:
+                if keyword.arg == "initializer":
+                    self._check_task_expr(node, keyword.value)
+        self.generic_visit(node)
+
+
+@register
+class PoolTaskModuleLevel(Rule):
+    """Tasks and initializers handed to the pool must be module-level."""
+
+    name = "pool-task"
+    description = (
+        "function submitted to WaveExecutor must be a module-level function "
+        "(picklable, no captured lakes/stores/handles)"
+    )
+    version = 1
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        visitor = _ScopeVisitor()
+        visitor.visit(ctx.tree)
+        for _call, expr, why in visitor.violations:
+            yield self.finding(
+                ctx,
+                expr,
+                f"task submitted to WaveExecutor is {why}; use a "
+                "module-level function",
+            )

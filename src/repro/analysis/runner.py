@@ -1,0 +1,205 @@
+"""The lint runner: walk files, run rules, suppress, summarize.
+
+Per file the pipeline is: content hash -> cache probe -> (parse + run
+every applicable rule) -> pragma filter -> cache store.  Baseline
+suppression happens once at the end, over the aggregate, so editing
+``.repro-lint.json`` re-ranks results without invalidating the cache.
+
+The runner is instrumented like every other subsystem: a ``lint.run``
+span wraps the sweep, per-file work runs under ``lint.file`` spans, and
+the registry counters (files, cache hits/misses, findings) land in the
+same metrics snapshot the CLI persists.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+)
+from repro.analysis.cache import DEFAULT_CACHE_NAME, FindingsCache, content_digest
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    all_rules,
+    rules_fingerprint,
+)
+from repro.analysis.pragmas import apply_pragmas
+from repro.errors import ConfigError
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import (
+    LINT_CACHE_HITS,
+    LINT_CACHE_MISSES,
+    LINT_FILES,
+    LINT_FINDINGS,
+    LINT_RUN_SECONDS,
+)
+from repro.obs.logging import get_logger
+from repro.obs.tracing import trace
+
+__all__ = ["LintConfig", "LintResult", "run_lint", "lint_source"]
+
+_log = get_logger("analysis.runner")
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclass
+class LintConfig:
+    """One lint invocation's inputs."""
+
+    paths: Sequence[str]
+    root: str = "."
+    baseline_path: Optional[str] = None  # default: <root>/.repro-lint.json
+    cache_path: Optional[str] = None  # default: <root>/.repro-lint-cache.json
+    use_cache: bool = True
+
+    def resolved_root(self) -> str:
+        return os.path.abspath(self.root)
+
+    def resolved_baseline(self) -> str:
+        return self.baseline_path or os.path.join(
+            self.resolved_root(), DEFAULT_BASELINE_NAME
+        )
+
+    def resolved_cache(self) -> Optional[str]:
+        if not self.use_cache:
+            return None
+        return self.cache_path or os.path.join(
+            self.resolved_root(), DEFAULT_CACHE_NAME
+        )
+
+
+@dataclass
+class LintResult:
+    """Everything a reporter needs about one sweep."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baseline_suppressed: List[Finding] = field(default_factory=list)
+    unused_baseline: List[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 clean; 1 violations.  Strict fails on warnings and stale
+        baseline entries too, so CI catches both new findings and
+        fixed-but-still-listed ones."""
+        if self.errors:
+            return 1
+        if strict and (self.findings or self.unused_baseline):
+            return 1
+        return 0
+
+
+def _iter_python_files(root: str, paths: Sequence[str]) -> List[str]:
+    """Absolute paths of every ``.py`` under ``paths`` (files or trees)."""
+    collected: List[str] = []
+    for raw in paths:
+        target = raw if os.path.isabs(raw) else os.path.join(root, raw)
+        if os.path.isfile(target):
+            collected.append(os.path.abspath(target))
+            continue
+        if not os.path.isdir(target):
+            raise ConfigError(f"lint path does not exist: {raw}")
+        for dirpath, dirnames, filenames in os.walk(target):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in _SKIP_DIRS and not d.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    collected.append(
+                        os.path.abspath(os.path.join(dirpath, filename))
+                    )
+    # De-duplicate while preserving deterministic order.
+    return sorted(dict.fromkeys(collected))
+
+
+def lint_source(source: str, rel_path: str) -> List[Finding]:
+    """Lint one in-memory file; the unit the runner (and tests) build on.
+
+    Returns post-pragma findings sorted by position.  A syntax error
+    becomes a single ``syntax-error`` finding rather than an exception,
+    so one broken file cannot hide the rest of the sweep.
+    """
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=rel_path,
+                line=error.lineno or 1,
+                col=error.offset or 0,
+                rule="syntax-error",
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    ctx = FileContext(rel_path=rel_path, source=source, tree=tree)
+    raw: List[Finding] = []
+    for rule in all_rules():
+        if rule.applies_to(ctx):
+            raw.extend(rule.check(ctx))
+    kept, _suppressed = apply_pragmas(raw, source)
+    return sorted(kept)
+
+
+def run_lint(config: LintConfig) -> LintResult:
+    """Lint every file under ``config.paths``; apply cache and baseline."""
+    start = time.perf_counter()
+    root = config.resolved_root()
+    baseline = load_baseline(config.resolved_baseline())
+    cache = FindingsCache(config.resolved_cache(), rules_fingerprint())
+    result = LintResult()
+    aggregate: List[Finding] = []
+    with trace("lint.run", root=root, paths=len(config.paths)):
+        for abs_path in _iter_python_files(root, config.paths):
+            rel_path = os.path.relpath(abs_path, root).replace(os.sep, "/")
+            with open(abs_path, encoding="utf-8") as handle:
+                source = handle.read()
+            digest = content_digest(source)
+            findings = cache.get(rel_path, digest)
+            if findings is None:
+                with trace("lint.file", path=rel_path):
+                    findings = lint_source(source, rel_path)
+                cache.put(rel_path, digest, findings)
+            aggregate.extend(findings)
+            result.files_scanned += 1
+        cache.save()
+    kept, suppressed, unused = baseline.apply(sorted(aggregate))
+    result.findings = kept
+    result.baseline_suppressed = suppressed
+    result.unused_baseline = unused
+    result.cache_hits = cache.hits
+    result.cache_misses = cache.misses
+    result.elapsed_seconds = time.perf_counter() - start
+    obs_metrics.inc(LINT_FILES, result.files_scanned)
+    obs_metrics.inc(LINT_CACHE_HITS, cache.hits)
+    obs_metrics.inc(LINT_CACHE_MISSES, cache.misses)
+    obs_metrics.inc(LINT_FINDINGS, len(kept))
+    obs_metrics.observe(LINT_RUN_SECONDS, result.elapsed_seconds)
+    _log.info(
+        "lint.completed",
+        files=result.files_scanned,
+        findings=len(kept),
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+        seconds=round(result.elapsed_seconds, 4),
+    )
+    return result

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro cite     --dir LAKE_DIR --model NAME_OR_ID
     python -m repro card     --dir LAKE_DIR --model NAME_OR_ID
     python -m repro metrics  --dir LAKE_DIR [--json]
+    python -m repro lint     [PATHS ...] [--strict] [--json]
 
 Global flags (before the subcommand)::
 
@@ -34,6 +35,7 @@ import time
 from dataclasses import asdict
 from typing import Callable, List, Optional
 
+from repro.analysis import LintConfig, render_json, render_text, run_lint
 from repro.core.audit import ModelAuditor
 from repro.core.citation import cite_model
 from repro.core.docgen import CardGenerator
@@ -214,6 +216,22 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    config = LintConfig(
+        paths=args.paths,
+        root=args.root,
+        baseline_path=args.baseline,
+        cache_path=args.cache,
+        use_cache=not args.no_cache,
+    )
+    result = run_lint(config)
+    if args.json:
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return result.exit_code(strict=args.strict)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Model-lake operations"
@@ -284,6 +302,33 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON")
     metrics.set_defaults(func=_cmd_metrics)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis of the repo's invariants"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    lint.add_argument(
+        "--root", default=".",
+        help="project root: paths, baseline, and cache resolve against it",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings and stale baseline entries, not just errors",
+    )
+    lint.add_argument("--json", action="store_true",
+                      help="emit the stable machine-readable report")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also list baseline-suppressed findings")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="suppression ledger (default ROOT/.repro-lint.json)")
+    lint.add_argument("--cache", default=None, metavar="FILE",
+                      help="findings cache (default ROOT/.repro-lint-cache.json)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="ignore and do not write the findings cache")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -13,6 +13,7 @@ detects whether the cited artifact is unchanged, moved, or gone.
 
 from __future__ import annotations
 
+from contextlib import suppress
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -87,10 +88,8 @@ def cite_model(
         path = graph.lineage_path(root, model_id)
         depth = (len(path) - 1) if path else 0
     dataset_digest = None
-    try:
+    with suppress(HistoryUnavailableError):
         dataset_digest = lake.get_history(model_id).dataset_digest
-    except HistoryUnavailableError:
-        pass
     return ModelCitation(
         model_id=model_id,
         model_name=record.name,

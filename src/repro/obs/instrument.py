@@ -52,6 +52,12 @@ __all__ = [
     # inference agent
     "INFERENCE_REQUESTS",
     "INFERENCE_CANDIDATES_VERIFIED",
+    # static analysis
+    "LINT_FILES",
+    "LINT_CACHE_HITS",
+    "LINT_CACHE_MISSES",
+    "LINT_FINDINGS",
+    "LINT_RUN_SECONDS",
 ]
 
 F = TypeVar("F", bound=Callable[..., Any])
@@ -87,6 +93,12 @@ TRAIN_LOSS = "nn.train.loss"
 
 INFERENCE_REQUESTS = "inference.requests"
 INFERENCE_CANDIDATES_VERIFIED = "inference.candidates_verified"
+
+LINT_FILES = "analysis.lint.files"
+LINT_CACHE_HITS = "analysis.lint.cache_hits"
+LINT_CACHE_MISSES = "analysis.lint.cache_misses"
+LINT_FINDINGS = "analysis.lint.findings"
+LINT_RUN_SECONDS = "analysis.lint.run_seconds"
 
 
 def timed(

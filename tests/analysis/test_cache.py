@@ -1,0 +1,72 @@
+"""Cache layer: content-hash keying, fingerprint invalidation, atomicity."""
+
+import json
+
+from repro.analysis import Finding, FindingsCache, rules_fingerprint
+from repro.analysis.cache import content_digest
+
+
+def make_finding(path="src/repro/x.py", rule="no-print"):
+    return Finding(path=path, line=3, col=4, rule=rule, message="m")
+
+
+def test_roundtrip_hit(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = FindingsCache(path, fingerprint="fp")
+    digest = content_digest("source")
+    cache.put("src/repro/x.py", digest, [make_finding()])
+    cache.save()
+
+    fresh = FindingsCache(path, fingerprint="fp")
+    assert fresh.get("src/repro/x.py", digest) == [make_finding()]
+    assert fresh.hits == 1 and fresh.misses == 0
+
+
+def test_content_change_misses(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = FindingsCache(path, fingerprint="fp")
+    cache.put("src/repro/x.py", content_digest("old"), [make_finding()])
+    cache.save()
+
+    fresh = FindingsCache(path, fingerprint="fp")
+    assert fresh.get("src/repro/x.py", content_digest("new")) is None
+    assert fresh.misses == 1
+
+
+def test_fingerprint_change_invalidates_whole_cache(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = FindingsCache(path, fingerprint="rules-v1")
+    digest = content_digest("source")
+    cache.put("src/repro/x.py", digest, [make_finding()])
+    cache.save()
+
+    fresh = FindingsCache(path, fingerprint="rules-v2")
+    assert fresh.get("src/repro/x.py", digest) is None
+
+
+def test_corrupt_cache_file_is_ignored(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text("{not json")
+    cache = FindingsCache(str(path), fingerprint="fp")
+    assert cache.get("src/repro/x.py", content_digest("s")) is None
+
+
+def test_pathless_cache_never_persists():
+    cache = FindingsCache(None, fingerprint="fp")
+    cache.put("src/repro/x.py", content_digest("s"), [])
+    cache.save()  # must be a no-op, not an error
+    assert cache.get("src/repro/x.py", content_digest("s")) == []
+
+
+def test_save_is_valid_json_with_fingerprint(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = FindingsCache(str(path), fingerprint=rules_fingerprint())
+    cache.put("a.py", content_digest("s"), [make_finding(path="a.py")])
+    cache.save()
+    payload = json.loads(path.read_text())
+    assert payload["fingerprint"] == rules_fingerprint()
+    assert "a.py" in payload["files"]
+
+
+def test_rules_fingerprint_is_deterministic():
+    assert rules_fingerprint() == rules_fingerprint()

@@ -1,0 +1,94 @@
+"""The ``repro lint`` subcommand: exit codes, JSON output, cache flag."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    def build(files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return tmp_path
+
+    return build
+
+
+CLEAN = "X = 1\n"
+PRINTING = "def report(x):\n    print(x)\n"
+
+
+def test_lint_clean_tree_exits_zero(tree, capsys):
+    root = tree({"src/repro/lake/mod.py": CLEAN})
+    code = main(["lint", "--root", str(root), "--no-cache", "src"])
+    assert code == 0
+    assert "0 errors" in capsys.readouterr().out
+
+
+def test_lint_violation_exits_one(tree, capsys):
+    root = tree({"src/repro/lake/mod.py": PRINTING})
+    code = main(["lint", "--root", str(root), "--no-cache", "src"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "[no-print]" in out
+    assert "src/repro/lake/mod.py:2" in out
+
+
+def test_lint_json_output_parses(tree, capsys):
+    root = tree({"src/repro/lake/mod.py": PRINTING})
+    code = main(["lint", "--root", str(root), "--no-cache", "--json", "src"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["errors"] == 1
+    assert payload["findings"][0]["rule"] == "no-print"
+
+
+def test_lint_missing_path_is_config_error(tree, capsys):
+    root = tree({})
+    code = main(["lint", "--root", str(root), "--no-cache", "nope"])
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_lint_writes_and_reuses_cache(tree, capsys):
+    root = tree({"src/repro/lake/mod.py": CLEAN})
+    assert main(["lint", "--root", str(root), "src"]) == 0
+    assert (root / ".repro-lint-cache.json").exists()
+    assert main(["lint", "--root", str(root), "src"]) == 0
+    assert "cache 1 hits / 0 misses" in capsys.readouterr().out
+
+
+def test_lint_strict_fails_on_warning(tree):
+    root = tree({
+        "src/repro/lake/mod.py": """
+        def load(store, key):
+            try:
+                return store[key]
+            except KeyError:
+                pass
+            return None
+        """,
+    })
+    assert main(["lint", "--root", str(root), "--no-cache", "src"]) == 0
+    assert main(
+        ["lint", "--root", str(root), "--no-cache", "--strict", "src"]
+    ) == 1
+
+
+def test_lint_on_this_repository_is_clean():
+    """Self-hosting gate: the repo's own tree must lint clean in strict mode."""
+    import os
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    )))
+    assert main([
+        "lint", "--root", repo_root, "--strict", "--no-cache",
+        "src", "tests", "benchmarks",
+    ]) == 0

@@ -1,0 +1,169 @@
+"""Framework behavior: pragmas, baseline ledger, stable JSON output."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    LintConfig,
+    lint_source,
+    load_baseline,
+    render_json,
+    run_lint,
+)
+from repro.errors import ConfigError
+
+LIB = "src/repro/lake/example.py"
+
+_PRINTING = 'def report(x):\n    print(x)\n'
+
+
+# -- pragma suppression ------------------------------------------------
+
+
+def test_named_pragma_suppresses_only_that_rule():
+    source = 'def report(x):\n    print(x)  # repro: noqa[no-print]\n'
+    assert lint_source(source, LIB) == []
+
+
+def test_bare_pragma_suppresses_everything_on_the_line():
+    source = 'def report(x):\n    print(x)  # repro: noqa\n'
+    assert lint_source(source, LIB) == []
+
+
+def test_pragma_for_other_rule_does_not_suppress():
+    source = 'def report(x):\n    print(x)  # repro: noqa[bare-except]\n'
+    assert [f.rule for f in lint_source(source, LIB)] == ["no-print"]
+
+
+def test_pragma_on_other_line_does_not_suppress():
+    source = '# repro: noqa[no-print]\ndef report(x):\n    print(x)\n'
+    assert [f.rule for f in lint_source(source, LIB)] == ["no-print"]
+
+
+# -- baseline ----------------------------------------------------------
+
+
+def make_tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def test_baseline_suppresses_matching_rule_and_path(tmp_path):
+    root = make_tree(tmp_path, {"src/repro/lake/example.py": _PRINTING})
+    (root / ".repro-lint.json").write_text(json.dumps({
+        "version": 1,
+        "suppressions": [{
+            "rule": "no-print",
+            "path": "src/repro/lake/*.py",
+            "reason": "legacy module, migration tracked elsewhere",
+        }],
+    }))
+    result = run_lint(LintConfig(paths=["src"], root=str(root), use_cache=False))
+    assert result.findings == []
+    assert [f.rule for f in result.baseline_suppressed] == ["no-print"]
+    assert result.unused_baseline == []
+    assert result.exit_code(strict=True) == 0
+
+
+def test_stale_baseline_entry_fails_strict_only(tmp_path):
+    root = make_tree(tmp_path, {"src/repro/lake/clean.py": "X = 1\n"})
+    (root / ".repro-lint.json").write_text(json.dumps({
+        "version": 1,
+        "suppressions": [{
+            "rule": "no-print",
+            "path": "src/repro/lake/clean.py",
+            "reason": "was printing once",
+        }],
+    }))
+    result = run_lint(LintConfig(paths=["src"], root=str(root), use_cache=False))
+    assert len(result.unused_baseline) == 1
+    assert result.exit_code(strict=False) == 0
+    assert result.exit_code(strict=True) == 1
+
+
+def test_baseline_entry_requires_reason(tmp_path):
+    path = tmp_path / ".repro-lint.json"
+    path.write_text(json.dumps({
+        "version": 1,
+        "suppressions": [{"rule": "no-print", "path": "x.py", "reason": " "}],
+    }))
+    with pytest.raises(ConfigError, match="reason"):
+        load_baseline(str(path))
+
+
+def test_missing_baseline_is_empty():
+    assert load_baseline("/nonexistent/.repro-lint.json").entries == []
+
+
+def test_baseline_entry_matching_is_rule_scoped():
+    entry = BaselineEntry(rule="no-print", path="src/repro/*.py", reason="r")
+    baseline = Baseline([entry])
+    findings = lint_source('def f(x):\n    print(x)\n', "src/repro/mod.py")
+    kept, suppressed, unused = baseline.apply(findings)
+    assert kept == [] and len(suppressed) == 1 and unused == []
+
+
+# -- exit codes and JSON stability ------------------------------------
+
+
+def test_error_finding_fails_even_non_strict(tmp_path):
+    root = make_tree(tmp_path, {"src/repro/lake/example.py": _PRINTING})
+    result = run_lint(LintConfig(paths=["src"], root=str(root), use_cache=False))
+    assert result.exit_code(strict=False) == 1
+
+
+def test_warning_finding_fails_only_strict(tmp_path):
+    source = """
+    def load(store, key):
+        try:
+            return store[key]
+        except KeyError:
+            pass
+        return None
+    """
+    root = make_tree(tmp_path, {"src/repro/lake/example.py": source})
+    result = run_lint(LintConfig(paths=["src"], root=str(root), use_cache=False))
+    assert [f.severity for f in result.findings] == ["warning"]
+    assert result.exit_code(strict=False) == 0
+    assert result.exit_code(strict=True) == 1
+
+
+def test_json_report_is_stable_across_runs(tmp_path):
+    root = make_tree(tmp_path, {
+        "src/repro/lake/a.py": _PRINTING,
+        "src/repro/lake/b.py": 'def g(x, acc=[]):\n    print(x)\n',
+    })
+    config = LintConfig(paths=["src"], root=str(root), use_cache=False)
+    first = render_json(run_lint(config))
+    second = render_json(run_lint(config))
+    assert first == second
+    payload = json.loads(first)
+    assert payload["version"] == 1
+    assert payload["summary"]["files_scanned"] == 2
+    assert payload["summary"]["errors"] == 3
+    locations = [
+        (f["path"], f["line"], f["col"], f["rule"])
+        for f in payload["findings"]
+    ]
+    assert locations == sorted(locations)
+
+
+def test_findings_identical_with_and_without_cache(tmp_path):
+    root = make_tree(tmp_path, {
+        "src/repro/lake/a.py": _PRINTING,
+        "src/repro/lake/b.py": "Y = 2\n",
+    })
+    cached = LintConfig(paths=["src"], root=str(root))
+    uncached = LintConfig(paths=["src"], root=str(root), use_cache=False)
+    cold = run_lint(cached)
+    warm = run_lint(cached)
+    plain = run_lint(uncached)
+    assert cold.findings == warm.findings == plain.findings
+    assert warm.cache_hits == 2

@@ -1,0 +1,290 @@
+"""Per-rule fixtures: one flagged (positive) and one clean (negative)
+source per rule, run through the real single-file pipeline."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source, rule_names
+
+LIB = "src/repro/lake/example.py"
+BENCH = "benchmarks/bench_example.py"
+TEST = "tests/lake/test_example.py"
+
+
+def findings_for(source, rel_path, rule):
+    source = textwrap.dedent(source)
+    return [f for f in lint_source(source, rel_path) if f.rule == rule]
+
+
+# Each entry: rule -> (rel_path, positive source, negative source).
+CASES = {
+    "unseeded-random": (
+        LIB,
+        """
+        import random
+        import numpy as np
+
+        JITTER = random.random()
+        NOISE = np.random.normal(0.0, 1.0)
+        """,
+        """
+        import random
+        import numpy as np
+
+        random.seed(0)
+        _RNG = np.random.default_rng(7)
+
+        def draw(rng):
+            return rng.normal(0.0, 1.0)
+        """,
+    ),
+    "time-in-digest": (
+        LIB,
+        """
+        import hashlib
+        import time
+
+        def weights_digest(blob):
+            stamp = time.time()
+            return hashlib.sha256(blob + str(stamp).encode()).hexdigest()
+        """,
+        """
+        import hashlib
+        import time
+
+        def weights_digest(blob):
+            return hashlib.sha256(blob).hexdigest()
+
+        def wall_clock():
+            return time.time()
+        """,
+    ),
+    "unordered-digest-iteration": (
+        LIB,
+        """
+        import hashlib
+        import json
+
+        def content_digest(items, meta):
+            hasher = hashlib.sha256()
+            for item in set(items):
+                hasher.update(item.encode())
+            hasher.update(json.dumps(meta).encode())
+            return hasher.hexdigest()
+        """,
+        """
+        import hashlib
+        import json
+
+        def content_digest(items, meta):
+            hasher = hashlib.sha256()
+            for item in sorted(set(items)):
+                hasher.update(item.encode())
+            hasher.update(json.dumps(meta, sort_keys=True).encode())
+            return hasher.hexdigest()
+        """,
+    ),
+    "pool-task": (
+        LIB,
+        """
+        from repro.parallel import WaveExecutor
+
+        def run_all(tasks):
+            def train(task):
+                return task.fit()
+            with WaveExecutor(workers=4) as executor:
+                return executor.run_wave(train, tasks)
+        """,
+        """
+        from repro.parallel import WaveExecutor
+
+        def train(task):
+            return task.fit()
+
+        def run_all(tasks):
+            with WaveExecutor(workers=4) as executor:
+                return executor.run_wave(train, tasks)
+        """,
+    ),
+    "no-print": (
+        LIB,
+        """
+        def report(stats):
+            print(stats)
+        """,
+        """
+        from repro.obs.logging import get_logger
+
+        _log = get_logger("lake.example")
+
+        def report(stats):
+            _log.info("stats.computed", stats=stats)
+        """,
+    ),
+    "obs-logger": (
+        LIB,
+        """
+        import logging
+
+        _log = logging.getLogger("repro.lake.example")
+        """,
+        """
+        from repro.obs.logging import get_logger
+
+        _log = get_logger("lake.example")
+        """,
+    ),
+    "span-context": (
+        LIB,
+        """
+        from repro.obs.tracing import trace
+
+        def search(query):
+            span = trace("search.query", q=query)
+            span.__enter__()
+            return query
+        """,
+        """
+        from repro.obs.tracing import trace
+
+        def search(query):
+            with trace("search.query", q=query):
+                return query
+        """,
+    ),
+    "mutable-default": (
+        TEST,
+        """
+        def collect(item, bucket=[]):
+            bucket.append(item)
+            return bucket
+        """,
+        """
+        def collect(item, bucket=None):
+            if bucket is None:
+                bucket = []
+            bucket.append(item)
+            return bucket
+        """,
+    ),
+    "bare-except": (
+        TEST,
+        """
+        def load(path):
+            try:
+                return open(path).read()
+            except:
+                return None
+        """,
+        """
+        def load(path):
+            try:
+                return open(path).read()
+            except OSError:
+                return None
+        """,
+    ),
+    "swallowed-exception": (
+        LIB,
+        """
+        def load(store, key):
+            try:
+                return store[key]
+            except KeyError:
+                pass
+            return None
+        """,
+        """
+        from repro.obs.logging import get_logger
+
+        _log = get_logger("lake.example")
+
+        def load(store, key):
+            try:
+                return store[key]
+            except KeyError:
+                _log.warning("load.missing", key=key)
+            return None
+        """,
+    ),
+}
+
+
+def test_every_registered_rule_has_a_case():
+    assert sorted(CASES) == rule_names()
+
+
+@pytest.mark.parametrize("rule", sorted(CASES))
+def test_positive_fixture_is_flagged(rule):
+    rel_path, positive, _negative = CASES[rule]
+    found = findings_for(positive, rel_path, rule)
+    assert found, f"{rule} missed its positive fixture"
+    assert all(f.rule == rule and f.path == rel_path for f in found)
+    assert all(f.line >= 1 for f in found)
+
+
+@pytest.mark.parametrize("rule", sorted(CASES))
+def test_negative_fixture_is_clean(rule):
+    rel_path, _positive, negative = CASES[rule]
+    assert findings_for(negative, rel_path, rule) == [], (
+        f"{rule} false-positived on its negative fixture"
+    )
+
+
+# -- scoping -----------------------------------------------------------
+
+
+def test_no_print_exempts_cli_and_tests():
+    source = "print('hello')\n"
+    assert lint_source(source, "src/repro/cli.py") == []
+    assert lint_source(source, "tests/lake/test_example.py") == []
+    assert [f.rule for f in lint_source(source, BENCH)] == ["no-print"]
+
+
+def test_obs_logger_exempt_inside_obs_package():
+    source = "import logging\nlog = logging.getLogger('repro')\n"
+    assert findings_for(source, "src/repro/obs/logging.py", "obs-logger") == []
+    assert findings_for(source, LIB, "obs-logger")
+
+
+def test_unseeded_random_allows_calls_inside_functions():
+    source = """
+    import random
+
+    def sample():
+        return random.random()
+    """
+    assert findings_for(source, LIB, "unseeded-random") == []
+
+
+def test_pool_task_flags_lambda_and_bound_method():
+    source = """
+    class Trainer:
+        def fit(self, task):
+            return task
+
+        def run(self, executor, tasks):
+            return executor.run_wave(self.fit, tasks)
+
+    def run_inline(executor, tasks):
+        return executor.run_wave(lambda t: t, tasks)
+    """
+    found = findings_for(source, LIB, "pool-task")
+    assert len(found) == 2
+
+
+def test_pool_task_checks_initializer_keyword():
+    source = """
+    from repro.parallel import WaveExecutor
+
+    def build(shared):
+        return WaveExecutor(workers=2, initializer=lambda: shared)
+    """
+    assert len(findings_for(source, LIB, "pool-task")) == 1
+
+
+def test_syntax_error_becomes_finding():
+    findings = lint_source("def broken(:\n", LIB)
+    assert [f.rule for f in findings] == ["syntax-error"]
+    assert findings[0].severity == "error"
