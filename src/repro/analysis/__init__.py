@@ -13,8 +13,12 @@ package checks them at the source level, before any test runs:
   exception ledger;
 * :mod:`repro.analysis.cache` — per-file result cache keyed on content
   hash and rule-set fingerprint;
+* :mod:`repro.analysis.graph` — the whole-program view: import/call
+  graphs, the ``.repro-arch.toml`` layer contract, interprocedural
+  rules, and the dependency-aware incremental cache;
 * :mod:`repro.analysis.runner` / :mod:`repro.analysis.report` — the
-  sweep and its text/JSON rendering, surfaced as ``repro lint``.
+  sweep and its text/JSON rendering, surfaced as ``repro lint`` and
+  ``repro graph``.
 """
 
 from repro.analysis.baseline import Baseline, BaselineEntry, load_baseline
@@ -30,7 +34,14 @@ from repro.analysis.core import (
     rules_fingerprint,
 )
 from repro.analysis.report import render_json, render_text
-from repro.analysis.runner import LintConfig, LintResult, lint_source, run_lint
+from repro.analysis.runner import (
+    LintConfig,
+    LintResult,
+    collect_sources,
+    known_rule_names,
+    lint_source,
+    run_lint,
+)
 
 __all__ = [
     "Baseline",
@@ -42,7 +53,9 @@ __all__ = [
     "LintResult",
     "Rule",
     "all_rules",
+    "collect_sources",
     "get_rule",
+    "known_rule_names",
     "lint_source",
     "load_baseline",
     "register",

@@ -1,0 +1,165 @@
+"""Dependency-aware cache for whole-program analysis.
+
+Two tiers, one JSON file (``.repro-graph-cache.json``):
+
+* **extractions** — :class:`~repro.analysis.graph.extract.ModuleFacts`
+  per file, keyed on the file's content digest.  A warm graph build
+  re-parses only edited files; graph assembly runs on cached facts.
+* **module findings** — post-pragma graph findings per file, keyed on a
+  *dependency digest*: the content digests of the file's whole forward
+  import closure plus the contract and graph-rule fingerprints.  Editing
+  a file therefore invalidates exactly itself and its reverse-import
+  closure — every module whose forward closure contains the edit —
+  while the rest of the tree replays from cache.
+* **project findings** — the global-scope rules (``dead-symbol``) keyed
+  on one fingerprint over every file digest, since any edit anywhere can
+  change what is referenced.
+
+Written atomically like the per-file findings cache; an unwritable
+cache degrades to a slower lint, never a failed one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from repro.analysis.core import Finding
+from repro.analysis.graph.extract import EXTRACT_VERSION, ModuleFacts
+
+__all__ = ["GraphCache", "DEFAULT_GRAPH_CACHE_NAME"]
+
+DEFAULT_GRAPH_CACHE_NAME = ".repro-graph-cache.json"
+_FORMAT_VERSION = 1
+
+
+class GraphCache:
+    """Load-once, save-once; ``path=None`` disables persistence."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self.extraction_hits = 0
+        self.extraction_misses = 0
+        self.module_hits = 0
+        self.module_misses = 0
+        self._dirty = False
+        self._extractions: Dict[str, Dict[str, object]] = {}
+        self._module_findings: Dict[str, Dict[str, object]] = {}
+        self._project_findings: Dict[str, object] = {}
+        if path is not None:
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, ValueError):
+            return
+        if (
+            payload.get("version") != _FORMAT_VERSION
+            or payload.get("extract_version") != EXTRACT_VERSION
+        ):
+            return
+        extractions = payload.get("extractions", {})
+        module_findings = payload.get("module_findings", {})
+        project_findings = payload.get("project_findings", {})
+        if isinstance(extractions, dict):
+            self._extractions = extractions
+        if isinstance(module_findings, dict):
+            self._module_findings = module_findings
+        if isinstance(project_findings, dict):
+            self._project_findings = project_findings
+
+    # -- extractions ---------------------------------------------------
+    def get_extraction(
+        self, rel_path: str, digest: str
+    ) -> Optional[ModuleFacts]:
+        entry = self._extractions.get(rel_path)
+        if entry is None or entry.get("digest") != digest:
+            self.extraction_misses += 1
+            return None
+        self.extraction_hits += 1
+        return ModuleFacts.from_dict(entry["facts"])  # type: ignore[arg-type]
+
+    def put_extraction(
+        self, rel_path: str, digest: str, facts: ModuleFacts
+    ) -> None:
+        self._extractions[rel_path] = {
+            "digest": digest,
+            "facts": facts.to_dict(),
+        }
+        self._dirty = True
+
+    # -- module-scope findings -----------------------------------------
+    def get_module_findings(
+        self, rel_path: str, dep_digest: str
+    ) -> Optional[List[Finding]]:
+        entry = self._module_findings.get(rel_path)
+        if entry is None or entry.get("dep_digest") != dep_digest:
+            self.module_misses += 1
+            return None
+        self.module_hits += 1
+        return [Finding.from_dict(raw) for raw in entry.get("findings", [])]  # type: ignore[union-attr]
+
+    def put_module_findings(
+        self, rel_path: str, dep_digest: str, findings: List[Finding]
+    ) -> None:
+        self._module_findings[rel_path] = {
+            "dep_digest": dep_digest,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    # -- project-scope findings ----------------------------------------
+    def get_project_findings(self, key: str) -> Optional[List[Finding]]:
+        if self._project_findings.get("key") != key:
+            return None
+        return [
+            Finding.from_dict(raw)
+            for raw in self._project_findings.get("findings", [])  # type: ignore[union-attr]
+        ]
+
+    def put_project_findings(self, key: str, findings: List[Finding]) -> None:
+        self._project_findings = {
+            "key": key,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    # -- housekeeping --------------------------------------------------
+    def prune(self, live_paths) -> None:
+        """Drop entries for files that no longer exist in the sweep."""
+        live = set(live_paths)
+        for table in (self._extractions, self._module_findings):
+            for stale in [rel for rel in table if rel not in live]:
+                del table[stale]
+                self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "version": _FORMAT_VERSION,
+            "extract_version": EXTRACT_VERSION,
+            "extractions": self._extractions,
+            "module_findings": self._module_findings,
+            "project_findings": self._project_findings,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        descriptor, tmp_path = tempfile.mkstemp(
+            prefix=".repro-graph-cache.", dir=directory
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp_path, self.path)
+        except OSError:
+            # An unwritable cache must not fail the lint.
+            try:
+                os.unlink(tmp_path)
+            except OSError:  # repro: noqa[swallowed-exception]
+                pass
+        else:
+            self._dirty = False

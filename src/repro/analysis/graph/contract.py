@@ -1,0 +1,194 @@
+"""The declared architecture contract: ``.repro-arch.toml``.
+
+The contract names the project's layers bottom-up and the linter
+enforces them: a module may import its own layer and anything below,
+unless its layer declares ``may-import`` (an explicit allow-list of
+other layers — the tooling layer uses this to see only the foundation).
+``[[forbid]]`` entries add edge-level bans that hold regardless of
+layering, with a written reason that surfaces in the finding.
+
+Modules are matched to layers by longest dotted-prefix: the pattern
+``repro`` catches the root package while ``repro.lake`` still claims
+everything beneath it.  Unmatched modules (tests, benchmarks) are
+unconstrained.
+
+A missing contract file disables layering enforcement rather than
+failing the run — the contract is opt-in per repository.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.utils.hashing import stable_hash
+
+__all__ = [
+    "Layer",
+    "ForbidRule",
+    "LayerContract",
+    "load_contract",
+    "DEFAULT_CONTRACT_NAME",
+]
+
+DEFAULT_CONTRACT_NAME = ".repro-arch.toml"
+_FORMAT_VERSION = 1
+
+
+def _prefix_match(pattern: str, module: str) -> bool:
+    return module == pattern or module.startswith(pattern + ".")
+
+
+@dataclass(frozen=True)
+class Layer:
+    name: str
+    modules: Tuple[str, ...]
+    may_import: Optional[Tuple[str, ...]] = None  # layer names; None = default
+
+
+@dataclass(frozen=True)
+class ForbidRule:
+    source: str  # module prefix
+    target: str  # module prefix
+    reason: str
+
+    def matches(self, importer: str, imported: str) -> bool:
+        return _prefix_match(self.source, importer) and _prefix_match(
+            self.target, imported
+        )
+
+
+@dataclass
+class LayerContract:
+    layers: List[Layer] = field(default_factory=list)  # bottom-up
+    forbids: List[ForbidRule] = field(default_factory=list)
+    source_roots: Tuple[str, ...] = ("src",)
+
+    def __post_init__(self) -> None:
+        self._index: Dict[str, int] = {
+            layer.name: position for position, layer in enumerate(self.layers)
+        }
+        for layer in self.layers:
+            for allowed in layer.may_import or ():
+                if allowed not in self._index:
+                    raise ConfigError(
+                        f"layer {layer.name!r} may-import unknown layer "
+                        f"{allowed!r}"
+                    )
+
+    def layer_of(self, module: str) -> Optional[Layer]:
+        """Longest-prefix layer owning ``module``, or ``None``."""
+        best: Optional[Layer] = None
+        best_length = -1
+        for layer in self.layers:
+            for pattern in layer.modules:
+                if _prefix_match(pattern, module) and len(pattern) > best_length:
+                    best = layer
+                    best_length = len(pattern)
+        return best
+
+    def violation(self, importer: str, imported: str) -> Optional[str]:
+        """Reason the edge breaks the contract, or ``None`` if allowed."""
+        for rule in self.forbids:
+            if rule.matches(importer, imported):
+                return (
+                    f"forbidden import {rule.source} -> {rule.target}: "
+                    f"{rule.reason}"
+                )
+        source_layer = self.layer_of(importer)
+        target_layer = self.layer_of(imported)
+        if source_layer is None or target_layer is None:
+            return None
+        if source_layer.name == target_layer.name:
+            return None
+        if source_layer.may_import is not None:
+            if target_layer.name in source_layer.may_import:
+                return None
+            allowed = ", ".join(source_layer.may_import) or "nothing"
+            return (
+                f"layer {source_layer.name!r} may import only [{allowed}], "
+                f"not layer {target_layer.name!r}"
+            )
+        if self._index[target_layer.name] <= self._index[source_layer.name]:
+            return None
+        return (
+            f"layer {source_layer.name!r} sits below layer "
+            f"{target_layer.name!r} and may not import upward"
+        )
+
+    def digest(self) -> str:
+        """Stable digest; keys the dependency-aware findings cache."""
+        payload = {
+            "layers": [
+                (layer.name, list(layer.modules), list(layer.may_import or ()))
+                for layer in self.layers
+            ],
+            "forbids": [
+                (rule.source, rule.target, rule.reason)
+                for rule in self.forbids
+            ],
+            "roots": list(self.source_roots),
+        }
+        return stable_hash(payload)
+
+
+def load_contract(path: str) -> Optional[LayerContract]:
+    """Parse a contract file; ``None`` when the file does not exist."""
+    try:
+        with open(path, "rb") as handle:
+            payload = tomllib.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, tomllib.TOMLDecodeError) as error:
+        raise ConfigError(f"unreadable contract {path}: {error}") from error
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ConfigError(
+            f"contract {path} has unsupported version "
+            f"{payload.get('version')!r}"
+        )
+    project = payload.get("project", {})
+    roots = tuple(project.get("source-roots", ["src"]))
+    layers: List[Layer] = []
+    for raw in payload.get("layers", []):
+        name = raw.get("name")
+        modules = raw.get("modules")
+        if not name or not modules:
+            raise ConfigError(
+                f"contract {path}: every [[layers]] entry needs a name "
+                "and a non-empty modules list"
+            )
+        may_import = raw.get("may-import")
+        layers.append(
+            Layer(
+                name=str(name),
+                modules=tuple(str(m) for m in modules),
+                may_import=(
+                    tuple(str(l) for l in may_import)
+                    if may_import is not None
+                    else None
+                ),
+            )
+        )
+    forbids: List[ForbidRule] = []
+    for raw in payload.get("forbid", []):
+        missing = {"from", "to", "reason"} - set(raw)
+        if missing:
+            raise ConfigError(
+                f"contract {path}: [[forbid]] entry {raw!r} is missing "
+                f"{sorted(missing)}"
+            )
+        if not str(raw["reason"]).strip():
+            raise ConfigError(
+                f"contract {path}: forbid {raw['from']} -> {raw['to']} "
+                "needs a non-empty reason"
+            )
+        forbids.append(
+            ForbidRule(
+                source=str(raw["from"]),
+                target=str(raw["to"]),
+                reason=str(raw["reason"]),
+            )
+        )
+    return LayerContract(layers=layers, forbids=forbids, source_roots=roots)

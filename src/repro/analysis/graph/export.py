@@ -1,0 +1,109 @@
+"""Export the project graph for humans and tooling.
+
+``repro graph --json`` emits a stable document (sorted keys, sorted
+edges, no timestamps) that CI archives next to test results; the bench
+smoke reads the same document to learn each module's reverse-import
+closure.  ``repro graph --dot`` renders Graphviz source with one
+cluster per contract layer and dashed edges for lazy imports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.analysis.graph.project import ProjectGraph
+
+__all__ = ["graph_to_dict", "render_graph_json", "render_graph_dot"]
+
+_EXPORT_VERSION = 1
+
+
+def graph_to_dict(
+    project: ProjectGraph, closures: bool = False
+) -> Dict[str, object]:
+    graph = project.imports
+    layers = graph.topological_layers()
+    layer_index = {
+        module: depth
+        for depth, members in enumerate(layers)
+        for module in members
+    }
+    modules: List[Dict[str, object]] = []
+    for module in sorted(graph.modules):
+        contract_layer: Optional[str] = None
+        if project.contract is not None:
+            layer = project.contract.layer_of(module)
+            contract_layer = layer.name if layer is not None else None
+        entry: Dict[str, object] = {
+            "name": module,
+            "path": graph.modules[module],
+            "depth": layer_index[module],
+            "contract_layer": contract_layer,
+            "imports": sorted(graph.edges[module]),
+            "lazy_imports": sorted(
+                graph.all_edges[module] - graph.edges[module]
+            ),
+        }
+        if closures:
+            entry["reverse_closure"] = sorted(graph.reverse_closure(module))
+        modules.append(entry)
+    return {
+        "version": _EXPORT_VERSION,
+        "fingerprint": graph.fingerprint(),
+        "module_count": len(graph.modules),
+        "edge_count": sum(len(targets) for targets in graph.all_edges.values()),
+        "cycles": graph.cycles(),
+        "layers": layers,
+        "modules": modules,
+    }
+
+
+def render_graph_json(project: ProjectGraph, closures: bool = False) -> str:
+    return json.dumps(
+        graph_to_dict(project, closures=closures), indent=2, sort_keys=True
+    )
+
+
+def _dot_id(module: str) -> str:
+    return '"' + module.replace('"', "") + '"'
+
+
+def render_graph_dot(project: ProjectGraph) -> str:
+    """Graphviz source: layer clusters, solid top-level / dashed lazy edges."""
+    graph = project.imports
+    lines = [
+        "digraph repro_imports {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontsize=10, fontname="Helvetica"];',
+    ]
+    clustered: Dict[str, List[str]] = {}
+    loose: List[str] = []
+    for module in sorted(graph.modules):
+        layer = (
+            project.contract.layer_of(module)
+            if project.contract is not None
+            else None
+        )
+        if layer is None:
+            loose.append(module)
+        else:
+            clustered.setdefault(layer.name, []).append(module)
+    for position, layer_name in enumerate(sorted(clustered)):
+        lines.append(f"  subgraph cluster_{position} {{")
+        lines.append(f'    label="{layer_name}";')
+        lines.append("    style=rounded;")
+        for module in clustered[layer_name]:
+            lines.append(f"    {_dot_id(module)};")
+        lines.append("  }")
+    for module in loose:
+        lines.append(f"  {_dot_id(module)};")
+    for module in sorted(graph.modules):
+        for target in sorted(graph.edges[module]):
+            lines.append(f"  {_dot_id(module)} -> {_dot_id(target)};")
+        for target in sorted(graph.all_edges[module] - graph.edges[module]):
+            lines.append(
+                f"  {_dot_id(module)} -> {_dot_id(target)} [style=dashed];"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,416 @@
+"""Per-file fact extraction for whole-program analysis.
+
+The graph layer never re-walks an AST twice: each file is distilled once
+into a :class:`ModuleFacts` — imports split into *top-level* (executed
+at import time) and *lazy* (inside a function body), top-level symbol
+definitions, every identifier the file references, per-function call
+targets and purity hazards, and pool-submission sites.  Facts are plain
+JSON-serializable data, which is what lets :mod:`repro.analysis.graph.cache`
+persist them keyed on the file's content digest: a warm graph build
+parses only the files that actually changed.
+
+The top-level / lazy split carries real semantics downstream:
+
+* **cycle detection** uses top-level edges only — a function-body import
+  is the sanctioned way to break an import cycle (the registry pattern
+  in ``repro.analysis.core`` depends on it);
+* **layering enforcement** uses both — ``repro.analysis`` lazily
+  importing ``repro.lake`` would still be a contract violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.core import ImportMap
+from repro.analysis.rules.determinism import _NONDETERMINISTIC_CALLS
+
+__all__ = ["FunctionFacts", "ModuleFacts", "extract_facts", "module_name_for", "EXTRACT_VERSION"]
+
+#: Bump whenever extraction output changes shape or meaning; guards the
+#: on-disk extraction cache.
+EXTRACT_VERSION = 1
+
+#: ``random`` / ``numpy.random`` attributes that configure rather than
+#: draw randomness (mirrors the per-file determinism rule).
+_SAFE_RANDOM_ATTRS = {
+    "seed", "Random", "default_rng", "SeedSequence", "RandomState",
+    "Generator", "getstate", "setstate",
+}
+_RANDOM_PREFIXES = ("random.", "numpy.random.")
+
+_DIGEST_NAME_RE = re.compile(
+    r"digest|fingerprint|checksum|stable_hash|content_hash|make_id|model_id",
+    re.IGNORECASE,
+)
+
+
+def _is_impure_call(qualified: str) -> bool:
+    """Nondeterministic call: wall clock, uuid, or unseeded RNG draw."""
+    if qualified in _NONDETERMINISTIC_CALLS:
+        return True
+    for prefix in _RANDOM_PREFIXES:
+        if qualified.startswith(prefix):
+            attr = qualified[len(prefix):].split(".")[0]
+            return attr not in _SAFE_RANDOM_ATTRS
+    return False
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+@dataclass
+class FunctionFacts:
+    """One top-level function or method, summarized for the call graph."""
+
+    qualname: str  # "func" or "Class.method", module-relative
+    lineno: int
+    is_digest: bool = False  # name matches digest pattern or calls hashlib
+    uses_global: bool = False  # contains a `global` statement
+    calls: List[str] = field(default_factory=list)  # canonical dotted targets
+    attr_calls: List[str] = field(default_factory=list)  # bare obj.attr() names
+    self_calls: List[str] = field(default_factory=list)  # self.method() names
+    impure: List[Tuple[str, int]] = field(default_factory=list)
+    unordered: List[int] = field(default_factory=list)  # set-iteration linenos
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "lineno": self.lineno,
+            "is_digest": self.is_digest,
+            "uses_global": self.uses_global,
+            "calls": self.calls,
+            "attr_calls": self.attr_calls,
+            "self_calls": self.self_calls,
+            "impure": [list(pair) for pair in self.impure],
+            "unordered": self.unordered,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "FunctionFacts":
+        return cls(
+            qualname=str(raw["qualname"]),
+            lineno=int(raw["lineno"]),  # type: ignore[arg-type]
+            is_digest=bool(raw["is_digest"]),
+            uses_global=bool(raw["uses_global"]),
+            calls=list(raw.get("calls", [])),  # type: ignore[arg-type]
+            attr_calls=list(raw.get("attr_calls", [])),  # type: ignore[arg-type]
+            self_calls=list(raw.get("self_calls", [])),  # type: ignore[arg-type]
+            impure=[(str(q), int(n)) for q, n in raw.get("impure", [])],  # type: ignore[union-attr]
+            unordered=[int(n) for n in raw.get("unordered", [])],  # type: ignore[union-attr]
+        )
+
+
+@dataclass
+class ModuleFacts:
+    """Everything the graph layer knows about one file."""
+
+    module: str  # dotted module name derived from the path
+    rel_path: str
+    top_imports: List[Tuple[str, int]] = field(default_factory=list)
+    lazy_imports: List[Tuple[str, int]] = field(default_factory=list)
+    #: (name, kind, lineno, decorated); kind: "function" | "class" | "lambda"
+    symbols: List[Tuple[str, str, int, bool]] = field(default_factory=list)
+    exports: List[str] = field(default_factory=list)  # names in __all__
+    refs: List[str] = field(default_factory=list)  # every referenced identifier
+    functions: List[FunctionFacts] = field(default_factory=list)
+    #: (kind, target, lineno); kind: "run_wave" | "initializer"; target is
+    #: the canonical dotted name of a Name argument (lambdas and bound
+    #: methods are the per-file pool-task rule's problem, not ours).
+    pool_tasks: List[Tuple[str, str, int]] = field(default_factory=list)
+    parse_error: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "module": self.module,
+            "rel_path": self.rel_path,
+            "top_imports": [list(pair) for pair in self.top_imports],
+            "lazy_imports": [list(pair) for pair in self.lazy_imports],
+            "symbols": [list(sym) for sym in self.symbols],
+            "exports": self.exports,
+            "refs": self.refs,
+            "functions": [fn.to_dict() for fn in self.functions],
+            "pool_tasks": [list(task) for task in self.pool_tasks],
+            "parse_error": self.parse_error,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "ModuleFacts":
+        return cls(
+            module=str(raw["module"]),
+            rel_path=str(raw["rel_path"]),
+            top_imports=[(str(t), int(n)) for t, n in raw.get("top_imports", [])],  # type: ignore[union-attr]
+            lazy_imports=[(str(t), int(n)) for t, n in raw.get("lazy_imports", [])],  # type: ignore[union-attr]
+            symbols=[
+                (str(n), str(k), int(l), bool(d))
+                for n, k, l, d in raw.get("symbols", [])  # type: ignore[union-attr]
+            ],
+            exports=list(raw.get("exports", [])),  # type: ignore[arg-type]
+            refs=list(raw.get("refs", [])),  # type: ignore[arg-type]
+            functions=[
+                FunctionFacts.from_dict(f) for f in raw.get("functions", [])  # type: ignore[union-attr]
+            ],
+            pool_tasks=[
+                (str(k), str(t), int(l))
+                for k, t, l in raw.get("pool_tasks", [])  # type: ignore[union-attr]
+            ],
+            parse_error=bool(raw.get("parse_error", False)),
+        )
+
+
+def module_name_for(rel_path: str, source_roots: Tuple[str, ...] = ("src",)) -> str:
+    """Dotted module name of a repo-relative posix path.
+
+    ``src/repro/lake/store.py`` -> ``repro.lake.store``; a package
+    ``__init__.py`` names the package itself.  Files outside every
+    source root (tests, benchmarks) are named from their full path so
+    they participate in the graph as importers.
+    """
+    path = rel_path
+    for root in source_roots:
+        prefix = root.rstrip("/") + "/"
+        if path.startswith(prefix):
+            path = path[len(prefix):]
+            break
+    if path.endswith(".py"):
+        path = path[:-3]
+    dotted = path.replace("/", ".")
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+class _FactsVisitor(ast.NodeVisitor):
+    def __init__(self, facts: ModuleFacts, imports: ImportMap):
+        self.facts = facts
+        self.imports = imports
+        self.depth = 0  # function nesting depth; >0 means lazy context
+        self.current: Optional[FunctionFacts] = None
+        self.class_stack: List[str] = []
+        self._refs: set = set()
+
+    # -- imports -------------------------------------------------------
+    def _record_import(self, target: str, lineno: int) -> None:
+        bucket = (
+            self.facts.lazy_imports if self.depth else self.facts.top_imports
+        )
+        bucket.append((target, lineno))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._record_import(alias.name, node.lineno)
+            self._refs.add(alias.asname or alias.name.split(".")[0])
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    self._record_import(node.module, node.lineno)
+                else:
+                    self._record_import(
+                        f"{node.module}.{alias.name}", node.lineno
+                    )
+                    self._refs.add(alias.name)
+
+    # -- symbols and references ----------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.depth == 0 and not self.class_stack:
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "__all__" and isinstance(
+                    node.value, (ast.List, ast.Tuple)
+                ):
+                    for elt in node.value.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(
+                            elt.value, str
+                        ):
+                            self.facts.exports.append(elt.value)
+                elif isinstance(node.value, ast.Lambda):
+                    self.facts.symbols.append(
+                        (target.id, "lambda", node.lineno, False)
+                    )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._refs.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self._refs.add(node.attr)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self.current is not None:
+            self.current.uses_global = True
+
+    # -- function and class scopes -------------------------------------
+    def _visit_def(self, node) -> None:
+        decorated = bool(node.decorator_list)
+        if self.depth == 0:
+            kind = "function"
+            if not self.class_stack:
+                self.facts.symbols.append(
+                    (node.name, kind, node.lineno, decorated)
+                )
+            qualname = ".".join(self.class_stack + [node.name])
+            outer = self.current
+            # Decorators and argument defaults run at definition time,
+            # outside the function body.
+            for decorator in node.decorator_list:
+                self.visit(decorator)
+            self.visit(node.args)
+            self.current = FunctionFacts(qualname=qualname, lineno=node.lineno)
+            if _DIGEST_NAME_RE.search(node.name):
+                self.current.is_digest = True
+            self.facts.functions.append(self.current)
+            self.depth += 1
+            for child in node.body:
+                self.visit(child)
+            self.depth -= 1
+            self.current = outer
+        else:
+            # Nested defs stay part of the enclosing function's body:
+            # their calls and hazards belong to the closure we analyze.
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self.depth == 0 and not self.class_stack:
+            self.facts.symbols.append(
+                (node.name, "class", node.lineno, bool(node.decorator_list))
+            )
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    # -- calls ---------------------------------------------------------
+    def _pool_target(self, expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            return self.imports.resolve(expr.id) or expr.id
+        return None  # lambdas / attributes: the per-file rule's territory
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "run_wave":
+            if node.args:
+                target = self._pool_target(node.args[0])
+                if target is not None:
+                    self.facts.pool_tasks.append(
+                        ("run_wave", target, node.lineno)
+                    )
+        callee_name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if callee_name == "WaveExecutor":
+            for keyword in node.keywords:
+                if keyword.arg == "initializer":
+                    target = self._pool_target(keyword.value)
+                    if target is not None:
+                        self.facts.pool_tasks.append(
+                            ("initializer", target, node.lineno)
+                        )
+        if self.current is not None:
+            self._record_call(node)
+        self.generic_visit(node)
+
+    def _record_call(self, node: ast.Call) -> None:
+        fn = self.current
+        assert fn is not None
+        qualified = self.imports.qualified(node.func)
+        if qualified is not None:
+            if _is_impure_call(qualified):
+                fn.impure.append((qualified, node.lineno))
+            elif qualified == "json.dumps" and not _has_sort_keys(node):
+                fn.unordered.append(node.lineno)
+            else:
+                fn.calls.append(qualified)
+            if qualified.startswith("hashlib."):
+                fn.is_digest = True
+        elif isinstance(node.func, ast.Attribute):
+            chain: List[str] = []
+            current: ast.AST = node.func
+            while isinstance(current, ast.Attribute):
+                chain.append(current.attr)
+                current = current.value
+            if isinstance(current, ast.Name) and current.id == "self" and len(chain) == 1:
+                fn.self_calls.append(chain[0])
+            else:
+                fn.attr_calls.append(node.func.attr)
+
+    # -- unordered iteration -------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if self.current is not None and _is_set_expr(node.iter):
+            self.current.unordered.append(node.lineno)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        if self.current is not None:
+            for comp in node.generators:
+                if _is_set_expr(comp.iter):
+                    self.current.unordered.append(node.lineno)
+        self.generic_visit(node)
+
+    visit_GeneratorExp = _visit_comp
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+
+
+def _has_sort_keys(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "sort_keys":
+            return not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            )
+    return False
+
+
+def extract_facts(
+    rel_path: str,
+    source: str,
+    source_roots: Tuple[str, ...] = ("src",),
+    tree: Optional[ast.Module] = None,
+) -> ModuleFacts:
+    """Distill one file into :class:`ModuleFacts`.
+
+    A file that does not parse yields empty facts flagged with
+    ``parse_error`` — the per-file ``syntax-error`` finding already
+    reports it, and an unparseable file contributes no edges.
+    """
+    module = module_name_for(rel_path, source_roots)
+    facts = ModuleFacts(module=module, rel_path=rel_path)
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=rel_path)
+        except SyntaxError:
+            facts.parse_error = True
+            return facts
+    visitor = _FactsVisitor(facts, ImportMap(tree))
+    visitor.visit(tree)
+    facts.refs = sorted(visitor._refs)
+    for fn in facts.functions:
+        fn.calls = sorted(dict.fromkeys(fn.calls))
+        fn.attr_calls = sorted(dict.fromkeys(fn.attr_calls))
+        fn.self_calls = sorted(dict.fromkeys(fn.self_calls))
+    return facts

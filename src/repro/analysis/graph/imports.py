@@ -1,0 +1,246 @@
+"""The project import graph: modules, edges, cycles, layers, closures.
+
+Nodes are every linted file's dotted module name; edges point at the
+*deepest project module* an import statement resolves to (``from
+repro.lake import LakeSpec`` is an edge to ``repro.lake``; ``import
+repro.lake.store`` is an edge to ``repro.lake.store``; external imports
+resolve to nothing and contribute no edge).
+
+Two edge sets are kept:
+
+* ``edges`` — top-level imports, executed at import time.  Cycle
+  detection and topological layering run on these: a cycle here is a
+  real ``ImportError`` waiting on statement reordering.
+* ``all_edges`` — top-level plus function-body (lazy) imports.  Layer
+  contracts and dependency closures use these: a lazily imported module
+  still shapes behavior, so it still counts as a dependency.
+
+Layers come from Kahn-style leveling of the strongly-connected-component
+condensation: layer 0 depends on nothing, and every module's layer is
+strictly greater than the layers of everything it imports (modules in
+one cycle share a layer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.graph.extract import ModuleFacts
+from repro.utils.hashing import stable_hash
+
+__all__ = ["ImportGraph"]
+
+
+class ImportGraph:
+    def __init__(self, facts: Dict[str, ModuleFacts]):
+        """``facts`` maps rel_path -> :class:`ModuleFacts`."""
+        self.facts = facts
+        #: dotted module name -> rel_path (first wins on collision)
+        self.modules: Dict[str, str] = {}
+        for rel_path in sorted(facts):
+            module = facts[rel_path].module
+            self.modules.setdefault(module, rel_path)
+        self._known = set(self.modules)
+        self.edges: Dict[str, Set[str]] = {m: set() for m in self.modules}
+        self.all_edges: Dict[str, Set[str]] = {m: set() for m in self.modules}
+        #: (importer, imported) -> lineno of the first statement creating it
+        self.edge_lines: Dict[Tuple[str, str], int] = {}
+        for rel_path in sorted(facts):
+            file_facts = facts[rel_path]
+            module = file_facts.module
+            if self.modules[module] != rel_path:
+                continue  # duplicate module name; first file wins
+            for target, lineno in file_facts.top_imports:
+                self._add_edge(module, target, lineno, top_level=True)
+            for target, lineno in file_facts.lazy_imports:
+                self._add_edge(module, target, lineno, top_level=False)
+        self._sccs: Optional[List[FrozenSet[str]]] = None
+        self._scc_of: Optional[Dict[str, FrozenSet[str]]] = None
+        self._layers: Optional[List[List[str]]] = None
+        self._forward: Dict[str, FrozenSet[str]] = {}
+
+    # -- construction --------------------------------------------------
+    def resolve(self, target: str) -> Optional[str]:
+        """Deepest known project module that is a dotted prefix of ``target``."""
+        parts = target.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self._known:
+                return candidate
+        return None
+
+    def _add_edge(
+        self, module: str, target: str, lineno: int, top_level: bool
+    ) -> None:
+        resolved = self.resolve(target)
+        if resolved is None:
+            return
+        if resolved != module:
+            self.all_edges[module].add(resolved)
+            if top_level:
+                self.edges[module].add(resolved)
+            self.edge_lines.setdefault((module, resolved), lineno)
+        elif top_level and target == module:
+            # `import pkg.mod` from inside pkg/mod.py: a true self-import.
+            self.edges[module].add(resolved)
+            self.all_edges[module].add(resolved)
+            self.edge_lines.setdefault((module, resolved), lineno)
+
+    # -- cycles --------------------------------------------------------
+    def sccs(self) -> List[FrozenSet[str]]:
+        """Strongly connected components of the top-level graph (iterative
+        Tarjan, reverse-topological order)."""
+        if self._sccs is not None:
+            return self._sccs
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        result: List[FrozenSet[str]] = []
+        counter = 0
+        for root in sorted(self.modules):
+            if root in index:
+                continue
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_index = work[-1]
+                if child_index == 0:
+                    index[node] = lowlink[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                children = sorted(self.edges[node])
+                recursed = False
+                for position in range(child_index, len(children)):
+                    child = children[position]
+                    if child not in index:
+                        work[-1] = (node, position + 1)
+                        work.append((child, 0))
+                        recursed = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if recursed:
+                    continue
+                work.pop()
+                if lowlink[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    result.append(frozenset(component))
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        self._sccs = result
+        self._scc_of = {m: scc for scc in result for m in scc}
+        return result
+
+    def scc_of(self, module: str) -> FrozenSet[str]:
+        self.sccs()
+        assert self._scc_of is not None
+        return self._scc_of[module]
+
+    def cycles(self) -> List[List[str]]:
+        """Sorted member lists of every nontrivial cycle (incl. self-loops)."""
+        found: List[List[str]] = []
+        for scc in self.sccs():
+            members = sorted(scc)
+            if len(members) > 1 or members[0] in self.edges[members[0]]:
+                found.append(members)
+        return sorted(found)
+
+    # -- layers --------------------------------------------------------
+    def topological_layers(self) -> List[List[str]]:
+        """Modules grouped by dependency depth over top-level edges.
+
+        ``layers[0]`` imports nothing in the project; every module sits
+        exactly one layer above its deepest dependency.  Cycle members
+        share a layer.  Concatenated bottom-up, the layers are a valid
+        linearization: every import points to the same or a lower layer
+        (strictly lower across distinct SCCs).
+        """
+        if self._layers is not None:
+            return self._layers
+        sccs = self.sccs()  # Tarjan emits reverse-topological order
+        scc_depth: Dict[FrozenSet[str], int] = {}
+        for scc in sccs:
+            depth = 0
+            for member in scc:
+                for dep in self.edges[member]:
+                    dep_scc = self.scc_of(dep)
+                    if dep_scc is not scc:
+                        depth = max(depth, scc_depth[dep_scc] + 1)
+            scc_depth[scc] = depth
+        layers: Dict[int, List[str]] = {}
+        for scc, depth in scc_depth.items():
+            layers.setdefault(depth, []).extend(scc)
+        self._layers = [
+            sorted(layers[depth]) for depth in sorted(layers)
+        ]
+        return self._layers
+
+    # -- closures ------------------------------------------------------
+    def forward_closure(self, module: str) -> FrozenSet[str]:
+        """``module`` plus everything it transitively imports (all edges)."""
+        cached = self._forward.get(module)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        pending = [module]
+        while pending:
+            node = pending.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            pending.extend(self.all_edges.get(node, ()))
+        closure = frozenset(seen)
+        self._forward[module] = closure
+        return closure
+
+    def reverse_closure(self, module: str) -> FrozenSet[str]:
+        """``module`` plus everything that transitively imports it."""
+        reverse: Dict[str, Set[str]] = {m: set() for m in self.modules}
+        for importer, targets in self.all_edges.items():
+            for target in targets:
+                reverse.setdefault(target, set()).add(importer)
+        seen: Set[str] = set()
+        pending = [module]
+        while pending:
+            node = pending.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            pending.extend(reverse.get(node, ()))
+        return frozenset(seen)
+
+    # -- identity ------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable digest of the graph topology (both edge kinds)."""
+        payload = {
+            "modules": sorted(self.modules),
+            "top": sorted(
+                (a, b) for a, targets in self.edges.items() for b in targets
+            ),
+            "all": sorted(
+                (a, b) for a, targets in self.all_edges.items() for b in targets
+            ),
+        }
+        return stable_hash(payload)
+
+    def edge_line(self, importer: str, imported: str) -> int:
+        return self.edge_lines.get((importer, imported), 1)
+
+    def iter_import_edges(
+        self, module: str
+    ) -> Iterable[Tuple[str, int, bool]]:
+        """(imported, lineno, is_top_level) for every project edge of a module."""
+        for target in sorted(self.all_edges.get(module, ())):
+            yield (
+                target,
+                self.edge_line(module, target),
+                target in self.edges.get(module, ()),
+            )

@@ -2,10 +2,12 @@
 
 A pragma suppresses findings on its own line.  The bare form
 ``# repro: noqa`` suppresses every rule on that line; the bracketed form
-suppresses only the named rules.  Pragmas live in the file content, so
-the per-file result cache (keyed on a content hash) stays correct: the
-cache stores post-pragma findings, and editing a pragma re-lints the
-file.
+suppresses only the named rules — one or several, comma-separated, with
+optional spaces (``noqa[rule-a, rule-b]``).  Several pragmas may share a
+line; their rule sets union, and a bare pragma anywhere on the line wins
+outright.  Pragmas live in the file content, so the per-file result
+cache (keyed on a content hash) stays correct: the cache stores
+post-pragma findings, and editing a pragma re-lints the file.
 """
 
 from __future__ import annotations
@@ -33,16 +35,17 @@ def pragma_lines(source: str) -> Dict[int, Set[str]]:
     """
     pragmas: Dict[int, Set[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA_RE.search(line)
-        if match is None:
-            continue
-        spec: Optional[str] = match.group("rules")
-        if spec is None:
-            pragmas[lineno] = {ALL_RULES}
-        else:
-            pragmas[lineno] = {
+        rules: Set[str] = set()
+        for match in _PRAGMA_RE.finditer(line):
+            spec: Optional[str] = match.group("rules")
+            if spec is None:
+                rules = {ALL_RULES}
+                break
+            rules.update(
                 name.strip() for name in spec.split(",") if name.strip()
-            }
+            )
+        if rules:
+            pragmas[lineno] = rules
     return pragmas
 
 

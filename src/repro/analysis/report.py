@@ -43,6 +43,15 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
         f"(cache {result.cache_hits} hits / {result.cache_misses} misses, "
         f"{result.elapsed_seconds:.2f}s)"
     )
+    if result.graph_enabled:
+        lines.append(
+            f"graph: {result.graph_modules} modules, "
+            f"{result.graph_edges} edges, {result.graph_cycles} cycles, "
+            f"{result.graph_files_reanalyzed} re-analyzed "
+            f"(cache {result.graph_cache_hits} hits / "
+            f"{result.graph_cache_misses} misses, "
+            f"{result.graph_seconds:.2f}s)"
+        )
     return "\n".join(lines)
 
 
@@ -67,4 +76,14 @@ def render_json(result: LintResult) -> str:
             "cache_misses": result.cache_misses,
         },
     }
+    if result.graph_enabled:
+        payload["graph"] = {
+            "modules": result.graph_modules,
+            "edges": result.graph_edges,
+            "cycles": result.graph_cycles,
+            "files_reanalyzed": result.graph_files_reanalyzed,
+            "cache_hits": result.graph_cache_hits,
+            "cache_misses": result.graph_cache_misses,
+            "fingerprint": result.graph_fingerprint,
+        }
     return json.dumps(payload, indent=2, sort_keys=True)

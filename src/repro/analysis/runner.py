@@ -1,14 +1,19 @@
 """The lint runner: walk files, run rules, suppress, summarize.
 
 Per file the pipeline is: content hash -> cache probe -> (parse + run
-every applicable rule) -> pragma filter -> cache store.  Baseline
-suppression happens once at the end, over the aggregate, so editing
-``.repro-lint.json`` re-ranks results without invalidating the cache.
+every applicable rule) -> pragma filter -> cache store.  With graph
+analysis enabled (``--graph``, implied by ``--strict``) a second phase
+assembles the whole-program view and runs the interprocedural rules
+through their own dependency-aware cache.  Baseline suppression and
+``--select``/``--ignore`` scoping happen once at the end, over the
+aggregate, so editing ``.repro-lint.json`` or narrowing a CI run
+re-ranks results without invalidating either cache.
 
 The runner is instrumented like every other subsystem: a ``lint.run``
-span wraps the sweep, per-file work runs under ``lint.file`` spans, and
-the registry counters (files, cache hits/misses, findings) land in the
-same metrics snapshot the CLI persists.
+span wraps the sweep, per-file work runs under ``lint.file`` spans, the
+graph phase under a ``lint.graph`` span, and the registry counters
+(files, cache hits/misses, findings, graph sizes) land in the same
+metrics snapshot the CLI persists.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ import ast
 import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import (
     BaselineEntry,
@@ -29,12 +34,28 @@ from repro.analysis.core import (
     FileContext,
     Finding,
     all_rules,
+    rule_names,
     rules_fingerprint,
+)
+from repro.analysis.graph import (
+    DEFAULT_CONTRACT_NAME,
+    DEFAULT_GRAPH_CACHE_NAME,
+    GraphCache,
+    analyze_project,
+    graph_rule_names,
+    load_contract,
 )
 from repro.analysis.pragmas import apply_pragmas
 from repro.errors import ConfigError
 from repro.obs import metrics as obs_metrics
 from repro.obs.instrument import (
+    GRAPH_BUILD_SECONDS,
+    GRAPH_CACHE_HITS,
+    GRAPH_CACHE_MISSES,
+    GRAPH_EDGES,
+    GRAPH_FILES_REANALYZED,
+    GRAPH_FINDINGS,
+    GRAPH_MODULES,
     LINT_CACHE_HITS,
     LINT_CACHE_MISSES,
     LINT_FILES,
@@ -44,11 +65,23 @@ from repro.obs.instrument import (
 from repro.obs.logging import get_logger
 from repro.obs.tracing import trace
 
-__all__ = ["LintConfig", "LintResult", "run_lint", "lint_source"]
+__all__ = [
+    "LintConfig",
+    "LintResult",
+    "run_lint",
+    "lint_source",
+    "known_rule_names",
+    "collect_sources",
+]
 
 _log = get_logger("analysis.runner")
 
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def known_rule_names() -> List[str]:
+    """Every rule id usable in pragmas, baselines, and filters."""
+    return sorted(set(rule_names()) | set(graph_rule_names()) | {"syntax-error"})
 
 
 @dataclass
@@ -60,6 +93,11 @@ class LintConfig:
     baseline_path: Optional[str] = None  # default: <root>/.repro-lint.json
     cache_path: Optional[str] = None  # default: <root>/.repro-lint-cache.json
     use_cache: bool = True
+    graph: bool = False  # run whole-program rules too
+    arch_path: Optional[str] = None  # default: <root>/.repro-arch.toml
+    graph_cache_path: Optional[str] = None  # default: <root>/.repro-graph-cache.json
+    select: Optional[Sequence[str]] = None  # keep only these rules
+    ignore: Sequence[str] = ()  # drop these rules
 
     def resolved_root(self) -> str:
         return os.path.abspath(self.root)
@@ -76,6 +114,49 @@ class LintConfig:
             self.resolved_root(), DEFAULT_CACHE_NAME
         )
 
+    def resolved_arch(self) -> str:
+        return self.arch_path or os.path.join(
+            self.resolved_root(), DEFAULT_CONTRACT_NAME
+        )
+
+    def resolved_graph_cache(self) -> Optional[str]:
+        if not self.use_cache:
+            return None
+        return self.graph_cache_path or os.path.join(
+            self.resolved_root(), DEFAULT_GRAPH_CACHE_NAME
+        )
+
+    def rule_filter(self) -> "RuleFilter":
+        return RuleFilter(self.select, self.ignore)
+
+
+class RuleFilter:
+    """``--select`` / ``--ignore`` scoping, validated against known rules."""
+
+    def __init__(
+        self,
+        select: Optional[Sequence[str]] = None,
+        ignore: Sequence[str] = (),
+    ):
+        known = set(known_rule_names())
+        self.select = frozenset(select) if select is not None else None
+        self.ignore = frozenset(ignore)
+        unknown = ((self.select or frozenset()) | self.ignore) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown rule name(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+
+    def active(self, rule: str) -> bool:
+        if self.select is not None and rule not in self.select:
+            return False
+        return rule not in self.ignore
+
+    @property
+    def is_noop(self) -> bool:
+        return self.select is None and not self.ignore
+
 
 @dataclass
 class LintResult:
@@ -88,6 +169,16 @@ class LintResult:
     cache_hits: int = 0
     cache_misses: int = 0
     elapsed_seconds: float = 0.0
+    # -- graph phase (zeros when the phase did not run) ---------------
+    graph_enabled: bool = False
+    graph_modules: int = 0
+    graph_edges: int = 0
+    graph_cycles: int = 0
+    graph_files_reanalyzed: int = 0
+    graph_cache_hits: int = 0
+    graph_cache_misses: int = 0
+    graph_seconds: float = 0.0
+    graph_fingerprint: str = ""
 
     @property
     def errors(self) -> List[Finding]:
@@ -132,6 +223,19 @@ def _iter_python_files(root: str, paths: Sequence[str]) -> List[str]:
     return sorted(dict.fromkeys(collected))
 
 
+def collect_sources(
+    root: str, paths: Sequence[str]
+) -> Dict[str, Tuple[str, str]]:
+    """rel_path -> (source, content_digest) for every file in the sweep."""
+    sources: Dict[str, Tuple[str, str]] = {}
+    for abs_path in _iter_python_files(root, paths):
+        rel_path = os.path.relpath(abs_path, root).replace(os.sep, "/")
+        with open(abs_path, encoding="utf-8") as handle:
+            source = handle.read()
+        sources[rel_path] = (source, content_digest(source))
+    return sources
+
+
 def lint_source(source: str, rel_path: str) -> List[Finding]:
     """Lint one in-memory file; the unit the runner (and tests) build on.
 
@@ -160,20 +264,49 @@ def lint_source(source: str, rel_path: str) -> List[Finding]:
     return sorted(kept)
 
 
+def _run_graph_phase(
+    config: LintConfig,
+    sources: Dict[str, Tuple[str, str]],
+    result: LintResult,
+) -> List[Finding]:
+    """Whole-program phase: assemble graphs, run interprocedural rules."""
+    contract = load_contract(config.resolved_arch())
+    cache = GraphCache(config.resolved_graph_cache())
+    started = time.perf_counter()
+    with trace("lint.graph", files=len(sources)):
+        report = analyze_project(sources, contract, cache)
+        cache.save()
+    result.graph_enabled = True
+    result.graph_modules = report.modules
+    result.graph_edges = report.all_edges
+    result.graph_cycles = report.cycles
+    result.graph_files_reanalyzed = report.files_reanalyzed
+    result.graph_cache_hits = report.cache_hits
+    result.graph_cache_misses = report.cache_misses
+    result.graph_seconds = time.perf_counter() - started
+    result.graph_fingerprint = report.fingerprint
+    obs_metrics.inc(GRAPH_MODULES, report.modules)
+    obs_metrics.inc(GRAPH_EDGES, report.all_edges)
+    obs_metrics.inc(GRAPH_FILES_REANALYZED, report.files_reanalyzed)
+    obs_metrics.inc(GRAPH_CACHE_HITS, report.cache_hits)
+    obs_metrics.inc(GRAPH_CACHE_MISSES, report.cache_misses)
+    obs_metrics.inc(GRAPH_FINDINGS, len(report.findings))
+    obs_metrics.observe(GRAPH_BUILD_SECONDS, result.graph_seconds)
+    return report.findings
+
+
 def run_lint(config: LintConfig) -> LintResult:
-    """Lint every file under ``config.paths``; apply cache and baseline."""
+    """Lint every file under ``config.paths``; apply caches and baseline."""
     start = time.perf_counter()
     root = config.resolved_root()
+    rule_filter = config.rule_filter()
     baseline = load_baseline(config.resolved_baseline())
     cache = FindingsCache(config.resolved_cache(), rules_fingerprint())
     result = LintResult()
     aggregate: List[Finding] = []
     with trace("lint.run", root=root, paths=len(config.paths)):
-        for abs_path in _iter_python_files(root, config.paths):
-            rel_path = os.path.relpath(abs_path, root).replace(os.sep, "/")
-            with open(abs_path, encoding="utf-8") as handle:
-                source = handle.read()
-            digest = content_digest(source)
+        sources = collect_sources(root, config.paths)
+        for rel_path, (source, digest) in sources.items():
             findings = cache.get(rel_path, digest)
             if findings is None:
                 with trace("lint.file", path=rel_path):
@@ -182,7 +315,15 @@ def run_lint(config: LintConfig) -> LintResult:
             aggregate.extend(findings)
             result.files_scanned += 1
         cache.save()
+        if config.graph:
+            aggregate.extend(_run_graph_phase(config, sources, result))
+    if not rule_filter.is_noop:
+        aggregate = [f for f in aggregate if rule_filter.active(f.rule)]
     kept, suppressed, unused = baseline.apply(sorted(aggregate))
+    if not rule_filter.is_noop:
+        # Entries for rules outside the filter never had a chance to
+        # match; reporting them as stale would be noise.
+        unused = [entry for entry in unused if rule_filter.active(entry.rule)]
     result.findings = kept
     result.baseline_suppressed = suppressed
     result.unused_baseline = unused
@@ -200,6 +341,8 @@ def run_lint(config: LintConfig) -> LintResult:
         findings=len(kept),
         cache_hits=cache.hits,
         cache_misses=cache.misses,
+        graph=result.graph_enabled,
+        graph_reanalyzed=result.graph_files_reanalyzed,
         seconds=round(result.elapsed_seconds, 4),
     )
     return result

@@ -10,7 +10,9 @@ Subcommands::
     python -m repro cite     --dir LAKE_DIR --model NAME_OR_ID
     python -m repro card     --dir LAKE_DIR --model NAME_OR_ID
     python -m repro metrics  --dir LAKE_DIR [--json]
-    python -m repro lint     [PATHS ...] [--strict] [--json]
+    python -m repro lint     [PATHS ...] [--strict] [--graph] [--json]
+                             [--select RULES] [--ignore RULES]
+    python -m repro graph    [PATHS ...] [--dot | --json] [--out FILE]
 
 Global flags (before the subcommand)::
 
@@ -35,7 +37,13 @@ import time
 from dataclasses import asdict
 from typing import Callable, List, Optional
 
-from repro.analysis import LintConfig, render_json, render_text, run_lint
+from repro.analysis import LintConfig, collect_sources, render_json, render_text, run_lint
+from repro.analysis.graph import (
+    build_project,
+    load_contract,
+    render_graph_dot,
+    render_graph_json,
+)
 from repro.core.audit import ModelAuditor
 from repro.core.citation import cite_model
 from repro.core.docgen import CardGenerator
@@ -216,6 +224,13 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _parse_rule_list(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    return names or None
+
+
 def _cmd_lint(args) -> int:
     config = LintConfig(
         paths=args.paths,
@@ -223,6 +238,11 @@ def _cmd_lint(args) -> int:
         baseline_path=args.baseline,
         cache_path=args.cache,
         use_cache=not args.no_cache,
+        # Graph rules guard the architecture, so strict mode implies them.
+        graph=(args.graph or args.strict) and not args.no_graph,
+        arch_path=args.arch,
+        select=_parse_rule_list(args.select),
+        ignore=_parse_rule_list(args.ignore) or (),
     )
     result = run_lint(config)
     if args.json:
@@ -230,6 +250,26 @@ def _cmd_lint(args) -> int:
     else:
         print(render_text(result, verbose=args.verbose))
     return result.exit_code(strict=args.strict)
+
+
+def _cmd_graph(args) -> int:
+    root = os.path.abspath(args.root)
+    contract = load_contract(
+        args.arch or os.path.join(root, ".repro-arch.toml")
+    )
+    sources = collect_sources(root, args.paths)
+    project = build_project(sources, contract)
+    if args.dot:
+        rendered = render_graph_dot(project)
+    else:
+        rendered = render_graph_json(project, closures=args.closures)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(rendered)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -328,7 +368,42 @@ def build_parser() -> argparse.ArgumentParser:
                       help="findings cache (default ROOT/.repro-lint-cache.json)")
     lint.add_argument("--no-cache", action="store_true",
                       help="ignore and do not write the findings cache")
+    lint.add_argument("--graph", action="store_true",
+                      help="also run whole-program graph rules "
+                           "(implied by --strict)")
+    lint.add_argument("--no-graph", action="store_true",
+                      help="skip graph rules even under --strict")
+    lint.add_argument("--arch", default=None, metavar="FILE",
+                      help="layer contract (default ROOT/.repro-arch.toml)")
+    lint.add_argument("--select", default=None, metavar="RULE[,RULE...]",
+                      help="run only these rules")
+    lint.add_argument("--ignore", default=None, metavar="RULE[,RULE...]",
+                      help="drop findings of these rules")
     lint.set_defaults(func=_cmd_lint)
+
+    graph = sub.add_parser(
+        "graph", help="export the project import graph"
+    )
+    graph.add_argument(
+        "paths", nargs="*", default=["src", "tests", "benchmarks"],
+        help="files or directories to include (default: src tests benchmarks)",
+    )
+    graph.add_argument(
+        "--root", default=".",
+        help="project root: paths and the contract resolve against it",
+    )
+    graph.add_argument("--dot", action="store_true",
+                       help="emit Graphviz source instead of JSON")
+    graph.add_argument("--json", action="store_true",
+                       help="emit the stable JSON document (default)")
+    graph.add_argument("--closures", action="store_true",
+                       help="include each module's reverse-import closure "
+                            "in the JSON document")
+    graph.add_argument("--arch", default=None, metavar="FILE",
+                       help="layer contract (default ROOT/.repro-arch.toml)")
+    graph.add_argument("--out", default=None, metavar="FILE",
+                       help="write to FILE instead of stdout")
+    graph.set_defaults(func=_cmd_graph)
     return parser
 
 

@@ -58,6 +58,14 @@ __all__ = [
     "LINT_CACHE_MISSES",
     "LINT_FINDINGS",
     "LINT_RUN_SECONDS",
+    # whole-program graph analysis
+    "GRAPH_MODULES",
+    "GRAPH_EDGES",
+    "GRAPH_BUILD_SECONDS",
+    "GRAPH_FILES_REANALYZED",
+    "GRAPH_CACHE_HITS",
+    "GRAPH_CACHE_MISSES",
+    "GRAPH_FINDINGS",
 ]
 
 F = TypeVar("F", bound=Callable[..., Any])
@@ -99,6 +107,14 @@ LINT_CACHE_HITS = "analysis.lint.cache_hits"
 LINT_CACHE_MISSES = "analysis.lint.cache_misses"
 LINT_FINDINGS = "analysis.lint.findings"
 LINT_RUN_SECONDS = "analysis.lint.run_seconds"
+
+GRAPH_MODULES = "analysis.graph.modules"
+GRAPH_EDGES = "analysis.graph.edges"
+GRAPH_BUILD_SECONDS = "analysis.graph.build_seconds"
+GRAPH_FILES_REANALYZED = "analysis.graph.files_reanalyzed"
+GRAPH_CACHE_HITS = "analysis.graph.cache_hits"
+GRAPH_CACHE_MISSES = "analysis.graph.cache_misses"
+GRAPH_FINDINGS = "analysis.graph.findings"
 
 
 def timed(

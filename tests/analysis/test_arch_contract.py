@@ -1,0 +1,120 @@
+"""Layer-contract parsing and violation semantics (.repro-arch.toml)."""
+
+import pytest
+
+from repro.analysis.graph import LayerContract, load_contract
+from repro.errors import ConfigError
+
+CONTRACT = """
+version = 1
+
+[project]
+source-roots = ["src"]
+
+[[layers]]
+name = "base"
+modules = ["app.util"]
+
+[[layers]]
+name = "mid"
+modules = ["app.engine"]
+
+[[layers]]
+name = "tool"
+modules = ["app.tool"]
+may-import = ["base"]
+
+[[layers]]
+name = "top"
+modules = ["app.main"]
+
+[[forbid]]
+from = "app.main"
+to = "app.util.secrets"
+reason = "entry points read config, never raw secrets"
+"""
+
+
+@pytest.fixture()
+def contract(tmp_path):
+    path = tmp_path / ".repro-arch.toml"
+    path.write_text(CONTRACT, encoding="utf-8")
+    loaded = load_contract(path)
+    assert loaded is not None
+    return loaded
+
+
+def test_missing_file_returns_none(tmp_path):
+    assert load_contract(tmp_path / "nope.toml") is None
+
+
+def test_bad_version_rejected(tmp_path):
+    path = tmp_path / "arch.toml"
+    path.write_text("version = 99\n", encoding="utf-8")
+    with pytest.raises(ConfigError):
+        load_contract(path)
+
+
+def test_forbid_without_reason_rejected(tmp_path):
+    path = tmp_path / "arch.toml"
+    path.write_text(
+        'version = 1\n[[layers]]\nname = "a"\nmodules = ["x"]\n'
+        '[[forbid]]\nfrom = "x"\nto = "y"\n',
+        encoding="utf-8",
+    )
+    with pytest.raises(ConfigError):
+        load_contract(path)
+
+
+def test_layer_of_uses_longest_prefix(contract):
+    assert contract.layer_of("app.util").name == "base"
+    assert contract.layer_of("app.util.hashing").name == "base"
+    assert contract.layer_of("app.engine.search").name == "mid"
+    assert contract.layer_of("other.module") is None
+
+
+def test_downward_and_same_layer_imports_allowed(contract):
+    assert contract.violation("app.engine", "app.util") is None
+    assert contract.violation("app.main", "app.engine") is None
+    assert contract.violation("app.util.a", "app.util.b") is None
+
+
+def test_upward_import_is_a_violation(contract):
+    message = contract.violation("app.util", "app.engine")
+    assert message is not None
+    assert "base" in message and "mid" in message
+
+
+def test_may_import_is_an_exhaustive_allow_list(contract):
+    # tool may import base (listed) and itself (implicit)...
+    assert contract.violation("app.tool", "app.util") is None
+    assert contract.violation("app.tool.sub", "app.tool") is None
+    # ...but not mid, even though mid sits below tool.
+    assert contract.violation("app.tool", "app.engine") is not None
+
+
+def test_forbid_beats_layer_allowance(contract):
+    # main -> util is downward and would normally be fine.
+    message = contract.violation("app.main", "app.util.secrets")
+    assert message is not None
+    assert "never raw secrets" in message
+
+
+def test_unmatched_modules_are_unconstrained(contract):
+    assert contract.violation("tests.test_x", "app.main") is None
+    assert contract.violation("app.main", "tests.test_x") is None
+
+
+def test_digest_is_stable_and_content_sensitive(contract, tmp_path):
+    first = contract.digest()
+    assert first == contract.digest()
+    path = tmp_path / "other.toml"
+    path.write_text(
+        CONTRACT.replace('"app.engine"', '"app.motor"'), encoding="utf-8"
+    )
+    other = load_contract(path)
+    assert other is not None and other.digest() != first
+
+
+def test_layer_contract_importable():
+    assert LayerContract is not None

@@ -1,0 +1,224 @@
+"""Rule filters (--select / --ignore), lint --graph, and `repro graph`."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import LintConfig, run_lint
+from repro.cli import main
+from repro.errors import ConfigError
+
+ARCH = """
+version = 1
+
+[project]
+source-roots = ["src"]
+
+[[layers]]
+name = "low"
+modules = ["repro.low"]
+
+[[layers]]
+name = "high"
+modules = ["repro.high"]
+"""
+
+#: One no-print error (line 2) + one mutable-default error (line 1).
+MIXED = "def g(x, acc=[]):\n    print(x)\n    return acc\n"
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    def build(files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return tmp_path
+
+    return build
+
+
+# -- --select / --ignore (runner level) --------------------------------
+
+
+def test_select_keeps_only_named_rules(tree):
+    root = tree({"src/repro/lake/mod.py": MIXED})
+    result = run_lint(LintConfig(
+        paths=["src"], root=str(root), use_cache=False, select=["no-print"],
+    ))
+    assert [f.rule for f in result.findings] == ["no-print"]
+
+
+def test_ignore_drops_named_rules(tree):
+    root = tree({"src/repro/lake/mod.py": MIXED})
+    result = run_lint(LintConfig(
+        paths=["src"], root=str(root), use_cache=False, ignore=["no-print"],
+    ))
+    assert [f.rule for f in result.findings] == ["mutable-default"]
+
+
+def test_ignore_beats_select(tree):
+    root = tree({"src/repro/lake/mod.py": MIXED})
+    result = run_lint(LintConfig(
+        paths=["src"], root=str(root), use_cache=False,
+        select=["no-print"], ignore=["no-print"],
+    ))
+    assert result.findings == []
+
+
+def test_unknown_rule_name_is_a_config_error(tree):
+    root = tree({"src/repro/lake/mod.py": "X = 1\n"})
+    with pytest.raises(ConfigError, match="no-such-rule"):
+        run_lint(LintConfig(
+            paths=["src"], root=str(root), use_cache=False,
+            select=["no-such-rule"],
+        ))
+
+
+def test_select_accepts_graph_rule_names(tree):
+    root = tree({
+        "src/repro/low.py": "import repro.high\n",
+        "src/repro/high.py": "X = 1\n",
+        ".repro-arch.toml": ARCH,
+    })
+    result = run_lint(LintConfig(
+        paths=["src"], root=str(root), use_cache=False,
+        graph=True, select=["layering-violation"],
+    ))
+    assert [f.rule for f in result.findings] == ["layering-violation"]
+
+
+def test_stale_baseline_outside_filter_is_not_reported(tree):
+    root = tree({"src/repro/lake/mod.py": MIXED})
+    (root / ".repro-lint.json").write_text(json.dumps({
+        "version": 1,
+        "suppressions": [{
+            "rule": "bare-except",
+            "path": "src/repro/lake/mod.py",
+            "reason": "long gone",
+        }],
+    }))
+    narrowed = run_lint(LintConfig(
+        paths=["src"], root=str(root), use_cache=False, select=["no-print"],
+    ))
+    assert narrowed.unused_baseline == []
+    full = run_lint(LintConfig(paths=["src"], root=str(root), use_cache=False))
+    assert len(full.unused_baseline) == 1
+
+
+# -- lint --graph end to end -------------------------------------------
+
+
+def test_lint_graph_reports_layering_violation(tree, capsys):
+    root = tree({
+        "src/repro/low.py": "import repro.high\n",
+        "src/repro/high.py": "X = 1\n",
+        ".repro-arch.toml": ARCH,
+    })
+    code = main(["lint", "--root", str(root), "--no-cache", "--graph", "src"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "[layering-violation]" in out
+    assert "graph: 2 modules" in out
+
+
+def test_strict_implies_graph_and_no_graph_disables_it(tree, capsys):
+    root = tree({
+        "src/repro/low.py": "import repro.high\n",
+        "src/repro/high.py": "X = 1\n",
+        ".repro-arch.toml": ARCH,
+    })
+    assert main(
+        ["lint", "--root", str(root), "--no-cache", "--strict", "src"]
+    ) == 1
+    assert "[layering-violation]" in capsys.readouterr().out
+    assert main([
+        "lint", "--root", str(root), "--no-cache", "--strict",
+        "--no-graph", "src",
+    ]) == 0
+
+
+def test_lint_graph_json_carries_graph_summary(tree, capsys):
+    root = tree({"src/repro/mod.py": "X = 1\n"})
+    code = main([
+        "lint", "--root", str(root), "--no-cache", "--graph", "--json", "src",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["graph"]["modules"] == 1
+    assert payload["graph"]["cycles"] == 0
+    assert payload["graph"]["fingerprint"]
+
+
+def test_lint_select_flag_round_trips(tree, capsys):
+    root = tree({"src/repro/lake/mod.py": MIXED})
+    code = main([
+        "lint", "--root", str(root), "--no-cache",
+        "--select", "mutable-default", "src",
+    ])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "[mutable-default]" in out
+    assert "[no-print]" not in out
+
+
+def test_lint_unknown_select_exits_config_error(tree, capsys):
+    root = tree({"src/repro/lake/mod.py": "X = 1\n"})
+    code = main([
+        "lint", "--root", str(root), "--no-cache", "--select", "bogus", "src",
+    ])
+    assert code == 2
+    assert "unknown rule name" in capsys.readouterr().err
+
+
+# -- repro graph -------------------------------------------------------
+
+
+GRAPH_TREE = {
+    "src/repro/low.py": "X = 1\n",
+    "src/repro/high.py": "import repro.low\n",
+    ".repro-arch.toml": ARCH,
+}
+
+
+def test_graph_json_document(tree, capsys):
+    root = tree(GRAPH_TREE)
+    assert main(["graph", "--root", str(root), "src"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["module_count"] == 2
+    assert payload["cycles"] == []
+    assert payload["layers"] == [["repro.low"], ["repro.high"]]
+    modules = {entry["name"]: entry for entry in payload["modules"]}
+    assert modules["repro.high"]["imports"] == ["repro.low"]
+    assert modules["repro.low"]["contract_layer"] == "low"
+
+
+def test_graph_json_closures_flag(tree, capsys):
+    root = tree(GRAPH_TREE)
+    assert main(["graph", "--root", str(root), "--closures", "src"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    modules = {entry["name"]: entry for entry in payload["modules"]}
+    assert modules["repro.low"]["reverse_closure"] == [
+        "repro.high", "repro.low"
+    ]
+
+
+def test_graph_dot_output(tree, capsys):
+    root = tree(GRAPH_TREE)
+    assert main(["graph", "--root", str(root), "--dot", "src"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph repro_imports")
+    assert '"repro.high" -> "repro.low"' in out
+    assert "cluster" in out  # contract layers render as clusters
+
+
+def test_graph_out_writes_file(tree, tmp_path, capsys):
+    root = tree(GRAPH_TREE)
+    target = tmp_path / "graph.dot"
+    assert main([
+        "graph", "--root", str(root), "--dot", "--out", str(target), "src",
+    ]) == 0
+    assert target.read_text().startswith("digraph repro_imports")
+    assert capsys.readouterr().out == ""

@@ -44,6 +44,40 @@ def test_pragma_on_other_line_does_not_suppress():
     assert [f.rule for f in lint_source(source, LIB)] == ["no-print"]
 
 
+_TWO_RULES_ONE_LINE = "def g(x, acc=[]): print(x)  # repro: noqa[{spec}]\n"
+
+
+def test_pragma_accepts_multiple_comma_separated_rules():
+    source = _TWO_RULES_ONE_LINE.format(spec="mutable-default,no-print")
+    assert lint_source(source, LIB) == []
+
+
+def test_multi_rule_pragma_tolerates_spaces():
+    source = _TWO_RULES_ONE_LINE.format(spec=" mutable-default , no-print ")
+    assert lint_source(source, LIB) == []
+
+
+def test_multi_rule_pragma_suppresses_only_named_rules():
+    source = _TWO_RULES_ONE_LINE.format(spec="mutable-default")
+    assert [f.rule for f in lint_source(source, LIB)] == ["no-print"]
+
+
+def test_several_pragmas_on_one_line_union_their_rules():
+    source = (
+        "def g(x, acc=[]): print(x)"
+        "  # repro: noqa[mutable-default]  # repro: noqa[no-print]\n"
+    )
+    assert lint_source(source, LIB) == []
+
+
+def test_bare_pragma_wins_over_named_pragmas_on_the_line():
+    source = (
+        "def g(x, acc=[]): print(x)"
+        "  # repro: noqa[mutable-default]  # repro: noqa\n"
+    )
+    assert lint_source(source, LIB) == []
+
+
 # -- baseline ----------------------------------------------------------
 
 

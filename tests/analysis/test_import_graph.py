@@ -1,0 +1,194 @@
+"""Import-graph construction: cycles, layers, closures, resolution."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.graph import ImportGraph, extract_facts, module_name_for
+
+
+def build_graph(files):
+    """files: rel_path -> source."""
+    facts = {
+        rel: extract_facts(rel, source) for rel, source in files.items()
+    }
+    return ImportGraph(facts)
+
+
+# -- module naming -----------------------------------------------------
+
+
+def test_module_name_strips_source_root_and_init():
+    assert module_name_for("src/repro/lake/store.py") == "repro.lake.store"
+    assert module_name_for("src/repro/lake/__init__.py") == "repro.lake"
+    assert module_name_for("tests/analysis/test_x.py") == "tests.analysis.test_x"
+
+
+# -- cycle edge cases --------------------------------------------------
+
+
+def test_self_import_is_a_cycle():
+    graph = build_graph({"src/pkg/a.py": "import pkg.a\n"})
+    assert graph.cycles() == [["pkg.a"]]
+
+
+def test_two_cycle_detected():
+    graph = build_graph({
+        "src/pkg/a.py": "import pkg.b\n",
+        "src/pkg/b.py": "import pkg.a\n",
+    })
+    assert graph.cycles() == [["pkg.a", "pkg.b"]]
+
+
+def test_diamond_is_not_a_cycle():
+    graph = build_graph({
+        "src/pkg/top.py": "import pkg.left\nimport pkg.right\n",
+        "src/pkg/left.py": "import pkg.base\n",
+        "src/pkg/right.py": "import pkg.base\n",
+        "src/pkg/base.py": "X = 1\n",
+    })
+    assert graph.cycles() == []
+    layers = graph.topological_layers()
+    assert layers[0] == ["pkg.base"]
+    assert sorted(layers[1]) == ["pkg.left", "pkg.right"]
+    assert layers[2] == ["pkg.top"]
+
+
+def test_three_cycle_shares_one_layer():
+    graph = build_graph({
+        "src/pkg/a.py": "import pkg.b\n",
+        "src/pkg/b.py": "import pkg.c\n",
+        "src/pkg/c.py": "import pkg.a\n",
+    })
+    assert graph.cycles() == [["pkg.a", "pkg.b", "pkg.c"]]
+    layers = graph.topological_layers()
+    assert layers == [["pkg.a", "pkg.b", "pkg.c"]]
+
+
+def test_lazy_import_does_not_create_a_cycle():
+    """A function-body import is the sanctioned cycle-breaker."""
+    graph = build_graph({
+        "src/pkg/a.py": "import pkg.b\n",
+        "src/pkg/b.py": "def late():\n    import pkg.a\n    return pkg.a\n",
+    })
+    assert graph.cycles() == []
+    # ... but the lazy edge still exists for closures and layering.
+    assert "pkg.a" in graph.all_edges["pkg.b"]
+    assert "pkg.a" not in graph.edges["pkg.b"]
+
+
+def test_namespace_package_modules_resolve():
+    """Modules under a directory without __init__.py still form edges."""
+    graph = build_graph({
+        "src/ns/sub/mod.py": "X = 1\n",
+        "src/ns/sub/user.py": "import ns.sub.mod\n",
+    })
+    assert "ns.sub.mod" in graph.edges["ns.sub.user"]
+    assert graph.cycles() == []
+
+
+def test_namespace_package_symbol_import_stays_unresolved():
+    """`from ns.sub import name` has no ns.sub module to land on; the
+    conservative answer is no edge rather than a guessed one."""
+    graph = build_graph({
+        "src/ns/sub/mod.py": "X = 1\n",
+        "src/ns/sub/user.py": "from ns.sub import thing\n",
+    })
+    assert graph.edges["ns.sub.user"] == set()
+
+
+def test_from_import_of_symbol_lands_on_defining_module():
+    graph = build_graph({
+        "src/pkg/__init__.py": "",
+        "src/pkg/mod.py": "def f():\n    return 1\n",
+        "src/pkg/user.py": "from pkg.mod import f\n",
+        "src/pkg/pkguser.py": "from pkg import mod\n",
+    })
+    assert graph.edges["pkg.user"] == {"pkg.mod"}
+    assert graph.edges["pkg.pkguser"] == {"pkg.mod"}
+
+
+def test_external_imports_contribute_no_edges():
+    graph = build_graph({
+        "src/pkg/a.py": "import os\nimport numpy as np\nfrom json import dumps\n",
+    })
+    assert graph.edges["pkg.a"] == set()
+
+
+# -- closures ----------------------------------------------------------
+
+
+def test_forward_and_reverse_closures():
+    graph = build_graph({
+        "src/pkg/app.py": "import pkg.mid\n",
+        "src/pkg/mid.py": "import pkg.base\n",
+        "src/pkg/base.py": "X = 1\n",
+        "src/pkg/loner.py": "Y = 2\n",
+    })
+    assert graph.forward_closure("pkg.app") == {
+        "pkg.app", "pkg.mid", "pkg.base"
+    }
+    assert graph.reverse_closure("pkg.base") == {
+        "pkg.base", "pkg.mid", "pkg.app"
+    }
+    assert graph.reverse_closure("pkg.loner") == {"pkg.loner"}
+
+
+def test_fingerprint_tracks_topology_not_content():
+    files = {
+        "src/pkg/a.py": "import pkg.b\nX = 1\n",
+        "src/pkg/b.py": "Y = 2\n",
+    }
+    first = build_graph(files).fingerprint()
+    files["src/pkg/b.py"] = "Y = 3\n"  # content change, same topology
+    assert build_graph(files).fingerprint() == first
+    files["src/pkg/b.py"] = "import pkg.a\n"  # new edge
+    assert build_graph(files).fingerprint() != first
+
+
+# -- property: layers are a valid linearization ------------------------
+
+
+@st.composite
+def random_project(draw):
+    """A random module set with random (possibly cyclic) imports."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    names = list(string.ascii_lowercase[:count])
+    files = {}
+    for position, name in enumerate(names):
+        targets = draw(
+            st.lists(
+                st.sampled_from(names),
+                max_size=min(count, 4),
+                unique=True,
+            )
+        )
+        body = "".join(
+            f"import pkg.{target}\n" for target in targets if target != name
+        )
+        files[f"src/pkg/{name}.py"] = body or "X = 1\n"
+    return files
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_project())
+def test_topological_layers_are_a_valid_linearization(files):
+    graph = build_graph(files)
+    layers = graph.topological_layers()
+    # Every module appears exactly once.
+    flat = [module for layer in layers for module in layer]
+    assert sorted(flat) == sorted(graph.modules)
+    depth_of = {
+        module: depth
+        for depth, layer in enumerate(layers)
+        for module in layer
+    }
+    for importer, targets in graph.edges.items():
+        for imported in targets:
+            if graph.scc_of(importer) is graph.scc_of(imported):
+                # Cycle members share a layer.
+                assert depth_of[importer] == depth_of[imported]
+            else:
+                # Across SCCs an import always points strictly downward.
+                assert depth_of[importer] > depth_of[imported]
