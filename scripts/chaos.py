@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Chaos drill: generate a lake, break it on purpose, prove fsck sees it.
+
+CI runs this after the fault-injection test suite.  The drill is
+end-to-end over the real CLI surface:
+
+1. generate a small lake and require ``repro fsck`` to report it clean;
+2. kill a re-save mid-write with the fault-injection harness and require
+   the committed lake to still verify;
+3. corrupt the lake four ways (truncate a blob, flip bytes in another,
+   delete the lineage file, plant tmp litter) and require fsck to flag
+   every one with the expected finding kind;
+4. run ``fsck --repair`` and require the bad blobs to be quarantined —
+   never deleted — and a final fsck to come back with no errors.
+
+Exits non-zero on the first unmet expectation.
+"""
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+
+from repro.cli import main as repro_main
+from repro.lake import load_lake, save_lake
+from repro.reliability import FaultPlan, InjectedFault, inject_faults
+
+
+def check(condition, message):
+    if not condition:
+        print(f"chaos: FAIL {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"chaos: ok   {message}")
+
+
+def fsck_payload(directory, *extra):
+    import contextlib
+    import io
+
+    stream = io.StringIO()
+    with contextlib.redirect_stdout(stream):
+        code = repro_main(["fsck", directory, "--json", *extra])
+    return code, json.loads(stream.getvalue())
+
+
+def kinds(payload):
+    return sorted({finding["kind"] for finding in payload["findings"]})
+
+
+def main():
+    root = tempfile.mkdtemp(prefix="chaos-")
+    lake_dir = os.path.join(root, "lake")
+    try:
+        # 1. A fresh lake must verify end to end.
+        code = repro_main([
+            "generate", "--dir", lake_dir, "--seed", "7",
+            "--foundations", "1", "--chains", "2", "--depth", "1",
+            "--docs", "10", "--workers", "2",
+        ])
+        check(code == 0, "generated a fresh lake")
+        code, payload = fsck_payload(lake_dir)
+        check(code == 0 and payload["clean"], "fresh lake fsck is clean")
+
+        # 2. A save killed mid-write must not damage the committed lake.
+        lake = load_lake(lake_dir)
+        lake.record_metric(lake.model_ids()[0], "chaos_drill", 1.0)
+        plan = FaultPlan().fail_write("manifest.json", stage="write.rename")
+        try:
+            with inject_faults(plan):
+                save_lake(lake, lake_dir)
+        except InjectedFault:
+            pass
+        check(plan.fired, "injected a crash into the manifest rename")
+        code, payload = fsck_payload(lake_dir)
+        check(code == 0, "committed lake survives a killed re-save")
+
+        # 3. Deliberate corruption: every wound gets the right label.
+        broken = os.path.join(root, "broken")
+        shutil.copytree(lake_dir, broken)
+        weights = os.path.join(broken, "weights")
+        blobs = sorted(os.listdir(weights))
+        check(len(blobs) >= 2, "lake has at least two weight blobs")
+        victim = os.path.join(weights, blobs[0])
+        with open(victim, "rb") as handle:
+            data = handle.read()
+        with open(victim, "wb") as handle:
+            handle.write(data[: len(data) // 2])  # truncate
+        flipped = os.path.join(weights, blobs[1])
+        with open(flipped, "rb") as handle:
+            data = bytearray(handle.read())
+        data[len(data) // 2] ^= 0xFF
+        with open(flipped, "wb") as handle:
+            handle.write(bytes(data))  # bit rot
+        os.unlink(os.path.join(broken, "lineage.json"))  # lost file
+        with open(os.path.join(broken, ".litter.tmp"), "wb") as handle:
+            handle.write(b"torn")  # interrupted-write debris
+
+        code, payload = fsck_payload(broken)
+        check(code == 1, "corrupted lake fails fsck")
+        found = kinds(payload)
+        for expected in ("truncated", "digest-mismatch", "missing", "stale-temp"):
+            check(expected in found, f"fsck flags {expected}")
+
+        # 4. Repair quarantines, never deletes, and clears the errors
+        #    fsck can clear (a missing file is gone for good).
+        code, payload = fsck_payload(broken, "--repair")
+        repaired = [f for f in payload["findings"] if f["repaired"]]
+        check(len(repaired) >= 3, "repair handled the repairable findings")
+        quarantine = os.path.join(broken, "quarantine")
+        check(
+            os.path.isdir(quarantine) and len(os.listdir(quarantine)) >= 2,
+            "bad blobs were quarantined, not deleted",
+        )
+        code, payload = fsck_payload(broken)
+        check(
+            kinds(payload) == ["missing"],
+            "post-repair fsck reports only the unrecoverable loss",
+        )
+        print("chaos: drill complete")
+        return 0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

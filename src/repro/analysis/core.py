@@ -164,12 +164,17 @@ class Rule:
     Subclasses set ``name`` (kebab-case, the id used in pragmas and the
     baseline), ``description``, ``severity``, and bump ``version``
     whenever their behavior changes so cached findings invalidate.
+    ``baseline_exempt`` rules cannot be suppressed by the baseline
+    ledger — their findings always surface (reserved for invariants
+    where grandfathering a violation would defeat the rule, e.g. crash
+    safety of artifact writes).
     """
 
     name: str = ""
     description: str = ""
     severity: str = "error"
     version: int = 1
+    baseline_exempt: bool = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Whether this rule inspects ``ctx`` at all (path scoping)."""
@@ -233,6 +238,7 @@ def rules_fingerprint() -> str:
     """Digest of the active rule set; keys the findings cache."""
     _ensure_loaded()
     payload = [
-        (rule.name, rule.version, rule.severity) for rule in all_rules()
+        (rule.name, rule.version, rule.severity, rule.baseline_exempt)
+        for rule in all_rules()
     ]
     return stable_hash(payload)

@@ -7,6 +7,12 @@ and decorating it — the registry, CLI, cache fingerprint, pragmas, and
 baseline all pick it up automatically.
 """
 
-from repro.analysis.rules import determinism, hygiene, obs, poolsafety
+from repro.analysis.rules import (
+    determinism,
+    hygiene,
+    obs,
+    poolsafety,
+    reliability,
+)
 
-__all__ = ["determinism", "hygiene", "obs", "poolsafety"]
+__all__ = ["determinism", "hygiene", "obs", "poolsafety", "reliability"]

@@ -1,0 +1,91 @@
+"""Crash-safety rules guarding the lake's on-disk artifacts.
+
+* ``raw-artifact-write`` — artifact-layer modules (``repro.lake``,
+  ``repro.index``) must write files through
+  :mod:`repro.reliability.atomic`, never via a direct ``open(..., "w")``
+  or ``numpy.savez`` to a path.  A raw write that dies mid-flight leaves
+  a truncated manifest or blob that ``load_lake`` would trust; the
+  atomic helpers guarantee readers only ever observe the old or the new
+  bytes.  The rule is *baseline-exempt*: a grandfathered raw write is
+  still a corruption bug, so the suppression ledger cannot hide it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+__all__ = ["RawArtifactWrite"]
+
+#: Packages whose files land inside persisted lake directories.
+_ARTIFACT_PREFIXES = ("src/repro/lake/", "src/repro/index/")
+
+#: ``open`` mode characters that make the call a write.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+#: numpy writers that take a destination as their first argument.
+_NUMPY_WRITERS = frozenset({
+    "numpy.save",
+    "numpy.savez",
+    "numpy.savez_compressed",
+})
+
+
+def _open_mode(call: ast.Call) -> ast.expr | None:
+    """The ``mode`` argument of an ``open()`` call, if present."""
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    if len(call.args) >= 2:
+        return call.args[1]
+    return None
+
+
+def _is_write_mode(mode: ast.expr | None) -> bool:
+    """True only for a *provably* writing constant mode string."""
+    if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+        return False
+    return bool(_WRITE_MODE_CHARS & set(mode.value))
+
+
+@register
+class RawArtifactWrite(Rule):
+    """Artifact writes must go through ``repro.reliability.atomic``."""
+
+    name = "raw-artifact-write"
+    description = (
+        "direct file write in an artifact-layer module; use "
+        "repro.reliability.atomic so a crash cannot leave a truncated "
+        "lake artifact"
+    )
+    version = 1
+    baseline_exempt = True
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.rel_path.startswith(_ARTIFACT_PREFIXES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.imports.qualified(node.func)
+            if qualified == "open" and _is_write_mode(_open_mode(node)):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "raw open() write to a lake artifact; route it "
+                    "through repro.reliability.atomic (atomic_write_bytes"
+                    "/atomic_write_json) so readers never observe a "
+                    "partial file",
+                )
+            elif qualified in _NUMPY_WRITERS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct {qualified.rsplit('.', 1)[1]}() in an "
+                    "artifact-layer module; use "
+                    "repro.reliability.atomic.atomic_write_npz for "
+                    "crash-safe archives",
+                )

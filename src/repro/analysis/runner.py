@@ -319,7 +319,18 @@ def run_lint(config: LintConfig) -> LintResult:
             aggregate.extend(_run_graph_phase(config, sources, result))
     if not rule_filter.is_noop:
         aggregate = [f for f in aggregate if rule_filter.active(f.rule)]
-    kept, suppressed, unused = baseline.apply(sorted(aggregate))
+    # Baseline-exempt rules bypass the suppression ledger entirely:
+    # their findings always surface, and a ledger entry naming one can
+    # never match (it will show up as stale under --strict).
+    exempt_rules = {
+        rule.name for rule in all_rules() if rule.baseline_exempt
+    }
+    aggregate = sorted(aggregate)
+    exempt = [f for f in aggregate if f.rule in exempt_rules]
+    kept, suppressed, unused = baseline.apply(
+        [f for f in aggregate if f.rule not in exempt_rules]
+    )
+    kept = sorted(kept + exempt)
     if not rule_filter.is_noop:
         # Entries for rules outside the filter never had a chance to
         # match; reporting them as stale would be noise.

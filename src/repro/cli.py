@@ -2,7 +2,8 @@
 
 Subcommands::
 
-    python -m repro generate --dir LAKE_DIR [--seed N] [--foundations N] ...
+    python -m repro generate --dir LAKE_DIR [--seed N] [--resume] ...
+    python -m repro fsck     LAKE_DIR [--repair] [--json]
     python -m repro stats    --dir LAKE_DIR [--json]
     python -m repro search   --dir LAKE_DIR --query TEXT [--method M] [-k N]
     python -m repro query    --dir LAKE_DIR --q "FIND MODELS WHERE ..."
@@ -50,10 +51,13 @@ from repro.core.docgen import CardGenerator
 from repro.core.search import SearchEngine, execute_query
 from repro.data.probes import make_text_probes
 from repro.errors import AmbiguousModelNameError, ModelNotFoundError, ReproError
-from repro.lake import LakeSpec, generate_lake, load_lake, save_lake
+from repro.lake import LakeSpec, load_lake, save_lake
+from repro.lake.generator import LakeGenerator
 from repro.lake.stats import compute_statistics
 from repro.obs import JSONLExporter, get_registry, trace, tracing
 from repro.obs import logging as obs_logging
+from repro.reliability.atomic import atomic_write_json
+from repro.reliability.fsck import fsck_lake
 
 _METRICS_FILE = "metrics.json"
 
@@ -88,8 +92,10 @@ def _persist_metrics(directory: Optional[str], command: str) -> None:
         "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "metrics": get_registry().snapshot(),
     }
-    with open(os.path.join(directory, _METRICS_FILE), "w") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True, default=str)
+    atomic_write_json(
+        os.path.join(directory, _METRICS_FILE), payload,
+        indent=1, sort_keys=True, default=str,
+    )
 
 
 def _cache_dir(lake_dir: str) -> str:
@@ -109,14 +115,38 @@ def _cmd_generate(args) -> int:
         workers=args.workers,
     )
     print(
-        f"generating lake (seed={args.seed}, workers={args.workers}) ...",
+        f"generating lake (seed={args.seed}, workers={args.workers}"
+        f"{', resuming' if args.resume else ''}) ...",
         file=sys.stderr,
     )
-    bundle = generate_lake(spec)
+    # Waves checkpoint into the lake directory as they complete; a run
+    # killed mid-wave continues with --resume instead of retraining.
+    generator = LakeGenerator(
+        spec,
+        checkpoint_dir=os.path.join(args.dir, ".checkpoint"),
+        resume=args.resume,
+    )
+    bundle = generator.generate()
     save_lake(bundle.lake, args.dir)
+    # Only now is the lake durable; a crash during save_lake above would
+    # still have been resumable from the retained checkpoints.
+    generator.clear_checkpoint()
     print(f"saved {bundle.num_models} models to {args.dir}")
     print(compute_statistics(bundle.lake).to_text())
     return 0
+
+
+def _cmd_fsck(args) -> int:
+    try:
+        report = fsck_lake(args.dir, repair=args.repair)
+    except FileNotFoundError as error:
+        # fsck deliberately avoids the lake loader, so the missing-dir
+        # error arrives as OSError rather than a ReproError; map it onto
+        # the CLI's uniform error surface.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _emit(report.to_json_payload(), args.json, report.to_text)
+    return report.exit_code()
 
 
 def _cmd_stats(args) -> int:
@@ -299,7 +329,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="parallel training workers (result is identical for any value)",
     )
+    generate.add_argument(
+        "--resume", action="store_true",
+        help="resume a previously interrupted generation from its "
+             "wave checkpoints",
+    )
     generate.set_defaults(func=_cmd_generate)
+
+    fsck = sub.add_parser(
+        "fsck", help="verify a saved lake's on-disk integrity"
+    )
+    fsck.add_argument("dir", help="lake directory to check")
+    fsck.add_argument("--repair", action="store_true",
+                      help="quarantine corrupt artifacts and remove "
+                           "stale temp files")
+    fsck.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON")
+    fsck.set_defaults(func=_cmd_fsck)
 
     stats = sub.add_parser("stats", help="lake statistics")
     stats.add_argument("--dir", required=True)
@@ -424,7 +470,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         with trace(f"cli.{args.command}"):
             code = args.func(args)
-        if args.command != "metrics":  # metrics is a read-only reporter
+        # metrics is a read-only reporter, and fsck must not write into
+        # the very directory whose integrity it is judging.
+        if args.command not in ("metrics", "fsck"):
             _persist_metrics(getattr(args, "dir", None), args.command)
         return code
     except ReproError as error:

@@ -48,6 +48,52 @@ class DuplicateIdError(LakeError):
     """An id was registered twice in a store that requires uniqueness."""
 
 
+class LakeIntegrityError(LakeError):
+    """An on-disk artifact failed verification against its content digest.
+
+    Raised wherever the lake re-checks bytes it reads back from disk
+    (``WeightStore.get``, ``repro fsck``): a blob that is truncated,
+    bit-rotted, or replaced no longer matches the digest that names it.
+    """
+
+    def __init__(self, path: str, expected: str, actual: str, kind: str = "blob"):
+        self.path = path
+        self.expected = expected
+        self.actual = actual
+        self.kind = kind
+        super().__init__(
+            f"integrity check failed for {kind} at {path!r}: "
+            f"expected digest {expected!r}, recomputed {actual!r} "
+            f"(artifact is truncated or corrupt)"
+        )
+
+
+class ReliabilityError(ReproError):
+    """A crash-safety mechanism (retry, checkpoint, fsck) failed."""
+
+
+class WorkerCrashError(ReliabilityError):
+    """A wave lost tasks to crashed worker processes, retries exhausted.
+
+    Carries the wave label and the submission-order indices of the tasks
+    that never produced results, so callers can report or re-plan them.
+    """
+
+    def __init__(self, label: str, task_indices, attempts: int):
+        self.label = label
+        self.task_indices = list(task_indices)
+        self.attempts = attempts
+        super().__init__(
+            f"wave {label!r} lost {len(self.task_indices)} task(s) to "
+            f"crashed workers after {attempts} attempt(s); "
+            f"failed task indices: {self.task_indices}"
+        )
+
+
+class CheckpointError(ReliabilityError):
+    """A generation checkpoint could not be read or written."""
+
+
 class HistoryUnavailableError(LakeError):
     """The model's training history (D, A) is hidden or was never recorded.
 

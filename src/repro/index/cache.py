@@ -17,7 +17,6 @@ rebuilds across processes cost one file read.
 from __future__ import annotations
 
 import os
-import tempfile
 from typing import Dict, Optional, Set
 
 import numpy as np
@@ -25,6 +24,7 @@ import numpy as np
 from repro.obs import metrics as obs_metrics
 from repro.obs.instrument import EMBED_CACHE_HITS, EMBED_CACHE_MISSES
 from repro.obs.logging import get_logger
+from repro.reliability.atomic import atomic_write_npz
 
 _log = get_logger("index.embed_cache")
 
@@ -86,15 +86,6 @@ class EmbeddingCache:
             return
         for space in sorted(self._dirty):
             vectors = self._spaces[space]
-            fd, tmp_path = tempfile.mkstemp(
-                dir=self._directory, suffix=".npz.tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    np.savez(handle, **vectors)
-                os.replace(tmp_path, self._path(space))
-            finally:
-                if os.path.exists(tmp_path):
-                    os.unlink(tmp_path)
+            atomic_write_npz(self._path(space), vectors)
             _log.debug("space.flushed", space=space, entries=len(vectors))
         self._dirty.clear()

@@ -24,7 +24,7 @@ canonical plan order, so a lake built with ``workers=N`` is bit-identical
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -60,7 +60,9 @@ from repro.obs.instrument import LAKE_GENERATED_MODELS
 from repro.obs.logging import get_logger
 from repro.obs.tracing import trace
 from repro.parallel import WaveExecutor, topological_waves
+from repro.reliability.checkpoint import WaveCheckpoint
 from repro.transforms import TransformRecord
+from repro.utils.hashing import stable_hash
 from repro.utils.rng import derive_rng
 
 _log = get_logger("lake.generator")
@@ -274,12 +276,50 @@ def _truthful_card(
     )
 
 
-class LakeGenerator:
-    """Builds a :class:`GeneratedLake` according to a :class:`LakeSpec`."""
+def spec_fingerprint(spec: LakeSpec) -> str:
+    """Stable digest of everything in a spec that shapes the output.
 
-    def __init__(self, spec: Optional[LakeSpec] = None):
+    ``workers`` is excluded on purpose: parallelism never changes the
+    generated bits, so a run checkpointed with ``--workers 4`` may be
+    resumed with any worker count.
+    """
+    payload = asdict(spec)
+    payload.pop("workers", None)
+    return stable_hash(payload)
+
+
+class LakeGenerator:
+    """Builds a :class:`GeneratedLake` according to a :class:`LakeSpec`.
+
+    With ``checkpoint_dir`` set, every completed wave's results are
+    persisted (atomically) as they land; ``resume=True`` then satisfies
+    already-completed waves from disk, so a run killed mid-wave
+    continues from the last completed wave instead of retraining from
+    scratch — and produces a bit-identical lake, because registration
+    consumes results in canonical plan order either way.  The caller
+    owns the checkpoint's lifetime (``clear_checkpoint()``): clearing
+    only after the lake is durably saved means even a crash *during*
+    ``save_lake`` stays resumable.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[LakeSpec] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+    ):
         self.spec = spec or LakeSpec()
         self.spec.validate()
+        self._checkpoint: Optional[WaveCheckpoint] = None
+        if checkpoint_dir is not None:
+            self._checkpoint = WaveCheckpoint(
+                checkpoint_dir, spec_fingerprint(self.spec), resume=resume
+            )
+
+    def clear_checkpoint(self) -> None:
+        """Drop this run's checkpoints (call once the lake is durable)."""
+        if self._checkpoint is not None:
+            self._checkpoint.clear()
 
     # -- helpers ---------------------------------------------------------
     def _register(
@@ -629,6 +669,27 @@ class LakeGenerator:
                 ))
 
     # -- execution -------------------------------------------------------
+    def _run_wave(
+        self, executor: WaveExecutor, payloads: List, label: str
+    ) -> List[List[ModelResult]]:
+        """Run one wave, satisfying it from the checkpoint when possible.
+
+        Completed waves are persisted as they land (with live ``model``
+        handles stripped — states rehydrate bit-identically), so a
+        killed run resumes from its last completed wave.
+        """
+        if self._checkpoint is not None:
+            cached = self._checkpoint.load(label)
+            if cached is not None:
+                return cached
+        results = executor.run_wave(run_task, payloads, label=label)
+        if self._checkpoint is not None:
+            self._checkpoint.store(label, [
+                [replace(result, model=None) for result in task_results]
+                for task_results in results
+            ])
+        return results
+
     def _execute_plan(
         self, plan: _GenerationPlan, executor: WaveExecutor
     ) -> Dict[Hashable, List[ModelResult]]:
@@ -644,8 +705,8 @@ class LakeGenerator:
                     task.parent_architecture = parent.architecture
                     task.parent_state = parent.state
                 payloads.append(task)
-            wave_results = executor.run_wave(
-                run_task, payloads, label=f"generate.wave{wave_index}"
+            wave_results = self._run_wave(
+                executor, payloads, f"generate.wave{wave_index}"
             )
             for key, task_results in zip(wave, wave_results):
                 results[key] = task_results
@@ -711,7 +772,7 @@ class LakeGenerator:
             ))
         if not tasks:
             return
-        merge_results = executor.run_wave(run_task, tasks, label="merge")
+        merge_results = self._run_wave(executor, tasks, "merge")
         for (first, second), task_results in zip(pairs, merge_results):
             result = task_results[0]
             domains = tuple(
@@ -764,7 +825,7 @@ class LakeGenerator:
             ))
         if not tasks:
             return
-        stitch_results = executor.run_wave(run_task, tasks, label="stitch")
+        stitch_results = self._run_wave(executor, tasks, "stitch")
         for (front_rec, back_rec), task, task_results in zip(
             pairs, tasks, stitch_results
         ):
@@ -780,6 +841,19 @@ class LakeGenerator:
             )
 
 
-def generate_lake(spec: Optional[LakeSpec] = None) -> GeneratedLake:
-    """Convenience wrapper: build a benchmark lake from a spec."""
-    return LakeGenerator(spec).generate()
+def generate_lake(
+    spec: Optional[LakeSpec] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+) -> GeneratedLake:
+    """Convenience wrapper: build a benchmark lake from a spec.
+
+    ``checkpoint_dir`` enables wave-granular crash recovery;
+    ``resume=True`` continues a killed run from its last completed wave
+    (the result is bit-identical to an uninterrupted run).  The
+    checkpoint is *not* cleared here — callers clear it once the lake is
+    durably saved (see :meth:`LakeGenerator.clear_checkpoint`).
+    """
+    return LakeGenerator(
+        spec, checkpoint_dir=checkpoint_dir, resume=resume
+    ).generate()

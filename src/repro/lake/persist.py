@@ -2,7 +2,7 @@
 
 Layout::
 
-    <dir>/manifest.json      records, cards, histories, clock
+    <dir>/manifest.json      records, cards, histories, clock, checksums
     <dir>/weights/*.npz      content-addressed weight blobs
     <dir>/datasets/*.npz     dataset token/label arrays
     <dir>/lineage.json       dataset derivation edges
@@ -11,6 +11,16 @@ Round trip guarantee: ``load_lake(save_lake(lake, d))`` reproduces every
 record, card field, history (including transforms), weight blob, dataset,
 and the dataset lineage graph.  The logical clock is restored, so
 citations remain resolvable across processes.
+
+Crash safety: every file is written through
+:mod:`repro.reliability.atomic`, and the manifest is written **last** —
+it is the commit record.  A save killed at any point leaves either the
+previous manifest (still describing a fully intact lake, with at worst
+orphaned new blobs for ``repro fsck`` to flag) or the new one (whose
+referenced artifacts were all durably written first).  The manifest
+carries an ``integrity`` section — per-file sizes and digests plus a
+digest of the manifest body itself — which is what ``repro fsck``
+verifies.
 """
 
 from __future__ import annotations
@@ -27,11 +37,17 @@ from repro.errors import LakeError
 from repro.lake.card import ModelCard
 from repro.lake.lake import ModelLake
 from repro.lake.record import ModelHistory, ModelRecord
+from repro.reliability.atomic import atomic_write_bytes
+from repro.reliability.fsck import manifest_body_digest
 from repro.transforms.base import TransformRecord
-from repro.utils.serialization import to_jsonable
+from repro.utils.hashing import bytes_digest
+from repro.utils.serialization import arrays_to_bytes, to_jsonable
 
 _MANIFEST = "manifest.json"
 _LINEAGE = "lineage.json"
+
+#: Digest length recorded in the manifest's integrity section.
+_FILE_DIGEST_LEN = 24
 
 
 def _history_to_dict(history: ModelHistory) -> Dict:
@@ -74,20 +90,33 @@ def _history_from_dict(payload: Dict) -> ModelHistory:
 
 
 def save_lake(lake: ModelLake, directory: str) -> str:
-    """Persist ``lake`` under ``directory``; returns the directory."""
+    """Persist ``lake`` under ``directory``; returns the directory.
+
+    Writes blobs, datasets, and lineage first (all atomically), then
+    commits by atomically writing the manifest.  A crash anywhere in
+    between never corrupts a previously saved lake in the same
+    directory.
+    """
     os.makedirs(directory, exist_ok=True)
     weights_dir = os.path.join(directory, "weights")
     datasets_dir = os.path.join(directory, "datasets")
     os.makedirs(weights_dir, exist_ok=True)
     os.makedirs(datasets_dir, exist_ok=True)
 
+    #: rel-path -> {"bytes": size, "digest": content digest} for the
+    #: manifest's integrity section.
+    files: Dict[str, Dict[str, object]] = {}
+
     records = []
     for record in lake:
-        state = lake.weights.get(record.weights_digest)
-        np.savez(
-            os.path.join(weights_dir, f"{record.weights_digest}.npz"),
-            **{name.replace("/", "__SLASH__"): arr for name, arr in state.items()},
-        )
+        blob = lake.weights.blob(record.weights_digest)
+        rel = f"weights/{record.weights_digest}.npz"
+        if rel not in files:
+            atomic_write_bytes(os.path.join(weights_dir, f"{record.weights_digest}.npz"), blob)
+            files[rel] = {
+                "bytes": len(blob),
+                "digest": bytes_digest(blob, length=_FILE_DIGEST_LEN),
+            }
         records.append({
             "model_id": record.model_id,
             "name": record.name,
@@ -107,10 +136,14 @@ def save_lake(lake: ModelLake, directory: str) -> str:
     dataset_entries = []
     for digest in lake.datasets.digests():
         dataset = lake.datasets.get(digest)
-        np.savez(
-            os.path.join(datasets_dir, f"{digest}.npz"),
-            tokens=dataset.tokens, labels=dataset.labels,
-        )
+        blob = arrays_to_bytes({
+            "tokens": dataset.tokens, "labels": dataset.labels,
+        })
+        atomic_write_bytes(os.path.join(datasets_dir, f"{digest}.npz"), blob)
+        files[f"datasets/{digest}.npz"] = {
+            "bytes": len(blob),
+            "digest": bytes_digest(blob, length=_FILE_DIGEST_LEN),
+        }
         dataset_entries.append({
             "digest": digest,
             "name": dataset.name,
@@ -128,13 +161,32 @@ def save_lake(lake: ModelLake, directory: str) -> str:
                 "params": to_jsonable(data.get("params") or {}),
             })
 
-    with open(os.path.join(directory, _MANIFEST), "w") as handle:
-        json.dump(
-            {"clock": lake.clock, "records": records, "datasets": dataset_entries},
-            handle, indent=1,
-        )
-    with open(os.path.join(directory, _LINEAGE), "w") as handle:
-        json.dump(lineage, handle, indent=1)
+    # Lineage before manifest: the manifest's integrity section pins the
+    # lineage bytes, so a crash between the two cannot leave a committed
+    # manifest describing a lineage file that was never written.
+    lineage_blob = json.dumps(lineage, indent=1).encode("utf-8")
+    atomic_write_bytes(os.path.join(directory, _LINEAGE), lineage_blob)
+    files[_LINEAGE] = {
+        "bytes": len(lineage_blob),
+        "digest": bytes_digest(lineage_blob, length=_FILE_DIGEST_LEN),
+    }
+
+    # The manifest is the commit point: written last, atomically.
+    manifest = {
+        "clock": lake.clock,
+        "records": records,
+        "datasets": dataset_entries,
+    }
+    manifest["integrity"] = {
+        "version": 1,
+        "algorithm": f"sha256[:{_FILE_DIGEST_LEN}]",
+        "files": files,
+        "manifest_digest": manifest_body_digest(manifest),
+    }
+    atomic_write_bytes(
+        os.path.join(directory, _MANIFEST),
+        json.dumps(manifest, indent=1).encode("utf-8"),
+    )
     return directory
 
 
@@ -204,5 +256,26 @@ def load_lake(directory: str) -> ModelLake:
             record.eval_metrics[metric] = float(value)
         record.created_at = entry["created_at"]
 
-    lake._clock = manifest.get("clock", lake.clock)
+    # Restore the logical clock — but only after asserting monotonicity.
+    # ``created_at`` values are minted from the clock, so the restored
+    # clock must dominate every record's timestamp and the timestamps
+    # must be unique; otherwise the next add_model() would mint a
+    # ``created_at`` duplicating an existing record's, silently breaking
+    # citation ordering.
+    created = [entry["created_at"] for entry in manifest["records"]]
+    if len(set(created)) != len(created):
+        duplicates = sorted({c for c in created if created.count(c) > 1})
+        raise LakeError(
+            f"manifest is not clock-monotonic: duplicate created_at "
+            f"value(s) {duplicates} across records"
+        )
+    clock = manifest.get("clock", lake.clock)
+    newest = max(created, default=0)
+    if clock < newest:
+        raise LakeError(
+            f"manifest clock {clock} is behind the newest record "
+            f"(created_at={newest}); refusing to load a lake that would "
+            f"mint duplicate timestamps"
+        )
+    lake._clock = clock
     return lake

@@ -12,7 +12,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import LakeError
+from repro.errors import LakeError, LakeIntegrityError
 from repro.obs import metrics as obs_metrics
 from repro.obs.instrument import (
     WEIGHT_STORE_BYTES,
@@ -21,6 +21,7 @@ from repro.obs.instrument import (
     WEIGHT_STORE_DEDUP_HITS,
     WEIGHT_STORE_PUTS,
 )
+from repro.reliability.atomic import atomic_write_bytes
 from repro.utils.hashing import bytes_digest
 from repro.utils.serialization import arrays_to_bytes, bytes_to_arrays
 
@@ -61,25 +62,43 @@ class WeightStore:
             if self._directory is not None:
                 path = self._path(digest)
                 if not os.path.exists(path):
-                    with open(path, "wb") as handle:
-                        handle.write(blob)
+                    # Atomic: a crash mid-put leaves no partial blob for a
+                    # later get() to mistake for the real artifact.
+                    atomic_write_bytes(path, blob)
         return digest
 
     def get(self, digest: str) -> Dict[str, np.ndarray]:
-        """Fetch a state dict by digest."""
+        """Fetch a state dict by digest.
+
+        Disk reads are re-verified against the digest that names them:
+        a truncated or bit-rotted blob raises
+        :class:`~repro.errors.LakeIntegrityError` (naming the path and
+        the expected digest) instead of a cryptic ``np.load`` failure —
+        and is never admitted to the in-memory cache.
+        """
+        return bytes_to_arrays(self.blob(digest))
+
+    def blob(self, digest: str) -> bytes:
+        """Raw serialized bytes for ``digest`` (verified on disk reads)."""
         blob = self._blobs.get(digest)
         if blob is not None:
             obs_metrics.inc(WEIGHT_STORE_CACHE_HITS)
-        else:
-            obs_metrics.inc(WEIGHT_STORE_CACHE_MISSES)
-            if self._on_disk(digest):
-                with open(self._path(digest), "rb") as handle:
-                    blob = handle.read()
-                self._blobs[digest] = blob
-                obs_metrics.set_gauge(WEIGHT_STORE_BYTES, self.total_bytes())
-        if blob is None:
-            raise LakeError(f"weights not found for digest {digest!r}")
-        return bytes_to_arrays(blob)
+            return blob
+        obs_metrics.inc(WEIGHT_STORE_CACHE_MISSES)
+        if self._on_disk(digest):
+            path = self._path(digest)
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            actual = bytes_digest(blob, length=len(digest))
+            if actual != digest:
+                raise LakeIntegrityError(
+                    path=path, expected=digest, actual=actual,
+                    kind="weight blob",
+                )
+            self._blobs[digest] = blob
+            obs_metrics.set_gauge(WEIGHT_STORE_BYTES, self.total_bytes())
+            return blob
+        raise LakeError(f"weights not found for digest {digest!r}")
 
     def digests(self):
         return list(self._blobs)

@@ -66,6 +66,20 @@ __all__ = [
     "GRAPH_CACHE_HITS",
     "GRAPH_CACHE_MISSES",
     "GRAPH_FINDINGS",
+    # reliability: atomic writes, retries, checkpoints
+    "RELIABILITY_ATOMIC_WRITES",
+    "RELIABILITY_ATOMIC_BYTES",
+    "RELIABILITY_POOL_REBUILDS",
+    "RELIABILITY_TASK_RETRIES",
+    "RELIABILITY_CHECKPOINT_STORES",
+    "RELIABILITY_CHECKPOINT_HITS",
+    "RELIABILITY_INJECTED_FAULTS",
+    # integrity verification
+    "FSCK_RUNS",
+    "FSCK_FILES_SCANNED",
+    "FSCK_FINDINGS",
+    "FSCK_REPAIRS",
+    "FSCK_RUN_SECONDS",
 ]
 
 F = TypeVar("F", bound=Callable[..., Any])
@@ -107,6 +121,20 @@ LINT_CACHE_HITS = "analysis.lint.cache_hits"
 LINT_CACHE_MISSES = "analysis.lint.cache_misses"
 LINT_FINDINGS = "analysis.lint.findings"
 LINT_RUN_SECONDS = "analysis.lint.run_seconds"
+
+RELIABILITY_ATOMIC_WRITES = "reliability.atomic.writes"
+RELIABILITY_ATOMIC_BYTES = "reliability.atomic.bytes"
+RELIABILITY_POOL_REBUILDS = "reliability.pool_rebuilds"
+RELIABILITY_TASK_RETRIES = "reliability.task_retries"
+RELIABILITY_CHECKPOINT_STORES = "reliability.checkpoint.stores"
+RELIABILITY_CHECKPOINT_HITS = "reliability.checkpoint.hits"
+RELIABILITY_INJECTED_FAULTS = "reliability.injected_faults"
+
+FSCK_RUNS = "fsck.runs"
+FSCK_FILES_SCANNED = "fsck.files_scanned"
+FSCK_FINDINGS = "fsck.findings"
+FSCK_REPAIRS = "fsck.repairs"
+FSCK_RUN_SECONDS = "fsck.run_seconds"
 
 GRAPH_MODULES = "analysis.graph.modules"
 GRAPH_EDGES = "analysis.graph.edges"

@@ -8,24 +8,38 @@ in task order no matter which worker finished first.
 ``workers <= 1`` executes inline in the calling process — no pool, no
 pickling — so the sequential path stays the zero-overhead baseline and
 the parallel path is bit-identical to it by construction.
+
+Crashed workers are survivable: when the pool breaks (a worker
+segfaults, is OOM-killed, or a fault plan injects
+``BrokenProcessPool``), the executor disposes the dead pool, rebuilds
+it, and re-runs *only* the tasks that never produced results — slotting
+their results back at their submission indices, so determinism is
+unaffected.  After ``max_retries`` rebuilds the failure surfaces as a
+structured :class:`~repro.errors.WorkerCrashError` naming the wave and
+the lost task indices, and the executor is left with no dangling dead
+pool (the next wave would start a fresh one).
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, WorkerCrashError
 from repro.obs import metrics as obs_metrics
 from repro.obs.instrument import (
     PARALLEL_TASKS,
     PARALLEL_WAVE_SECONDS,
     PARALLEL_WAVES,
     PARALLEL_WORKERS,
+    RELIABILITY_POOL_REBUILDS,
+    RELIABILITY_TASK_RETRIES,
 )
 from repro.obs.logging import get_logger
 from repro.obs.tracing import trace
+from repro.reliability import faults
 
 _log = get_logger("parallel.executor")
 
@@ -43,6 +57,9 @@ class WaveExecutor:
         Per-worker setup (e.g. installing shared read-only datasets).
         In inline mode the initializer runs once in the calling process
         on first use, so both modes see identical worker state.
+    max_retries:
+        How many times a wave may rebuild a crashed pool and re-run its
+        lost tasks before surfacing :class:`WorkerCrashError`.
     """
 
     def __init__(
@@ -50,10 +67,14 @@ class WaveExecutor:
         workers: int = 1,
         initializer: Optional[Callable[..., None]] = None,
         initargs: Tuple[Any, ...] = (),
+        max_retries: int = 2,
     ):
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
+        if max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
         self.workers = workers
+        self.max_retries = max_retries
         self._initializer = initializer
         self._initargs = initargs
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -87,6 +108,50 @@ class WaveExecutor:
                 initargs=self._initargs,
             )
 
+    def _dispose_pool(self) -> None:
+        """Tear down a (possibly broken) pool so the next run starts fresh."""
+        if self._pool is not None:
+            # A broken pool's workers are already dead; don't wait on them.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _run_indices(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        indices: Sequence[int],
+        results: List[Any],
+        label: str,
+    ) -> Tuple[List[int], Optional[BaseException]]:
+        """Run ``tasks[i]`` for each index, filling ``results`` in place.
+
+        Returns ``(lost, error)``: indices that produced no result
+        because the pool broke, and the first ordinary task exception
+        (raised by the caller after the wave drains, preserving the
+        pre-existing contract that worker processes are never abandoned
+        mid-flight).
+        """
+        if faults.trigger(faults.POOL_WAVE, label) is not None:
+            # Scripted worker crash: behave exactly as if the pool died
+            # before any of these tasks completed.
+            return list(indices), None
+        if self._pool is None:
+            for index in indices:
+                results[index] = fn(tasks[index])
+            return [], None
+        futures = {index: self._pool.submit(fn, tasks[index]) for index in indices}
+        lost: List[int] = []
+        error: Optional[BaseException] = None
+        for index in indices:
+            try:
+                results[index] = futures[index].result()
+            except BrokenProcessPool:
+                lost.append(index)
+            except BaseException as exc:  # keep draining the wave
+                if error is None:
+                    error = exc
+        return lost, error
+
     def run_wave(
         self,
         fn: Callable[[Any], Any],
@@ -96,28 +161,45 @@ class WaveExecutor:
         """Run ``fn`` over ``tasks``; results come back in task order.
 
         A failing task propagates its exception after the wave's other
-        futures are awaited, so worker processes are never abandoned
-        mid-flight.
+        futures are awaited.  A *crashed worker* (broken pool) instead
+        triggers pool disposal and a retry of only the lost tasks, up to
+        ``max_retries`` times.
         """
         if not tasks:
             return []
-        self._ensure_backend()
         start = time.perf_counter()
         with trace("parallel.wave", label=label, tasks=len(tasks), workers=self.workers):
-            if self._pool is None:
-                results = [fn(task) for task in tasks]
-            else:
-                futures = [self._pool.submit(fn, task) for task in tasks]
-                results = []
-                error: Optional[BaseException] = None
-                for future in futures:
-                    try:
-                        results.append(future.result())
-                    except BaseException as exc:  # keep draining the wave
-                        if error is None:
-                            error = exc
+            results: List[Any] = [None] * len(tasks)
+            pending = list(range(len(tasks)))
+            attempt = 0
+            while True:
+                self._ensure_backend()
+                pending, error = self._run_indices(
+                    fn, tasks, pending, results, label
+                )
                 if error is not None:
+                    # The pool may *also* be broken (the same crash that
+                    # lost tasks poisons it); never leave it dangling.
+                    if pending:
+                        self._dispose_pool()
                     raise error
+                if not pending:
+                    break
+                self._dispose_pool()
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise WorkerCrashError(
+                        label=label, task_indices=pending, attempts=attempt
+                    )
+                obs_metrics.inc(RELIABILITY_POOL_REBUILDS)
+                obs_metrics.inc(RELIABILITY_TASK_RETRIES, len(pending))
+                _log.warning(
+                    "wave.pool_crashed",
+                    label=label,
+                    lost_tasks=len(pending),
+                    attempt=attempt,
+                    max_retries=self.max_retries,
+                )
         elapsed = time.perf_counter() - start
         obs_metrics.inc(PARALLEL_WAVES)
         obs_metrics.inc(PARALLEL_TASKS, len(tasks))

@@ -1,0 +1,50 @@
+"""Crash-safe storage and execution: the lake's reliability layer.
+
+The paper's benchmark-lake requirement rests on *verified ground truth*;
+this package is what makes "verified" mean something on a machine that
+can lose power mid-write.  Four pieces:
+
+* :mod:`repro.reliability.atomic` — tmp-file + fsync + rename write
+  primitives; every durable lake artifact goes through them, so a crash
+  at any instant leaves the previous contents intact.
+* :mod:`repro.reliability.fsck` — integrity verification over a
+  persisted lake (``repro fsck``): classifies missing, truncated,
+  digest-mismatched, and orphaned artifacts, and can quarantine them.
+* :mod:`repro.reliability.faults` — deterministic, seeded fault
+  injection (``FaultPlan``) the crash-safety test suites and the CI
+  chaos job script failures with.
+* :mod:`repro.reliability.checkpoint` — wave-granular generation
+  checkpoints backing ``repro generate --resume``.
+"""
+
+from repro.reliability.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+    fsync_directory,
+)
+from repro.reliability.checkpoint import WaveCheckpoint
+from repro.reliability.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    inject_faults,
+)
+from repro.reliability.fsck import FsckFinding, FsckReport, fsck_lake
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_npz",
+    "fsync_directory",
+    "WaveCheckpoint",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "inject_faults",
+    "FsckFinding",
+    "FsckReport",
+    "fsck_lake",
+]

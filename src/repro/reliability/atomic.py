@@ -1,0 +1,126 @@
+"""Crash-safe file writes: tmp file in the same directory + fsync + rename.
+
+Every durable artifact the lake produces (weight blobs, manifests,
+lineage, embedding caches, metrics snapshots, checkpoints) goes through
+these primitives.  The contract: **a crash at any instant leaves the
+destination either absent or holding its complete previous contents** —
+never a partial file.  The sequence is the classic one:
+
+1. create a uniquely-named tmp file *in the destination directory*
+   (same filesystem, so the final rename cannot degrade to a copy),
+2. write all bytes, flush, ``fsync`` the file,
+3. ``os.replace`` onto the destination (atomic on POSIX and Windows),
+4. ``fsync`` the directory so the rename itself is durable.
+
+Fault-injection points (:mod:`repro.reliability.faults`) are threaded
+through each stage; an :class:`~repro.reliability.faults.InjectedFault`
+simulates a kill, so — exactly like a real crash — it leaves the tmp
+file behind for ``repro fsck`` to find, while ordinary exceptions clean
+up after themselves.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import tempfile
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import (
+    RELIABILITY_ATOMIC_BYTES,
+    RELIABILITY_ATOMIC_WRITES,
+)
+from repro.reliability import faults
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_npz",
+    "fsync_directory",
+]
+
+
+def fsync_directory(directory: str) -> None:
+    """Flush a directory's metadata (new names, renames) to disk.
+
+    Best-effort: some platforms/filesystems refuse to open directories
+    for syncing; durability of the *data* does not depend on this.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes, fsync: bool = True) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    On any failure the destination is untouched: either the previous
+    file survives intact or (for a first write) no file exists.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    name = os.path.basename(path)
+    faults.raise_if_triggered(faults.WRITE_BEGIN, name)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=f".{name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            rule = faults.trigger(faults.WRITE_DATA, name)
+            if rule is not None:
+                written = data[: rule.truncate_at or 0]
+                handle.write(written)
+                handle.flush()
+                raise faults.InjectedFault(
+                    f"injected fault: write.data on {name!r} "
+                    f"after {len(written)} byte(s)"
+                )
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        faults.raise_if_triggered(faults.WRITE_RENAME, name)
+        os.replace(tmp_path, path)
+    except BaseException as exc:
+        # An injected fault models a process kill, which cannot clean
+        # up — leave the tmp litter for fsck, as a real crash would.
+        if not isinstance(exc, faults.InjectedFault):
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_path)
+        raise
+    if fsync:
+        fsync_directory(directory)
+    obs_metrics.inc(RELIABILITY_ATOMIC_WRITES)
+    obs_metrics.inc(RELIABILITY_ATOMIC_BYTES, len(data))
+
+
+def atomic_write_json(
+    path: str,
+    payload: Any,
+    indent: int = 1,
+    sort_keys: bool = False,
+    default: Any = None,
+    fsync: bool = True,
+) -> None:
+    """Atomically write ``payload`` as JSON (UTF-8) to ``path``."""
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys, default=default)
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_npz(
+    path: str, arrays: Mapping[str, np.ndarray], fsync: bool = True
+) -> None:
+    """Atomically write a name->array mapping as an ``.npz`` archive."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **dict(arrays))
+    atomic_write_bytes(path, buffer.getvalue(), fsync=fsync)

@@ -1,0 +1,136 @@
+"""Wave-granular checkpoints for resumable lake generation.
+
+Generation is the expensive phase (real training per model), but it is
+structured as a deterministic plan executed wave by wave — so the
+natural checkpoint unit is one completed wave.  :class:`WaveCheckpoint`
+persists each wave's results (pickled, written atomically) keyed by the
+wave label, plus a ``meta.json`` carrying a fingerprint of the spec that
+produced them.  ``repro generate --resume`` replays the (cheap) planning
+pass, then satisfies every already-checkpointed wave from disk and
+trains only what the crash interrupted; because registration consumes
+results in canonical plan order either way, the resumed lake is
+bit-identical to an uninterrupted run.
+
+A checkpoint whose fingerprint does not match the current spec is
+discarded wholesale — resuming half a run of a *different* lake would
+silently corrupt ground truth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+from typing import Any, Optional
+
+from repro.errors import CheckpointError
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import (
+    RELIABILITY_CHECKPOINT_HITS,
+    RELIABILITY_CHECKPOINT_STORES,
+)
+from repro.obs.logging import get_logger
+from repro.reliability.atomic import atomic_write_bytes, atomic_write_json
+
+__all__ = ["WaveCheckpoint"]
+
+_log = get_logger("reliability.checkpoint")
+
+_META = "meta.json"
+_VERSION = 1
+
+
+def _safe_label(label: str) -> str:
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in label)
+
+
+class WaveCheckpoint:
+    """Directory-backed store of per-wave results for one generation run.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live (conventionally ``<lake>/.checkpoint``).
+    fingerprint:
+        Stable digest of the generation spec.  A mismatch with the
+        on-disk meta invalidates everything.
+    resume:
+        ``False`` discards any existing checkpoint up front (a fresh
+        run); ``True`` keeps compatible waves for reuse.
+    """
+
+    def __init__(self, directory: str, fingerprint: str, resume: bool = True):
+        self.directory = directory
+        self.fingerprint = fingerprint
+        existing = self._read_meta()
+        if existing is not None and (
+            not resume
+            or existing.get("fingerprint") != fingerprint
+            or existing.get("version") != _VERSION
+        ):
+            if resume:
+                _log.warning(
+                    "checkpoint.discarded",
+                    directory=directory,
+                    reason="fingerprint or version mismatch",
+                )
+            self.clear()
+            existing = None
+        if existing is None:
+            os.makedirs(directory, exist_ok=True)
+            atomic_write_json(
+                os.path.join(directory, _META),
+                {"version": _VERSION, "fingerprint": fingerprint},
+            )
+
+    # ------------------------------------------------------------------
+    def _read_meta(self) -> Optional[dict]:
+        path = os.path.join(self.directory, _META)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return {}  # unreadable meta: treated as incompatible
+
+    def _wave_path(self, label: str) -> str:
+        return os.path.join(self.directory, f"wave-{_safe_label(label)}.pkl")
+
+    # ------------------------------------------------------------------
+    def load(self, label: str) -> Optional[Any]:
+        """Results checkpointed for ``label``, or ``None``.
+
+        A checkpoint file that exists but does not unpickle is a crash
+        artifact that should be impossible (writes are atomic), so it
+        raises :class:`CheckpointError` rather than silently retraining
+        — the operator should know the store misbehaved.
+        """
+        path = self._wave_path(label)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception as error:
+            raise CheckpointError(
+                f"checkpoint for wave {label!r} at {path!r} is unreadable: "
+                f"{error}"
+            ) from error
+        obs_metrics.inc(RELIABILITY_CHECKPOINT_HITS)
+        _log.info("checkpoint.hit", label=label, path=path)
+        return payload
+
+    def store(self, label: str, payload: Any) -> None:
+        """Atomically persist one wave's results."""
+        atomic_write_bytes(
+            self._wave_path(label),
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        obs_metrics.inc(RELIABILITY_CHECKPOINT_STORES)
+        _log.debug("checkpoint.stored", label=label)
+
+    def clear(self) -> None:
+        """Remove the whole checkpoint directory (end of a finished run)."""
+        shutil.rmtree(self.directory, ignore_errors=True)

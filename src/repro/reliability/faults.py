@@ -1,0 +1,187 @@
+"""Deterministic fault injection for crash-safety testing.
+
+A :class:`FaultPlan` is a seeded, replayable script of failures: "fail
+the 2nd write whose filename matches ``manifest*``", "truncate the blob
+write at byte 40", "break the process pool on wave ``generate.wave1``,
+twice".  Production code never imports test helpers; instead the
+reliability primitives (:mod:`repro.reliability.atomic`) and the
+:class:`~repro.parallel.WaveExecutor` consult the *active* plan at
+well-defined operation points:
+
+========================  ====================================================
+operation                 fired from
+========================  ====================================================
+``write.begin``           before the tmp file is created (nothing on disk)
+``write.data``            mid-write into the tmp file (tmp partially written)
+``write.rename``          after fsync, before ``os.replace`` (tmp complete)
+``pool.wave``             before a wave executes (simulated worker crash)
+========================  ====================================================
+
+Plans are deterministic by construction — rules fire on the Nth
+*matching* operation, counted per rule — and every fired fault is
+recorded on ``plan.fired``, so a replay with the same plan and the same
+workload fails at exactly the same points.  The ``seed`` is carried so
+randomized placements (e.g. a hypothesis-driven kill point) can derive
+their choices from ``plan.rng`` and stay replayable.
+
+Injected crashes deliberately mimic a process kill: the atomic writer
+leaves its tmp litter in place (a real ``SIGKILL`` would too), which is
+exactly the debris ``repro fsck`` must classify.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import RELIABILITY_INJECTED_FAULTS
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "InjectedFault",
+    "FaultRule",
+    "FaultPlan",
+    "inject_faults",
+    "active_plan",
+    "trigger",
+    "raise_if_triggered",
+]
+
+#: Operation names the harness understands.
+WRITE_BEGIN = "write.begin"
+WRITE_DATA = "write.data"
+WRITE_RENAME = "write.rename"
+POOL_WAVE = "pool.wave"
+
+
+class InjectedFault(OSError):
+    """A simulated crash, raised at an injection point.
+
+    Subclasses ``OSError`` (not ``ReproError``) on purpose: to the code
+    under test it must look like the disk or kernel failing, not like a
+    library-level condition that an ``except ReproError`` could absorb.
+    """
+
+
+@dataclass
+class FaultRule:
+    """One scripted failure: fire on the Nth matching operation."""
+
+    op: str
+    pattern: str = "*"  # fnmatch over the operation's name (file basename
+    #                     for writes, wave label for pool faults)
+    index: int = 0  # fire on the Nth match (0-based)
+    times: int = 1  # keep firing for this many consecutive matches
+    truncate_at: Optional[int] = None  # write.data only: bytes written
+    #                                    into the tmp file before the crash
+    matched: int = field(default=0, init=False)  # matches seen so far
+
+    def matches(self, op: str, name: str) -> bool:
+        return self.op == op and fnmatch.fnmatch(name, self.pattern)
+
+    def should_fire(self) -> bool:
+        """Advance this rule's match counter; True if it fires now."""
+        position = self.matched
+        self.matched += 1
+        return self.index <= position < self.index + self.times
+
+
+class FaultPlan:
+    """A seeded, ordered script of faults plus a record of what fired."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        #: RNG for randomized-but-replayable fault placement.
+        self.rng = derive_rng(seed, "fault_plan")
+        self.rules: List[FaultRule] = []
+        #: Every fault that fired, in order: (op, name, rule position).
+        self.fired: List[Tuple[str, str, int]] = []
+        self._lock = threading.Lock()
+
+    # -- scripting -----------------------------------------------------
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    def fail_write(
+        self,
+        pattern: str = "*",
+        stage: str = WRITE_DATA,
+        index: int = 0,
+        times: int = 1,
+        truncate_at: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Crash the Nth write whose target basename matches ``pattern``.
+
+        ``stage`` picks the injection point (``write.begin``,
+        ``write.data``, ``write.rename``); ``truncate_at`` (with
+        ``write.data``) writes that many bytes into the tmp file first,
+        simulating a torn write.
+        """
+        if stage not in (WRITE_BEGIN, WRITE_DATA, WRITE_RENAME):
+            raise ValueError(f"unknown write stage: {stage!r}")
+        return self.add(FaultRule(
+            op=stage, pattern=pattern, index=index, times=times,
+            truncate_at=truncate_at,
+        ))
+
+    def break_pool(
+        self, pattern: str = "*", index: int = 0, times: int = 1
+    ) -> "FaultPlan":
+        """Simulate worker-pool death on the Nth wave matching ``pattern``."""
+        return self.add(FaultRule(
+            op=POOL_WAVE, pattern=pattern, index=index, times=times,
+        ))
+
+    # -- consultation --------------------------------------------------
+    def check(self, op: str, name: str) -> Optional[FaultRule]:
+        """Rule that fires for this operation, advancing match counters."""
+        with self._lock:
+            hit: Optional[FaultRule] = None
+            for position, rule in enumerate(self.rules):
+                if not rule.matches(op, name):
+                    continue
+                if rule.should_fire() and hit is None:
+                    hit = rule
+                    self.fired.append((op, name, position))
+            return hit
+
+
+_active: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _active
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` as the active fault plan for the enclosed block."""
+    global _active
+    previous = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+def trigger(op: str, name: str) -> Optional[FaultRule]:
+    """Rule firing for this operation under the active plan, if any."""
+    plan = _active
+    if plan is None:
+        return None
+    rule = plan.check(op, name)
+    if rule is not None:
+        obs_metrics.inc(RELIABILITY_INJECTED_FAULTS)
+    return rule
+
+
+def raise_if_triggered(op: str, name: str) -> None:
+    """Raise :class:`InjectedFault` if the active plan scripts one here."""
+    if trigger(op, name) is not None:
+        raise InjectedFault(f"injected fault: {op} on {name!r}")

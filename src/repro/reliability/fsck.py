@@ -1,0 +1,465 @@
+"""Integrity verification for persisted lakes: ``repro fsck``.
+
+Walks a lake directory (the layout written by
+:func:`repro.lake.persist.save_lake`) and verifies every artifact the
+manifest claims exists against the bytes actually on disk.  Findings
+are classified:
+
+===================  =========  ================================================
+kind                 severity   meaning
+===================  =========  ================================================
+``manifest-missing`` error      no ``manifest.json``; not a lake (or one whose
+                                very first save never committed)
+``manifest-corrupt`` error      manifest exists but does not parse
+``manifest-digest``  error      manifest body does not match its own integrity
+                                digest (hand-edited or bit-rotted)
+``missing``          error      a referenced blob/dataset/lineage file is gone
+``truncated``        error      file is shorter than the recorded size
+``digest-mismatch``  error      right size (or size unknown) but wrong content
+``orphaned``         warning    a blob on disk no manifest entry references
+``stale-temp``       warning    tmp litter from an interrupted atomic write
+``integrity-absent`` warning    pre-reliability lake: no checksum section, only
+                                structural + weight-digest checks possible
+===================  =========  ================================================
+
+``repair=True`` quarantines corrupt/truncated/orphaned blobs under
+``<lake>/quarantine/`` (never deletes payload bytes) and removes stale
+tmp files.  This module intentionally imports nothing from
+``repro.lake`` — fsck must stay trustworthy even when the storage layer
+it audits is the thing that is broken — so the on-disk layout is
+declared here as constants shared by convention.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import (
+    FSCK_FILES_SCANNED,
+    FSCK_FINDINGS,
+    FSCK_REPAIRS,
+    FSCK_RUN_SECONDS,
+    FSCK_RUNS,
+)
+from repro.obs.logging import get_logger
+from repro.obs.tracing import trace
+from repro.utils.hashing import array_digest, bytes_digest, combine_digests, stable_hash
+
+__all__ = ["FsckFinding", "FsckReport", "fsck_lake", "manifest_body_digest"]
+
+_log = get_logger("reliability.fsck")
+
+# -- on-disk layout (mirrors repro.lake.persist, by convention) --------
+MANIFEST = "manifest.json"
+LINEAGE = "lineage.json"
+WEIGHTS_DIR = "weights"
+DATASETS_DIR = "datasets"
+QUARANTINE_DIR = "quarantine"
+#: Directories fsck never audits: disposable/derived artifacts
+#: (embedding caches rebuild, quarantine holds what fsck itself moved,
+#: checkpoints belong to the generator).  ``metrics.json`` at the top
+#: level is likewise outside the integrity surface.
+_IGNORED_DIRS = ("cache", QUARANTINE_DIR, ".checkpoint")
+
+
+def manifest_body_digest(manifest: Dict) -> str:
+    """Digest of the manifest body (everything except ``integrity``)."""
+    body = {key: value for key, value in manifest.items() if key != "integrity"}
+    return stable_hash(body, length=32)
+
+
+@dataclass
+class FsckFinding:
+    """One classified integrity problem."""
+
+    kind: str
+    path: str  # lake-relative, posix separators
+    severity: str  # "error" | "warning"
+    detail: str
+    expected: Optional[str] = None
+    actual: Optional[str] = None
+    repaired: bool = False
+    repair_action: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "kind": self.kind,
+            "path": self.path,
+            "severity": self.severity,
+            "detail": self.detail,
+            "repaired": self.repaired,
+        }
+        if self.expected is not None:
+            payload["expected"] = self.expected
+        if self.actual is not None:
+            payload["actual"] = self.actual
+        if self.repair_action is not None:
+            payload["repair_action"] = self.repair_action
+        return payload
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one fsck walk."""
+
+    directory: str
+    findings: List[FsckFinding] = field(default_factory=list)
+    files_scanned: int = 0
+    elapsed_seconds: float = 0.0
+    repair: bool = False
+
+    @property
+    def errors(self) -> List[FsckFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[FsckFinding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def clean(self) -> bool:
+        """No findings at all — the lake verified end to end."""
+        return not self.findings
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings alone keep a lake usable)."""
+        return not self.errors
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_json_payload(self) -> Dict[str, object]:
+        return {
+            "directory": self.directory,
+            "clean": self.clean,
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "repair": self.repair,
+            "findings": [f.to_dict() for f in sorted_findings(self.findings)],
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"fsck {self.directory}: scanned {self.files_scanned} file(s)",
+        ]
+        for finding in sorted_findings(self.findings):
+            marker = "repaired " if finding.repaired else ""
+            lines.append(
+                f"  [{finding.severity:<7}] {finding.kind:<16} "
+                f"{finding.path}: {marker}{finding.detail}"
+            )
+        if self.clean:
+            lines.append("  clean: every artifact verified")
+        else:
+            lines.append(
+                f"  {len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+            )
+        return "\n".join(lines)
+
+
+def sorted_findings(findings: List[FsckFinding]) -> List[FsckFinding]:
+    order = {"error": 0, "warning": 1}
+    return sorted(findings, key=lambda f: (order[f.severity], f.path, f.kind))
+
+
+class _Walk:
+    """One fsck pass over a lake directory."""
+
+    def __init__(self, directory: str, repair: bool):
+        self.directory = directory
+        self.repair = repair
+        self.report = FsckReport(directory=directory, repair=repair)
+
+    # -- helpers -------------------------------------------------------
+    def _abs(self, rel: str) -> str:
+        return os.path.join(self.directory, rel.replace("/", os.sep))
+
+    def found(self, finding: FsckFinding) -> FsckFinding:
+        self.report.findings.append(finding)
+        return finding
+
+    def _quarantine(self, rel: str, finding: FsckFinding) -> None:
+        """Move a bad blob aside (never delete payload bytes)."""
+        if not self.repair:
+            return
+        source = self._abs(rel)
+        target_dir = os.path.join(self.directory, QUARANTINE_DIR)
+        os.makedirs(target_dir, exist_ok=True)
+        target = os.path.join(target_dir, rel.replace("/", "__"))
+        os.replace(source, target)
+        finding.repaired = True
+        finding.repair_action = f"quarantined to {QUARANTINE_DIR}/{os.path.basename(target)}"
+        obs_metrics.inc(FSCK_REPAIRS)
+
+    def _remove(self, rel: str, finding: FsckFinding) -> None:
+        if not self.repair:
+            return
+        os.unlink(self._abs(rel))
+        finding.repaired = True
+        finding.repair_action = "removed"
+        obs_metrics.inc(FSCK_REPAIRS)
+
+    def _read(self, rel: str) -> Optional[bytes]:
+        path = self._abs(rel)
+        if not os.path.exists(path):
+            return None
+        with open(path, "rb") as handle:
+            self.report.files_scanned += 1
+            return handle.read()
+
+    # -- checks --------------------------------------------------------
+    def check_file(
+        self,
+        rel: str,
+        expected_digest: Optional[str],
+        expected_size: Optional[int],
+        what: str,
+    ) -> None:
+        """Verify one referenced file's presence, size, and content digest."""
+        data = self._read(rel)
+        if data is None:
+            self.found(FsckFinding(
+                kind="missing", path=rel, severity="error",
+                detail=f"{what} referenced by the manifest is not on disk",
+                expected=expected_digest,
+            ))
+            return
+        if expected_size is not None and len(data) < expected_size:
+            finding = self.found(FsckFinding(
+                kind="truncated", path=rel, severity="error",
+                detail=(
+                    f"{what} is {len(data)} byte(s), manifest records "
+                    f"{expected_size}"
+                ),
+                expected=str(expected_size), actual=str(len(data)),
+            ))
+            self._quarantine(rel, finding)
+            return
+        if expected_digest is not None:
+            actual = bytes_digest(data, length=len(expected_digest))
+            if actual != expected_digest:
+                finding = self.found(FsckFinding(
+                    kind="digest-mismatch", path=rel, severity="error",
+                    detail=f"{what} bytes do not match the recorded digest",
+                    expected=expected_digest, actual=actual,
+                ))
+                self._quarantine(rel, finding)
+
+    def check_dataset_content(self, rel: str, dataset_digest: str) -> None:
+        """Legacy fallback: recompute a dataset digest from its arrays."""
+        path = self._abs(rel)
+        try:
+            with np.load(path) as payload:
+                actual = combine_digests([
+                    array_digest(payload["tokens"]),
+                    array_digest(payload["labels"]),
+                ])
+        except Exception:
+            finding = self.found(FsckFinding(
+                kind="digest-mismatch", path=rel, severity="error",
+                detail="dataset archive is unreadable",
+                expected=dataset_digest,
+            ))
+            self._quarantine(rel, finding)
+            return
+        if actual != dataset_digest:
+            finding = self.found(FsckFinding(
+                kind="digest-mismatch", path=rel, severity="error",
+                detail="dataset contents do not match the digest naming them",
+                expected=dataset_digest, actual=actual,
+            ))
+            self._quarantine(rel, finding)
+
+    def scan_orphans_and_temps(self, referenced: Dict[str, bool]) -> None:
+        """Flag unreferenced blobs and tmp litter anywhere in the lake."""
+        for dirpath, dirnames, filenames in os.walk(self.directory):
+            rel_dir = os.path.relpath(dirpath, self.directory).replace(os.sep, "/")
+            if rel_dir == ".":
+                rel_dir = ""
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _IGNORED_DIRS
+                )
+            for filename in sorted(filenames):
+                rel = f"{rel_dir}/{filename}" if rel_dir else filename
+                if filename.endswith(".tmp"):
+                    finding = self.found(FsckFinding(
+                        kind="stale-temp", path=rel, severity="warning",
+                        detail="leftover tmp file from an interrupted write",
+                    ))
+                    self._remove(rel, finding)
+                    continue
+                if rel_dir in (WEIGHTS_DIR, DATASETS_DIR) and rel not in referenced:
+                    finding = self.found(FsckFinding(
+                        kind="orphaned", path=rel, severity="warning",
+                        detail=(
+                            "blob is not referenced by the manifest "
+                            "(likely debris of an uncommitted save)"
+                        ),
+                    ))
+                    self._quarantine(rel, finding)
+
+    # -- the walk ------------------------------------------------------
+    def run(self) -> FsckReport:
+        manifest_raw = self._read(MANIFEST)
+        if manifest_raw is None:
+            self.found(FsckFinding(
+                kind="manifest-missing", path=MANIFEST, severity="error",
+                detail="no manifest; directory is not a committed lake",
+            ))
+            self.scan_orphans_and_temps({})
+            return self.report
+        try:
+            manifest = json.loads(manifest_raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self.found(FsckFinding(
+                kind="manifest-corrupt", path=MANIFEST, severity="error",
+                detail=f"manifest does not parse: {error}",
+            ))
+            self.scan_orphans_and_temps({})
+            return self.report
+
+        integrity = manifest.get("integrity") or {}
+        files: Dict[str, Dict] = dict(integrity.get("files") or {})
+        if not integrity:
+            self.found(FsckFinding(
+                kind="integrity-absent", path=MANIFEST, severity="warning",
+                detail=(
+                    "manifest has no integrity section (pre-reliability "
+                    "save); only structural and weight-digest checks run"
+                ),
+            ))
+        else:
+            recorded = str(integrity.get("manifest_digest") or "")
+            recomputed = manifest_body_digest(manifest)
+            if recorded != recomputed:
+                self.found(FsckFinding(
+                    kind="manifest-digest", path=MANIFEST, severity="error",
+                    detail="manifest body does not match its integrity digest",
+                    expected=recorded, actual=recomputed,
+                ))
+
+        referenced: Dict[str, bool] = {}
+
+        # Weight blobs: the filename *is* the content digest, so these
+        # verify even on legacy lakes without an integrity section.
+        for entry in manifest.get("records", []):
+            digest = str(entry.get("weights_digest") or "")
+            rel = f"{WEIGHTS_DIR}/{digest}.npz"
+            if rel in referenced:
+                continue
+            referenced[rel] = True
+            meta = files.get(rel) or {}
+            self.check_file(
+                rel,
+                expected_digest=str(meta.get("digest") or digest),
+                expected_size=meta.get("bytes"),
+                what=f"weights of model {entry.get('model_id', '?')!r}",
+            )
+
+        # Datasets: filenames are *content* digests of the arrays, not of
+        # the archive bytes, so byte-level checks need the integrity
+        # section; without it we reload and recompute the array digests.
+        for entry in manifest.get("datasets", []):
+            digest = str(entry.get("digest") or "")
+            rel = f"{DATASETS_DIR}/{digest}.npz"
+            if rel in referenced:
+                continue
+            referenced[rel] = True
+            meta = files.get(rel)
+            if meta is not None:
+                self.check_file(
+                    rel,
+                    expected_digest=str(meta.get("digest") or "") or None,
+                    expected_size=meta.get("bytes"),
+                    what=f"dataset {entry.get('name', digest)!r}",
+                )
+            else:
+                data = self._read(rel)
+                if data is None:
+                    self.found(FsckFinding(
+                        kind="missing", path=rel, severity="error",
+                        detail=(
+                            f"dataset {entry.get('name', digest)!r} referenced "
+                            f"by the manifest is not on disk"
+                        ),
+                        expected=digest,
+                    ))
+                else:
+                    self.check_dataset_content(rel, digest)
+
+        # Lineage: always written by save_lake (possibly an empty list).
+        meta = files.get(LINEAGE)
+        lineage_raw = self._read(LINEAGE)
+        if lineage_raw is None:
+            self.found(FsckFinding(
+                kind="missing", path=LINEAGE, severity="error",
+                detail="lineage file is not on disk",
+            ))
+        else:
+            if meta is not None:
+                expected_digest = str(meta.get("digest") or "")
+                expected_size = meta.get("bytes")
+                if expected_size is not None and len(lineage_raw) < expected_size:
+                    self.found(FsckFinding(
+                        kind="truncated", path=LINEAGE, severity="error",
+                        detail=(
+                            f"lineage is {len(lineage_raw)} byte(s), manifest "
+                            f"records {expected_size}"
+                        ),
+                        expected=str(expected_size), actual=str(len(lineage_raw)),
+                    ))
+                elif expected_digest and bytes_digest(
+                    lineage_raw, length=len(expected_digest)
+                ) != expected_digest:
+                    self.found(FsckFinding(
+                        kind="digest-mismatch", path=LINEAGE, severity="error",
+                        detail="lineage bytes do not match the recorded digest",
+                        expected=expected_digest,
+                        actual=bytes_digest(lineage_raw, length=len(expected_digest)),
+                    ))
+            try:
+                json.loads(lineage_raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                self.found(FsckFinding(
+                    kind="manifest-corrupt", path=LINEAGE, severity="error",
+                    detail=f"lineage does not parse: {error}",
+                ))
+
+        self.scan_orphans_and_temps(referenced)
+        return self.report
+
+
+def fsck_lake(directory: str, repair: bool = False) -> FsckReport:
+    """Verify a persisted lake; optionally quarantine what fails.
+
+    Never raises on corruption — every problem becomes a classified
+    :class:`FsckFinding` — so one bad blob cannot hide the rest of the
+    walk.  Raises only if ``directory`` itself does not exist.
+    """
+    if not os.path.isdir(directory):
+        raise FileNotFoundError(f"no such lake directory: {directory!r}")
+    start = time.perf_counter()
+    obs_metrics.inc(FSCK_RUNS)
+    with trace("fsck.run", directory=directory, repair=repair):
+        report = _Walk(directory, repair=repair).run()
+    report.elapsed_seconds = time.perf_counter() - start
+    obs_metrics.inc(FSCK_FILES_SCANNED, report.files_scanned)
+    obs_metrics.inc(FSCK_FINDINGS, len(report.findings))
+    obs_metrics.observe(FSCK_RUN_SECONDS, report.elapsed_seconds)
+    _log.info(
+        "fsck.done",
+        directory=directory,
+        files=report.files_scanned,
+        errors=len(report.errors),
+        warnings=len(report.warnings),
+        repaired=sum(1 for f in report.findings if f.repaired),
+    )
+    return report

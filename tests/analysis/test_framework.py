@@ -122,6 +122,32 @@ def test_stale_baseline_entry_fails_strict_only(tmp_path):
     assert result.exit_code(strict=True) == 1
 
 
+def test_baseline_cannot_suppress_exempt_rule(tmp_path):
+    # raw-artifact-write is baseline-exempt: the ledger entry neither
+    # hides the finding nor counts as used.
+    raw_write = (
+        'def save(path, data):\n'
+        '    with open(path, "w") as handle:\n'
+        '        handle.write(data)\n'
+    )
+    root = make_tree(tmp_path, {"src/repro/lake/example.py": raw_write})
+    (root / ".repro-lint.json").write_text(json.dumps({
+        "version": 1,
+        "suppressions": [{
+            "rule": "raw-artifact-write",
+            "path": "src/repro/lake/*.py",
+            "reason": "attempting to grandfather a corruption bug",
+        }],
+    }))
+    result = run_lint(LintConfig(paths=["src"], root=str(root), use_cache=False))
+    assert [f.rule for f in result.findings] == ["raw-artifact-write"]
+    assert result.baseline_suppressed == []
+    assert [entry.rule for entry in result.unused_baseline] == [
+        "raw-artifact-write"
+    ]
+    assert result.exit_code(strict=False) == 1
+
+
 def test_baseline_entry_requires_reason(tmp_path):
     path = tmp_path / ".repro-lint.json"
     path.write_text(json.dumps({

@@ -185,6 +185,35 @@ CASES = {
                 return None
         """,
     ),
+    "raw-artifact-write": (
+        LIB,
+        """
+        import json
+        import numpy as np
+
+        def save_manifest(path, payload):
+            with open(path, "w") as handle:
+                json.dump(payload, handle)
+
+        def save_blob(path, arrays):
+            np.savez(path, **arrays)
+        """,
+        """
+        import json
+
+        from repro.reliability.atomic import atomic_write_json, atomic_write_npz
+
+        def save_manifest(path, payload):
+            atomic_write_json(path, payload)
+
+        def save_blob(path, arrays):
+            atomic_write_npz(path, arrays)
+
+        def load_manifest(path):
+            with open(path) as handle:
+                return json.load(handle)
+        """,
+    ),
     "swallowed-exception": (
         LIB,
         """
@@ -282,6 +311,32 @@ def test_pool_task_checks_initializer_keyword():
         return WaveExecutor(workers=2, initializer=lambda: shared)
     """
     assert len(findings_for(source, LIB, "pool-task")) == 1
+
+
+def test_raw_artifact_write_scoped_to_artifact_layers():
+    source = 'with open("x.json", "w") as handle:\n    handle.write("{}")\n'
+    assert findings_for(
+        source, "src/repro/core/search/engine.py", "raw-artifact-write"
+    ) == []
+    assert findings_for(
+        source, "src/repro/reliability/atomic.py", "raw-artifact-write"
+    ) == []
+    assert findings_for(source, "src/repro/index/cache.py", "raw-artifact-write")
+    assert findings_for(source, "src/repro/lake/persist.py", "raw-artifact-write")
+
+
+def test_raw_artifact_write_ignores_read_and_dynamic_modes():
+    source = """
+    def read(path, mode):
+        with open(path) as handle:
+            first = handle.read()
+        with open(path, "rb") as handle:
+            second = handle.read()
+        with open(path, mode) as handle:
+            third = handle.read()
+        return first, second, third
+    """
+    assert findings_for(source, LIB, "raw-artifact-write") == []
 
 
 def test_syntax_error_becomes_finding():

@@ -1,9 +1,11 @@
 """Tests for the content-addressed weight store."""
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.errors import LakeError
+from repro.errors import LakeError, LakeIntegrityError
 from repro.lake import WeightStore
 
 
@@ -52,3 +54,35 @@ class TestWeightStore:
         store = WeightStore()
         store.put(state)
         assert store.total_bytes() > 0
+
+    def test_truncated_disk_blob_raises_integrity_error(self, state, tmp_path):
+        directory = str(tmp_path / "weights")
+        digest = WeightStore(directory=directory).put(state)
+        path = os.path.join(directory, f"{digest}.npz")
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        fresh = WeightStore(directory=directory)
+        with pytest.raises(LakeIntegrityError) as info:
+            fresh.get(digest)
+        # The error names the artifact and the digest it failed.
+        assert path in str(info.value)
+        assert digest in str(info.value)
+        assert info.value.expected == digest
+
+    def test_corrupt_blob_is_not_cached(self, state, tmp_path):
+        directory = str(tmp_path / "weights")
+        digest = WeightStore(directory=directory).put(state)
+        path = os.path.join(directory, f"{digest}.npz")
+        original = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(b"rotten")
+        fresh = WeightStore(directory=directory)
+        with pytest.raises(LakeIntegrityError):
+            fresh.get(digest)
+        # Restoring the real bytes must make the same store work again:
+        # the bad read was never admitted to the in-memory cache.
+        with open(path, "wb") as handle:
+            handle.write(original)
+        restored = fresh.get(digest)
+        assert all(np.array_equal(restored[k], state[k]) for k in state)

@@ -1,0 +1,58 @@
+"""Fixtures for the reliability suite: a tiny lake, saved once.
+
+The crash-safety tests corrupt, kill, and repair lakes constantly, so
+the shared artifacts are (a) one cheap generated bundle and (b) its
+saved directory; individual tests copy the directory before mutilating
+it.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.lake import LakeSpec, generate_lake, save_lake
+
+#: The cheapest spec that still exercises every persisted artifact kind:
+#: one foundation wave, one chain wave, derived specialty datasets.
+TINY_KWARGS = dict(
+    num_foundations=1,
+    chains_per_foundation=2,
+    max_chain_depth=1,
+    docs_per_domain=8,
+    eval_docs_per_domain=3,
+    foundation_epochs=2,
+    specialize_epochs=2,
+    num_merges=0,
+    num_stitches=0,
+    seed=3,
+)
+
+
+def tiny_spec(**overrides) -> LakeSpec:
+    kwargs = dict(TINY_KWARGS)
+    kwargs.update(overrides)
+    return LakeSpec(**kwargs)
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle():
+    """Reference bundle (treat as read-only)."""
+    return generate_lake(tiny_spec())
+
+
+@pytest.fixture(scope="session")
+def saved_tiny_lake(tmp_path_factory, tiny_bundle):
+    """The reference bundle saved once (treat the directory as read-only)."""
+    directory = str(tmp_path_factory.mktemp("tiny-lake"))
+    save_lake(tiny_bundle.lake, directory)
+    return directory
+
+
+@pytest.fixture()
+def lake_copy(saved_tiny_lake, tmp_path):
+    """A private, corruptible copy of the saved lake."""
+    target = str(tmp_path / "lake")
+    shutil.copytree(saved_tiny_lake, target)
+    return target

@@ -1,0 +1,121 @@
+"""Atomic-write primitives: a crash at any stage never tears the file."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    FaultPlan,
+    InjectedFault,
+    inject_faults,
+)
+from repro.reliability.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+)
+from repro.reliability.faults import WRITE_BEGIN, WRITE_DATA, WRITE_RENAME
+
+OLD = b"previous committed contents"
+NEW = b"replacement contents, longer than the old ones"
+
+
+def tmp_litter(directory):
+    return [name for name in os.listdir(directory) if name.endswith(".tmp")]
+
+
+@pytest.fixture()
+def target(tmp_path):
+    path = tmp_path / "artifact.bin"
+    path.write_bytes(OLD)
+    return str(path)
+
+
+class TestAtomicWriteBytes:
+    def test_writes_fresh_file(self, tmp_path):
+        path = str(tmp_path / "fresh.bin")
+        atomic_write_bytes(path, NEW)
+        assert open(path, "rb").read() == NEW
+        assert tmp_litter(str(tmp_path)) == []
+
+    def test_replaces_existing_file(self, target, tmp_path):
+        atomic_write_bytes(target, NEW)
+        assert open(target, "rb").read() == NEW
+        assert tmp_litter(str(tmp_path)) == []
+
+    def test_crash_before_tmp_creation_changes_nothing(self, target, tmp_path):
+        plan = FaultPlan().fail_write("artifact.bin", stage=WRITE_BEGIN)
+        with inject_faults(plan), pytest.raises(InjectedFault):
+            atomic_write_bytes(target, NEW)
+        assert open(target, "rb").read() == OLD
+        assert tmp_litter(str(tmp_path)) == []
+
+    def test_crash_mid_write_keeps_old_and_leaves_torn_tmp(self, target, tmp_path):
+        plan = FaultPlan().fail_write(
+            "artifact.bin", stage=WRITE_DATA, truncate_at=5
+        )
+        with inject_faults(plan), pytest.raises(InjectedFault):
+            atomic_write_bytes(target, NEW)
+        assert open(target, "rb").read() == OLD
+        litter = tmp_litter(str(tmp_path))
+        assert len(litter) == 1  # the debris a real SIGKILL would leave
+        torn = (tmp_path / litter[0]).read_bytes()
+        assert torn == NEW[:5]
+
+    def test_crash_before_rename_keeps_old_with_complete_tmp(self, target, tmp_path):
+        plan = FaultPlan().fail_write("artifact.bin", stage=WRITE_RENAME)
+        with inject_faults(plan), pytest.raises(InjectedFault):
+            atomic_write_bytes(target, NEW)
+        assert open(target, "rb").read() == OLD
+        litter = tmp_litter(str(tmp_path))
+        assert len(litter) == 1
+        assert (tmp_path / litter[0]).read_bytes() == NEW
+
+    def test_ordinary_failure_cleans_up_its_tmp(self, target, tmp_path, monkeypatch):
+        def explode(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError, match="disk on fire"):
+            atomic_write_bytes(target, NEW)
+        monkeypatch.undo()
+        assert open(target, "rb").read() == OLD
+        assert tmp_litter(str(tmp_path)) == []
+
+    def test_pattern_scopes_the_fault_to_matching_files(self, target, tmp_path):
+        other = str(tmp_path / "other.bin")
+        plan = FaultPlan().fail_write("artifact.bin", stage=WRITE_RENAME)
+        with inject_faults(plan):
+            atomic_write_bytes(other, NEW)  # does not match: succeeds
+            with pytest.raises(InjectedFault):
+                atomic_write_bytes(target, NEW)
+        assert open(other, "rb").read() == NEW
+
+
+class TestJsonAndNpz:
+    def test_json_round_trip(self, tmp_path):
+        path = str(tmp_path / "payload.json")
+        payload = {"b": [1, 2, 3], "a": {"nested": True}}
+        atomic_write_json(path, payload, sort_keys=True)
+        with open(path) as handle:
+            assert json.load(handle) == payload
+
+    def test_npz_round_trip(self, tmp_path):
+        path = str(tmp_path / "arrays.npz")
+        arrays = {
+            "tokens": np.arange(12).reshape(3, 4),
+            "labels": np.array([0, 1, 2]),
+        }
+        atomic_write_npz(path, arrays)
+        with np.load(path) as restored:
+            assert np.array_equal(restored["tokens"], arrays["tokens"])
+            assert np.array_equal(restored["labels"], arrays["labels"])
+
+    def test_npz_crash_leaves_no_partial_archive(self, tmp_path):
+        path = str(tmp_path / "arrays.npz")
+        plan = FaultPlan().fail_write("arrays.npz", stage=WRITE_DATA, truncate_at=3)
+        with inject_faults(plan), pytest.raises(InjectedFault):
+            atomic_write_npz(path, {"tokens": np.arange(4)})
+        assert not os.path.exists(path)

@@ -1,0 +1,113 @@
+"""Kill ``save_lake`` at every (artifact, stage) point; nothing tears.
+
+The matrix crosses the three durable write targets (manifest, weight
+blob, embedding cache) with the three crash points of an atomic write
+(before the tmp exists, mid-write, before the rename).  In every cell a
+previously committed lake must stay bit-intact — fsck error-free and
+loadable with the same records.
+"""
+
+import itertools
+import os
+import shutil
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.cache import EmbeddingCache
+from repro.lake import load_lake, save_lake
+from repro.reliability import FaultPlan, InjectedFault, inject_faults
+from repro.reliability.faults import WRITE_BEGIN, WRITE_DATA, WRITE_RENAME
+from repro.reliability.fsck import fsck_lake
+
+STAGES = (WRITE_BEGIN, WRITE_DATA, WRITE_RENAME)
+#: basename patterns for: the commit record, blob archives, lineage.
+TARGETS = ("manifest.json", "*.npz", "lineage.json")
+
+
+@pytest.mark.parametrize(
+    "target,stage", list(itertools.product(TARGETS, STAGES))
+)
+def test_killed_resave_preserves_committed_lake(
+    lake_copy, tiny_bundle, target, stage
+):
+    manifest_path = os.path.join(lake_copy, "manifest.json")
+    before = open(manifest_path, "rb").read()
+    plan = FaultPlan().fail_write(target, stage=stage, truncate_at=9)
+    with inject_faults(plan), pytest.raises(InjectedFault):
+        save_lake(tiny_bundle.lake, lake_copy)
+    assert plan.fired, "the scripted fault never fired"
+    # The commit record is untouched, the lake verifies and loads.
+    assert open(manifest_path, "rb").read() == before
+    report = fsck_lake(lake_copy)
+    assert report.ok, [f.to_dict() for f in report.errors]
+    restored = load_lake(lake_copy)
+    assert restored.model_ids() == tiny_bundle.lake.model_ids()
+
+
+def test_old_manifest_survives_killed_commit(lake_copy):
+    """Regression: a save killed mid-manifest-write must leave the
+    previous manifest describing the previous, fully intact lake."""
+    lake = load_lake(lake_copy)
+    record = next(iter(lake))
+    lake.record_metric(record.model_id, "post_hoc_metric", 1.0)
+    plan = FaultPlan().fail_write(
+        "manifest.json", stage=WRITE_DATA, truncate_at=64
+    )
+    with inject_faults(plan), pytest.raises(InjectedFault):
+        save_lake(lake, lake_copy)
+    reloaded = load_lake(lake_copy)
+    metrics = reloaded.get_record(record.model_id).eval_metrics
+    assert "post_hoc_metric" not in metrics  # old manifest, old lake
+
+
+@pytest.mark.parametrize("stage", STAGES)
+def test_killed_embedding_cache_flush_preserves_old_cache(tmp_path, stage):
+    directory = str(tmp_path / "cache")
+    cache = EmbeddingCache(directory)
+    cache.put("space", "digest-a", np.ones(4))
+    cache.flush()
+
+    cache.put("space", "digest-b", np.zeros(4))
+    plan = FaultPlan().fail_write("embeddings-*.npz", stage=stage, truncate_at=6)
+    with inject_faults(plan), pytest.raises(InjectedFault):
+        cache.flush()
+
+    fresh = EmbeddingCache(directory)
+    assert np.array_equal(fresh.get("space", "digest-a"), np.ones(4))
+    assert fresh.get("space", "digest-b") is None  # flush never committed
+
+
+@given(index=st.integers(min_value=0, max_value=40), stage=st.sampled_from(STAGES))
+@settings(max_examples=10, deadline=None)
+def test_killed_fresh_save_is_never_reported_clean(tiny_bundle, index, stage):
+    """Property: fsck on any prefix of a killed first save is not clean.
+
+    The fault kills the Nth write of a save into an empty directory.  If
+    the plan fired, the manifest never committed, so fsck must surface
+    that (no false "clean"); if N exceeded the save's write count, the
+    save completed and fsck must report exactly clean (no false
+    positives on intact lakes either).
+    """
+    directory = tempfile.mkdtemp(prefix="killed-save-")
+    try:
+        plan = FaultPlan().fail_write("*", stage=stage, index=index, truncate_at=7)
+        completed = True
+        with inject_faults(plan):
+            try:
+                save_lake(tiny_bundle.lake, directory)
+            except InjectedFault:
+                completed = False
+        report = fsck_lake(directory)
+        if completed:
+            assert not plan.fired
+            assert report.clean
+        else:
+            assert plan.fired
+            assert not report.clean
+            assert not report.ok  # a missing commit record is an error
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)

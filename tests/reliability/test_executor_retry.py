@@ -1,0 +1,93 @@
+"""WaveExecutor survival of crashed workers: rebuild, re-run, surface.
+
+Worker functions live at module level so they pickle into real worker
+processes; the crashing ones use ``os._exit`` so the pool genuinely
+breaks (an exception would be an ordinary task failure, not a crash).
+"""
+
+import os
+
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.parallel import WaveExecutor
+from repro.reliability import FaultPlan, inject_faults
+
+
+def _inc(value):
+    return value + 1
+
+
+def _fail_on_two(value):
+    if value == 2:
+        raise ValueError("task two is broken")
+    return value + 1
+
+
+def _crash_until_latched(task):
+    """Dies the first time it runs (latch file empty), survives after."""
+    if task["crash"]:
+        with open(task["latch"], "a") as handle:
+            handle.write("x")
+        if os.path.getsize(task["latch"]) <= 1:
+            os._exit(1)
+    return task["value"] + 1
+
+
+def _exit_now(_task):
+    os._exit(1)
+
+
+class TestInjectedPoolFaults:
+    def test_injected_crash_retries_and_completes(self):
+        plan = FaultPlan().break_pool("wave-a", times=1)
+        with WaveExecutor(workers=1) as executor, inject_faults(plan):
+            results = executor.run_wave(_inc, [1, 2, 3], label="wave-a")
+        assert results == [2, 3, 4]
+        assert len(plan.fired) == 1
+
+    def test_exhausted_retries_surface_structured_error(self):
+        plan = FaultPlan().break_pool("wave-b", times=10)
+        with WaveExecutor(workers=1, max_retries=2) as executor:
+            with inject_faults(plan), pytest.raises(WorkerCrashError) as info:
+                executor.run_wave(_inc, [1, 2], label="wave-b")
+            assert executor._pool is None  # no dangling dead pool
+        error = info.value
+        assert error.label == "wave-b"
+        assert error.task_indices == [0, 1]
+        assert error.attempts == 3  # 1 initial + 2 retries
+        assert "wave-b" in str(error)
+
+    def test_fault_scoped_to_other_wave_does_not_fire(self):
+        plan = FaultPlan().break_pool("other-wave", times=10)
+        with WaveExecutor(workers=1) as executor, inject_faults(plan):
+            assert executor.run_wave(_inc, [1], label="this-wave") == [2]
+        assert plan.fired == []
+
+
+class TestRealBrokenPool:
+    def test_crashed_worker_is_retried_to_completion(self, tmp_path):
+        latch = str(tmp_path / "latch")
+        tasks = [
+            {"crash": False, "value": 1, "latch": latch},
+            {"crash": True, "value": 2, "latch": latch},
+            {"crash": False, "value": 3, "latch": latch},
+        ]
+        with WaveExecutor(workers=2, max_retries=2) as executor:
+            results = executor.run_wave(_crash_until_latched, tasks, label="real")
+        # Submission order survives the crash-and-retry round trip.
+        assert results == [2, 3, 4]
+
+    def test_unrecoverable_crash_raises_and_disposes_pool(self):
+        with WaveExecutor(workers=2, max_retries=1) as executor:
+            with pytest.raises(WorkerCrashError) as info:
+                executor.run_wave(_exit_now, [0], label="doomed")
+            assert executor._pool is None
+            assert info.value.task_indices == [0]
+            # The executor is still usable: the next wave gets a fresh pool.
+            assert executor.run_wave(_inc, [41], label="after") == [42]
+
+    def test_ordinary_task_exception_is_not_a_crash(self):
+        with WaveExecutor(workers=2, max_retries=2) as executor:
+            with pytest.raises(ValueError, match="task two"):
+                executor.run_wave(_fail_on_two, [1, 2, 3], label="failing")

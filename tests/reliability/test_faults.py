@@ -1,0 +1,87 @@
+"""The fault plan itself: deterministic, scoped, replayable."""
+
+import pytest
+
+from repro.reliability import FaultPlan, InjectedFault, active_plan, inject_faults
+from repro.reliability.faults import (
+    POOL_WAVE,
+    WRITE_DATA,
+    WRITE_RENAME,
+    raise_if_triggered,
+    trigger,
+)
+
+
+class TestFaultRules:
+    def test_fires_on_nth_match_only(self):
+        plan = FaultPlan().fail_write("manifest*", stage=WRITE_DATA, index=1)
+        assert plan.check(WRITE_DATA, "manifest.json") is None  # match 0
+        assert plan.check(WRITE_DATA, "manifest.json") is not None  # match 1
+        assert plan.check(WRITE_DATA, "manifest.json") is None  # match 2
+
+    def test_times_widens_the_firing_window(self):
+        plan = FaultPlan().break_pool("wave", times=2)
+        assert plan.check(POOL_WAVE, "wave") is not None
+        assert plan.check(POOL_WAVE, "wave") is not None
+        assert plan.check(POOL_WAVE, "wave") is None
+
+    def test_pattern_and_op_both_gate_matching(self):
+        plan = FaultPlan().fail_write("*.npz", stage=WRITE_DATA)
+        assert plan.check(WRITE_RENAME, "blob.npz") is None  # wrong op
+        assert plan.check(WRITE_DATA, "manifest.json") is None  # wrong name
+        assert plan.check(WRITE_DATA, "blob.npz") is not None
+
+    def test_unknown_write_stage_rejected(self):
+        with pytest.raises(ValueError, match="stage"):
+            FaultPlan().fail_write("*", stage="write.nonsense")
+
+    def test_fired_log_replays_identically(self):
+        def workload(plan):
+            for name in ("a.npz", "manifest.json", "b.npz", "manifest.json"):
+                plan.check(WRITE_DATA, name)
+            return list(plan.fired)
+
+        def script():
+            return FaultPlan(seed=7).fail_write(
+                "manifest*", stage=WRITE_DATA, index=1
+            )
+
+        assert workload(script()) == workload(script())
+        assert workload(script()) == [(WRITE_DATA, "manifest.json", 0)]
+
+    def test_seeded_rng_is_reproducible(self):
+        first = FaultPlan(seed=13).rng.integers(1_000_000)
+        second = FaultPlan(seed=13).rng.integers(1_000_000)
+        assert first == second
+
+
+class TestActivePlan:
+    def test_no_active_plan_means_no_faults(self):
+        assert active_plan() is None
+        assert trigger(WRITE_DATA, "anything") is None
+        raise_if_triggered(WRITE_DATA, "anything")  # must not raise
+
+    def test_inject_faults_installs_and_restores(self):
+        plan = FaultPlan()
+        with inject_faults(plan) as installed:
+            assert installed is plan
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_nested_plans_restore_the_outer_one(self):
+        outer, inner = FaultPlan(), FaultPlan()
+        with inject_faults(outer):
+            with inject_faults(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+
+    def test_raise_if_triggered_raises_injected_fault(self):
+        plan = FaultPlan().fail_write("doomed.json", stage=WRITE_RENAME)
+        with inject_faults(plan):
+            with pytest.raises(InjectedFault, match="doomed.json"):
+                raise_if_triggered(WRITE_RENAME, "doomed.json")
+        assert plan.fired == [(WRITE_RENAME, "doomed.json", 0)]
+
+    def test_injected_fault_is_an_os_error(self):
+        # Crash simulation must not be catchable as a library error.
+        assert issubclass(InjectedFault, OSError)

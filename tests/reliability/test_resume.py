@@ -1,0 +1,149 @@
+"""Resumable generation: a killed run continues to a bit-identical lake."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import CheckpointError, WorkerCrashError
+from repro.lake.generator import LakeGenerator, generate_lake, spec_fingerprint
+from repro.reliability import FaultPlan, inject_faults
+from repro.reliability.checkpoint import WaveCheckpoint
+
+from tests.reliability.conftest import tiny_spec
+
+
+def _identity(bundle):
+    """Everything that must be bit-identical across resume."""
+    records = list(bundle.lake)
+    return {
+        "ids": [r.model_id for r in records],
+        "names": [r.name for r in records],
+        "digests": [r.weights_digest for r in records],
+        "created_at": [r.created_at for r in records],
+        "clock": bundle.lake.clock,
+        "edges": [
+            (tuple(parents), child, transform.kind)
+            for parents, child, transform in bundle.truth.edges
+        ],
+    }
+
+
+class TestWaveCheckpoint:
+    def test_store_load_round_trip(self, tmp_path):
+        checkpoint = WaveCheckpoint(str(tmp_path / "ckpt"), "fp-1")
+        payload = [["result-a", "result-b"], ["result-c"]]
+        checkpoint.store("generate.wave0", payload)
+        assert checkpoint.load("generate.wave0") == payload
+        assert checkpoint.load("generate.wave1") is None
+
+    def test_fingerprint_mismatch_discards_everything(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        stale = WaveCheckpoint(directory, "fp-old")
+        stale.store("generate.wave0", ["stale results"])
+        fresh = WaveCheckpoint(directory, "fp-new", resume=True)
+        assert fresh.load("generate.wave0") is None
+
+    def test_resume_false_discards_compatible_checkpoints(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        WaveCheckpoint(directory, "fp").store("w", [1])
+        assert WaveCheckpoint(directory, "fp", resume=False).load("w") is None
+
+    def test_unreadable_checkpoint_raises(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        checkpoint = WaveCheckpoint(directory, "fp")
+        checkpoint.store("w", [1, 2, 3])
+        path = [
+            os.path.join(directory, name)
+            for name in os.listdir(directory)
+            if name.startswith("wave-")
+        ][0]
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            checkpoint.load("w")
+
+    def test_clear_removes_the_directory(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        checkpoint = WaveCheckpoint(directory, "fp")
+        checkpoint.store("w", [1])
+        checkpoint.clear()
+        assert not os.path.exists(directory)
+
+    def test_checkpoints_are_pickle_payload_agnostic(self, tmp_path):
+        checkpoint = WaveCheckpoint(str(tmp_path / "ckpt"), "fp")
+        payload = {"nested": [1, (2.5, "three")], "flag": True}
+        checkpoint.store("merge", payload)
+        assert pickle.dumps(checkpoint.load("merge")) == pickle.dumps(payload)
+
+
+class TestSpecFingerprint:
+    def test_workers_do_not_change_the_fingerprint(self):
+        assert spec_fingerprint(tiny_spec(workers=1)) == spec_fingerprint(
+            tiny_spec(workers=4)
+        )
+
+    def test_any_shaping_field_changes_the_fingerprint(self):
+        assert spec_fingerprint(tiny_spec()) != spec_fingerprint(
+            tiny_spec(seed=99)
+        )
+
+
+class TestResumedGeneration:
+    def test_killed_run_resumes_bit_identical(self, tmp_path, tiny_bundle):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        # Kill the chain wave on every attempt: the run dies after the
+        # foundation wave has been checkpointed.
+        plan = FaultPlan().break_pool("generate.wave1", times=10)
+        with inject_faults(plan), pytest.raises(WorkerCrashError):
+            generate_lake(
+                tiny_spec(), checkpoint_dir=checkpoint_dir, resume=False
+            )
+        assert plan.fired
+        stored = [
+            name for name in os.listdir(checkpoint_dir)
+            if name.startswith("wave-generate.wave0")
+        ]
+        assert stored, "completed wave was not checkpointed"
+
+        resumed = generate_lake(
+            tiny_spec(), checkpoint_dir=checkpoint_dir, resume=True
+        )
+        assert _identity(resumed) == _identity(tiny_bundle)
+
+    def test_resume_of_a_completed_checkpoint_is_identical(
+        self, tmp_path, tiny_bundle
+    ):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        first = generate_lake(
+            tiny_spec(), checkpoint_dir=checkpoint_dir, resume=False
+        )
+        # Every wave satisfied from disk; nothing retrains.
+        second = generate_lake(
+            tiny_spec(), checkpoint_dir=checkpoint_dir, resume=True
+        )
+        assert _identity(first) == _identity(second) == _identity(tiny_bundle)
+
+    def test_mismatched_spec_discards_checkpoint_and_regenerates(
+        self, tmp_path, tiny_bundle
+    ):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        generate_lake(
+            tiny_spec(seed=77), checkpoint_dir=checkpoint_dir, resume=False
+        )
+        # Resuming with a *different* spec must not splice in wave
+        # results of the seed-77 lake.
+        bundle = generate_lake(
+            tiny_spec(), checkpoint_dir=checkpoint_dir, resume=True
+        )
+        assert _identity(bundle) == _identity(tiny_bundle)
+
+    def test_clear_checkpoint_after_durable_save(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        generator = LakeGenerator(
+            tiny_spec(), checkpoint_dir=checkpoint_dir, resume=False
+        )
+        generator.generate()
+        assert os.path.isdir(checkpoint_dir)
+        generator.clear_checkpoint()
+        assert not os.path.exists(checkpoint_dir)

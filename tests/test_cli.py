@@ -86,6 +86,61 @@ class TestCLI:
         assert "2 matches" in message
 
 
+class TestFsckCLI:
+    def test_fsck_clean_lake_exits_zero(self, lake_dir, capsys):
+        assert main(["fsck", lake_dir]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_fsck_does_not_overwrite_the_metrics_snapshot(self, lake_dir):
+        import os
+
+        path = os.path.join(lake_dir, "metrics.json")
+        with open(path) as handle:
+            before = json.load(handle)
+        assert main(["fsck", lake_dir]) == 0
+        with open(path) as handle:
+            assert json.load(handle) == before
+
+    def test_fsck_corrupt_lake_exits_nonzero(self, lake_dir, tmp_path, capsys):
+        import os
+        import shutil
+
+        broken = str(tmp_path / "broken")
+        shutil.copytree(lake_dir, broken)
+        weights = os.path.join(broken, "weights")
+        victim = os.path.join(weights, sorted(os.listdir(weights))[0])
+        with open(victim, "wb") as handle:
+            handle.write(b"garbage")
+        assert main(["fsck", broken]) == 1
+        assert "truncated" in capsys.readouterr().out
+
+    def test_fsck_json_payload(self, lake_dir, capsys):
+        assert main(["fsck", lake_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+
+    def test_fsck_missing_dir_is_error(self, tmp_path, capsys):
+        assert main(["fsck", str(tmp_path / "void")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_fsck_repair_quarantines(self, lake_dir, tmp_path, capsys):
+        import os
+        import shutil
+
+        broken = str(tmp_path / "repairable")
+        shutil.copytree(lake_dir, broken)
+        weights = os.path.join(broken, "weights")
+        victim = os.path.join(weights, sorted(os.listdir(weights))[0])
+        with open(victim, "wb") as handle:
+            handle.write(b"garbage")
+        assert main(["fsck", broken, "--repair", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert any(f["repaired"] for f in payload["findings"])
+        assert os.path.isdir(os.path.join(broken, "quarantine"))
+
+
 class TestObservabilityCLI:
     def test_stats_json(self, lake_dir, capsys):
         assert main(["stats", "--dir", lake_dir, "--json"]) == 0
