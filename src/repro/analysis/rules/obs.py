@@ -14,6 +14,10 @@ level-filtered, and capturable:
   ``@traced`` decorator), never constructed bare or entered manually;
   a span whose ``__exit__`` can be skipped leaks onto the thread-local
   stack and corrupts every later span's parentage.
+* ``bench-result-schema`` — benchmark scripts persist results through
+  the schema-versioned :mod:`repro.obs.timeseries` writer, never by
+  ``json.dump``-ing ad-hoc dicts: unversioned result files cannot be
+  compared across time, which defeats the perf trajectory.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from typing import Iterator
 
 from repro.analysis.core import FileContext, Finding, Rule, register
 
-__all__ = ["NoPrint", "ObsLogger", "SpanContext"]
+__all__ = ["NoPrint", "ObsLogger", "SpanContext", "BenchResultSchema"]
 
 _OBS_PREFIX = "src/repro/obs/"
 
@@ -135,4 +139,34 @@ class SpanContext(Rule):
                     node,
                     f"manual {node.func.attr}() call; use a with-statement "
                     "so the span (or resource) cannot leak",
+                )
+
+
+@register
+class BenchResultSchema(Rule):
+    """Benchmark results must go through the schema-versioned writer."""
+
+    name = "bench-result-schema"
+    description = (
+        "benchmark dumps results with json.dump; use "
+        "repro.obs.timeseries.BenchResult/append_result so the record is "
+        "schema-versioned, host-stamped, and trajectory-comparable"
+    )
+    version = 1
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_benchmark
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.imports.qualified(node.func)
+            if qualified == "json.dump":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "benchmark result written via json.dump bypasses the "
+                    "BenchResult schema; record through "
+                    "repro.obs.timeseries.append_result",
                 )

@@ -10,7 +10,10 @@ Subcommands::
     python -m repro audit    --dir LAKE_DIR --model NAME_OR_ID
     python -m repro cite     --dir LAKE_DIR --model NAME_OR_ID
     python -m repro card     --dir LAKE_DIR --model NAME_OR_ID
-    python -m repro metrics  --dir LAKE_DIR [--json]
+    python -m repro metrics  --dir LAKE_DIR [--json] [--top N]
+    python -m repro trace    report FILE [--top N] [--flame FILE] [--json]
+    python -m repro bench    [--smoke] [--select NAMES] [--check]
+                             [--results DIR] [--no-record] [--json]
     python -m repro lint     [PATHS ...] [--strict] [--graph] [--json]
                              [--select RULES] [--ignore RULES]
     python -m repro graph    [PATHS ...] [--dot | --json] [--out FILE]
@@ -18,6 +21,7 @@ Subcommands::
 Global flags (before the subcommand)::
 
     --trace FILE      export hierarchical spans of this run as JSONL
+    --profile         add CPU time + peak allocations to every span
     --log-level LVL   structured-log verbosity (default WARNING)
 
 Every lake-directory command leaves its metrics snapshot at
@@ -236,6 +240,31 @@ def _render_metrics(payload: dict) -> str:
     return "\n".join(lines)
 
 
+def _render_top_operations(payload: dict, top: int) -> str:
+    """The N slowest operations by p99, straight from the histograms."""
+    histograms = payload.get("metrics", {}).get("histograms", {})
+    rows = [
+        (name, summary)
+        for name, summary in histograms.items()
+        if summary.get("p99") is not None
+    ]
+    if not rows:
+        return "no latency histograms recorded"
+    rows.sort(key=lambda item: item[1]["p99"], reverse=True)
+    lines = [
+        f"slowest operations (top {min(top, len(rows))} of {len(rows)} by p99):",
+        f"  {'operation':<44} {'count':>7} {'p50':>10} {'p90':>10} {'p99':>10}",
+    ]
+    for name, summary in rows[:top]:
+        cells = " ".join(
+            "-".rjust(10) if summary.get(key) is None
+            else f"{summary[key]:.6g}".rjust(10)
+            for key in ("p50", "p90", "p99")
+        )
+        lines.append(f"  {name:<44} {summary.get('count', 0):>7} {cells}")
+    return "\n".join(lines)
+
+
 def _cmd_metrics(args) -> int:
     path = os.path.join(args.dir, _METRICS_FILE)
     if os.path.exists(path):
@@ -250,7 +279,115 @@ def _cmd_metrics(args) -> int:
             "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "metrics": get_registry().snapshot(),
         }
-    _emit(payload, args.json, lambda: _render_metrics(payload))
+    if args.top is not None:
+        _emit(payload, args.json, lambda: _render_top_operations(payload, args.top))
+    else:
+        _emit(payload, args.json, lambda: _render_metrics(payload))
+    return 0
+
+
+def _cmd_trace_report(args) -> int:
+    from repro.obs.analyze import (
+        analyze_trace,
+        folded_stacks,
+        load_trace,
+        render_report,
+    )
+
+    spans = load_trace(args.file)
+    if not spans:
+        print(f"error: no spans in {args.file}", file=sys.stderr)
+        return 1
+    report = analyze_trace(spans)
+    if args.flame:
+        with open(args.flame, "w") as handle:
+            handle.write("\n".join(folded_stacks(report)) + "\n")
+        print(f"wrote folded stacks to {args.flame}", file=sys.stderr)
+    payload = {
+        "span_count": report.span_count,
+        "trace_count": report.trace_count,
+        "total_duration": report.total_duration,
+        "profiled": report.profiled,
+        "critical_path": [
+            {
+                "name": span.name,
+                "duration": span.duration,
+                "self_time": span.self_time,
+            }
+            for span in report.critical_path
+        ],
+        "operations": [
+            {
+                "name": op.name,
+                "count": op.count,
+                "total": op.total,
+                "self_total": op.self_total,
+                "mean": op.mean,
+                "max": op.max_duration,
+                "errors": op.errors,
+            }
+            for op in report.operations[: args.top]
+        ],
+    }
+    _emit(payload, args.json, lambda: render_report(report, top=args.top))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs import timeseries
+    from repro.perf import registered_benches
+
+    mode = "smoke" if args.smoke else "full"
+    benches = registered_benches()
+    selected = _parse_rule_list(args.select)
+    if selected:
+        known = {spec.name for spec in benches}
+        unknown = sorted(set(selected) - known)
+        if unknown:
+            print(
+                f"error: unknown benchmark(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+        benches = [spec for spec in benches if spec.name in selected]
+    failed: List[str] = []
+    documents = []
+    for spec in benches:
+        print(f"[bench] {spec.name} ({mode}) ...", file=sys.stderr)
+        metrics = spec.fn(mode)
+        result = timeseries.BenchResult(bench=spec.name, mode=mode, metrics=metrics)
+        document = {"result": result.to_dict()}
+        history = timeseries.load_trajectory(args.results, spec.name)
+        if args.check:
+            report = timeseries.check_regression(
+                result, history, tolerances=spec.tolerances
+            )
+            document["check"] = {
+                "passed": report.passed,
+                "baseline_count": report.baseline_count,
+                "regressions": [check.metric for check in report.regressions],
+            }
+            if not args.json:
+                print(report.to_text())
+            if not report.passed:
+                failed.append(spec.name)
+        elif not args.json:
+            rendered = " ".join(
+                f"{name}={value:.6g}" for name, value in sorted(metrics.items())
+            )
+            print(f"{spec.name}: {rendered}")
+        if not args.no_record:
+            path = timeseries.append_result(args.results, result)
+            print(f"[bench] recorded -> {path}", file=sys.stderr)
+        documents.append(document)
+    if args.json:
+        print(json.dumps(documents, indent=2, sort_keys=True, default=str))
+    if failed:
+        print(
+            f"error: perf regression in: {', '.join(failed)}", file=sys.stderr
+        )
+        return 1
     return 0
 
 
@@ -309,6 +446,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace", metavar="FILE", default=None,
         help="export spans of this invocation as JSONL to FILE",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="record CPU time and peak allocations on every span "
+             "(use with --trace)",
     )
     parser.add_argument(
         "--log-level", default="WARNING",
@@ -387,7 +529,47 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--dir", required=True)
     metrics.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON")
+    metrics.add_argument("--top", type=int, default=None, metavar="N",
+                         help="show only the N slowest operations by p99")
     metrics.set_defaults(func=_cmd_metrics)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="analyze an exported trace file"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_sub.add_parser(
+        "report",
+        help="critical path, hotspots, and per-operation aggregates",
+    )
+    trace_report.add_argument("file", help="JSONL trace (from --trace FILE)")
+    trace_report.add_argument("--top", type=int, default=10, metavar="N",
+                              help="hotspot rows to show (default 10)")
+    trace_report.add_argument("--flame", default=None, metavar="FILE",
+                              help="also write folded stacks for "
+                                   "flamegraph renderers to FILE")
+    trace_report.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON")
+    trace_report.set_defaults(func=_cmd_trace_report)
+
+    bench = sub.add_parser(
+        "bench", help="run the operational perf suite and record the trajectory"
+    )
+    bench.add_argument("--smoke", action="store_true",
+                       help="small fast variants suitable for CI")
+    bench.add_argument("--select", default=None, metavar="NAME[,NAME...]",
+                       help="run only these benchmarks")
+    bench.add_argument("--check", action="store_true",
+                       help="fail (exit 1) if any metric regresses beyond "
+                            "its tolerance vs the recorded trajectory")
+    bench.add_argument("--results", default=os.path.join("benchmarks", "results"),
+                       metavar="DIR",
+                       help="trajectory location (default benchmarks/results)")
+    bench.add_argument("--no-record", action="store_true",
+                       help="measure and check without appending to the "
+                            "trajectory")
+    bench.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+    bench.set_defaults(func=_cmd_bench)
 
     lint = sub.add_parser(
         "lint", help="static analysis of the repo's invariants"
@@ -467,6 +649,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError as error:
             print(f"error: cannot open trace file: {error}", file=sys.stderr)
             return 2
+    if args.profile:
+        tracing.set_profiling(True)
     try:
         with trace(f"cli.{args.command}"):
             code = args.func(args)
@@ -479,6 +663,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     finally:
+        if args.profile:
+            tracing.set_profiling(False)
         if exporter is not None:
             tracing.remove_exporter(exporter)
             exporter.close()

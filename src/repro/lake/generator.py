@@ -678,17 +678,22 @@ class LakeGenerator:
         handles stripped — states rehydrate bit-identically), so a
         killed run resumes from its last completed wave.
         """
-        if self._checkpoint is not None:
-            cached = self._checkpoint.load(label)
-            if cached is not None:
-                return cached
-        results = executor.run_wave(run_task, payloads, label=label)
-        if self._checkpoint is not None:
-            self._checkpoint.store(label, [
-                [replace(result, model=None) for result in task_results]
-                for task_results in results
-            ])
-        return results
+        with trace("lake.generate.wave", label=label, tasks=len(payloads)) as span:
+            if self._checkpoint is not None:
+                cached = self._checkpoint.load(label)
+                if cached is not None:
+                    if span is not None:
+                        span.set_attribute("cached", True)
+                    return cached
+            if span is not None:
+                span.set_attribute("cached", False)
+            results = executor.run_wave(run_task, payloads, label=label)
+            if self._checkpoint is not None:
+                self._checkpoint.store(label, [
+                    [replace(result, model=None) for result in task_results]
+                    for task_results in results
+                ])
+            return results
 
     def _execute_plan(
         self, plan: _GenerationPlan, executor: WaveExecutor
@@ -720,6 +725,15 @@ class LakeGenerator:
         results: Dict[Hashable, List[ModelResult]],
     ) -> List[ModelRecord]:
         """Register all planned models in canonical slot order."""
+        with trace("lake.generate.register", slots=len(plan.slots)):
+            return self._register_slots(bundle, plan, results)
+
+    def _register_slots(
+        self,
+        bundle: GeneratedLake,
+        plan: _GenerationPlan,
+        results: Dict[Hashable, List[ModelResult]],
+    ) -> List[ModelRecord]:
         slot_ids: List[str] = []
         foundation_records: List[ModelRecord] = []
         for slot in plan.slots:

@@ -50,8 +50,10 @@ from repro.obs.tracing import (
     add_exporter,
     clear_exporters,
     current_span,
+    profiling_enabled,
     remove_exporter,
     set_enabled,
+    set_profiling,
     trace,
     traced,
     tracing_enabled,
@@ -71,6 +73,8 @@ __all__ = [
     "clear_exporters",
     "set_enabled",
     "tracing_enabled",
+    "set_profiling",
+    "profiling_enabled",
     # metrics
     "Counter",
     "Gauge",

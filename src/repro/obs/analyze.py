@@ -1,0 +1,274 @@
+"""Offline analysis of exported trace files.
+
+A JSONL trace (the CLI's ``--trace FILE``) records every finished span
+of a run; this module turns that flat record stream back into trees and
+answers the two questions a perf investigation starts with:
+
+* **Where did the wall clock go?**  The *critical path* walks from the
+  root span down through the longest child at each level — the chain of
+  operations that bounded the run's latency.  Shortening anything off
+  this path cannot make the run faster.
+* **Which operation is worth optimizing?**  *Self time* is a span's
+  duration minus its children's — the time spent in the operation
+  itself rather than delegated downward.  Aggregating self time by
+  operation name ranks hotspots without double-counting parents.
+
+:func:`folded_stacks` emits the ``stack;path value`` folded format that
+standard flamegraph renderers (e.g. Brendan Gregg's ``flamegraph.pl``
+or speedscope) consume, valued in self-time microseconds.
+
+Cross-process traces work unchanged: by the time worker spans land in
+the file they are already re-parented into the coordinator's tree
+(:mod:`repro.obs.propagate`), so analysis never needs to know which
+process ran what — though ``attributes`` still say, for spans that
+recorded it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "TraceSpan",
+    "OpStats",
+    "TraceReport",
+    "load_trace",
+    "analyze_trace",
+    "folded_stacks",
+    "render_report",
+]
+
+
+@dataclass
+class TraceSpan:
+    """One span record parsed back from a trace file."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    trace_id: int
+    start_unix: float
+    duration: float
+    status: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    cpu_time: Optional[float] = None
+    alloc_peak: Optional[int] = None
+    alloc_net: Optional[int] = None
+    #: Duration minus children's durations; filled by :func:`analyze_trace`.
+    self_time: float = 0.0
+    children: List["TraceSpan"] = field(default_factory=list)
+
+
+@dataclass
+class OpStats:
+    """Aggregate over every span sharing one operation name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    self_total: float = 0.0
+    max_duration: float = 0.0
+    errors: int = 0
+    cpu_total: float = 0.0
+    alloc_peak_max: int = 0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceReport:
+    """Everything :func:`analyze_trace` derives from one trace file."""
+
+    spans: List[TraceSpan]
+    roots: List[TraceSpan]
+    #: Root-to-leaf chain of the longest spans, one entry per level.
+    critical_path: List[TraceSpan]
+    #: Per-operation aggregates, sorted by total self time descending.
+    operations: List[OpStats]
+    total_duration: float
+    span_count: int
+    trace_count: int
+    profiled: bool
+
+
+def load_trace(path: str) -> List[TraceSpan]:
+    """Parse a JSONL trace file into span records.
+
+    Raises :class:`~repro.errors.ConfigError` on unparsable lines or
+    records missing required fields, naming the offending line — a
+    trace that lies is worse than no trace.
+    """
+    spans: List[TraceSpan] = []
+    try:
+        handle = open(path)
+    except OSError as exc:
+        raise ConfigError(f"cannot read trace file {path}: {exc}") from exc
+    with handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"{path}:{line_no}: not valid JSON ({exc})"
+                ) from exc
+            try:
+                spans.append(TraceSpan(
+                    name=record["name"],
+                    span_id=record["span_id"],
+                    parent_id=record.get("parent_id"),
+                    trace_id=record["trace_id"],
+                    start_unix=record.get("start_unix", 0.0),
+                    duration=record["duration"],
+                    status=record.get("status", "ok"),
+                    attributes=record.get("attributes", {}),
+                    cpu_time=record.get("cpu_time"),
+                    alloc_peak=record.get("alloc_peak"),
+                    alloc_net=record.get("alloc_net"),
+                ))
+            except KeyError as exc:
+                raise ConfigError(
+                    f"{path}:{line_no}: span record missing field {exc}"
+                ) from exc
+    return spans
+
+
+def analyze_trace(spans: List[TraceSpan]) -> TraceReport:
+    """Rebuild span trees and derive critical path + per-op aggregates."""
+    by_id = {span.span_id: span for span in spans}
+    roots: List[TraceSpan] = []
+    for span in spans:
+        parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+        if parent is None or parent is span:
+            # Orphans (parent not in the file — e.g. a truncated trace)
+            # analyze as roots rather than vanishing.
+            roots.append(span)
+        else:
+            parent.children.append(span)
+
+    for span in spans:
+        child_time = sum(child.duration for child in span.children)
+        span.self_time = max(0.0, span.duration - child_time)
+
+    critical_path: List[TraceSpan] = []
+    if roots:
+        node = max(roots, key=lambda s: s.duration)
+        seen = set()
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            critical_path.append(node)
+            node = max(node.children, key=lambda s: s.duration, default=None)
+
+    stats: Dict[str, OpStats] = {}
+    for span in spans:
+        op = stats.setdefault(span.name, OpStats(name=span.name))
+        op.count += 1
+        op.total += span.duration
+        op.self_total += span.self_time
+        op.max_duration = max(op.max_duration, span.duration)
+        if span.status != "ok":
+            op.errors += 1
+        if span.cpu_time is not None:
+            op.cpu_total += span.cpu_time
+        if span.alloc_peak is not None:
+            op.alloc_peak_max = max(op.alloc_peak_max, span.alloc_peak)
+
+    operations = sorted(stats.values(), key=lambda o: o.self_total, reverse=True)
+    return TraceReport(
+        spans=spans,
+        roots=roots,
+        critical_path=critical_path,
+        operations=operations,
+        total_duration=sum(root.duration for root in roots),
+        span_count=len(spans),
+        trace_count=len({span.trace_id for span in spans}),
+        profiled=any(span.cpu_time is not None for span in spans),
+    )
+
+
+def folded_stacks(report: TraceReport) -> List[str]:
+    """Folded flamegraph lines: ``root;child;leaf <self_time_us>``.
+
+    One line per distinct stack path, valued by aggregate self time in
+    integer microseconds; zero-valued paths are dropped.  The output
+    feeds ``flamegraph.pl`` / speedscope unmodified.
+    """
+    folded: Dict[str, int] = {}
+
+    def walk(span: TraceSpan, prefix: str) -> None:
+        path = f"{prefix};{span.name}" if prefix else span.name
+        micros = int(round(span.self_time * 1e6))
+        if micros > 0:
+            folded[path] = folded.get(path, 0) + micros
+        for child in span.children:
+            walk(child, path)
+
+    for root in report.roots:
+        walk(root, "")
+    return [f"{path} {value}" for path, value in sorted(folded.items())]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def _fmt_bytes(count: int) -> str:
+    if count >= 1 << 20:
+        return f"{count / (1 << 20):.1f}MiB"
+    if count >= 1 << 10:
+        return f"{count / (1 << 10):.1f}KiB"
+    return f"{count}B"
+
+
+def render_report(report: TraceReport, top: int = 10) -> str:
+    """Human-readable critical path + hotspot table."""
+    lines: List[str] = []
+    lines.append(
+        f"trace: {report.span_count} span(s), {report.trace_count} trace(s), "
+        f"total {_fmt_seconds(report.total_duration)}"
+        + (", profiled" if report.profiled else "")
+    )
+
+    lines.append("")
+    lines.append("critical path (longest child at each level):")
+    for depth, span in enumerate(report.critical_path):
+        marker = "  " * depth
+        share = (
+            span.duration / report.total_duration * 100
+            if report.total_duration > 0 else 0.0
+        )
+        lines.append(
+            f"  {marker}{span.name}  "
+            f"{_fmt_seconds(span.duration)} ({share:.0f}%)"
+            f"  self {_fmt_seconds(span.self_time)}"
+        )
+
+    lines.append("")
+    profiled = report.profiled
+    header = f"  {'operation':<34} {'count':>5} {'self':>9} {'total':>9} {'mean':>9} {'max':>9}"
+    if profiled:
+        header += f" {'cpu':>9} {'peak':>9}"
+    lines.append(f"hotspots (top {top} by self time):")
+    lines.append(header)
+    for op in report.operations[:top]:
+        row = (
+            f"  {op.name:<34} {op.count:>5} {_fmt_seconds(op.self_total):>9} "
+            f"{_fmt_seconds(op.total):>9} {_fmt_seconds(op.mean):>9} "
+            f"{_fmt_seconds(op.max_duration):>9}"
+        )
+        if profiled:
+            row += f" {_fmt_seconds(op.cpu_total):>9} {_fmt_bytes(op.alloc_peak_max):>9}"
+        if op.errors:
+            row += f"  [{op.errors} error(s)]"
+        lines.append(row)
+    return "\n".join(lines)

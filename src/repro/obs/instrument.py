@@ -15,11 +15,13 @@ import time
 from typing import Any, Callable, Optional, TypeVar
 
 from repro.obs import metrics as _metrics
-from repro.obs.tracing import trace
+from repro.obs.tracing import OBS_EXPORT_ERRORS, trace
 
 __all__ = [
     "timed",
     "time_block",
+    # observability self-monitoring (defined in tracing to avoid a cycle)
+    "OBS_EXPORT_ERRORS",
     # weight store
     "WEIGHT_STORE_CACHE_HITS",
     "WEIGHT_STORE_CACHE_MISSES",

@@ -1,0 +1,315 @@
+"""Schema-versioned benchmark results and the perf trajectory.
+
+The ROADMAP's north star — "as fast as the hardware allows" — is only
+checkable if performance numbers survive as *comparable series*, not
+ad-hoc JSON blobs.  Following the benchmark-maintenance playbook
+(PAPERS.md: results must be versioned, attributable to a host, and
+monitored for drift), every benchmark run becomes a
+:class:`BenchResult`:
+
+* ``schema_version`` — readers reject records they do not understand
+  instead of mis-parsing them;
+* ``host`` facts (``cpu_count``, platform, python) — numbers from a
+  1-core container and a 16-core CI runner are different series and
+  must never gate each other;
+* a flat ``metrics`` dict — the measured values, with direction
+  (lower/higher-is-better) inferred from conventional metric naming.
+
+Results append to a per-benchmark *trajectory* file under
+``benchmarks/results/trajectory/`` via the crash-safe atomic writer, so
+a killed benchmark run never corrupts the recorded history.
+:func:`check_regression` compares a fresh result against the median of
+the comparable baseline entries (same bench, same mode, same
+``cpu_count``) and flags any metric that moved beyond its tolerance in
+the *worse* direction — the gate ``repro bench --check`` enforces.
+
+This module lives under ``repro.obs`` but is declared in the *compute*
+layer (.repro-arch.toml): unlike the rest of the package it depends on
+:mod:`repro.reliability.atomic` for durable writes, so it must sit
+above the foundation layer and is deliberately not re-exported from
+``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchResult",
+    "MetricCheck",
+    "RegressionReport",
+    "host_facts",
+    "metric_direction",
+    "trajectory_path",
+    "load_trajectory",
+    "append_result",
+    "check_regression",
+]
+
+SCHEMA_VERSION = 1
+
+#: How many of the most recent comparable entries form the baseline.
+BASELINE_WINDOW = 5
+
+#: Default allowed worse-direction drift (25%) before a metric fails.
+DEFAULT_TOLERANCE = 1.25
+
+_LOWER_IS_BETTER = ("seconds", "latency", "_us", "_ms", "_ns", "bytes", "peak")
+_HIGHER_IS_BETTER = ("speedup", "throughput", "qps", "accuracy", "recall", "hit_rate", "per_second")
+
+#: Absolute moves smaller than this never gate, whatever the ratio says:
+#: a 10ms -> 21ms cold build is scheduler noise, not a regression.
+_NOISE_FLOORS = (("_us", 100.0), ("_ms", 5.0), ("seconds", 0.05))
+
+
+def _noise_floor(name: str) -> float:
+    lowered = name.lower()
+    for token, floor in _NOISE_FLOORS:
+        if token in lowered:
+            return floor
+    return 0.0
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"lower"`` / ``"higher"`` is better, or ``None`` if unknowable.
+
+    Inferred from conventional suffixes; metrics with no inferable
+    direction (``models``, ``vectors`` — scale facts, not performance)
+    are recorded but never gated.
+    """
+    lowered = name.lower()
+    if any(token in lowered for token in _HIGHER_IS_BETTER):
+        return "higher"
+    if any(token in lowered for token in _LOWER_IS_BETTER):
+        return "lower"
+    return None
+
+
+def host_facts() -> Dict[str, Any]:
+    """The facts that decide whether two results are comparable."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.system().lower(),
+        "machine": platform.machine(),
+        "python": ".".join(str(part) for part in sys.version_info[:3]),
+    }
+
+
+@dataclass
+class BenchResult:
+    """One benchmark run: what ran, where, and what it measured."""
+
+    bench: str
+    mode: str
+    metrics: Dict[str, float]
+    host: Dict[str, Any] = field(default_factory=host_facts)
+    recorded_at: str = ""
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.recorded_at:
+            self.recorded_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "bench": self.bench,
+            "mode": self.mode,
+            "recorded_at": self.recorded_at,
+            "host": dict(self.host),
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "BenchResult":
+        version = record.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ConfigError(
+                f"unsupported BenchResult schema_version {version!r} "
+                f"(this reader understands {SCHEMA_VERSION})"
+            )
+        try:
+            return cls(
+                bench=record["bench"],
+                mode=record["mode"],
+                metrics=dict(record["metrics"]),
+                host=dict(record["host"]),
+                recorded_at=record["recorded_at"],
+                schema_version=version,
+            )
+        except KeyError as exc:
+            raise ConfigError(f"BenchResult record missing field {exc}") from exc
+
+
+def trajectory_path(results_dir: str, bench: str) -> str:
+    return os.path.join(results_dir, "trajectory", f"{bench}.json")
+
+
+def load_trajectory(results_dir: str, bench: str) -> List[BenchResult]:
+    """All recorded results for ``bench``, oldest first."""
+    path = trajectory_path(results_dir, bench)
+    if not os.path.exists(path):
+        return []
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ConfigError(
+            f"{path}: unsupported trajectory schema_version "
+            f"{document.get('schema_version')!r}"
+        )
+    return [BenchResult.from_dict(entry) for entry in document.get("entries", [])]
+
+
+def append_result(results_dir: str, result: BenchResult) -> str:
+    """Append one result to its trajectory file (atomic write)."""
+    # Lazy import: keeps obs importable before the compute layer exists
+    # (this module is compute-layer precisely because of this writer).
+    from repro.reliability.atomic import atomic_write_json
+
+    entries = [r.to_dict() for r in load_trajectory(results_dir, result.bench)]
+    entries.append(result.to_dict())
+    path = trajectory_path(results_dir, result.bench)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    atomic_write_json(
+        path,
+        {
+            "schema_version": SCHEMA_VERSION,
+            "bench": result.bench,
+            "entries": entries,
+        },
+        indent=1,
+        sort_keys=True,
+    )
+    return path
+
+
+@dataclass
+class MetricCheck:
+    """One metric's verdict against its baseline."""
+
+    metric: str
+    status: str  # ok | regressed | improved | no-baseline | untracked
+    current: float
+    baseline: Optional[float] = None
+    ratio: Optional[float] = None
+    direction: Optional[str] = None
+    tolerance: float = DEFAULT_TOLERANCE
+
+
+@dataclass
+class RegressionReport:
+    """All metric verdicts for one fresh result."""
+
+    bench: str
+    checks: List[MetricCheck]
+    baseline_count: int
+
+    @property
+    def regressions(self) -> List[MetricCheck]:
+        return [check for check in self.checks if check.status == "regressed"]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def to_text(self) -> str:
+        lines = [
+            f"{self.bench}: {self.baseline_count} comparable baseline run(s)"
+        ]
+        for check in self.checks:
+            if check.baseline is None:
+                detail = f"current {check.current:.6g} ({check.status})"
+            else:
+                detail = (
+                    f"current {check.current:.6g} vs baseline "
+                    f"{check.baseline:.6g} (x{check.ratio:.2f}, "
+                    f"{check.direction} is better) -> {check.status}"
+                )
+            lines.append(f"  {check.metric:<32} {detail}")
+        return "\n".join(lines)
+
+
+def _comparable(result: BenchResult, history: List[BenchResult]) -> List[BenchResult]:
+    """Baseline entries that may legitimately gate ``result``."""
+    return [
+        entry for entry in history
+        if entry.mode == result.mode
+        and entry.host.get("cpu_count") == result.host.get("cpu_count")
+    ]
+
+
+def check_regression(
+    result: BenchResult,
+    history: List[BenchResult],
+    tolerances: Optional[Mapping[str, float]] = None,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+) -> RegressionReport:
+    """Judge ``result`` against the trajectory it extends.
+
+    For each metric with an inferable direction, the baseline is the
+    median over the last :data:`BASELINE_WINDOW` comparable entries
+    (same mode and host ``cpu_count`` — cross-host numbers are separate
+    series).  A metric fails when it is worse than ``tolerance`` times
+    the baseline; no comparable history means ``no-baseline`` and the
+    check passes, so a fresh host records its first point instead of
+    failing forever.
+    """
+    tolerances = tolerances or {}
+    baseline_entries = _comparable(result, history)[-BASELINE_WINDOW:]
+    checks: List[MetricCheck] = []
+    for metric, current in sorted(result.metrics.items()):
+        direction = metric_direction(metric)
+        tolerance = float(tolerances.get(metric, default_tolerance))
+        if direction is None:
+            checks.append(MetricCheck(
+                metric=metric, status="untracked", current=current,
+                tolerance=tolerance,
+            ))
+            continue
+        samples = [
+            entry.metrics[metric]
+            for entry in baseline_entries
+            if metric in entry.metrics
+        ]
+        if not samples:
+            checks.append(MetricCheck(
+                metric=metric, status="no-baseline", current=current,
+                direction=direction, tolerance=tolerance,
+            ))
+            continue
+        baseline = statistics.median(samples)
+        if baseline == 0:
+            ratio = 1.0 if current == 0 else float("inf")
+        else:
+            ratio = current / baseline
+        if direction == "lower":
+            status = "regressed" if ratio > tolerance else (
+                "improved" if ratio < 1 / tolerance else "ok"
+            )
+        else:
+            status = "regressed" if ratio < 1 / tolerance else (
+                "improved" if ratio > tolerance else "ok"
+            )
+        if status == "regressed" and abs(current - baseline) < _noise_floor(metric):
+            # Ratio blew past tolerance but the absolute move is below
+            # the metric's noise floor — tiny smoke-mode timings jitter
+            # by integer multiples without meaning anything.
+            status = "ok"
+        checks.append(MetricCheck(
+            metric=metric, status=status, current=current,
+            baseline=baseline, ratio=ratio, direction=direction,
+            tolerance=tolerance,
+        ))
+    return RegressionReport(
+        bench=result.bench, checks=checks, baseline_count=len(baseline_entries)
+    )

@@ -18,6 +18,19 @@ Exporters receive each span as it closes:
   in-process inspection;
 * :class:`JSONLExporter`   — one JSON object per line to a file, the
   durable operation record the paper's governance story asks for.
+
+A failing exporter never takes down the traced operation: the failure
+increments the ``obs.export_errors`` counter and (once per exporter
+instance) emits a structured warning, so broken sinks are visible
+without flooding the log.
+
+**Span profiling** (:func:`set_profiling`) optionally augments each
+span with CPU time (:func:`time.process_time` delta) and allocation
+facts from :mod:`tracemalloc` (peak bytes live above the span's entry
+watermark, and net bytes retained).  Peaks propagate to enclosing
+spans, so a parent's ``alloc_peak`` is at least the largest peak of any
+child.  Profiling is gated separately from tracing and costs nothing
+while off; the disabled-tracing fast path is untouched either way.
 """
 
 from __future__ import annotations
@@ -26,9 +39,12 @@ import itertools
 import json
 import threading
 import time
+import tracemalloc
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+from repro.obs import logging as _obs_logging
 
 __all__ = [
     "Span",
@@ -43,7 +59,18 @@ __all__ = [
     "clear_exporters",
     "set_enabled",
     "tracing_enabled",
+    "set_profiling",
+    "profiling_enabled",
+    "export_span",
+    "next_span_id",
+    "OBS_EXPORT_ERRORS",
 ]
+
+#: Counter bumped once per failed exporter delivery (defined here, not
+#: in ``repro.obs.instrument``, because instrument imports this module).
+OBS_EXPORT_ERRORS = "obs.export_errors"
+
+_log = _obs_logging.get_logger("obs.tracing")
 
 _span_ids = itertools.count(1)
 _local = threading.local()
@@ -52,6 +79,10 @@ _exporters: List["SpanExporter"] = []
 _force_enabled = False
 #: Fast-path flag consulted by every ``trace``; derived, never set directly.
 _enabled = False
+#: Span profiling (CPU time + allocations); independent of ``_enabled``.
+_profiling = False
+#: Whether this module started tracemalloc (so it may also stop it).
+_started_tracemalloc = False
 
 
 def _recompute_enabled() -> None:
@@ -79,6 +110,10 @@ class Span:
     end: float = 0.0
     status: str = "ok"
     attributes: Dict[str, Any] = field(default_factory=dict)
+    #: Profiling facts; ``None`` unless :func:`set_profiling` was on.
+    cpu_time: Optional[float] = None
+    alloc_peak: Optional[int] = None
+    alloc_net: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -88,7 +123,7 @@ class Span:
         self.attributes[key] = value
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        record = {
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
@@ -98,6 +133,15 @@ class Span:
             "status": self.status,
             "attributes": dict(self.attributes),
         }
+        # Profiling keys appear only when captured, keeping unprofiled
+        # JSONL records byte-compatible with earlier versions.
+        if self.cpu_time is not None:
+            record["cpu_time"] = self.cpu_time
+        if self.alloc_peak is not None:
+            record["alloc_peak"] = self.alloc_peak
+        if self.alloc_net is not None:
+            record["alloc_net"] = self.alloc_net
+        return record
 
 
 class SpanExporter:
@@ -193,6 +237,74 @@ def tracing_enabled() -> bool:
     return _enabled
 
 
+def set_profiling(enabled: bool) -> None:
+    """Toggle span profiling (CPU time + tracemalloc allocation facts).
+
+    Turning it on starts :mod:`tracemalloc` if nothing else has;
+    turning it off stops tracemalloc only if this module started it, so
+    profiling composes with an application that traces allocations for
+    its own reasons.
+    """
+    global _profiling, _started_tracemalloc
+    enabled = bool(enabled)
+    if enabled and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        _started_tracemalloc = True
+    if not enabled and _started_tracemalloc:
+        tracemalloc.stop()
+        _started_tracemalloc = False
+    _profiling = enabled
+
+
+def profiling_enabled() -> bool:
+    return _profiling
+
+
+def next_span_id() -> int:
+    """A fresh span id from this process's counter.
+
+    Used by cross-process adoption (:mod:`repro.obs.propagate`) to remap
+    worker-side span ids — each pool worker counts from 1, so ids from
+    different processes collide until reassigned here.
+    """
+    return next(_span_ids)
+
+
+def _prof_stack() -> List[List[int]]:
+    stack = getattr(_local, "prof_stack", None)
+    if stack is None:
+        stack = _local.prof_stack = []
+    return stack
+
+
+def export_span(span: Span) -> None:
+    """Deliver a finished span to every attached exporter.
+
+    A failing exporter must not take down the traced operation: the
+    failure bumps :data:`OBS_EXPORT_ERRORS` and logs one structured
+    warning per exporter instance (first failure only), then delivery
+    continues to the remaining exporters.
+    """
+    with _exporter_lock:
+        exporters = tuple(_exporters)
+    for exporter in exporters:
+        try:
+            exporter.export(span)
+        except Exception as exc:  # noqa: BLE001 - a broken sink must
+            # not break traced code, but it must leave evidence.
+            from repro.obs import metrics as _metrics
+
+            _metrics.inc(OBS_EXPORT_ERRORS)
+            if not getattr(exporter, "_export_error_logged", False):
+                exporter._export_error_logged = True
+                _log.warning(
+                    "span.export_failed",
+                    exporter=type(exporter).__name__,
+                    span=span.name,
+                    error=str(exc),
+                )
+
+
 def current_span() -> Optional[Span]:
     """The innermost open span on this thread, if any."""
     stack = getattr(_local, "stack", None)
@@ -222,7 +334,7 @@ class trace:
     reads, no locking — so instrumented hot paths cost one flag check.
     """
 
-    __slots__ = ("_name", "_attrs", "_span")
+    __slots__ = ("_name", "_attrs", "_span", "_prof")
 
     def __new__(cls, name: str, /, **attributes: Any):
         if not _enabled:
@@ -231,6 +343,7 @@ class trace:
         self._name = name
         self._attrs = attributes
         self._span = None
+        self._prof = None
         return self
 
     def __enter__(self) -> Optional[Span]:
@@ -250,6 +363,13 @@ class trace:
         )
         stack.append(span)
         self._span = span
+        if _profiling and tracemalloc.is_tracing():
+            current, _ = tracemalloc.get_traced_memory()
+            # [entry watermark, absolute peak seen so far] — children
+            # raise the second cell so parents inherit their peaks.
+            _prof_stack().append([current, current])
+            tracemalloc.reset_peak()
+            self._prof = time.process_time()
         return span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -257,6 +377,21 @@ class trace:
         if span is None:
             return False
         span.end = time.perf_counter()
+        if self._prof is not None and tracemalloc.is_tracing():
+            span.cpu_time = time.process_time() - self._prof
+            current, seg_peak = tracemalloc.get_traced_memory()
+            prof_stack = _prof_stack()
+            if prof_stack:
+                entry = prof_stack.pop()
+                peak_abs = max(entry[1], seg_peak)
+                span.alloc_peak = max(0, peak_abs - entry[0])
+                span.alloc_net = current - entry[0]
+                if prof_stack:
+                    parent_entry = prof_stack[-1]
+                    parent_entry[1] = max(parent_entry[1], peak_abs)
+                # Start a fresh segment for whatever the parent (or the
+                # next sibling span) allocates after this span closes.
+                tracemalloc.reset_peak()
         if exc_type is not None:
             span.status = f"error:{exc_type.__name__}"
         stack = _stack()
@@ -264,13 +399,7 @@ class trace:
             stack.pop()
         elif span in stack:  # pragma: no cover - unbalanced exit guard
             stack.remove(span)
-        with _exporter_lock:
-            exporters = tuple(_exporters)
-        for exporter in exporters:
-            try:
-                exporter.export(span)
-            except Exception:  # noqa: BLE001 - a broken sink must not
-                pass  # take down the traced operation
+        export_span(span)
         self._span = None
         return False
 

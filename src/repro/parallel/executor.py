@@ -38,10 +38,35 @@ from repro.obs.instrument import (
     RELIABILITY_TASK_RETRIES,
 )
 from repro.obs.logging import get_logger
+from repro.obs.propagate import (
+    TraceContext,
+    adopt_spans,
+    capture_context,
+    reset_worker_tracing,
+    run_with_capture,
+)
 from repro.obs.tracing import trace
 from repro.reliability import faults
 
 _log = get_logger("parallel.executor")
+
+
+def _pool_worker_init(initializer: Optional[Callable[..., None]], initargs: Tuple[Any, ...]) -> None:
+    """Per-worker bootstrap: clean inherited tracing, then user setup.
+
+    Under the ``fork`` start method workers inherit the coordinator's
+    attached exporters (shared file handles included); tracing state
+    must be reset *before* anything in the worker can open a span.
+    """
+    reset_worker_tracing()
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _run_captured(payload: Tuple[Optional[TraceContext], Callable[[Any], Any], Any]):
+    """Pool entry point wrapping each task with worker-side span capture."""
+    context, fn, task = payload
+    return run_with_capture(context, fn, task)
 
 
 class WaveExecutor:
@@ -104,8 +129,8 @@ class WaveExecutor:
         elif self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
-                initializer=self._initializer,
-                initargs=self._initargs,
+                initializer=_pool_worker_init,
+                initargs=(self._initializer, self._initargs),
             )
 
     def _dispose_pool(self) -> None:
@@ -122,6 +147,7 @@ class WaveExecutor:
         indices: Sequence[int],
         results: List[Any],
         label: str,
+        context: Optional[TraceContext],
     ) -> Tuple[List[int], Optional[BaseException]]:
         """Run ``tasks[i]`` for each index, filling ``results`` in place.
 
@@ -136,20 +162,29 @@ class WaveExecutor:
             # before any of these tasks completed.
             return list(indices), None
         if self._pool is None:
+            # Inline mode: spans flow through the thread-local stack
+            # directly — no capture, no adoption, identical trace shape.
             for index in indices:
                 results[index] = fn(tasks[index])
             return [], None
-        futures = {index: self._pool.submit(fn, tasks[index]) for index in indices}
+        futures = {
+            index: self._pool.submit(_run_captured, (context, fn, tasks[index]))
+            for index in indices
+        }
         lost: List[int] = []
         error: Optional[BaseException] = None
         for index in indices:
             try:
-                results[index] = futures[index].result()
+                result, worker_spans = futures[index].result()
             except BrokenProcessPool:
                 lost.append(index)
             except BaseException as exc:  # keep draining the wave
                 if error is None:
                     error = exc
+            else:
+                results[index] = result
+                if context is not None and worker_spans:
+                    adopt_spans(context, worker_spans)
         return lost, error
 
     def run_wave(
@@ -169,13 +204,16 @@ class WaveExecutor:
             return []
         start = time.perf_counter()
         with trace("parallel.wave", label=label, tasks=len(tasks), workers=self.workers):
+            # Ship the wave span as the parent for worker-side spans, so
+            # a pooled run traces as one tree instead of a parent stub.
+            context = capture_context()
             results: List[Any] = [None] * len(tasks)
             pending = list(range(len(tasks)))
             attempt = 0
             while True:
                 self._ensure_backend()
                 pending, error = self._run_indices(
-                    fn, tasks, pending, results, label
+                    fn, tasks, pending, results, label, context
                 )
                 if error is not None:
                     # The pool may *also* be broken (the same crash that

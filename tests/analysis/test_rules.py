@@ -153,6 +153,23 @@ CASES = {
                 return query
         """,
     ),
+    "bench-result-schema": (
+        BENCH,
+        """
+        import json
+
+        def write_report(report, path):
+            with open(path, "w") as handle:
+                json.dump(report, handle, indent=2)
+        """,
+        """
+        from repro.obs.timeseries import BenchResult, append_result
+
+        def write_report(results_dir, metrics):
+            result = BenchResult(bench="example", mode="full", metrics=metrics)
+            return append_result(results_dir, result)
+        """,
+    ),
     "mutable-default": (
         TEST,
         """

@@ -1,0 +1,203 @@
+"""Offline trace analysis: tree rebuild, critical path, hotspots, flames."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.analyze import (
+    TraceSpan,
+    analyze_trace,
+    folded_stacks,
+    load_trace,
+    render_report,
+)
+
+
+def make_span(name, span_id, parent_id=None, duration=1.0, **extra):
+    return TraceSpan(
+        name=name,
+        span_id=span_id,
+        parent_id=parent_id,
+        trace_id=extra.pop("trace_id", 1),
+        start_unix=extra.pop("start_unix", 0.0),
+        duration=duration,
+        status=extra.pop("status", "ok"),
+        **extra,
+    )
+
+
+def small_tree():
+    """root(4.0) -> [train(2.5) -> epoch(2.0), eval(1.0)]"""
+    return [
+        make_span("root", 1, duration=4.0),
+        make_span("train", 2, parent_id=1, duration=2.5),
+        make_span("epoch", 3, parent_id=2, duration=2.0),
+        make_span("eval", 4, parent_id=1, duration=1.0),
+    ]
+
+
+class TestLoadTrace:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_round_trips_exported_records(self, tmp_path):
+        record = {
+            "name": "op", "span_id": 3, "parent_id": 1, "trace_id": 9,
+            "start_unix": 5.0, "duration": 0.25, "status": "ok",
+            "attributes": {"k": "v"}, "cpu_time": 0.2, "alloc_peak": 1024,
+        }
+        path = self._write(tmp_path, [json.dumps(record)])
+        (span,) = load_trace(path)
+        assert span.name == "op"
+        assert span.parent_id == 1
+        assert span.trace_id == 9
+        assert span.attributes == {"k": "v"}
+        assert span.cpu_time == 0.2
+        assert span.alloc_peak == 1024
+
+    def test_optional_fields_default(self, tmp_path):
+        record = {"name": "op", "span_id": 1, "trace_id": 1, "duration": 0.1}
+        path = self._write(tmp_path, [json.dumps(record)])
+        (span,) = load_trace(path)
+        assert span.parent_id is None
+        assert span.status == "ok"
+        assert span.cpu_time is None
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        record = {"name": "op", "span_id": 1, "trace_id": 1, "duration": 0.1}
+        path = self._write(tmp_path, ["", json.dumps(record), ""])
+        assert len(load_trace(path)) == 1
+
+    def test_bad_json_names_the_line(self, tmp_path):
+        path = self._write(tmp_path, ["{not json"])
+        with pytest.raises(ConfigError, match=r"trace\.jsonl:1"):
+            load_trace(path)
+
+    def test_missing_field_names_the_line(self, tmp_path):
+        good = {"name": "op", "span_id": 1, "trace_id": 1, "duration": 0.1}
+        path = self._write(tmp_path, [json.dumps(good), '{"name": "x"}'])
+        with pytest.raises(ConfigError, match=r"trace\.jsonl:2"):
+            load_trace(path)
+
+
+class TestAnalyzeTrace:
+    def test_tree_rebuild_and_self_time(self):
+        report = analyze_trace(small_tree())
+        assert [s.name for s in report.roots] == ["root"]
+        by_name = {s.name: s for s in report.spans}
+        assert by_name["root"].self_time == pytest.approx(0.5)  # 4 - 2.5 - 1
+        assert by_name["train"].self_time == pytest.approx(0.5)  # 2.5 - 2
+        assert by_name["epoch"].self_time == pytest.approx(2.0)
+        assert report.total_duration == pytest.approx(4.0)
+        assert report.span_count == 4
+        assert report.trace_count == 1
+        assert report.profiled is False
+
+    def test_critical_path_follows_longest_children(self):
+        report = analyze_trace(small_tree())
+        assert [s.name for s in report.critical_path] == [
+            "root", "train", "epoch"
+        ]
+
+    def test_hotspots_sorted_by_self_time(self):
+        report = analyze_trace(small_tree())
+        assert report.operations[0].name == "epoch"
+        assert report.operations[0].self_total == pytest.approx(2.0)
+
+    def test_orphans_become_roots(self):
+        spans = [make_span("lost", 7, parent_id=999, duration=1.0)]
+        report = analyze_trace(spans)
+        assert report.roots == spans
+        assert report.critical_path == spans
+
+    def test_self_parent_cycle_does_not_hang(self):
+        spans = [make_span("selfie", 1, parent_id=1, duration=1.0)]
+        report = analyze_trace(spans)
+        assert [s.name for s in report.critical_path] == ["selfie"]
+
+    def test_negative_self_time_clamped(self):
+        # A child longer than its parent (clock skew) must not produce
+        # negative self time.
+        spans = [
+            make_span("parent", 1, duration=1.0),
+            make_span("child", 2, parent_id=1, duration=1.5),
+        ]
+        report = analyze_trace(spans)
+        by_name = {s.name: s for s in report.spans}
+        assert by_name["parent"].self_time == 0.0
+
+    def test_aggregates_profile_and_errors(self):
+        spans = [
+            make_span("op", 1, duration=1.0, cpu_time=0.4, alloc_peak=100),
+            make_span("op", 2, duration=2.0, cpu_time=0.6, alloc_peak=300,
+                      status="error"),
+        ]
+        report = analyze_trace(spans)
+        assert report.profiled is True
+        (op,) = report.operations
+        assert op.count == 2
+        assert op.errors == 1
+        assert op.cpu_total == pytest.approx(1.0)
+        assert op.alloc_peak_max == 300
+        assert op.mean == pytest.approx(1.5)
+
+    def test_multiple_traces_counted(self):
+        spans = [
+            make_span("a", 1, duration=1.0, trace_id=1),
+            make_span("b", 2, duration=1.0, trace_id=2),
+        ]
+        report = analyze_trace(spans)
+        assert report.trace_count == 2
+        assert report.total_duration == pytest.approx(2.0)
+
+
+class TestFoldedStacks:
+    def test_paths_valued_in_self_micros(self):
+        lines = folded_stacks(analyze_trace(small_tree()))
+        assert "root 500000" in lines
+        assert "root;train 500000" in lines
+        assert "root;train;epoch 2000000" in lines
+        assert "root;eval 1000000" in lines
+
+    def test_identical_paths_merge(self):
+        spans = [
+            make_span("root", 1, duration=3.0),
+            make_span("step", 2, parent_id=1, duration=1.0),
+            make_span("step", 3, parent_id=1, duration=1.0),
+        ]
+        lines = folded_stacks(analyze_trace(spans))
+        assert "root;step 2000000" in lines
+
+    def test_zero_self_time_paths_dropped(self):
+        spans = [
+            make_span("wrapper", 1, duration=1.0),
+            make_span("inner", 2, parent_id=1, duration=1.0),
+        ]
+        lines = folded_stacks(analyze_trace(spans))
+        assert lines == ["wrapper;inner 1000000"]
+
+
+class TestRenderReport:
+    def test_plain_report_sections(self):
+        text = render_report(analyze_trace(small_tree()))
+        assert "trace: 4 span(s), 1 trace(s)" in text
+        assert "critical path" in text
+        assert "hotspots" in text
+        assert "epoch" in text
+        assert "cpu" not in text  # not profiled
+
+    def test_profiled_report_adds_cpu_and_peak_columns(self):
+        spans = [make_span("op", 1, duration=1.0, cpu_time=0.9,
+                           alloc_peak=2048)]
+        text = render_report(analyze_trace(spans))
+        assert "profiled" in text
+        assert "cpu" in text
+        assert "2.0KiB" in text
+
+    def test_errors_are_called_out(self):
+        spans = [make_span("op", 1, duration=1.0, status="error")]
+        text = render_report(analyze_trace(spans))
+        assert "[1 error(s)]" in text

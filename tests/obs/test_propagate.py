@@ -1,0 +1,215 @@
+"""Cross-process trace propagation: capture, adoption, worker hygiene."""
+
+import threading
+
+import pytest
+
+from repro.obs.propagate import (
+    SpanBuffer,
+    TraceContext,
+    adopt_spans,
+    capture_context,
+    reset_worker_tracing,
+    run_with_capture,
+)
+from repro.obs.tracing import (
+    InMemoryExporter,
+    add_exporter,
+    clear_exporters,
+    profiling_enabled,
+    remove_exporter,
+    set_enabled,
+    set_profiling,
+    trace,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracing_state():
+    clear_exporters()
+    set_enabled(False)
+    set_profiling(False)
+    yield
+    clear_exporters()
+    set_enabled(False)
+    set_profiling(False)
+
+
+@pytest.fixture()
+def exporter():
+    return add_exporter(InMemoryExporter())
+
+
+class TestCaptureContext:
+    def test_no_open_span_means_no_context(self):
+        assert capture_context() is None
+
+    def test_captures_current_span_and_trace(self, exporter):
+        with trace("wave") as span:
+            context = capture_context()
+        assert context == TraceContext(
+            trace_id=span.trace_id, parent_span_id=span.span_id, profiling=False
+        )
+
+    def test_captures_profiling_flag(self, exporter):
+        set_profiling(True)
+        with trace("wave"):
+            context = capture_context()
+        assert context.profiling is True
+
+
+class TestRunWithCapture:
+    def test_without_context_passes_through(self):
+        result, spans = run_with_capture(None, lambda x: x + 1, 41)
+        assert result == 42
+        assert spans == []
+        assert not tracing_enabled()
+
+    def test_buffers_spans_opened_by_the_task(self):
+        def task(x):
+            with trace("task.outer", x=x):
+                with trace("task.inner"):
+                    pass
+            return x * 2
+
+        context = TraceContext(trace_id=99, parent_span_id=7)
+        result, spans = run_with_capture(context, task, 3)
+        assert result == 6
+        assert [s.name for s in spans] == ["task.inner", "task.outer"]
+        # Capture is transient: tracing returns to off afterwards.
+        assert not tracing_enabled()
+
+    def test_profiling_flag_extends_into_task(self):
+        observed = {}
+
+        def task(_):
+            observed["profiling"] = profiling_enabled()
+            with trace("task"):
+                pass
+            return None
+
+        context = TraceContext(trace_id=1, parent_span_id=1, profiling=True)
+        _, spans = run_with_capture(context, task, None)
+        assert observed["profiling"] is True
+        assert not profiling_enabled()
+        (span,) = spans
+        assert span.cpu_time is not None
+        assert span.alloc_peak is not None
+
+    def test_task_exception_still_cleans_up(self):
+        context = TraceContext(trace_id=1, parent_span_id=1, profiling=True)
+
+        def boom(_):
+            raise ValueError("task failed")
+
+        with pytest.raises(ValueError):
+            run_with_capture(context, boom, None)
+        assert not tracing_enabled()
+        assert not profiling_enabled()
+
+
+class TestAdoptSpans:
+    def _captured(self, context):
+        def task(_):
+            with trace("outer"):
+                with trace("inner"):
+                    pass
+            return None
+
+        _, spans = run_with_capture(context, task, None)
+        return spans
+
+    def test_roots_attach_to_context_parent(self, exporter):
+        with trace("wave") as wave:
+            context = capture_context()
+            spans = self._captured(context)
+            adopted = adopt_spans(context, spans)
+        by_name = {s.name: s for s in adopted}
+        assert by_name["outer"].parent_id == wave.span_id
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert all(s.trace_id == wave.trace_id for s in adopted)
+
+    def test_ids_are_remapped_to_fresh_parent_counter_ids(self, exporter):
+        with trace("wave") as wave:
+            context = capture_context()
+            spans = self._captured(context)
+            worker_ids = {s.span_id for s in spans}
+            adopted = adopt_spans(context, spans)
+        adopted_ids = {s.span_id for s in adopted}
+        assert adopted_ids.isdisjoint({wave.span_id})
+        assert len(adopted_ids) == len(adopted)
+        # Remapping replaced every worker-local id.
+        assert not (adopted_ids & worker_ids) or min(adopted_ids) > max(worker_ids)
+
+    def test_adopted_spans_reach_exporters_exactly_once(self, exporter):
+        # In a pool worker the inherited exporters are cleared, so spans
+        # reach the parent's exporters only through adoption.  Detaching
+        # the exporter during capture reproduces that environment.
+        with trace("wave"):
+            context = capture_context()
+            remove_exporter(exporter)
+            try:
+                spans = self._captured(context)
+            finally:
+                add_exporter(exporter)
+            adopt_spans(context, spans)
+        names = [s.name for s in exporter.spans()]
+        assert names == ["inner", "outer", "wave"]
+
+    def test_orphan_parent_links_fall_back_to_context_parent(self, exporter):
+        context = TraceContext(trace_id=5, parent_span_id=50)
+        spans = self._captured(context)
+        # Simulate a truncated buffer: drop the outer span, keeping the
+        # inner one whose parent_id now points nowhere.
+        inner_only = [s for s in spans if s.name == "inner"]
+        adopted = adopt_spans(context, inner_only)
+        (inner,) = adopted
+        assert inner.parent_id == 50
+        assert inner.trace_id == 5
+
+    def test_adoption_does_not_mutate_the_worker_spans(self, exporter):
+        context = TraceContext(trace_id=5, parent_span_id=50)
+        spans = self._captured(context)
+        before = [(s.span_id, s.parent_id, s.trace_id) for s in spans]
+        adopt_spans(context, spans)
+        assert [(s.span_id, s.parent_id, s.trace_id) for s in spans] == before
+
+
+class TestSpanBuffer:
+    def test_drain_empties_the_buffer(self):
+        buffer = SpanBuffer()
+        add_exporter(buffer)
+        with trace("a"):
+            pass
+        assert [s.name for s in buffer.drain()] == ["a"]
+        assert buffer.drain() == []
+
+    def test_concurrent_exports_are_all_kept(self):
+        buffer = SpanBuffer()
+        add_exporter(buffer)
+
+        def worker(index):
+            with trace(f"thread{index}"):
+                pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(buffer.drain()) == 8
+
+
+class TestResetWorkerTracing:
+    def test_clears_inherited_exporters_and_flags(self):
+        add_exporter(InMemoryExporter())
+        set_enabled(True)
+        set_profiling(True)
+        reset_worker_tracing()
+        assert not tracing_enabled()
+        assert not profiling_enabled()
+        with trace("invisible") as span:
+            assert span is None

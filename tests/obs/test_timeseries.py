@@ -1,0 +1,204 @@
+"""Schema-versioned bench results, trajectory files, regression gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.timeseries import (
+    BASELINE_WINDOW,
+    SCHEMA_VERSION,
+    BenchResult,
+    append_result,
+    check_regression,
+    load_trajectory,
+    metric_direction,
+    trajectory_path,
+)
+
+
+def result(metrics, mode="smoke", cpu_count=1, bench="example"):
+    return BenchResult(
+        bench=bench,
+        mode=mode,
+        metrics=metrics,
+        host={"cpu_count": cpu_count, "platform": "linux",
+              "machine": "x86_64", "python": "3.11.7"},
+        recorded_at="2026-08-06T00:00:00+0000",
+    )
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize("name", [
+        "generate_seconds", "query_latency_us", "p99_ms", "alloc_peak",
+        "resident_bytes",
+    ])
+    def test_lower_is_better(self, name):
+        assert metric_direction(name) == "lower"
+
+    @pytest.mark.parametrize("name", [
+        "warm_speedup", "models_per_second", "throughput", "recall_at_10",
+    ])
+    def test_higher_is_better(self, name):
+        assert metric_direction(name) == "higher"
+
+    @pytest.mark.parametrize("name", ["models", "indexed_vectors", "queries"])
+    def test_scale_facts_are_untracked(self, name):
+        assert metric_direction(name) is None
+
+
+class TestBenchResultSchema:
+    def test_round_trip(self):
+        original = result({"generate_seconds": 1.5})
+        restored = BenchResult.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_recorded_at_stamped_when_missing(self):
+        stamped = BenchResult(bench="b", mode="smoke", metrics={})
+        assert stamped.recorded_at  # auto-filled, not empty
+
+    def test_unknown_schema_version_rejected(self):
+        record = result({"x_seconds": 1.0}).to_dict()
+        record["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ConfigError, match="schema_version"):
+            BenchResult.from_dict(record)
+
+    def test_missing_field_rejected(self):
+        record = result({"x_seconds": 1.0}).to_dict()
+        del record["metrics"]
+        with pytest.raises(ConfigError, match="metrics"):
+            BenchResult.from_dict(record)
+
+
+class TestTrajectoryStorage:
+    def test_empty_history_for_unknown_bench(self, tmp_path):
+        assert load_trajectory(str(tmp_path), "never-ran") == []
+
+    def test_append_then_load_round_trips(self, tmp_path):
+        results_dir = str(tmp_path)
+        first = result({"generate_seconds": 1.0})
+        second = result({"generate_seconds": 1.1})
+        append_result(results_dir, first)
+        path = append_result(results_dir, second)
+        assert path == trajectory_path(results_dir, "example")
+        history = load_trajectory(results_dir, "example")
+        assert history == [first, second]
+
+    def test_trajectory_document_is_schema_versioned(self, tmp_path):
+        results_dir = str(tmp_path)
+        append_result(results_dir, result({"x_seconds": 1.0}))
+        with open(trajectory_path(results_dir, "example")) as handle:
+            document = json.load(handle)
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["bench"] == "example"
+        assert len(document["entries"]) == 1
+
+    def test_unversioned_trajectory_rejected(self, tmp_path):
+        path = trajectory_path(str(tmp_path), "legacy")
+        path_dir = tmp_path / "trajectory"
+        path_dir.mkdir()
+        with open(path, "w") as handle:
+            json.dump({"entries": []}, handle)
+        with pytest.raises(ConfigError, match="schema_version"):
+            load_trajectory(str(tmp_path), "legacy")
+
+    def test_benches_get_separate_files(self, tmp_path):
+        results_dir = str(tmp_path)
+        append_result(results_dir, result({"a_seconds": 1.0}, bench="one"))
+        append_result(results_dir, result({"b_seconds": 2.0}, bench="two"))
+        assert len(load_trajectory(results_dir, "one")) == 1
+        assert len(load_trajectory(results_dir, "two")) == 1
+
+
+class TestCheckRegression:
+    def test_no_history_passes_with_no_baseline(self):
+        report = check_regression(result({"run_seconds": 1.0}), [])
+        assert report.passed
+        (check,) = report.checks
+        assert check.status == "no-baseline"
+
+    def test_steady_metric_is_ok(self):
+        history = [result({"run_seconds": 1.0}) for _ in range(3)]
+        report = check_regression(result({"run_seconds": 1.1}), history)
+        assert report.passed
+        assert report.checks[0].status == "ok"
+
+    def test_lower_is_better_regression_fails(self):
+        history = [result({"run_seconds": 1.0}) for _ in range(3)]
+        report = check_regression(result({"run_seconds": 2.0}), history)
+        assert not report.passed
+        (check,) = report.regressions
+        assert check.metric == "run_seconds"
+        assert check.ratio == pytest.approx(2.0)
+
+    def test_higher_is_better_regression_fails(self):
+        history = [result({"throughput": 100.0}) for _ in range(3)]
+        report = check_regression(result({"throughput": 40.0}), history)
+        assert not report.passed
+
+    def test_improvement_is_reported_not_failed(self):
+        history = [result({"run_seconds": 2.0}) for _ in range(3)]
+        report = check_regression(result({"run_seconds": 1.0}), history)
+        assert report.passed
+        assert report.checks[0].status == "improved"
+
+    def test_untracked_metrics_never_gate(self):
+        history = [result({"models": 10.0})]
+        report = check_regression(result({"models": 1.0}), history)
+        assert report.passed
+        assert report.checks[0].status == "untracked"
+
+    def test_baseline_is_median_of_window(self):
+        timings = [1.0, 1.0, 1.0, 50.0, 1.0, 1.0, 1.0]
+        history = [result({"run_seconds": value}) for value in timings]
+        report = check_regression(result({"run_seconds": 1.2}), history)
+        # Window keeps the last 5 entries: [1, 50, 1, 1, 1] -> median 1.
+        assert report.baseline_count == BASELINE_WINDOW
+        assert report.checks[0].baseline == pytest.approx(1.0)
+        assert report.passed
+
+    def test_other_modes_and_hosts_excluded_from_baseline(self):
+        history = [
+            result({"run_seconds": 0.1}, mode="full"),
+            result({"run_seconds": 0.1}, cpu_count=16),
+        ]
+        report = check_regression(result({"run_seconds": 1.0}), history)
+        assert report.baseline_count == 0
+        assert report.checks[0].status == "no-baseline"
+
+    def test_noise_floor_absorbs_tiny_absolute_moves(self):
+        # 10ms -> 24ms is x2.4 but only 14ms absolute: scheduler noise.
+        history = [result({"cold_build_seconds": 0.010}) for _ in range(3)]
+        report = check_regression(result({"cold_build_seconds": 0.024}), history)
+        assert report.passed
+        assert report.checks[0].status == "ok"
+
+    def test_noise_floor_does_not_mask_large_moves(self):
+        history = [result({"cold_build_seconds": 0.2}) for _ in range(3)]
+        report = check_regression(result({"cold_build_seconds": 0.5}), history)
+        assert not report.passed
+
+    def test_per_metric_tolerance_overrides_default(self):
+        history = [result({"warm_speedup": 10.0}) for _ in range(3)]
+        # x0.70 is below the default gate (1/1.25 = 0.8)...
+        strict = check_regression(result({"warm_speedup": 7.0}), history)
+        assert not strict.passed
+        # ...but within a per-metric tolerance of 2.0 (gate at 0.5).
+        lax = check_regression(
+            result({"warm_speedup": 7.0}), history, tolerances={"warm_speedup": 2.0}
+        )
+        assert lax.passed
+
+    def test_zero_baseline_is_handled(self):
+        history = [result({"run_seconds": 0.0})]
+        report = check_regression(result({"run_seconds": 0.0}), history)
+        assert report.checks[0].ratio == pytest.approx(1.0)
+        assert report.passed
+
+    def test_report_text_names_verdicts(self):
+        history = [result({"run_seconds": 1.0}) for _ in range(3)]
+        report = check_regression(result({"run_seconds": 2.0}), history)
+        text = report.to_text()
+        assert "run_seconds" in text
+        assert "regressed" in text
+        assert "x2.00" in text

@@ -14,6 +14,7 @@ from repro.obs.tracing import (
     current_span,
     remove_exporter,
     set_enabled,
+    set_profiling,
     trace,
     traced,
     tracing_enabled,
@@ -24,9 +25,11 @@ from repro.obs.tracing import (
 def _clean_tracing_state():
     clear_exporters()
     set_enabled(False)
+    set_profiling(False)
     yield
     clear_exporters()
     set_enabled(False)
+    set_profiling(False)
 
 
 @pytest.fixture()
@@ -220,3 +223,186 @@ class TestExporters:
             pass
         records = [json.loads(l) for l in path.read_text().splitlines()]
         assert [r["name"] for r in records] == ["before_close"]
+
+class TestProfiling:
+    def test_profiled_span_records_cpu_and_alloc(self, exporter):
+        set_profiling(True)
+        with trace("work"):
+            blob = [0] * 100_000
+            del blob
+        (span,) = exporter.spans()
+        assert span.cpu_time is not None and span.cpu_time >= 0.0
+        # A 100k-element list costs several hundred KiB at peak...
+        assert span.alloc_peak > 100_000
+        # ...but it was freed, so the net allocation is far below peak.
+        assert span.alloc_net < span.alloc_peak
+
+    def test_unprofiled_span_leaves_fields_unset(self, exporter):
+        with trace("work"):
+            pass
+        (span,) = exporter.spans()
+        assert span.cpu_time is None
+        assert span.alloc_peak is None
+        assert span.alloc_net is None
+        assert "cpu_time" not in span.to_dict()
+
+    def test_child_peak_propagates_to_parent(self, exporter):
+        set_profiling(True)
+        with trace("parent"):
+            with trace("child"):
+                blob = [0] * 200_000
+                del blob
+        spans = {s.name: s for s in exporter.spans()}
+        # The child's allocation happened on the parent's watch too.
+        assert spans["parent"].alloc_peak >= spans["child"].alloc_peak
+
+    def test_sibling_segments_do_not_inherit_each_others_peak(self, exporter):
+        set_profiling(True)
+        with trace("parent"):
+            with trace("fat"):
+                blob = [0] * 200_000
+                del blob
+            with trace("thin"):
+                pass
+        spans = {s.name: s for s in exporter.spans()}
+        assert spans["thin"].alloc_peak < spans["fat"].alloc_peak
+
+    def test_profile_fields_survive_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        set_profiling(True)
+        with JSONLExporter(str(path)) as jsonl:
+            add_exporter(jsonl)
+            with trace("work"):
+                blob = [0] * 50_000
+                del blob
+        (record,) = [json.loads(l) for l in path.read_text().splitlines()]
+        assert record["cpu_time"] >= 0.0
+        assert record["alloc_peak"] > 0
+
+    def test_set_profiling_respects_foreign_tracemalloc(self):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            set_profiling(True)
+            set_profiling(False)
+            # We did not start tracemalloc, so we must not stop it.
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+
+class _AlwaysBroken(tracing.SpanExporter):
+    def export(self, span):
+        raise RuntimeError("sink down")
+
+
+class TestExportErrors:
+    def test_export_failure_bumps_counter_per_span(self, exporter):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.tracing import OBS_EXPORT_ERRORS
+
+        counter = obs_metrics.get_registry().counter(OBS_EXPORT_ERRORS)
+        before = counter.value
+        broken = add_exporter(_AlwaysBroken())
+        try:
+            with trace("one"):
+                pass
+            with trace("two"):
+                pass
+        finally:
+            remove_exporter(broken)
+        assert counter.value == before + 2
+
+    def test_export_failure_warns_once_per_exporter(self, exporter):
+        import logging
+
+        class _Capture(logging.Handler):
+            def __init__(self):
+                super().__init__(level=logging.WARNING)
+                self.records = []
+
+            def emit(self, record):
+                self.records.append(record)
+
+        capture = _Capture()
+        logger = logging.getLogger("repro.obs.tracing")
+        logger.addHandler(capture)
+        broken = add_exporter(_AlwaysBroken())
+        try:
+            for name in ("one", "two", "three"):
+                with trace(name):
+                    pass
+        finally:
+            remove_exporter(broken)
+            logger.removeHandler(capture)
+        warnings = [
+            r for r in capture.records if "span.export_failed" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        # Healthy exporters still received every span.
+        assert [s.name for s in exporter.spans()] == ["one", "two", "three"]
+
+
+class TestConcurrentThreads:
+    """The tracing satellite: spans under thread concurrency."""
+
+    THREADS = 8
+    DEPTH = 3
+
+    def _run_threads(self):
+        barrier = threading.Barrier(self.THREADS)
+        errors = []
+
+        def worker(index):
+            try:
+                barrier.wait(timeout=10)
+                with trace(f"outer-{index}", thread=index):
+                    for level in range(self.DEPTH):
+                        with trace(f"level{level}-{index}"):
+                            pass
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+
+    def test_span_trees_stay_per_thread(self, exporter):
+        self._run_threads()
+        spans = exporter.spans()
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            suffix = span.name.rsplit("-", 1)[1]
+            if span.parent_id is None:
+                assert span.name.startswith("outer-")
+            else:
+                parent = by_id[span.parent_id]
+                # A span's parent always belongs to the same thread.
+                assert parent.name.endswith(f"-{suffix}")
+                assert parent.trace_id == span.trace_id
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == self.THREADS
+        assert len({s.trace_id for s in roots}) == self.THREADS
+
+    def test_every_span_exported_exactly_once(self, exporter):
+        self._run_threads()
+        spans = exporter.spans()
+        assert len(spans) == self.THREADS * (1 + self.DEPTH)
+        # Unique ids and unique (name) occurrences: nothing doubled.
+        assert len({s.span_id for s in spans}) == len(spans)
+        names = [s.name for s in spans]
+        assert len(set(names)) == len(names)
+
+    def test_concurrent_profiling_keeps_fields_sane(self, exporter):
+        set_profiling(True)
+        self._run_threads()
+        for span in exporter.spans():
+            assert span.cpu_time is not None
+            assert span.alloc_peak is not None and span.alloc_peak >= 0

@@ -89,3 +89,58 @@ class TestWaveExecutorPool:
                 executor.run_wave(_maybe_fail, [1, 2, 3])
             # The pool is still usable afterwards.
             assert executor.run_wave(_maybe_fail, [5, 6]) == [5, 6]
+
+
+def _traced_square(x):
+    from repro.obs.tracing import trace
+
+    with trace("worker.square", x=x):
+        return x * x
+
+
+class TestCrossProcessTracing:
+    """Worker spans ship back to the coordinator as one coherent tree."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_tracing(self):
+        from repro.obs import tracing
+
+        tracing.clear_exporters()
+        tracing.set_enabled(False)
+        yield
+        tracing.clear_exporters()
+        tracing.set_enabled(False)
+
+    def test_pool_worker_spans_adopt_into_wave_tree(self):
+        from repro.obs.tracing import InMemoryExporter, add_exporter
+
+        exporter = add_exporter(InMemoryExporter())
+        with WaveExecutor(workers=2) as executor:
+            results = executor.run_wave(_traced_square, [1, 2, 3])
+        assert results == [1, 4, 9]
+
+        spans = exporter.spans()
+        waves = [s for s in spans if s.name == "parallel.wave"]
+        workers = [s for s in spans if s.name == "worker.square"]
+        assert len(waves) == 1
+        assert len(workers) == 3  # exactly once each, no duplicates
+        (wave,) = waves
+        # Every worker span was re-parented under the coordinator's wave
+        # span, in the coordinator's trace, with collision-free ids.
+        assert all(s.parent_id == wave.span_id for s in workers)
+        assert all(s.trace_id == wave.trace_id for s in workers)
+        assert len({s.span_id for s in spans}) == len(spans)
+        assert sorted(s.attributes["x"] for s in workers) == [1, 2, 3]
+
+    def test_inline_executor_spans_nest_without_adoption(self):
+        from repro.obs.tracing import InMemoryExporter, add_exporter
+
+        exporter = add_exporter(InMemoryExporter())
+        with WaveExecutor(workers=1) as executor:
+            assert executor.run_wave(_traced_square, [2]) == [4]
+        spans = {s.name: s for s in exporter.spans()}
+        assert spans["worker.square"].parent_id == spans["parallel.wave"].span_id
+
+    def test_untraced_pool_run_stays_untraced(self):
+        with WaveExecutor(workers=2) as executor:
+            assert executor.run_wave(_traced_square, [1, 2]) == [1, 4]

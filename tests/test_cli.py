@@ -195,3 +195,153 @@ class TestObservabilityCLI:
     def test_metrics_on_missing_dir_is_error(self, tmp_path, capsys):
         assert main(["metrics", "--dir", str(tmp_path / "void")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestMetricsTopCLI:
+    def test_top_table_sorted_by_p99(self, lake_dir, capsys):
+        assert main([
+            "search", "--dir", lake_dir, "--query", "legal court", "-k", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "--dir", lake_dir, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest operations" in out
+        assert "p99" in out
+
+    def test_top_json_still_emits_full_snapshot(self, lake_dir, capsys):
+        assert main(["stats", "--dir", lake_dir]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "--dir", lake_dir, "--top", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" in payload
+
+
+class TestTraceReportCLI:
+    @pytest.fixture()
+    def trace_file(self, lake_dir, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert main([
+            "--trace", path,
+            "search", "--dir", lake_dir, "--query", "legal court statute",
+            "--method", "hybrid", "-k", "2",
+        ]) == 0
+        return path
+
+    def test_report_prints_critical_path_and_hotspots(self, trace_file, capsys):
+        assert main(["trace", "report", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "hotspots" in out
+        assert "cli.search" in out
+
+    def test_report_json_payload(self, trace_file, capsys):
+        assert main(["trace", "report", trace_file, "--json", "--top", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["span_count"] >= 2
+        assert payload["trace_count"] == 1
+        assert payload["critical_path"][0]["name"] == "cli.search"
+        assert len(payload["operations"]) <= 3
+
+    def test_flame_writes_folded_stacks(self, trace_file, tmp_path, capsys):
+        flame = str(tmp_path / "flame.folded")
+        assert main(["trace", "report", trace_file, "--flame", flame]) == 0
+        lines = open(flame).read().splitlines()
+        assert lines
+        for line in lines:
+            path, value = line.rsplit(" ", 1)
+            assert path.startswith("cli.search")
+            assert int(value) > 0
+
+    def test_empty_trace_is_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "report", str(empty)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_corrupt_trace_is_config_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{broken\n")
+        assert main(["trace", "report", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+    def test_missing_trace_file_is_config_error(self, tmp_path, capsys):
+        assert main(["trace", "report", str(tmp_path / "void.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+
+class TestBenchCLI:
+    @pytest.fixture()
+    def fake_suite(self, monkeypatch):
+        """Replace the registered suite with an instant, tunable bench."""
+        import repro.perf as perf
+
+        metrics = {"run_seconds": 1.0, "models": 4.0}
+        spec = perf.BenchSpec(
+            name="fake",
+            fn=lambda mode: dict(metrics),
+            tolerances={"run_seconds": 1.25},
+        )
+        monkeypatch.setattr(perf, "registered_benches", lambda: [spec])
+        return metrics
+
+    def test_unknown_select_is_usage_error(self, tmp_path, capsys):
+        code = main([
+            "bench", "--smoke", "--select", "nope",
+            "--results", str(tmp_path), "--no-record",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark" in err
+        assert "generate" in err  # names the known benches
+
+    def test_run_records_to_trajectory(self, fake_suite, tmp_path, capsys):
+        from repro.obs.timeseries import load_trajectory
+
+        results = str(tmp_path)
+        assert main(["bench", "--smoke", "--results", results]) == 0
+        out = capsys.readouterr().out
+        assert "fake:" in out and "run_seconds=1" in out
+        history = load_trajectory(results, "fake")
+        assert len(history) == 1
+        assert history[0].mode == "smoke"
+
+    def test_no_record_leaves_trajectory_untouched(self, fake_suite, tmp_path):
+        from repro.obs.timeseries import load_trajectory
+
+        results = str(tmp_path)
+        assert main([
+            "bench", "--smoke", "--results", results, "--no-record",
+        ]) == 0
+        assert load_trajectory(results, "fake") == []
+
+    def test_check_passes_on_steady_trajectory(self, fake_suite, tmp_path, capsys):
+        results = str(tmp_path)
+        assert main(["bench", "--smoke", "--results", results]) == 0
+        assert main(["bench", "--smoke", "--results", results, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "comparable baseline run(s)" in out
+
+    def test_check_fails_on_regression(self, fake_suite, tmp_path, capsys):
+        results = str(tmp_path)
+        assert main(["bench", "--smoke", "--results", results]) == 0
+        fake_suite["run_seconds"] = 2.0  # a genuine 2x slip
+        code = main([
+            "bench", "--smoke", "--results", results, "--check", "--no-record",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "perf regression in: fake" in captured.err
+        assert "regressed" in captured.out
+
+    def test_check_json_payload(self, fake_suite, tmp_path, capsys):
+        results = str(tmp_path)
+        assert main(["bench", "--smoke", "--results", results]) == 0
+        capsys.readouterr()
+        assert main([
+            "bench", "--smoke", "--results", results, "--check", "--json",
+            "--no-record",
+        ]) == 0
+        (document,) = json.loads(capsys.readouterr().out)
+        assert document["result"]["bench"] == "fake"
+        assert document["check"]["passed"] is True
+        assert document["check"]["baseline_count"] == 1
