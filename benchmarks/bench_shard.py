@@ -1,0 +1,390 @@
+"""Sharded-lake scaling benchmark: out-of-core reads and shard-parallel fsck.
+
+Measures the perf claims of the sharded, memmap-backed weight store and
+records them on the perf trajectory (``benchmarks/results/trajectory/``,
+via :mod:`repro.obs.timeseries`):
+
+1. **Flat peak RSS under mmap** — a child process per (lake size, read
+   mode) loads a saved lake and runs a weight-space search over every
+   model, then reports its own ``ru_maxrss``.  With lazy mmap-backed
+   reads the peak stays ~flat as the lake grows 10x; with
+   ``materialize=True`` (every blob resident) it grows linearly.  The
+   full run hard-asserts the acceptance bound: mmap peak over the
+   largest lake <= 1.5x the smallest, while resident peak scales with
+   the model count.
+2. **Layout parity** — the same lake saved ``sharded=True`` and
+   ``sharded=False`` must be digest-for-digest identical (same manifest
+   body digest, same weight digests); sharding is physics, not schema.
+3. **Shard-parallel fsck** — wall time of ``fsck_lake`` at ``workers=1``
+   versus ``workers=N`` over the largest sharded lake.
+
+Usage::
+
+    python benchmarks/bench_shard.py            # full run (1k/5k/10k models)
+    python benchmarks/bench_shard.py --smoke    # quick CI gate (tiny lakes)
+
+Smoke runs are read-only gates with relaxed RSS assertions (at tiny
+sizes the interpreter baseline dominates and the ratio measures noise);
+full runs append to the trajectory (``--record`` forces recording for
+smoke too).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.lake import ModelLake, load_lake, save_lake  # noqa: E402
+from repro.nn.models import build_model  # noqa: E402
+from repro.obs.timeseries import BenchResult, append_result  # noqa: E402
+from repro.reliability.fsck import fsck_lake  # noqa: E402
+
+DEFAULT_RESULTS = os.path.join(REPO_ROOT, "benchmarks", "results")
+
+#: Lake sizes (model counts) per mode.  Full mode spans the 10x growth
+#: the acceptance criterion gates; smoke keeps CI under a few seconds.
+SIZES_FULL = (1000, 5000, 10000)
+SIZES_SMOKE = (32, 128)
+
+#: Synthetic model shape: ~18KB of float64 weights per model, so the
+#: largest full lake carries ~180MB of blobs — enough for resident
+#: growth to dwarf interpreter-baseline noise.
+MODEL_SPEC = {
+    "family": "mlp_classifier",
+    "in_features": 32,
+    "num_classes": 8,
+    "hidden": [56],
+}
+
+#: Acceptance bound (full mode): total process peak RSS of the mmap
+#: search over the largest lake, relative to the smallest.  Raw peaks —
+#: not baseline-subtracted — because flatness is a claim about what the
+#: user's process actually consumes; the residual growth is the O(n)
+#: record catalog (manifest metadata), which stays resident by design.
+MMAP_FLAT_BOUND = 1.5
+
+#: Full-mode floor for the resident-mode growth over a 10x model-count
+#: spread, measured on baseline-subtracted deltas (growth attribution
+#: needs the constant interpreter footprint removed).  The ideal is
+#: ~10x; >=5x proves linearity without flaking on allocator slack.
+RESIDENT_GROWTH_FLOOR = 5.0
+
+#: At the largest size, materializing must cost several times the mmap
+#: working set — the direct evidence that weights stayed out of core.
+RESIDENT_VS_MMAP_FLOOR = 4.0
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_synthetic_lake(num_models: int, seed: int = 11) -> ModelLake:
+    """A lake of ``num_models`` same-architecture models, deterministic
+    per-model weight perturbations (so every blob has a unique digest)."""
+    rng = np.random.default_rng(seed)
+    template = build_model(MODEL_SPEC, seed=seed)
+    base_state = template.state_dict()
+    lake = ModelLake()
+    for i in range(num_models):
+        state = {
+            key: value + rng.normal(scale=0.01, size=value.shape)
+            for key, value in base_state.items()
+        }
+        template.load_state_dict(state)
+        lake.add_model(template, name=f"synth-{i:05d}")
+    return lake
+
+
+# ----------------------------------------------------------------------
+# Child-process RSS probe
+# ----------------------------------------------------------------------
+def _peak_rss_kb() -> int:
+    """This process's true peak RSS in KB.
+
+    ``getrusage`` is unusable here: on Linux the forked child inherits
+    the parent's RSS high-water mark, so every probe would report the
+    bench driver's footprint.  ``VmHWM`` is per-``mm`` and resets on
+    exec, which is exactly the isolation the measurement needs.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource  # non-Linux fallback (maxrss is KB on Linux anyway)
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _child_rss(mode: str, directory: str) -> int:
+    """Run one measurement inside *this* process and return peak RSS (KB).
+
+    ``baseline`` imports everything and loads nothing; ``mmap`` loads
+    lazily; ``resident`` materializes every blob.  Both load modes then
+    run a weight-space search across the whole lake: embed every model,
+    build a flat index, query it — the read pattern §5's out-of-core
+    claim is about.
+    """
+    from repro.index.embedders import WeightStatEmbedder
+    from repro.index.flat import FlatIndex
+
+    if mode != "baseline":
+        lake = load_lake(directory, materialize=(mode == "resident"))
+        embedder = WeightStatEmbedder()
+        ids, vectors = [], []
+        for record in lake:
+            model = lake.get_model(record.model_id, force=True)
+            ids.append(record.model_id)
+            vectors.append(embedder.embed(model))
+        index = FlatIndex()
+        index.build(ids, np.stack(vectors))
+        index.query(vectors[0], k=5)
+    return _peak_rss_kb()
+
+
+def _measure_rss(mode: str, directory: str) -> int:
+    """Peak RSS (KB) of a fresh child running ``_child_rss(mode, dir)``."""
+    output = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--child", mode,
+         "--dir", directory],
+        check=True, capture_output=True, text=True,
+    ).stdout
+    return int(output.strip().splitlines()[-1])
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+def bench_layout_parity(root: str, num_models: int) -> dict:
+    """Save one lake both ways; the layouts must agree digest-for-digest."""
+    lake = build_synthetic_lake(num_models)
+    flat_dir = os.path.join(root, "parity-flat")
+    shard_dir = os.path.join(root, "parity-sharded")
+    start = time.perf_counter()
+    save_lake(lake, flat_dir, sharded=False)
+    flat_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    save_lake(lake, shard_dir, sharded=True)
+    sharded_seconds = time.perf_counter() - start
+
+    manifests = []
+    for directory in (flat_dir, shard_dir):
+        with open(os.path.join(directory, "manifest.json")) as fh:
+            manifests.append(json.load(fh))
+    identical = (
+        manifests[0]["integrity"]["manifest_digest"]
+        == manifests[1]["integrity"]["manifest_digest"]
+    )
+    return {
+        "models": num_models,
+        "save_flat_seconds": round(flat_seconds, 3),
+        "save_sharded_seconds": round(sharded_seconds, 3),
+        "manifest_digest_identical": identical,
+    }
+
+
+def bench_rss(root: str, sizes: tuple) -> dict:
+    """Peak RSS per (size, read mode): raw process peaks plus
+    baseline-subtracted deltas, both in KB."""
+    baseline = _measure_rss("baseline", "")
+    directories = {}
+    for size in sizes:
+        directory = os.path.join(root, f"lake-{size}")
+        save_lake(build_synthetic_lake(size), directory, sharded=True)
+        directories[size] = directory
+
+    peaks = {"mmap": {}, "resident": {}}
+    deltas = {"mmap": {}, "resident": {}}
+    for mode in ("mmap", "resident"):
+        for size in sizes:
+            peak = _measure_rss(mode, directories[size])
+            peaks[mode][size] = peak
+            deltas[mode][size] = max(peak - baseline, 1)
+            print(
+                f"[bench_shard] rss: {mode} n={size} peak={peak}KB "
+                f"delta={deltas[mode][size]}KB"
+            )
+    small, large = sizes[0], sizes[-1]
+    return {
+        "baseline_kb": baseline,
+        "models_small": small,
+        "models_large": large,
+        "mmap_peak_small_kb": peaks["mmap"][small],
+        "mmap_peak_large_kb": peaks["mmap"][large],
+        "mmap_peak_ratio": round(
+            peaks["mmap"][large] / peaks["mmap"][small], 2
+        ),
+        "mmap_delta_large_kb": deltas["mmap"][large],
+        "resident_delta_small_kb": deltas["resident"][small],
+        "resident_delta_large_kb": deltas["resident"][large],
+        "resident_growth": round(
+            deltas["resident"][large] / deltas["resident"][small], 2
+        ),
+        "resident_vs_mmap": round(
+            deltas["resident"][large] / deltas["mmap"][large], 2
+        ),
+        "_largest_dir": directories[large],
+    }
+
+
+def bench_fsck(directory: str, workers: int) -> dict:
+    start = time.perf_counter()
+    report = fsck_lake(directory, workers=1)
+    sequential = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel_report = fsck_lake(directory, workers=workers)
+    parallel = time.perf_counter() - start
+    return {
+        "clean": report.clean and parallel_report.clean,
+        "files_scanned": report.files_scanned,
+        "sequential_seconds": round(sequential, 3),
+        "workers": workers,
+        "parallel_seconds": round(parallel, 3),
+        "speedup": round(sequential / parallel, 2) if parallel > 0 else 0.0,
+    }
+
+
+def run(smoke: bool, record: bool, results_dir: str) -> int:
+    cpus = _cpu_count()
+    mode = "smoke" if smoke else "full"
+    sizes = SIZES_SMOKE if smoke else SIZES_FULL
+    fsck_workers = 2 if smoke else min(4, max(2, cpus))
+    print(f"[bench_shard] mode={mode} cpus={cpus} sizes={sizes}")
+
+    with tempfile.TemporaryDirectory() as root:
+        parity = bench_layout_parity(root, num_models=sizes[0])
+        print(
+            f"[bench_shard] parity: {parity['models']} models, "
+            f"flat {parity['save_flat_seconds']}s, "
+            f"sharded {parity['save_sharded_seconds']}s, "
+            f"identical={parity['manifest_digest_identical']}"
+        )
+        if not parity["manifest_digest_identical"]:
+            print("[bench_shard] FAIL: sharded save diverged from flat save")
+            return 1
+
+        rss = bench_rss(root, sizes)
+        largest_dir = rss.pop("_largest_dir")
+        print(
+            f"[bench_shard] rss over {rss['models_small']}->"
+            f"{rss['models_large']} models: mmap peak "
+            f"{rss['mmap_peak_ratio']}x, resident delta "
+            f"{rss['resident_growth']}x, resident/mmap at largest "
+            f"{rss['resident_vs_mmap']}x"
+        )
+        if not smoke:
+            if rss["mmap_peak_ratio"] > MMAP_FLAT_BOUND:
+                print(
+                    f"[bench_shard] FAIL: mmap peak RSS grew "
+                    f"{rss['mmap_peak_ratio']}x (> {MMAP_FLAT_BOUND}x) over "
+                    f"a {rss['models_large'] // rss['models_small']}x lake"
+                )
+                return 1
+            if rss["resident_growth"] < RESIDENT_GROWTH_FLOOR:
+                print(
+                    f"[bench_shard] FAIL: resident RSS delta grew only "
+                    f"{rss['resident_growth']}x (< {RESIDENT_GROWTH_FLOOR}x); "
+                    "the materialized control is not measuring blob growth"
+                )
+                return 1
+            if rss["resident_vs_mmap"] < RESIDENT_VS_MMAP_FLOOR:
+                print(
+                    f"[bench_shard] FAIL: materializing the largest lake "
+                    f"cost only {rss['resident_vs_mmap']}x the mmap working "
+                    f"set (< {RESIDENT_VS_MMAP_FLOOR}x)"
+                )
+                return 1
+        elif rss["mmap_peak_large_kb"] > rss["resident_delta_large_kb"] \
+                + rss["mmap_peak_small_kb"]:
+            # Tiny smoke lakes sit inside allocator noise; only the
+            # ordering of the two modes is a meaningful gate there.
+            print(
+                "[bench_shard] FAIL: mmap peak exceeded the resident "
+                "working set even at smoke scale"
+            )
+            return 1
+
+        fsck = bench_fsck(largest_dir, workers=fsck_workers)
+        print(
+            f"[bench_shard] fsck: {fsck['files_scanned']} files, "
+            f"seq {fsck['sequential_seconds']}s, "
+            f"x{fsck['workers']} {fsck['parallel_seconds']}s "
+            f"({fsck['speedup']}x), clean={fsck['clean']}"
+        )
+        if not fsck["clean"]:
+            print("[bench_shard] FAIL: fsck found problems in a fresh lake")
+            return 1
+
+    results = [
+        BenchResult(bench="shard.layout", mode=mode, metrics={
+            "models": float(parity["models"]),
+            "save_flat_seconds": parity["save_flat_seconds"],
+            "save_sharded_seconds": parity["save_sharded_seconds"],
+            "manifest_digest_identical":
+                float(parity["manifest_digest_identical"]),
+        }),
+        BenchResult(bench="shard.rss", mode=mode, metrics={
+            "models_small": float(rss["models_small"]),
+            "models_large": float(rss["models_large"]),
+            "baseline_kb": float(rss["baseline_kb"]),
+            "mmap_peak_small_kb": float(rss["mmap_peak_small_kb"]),
+            "mmap_peak_large_kb": float(rss["mmap_peak_large_kb"]),
+            "mmap_peak_ratio": rss["mmap_peak_ratio"],
+            "mmap_delta_large_kb": float(rss["mmap_delta_large_kb"]),
+            "resident_delta_small_kb":
+                float(rss["resident_delta_small_kb"]),
+            "resident_delta_large_kb":
+                float(rss["resident_delta_large_kb"]),
+            "resident_growth": rss["resident_growth"],
+            "resident_vs_mmap": rss["resident_vs_mmap"],
+        }),
+        BenchResult(bench="shard.fsck", mode=mode, metrics={
+            "files_scanned": float(fsck["files_scanned"]),
+            "sequential_seconds": fsck["sequential_seconds"],
+            "workers": float(fsck["workers"]),
+            "parallel_seconds": fsck["parallel_seconds"],
+            "speedup": fsck["speedup"],
+        }),
+    ]
+    if record or not smoke:
+        for result in results:
+            path = append_result(results_dir, result)
+            print(f"[bench_shard] recorded {result.bench} -> {path}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick determinism gate for CI (tiny lakes)")
+    parser.add_argument("--record", action="store_true",
+                        help="append to the trajectory even in smoke mode")
+    parser.add_argument("--results", default=DEFAULT_RESULTS,
+                        help=f"trajectory location (default {DEFAULT_RESULTS})")
+    parser.add_argument("--child", choices=("baseline", "mmap", "resident"),
+                        help=argparse.SUPPRESS)  # internal RSS probe
+    parser.add_argument("--dir", default="", help=argparse.SUPPRESS)
+    args = parser.parse_args()
+    if args.child:
+        print(_child_rss(args.child, args.dir))
+        return 0
+    return run(smoke=args.smoke, record=args.record, results_dir=args.results)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Crash-safety rules guarding the lake's on-disk artifacts.
+"""Crash-safety and memory-safety rules guarding the lake's artifacts.
 
 * ``raw-artifact-write`` — artifact-layer modules (``repro.lake``,
   ``repro.index``) must write files through
@@ -8,6 +8,12 @@
   atomic helpers guarantee readers only ever observe the old or the new
   bytes.  The rule is *baseline-exempt*: a grandfathered raw write is
   still a corruption bug, so the suppression ledger cannot hide it.
+* ``whole-file-read`` — the same modules must not materialize whole
+  artifacts just to read them: a bare ``numpy.load`` (no ``mmap_mode``)
+  or a ``.read_bytes()`` call re-grows the linear resident footprint
+  the out-of-core weight store exists to avoid.  Intentional
+  whole-file reads (small npz shards, legacy-format loaders) carry a
+  ``# repro: noqa[whole-file-read]`` pragma or a baseline entry.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from typing import Iterator
 
 from repro.analysis.core import FileContext, Finding, Rule, register
 
-__all__ = ["RawArtifactWrite"]
+__all__ = ["RawArtifactWrite", "WholeFileRead"]
 
 #: Packages whose files land inside persisted lake directories.
 _ARTIFACT_PREFIXES = ("src/repro/lake/", "src/repro/index/")
@@ -88,4 +94,50 @@ class RawArtifactWrite(Rule):
                     "artifact-layer module; use "
                     "repro.reliability.atomic.atomic_write_npz for "
                     "crash-safe archives",
+                )
+
+
+@register
+class WholeFileRead(Rule):
+    """Artifact reads must stream or memmap, never slurp whole files."""
+
+    name = "whole-file-read"
+    description = (
+        "whole-file read in an artifact-layer module; memmap or stream "
+        "instead so resident memory stays flat in the lake size"
+    )
+    version = 1
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.rel_path.startswith(_ARTIFACT_PREFIXES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.imports.qualified(node.func)
+            if qualified == "numpy.load":
+                has_mmap = any(
+                    keyword.arg == "mmap_mode" for keyword in node.keywords
+                )
+                if not has_mmap:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "numpy.load without mmap_mode materializes the "
+                        "whole archive; open weight bundles via "
+                        "repro.utils.serialization.open_arrays_memmap (or "
+                        "pass mmap_mode), and mark small intentional "
+                        "reads with a noqa pragma",
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "read_bytes"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    ".read_bytes() materializes the whole file; verify "
+                    "with repro.reliability.digest.stream_digest and read "
+                    "arrays through a memmap instead",
                 )

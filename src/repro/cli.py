@@ -2,8 +2,9 @@
 
 Subcommands::
 
-    python -m repro generate --dir LAKE_DIR [--seed N] [--resume] ...
-    python -m repro fsck     LAKE_DIR [--repair] [--json]
+    python -m repro generate --dir LAKE_DIR [--seed N] [--resume] [--shard] ...
+    python -m repro fsck     LAKE_DIR [--repair] [--workers N] [--json]
+    python -m repro migrate  --dir LAKE_DIR [--shard | --flat]
     python -m repro stats    --dir LAKE_DIR [--json]
     python -m repro search   --dir LAKE_DIR --query TEXT [--method M] [-k N]
     python -m repro query    --dir LAKE_DIR --q "FIND MODELS WHERE ..."
@@ -55,7 +56,7 @@ from repro.core.docgen import CardGenerator
 from repro.core.search import SearchEngine, execute_query
 from repro.data.probes import make_text_probes
 from repro.errors import AmbiguousModelNameError, ModelNotFoundError, ReproError
-from repro.lake import LakeSpec, load_lake, save_lake
+from repro.lake import LakeSpec, load_lake, migrate_lake
 from repro.lake.generator import LakeGenerator
 from repro.lake.stats import compute_statistics
 from repro.obs import JSONLExporter, get_registry, trace, tracing
@@ -131,7 +132,7 @@ def _cmd_generate(args) -> int:
         resume=args.resume,
     )
     bundle = generator.generate()
-    save_lake(bundle.lake, args.dir)
+    bundle.save(args.dir, sharded=True if args.shard else None)
     # Only now is the lake durable; a crash during save_lake above would
     # still have been resumable from the retained checkpoints.
     generator.clear_checkpoint()
@@ -140,9 +141,29 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_migrate(args) -> int:
+    sharded = None
+    if args.shard:
+        sharded = True
+    elif args.flat:
+        sharded = False
+    summary = migrate_lake(args.dir, sharded=sharded)
+    layout = summary["to_layout"]
+    placement = (
+        f"sharded (prefix_len={layout['prefix_len']})"
+        if layout["sharded"] else "flat"
+    )
+    print(
+        f"migrated {summary['models']} model(s) in {args.dir} to "
+        f"{placement} layout; removed {summary['removed_files']} "
+        f"stale file(s)"
+    )
+    return 0
+
+
 def _cmd_fsck(args) -> int:
     try:
-        report = fsck_lake(args.dir, repair=args.repair)
+        report = fsck_lake(args.dir, repair=args.repair, workers=args.workers)
     except FileNotFoundError as error:
         # fsck deliberately avoids the lake loader, so the missing-dir
         # error arrives as OSError rather than a ReproError; map it onto
@@ -476,6 +497,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a previously interrupted generation from its "
              "wave checkpoints",
     )
+    generate.add_argument(
+        "--shard", action="store_true",
+        help="force the sharded on-disk layout regardless of lake size "
+             "(default: auto-shard large lakes)",
+    )
     generate.set_defaults(func=_cmd_generate)
 
     fsck = sub.add_parser(
@@ -485,9 +511,23 @@ def build_parser() -> argparse.ArgumentParser:
     fsck.add_argument("--repair", action="store_true",
                       help="quarantine corrupt artifacts and remove "
                            "stale temp files")
+    fsck.add_argument("--workers", type=int, default=1,
+                      help="parallel weight-check workers (the report is "
+                           "identical for any value)")
     fsck.add_argument("--json", action="store_true",
                       help="emit machine-readable JSON")
     fsck.set_defaults(func=_cmd_fsck)
+
+    migrate = sub.add_parser(
+        "migrate", help="rewrite a saved lake to the current on-disk layout"
+    )
+    migrate.add_argument("--dir", required=True)
+    placement = migrate.add_mutually_exclusive_group()
+    placement.add_argument("--shard", action="store_true",
+                           help="force the sharded layout")
+    placement.add_argument("--flat", action="store_true",
+                           help="force the flat (unsharded) layout")
+    migrate.set_defaults(func=_cmd_migrate)
 
     stats = sub.add_parser("stats", help="lake statistics")
     stats.add_argument("--dir", required=True)

@@ -84,8 +84,10 @@ class BehavioralSearcher:
     """Behavioral index over a lake with the three query shapes.
 
     ``index_backend`` selects the ANN structure: ``"flat"`` (exact, the
-    default at laptop scale) or ``"hnsw"`` (sublinear, the §5 indexer for
-    large lakes).
+    default at laptop scale), ``"hnsw"`` (sublinear, the §5 indexer for
+    large lakes), or ``"sharded"`` (one HNSW graph per weight-digest
+    shard, built via the wave executor and merged deterministically —
+    the out-of-core story for sharded lakes).
 
     Profiles are computed in one batch and fed to the index's bulk
     ``build``; a :class:`~repro.index.cache.EmbeddingCache` (keyed by
@@ -99,25 +101,38 @@ class BehavioralSearcher:
         probes: ProbeSet,
         index_backend: str = "flat",
         cache: Optional[EmbeddingCache] = None,
+        index_workers: int = 1,
     ):
         self.lake = lake
         self.probes = probes
         self.embedder = BehavioralEmbedder(probes)
+        layout = getattr(lake, "storage_layout", None)
         if index_backend == "flat":
             self._index = FlatIndex()
         elif index_backend == "hnsw":
             from repro.index.hnsw import HNSWIndex
 
             self._index = HNSWIndex(m=8, ef_construction=64, ef_search=48, seed=0)
+        elif index_backend == "sharded":
+            from repro.index.sharded import ShardedIndex
+
+            self._index = ShardedIndex(
+                backend="hnsw",
+                prefix_len=layout.prefix_len if layout is not None else 2,
+                workers=index_workers,
+                m=8, ef_construction=64, ef_search=48, seed=0,
+            )
         else:
             raise ConfigError(
-                f"unknown index_backend {index_backend!r}; expected flat|hnsw"
+                f"unknown index_backend {index_backend!r}; "
+                f"expected flat|hnsw|sharded"
             )
         self.index_backend = index_backend
         self._profiles: Dict[str, np.ndarray] = {}
         space = self.embedder.space_key
         ids: List[str] = []
         vectors: List[np.ndarray] = []
+        digests: List[str] = []
         for record in lake:
             vector = (
                 cache.get(space, record.weights_digest)
@@ -131,8 +146,16 @@ class BehavioralSearcher:
             self._profiles[record.model_id] = vector
             ids.append(record.model_id)
             vectors.append(vector)
+            digests.append(record.weights_digest)
         if ids:
-            self._index.build(ids, np.stack(vectors))
+            if index_backend == "sharded":
+                # Shard keys mirror the lake's on-disk partition, so a
+                # shard's index is built from exactly the blobs that
+                # live together.
+                keys = [d[: self._index.prefix_len] for d in digests]
+                self._index.build(ids, np.stack(vectors), keys=keys)
+            else:
+                self._index.build(ids, np.stack(vectors))
 
     @property
     def index(self):

@@ -30,6 +30,7 @@ from repro.errors import ConfigError, ModelNotFoundError
 from repro.index.cache import EmbeddingCache
 from repro.index.embedders import WeightStatEmbedder
 from repro.index.flat import FlatIndex
+from repro.index.sharded import ShardedIndex
 from repro.lake.lake import ModelLake
 from repro.nn.module import Module
 from repro.obs import metrics as obs_metrics
@@ -86,25 +87,35 @@ class SearchEngine:
         index_backend: str = "flat",
         cache_dir: Optional[str] = None,
         cache: Optional[EmbeddingCache] = None,
+        index_workers: int = 1,
     ):
         if not 0.0 <= hybrid_alpha <= 1.0:
             raise ConfigError(f"hybrid_alpha must be in [0, 1], got {hybrid_alpha}")
         self.lake = lake
         self.probes = probes or make_text_probes()
         self.hybrid_alpha = hybrid_alpha
+        # On a sharded lake the embedding cache shards by the same digest
+        # prefix as the weight store, so a rebuild only opens the cache
+        # shards it actually touches.
+        layout = getattr(lake, "storage_layout", None)
+        sharded = layout is not None and layout.sharded
         if cache is None and cache_dir is not None:
-            cache = EmbeddingCache(cache_dir)
+            cache = EmbeddingCache(
+                cache_dir,
+                prefix_len=layout.prefix_len if sharded else None,
+            )
         self.cache = cache
         with trace("search.engine.build", models=len(lake), backend=index_backend):
             self.keyword_index: BM25Index = build_card_index(lake)
             self.behavioral: BehavioralSearcher = BehavioralSearcher(
-                lake, self.probes, index_backend=index_backend, cache=cache
+                lake, self.probes, index_backend=index_backend, cache=cache,
+                index_workers=index_workers,
             )
             self._weight_embedder = WeightStatEmbedder()
-            self._weight_index = FlatIndex()
             space = self._weight_embedder.space_key
             ids: List[str] = []
             vectors: List[np.ndarray] = []
+            digests: List[str] = []
             for record in lake:
                 vector = (
                     cache.get(space, record.weights_digest)
@@ -117,8 +128,21 @@ class SearchEngine:
                         cache.put(space, record.weights_digest, vector)
                 ids.append(record.model_id)
                 vectors.append(vector)
-            if ids:
-                self._weight_index.build(ids, np.stack(vectors))
+                digests.append(record.weights_digest)
+            if sharded:
+                # Per-shard exact scans merged by (-score, id): identical
+                # results to one global flat index, built shard-by-shard.
+                self._weight_index = ShardedIndex(
+                    backend="flat", prefix_len=layout.prefix_len,
+                    workers=index_workers,
+                )
+                if ids:
+                    keys = [d[: layout.prefix_len] for d in digests]
+                    self._weight_index.build(ids, np.stack(vectors), keys=keys)
+            else:
+                self._weight_index = FlatIndex()
+                if ids:
+                    self._weight_index.build(ids, np.stack(vectors))
             if cache is not None:
                 cache.flush()
         obs_metrics.inc(SEARCH_ENGINE_BUILDS)

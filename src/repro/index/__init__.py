@@ -14,10 +14,11 @@ from repro.index.hnsw import HNSWIndex
 from repro.index.lsh import LSHIndex
 from repro.index.hybrid import HybridIndex
 from repro.index.metrics import measure_recall, recall_at_k
+from repro.index.sharded import ShardedIndex
 
 __all__ = [
     "BehavioralEmbedder", "ConcatEmbedder", "EmbeddingCache",
     "MetadataEmbedder", "OutputEmbedder", "WeightStatEmbedder",
     "l2_normalize", "FlatIndex", "HNSWIndex", "LSHIndex", "HybridIndex",
-    "measure_recall", "recall_at_k",
+    "ShardedIndex", "measure_recall", "recall_at_k",
 ]

@@ -10,14 +10,18 @@ and its configuration; any model whose digest is cached skips
 rehydration and embedding entirely.
 
 On disk each space is one ``.npz`` under the cache directory
-(conventionally ``<lake>/cache/``) mapping digests to vectors, so warm
-rebuilds across processes cost one file read.
+(conventionally ``<lake>/cache/``) mapping digests to vectors — or,
+when the lake itself is sharded, one ``.npz`` *per digest-prefix shard*
+under ``embeddings-<space>/<pp>.npz``.  Sharded spaces load lazily, a
+shard at a time as digests are looked up, so a warm rebuild touching a
+slice of the lake never materializes the whole cache; and each flush
+rewrites only the shards that actually changed.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -35,36 +39,57 @@ class EmbeddingCache:
     ``directory=None`` keeps the cache purely in-memory, which still
     dedups embeddings within a process; with a directory, spaces are
     persisted as ``embeddings-<space>.npz`` and survive across runs.
+    ``prefix_len`` (matching the lake's
+    :class:`~repro.lake.shard.ShardLayout`) shards each space by digest
+    prefix instead.
     """
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(
+        self, directory: Optional[str] = None, prefix_len: Optional[int] = None
+    ):
         self._directory = directory
-        self._spaces: Dict[str, Dict[str, np.ndarray]] = {}
-        self._dirty: Set[str] = set()
+        self._prefix_len = prefix_len
+        #: space -> shard key -> digest -> vector.  Unsharded caches use
+        #: the single shard key "".
+        self._spaces: Dict[str, Dict[str, Dict[str, np.ndarray]]] = {}
+        self._dirty: Set[Tuple[str, str]] = set()
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
 
     # ------------------------------------------------------------------
-    def _path(self, space: str) -> str:
+    def _shard_of(self, digest: str) -> str:
+        return digest[: self._prefix_len] if self._prefix_len else ""
+
+    def _path(self, space: str, shard: str) -> str:
         assert self._directory is not None
+        if shard:
+            return os.path.join(
+                self._directory, f"embeddings-{space}", f"{shard}.npz"
+            )
         return os.path.join(self._directory, f"embeddings-{space}.npz")
 
-    def _load_space(self, space: str) -> Dict[str, np.ndarray]:
-        vectors = self._spaces.get(space)
+    def _load_shard(self, space: str, shard: str) -> Dict[str, np.ndarray]:
+        shards = self._spaces.setdefault(space, {})
+        vectors = shards.get(shard)
         if vectors is not None:
             return vectors
         vectors = {}
-        if self._directory is not None and os.path.exists(self._path(space)):
-            with np.load(self._path(space)) as archive:
-                vectors = {digest: archive[digest] for digest in archive.files}
-            _log.debug("space.loaded", space=space, entries=len(vectors))
-        self._spaces[space] = vectors
+        if self._directory is not None:
+            path = self._path(space, shard)
+            if os.path.exists(path):
+                with np.load(path) as archive:  # repro: noqa[whole-file-read]
+                    vectors = {digest: archive[digest] for digest in archive.files}
+                _log.debug(
+                    "shard.loaded", space=space, shard=shard or "-",
+                    entries=len(vectors),
+                )
+        shards[shard] = vectors
         return vectors
 
     # ------------------------------------------------------------------
     def get(self, space: str, digest: str) -> Optional[np.ndarray]:
         """Cached embedding for ``digest`` in ``space``, or None."""
-        vector = self._load_space(space).get(digest)
+        vector = self._load_shard(space, self._shard_of(digest)).get(digest)
         if vector is None:
             obs_metrics.inc(EMBED_CACHE_MISSES)
             return None
@@ -72,20 +97,32 @@ class EmbeddingCache:
         return vector
 
     def put(self, space: str, digest: str, vector: np.ndarray) -> None:
-        self._load_space(space)[digest] = np.asarray(vector, dtype=np.float64)
-        self._dirty.add(space)
+        shard = self._shard_of(digest)
+        self._load_shard(space, shard)[digest] = np.asarray(
+            vector, dtype=np.float64
+        )
+        self._dirty.add((space, shard))
 
     def __len__(self) -> int:
-        return sum(len(vectors) for vectors in self._spaces.values())
+        return sum(
+            len(vectors)
+            for shards in self._spaces.values()
+            for vectors in shards.values()
+        )
 
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        """Persist dirty spaces to disk (atomic per space); no-op in memory mode."""
+        """Persist dirty shards to disk (atomic per file); no-op in memory mode."""
         if self._directory is None:
             self._dirty.clear()
             return
-        for space in sorted(self._dirty):
-            vectors = self._spaces[space]
-            atomic_write_npz(self._path(space), vectors)
-            _log.debug("space.flushed", space=space, entries=len(vectors))
+        for space, shard in sorted(self._dirty):
+            vectors = self._spaces[space][shard]
+            path = self._path(space, shard)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            atomic_write_npz(path, vectors)
+            _log.debug(
+                "shard.flushed", space=space, shard=shard or "-",
+                entries=len(vectors),
+            )
         self._dirty.clear()

@@ -270,6 +270,12 @@ class HNSWIndex:
         This diversifies edges across clusters, which is what keeps the
         graph navigable on clustered data.  Falls back to closest-first
         fill if the heuristic selects fewer than m.
+
+        The vectorized path scores a candidate against all selected
+        neighbors with one matrix-vector product; the scalar path
+        evaluates the same pair distances one at a time (no
+        short-circuit), so both paths build identical graphs from an
+        identical number of distance computations.
         """
         selected: List[Tuple[float, int]] = []
         skipped: List[Tuple[float, int]] = []
@@ -277,10 +283,20 @@ class HNSWIndex:
             if len(selected) >= m:
                 break
             vec = self._matrix[node]
-            diverse = all(
-                dist < 1.0 - float(vec @ self._matrix[other])
-                for _, other in selected
-            )
+            if not selected:
+                diverse = True
+            elif self.vectorized:
+                pair_dists = self._batch_distances(
+                    [other for _, other in selected], vec
+                )
+                diverse = bool(np.all(dist < pair_dists))
+            else:
+                self._distance_count += len(selected)
+                pair_dists = [
+                    1.0 - float(vec @ self._matrix[other])
+                    for _, other in selected
+                ]
+                diverse = all(dist < pair for pair in pair_dists)
             if diverse:
                 selected.append((dist, node))
             else:

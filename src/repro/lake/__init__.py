@@ -13,7 +13,8 @@ from repro.lake.generator import (
     generate_lake,
 )
 from repro.lake.corruption import CardCorruptor, CorruptionReport, CORRUPTIBLE_FIELDS
-from repro.lake.persist import load_lake, save_lake
+from repro.lake.persist import load_lake, migrate_lake, save_lake
+from repro.lake.shard import ShardLayout
 from repro.lake.stats import LakeStatistics, compute_statistics
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "DEFAULT_TRANSFORM_MIX", "GeneratedLake", "LakeGenerator",
     "LakeGroundTruth", "LakeSpec", "generate_lake",
     "CardCorruptor", "CorruptionReport", "CORRUPTIBLE_FIELDS",
-    "load_lake", "save_lake",
+    "load_lake", "migrate_lake", "save_lake",
+    "ShardLayout",
     "LakeStatistics", "compute_statistics",
 ]

@@ -197,6 +197,24 @@ class GeneratedLake:
     def num_models(self) -> int:
         return len(self.lake)
 
+    def save(
+        self,
+        directory: str,
+        sharded: Optional[bool] = None,
+        prefix_len: Optional[int] = None,
+    ) -> None:
+        """Persist the generated lake (see :func:`repro.lake.persist.save_lake`).
+
+        ``sharded`` picks the on-disk layout; like ``workers`` it is
+        pure physics — the saved manifest digest is identical either
+        way, so generation pipelines may re-shard freely.  ``None``
+        auto-shards large lakes.
+        """
+        from repro.lake.persist import save_lake
+
+        kwargs = {} if prefix_len is None else {"prefix_len": prefix_len}
+        save_lake(self.lake, directory, sharded=sharded, **kwargs)
+
 
 @dataclass
 class _PlannedModel:

@@ -46,6 +46,10 @@ class ModelLake:
         self._datasets = DatasetRegistry()
         self._clock = 0
         self._id_counter = itertools.count()
+        #: Shard layout of the persisted lake this instance was loaded
+        #: from, or None for an in-memory / pre-shard lake.  Search and
+        #: embedding caches use it to group work by digest prefix.
+        self.storage_layout = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -90,6 +94,23 @@ class ModelLake:
             self._records[model_id] = record
             obs_metrics.inc(LAKE_MODELS_ADDED)
             return record
+
+    def register_record(self, record: ModelRecord) -> None:
+        """Insert a fully-built record without touching the weight store.
+
+        The out-of-core load path (:func:`repro.lake.persist.load_lake`
+        on a v2 lake) reconstructs records straight from the manifest
+        and leaves weights on disk behind a read-layer
+        :class:`WeightStore`; rehydrating every model just to re-put its
+        weights would defeat lazy loading.  The caller owns clock and
+        digest bookkeeping.
+        """
+        if record.model_id in self._records:
+            raise DuplicateIdError(
+                f"model id already registered: {record.model_id!r}"
+            )
+        self._records[record.model_id] = record
+        obs_metrics.inc(LAKE_MODELS_ADDED)
 
     # ------------------------------------------------------------------
     # Access (with viewpoint visibility rules)

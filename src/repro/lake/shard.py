@@ -1,0 +1,116 @@
+"""Shard layout of a persisted lake: digest-prefix partitioning.
+
+A v2 lake partitions its heavy artifacts by the first ``prefix_len``
+hex characters of each weight digest:
+
+* weight bundles live at ``weights/<pp>/<digest>.rwb`` (flat
+  ``weights/<digest>.rwb`` when unsharded),
+* the manifest's per-file integrity entries for weights are split into
+  ``shards/<pp>.json`` fragments so the root manifest stays small,
+* embedding caches and index builds group by the same prefix, which is
+  what lets search open shards lazily and build indexes shard-parallel.
+
+The layout is recorded in the manifest's ``integrity`` section —
+*outside* the manifest body digest — so a sharded and an unsharded save
+of the same lake commit byte-identical bodies (same records, same
+weight digests, same ``manifest_digest``): sharding is pure placement,
+never identity.
+
+Because digests are uniform hex, 2-character prefixes give 256 shards
+of near-equal size; at the paper's 10k–100k-model scale that is a few
+hundred models per shard, small enough to index in one worker and large
+enough to amortize per-file costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "LAYOUT_VERSION",
+    "WEIGHT_EXT",
+    "LEGACY_WEIGHT_EXT",
+    "WEIGHTS_DIR",
+    "SHARDS_DIR",
+    "DEFAULT_PREFIX_LEN",
+    "AUTO_SHARD_MIN_MODELS",
+    "ShardLayout",
+]
+
+#: On-disk layout generation written by the current ``save_lake``.
+LAYOUT_VERSION = 2
+
+#: Raw weight-bundle extension (``repro.utils.serialization.pack_arrays``).
+WEIGHT_EXT = ".rwb"
+
+#: Pre-shard (v1) lakes stored npz archives.
+LEGACY_WEIGHT_EXT = ".npz"
+
+WEIGHTS_DIR = "weights"
+SHARDS_DIR = "shards"
+
+DEFAULT_PREFIX_LEN = 2
+
+#: ``save_lake(sharded=None)`` shards automatically at this size: below
+#: it, flat directories are simpler and every per-shard file would hold
+#: a handful of entries.
+AUTO_SHARD_MIN_MODELS = 512
+
+
+@dataclass(frozen=True)
+class ShardLayout:
+    """How one persisted lake places weight blobs and integrity data."""
+
+    sharded: bool = False
+    prefix_len: int = DEFAULT_PREFIX_LEN
+    version: int = LAYOUT_VERSION
+    format: str = "rwb"
+
+    def shard_of(self, digest: str) -> str:
+        """The shard key of a digest ('' when the layout is flat)."""
+        return digest[: self.prefix_len] if self.sharded else ""
+
+    def weight_rel(self, digest: str) -> str:
+        """Lake-relative posix path of a digest's weight bundle."""
+        if self.sharded:
+            return f"{WEIGHTS_DIR}/{digest[: self.prefix_len]}/{digest}{WEIGHT_EXT}"
+        return f"{WEIGHTS_DIR}/{digest}{WEIGHT_EXT}"
+
+    def weight_subpath(self, digest: str) -> str:
+        """Path relative to the weights directory itself."""
+        if self.sharded:
+            return f"{digest[: self.prefix_len]}/{digest}{WEIGHT_EXT}"
+        return f"{digest}{WEIGHT_EXT}"
+
+    def shard_rel(self, key: str) -> str:
+        """Lake-relative path of a shard's integrity fragment."""
+        return f"{SHARDS_DIR}/{key}.json"
+
+    def group(self, digests: Iterable[str]) -> Dict[str, List[str]]:
+        """Digests grouped by shard key, keys sorted, order preserved."""
+        groups: Dict[str, List[str]] = {}
+        for digest in digests:
+            groups.setdefault(self.shard_of(digest), []).append(digest)
+        return {key: groups[key] for key in sorted(groups)}
+
+    def to_manifest(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "format": self.format,
+            "sharded": self.sharded,
+            "prefix_len": self.prefix_len,
+        }
+
+    @classmethod
+    def from_manifest(cls, payload: Optional[Dict]) -> Optional["ShardLayout"]:
+        """Layout recorded in a manifest's integrity section, or None
+        (a pre-shard v1 lake, whose weights are flat npz archives)."""
+        if not payload:
+            return None
+        return cls(
+            sharded=bool(payload.get("sharded", False)),
+            prefix_len=int(payload.get("prefix_len", DEFAULT_PREFIX_LEN)),
+            version=int(payload.get("version", LAYOUT_VERSION)),
+            format=str(payload.get("format", "rwb")),
+        )

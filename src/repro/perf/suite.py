@@ -119,6 +119,66 @@ def bench_search(mode: str) -> Dict[str, float]:
 
 
 @register_bench(
+    "shard",
+    description="sharded save/lazy-load/fsck vs flat layout, digest parity",
+    tolerances={"sharded_save_seconds": WALL_CLOCK_TOLERANCE,
+                "lazy_load_seconds": WALL_CLOCK_TOLERANCE,
+                "fsck_seconds": WALL_CLOCK_TOLERANCE},
+)
+def bench_shard(mode: str) -> Dict[str, float]:
+    import json
+    import os
+
+    from repro.lake import load_lake, save_lake
+    from repro.reliability.fsck import fsck_lake
+
+    bundle = _build_lake(mode)
+    workers = 1 if mode == "smoke" else 2
+    with tempfile.TemporaryDirectory() as root:
+        flat_dir = os.path.join(root, "flat")
+        shard_dir = os.path.join(root, "sharded")
+        save_lake(bundle.lake, flat_dir, sharded=False)
+        start = time.perf_counter()
+        save_lake(bundle.lake, shard_dir, sharded=True)
+        sharded_save = time.perf_counter() - start
+
+        # The layout is pure physics: both saves must describe the same
+        # lake, digest for digest.
+        digests = []
+        for directory in (flat_dir, shard_dir):
+            with open(os.path.join(directory, "manifest.json")) as fh:
+                digests.append(json.load(fh)["integrity"]["manifest_digest"])
+        if digests[0] != digests[1]:
+            raise AssertionError(
+                f"sharded manifest digest {digests[1]} != flat {digests[0]}"
+            )
+
+        start = time.perf_counter()
+        lake = load_lake(shard_dir)  # lazy: weights stay on disk, mmapped
+        lazy_load = time.perf_counter() - start
+        models = len(list(lake))
+        # Touch one model end-to-end so the lazy path is actually read.
+        first = sorted(record.model_id for record in lake)[0]
+        lake.get_model(first, force=True)
+
+        start = time.perf_counter()
+        report = fsck_lake(shard_dir, workers=workers)
+        fsck = time.perf_counter() - start
+        if not report.clean:
+            raise AssertionError(
+                f"fsck found problems in a freshly saved sharded lake: "
+                f"{[f.kind for f in report.findings]}"
+            )
+    return {
+        "models": float(models),
+        "sharded_save_seconds": round(sharded_save, 3),
+        "lazy_load_seconds": round(lazy_load, 3),
+        "fsck_seconds": round(fsck, 3),
+        "manifest_digest_identical": 1.0,
+    }
+
+
+@register_bench(
     "hnsw",
     description="vectorized HNSW build and query latency",
     tolerances={"build_seconds": WALL_CLOCK_TOLERANCE,

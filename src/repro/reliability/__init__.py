@@ -18,12 +18,14 @@ can lose power mid-write.  Four pieces:
 """
 
 from repro.reliability.atomic import (
+    atomic_copy_file,
     atomic_write_bytes,
     atomic_write_json,
     atomic_write_npz,
     fsync_directory,
 )
 from repro.reliability.checkpoint import WaveCheckpoint
+from repro.reliability.digest import STREAM_CHUNK_BYTES, stream_digest
 from repro.reliability.faults import (
     FaultPlan,
     FaultRule,
@@ -34,6 +36,9 @@ from repro.reliability.faults import (
 from repro.reliability.fsck import FsckFinding, FsckReport, fsck_lake
 
 __all__ = [
+    "atomic_copy_file",
+    "STREAM_CHUNK_BYTES",
+    "stream_digest",
     "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_npz",

@@ -38,6 +38,7 @@ from repro.obs.instrument import (
 from repro.reliability import faults
 
 __all__ = [
+    "atomic_copy_file",
     "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_npz",
@@ -102,6 +103,59 @@ def atomic_write_bytes(path: str, data: bytes, fsync: bool = True) -> None:
         fsync_directory(directory)
     obs_metrics.inc(RELIABILITY_ATOMIC_WRITES)
     obs_metrics.inc(RELIABILITY_ATOMIC_BYTES, len(data))
+
+
+def atomic_copy_file(
+    source: str, path: str, fsync: bool = True,
+    chunk_bytes: int = 1 << 20,
+) -> int:
+    """Atomically replace ``path`` with the bytes of ``source``, streamed.
+
+    The out-of-core analogue of :func:`atomic_write_bytes`: the source
+    is never materialized in memory, so exporting a multi-gigabyte
+    weight shard costs one chunk buffer.  Same crash contract, same
+    fault-injection points (keyed on the *destination* basename), and
+    copying a file onto itself is safe — the source stays readable
+    until the final rename.  Returns the number of bytes copied.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    name = os.path.basename(path)
+    faults.raise_if_triggered(faults.WRITE_BEGIN, name)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=f".{name}.", suffix=".tmp"
+    )
+    copied = 0
+    try:
+        with os.fdopen(fd, "wb") as handle, open(source, "rb") as reader:
+            rule = faults.trigger(faults.WRITE_DATA, name)
+            if rule is not None:
+                handle.write(reader.read(rule.truncate_at or 0))
+                handle.flush()
+                raise faults.InjectedFault(
+                    f"injected fault: write.data on {name!r} "
+                    f"after {rule.truncate_at or 0} byte(s)"
+                )
+            while True:
+                chunk = reader.read(chunk_bytes)
+                if not chunk:
+                    break
+                handle.write(chunk)
+                copied += len(chunk)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        faults.raise_if_triggered(faults.WRITE_RENAME, name)
+        os.replace(tmp_path, path)
+    except BaseException as exc:
+        if not isinstance(exc, faults.InjectedFault):
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_path)
+        raise
+    if fsync:
+        fsync_directory(directory)
+    obs_metrics.inc(RELIABILITY_ATOMIC_WRITES)
+    obs_metrics.inc(RELIABILITY_ATOMIC_BYTES, copied)
+    return copied
 
 
 def atomic_write_json(

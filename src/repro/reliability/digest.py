@@ -1,0 +1,45 @@
+"""Chunked streaming digests: hash artifacts without materializing them.
+
+``WeightStore.blob`` used to read a whole file into memory just to hash
+it, and fsck did the same for every artifact it audited — an O(file)
+resident cost that defeats an out-of-core lake.  These helpers compute
+the same sha256-prefix digests the content-addressed stores use, but
+stream the file through a fixed-size buffer, so verifying a 10 GB shard
+costs the same memory as verifying a 10 KB one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import BinaryIO
+
+__all__ = ["STREAM_CHUNK_BYTES", "stream_digest", "stream_digest_fileobj"]
+
+#: Read granularity: large enough to amortize syscalls, small enough
+#: that the working set stays cache-resident.
+STREAM_CHUNK_BYTES = 1 << 20
+
+
+def stream_digest_fileobj(
+    handle: BinaryIO, length: int = 16, chunk_bytes: int = STREAM_CHUNK_BYTES
+) -> str:
+    """Hex sha256 prefix of everything readable from ``handle``."""
+    hasher = hashlib.sha256()
+    while True:
+        chunk = handle.read(chunk_bytes)
+        if not chunk:
+            break
+        hasher.update(chunk)
+    return hasher.hexdigest()[:length]
+
+
+def stream_digest(
+    path: str, length: int = 16, chunk_bytes: int = STREAM_CHUNK_BYTES
+) -> str:
+    """Hex sha256 prefix of a file's bytes, streamed in chunks.
+
+    Equivalent to ``bytes_digest(open(path, 'rb').read(), length)``
+    with O(chunk) instead of O(file) memory.
+    """
+    with open(path, "rb") as handle:
+        return stream_digest_fileobj(handle, length=length, chunk_bytes=chunk_bytes)

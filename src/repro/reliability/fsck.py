@@ -10,7 +10,7 @@ kind                 severity   meaning
 ===================  =========  ================================================
 ``manifest-missing`` error      no ``manifest.json``; not a lake (or one whose
                                 very first save never committed)
-``manifest-corrupt`` error      manifest exists but does not parse
+``manifest-corrupt`` error      manifest (or a shard fragment) does not parse
 ``manifest-digest``  error      manifest body does not match its own integrity
                                 digest (hand-edited or bit-rotted)
 ``missing``          error      a referenced blob/dataset/lineage file is gone
@@ -21,6 +21,16 @@ kind                 severity   meaning
 ``integrity-absent`` warning    pre-reliability lake: no checksum section, only
                                 structural + weight-digest checks possible
 ===================  =========  ================================================
+
+Weight checks stream each file through a fixed-size buffer
+(:func:`~repro.reliability.digest.stream_digest`) — auditing a lake
+never materializes a blob — and on a sharded lake (two-hex-char digest
+prefixes, layout recorded in the manifest's ``integrity`` section) they
+can run shard-parallel via ``fsck_lake(..., workers=N)``.  Without a
+readable integrity section fsck degrades gracefully: it *probes* for
+each record's weight file across the known layouts (flat ``.rwb``,
+sharded ``.rwb``, legacy flat ``.npz``) and verifies the
+filename-as-digest, which both formats guarantee.
 
 ``repair=True`` quarantines corrupt/truncated/orphaned blobs under
 ``<lake>/quarantine/`` (never deletes payload bytes) and removes stale
@@ -36,7 +46,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,18 +60,23 @@ from repro.obs.instrument import (
 )
 from repro.obs.logging import get_logger
 from repro.obs.tracing import trace
+from repro.reliability.digest import stream_digest
 from repro.utils.hashing import array_digest, bytes_digest, combine_digests, stable_hash
 
 __all__ = ["FsckFinding", "FsckReport", "fsck_lake", "manifest_body_digest"]
 
 _log = get_logger("reliability.fsck")
 
-# -- on-disk layout (mirrors repro.lake.persist, by convention) --------
+# -- on-disk layout (mirrors repro.lake.persist/shard, by convention) --
 MANIFEST = "manifest.json"
 LINEAGE = "lineage.json"
 WEIGHTS_DIR = "weights"
 DATASETS_DIR = "datasets"
+SHARDS_DIR = "shards"
 QUARANTINE_DIR = "quarantine"
+WEIGHT_EXT = ".rwb"
+LEGACY_WEIGHT_EXT = ".npz"
+DEFAULT_PREFIX_LEN = 2
 #: Directories fsck never audits: disposable/derived artifacts
 #: (embedding caches rebuild, quarantine holds what fsck itself moved,
 #: checkpoints belong to the generator).  ``metrics.json`` at the top
@@ -73,6 +88,37 @@ def manifest_body_digest(manifest: Dict) -> str:
     """Digest of the manifest body (everything except ``integrity``)."""
     body = {key: value for key, value in manifest.items() if key != "integrity"}
     return stable_hash(body, length=32)
+
+
+#: One streaming file probe: (status, size, actual_digest).  Status is
+#: "missing" | "truncated" | "digest-mismatch" | "ok".
+_Probe = Tuple[str, Optional[int], Optional[str]]
+
+
+def _probe_file(
+    path: str, expected_digest: Optional[str], expected_size: Optional[int]
+) -> _Probe:
+    """Streaming presence/size/digest check of one file.
+
+    Pure (no report state, no I/O beyond reading ``path``) so the
+    shard-parallel walk can run it in worker processes.
+    """
+    if not os.path.exists(path):
+        return ("missing", None, None)
+    size = os.path.getsize(path)
+    if expected_size is not None and size < expected_size:
+        return ("truncated", size, None)
+    if expected_digest:
+        actual = stream_digest(path, length=len(expected_digest))
+        if actual != expected_digest:
+            return ("digest-mismatch", size, actual)
+    return ("ok", size, None)
+
+
+def _probe_weight_job(task: Tuple[str, Optional[str], Optional[int]]) -> _Probe:
+    """Top-level (picklable) wave task wrapping :func:`_probe_file`."""
+    path, expected_digest, expected_size = task
+    return _probe_file(path, expected_digest, expected_size)
 
 
 @dataclass
@@ -173,10 +219,13 @@ def sorted_findings(findings: List[FsckFinding]) -> List[FsckFinding]:
 class _Walk:
     """One fsck pass over a lake directory."""
 
-    def __init__(self, directory: str, repair: bool):
+    def __init__(self, directory: str, repair: bool, workers: int = 1):
         self.directory = directory
         self.repair = repair
+        self.workers = max(1, int(workers))
         self.report = FsckReport(directory=directory, repair=repair)
+        #: Parsed ``integrity.layout`` payload, or None (legacy/degraded).
+        self.layout: Optional[Dict] = None
 
     # -- helpers -------------------------------------------------------
     def _abs(self, rel: str) -> str:
@@ -215,7 +264,67 @@ class _Walk:
             self.report.files_scanned += 1
             return handle.read()
 
+    def _weight_rel(self, digest: str) -> str:
+        """Where a record's weight blob should live.
+
+        With a parsed layout this is exact; without one (legacy or
+        corrupted integrity section) fsck probes the known placements —
+        flat ``.rwb``, sharded ``.rwb``, legacy flat ``.npz`` — and
+        audits the first that exists.  Both formats name files by
+        content digest, so the fallback still verifies real bytes.
+        """
+        if self.layout is not None:
+            ext = WEIGHT_EXT if self.layout.get("format", "rwb") == "rwb" else LEGACY_WEIGHT_EXT
+            if self.layout.get("sharded"):
+                prefix = digest[: int(self.layout.get("prefix_len", DEFAULT_PREFIX_LEN))]
+                return f"{WEIGHTS_DIR}/{prefix}/{digest}{ext}"
+            return f"{WEIGHTS_DIR}/{digest}{ext}"
+        candidates = (
+            f"{WEIGHTS_DIR}/{digest}{WEIGHT_EXT}",
+            f"{WEIGHTS_DIR}/{digest[:DEFAULT_PREFIX_LEN]}/{digest}{WEIGHT_EXT}",
+            f"{WEIGHTS_DIR}/{digest}{LEGACY_WEIGHT_EXT}",
+        )
+        for rel in candidates:
+            if os.path.exists(self._abs(rel)):
+                return rel
+        return candidates[0]
+
     # -- checks --------------------------------------------------------
+    def _apply_probe(
+        self,
+        rel: str,
+        probe: _Probe,
+        expected_digest: Optional[str],
+        expected_size: Optional[int],
+        what: str,
+    ) -> None:
+        status, size, actual = probe
+        if status == "missing":
+            self.found(FsckFinding(
+                kind="missing", path=rel, severity="error",
+                detail=f"{what} referenced by the manifest is not on disk",
+                expected=expected_digest,
+            ))
+            return
+        self.report.files_scanned += 1
+        if status == "truncated":
+            finding = self.found(FsckFinding(
+                kind="truncated", path=rel, severity="error",
+                detail=(
+                    f"{what} is {size} byte(s), manifest records "
+                    f"{expected_size}"
+                ),
+                expected=str(expected_size), actual=str(size),
+            ))
+            self._quarantine(rel, finding)
+        elif status == "digest-mismatch":
+            finding = self.found(FsckFinding(
+                kind="digest-mismatch", path=rel, severity="error",
+                detail=f"{what} bytes do not match the recorded digest",
+                expected=expected_digest, actual=actual,
+            ))
+            self._quarantine(rel, finding)
+
     def check_file(
         self,
         rel: str,
@@ -224,34 +333,37 @@ class _Walk:
         what: str,
     ) -> None:
         """Verify one referenced file's presence, size, and content digest."""
-        data = self._read(rel)
-        if data is None:
-            self.found(FsckFinding(
-                kind="missing", path=rel, severity="error",
-                detail=f"{what} referenced by the manifest is not on disk",
-                expected=expected_digest,
-            ))
-            return
-        if expected_size is not None and len(data) < expected_size:
-            finding = self.found(FsckFinding(
-                kind="truncated", path=rel, severity="error",
-                detail=(
-                    f"{what} is {len(data)} byte(s), manifest records "
-                    f"{expected_size}"
-                ),
-                expected=str(expected_size), actual=str(len(data)),
-            ))
-            self._quarantine(rel, finding)
-            return
-        if expected_digest is not None:
-            actual = bytes_digest(data, length=len(expected_digest))
-            if actual != expected_digest:
-                finding = self.found(FsckFinding(
-                    kind="digest-mismatch", path=rel, severity="error",
-                    detail=f"{what} bytes do not match the recorded digest",
-                    expected=expected_digest, actual=actual,
-                ))
-                self._quarantine(rel, finding)
+        probe = _probe_file(self._abs(rel), expected_digest, expected_size)
+        self._apply_probe(rel, probe, expected_digest, expected_size, what)
+
+    def check_weights(
+        self, tasks: List[Tuple[str, str, Optional[int], str]]
+    ) -> None:
+        """Verify every weight blob, shard-parallel when workers > 1.
+
+        Probes are pure and per-file, so they fan out cleanly; findings
+        (and quarantines) are applied in the main process, in task
+        order, keeping reports deterministic regardless of worker count.
+        """
+        if self.workers > 1 and len(tasks) > 1:
+            # Imported lazily: repro.parallel itself uses the
+            # reliability fault hooks, and a module-level import here
+            # would cycle through the package __init__.
+            from repro.parallel import WaveExecutor
+
+            executor = WaveExecutor(workers=self.workers)
+            probes = executor.run_wave(
+                _probe_weight_job,
+                [(self._abs(rel), digest, size) for rel, digest, size, _ in tasks],
+                label="fsck.weights",
+            )
+        else:
+            probes = [
+                _probe_file(self._abs(rel), digest, size)
+                for rel, digest, size, _ in tasks
+            ]
+        for (rel, digest, size, what), probe in zip(tasks, probes):
+            self._apply_probe(rel, probe, digest, size, what)
 
     def check_dataset_content(self, rel: str, dataset_digest: str) -> None:
         """Legacy fallback: recompute a dataset digest from its arrays."""
@@ -278,7 +390,9 @@ class _Walk:
             ))
             self._quarantine(rel, finding)
 
-    def scan_orphans_and_temps(self, referenced: Dict[str, bool]) -> None:
+    def scan_orphans_and_temps(
+        self, referenced: Dict[str, bool], include_shards: bool = False
+    ) -> None:
         """Flag unreferenced blobs and tmp litter anywhere in the lake."""
         for dirpath, dirnames, filenames in os.walk(self.directory):
             rel_dir = os.path.relpath(dirpath, self.directory).replace(os.sep, "/")
@@ -287,6 +401,11 @@ class _Walk:
                 dirnames[:] = sorted(
                     d for d in dirnames if d not in _IGNORED_DIRS
                 )
+            is_blob_dir = (
+                rel_dir in (WEIGHTS_DIR, DATASETS_DIR)
+                or rel_dir.startswith(WEIGHTS_DIR + "/")
+                or (include_shards and rel_dir == SHARDS_DIR)
+            )
             for filename in sorted(filenames):
                 rel = f"{rel_dir}/{filename}" if rel_dir else filename
                 if filename.endswith(".tmp"):
@@ -296,7 +415,7 @@ class _Walk:
                     ))
                     self._remove(rel, finding)
                     continue
-                if rel_dir in (WEIGHTS_DIR, DATASETS_DIR) and rel not in referenced:
+                if is_blob_dir and rel not in referenced:
                     finding = self.found(FsckFinding(
                         kind="orphaned", path=rel, severity="warning",
                         detail=(
@@ -328,6 +447,8 @@ class _Walk:
 
         integrity = manifest.get("integrity") or {}
         files: Dict[str, Dict] = dict(integrity.get("files") or {})
+        layout = integrity.get("layout")
+        self.layout = dict(layout) if isinstance(layout, dict) else None
         if not integrity:
             self.found(FsckFinding(
                 kind="integrity-absent", path=MANIFEST, severity="warning",
@@ -348,21 +469,54 @@ class _Walk:
 
         referenced: Dict[str, bool] = {}
 
-        # Weight blobs: the filename *is* the content digest, so these
-        # verify even on legacy lakes without an integrity section.
-        for entry in manifest.get("records", []):
-            digest = str(entry.get("weights_digest") or "")
-            rel = f"{WEIGHTS_DIR}/{digest}.npz"
-            if rel in referenced:
+        # Shard integrity fragments: each is pinned (size + digest) by
+        # the root manifest, then contributes its per-file entries.  An
+        # unreadable fragment degrades that shard's weight checks to
+        # filename-as-digest; it never aborts the walk.
+        for rel in sorted(files):
+            if not (rel.startswith(SHARDS_DIR + "/") and rel.endswith(".json")):
                 continue
             referenced[rel] = True
             meta = files.get(rel) or {}
             self.check_file(
                 rel,
-                expected_digest=str(meta.get("digest") or digest),
+                expected_digest=str(meta.get("digest") or "") or None,
                 expected_size=meta.get("bytes"),
-                what=f"weights of model {entry.get('model_id', '?')!r}",
+                what="shard integrity fragment",
             )
+            fragment_raw = None
+            path = self._abs(rel)
+            if os.path.exists(path):
+                with open(path, "rb") as handle:
+                    fragment_raw = handle.read()
+            if fragment_raw is None:
+                continue
+            try:
+                fragment = json.loads(fragment_raw.decode("utf-8"))
+                files.update(dict(fragment.get("files") or {}))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                self.found(FsckFinding(
+                    kind="manifest-corrupt", path=rel, severity="error",
+                    detail=f"shard fragment does not parse: {error}",
+                ))
+
+        # Weight blobs: the filename *is* the content digest, so these
+        # verify even on legacy lakes without an integrity section.
+        weight_tasks: List[Tuple[str, str, Optional[int], str]] = []
+        for entry in manifest.get("records", []):
+            digest = str(entry.get("weights_digest") or "")
+            rel = self._weight_rel(digest)
+            if rel in referenced:
+                continue
+            referenced[rel] = True
+            meta = files.get(rel) or {}
+            weight_tasks.append((
+                rel,
+                str(meta.get("digest") or digest),
+                meta.get("bytes"),
+                f"weights of model {entry.get('model_id', '?')!r}",
+            ))
+        self.check_weights(weight_tasks)
 
         # Datasets: filenames are *content* digests of the arrays, not of
         # the archive bytes, so byte-level checks need the integrity
@@ -433,23 +587,28 @@ class _Walk:
                     detail=f"lineage does not parse: {error}",
                 ))
 
-        self.scan_orphans_and_temps(referenced)
+        # Stray shard fragments are only classifiable as orphans when an
+        # integrity section exists to say which fragments are real.
+        self.scan_orphans_and_temps(referenced, include_shards=bool(integrity))
         return self.report
 
 
-def fsck_lake(directory: str, repair: bool = False) -> FsckReport:
+def fsck_lake(directory: str, repair: bool = False, workers: int = 1) -> FsckReport:
     """Verify a persisted lake; optionally quarantine what fails.
 
     Never raises on corruption — every problem becomes a classified
     :class:`FsckFinding` — so one bad blob cannot hide the rest of the
     walk.  Raises only if ``directory`` itself does not exist.
+    ``workers > 1`` fans the weight-blob checks out across processes
+    (worthwhile on sharded lakes, where each worker streams a disjoint
+    slice of the files); the report is identical for any worker count.
     """
     if not os.path.isdir(directory):
         raise FileNotFoundError(f"no such lake directory: {directory!r}")
     start = time.perf_counter()
     obs_metrics.inc(FSCK_RUNS)
     with trace("fsck.run", directory=directory, repair=repair):
-        report = _Walk(directory, repair=repair).run()
+        report = _Walk(directory, repair=repair, workers=workers).run()
     report.elapsed_seconds = time.perf_counter() - start
     obs_metrics.inc(FSCK_FILES_SCANNED, report.files_scanned)
     obs_metrics.inc(FSCK_FINDINGS, len(report.findings))

@@ -231,6 +231,31 @@ CASES = {
                 return json.load(handle)
         """,
     ),
+    "whole-file-read": (
+        LIB,
+        """
+        import pathlib
+
+        import numpy as np
+
+        def load_blob(path):
+            return np.load(path)
+
+        def read_raw(path):
+            return pathlib.Path(path).read_bytes()
+        """,
+        """
+        import numpy as np
+
+        from repro.utils.serialization import open_arrays_memmap
+
+        def load_blob(path):
+            return open_arrays_memmap(path)
+
+        def load_archive(path):
+            return np.load(path, mmap_mode="r")
+        """,
+    ),
     "swallowed-exception": (
         LIB,
         """
@@ -340,6 +365,19 @@ def test_raw_artifact_write_scoped_to_artifact_layers():
     ) == []
     assert findings_for(source, "src/repro/index/cache.py", "raw-artifact-write")
     assert findings_for(source, "src/repro/lake/persist.py", "raw-artifact-write")
+
+
+def test_whole_file_read_scoped_and_pragma_suppressible():
+    source = "import numpy as np\nblob = np.load('x.npz')\n"
+    assert findings_for(
+        source, "src/repro/core/search/engine.py", "whole-file-read"
+    ) == []
+    assert findings_for(source, LIB, "whole-file-read")
+    suppressed = (
+        "import numpy as np\n"
+        "blob = np.load('x.npz')  # repro: noqa[whole-file-read]\n"
+    )
+    assert findings_for(suppressed, LIB, "whole-file-read") == []
 
 
 def test_raw_artifact_write_ignores_read_and_dynamic_modes():

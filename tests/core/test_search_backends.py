@@ -1,9 +1,11 @@
-"""Tests for the HNSW search-engine backend."""
+"""Tests for the HNSW and sharded search-engine backends."""
 
 import pytest
 
 from repro.core.search import SearchEngine
 from repro.errors import ConfigError
+from repro.index import FlatIndex, ShardedIndex
+from repro.lake import load_lake, save_lake
 
 
 class TestIndexBackends:
@@ -30,3 +32,39 @@ class TestIndexBackends:
         hits = engine.related_models(foundation, k=3)
         assert len(hits) == 3
         assert all(h.model_id != foundation for h in hits)
+
+
+class TestShardedLakeEngine:
+    """The engine follows the lake's storage layout: a loaded sharded
+    lake gets shard-partitioned indexes, without changing any result."""
+
+    @pytest.fixture(scope="class")
+    def sharded_lake(self, lake_bundle, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("sharded") / "lake")
+        save_lake(lake_bundle.lake, directory, sharded=True)
+        return load_lake(directory)
+
+    def test_weight_index_shards_with_the_lake(self, lake_bundle, probes, sharded_lake):
+        flat_engine = SearchEngine(lake_bundle.lake, probes)
+        shard_engine = SearchEngine(sharded_lake, probes)
+        assert isinstance(flat_engine._weight_index, FlatIndex)
+        assert isinstance(shard_engine._weight_index, ShardedIndex)
+
+    def test_weight_view_parity_with_flat_engine(self, lake_bundle, probes, sharded_lake):
+        flat_engine = SearchEngine(lake_bundle.lake, probes)
+        shard_engine = SearchEngine(sharded_lake, probes)
+        anchor = lake_bundle.truth.foundations[0]
+        flat_hits = flat_engine.related_models(anchor, k=4, view="weight")
+        shard_hits = shard_engine.related_models(anchor, k=4, view="weight")
+        # Per-shard exact scans merge to the same total order as one
+        # global flat index — same ids, same scores.
+        assert [h.model_id for h in shard_hits] == [h.model_id for h in flat_hits]
+        assert [round(h.score, 10) for h in shard_hits] == [
+            round(h.score, 10) for h in flat_hits
+        ]
+
+    def test_sharded_behavioral_backend_over_loaded_lake(self, probes, sharded_lake):
+        engine = SearchEngine(sharded_lake, probes, index_backend="sharded")
+        assert engine.behavioral.index_backend == "sharded"
+        hits = engine.search("summarize legal court documents", k=3, method="behavioral")
+        assert len(hits) == 3

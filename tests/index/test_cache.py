@@ -54,6 +54,49 @@ class TestEmbeddingCache:
         assert (hits.value, misses.value) == (h0 + 1, m0 + 1)
 
 
+class TestShardedEmbeddingCache:
+    def test_round_trip_across_instances(self, tmp_path):
+        first = EmbeddingCache(str(tmp_path), prefix_len=2)
+        first.put("space", "ab1234", np.array([1.0, 2.0]))
+        first.put("space", "cd5678", np.array([3.0, 4.0]))
+        first.flush()
+        second = EmbeddingCache(str(tmp_path), prefix_len=2)
+        assert np.allclose(second.get("space", "ab1234"), [1.0, 2.0])
+        assert np.allclose(second.get("space", "cd5678"), [3.0, 4.0])
+
+    def test_one_file_per_shard(self, tmp_path):
+        cache = EmbeddingCache(str(tmp_path), prefix_len=2)
+        cache.put("space", "ab1234", np.ones(2))
+        cache.put("space", "ab9999", np.ones(2))
+        cache.put("space", "cd5678", np.ones(2))
+        cache.flush()
+        shard_dir = tmp_path / "embeddings-space"
+        assert sorted(p.name for p in shard_dir.iterdir()) == [
+            "ab.npz", "cd.npz",
+        ]
+
+    def test_shards_load_lazily(self, tmp_path):
+        seeded = EmbeddingCache(str(tmp_path), prefix_len=2)
+        seeded.put("space", "ab1234", np.ones(2))
+        seeded.put("space", "cd5678", np.ones(2))
+        seeded.flush()
+        cache = EmbeddingCache(str(tmp_path), prefix_len=2)
+        assert cache.get("space", "ab1234") is not None
+        loaded = cache._spaces["space"]
+        assert "ab" in loaded and "cd" not in loaded
+
+    def test_flush_only_rewrites_dirty_shards(self, tmp_path):
+        cache = EmbeddingCache(str(tmp_path), prefix_len=2)
+        cache.put("space", "ab1234", np.ones(2))
+        cache.flush()
+        first_mtime = (tmp_path / "embeddings-space" / "ab.npz").stat().st_mtime_ns
+        cache.put("space", "cd5678", np.ones(2))
+        cache.flush()
+        assert (
+            tmp_path / "embeddings-space" / "ab.npz"
+        ).stat().st_mtime_ns == first_mtime
+
+
 class TestSearchEngineCache:
     @pytest.fixture()
     def lake(self, lake_bundle):

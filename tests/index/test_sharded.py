@@ -1,0 +1,100 @@
+"""Tests for the shard-partitioned index and its deterministic merge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, IndexError_
+from repro.index import FlatIndex, ShardedIndex
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(13)
+    vectors = rng.normal(size=(60, 12))
+    ids = [f"{rng.choice(list('abcd'))}{i:03d}" for i in range(60)]
+    queries = rng.normal(size=(5, 12))
+    return ids, vectors, queries
+
+
+class TestShardedFlat:
+    def test_flat_backend_matches_global_flat_exactly(self, corpus):
+        ids, vectors, queries = corpus
+        flat = FlatIndex()
+        flat.build(ids, vectors)
+        sharded = ShardedIndex(backend="flat", prefix_len=1)
+        sharded.build(ids, vectors)
+        for query in queries:
+            expected = flat.query(query, k=7)
+            got = sharded.query(query, k=7)
+            assert [i for i, _ in got] == [i for i, _ in expected]
+            assert np.allclose(
+                [s for _, s in got], [s for _, s in expected]
+            )
+
+    def test_explicit_keys_partition(self, corpus):
+        ids, vectors, _ = corpus
+        keys = ["even" if i % 2 == 0 else "odd" for i in range(len(ids))]
+        index = ShardedIndex(backend="flat")
+        index.build(ids, vectors, keys=keys)
+        assert index.shard_keys == ["even", "odd"]
+        assert len(index) == len(ids)
+
+    def test_vector_of_delegates_to_owning_shard(self, corpus):
+        ids, vectors, _ = corpus
+        index = ShardedIndex(backend="flat", prefix_len=1)
+        index.build(ids, vectors)
+        # Flat shards store l2-normalized rows, like the global index.
+        expected = vectors[3] / np.linalg.norm(vectors[3])
+        assert np.allclose(index.vector_of(ids[3]), expected)
+        with pytest.raises(IndexError_):
+            index.vector_of("zzz-not-there")
+
+    def test_merge_is_worker_count_invariant(self, corpus):
+        ids, vectors, queries = corpus
+        inline = ShardedIndex(backend="flat", prefix_len=1, workers=1)
+        inline.build(ids, vectors)
+        waved = ShardedIndex(backend="flat", prefix_len=1, workers=2)
+        waved.build(ids, vectors)
+        assert inline.shard_keys == waved.shard_keys
+        for query in queries:
+            assert inline.query(query, k=9) == waved.query(query, k=9)
+
+
+class TestShardedHNSW:
+    def test_hnsw_backend_builds_and_queries(self, corpus):
+        ids, vectors, queries = corpus
+        index = ShardedIndex(
+            backend="hnsw", prefix_len=1,
+            m=4, ef_construction=32, ef_search=24, seed=0,
+        )
+        index.build(ids, vectors)
+        for query in queries:
+            hits = index.query(query, k=5)
+            assert len(hits) == 5
+            assert len({i for i, _ in hits}) == 5
+            scores = [s for _, s in hits]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_hnsw_merge_deterministic_across_builds(self, corpus):
+        ids, vectors, queries = corpus
+        kwargs = dict(m=4, ef_construction=32, ef_search=24, seed=0)
+        first = ShardedIndex(backend="hnsw", prefix_len=1, **kwargs)
+        first.build(ids, vectors)
+        second = ShardedIndex(backend="hnsw", prefix_len=1, **kwargs)
+        second.build(ids, vectors)
+        for query in queries:
+            assert first.query(query, k=6) == second.query(query, k=6)
+
+
+class TestValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardedIndex(backend="lsh")
+
+    def test_mismatched_lengths_rejected(self, corpus):
+        ids, vectors, _ = corpus
+        index = ShardedIndex(backend="flat")
+        with pytest.raises(IndexError_):
+            index.build(ids[:-1], vectors)
+        with pytest.raises(IndexError_):
+            index.build(ids, vectors, keys=["a"])

@@ -1,0 +1,174 @@
+"""Tests for layout migration: v1 (pre-shard npz) lakes, half-migrated
+directories, and in-place re-sharding round trips."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.lake import load_lake, migrate_lake, save_lake
+from repro.reliability.fsck import fsck_lake
+from repro.utils.hashing import bytes_digest
+from repro.utils.serialization import arrays_to_bytes
+
+from tests.lake.test_shard import manifest_of, small_lake
+
+
+@pytest.fixture()
+def v1_dir(tmp_path):
+    """A hand-built pre-shard (v1) lake: flat npz weight archives, no
+    layout key (v1 saves predate the integrity section's layout field).
+
+    Built by down-converting a current save: every rwb bundle is
+    rewritten as the npz archive v1 stored, record digests are repointed
+    at the npz bytes (v1 digested the archive), and the integrity
+    section is dropped — the shape of lakes written before sharding.
+    """
+    lake = small_lake(seed=9)
+    directory = str(tmp_path / "v1-lake")
+    save_lake(lake, directory, sharded=False)
+
+    manifest = manifest_of(directory)
+    for entry in manifest["records"]:
+        v2_digest = entry["weights_digest"]
+        state = lake.weights.get(v2_digest)
+        blob = arrays_to_bytes({k: np.asarray(v) for k, v in state.items()})
+        v1_digest = bytes_digest(blob, length=24)
+        with open(
+            os.path.join(directory, "weights", f"{v1_digest}.npz"), "wb"
+        ) as handle:
+            handle.write(blob)
+        os.unlink(os.path.join(directory, "weights", f"{v2_digest}.rwb"))
+        entry["weights_digest"] = v1_digest
+    manifest.pop("integrity")
+    with open(os.path.join(directory, "manifest.json"), "w") as handle:
+        json.dump(manifest, handle, indent=1)
+    return lake, directory
+
+
+class TestV1Load:
+    def test_pre_shard_lake_loads_eagerly(self, v1_dir):
+        lake, directory = v1_dir
+        restored = load_lake(directory)
+        assert restored.storage_layout is None
+        assert restored.model_ids() == lake.model_ids()
+        for record in lake:
+            original = lake.get_model(record.model_id, force=True)
+            twin = restored.get_model(record.model_id, force=True)
+            for key, value in original.state_dict().items():
+                assert np.array_equal(twin.state_dict()[key], value)
+
+    def test_clock_survives_v1_load(self, v1_dir):
+        lake, directory = v1_dir
+        assert load_lake(directory).clock == lake.clock
+
+    def test_corrupt_v1_archive_detected(self, v1_dir):
+        from repro.errors import LakeError
+
+        _, directory = v1_dir
+        manifest = manifest_of(directory)
+        digest = manifest["records"][0]["weights_digest"]
+        path = os.path.join(directory, "weights", f"{digest}.npz")
+        with open(path, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            last = handle.read(1)
+            handle.seek(-1, os.SEEK_END)
+            handle.write(bytes([last[0] ^ 0xFF]))
+        with pytest.raises(LakeError):
+            load_lake(directory)
+
+
+class TestMigrate:
+    def test_v1_to_sharded(self, v1_dir):
+        lake, directory = v1_dir
+        before = {
+            record.model_id: lake.get_model(record.model_id, force=True)
+            for record in lake
+        }
+        summary = migrate_lake(directory, sharded=True)
+        assert summary["models"] == len(lake)
+        assert summary["from_layout"] is None
+        assert summary["to_layout"]["sharded"] is True
+        # The legacy npz archives are gone and the lake is fully v2.
+        leftovers = [
+            name
+            for name in os.listdir(os.path.join(directory, "weights"))
+            if name.endswith(".npz")
+        ]
+        assert leftovers == []
+        assert fsck_lake(directory).clean
+
+        restored = load_lake(directory)
+        assert restored.storage_layout.sharded is True
+        for model_id, original in before.items():
+            twin = restored.get_model(model_id, force=True)
+            for key, value in original.state_dict().items():
+                assert np.array_equal(twin.state_dict()[key], value)
+
+    def test_reshard_round_trip_preserves_identity(self, tmp_path):
+        lake = small_lake()
+        directory = str(tmp_path / "lake")
+        save_lake(lake, directory, sharded=True)
+        digest = manifest_of(directory)["integrity"]["manifest_digest"]
+
+        flat_summary = migrate_lake(directory, sharded=False)
+        assert manifest_of(directory)["integrity"]["layout"]["sharded"] is False
+        assert manifest_of(directory)["integrity"]["manifest_digest"] == digest
+        assert flat_summary["removed_files"] > 0
+        assert fsck_lake(directory).clean
+
+        migrate_lake(directory, sharded=True)
+        assert manifest_of(directory)["integrity"]["layout"]["sharded"] is True
+        assert manifest_of(directory)["integrity"]["manifest_digest"] == digest
+        assert fsck_lake(directory).clean
+
+    def test_cli_migrate(self, tmp_path, capsys):
+        lake = small_lake()
+        directory = str(tmp_path / "lake")
+        save_lake(lake, directory, sharded=False)
+        assert main(["migrate", "--dir", directory, "--shard"]) == 0
+        assert "sharded" in capsys.readouterr().out
+        assert load_lake(directory).storage_layout.sharded is True
+
+
+class TestHalfMigrated:
+    def test_fsck_tolerates_stray_other_placement(self, tmp_path):
+        """A crash mid-migration leaves both placements' blobs on disk;
+        fsck must keep the lake usable and flag the strays as orphans."""
+        lake = small_lake()
+        directory = str(tmp_path / "lake")
+        save_lake(lake, directory, sharded=True)
+
+        digest = next(iter(lake)).weights_digest
+        sharded_rel = f"weights/{digest[:2]}/{digest}.rwb"
+        stray_rel = f"weights/{digest}.rwb"
+        with open(os.path.join(directory, sharded_rel), "rb") as handle:
+            blob = handle.read()
+        with open(os.path.join(directory, stray_rel), "wb") as handle:
+            handle.write(blob)
+
+        report = fsck_lake(directory)
+        assert report.ok  # warnings only: the lake still verifies
+        orphans = [f.path for f in report.findings if f.kind == "orphaned"]
+        assert stray_rel in orphans
+
+        # repair quarantines the stray and leaves a clean lake behind.
+        repaired = fsck_lake(directory, repair=True)
+        assert repaired.ok
+        assert not os.path.exists(os.path.join(directory, stray_rel))
+        assert fsck_lake(directory).clean
+
+    def test_load_ignores_stray_files(self, tmp_path):
+        lake = small_lake()
+        directory = str(tmp_path / "lake")
+        save_lake(lake, directory, sharded=True)
+        digest = next(iter(lake)).weights_digest
+        with open(
+            os.path.join(directory, "weights", f"{digest}.rwb"), "wb"
+        ) as handle:
+            handle.write(b"garbage")
+        restored = load_lake(directory)
+        model = restored.get_model(restored.model_ids()[0], force=True)
+        assert model is not None

@@ -1,0 +1,197 @@
+"""Tests for the sharded (v2) lake layout: placement, identity, lazy reads."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import LakeIntegrityError
+from repro.lake import ModelLake, ShardLayout, load_lake, save_lake
+from repro.lake.shard import DEFAULT_PREFIX_LEN, LAYOUT_VERSION
+from repro.nn.models import build_model
+from repro.reliability.fsck import fsck_lake
+
+_SPEC = {
+    "family": "mlp_classifier",
+    "in_features": 6,
+    "num_classes": 3,
+    "hidden": [8],
+}
+
+
+def small_lake(num_models: int = 8, seed: int = 2) -> ModelLake:
+    """A lake of tiny untrained models with distinct weight digests."""
+    rng = np.random.default_rng(seed)
+    model = build_model(_SPEC, seed=seed)
+    base = model.state_dict()
+    lake = ModelLake()
+    for i in range(num_models):
+        model.load_state_dict({
+            key: value + rng.normal(scale=0.05, size=value.shape)
+            for key, value in base.items()
+        })
+        lake.add_model(model, name=f"tiny-{i:02d}")
+    return lake
+
+
+def manifest_of(directory: str) -> dict:
+    with open(os.path.join(directory, "manifest.json")) as handle:
+        return json.load(handle)
+
+
+class TestShardLayout:
+    def test_flat_placement(self):
+        layout = ShardLayout(sharded=False)
+        assert layout.shard_of("abcdef") == ""
+        assert layout.weight_rel("abcdef") == "weights/abcdef.rwb"
+        assert layout.weight_subpath("abcdef") == "abcdef.rwb"
+
+    def test_sharded_placement(self):
+        layout = ShardLayout(sharded=True, prefix_len=2)
+        assert layout.shard_of("abcdef") == "ab"
+        assert layout.weight_rel("abcdef") == "weights/ab/abcdef.rwb"
+        assert layout.weight_subpath("abcdef") == "ab/abcdef.rwb"
+        assert layout.shard_rel("ab") == "shards/ab.json"
+
+    def test_group_sorts_keys_and_preserves_order(self):
+        layout = ShardLayout(sharded=True, prefix_len=1)
+        groups = layout.group(["b1", "a2", "b0", "a1"])
+        assert list(groups) == ["a", "b"]
+        assert groups["a"] == ["a2", "a1"]
+        assert groups["b"] == ["b1", "b0"]
+
+    def test_manifest_round_trip(self):
+        layout = ShardLayout(sharded=True, prefix_len=3)
+        assert ShardLayout.from_manifest(layout.to_manifest()) == layout
+        assert ShardLayout.from_manifest(None) is None
+        assert ShardLayout.from_manifest({}) is None
+
+
+class TestShardedSave:
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        lake = small_lake()
+        directory = str(tmp_path / "lake")
+        save_lake(lake, directory, sharded=True)
+        return lake, directory
+
+    def test_blobs_live_under_prefix_dirs(self, saved):
+        lake, directory = saved
+        for record in lake:
+            digest = record.weights_digest
+            rel = f"weights/{digest[:DEFAULT_PREFIX_LEN]}/{digest}.rwb"
+            assert os.path.exists(os.path.join(directory, rel))
+
+    def test_shard_fragments_cover_all_weights(self, saved):
+        lake, directory = saved
+        manifest = manifest_of(directory)
+        layout = manifest["integrity"]["layout"]
+        assert layout["sharded"] is True
+        assert layout["version"] == LAYOUT_VERSION
+        covered = set()
+        for rel in manifest["integrity"]["files"]:
+            if rel.startswith("shards/"):
+                with open(os.path.join(directory, rel)) as handle:
+                    fragment = json.load(handle)
+                covered.update(fragment["files"])
+        expected = {
+            f"weights/{r.weights_digest[:2]}/{r.weights_digest}.rwb"
+            for r in lake
+        }
+        assert covered == expected
+
+    def test_round_trip_restores_everything(self, saved):
+        lake, directory = saved
+        restored = load_lake(directory)
+        assert restored.model_ids() == lake.model_ids()
+        assert restored.storage_layout is not None
+        assert restored.storage_layout.sharded is True
+        for record in lake:
+            twin = restored.get_record(record.model_id)
+            assert twin.weights_digest == record.weights_digest
+            original = lake.get_model(record.model_id, force=True)
+            reloaded = restored.get_model(record.model_id, force=True)
+            for key, value in original.state_dict().items():
+                assert np.array_equal(reloaded.state_dict()[key], value)
+
+    def test_lazy_load_reads_weights_as_memmaps(self, saved):
+        lake, directory = saved
+        restored = load_lake(directory)
+        digest = next(iter(lake)).weights_digest
+        arrays = restored.weights.get(digest)
+        assert all(not a.flags.writeable for a in arrays.values())
+
+    def test_fsck_clean_sequential_and_parallel(self, saved):
+        _, directory = saved
+        assert fsck_lake(directory, workers=1).clean
+        assert fsck_lake(directory, workers=2).clean
+
+    def test_corrupt_shard_blob_detected(self, saved):
+        lake, directory = saved
+        digest = next(iter(lake)).weights_digest
+        rel = f"weights/{digest[:2]}/{digest}.rwb"
+        path = os.path.join(directory, rel)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+
+        report = fsck_lake(directory)
+        assert rel in {f.path for f in report.findings}
+        assert "digest-mismatch" in {f.kind for f in report.findings}
+
+        restored = load_lake(directory)
+        with pytest.raises(LakeIntegrityError):
+            restored.weights.get(digest)
+
+
+class TestLayoutIdentity:
+    def test_sharded_and_flat_saves_are_digest_identical(self, tmp_path):
+        lake = small_lake()
+        flat_dir = str(tmp_path / "flat")
+        shard_dir = str(tmp_path / "sharded")
+        save_lake(lake, flat_dir, sharded=False)
+        save_lake(lake, shard_dir, sharded=True)
+
+        flat, sharded = manifest_of(flat_dir), manifest_of(shard_dir)
+        assert (
+            flat["integrity"]["manifest_digest"]
+            == sharded["integrity"]["manifest_digest"]
+        )
+        assert flat["records"] == sharded["records"]
+
+        # Same blob bytes under either placement.
+        for record in lake:
+            digest = record.weights_digest
+            flat_blob = open(
+                os.path.join(flat_dir, "weights", f"{digest}.rwb"), "rb"
+            ).read()
+            shard_blob = open(
+                os.path.join(shard_dir, "weights", digest[:2], f"{digest}.rwb"),
+                "rb",
+            ).read()
+            assert flat_blob == shard_blob
+
+    def test_auto_shard_threshold(self, tmp_path, monkeypatch):
+        import repro.lake.persist as persist
+
+        lake = small_lake()
+        below = str(tmp_path / "below")
+        save_lake(lake, below)  # 8 models < AUTO_SHARD_MIN_MODELS
+        assert manifest_of(below)["integrity"]["layout"]["sharded"] is False
+
+        monkeypatch.setattr(persist, "AUTO_SHARD_MIN_MODELS", 4)
+        above = str(tmp_path / "above")
+        save_lake(lake, above)
+        assert manifest_of(above)["integrity"]["layout"]["sharded"] is True
+
+    def test_materialized_load_matches_lazy(self, tmp_path):
+        lake = small_lake()
+        directory = str(tmp_path / "lake")
+        save_lake(lake, directory, sharded=True)
+        lazy = load_lake(directory)
+        resident = load_lake(directory, materialize=True)
+        for record in lake:
+            a = lazy.get_model(record.model_id, force=True).state_dict()
+            b = resident.get_model(record.model_id, force=True).state_dict()
+            assert all(np.array_equal(a[k], b[k]) for k in a)

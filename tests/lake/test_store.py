@@ -58,7 +58,7 @@ class TestWeightStore:
     def test_truncated_disk_blob_raises_integrity_error(self, state, tmp_path):
         directory = str(tmp_path / "weights")
         digest = WeightStore(directory=directory).put(state)
-        path = os.path.join(directory, f"{digest}.npz")
+        path = os.path.join(directory, f"{digest}.rwb")
         data = open(path, "rb").read()
         with open(path, "wb") as handle:
             handle.write(data[: len(data) // 2])
@@ -73,7 +73,7 @@ class TestWeightStore:
     def test_corrupt_blob_is_not_cached(self, state, tmp_path):
         directory = str(tmp_path / "weights")
         digest = WeightStore(directory=directory).put(state)
-        path = os.path.join(directory, f"{digest}.npz")
+        path = os.path.join(directory, f"{digest}.rwb")
         original = open(path, "rb").read()
         with open(path, "wb") as handle:
             handle.write(b"rotten")

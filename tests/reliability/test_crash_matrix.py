@@ -24,8 +24,9 @@ from repro.reliability.faults import WRITE_BEGIN, WRITE_DATA, WRITE_RENAME
 from repro.reliability.fsck import fsck_lake
 
 STAGES = (WRITE_BEGIN, WRITE_DATA, WRITE_RENAME)
-#: basename patterns for: the commit record, blob archives, lineage.
-TARGETS = ("manifest.json", "*.npz", "lineage.json")
+#: basename patterns for: the commit record, raw weight bundles,
+#: dataset archives, lineage.
+TARGETS = ("manifest.json", "*.rwb", "*.npz", "lineage.json")
 
 
 @pytest.mark.parametrize(

@@ -1,12 +1,19 @@
 """Tests for weight serialization round trips."""
 
 import numpy as np
+import pytest
 
+from repro.errors import LakeError
 from repro.utils.serialization import (
+    RWB_ALIGN,
+    RWB_MAGIC,
     arrays_to_bytes,
     bytes_to_arrays,
     dumps_json,
+    open_arrays_memmap,
+    pack_arrays,
     to_jsonable,
+    unpack_arrays,
 )
 
 
@@ -35,6 +42,70 @@ class TestArrayRoundTrip:
         restored = bytes_to_arrays(arrays_to_bytes(arrays))
         assert restored["ints"].dtype == np.int64
         assert restored["floats"].dtype == np.float64
+
+
+class TestRawWeightBundle:
+    def _arrays(self):
+        rng = np.random.default_rng(4)
+        return {
+            "layer.weight": rng.normal(size=(7, 5)),
+            "layer.bias": rng.normal(size=(5,)),
+            "steps": np.arange(3, dtype=np.int64),
+            "scalar": np.float64(2.5).reshape(()),
+        }
+
+    def test_round_trip(self):
+        arrays = self._arrays()
+        restored = unpack_arrays(pack_arrays(arrays))
+        assert set(restored) == set(arrays)
+        for name in arrays:
+            assert np.array_equal(restored[name], np.asarray(arrays[name]))
+            assert restored[name].dtype == np.asarray(arrays[name]).dtype
+
+    def test_deterministic_and_order_independent(self):
+        arrays = self._arrays()
+        reordered = dict(reversed(list(arrays.items())))
+        assert pack_arrays(arrays) == pack_arrays(reordered)
+
+    def test_payloads_are_aligned(self):
+        from repro.utils.serialization import _parse_rwb_header
+
+        blob = pack_arrays(self._arrays())
+        header, data_start = _parse_rwb_header(blob, "<test>")
+        assert data_start % RWB_ALIGN == 0
+        assert all(meta["offset"] % RWB_ALIGN == 0 for meta in header["arrays"])
+
+    def test_memmap_matches_unpack(self, tmp_path):
+        arrays = self._arrays()
+        path = tmp_path / "bundle.rwb"
+        path.write_bytes(pack_arrays(arrays))
+        mapped = open_arrays_memmap(str(path))
+        assert set(mapped) == set(arrays)
+        for name in arrays:
+            assert np.array_equal(mapped[name], np.asarray(arrays[name]))
+
+    def test_memmap_views_are_read_only(self, tmp_path):
+        path = tmp_path / "bundle.rwb"
+        path.write_bytes(pack_arrays({"w": np.ones(4)}))
+        mapped = open_arrays_memmap(str(path))
+        with pytest.raises((ValueError, TypeError)):
+            mapped["w"][0] = 5.0
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "bundle.rwb"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(LakeError):
+            open_arrays_memmap(str(path))
+        with pytest.raises(LakeError):
+            unpack_arrays(b"NOPE" + b"\x00" * 32)
+
+    def test_truncated_header_raises(self, tmp_path):
+        blob = pack_arrays({"w": np.ones(4)})
+        assert blob.startswith(RWB_MAGIC)
+        path = tmp_path / "bundle.rwb"
+        path.write_bytes(blob[:10])
+        with pytest.raises(LakeError):
+            open_arrays_memmap(str(path))
 
 
 class TestJsonable:
