@@ -175,6 +175,10 @@ class Rule:
     severity: str = "error"
     version: int = 1
     baseline_exempt: bool = False
+    #: Minimal sources for ``repro lint --explain``: one that fires the
+    #: rule, one nearby shape that stays silent.
+    example_positive: str = ""
+    example_negative: str = ""
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Whether this rule inspects ``ctx`` at all (path scoping)."""

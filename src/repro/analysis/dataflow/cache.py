@@ -1,0 +1,103 @@
+"""Dependency-aware cache for dataflow findings.
+
+One tier, one JSON file (``.repro-dataflow-cache.json``): post-pragma
+dataflow findings per module, keyed on a *dependency digest* — the
+content digests of the module's whole forward import closure, plus the
+dataflow rule fingerprint and the engine version.  Interprocedural
+reasoning (summaries, call resolution) never leaves the forward import
+closure, so the digest covers everything a verdict read: editing one
+file invalidates exactly itself plus its reverse-import closure, and an
+engine or rule-pack upgrade invalidates everything at once.
+
+Written atomically like the other caches; an unwritable cache degrades
+to a slower lint, never a failed one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from repro.analysis.core import Finding
+
+__all__ = ["DataflowCache", "DEFAULT_DATAFLOW_CACHE_NAME"]
+
+DEFAULT_DATAFLOW_CACHE_NAME = ".repro-dataflow-cache.json"
+_FORMAT_VERSION = 1
+
+
+class DataflowCache:
+    """Load-once, save-once; ``path=None`` disables persistence."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._module_findings: Dict[str, Dict[str, object]] = {}
+        if path is not None:
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, ValueError):
+            return
+        if payload.get("version") != _FORMAT_VERSION:
+            return
+        module_findings = payload.get("module_findings", {})
+        if isinstance(module_findings, dict):
+            self._module_findings = module_findings
+
+    def get_module_findings(
+        self, rel_path: str, dep_digest: str
+    ) -> Optional[List[Finding]]:
+        entry = self._module_findings.get(rel_path)
+        if entry is None or entry.get("dep_digest") != dep_digest:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [Finding.from_dict(raw) for raw in entry.get("findings", [])]  # type: ignore[union-attr]
+
+    def put_module_findings(
+        self, rel_path: str, dep_digest: str, findings: List[Finding]
+    ) -> None:
+        self._module_findings[rel_path] = {
+            "dep_digest": dep_digest,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    def prune(self, live_paths) -> None:
+        """Drop entries for files that no longer exist in the sweep."""
+        live = set(live_paths)
+        for stale in [rel for rel in self._module_findings if rel not in live]:
+            del self._module_findings[stale]
+            self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "version": _FORMAT_VERSION,
+            "module_findings": self._module_findings,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        descriptor, tmp_path = tempfile.mkstemp(
+            prefix=".repro-dataflow-cache.", dir=directory
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp_path, self.path)
+        except OSError:
+            # An unwritable cache must not fail the lint.
+            try:
+                os.unlink(tmp_path)
+            except OSError:  # repro: noqa[swallowed-exception]
+                pass
+        else:
+            self._dirty = False

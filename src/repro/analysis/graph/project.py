@@ -106,15 +106,18 @@ def analyze_project(
     files: Dict[str, Tuple[str, str]],
     contract: Optional[LayerContract],
     cache: GraphCache,
+    project: Optional[ProjectGraph] = None,
 ) -> GraphReport:
     """Run every graph rule incrementally over ``files``.
 
     Returns post-pragma, pre-baseline findings plus cache accounting:
     ``files_reanalyzed`` counts the modules whose rule evaluation could
     not be replayed from cache — after a one-file edit that is exactly
-    the file plus its reverse-import closure.
+    the file plus its reverse-import closure.  A prebuilt ``project``
+    (shared with the dataflow phase) skips re-assembly.
     """
-    project = build_project(files, contract, cache)
+    if project is None:
+        project = build_project(files, contract, cache)
     graph = project.imports
     cache.prune(files)
     report = GraphReport(

@@ -41,6 +41,9 @@ class GraphRule:
     severity: str = "error"
     version: int = 1
     scope: str = "module"  # "module" | "project"
+    #: Minimal sources for ``repro lint --explain``.
+    example_positive: str = ""
+    example_negative: str = ""
 
     def check_module(self, project, module: str) -> Iterator[Finding]:
         """Module-scope findings; must only read the module's forward
@@ -106,6 +109,18 @@ class ImportCycle(GraphRule):
     name = "import-cycle"
     description = "module participates in a top-level import cycle"
     version = 1
+    example_positive = (
+        "# pkg/a.py\n"
+        "from pkg.b import helper\n"
+        "# pkg/b.py\n"
+        "from pkg.a import other  # completes the cycle\n"
+    )
+    example_negative = (
+        "# pkg/a.py\n"
+        "def late():\n"
+        "    from pkg.b import helper  # lazy import breaks the cycle\n"
+        "    return helper()\n"
+    )
 
     def check_module(self, project, module: str) -> Iterator[Finding]:
         graph = project.imports
@@ -143,6 +158,14 @@ class LayeringViolation(GraphRule):
     name = "layering-violation"
     description = "import edge breaks the .repro-arch.toml layer contract"
     version = 1
+    example_positive = (
+        "# src/repro/utils/paths.py — utils is the bottom layer\n"
+        "from repro.lake.store import WeightStore  # imports upward\n"
+    )
+    example_negative = (
+        "# src/repro/lake/store.py — lake may reach down into utils\n"
+        "from repro.utils.hashing import stable_hash\n"
+    )
 
     def check_module(self, project, module: str) -> Iterator[Finding]:
         contract = project.contract
@@ -157,56 +180,6 @@ class LayeringViolation(GraphRule):
                     rel_path,
                     lineno,
                     f"{module} imports {imported}: {reason}",
-                )
-
-
-@register_graph_rule
-class ImpureDigestPath(GraphRule):
-    """Digest computations must be pure through every helper they reach.
-
-    The per-file ``time-in-digest`` / ``unordered-digest-iteration``
-    rules see direct hazards; this rule follows the call graph, so an
-    unseeded RNG two helpers away from ``stable_hash`` still surfaces —
-    at the digest function, with the offending chain spelled out.
-    """
-
-    name = "impure-digest-path"
-    description = (
-        "function reachable from a digest/id computation performs "
-        "nondeterministic work"
-    )
-    version = 1
-
-    def check_module(self, project, module: str) -> Iterator[Finding]:
-        calls = project.calls
-        graph = project.imports
-        rel_path = graph.modules[module]
-        facts = graph.facts[rel_path]
-        for fn in facts.functions:
-            if not fn.is_digest:
-                continue
-            root = f"{module}.{fn.qualname}"
-            for reached in sorted(calls.reachable(root)):
-                if reached == root:
-                    continue
-                _mod, reached_fn = calls.functions[reached]
-                hazards: List[str] = []
-                if reached_fn.impure:
-                    hazards.extend(
-                        f"calls {qualified}" for qualified, _ in reached_fn.impure
-                    )
-                if reached_fn.unordered:
-                    hazards.append("iterates an unordered set/dict")
-                if not hazards:
-                    continue
-                chain = calls.paths_to(root, reached)
-                via = " -> ".join(chain) if chain else f"{root} -> {reached}"
-                yield self.finding(
-                    rel_path,
-                    fn.lineno,
-                    f"digest path {fn.qualname}() transitively reaches "
-                    f"{reached}, which {'; '.join(sorted(set(hazards)))} "
-                    f"(via {via})",
                 )
 
 
@@ -229,6 +202,26 @@ class PoolTaskClosure(GraphRule):
         "WaveExecutor task resolves to unpicklable or worker-unsafe code"
     )
     version = 1
+    example_positive = (
+        "# tasks.py\n"
+        "SEEN = set()\n"
+        "def train(spec):\n"
+        "    global SEEN\n"
+        "    SEEN = SEEN | {spec.name}  # lost in pooled workers\n"
+        "# driver.py\n"
+        "from tasks import train\n"
+        "def run(pool, specs):\n"
+        "    pool.run_wave(train, specs)\n"
+    )
+    example_negative = (
+        "# tasks.py\n"
+        "def train(spec):\n"
+        "    return spec.name  # results flow back via the wave\n"
+        "# driver.py\n"
+        "from tasks import train\n"
+        "def run(pool, specs):\n"
+        "    pool.run_wave(train, specs)\n"
+    )
 
     def check_module(self, project, module: str) -> Iterator[Finding]:
         calls = project.calls
@@ -286,6 +279,18 @@ class DeadSymbol(GraphRule):
     description = "public top-level symbol is never referenced"
     version = 1
     scope = "project"
+    example_positive = (
+        "# src/repro/util_extras.py\n"
+        "def forgotten_helper():  # nothing imports or calls it\n"
+        "    return 42\n"
+    )
+    example_negative = (
+        "# src/repro/util_extras.py\n"
+        "def used_helper():\n"
+        "    return 42\n"
+        "# src/repro/consumer.py\n"
+        "from repro.util_extras import used_helper\n"
+    )
 
     def check_project(self, project) -> Iterator[Finding]:
         graph = project.imports

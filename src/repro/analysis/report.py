@@ -52,6 +52,15 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
             f"{result.graph_cache_misses} misses, "
             f"{result.graph_seconds:.2f}s)"
         )
+    if result.dataflow_enabled:
+        lines.append(
+            f"dataflow: {result.dataflow_modules} modules, "
+            f"{result.dataflow_functions} functions, "
+            f"{result.dataflow_files_reanalyzed} re-analyzed "
+            f"(cache {result.dataflow_cache_hits} hits / "
+            f"{result.dataflow_cache_misses} misses, "
+            f"{result.dataflow_seconds:.2f}s)"
+        )
     return "\n".join(lines)
 
 
@@ -85,5 +94,14 @@ def render_json(result: LintResult) -> str:
             "cache_hits": result.graph_cache_hits,
             "cache_misses": result.graph_cache_misses,
             "fingerprint": result.graph_fingerprint,
+        }
+    if result.dataflow_enabled:
+        payload["dataflow"] = {
+            "modules": result.dataflow_modules,
+            "functions": result.dataflow_functions,
+            "files_reanalyzed": result.dataflow_files_reanalyzed,
+            "cache_hits": result.dataflow_cache_hits,
+            "cache_misses": result.dataflow_cache_misses,
+            "fingerprint": result.dataflow_fingerprint,
         }
     return json.dumps(payload, indent=2, sort_keys=True)

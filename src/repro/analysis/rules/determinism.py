@@ -80,6 +80,15 @@ class UnseededRandom(Rule):
         "generator inside a function instead"
     )
     version = 1
+    example_positive = (
+        "import random\n"
+        "JITTER = random.random()  # differs per process\n"
+    )
+    example_negative = (
+        "import random\n"
+        "def jitter(seed):\n"
+        "    return random.Random(seed).random()\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         function_nodes = set()
@@ -145,6 +154,15 @@ class TimeInDigest(Rule):
         "must be pure functions of content"
     )
     version = 1
+    example_positive = (
+        "import time\n"
+        "def make_id(payload):\n"
+        "    return f\"{payload}-{time.time()}\"\n"
+    )
+    example_negative = (
+        "def make_id(payload):\n"
+        "    return f\"id-{payload}\"\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for function in _digest_functions(ctx):
@@ -182,6 +200,20 @@ class UnorderedDigestIteration(Rule):
         "digest path"
     )
     version = 1
+    example_positive = (
+        "def checksum(items):\n"
+        "    total = 0\n"
+        "    for item in set(items):\n"
+        "        total = total * 31 + hash(item)\n"
+        "    return total\n"
+    )
+    example_negative = (
+        "def checksum(items):\n"
+        "    total = 0\n"
+        "    for item in sorted(set(items)):\n"
+        "        total = total * 31 + hash(item)\n"
+        "    return total\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for function in _digest_functions(ctx):

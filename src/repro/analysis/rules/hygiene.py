@@ -39,6 +39,17 @@ class MutableDefault(Rule):
     name = "mutable-default"
     description = "mutable default argument; default to None and allocate inside"
     version = 1
+    example_positive = (
+        "def collect(item, bucket=[]):\n"
+        "    bucket.append(item)\n"
+        "    return bucket\n"
+    )
+    example_negative = (
+        "def collect(item, bucket=None):\n"
+        "    bucket = [] if bucket is None else bucket\n"
+        "    bucket.append(item)\n"
+        "    return bucket\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -66,6 +77,20 @@ class BareExcept(Rule):
     name = "bare-except"
     description = "bare except: clause; name the exception type"
     version = 1
+    example_positive = (
+        "def load(path):\n"
+        "    try:\n"
+        "        return open(path).read()\n"
+        "    except:\n"
+        "        return None\n"
+    )
+    example_negative = (
+        "def load(path):\n"
+        "    try:\n"
+        "        return open(path).read()\n"
+        "    except OSError:\n"
+        "        return None\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -99,6 +124,19 @@ class SwallowedException(Rule):
     )
     severity = "warning"
     version = 1
+    example_positive = (
+        "def cleanup(path):\n"
+        "    try:\n"
+        "        remove(path)\n"
+        "    except OSError:\n"
+        "        pass\n"
+    )
+    example_negative = (
+        "import contextlib\n"
+        "def cleanup(path):\n"
+        "    with contextlib.suppress(OSError):\n"
+        "        remove(path)\n"
+    )
 
     def applies_to(self, ctx: FileContext) -> bool:
         return ctx.is_library

@@ -48,6 +48,16 @@ class NoPrint(Rule):
         "(library) or the benchmark harness recorder"
     )
     version = 1
+    example_positive = (
+        "def save(path, payload):\n"
+        "    print(f'saving {path}')\n"
+    )
+    example_negative = (
+        "from repro.obs.logging import get_logger\n"
+        "_log = get_logger('lake.save')\n"
+        "def save(path, payload):\n"
+        "    _log.info('saving', path=path)\n"
+    )
 
     def applies_to(self, ctx: FileContext) -> bool:
         return (ctx.is_library and not ctx.is_cli) or ctx.is_benchmark
@@ -77,6 +87,14 @@ class ObsLogger(Rule):
         "repro.obs.logging.get_logger so records stay structured"
     )
     version = 1
+    example_positive = (
+        "import logging\n"
+        "_log = logging.getLogger('lake')\n"
+    )
+    example_negative = (
+        "from repro.obs.logging import get_logger\n"
+        "_log = get_logger('lake')\n"
+    )
 
     def applies_to(self, ctx: FileContext) -> bool:
         return ctx.is_library and _OBS_PREFIX not in ctx.rel_path
@@ -112,6 +130,17 @@ class SpanContext(Rule):
         "lifecycles leak onto the thread-local stack"
     )
     version = 1
+    example_positive = (
+        "from repro.obs.tracing import trace\n"
+        "def step():\n"
+        "    span = trace('step')  # never exited\n"
+    )
+    example_negative = (
+        "from repro.obs.tracing import trace\n"
+        "def step():\n"
+        "    with trace('step'):\n"
+        "        pass\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -153,6 +182,18 @@ class BenchResultSchema(Rule):
         "schema-versioned, host-stamped, and trajectory-comparable"
     )
     version = 1
+    example_positive = (
+        "import json\n"
+        "def record(path, metrics):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        json.dump(metrics, handle)\n"
+    )
+    example_negative = (
+        "from repro.obs.timeseries import BenchResult, append_result\n"
+        "def record(results_dir, metrics):\n"
+        "    append_result(results_dir, BenchResult.create(\n"
+        "        bench='demo', mode='full', metrics=metrics))\n"
+    )
 
     def applies_to(self, ctx: FileContext) -> bool:
         return ctx.is_benchmark

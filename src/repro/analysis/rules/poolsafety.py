@@ -135,6 +135,16 @@ class PoolTaskModuleLevel(Rule):
         "(picklable, no captured lakes/stores/handles)"
     )
     version = 1
+    example_positive = (
+        "def run(pool, items):\n"
+        "    pool.run_wave(lambda item: item * 2, items)\n"
+    )
+    example_negative = (
+        "def double(item):\n"
+        "    return item * 2\n"
+        "def run(pool, items):\n"
+        "    pool.run_wave(double, items)\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         visitor = _ScopeVisitor()

@@ -68,6 +68,17 @@ class RawArtifactWrite(Rule):
     )
     version = 1
     baseline_exempt = True
+    example_positive = (
+        "import json\n"
+        "def save_manifest(path, manifest):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        handle.write(json.dumps(manifest))\n"
+    )
+    example_negative = (
+        "from repro.reliability.atomic import atomic_write_json\n"
+        "def save_manifest(path, manifest):\n"
+        "    atomic_write_json(path, manifest)\n"
+    )
 
     def applies_to(self, ctx: FileContext) -> bool:
         return ctx.rel_path.startswith(_ARTIFACT_PREFIXES)
@@ -107,6 +118,16 @@ class WholeFileRead(Rule):
         "instead so resident memory stays flat in the lake size"
     )
     version = 1
+    example_positive = (
+        "import numpy\n"
+        "def load_weights(path):\n"
+        "    return numpy.load(path)\n"
+    )
+    example_negative = (
+        "import numpy\n"
+        "def load_weights(path):\n"
+        "    return numpy.load(path, mmap_mode='r')\n"
+    )
 
     def applies_to(self, ctx: FileContext) -> bool:
         return ctx.rel_path.startswith(_ARTIFACT_PREFIXES)

@@ -37,11 +37,19 @@ from repro.analysis.core import (
     rule_names,
     rules_fingerprint,
 )
+from repro.analysis.dataflow import (
+    DEFAULT_DATAFLOW_CACHE_NAME,
+    DataflowCache,
+    analyze_dataflow,
+    dataflow_rule_names,
+)
 from repro.analysis.graph import (
     DEFAULT_CONTRACT_NAME,
     DEFAULT_GRAPH_CACHE_NAME,
     GraphCache,
+    ProjectGraph,
     analyze_project,
+    build_project,
     graph_rule_names,
     load_contract,
 )
@@ -49,6 +57,13 @@ from repro.analysis.pragmas import apply_pragmas
 from repro.errors import ConfigError
 from repro.obs import metrics as obs_metrics
 from repro.obs.instrument import (
+    DATAFLOW_CACHE_HITS,
+    DATAFLOW_CACHE_MISSES,
+    DATAFLOW_FILES_REANALYZED,
+    DATAFLOW_FINDINGS,
+    DATAFLOW_FUNCTIONS,
+    DATAFLOW_MODULES,
+    DATAFLOW_RUN_SECONDS,
     GRAPH_BUILD_SECONDS,
     GRAPH_CACHE_HITS,
     GRAPH_CACHE_MISSES,
@@ -81,7 +96,12 @@ _SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
 
 def known_rule_names() -> List[str]:
     """Every rule id usable in pragmas, baselines, and filters."""
-    return sorted(set(rule_names()) | set(graph_rule_names()) | {"syntax-error"})
+    return sorted(
+        set(rule_names())
+        | set(graph_rule_names())
+        | set(dataflow_rule_names())
+        | {"syntax-error"}
+    )
 
 
 @dataclass
@@ -94,8 +114,10 @@ class LintConfig:
     cache_path: Optional[str] = None  # default: <root>/.repro-lint-cache.json
     use_cache: bool = True
     graph: bool = False  # run whole-program rules too
+    dataflow: bool = False  # run the CFG/taint rule pack too
     arch_path: Optional[str] = None  # default: <root>/.repro-arch.toml
     graph_cache_path: Optional[str] = None  # default: <root>/.repro-graph-cache.json
+    dataflow_cache_path: Optional[str] = None  # default: <root>/.repro-dataflow-cache.json
     select: Optional[Sequence[str]] = None  # keep only these rules
     ignore: Sequence[str] = ()  # drop these rules
 
@@ -124,6 +146,13 @@ class LintConfig:
             return None
         return self.graph_cache_path or os.path.join(
             self.resolved_root(), DEFAULT_GRAPH_CACHE_NAME
+        )
+
+    def resolved_dataflow_cache(self) -> Optional[str]:
+        if not self.use_cache:
+            return None
+        return self.dataflow_cache_path or os.path.join(
+            self.resolved_root(), DEFAULT_DATAFLOW_CACHE_NAME
         )
 
     def rule_filter(self) -> "RuleFilter":
@@ -179,6 +208,15 @@ class LintResult:
     graph_cache_misses: int = 0
     graph_seconds: float = 0.0
     graph_fingerprint: str = ""
+    # -- dataflow phase (zeros when the phase did not run) ------------
+    dataflow_enabled: bool = False
+    dataflow_modules: int = 0
+    dataflow_functions: int = 0
+    dataflow_files_reanalyzed: int = 0
+    dataflow_cache_hits: int = 0
+    dataflow_cache_misses: int = 0
+    dataflow_seconds: float = 0.0
+    dataflow_fingerprint: str = ""
 
     @property
     def errors(self) -> List[Finding]:
@@ -268,14 +306,14 @@ def _run_graph_phase(
     config: LintConfig,
     sources: Dict[str, Tuple[str, str]],
     result: LintResult,
+    project: "ProjectGraph",
+    cache: GraphCache,
 ) -> List[Finding]:
-    """Whole-program phase: assemble graphs, run interprocedural rules."""
-    contract = load_contract(config.resolved_arch())
-    cache = GraphCache(config.resolved_graph_cache())
+    """Whole-program phase: run the interprocedural graph rules."""
+    contract = project.contract
     started = time.perf_counter()
     with trace("lint.graph", files=len(sources)):
-        report = analyze_project(sources, contract, cache)
-        cache.save()
+        report = analyze_project(sources, contract, cache, project=project)
     result.graph_enabled = True
     result.graph_modules = report.modules
     result.graph_edges = report.all_edges
@@ -292,6 +330,36 @@ def _run_graph_phase(
     obs_metrics.inc(GRAPH_CACHE_MISSES, report.cache_misses)
     obs_metrics.inc(GRAPH_FINDINGS, len(report.findings))
     obs_metrics.observe(GRAPH_BUILD_SECONDS, result.graph_seconds)
+    return report.findings
+
+
+def _run_dataflow_phase(
+    config: LintConfig,
+    sources: Dict[str, Tuple[str, str]],
+    result: LintResult,
+    project: "ProjectGraph",
+) -> List[Finding]:
+    """CFG/taint phase: run the dataflow rule pack incrementally."""
+    cache = DataflowCache(config.resolved_dataflow_cache())
+    started = time.perf_counter()
+    with trace("lint.dataflow", files=len(sources)):
+        report = analyze_dataflow(sources, project, cache)
+        cache.save()
+    result.dataflow_enabled = True
+    result.dataflow_modules = report.modules
+    result.dataflow_functions = report.functions_analyzed
+    result.dataflow_files_reanalyzed = report.files_reanalyzed
+    result.dataflow_cache_hits = report.cache_hits
+    result.dataflow_cache_misses = report.cache_misses
+    result.dataflow_seconds = time.perf_counter() - started
+    result.dataflow_fingerprint = report.fingerprint
+    obs_metrics.inc(DATAFLOW_MODULES, report.modules)
+    obs_metrics.inc(DATAFLOW_FUNCTIONS, report.functions_analyzed)
+    obs_metrics.inc(DATAFLOW_FILES_REANALYZED, report.files_reanalyzed)
+    obs_metrics.inc(DATAFLOW_CACHE_HITS, report.cache_hits)
+    obs_metrics.inc(DATAFLOW_CACHE_MISSES, report.cache_misses)
+    obs_metrics.inc(DATAFLOW_FINDINGS, len(report.findings))
+    obs_metrics.observe(DATAFLOW_RUN_SECONDS, result.dataflow_seconds)
     return report.findings
 
 
@@ -315,8 +383,23 @@ def run_lint(config: LintConfig) -> LintResult:
             aggregate.extend(findings)
             result.files_scanned += 1
         cache.save()
-        if config.graph:
-            aggregate.extend(_run_graph_phase(config, sources, result))
+        if config.graph or config.dataflow:
+            # Both whole-program phases read the same built project;
+            # assemble it once (extraction goes through the graph cache).
+            graph_cache = GraphCache(config.resolved_graph_cache())
+            contract = load_contract(config.resolved_arch())
+            project = build_project(sources, contract, graph_cache)
+            if config.graph:
+                aggregate.extend(
+                    _run_graph_phase(
+                        config, sources, result, project, graph_cache
+                    )
+                )
+            if config.dataflow:
+                aggregate.extend(
+                    _run_dataflow_phase(config, sources, result, project)
+                )
+            graph_cache.save()
     if not rule_filter.is_noop:
         aggregate = [f for f in aggregate if rule_filter.active(f.rule)]
     # Baseline-exempt rules bypass the suppression ledger entirely:
@@ -335,6 +418,16 @@ def run_lint(config: LintConfig) -> LintResult:
         # Entries for rules outside the filter never had a chance to
         # match; reporting them as stale would be noise.
         unused = [entry for entry in unused if rule_filter.active(entry.rule)]
+    # Likewise for rules whose whole phase was skipped this run.
+    skipped_rules: set = set()
+    if not config.graph:
+        skipped_rules |= set(graph_rule_names())
+    if not config.dataflow:
+        skipped_rules |= set(dataflow_rule_names())
+    if skipped_rules:
+        unused = [
+            entry for entry in unused if entry.rule not in skipped_rules
+        ]
     result.findings = kept
     result.baseline_suppressed = suppressed
     result.unused_baseline = unused
@@ -354,6 +447,8 @@ def run_lint(config: LintConfig) -> LintResult:
         cache_misses=cache.misses,
         graph=result.graph_enabled,
         graph_reanalyzed=result.graph_files_reanalyzed,
+        dataflow=result.dataflow_enabled,
+        dataflow_reanalyzed=result.dataflow_files_reanalyzed,
         seconds=round(result.elapsed_seconds, 4),
     )
     return result

@@ -15,9 +15,11 @@ Subcommands::
     python -m repro trace    report FILE [--top N] [--flame FILE] [--json]
     python -m repro bench    [--smoke] [--select NAMES] [--check]
                              [--results DIR] [--no-record] [--json]
-    python -m repro lint     [PATHS ...] [--strict] [--graph] [--json]
-                             [--select RULES] [--ignore RULES]
+    python -m repro lint     [PATHS ...] [--strict] [--graph] [--dataflow]
+                             [--json] [--select RULES] [--ignore RULES]
+                             [--explain RULE]
     python -m repro graph    [PATHS ...] [--dot | --json] [--out FILE]
+                             [--cfg FUNC]
 
 Global flags (before the subcommand)::
 
@@ -44,6 +46,8 @@ from dataclasses import asdict
 from typing import Callable, List, Optional
 
 from repro.analysis import LintConfig, collect_sources, render_json, render_text, run_lint
+from repro.analysis.dataflow import find_function, render_cfg_dot, render_cfg_text
+from repro.analysis.explain import explain_rule, explainable_rules
 from repro.analysis.graph import (
     build_project,
     load_contract,
@@ -420,14 +424,27 @@ def _parse_rule_list(raw: Optional[str]) -> Optional[List[str]]:
 
 
 def _cmd_lint(args) -> int:
+    if args.explain is not None:
+        rendered = explain_rule(args.explain)
+        if rendered is None:
+            known = ", ".join(explainable_rules())
+            print(
+                f"error: unknown rule {args.explain!r}; known rules: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        print(rendered)
+        return 0
     config = LintConfig(
         paths=args.paths,
         root=args.root,
         baseline_path=args.baseline,
         cache_path=args.cache,
         use_cache=not args.no_cache,
-        # Graph rules guard the architecture, so strict mode implies them.
+        # Graph and dataflow rules guard the architecture and the
+        # concurrency/resource invariants, so strict mode implies both.
         graph=(args.graph or args.strict) and not args.no_graph,
+        dataflow=(args.dataflow or args.strict) and not args.no_dataflow,
         arch_path=args.arch,
         select=_parse_rule_list(args.select),
         ignore=_parse_rule_list(args.ignore) or (),
@@ -446,6 +463,20 @@ def _cmd_graph(args) -> int:
         args.arch or os.path.join(root, ".repro-arch.toml")
     )
     sources = collect_sources(root, args.paths)
+    if args.cfg:
+        fn = find_function(sources, args.cfg)
+        if fn is None:
+            print(f"error: no function named {args.cfg!r}", file=sys.stderr)
+            return 2
+        cfg = fn.cfg
+        rendered = render_cfg_dot(cfg) if args.dot else render_cfg_text(cfg)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(rendered)
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(rendered)
+        return 0
     project = build_project(sources, contract)
     if args.dot:
         rendered = render_graph_dot(project)
@@ -641,6 +672,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "(implied by --strict)")
     lint.add_argument("--no-graph", action="store_true",
                       help="skip graph rules even under --strict")
+    lint.add_argument("--dataflow", action="store_true",
+                      help="also run CFG/taint dataflow rules "
+                           "(implied by --strict)")
+    lint.add_argument("--no-dataflow", action="store_true",
+                      help="skip dataflow rules even under --strict")
+    lint.add_argument("--explain", default=None, metavar="RULE",
+                      help="print what RULE checks, with a minimal "
+                           "positive/negative example, then exit")
     lint.add_argument("--arch", default=None, metavar="FILE",
                       help="layer contract (default ROOT/.repro-arch.toml)")
     lint.add_argument("--select", default=None, metavar="RULE[,RULE...]",
@@ -669,6 +708,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "in the JSON document")
     graph.add_argument("--arch", default=None, metavar="FILE",
                        help="layer contract (default ROOT/.repro-arch.toml)")
+    graph.add_argument("--cfg", default=None, metavar="FUNC",
+                       help="render the control-flow graph of one function "
+                            "(fully-qualified or bare name) instead of the "
+                            "import graph; combine with --dot for Graphviz")
     graph.add_argument("--out", default=None, metavar="FILE",
                        help="write to FILE instead of stdout")
     graph.set_defaults(func=_cmd_graph)

@@ -146,6 +146,14 @@ GRAPH_CACHE_HITS = "analysis.graph.cache_hits"
 GRAPH_CACHE_MISSES = "analysis.graph.cache_misses"
 GRAPH_FINDINGS = "analysis.graph.findings"
 
+DATAFLOW_MODULES = "analysis.dataflow.modules"
+DATAFLOW_FUNCTIONS = "analysis.dataflow.functions"
+DATAFLOW_FILES_REANALYZED = "analysis.dataflow.files_reanalyzed"
+DATAFLOW_CACHE_HITS = "analysis.dataflow.cache_hits"
+DATAFLOW_CACHE_MISSES = "analysis.dataflow.cache_misses"
+DATAFLOW_FINDINGS = "analysis.dataflow.findings"
+DATAFLOW_RUN_SECONDS = "analysis.dataflow.run_seconds"
+
 
 def timed(
     histogram_name: str,

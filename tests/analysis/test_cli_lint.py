@@ -92,3 +92,18 @@ def test_lint_on_this_repository_is_clean():
         "lint", "--root", repo_root, "--strict", "--no-cache",
         "src", "tests", "benchmarks",
     ]) == 0
+
+
+def test_lint_explain_known_rule(capsys):
+    assert main(["lint", "--explain", "resource-leak"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("resource-leak")
+    assert "Flags:" in out and "Passes:" in out
+    assert "noqa[resource-leak]" in out
+
+
+def test_lint_explain_unknown_rule_lists_known_ones(capsys):
+    assert main(["lint", "--explain", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err
+    assert "impure-digest-flow" in err

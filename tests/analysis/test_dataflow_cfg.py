@@ -1,0 +1,181 @@
+"""CFG construction: shapes, edges, and renderers."""
+
+import ast
+
+from repro.analysis.dataflow import build_cfg, render_cfg_dot, render_cfg_text
+
+
+def cfg_of(source, name="fn"):
+    tree = ast.parse(source)
+    fn = next(
+        node for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(fn, name)
+
+
+def reachable(cfg, start=None):
+    seen = set()
+    stack = [cfg.entry if start is None else start]
+    while stack:
+        index = stack.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        stack.extend(cfg.blocks[index].succs)
+    return seen
+
+
+def lines_in(cfg, index):
+    return [element.lineno for element in cfg.blocks[index].elements]
+
+
+def test_straight_line_is_entry_body_exit():
+    cfg = cfg_of("def fn():\n    a = 1\n    b = a\n    return b\n")
+    assert cfg.exit in reachable(cfg)
+    body = [b for b in cfg.blocks if b.elements]
+    assert len(body) == 1
+    assert [e.lineno for e in body[0].elements] == [2, 3, 4]
+
+
+def test_if_else_forks_and_joins():
+    cfg = cfg_of(
+        "def fn(flag):\n"
+        "    if flag:\n"
+        "        x = 1\n"
+        "    else:\n"
+        "        x = 2\n"
+        "    return x\n"
+    )
+    # The test element must sit in a block with two successors.
+    fork = next(
+        block for block in cfg.blocks
+        if any(e.kind == "test" for e in block.elements)
+    )
+    assert len(fork.succs) == 2
+    # Both arms must reach the block holding the return.
+    ret = next(b for b in cfg.blocks if 6 in lines_in(cfg, b.index))
+    for arm in fork.succs:
+        assert ret.index in reachable(cfg, arm)
+
+
+def test_while_loop_has_back_edge():
+    cfg = cfg_of(
+        "def fn(n):\n"
+        "    while n > 0:\n"
+        "        n -= 1\n"
+        "    return n\n"
+    )
+    header = next(
+        block for block in cfg.blocks
+        if any(e.kind == "test" for e in block.elements)
+    )
+    body = next(b for b in cfg.blocks if 3 in lines_in(cfg, b.index))
+    assert header.index in reachable(cfg, body.index)  # back edge
+
+
+def test_break_exits_the_loop_and_continue_reenters_it():
+    cfg = cfg_of(
+        "def fn(items):\n"
+        "    for item in items:\n"
+        "        if item < 0:\n"
+        "            break\n"
+        "        if item == 0:\n"
+        "            continue\n"
+        "        use(item)\n"
+        "    return 1\n"
+    )
+    brk = next(b for b in cfg.blocks if 4 in lines_in(cfg, b.index))
+    cont = next(b for b in cfg.blocks if 6 in lines_in(cfg, b.index))
+    after = next(b for b in cfg.blocks if 8 in lines_in(cfg, b.index))
+    header = next(
+        b for b in cfg.blocks
+        if any(e.kind == "for" for e in b.elements)
+    )
+    assert after.index in reachable(cfg, brk.index)
+    assert header.index in reachable(cfg, cont.index)
+    # break must NOT flow back through the loop header first.
+    assert header.index not in {s for s in brk.succs}
+
+
+def test_except_and_finally_are_reachable_from_the_body():
+    cfg = cfg_of(
+        "def fn(path):\n"
+        "    try:\n"
+        "        data = read(path)\n"
+        "    except OSError:\n"
+        "        data = None\n"
+        "    finally:\n"
+        "        log()\n"
+        "    return data\n"
+    )
+    body = next(b for b in cfg.blocks if 3 in lines_in(cfg, b.index))
+    handler = next(b for b in cfg.blocks if 5 in lines_in(cfg, b.index))
+    fin = next(b for b in cfg.blocks if 7 in lines_in(cfg, b.index))
+    assert handler.index in reachable(cfg, body.index)
+    assert fin.index in reachable(cfg, body.index)
+    assert fin.index in reachable(cfg, handler.index)
+
+
+def test_return_routes_through_enclosing_finally():
+    cfg = cfg_of(
+        "def fn():\n"
+        "    try:\n"
+        "        return 1\n"
+        "    finally:\n"
+        "        cleanup()\n"
+    )
+    ret = next(b for b in cfg.blocks if 3 in lines_in(cfg, b.index))
+    fin = next(b for b in cfg.blocks if 5 in lines_in(cfg, b.index))
+    assert fin.index in reachable(cfg, ret.index)
+    assert cfg.exit in reachable(cfg, fin.index)
+
+
+def test_with_header_element_carries_the_context():
+    cfg = cfg_of(
+        "def fn(path):\n"
+        "    with open(path) as handle:\n"
+        "        data = handle.read()\n"
+        "    return data\n"
+    )
+    headers = [
+        e for _b, _p, e in cfg.elements() if e.kind == "with"
+    ]
+    assert len(headers) == 1
+    assert headers[0].lineno == 2
+
+
+def test_comprehension_statement_gets_a_self_edge():
+    cfg = cfg_of(
+        "def fn(items):\n"
+        "    out = [x * 2 for x in items]\n"
+        "    return out\n"
+    )
+    comp = next(b for b in cfg.blocks if 2 in lines_in(cfg, b.index))
+    assert comp.index in comp.succs
+
+
+def test_match_forks_per_case():
+    cfg = cfg_of(
+        "def fn(cmd):\n"
+        "    match cmd:\n"
+        "        case 'a':\n"
+        "            out = 1\n"
+        "        case _:\n"
+        "            out = 2\n"
+        "    return out\n"
+    )
+    cases = [e for _b, _p, e in cfg.elements() if e.kind == "match"]
+    assert len(cases) == 2
+    ret = next(b for b in cfg.blocks if 7 in lines_in(cfg, b.index))
+    assert ret.index in reachable(cfg)
+
+
+def test_renderers_name_the_function():
+    cfg = cfg_of("def fn(a):\n    if a:\n        a = 0\n    return a\n")
+    text = render_cfg_text(cfg)
+    dot = render_cfg_dot(cfg)
+    assert text.startswith("cfg fn (")
+    assert "digraph cfg" in dot
+    assert "fn" in dot
+    assert "->" in dot

@@ -1,0 +1,125 @@
+"""The worklist solver and its two classic instances."""
+
+import ast
+
+import pytest
+
+from repro.analysis.dataflow import (
+    Analysis,
+    build_cfg,
+    solve,
+    solve_liveness,
+    solve_reaching,
+)
+
+
+def cfg_of(source):
+    tree = ast.parse(source)
+    fn = next(
+        node for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(fn)
+
+
+def reaching_before_return(cfg):
+    """Definition lines reaching the return statement, per name."""
+    analysis, facts = solve_reaching(cfg)
+    for block in cfg.blocks:
+        for position, element in enumerate(block.elements):
+            if isinstance(element.node, ast.Return):
+                fact = analysis.at_element(
+                    cfg, facts, analysis, block, position
+                )
+                out = {}
+                for definition in fact:
+                    out.setdefault(definition.name, set()).add(definition.line)
+                return out
+    raise AssertionError("no return statement")
+
+
+def test_reaching_straight_line_keeps_last_definition():
+    cfg = cfg_of("def fn():\n    a = 1\n    a = 2\n    return a\n")
+    assert reaching_before_return(cfg)["a"] == {3}
+
+
+def test_reaching_joins_both_branch_arms():
+    cfg = cfg_of(
+        "def fn(flag):\n"
+        "    if flag:\n"
+        "        x = 1\n"
+        "    else:\n"
+        "        x = 2\n"
+        "    return x\n"
+    )
+    assert reaching_before_return(cfg)["x"] == {3, 5}
+
+
+def test_reaching_loop_carried_definition_survives_the_back_edge():
+    cfg = cfg_of(
+        "def fn(n):\n"
+        "    total = 0\n"
+        "    while n:\n"
+        "        total = total + n\n"
+        "        n = n - 1\n"
+        "    return total\n"
+    )
+    # Both the init and the loop-body rebinding reach the return.
+    assert reaching_before_return(cfg)["total"] == {2, 4}
+
+
+def test_parameters_reach_as_boundary_definitions():
+    cfg = cfg_of("def fn(seed):\n    return seed\n")
+    assert 1 in reaching_before_return(cfg)["seed"]
+
+
+def liveness_at_entry(cfg):
+    facts = solve_liveness(cfg)
+    # Backward analysis: facts_out of the entry block = live at entry.
+    return facts[cfg.entry][1]
+
+
+def test_liveness_read_before_write_is_live_at_entry():
+    cfg = cfg_of("def fn():\n    b = a + 1\n    return b\n")
+    live = liveness_at_entry(cfg)
+    assert "a" in live
+    assert "b" not in live
+
+
+def test_liveness_dead_store_is_not_live():
+    cfg = cfg_of("def fn(a):\n    unused = a\n    return a\n")
+    # 'unused' is never read afterwards, so it is live nowhere.
+    facts = solve_liveness(cfg)
+    assert all("unused" not in entry and "unused" not in exit_
+               for exit_, entry in facts.values())
+
+
+def test_liveness_use_in_loop_condition_stays_live_around_the_loop():
+    cfg = cfg_of(
+        "def fn(n):\n"
+        "    while n > 0:\n"
+        "        n = n - 1\n"
+        "    return n\n"
+    )
+    assert "n" in liveness_at_entry(cfg)
+
+
+class _NonMonotone(Analysis):
+    """Oscillates forever; the solver must abort, not hang."""
+
+    direction = "forward"
+
+    def bottom(self, cfg):
+        return 0
+
+    def join(self, left, right):
+        return max(left, right)
+
+    def transfer(self, element, fact):
+        return fact + 1  # grows without bound
+
+
+def test_solver_aborts_on_non_convergence():
+    cfg = cfg_of("def fn(n):\n    while n:\n        n = n - 1\n    return n\n")
+    with pytest.raises(RuntimeError, match="did not converge"):
+        solve(cfg, _NonMonotone())

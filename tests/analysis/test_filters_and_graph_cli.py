@@ -222,3 +222,112 @@ def test_graph_out_writes_file(tree, tmp_path, capsys):
     ]) == 0
     assert target.read_text().startswith("digraph repro_imports")
     assert capsys.readouterr().out == ""
+
+
+# -- lint --dataflow end to end ----------------------------------------
+
+
+LEAKY = (
+    "import json\n\n\n"
+    "def load(path, strict):\n"
+    "    handle = open(path)\n"
+    "    if strict:\n"
+    "        return json.load(handle)\n"
+    "    data = json.load(handle)\n"
+    "    handle.close()\n"
+    "    return data\n"
+)
+
+
+def test_lint_dataflow_reports_resource_leak(tree, capsys):
+    root = tree({"src/repro/reader.py": LEAKY})
+    code = main([
+        "lint", "--root", str(root), "--no-cache", "--dataflow", "src",
+    ])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "[resource-leak]" in out
+    assert "dataflow: 1 modules" in out
+
+
+def test_strict_implies_dataflow_and_no_dataflow_disables_it(tree, capsys):
+    root = tree({"src/repro/reader.py": LEAKY})
+    assert main(
+        ["lint", "--root", str(root), "--no-cache", "--strict", "src"]
+    ) == 1
+    assert "[resource-leak]" in capsys.readouterr().out
+    assert main([
+        "lint", "--root", str(root), "--no-cache", "--strict",
+        "--no-dataflow", "src",
+    ]) == 0
+
+
+def test_lint_dataflow_json_carries_dataflow_summary(tree, capsys):
+    root = tree({"src/repro/mod.py": "def f():\n    return 1\n"})
+    code = main([
+        "lint", "--root", str(root), "--no-cache", "--dataflow", "--json",
+        "src",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["dataflow"]["modules"] == 1
+    assert payload["dataflow"]["functions"] == 1
+    assert payload["dataflow"]["fingerprint"]
+
+
+def test_lint_dataflow_select_filter_applies(tree, capsys):
+    root = tree({"src/repro/reader.py": LEAKY})
+    code = main([
+        "lint", "--root", str(root), "--no-cache", "--dataflow",
+        "--ignore", "resource-leak", "src",
+    ])
+    assert code == 0
+
+
+# -- repro graph --cfg -------------------------------------------------
+
+
+CFG_TREE = {
+    "src/repro/calc.py": (
+        "def double(n):\n"
+        "    if n < 0:\n"
+        "        return 0\n"
+        "    return n * 2\n"
+    ),
+}
+
+
+def test_graph_cfg_text_render(tree, capsys):
+    root = tree(CFG_TREE)
+    assert main(["graph", "--root", str(root), "--cfg", "double", "src"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("cfg repro.calc.double")
+    assert "[entry]" in out and "[exit]" in out
+
+
+def test_graph_cfg_dot_render(tree, capsys):
+    root = tree(CFG_TREE)
+    assert main([
+        "graph", "--root", str(root), "--cfg", "repro.calc.double",
+        "--dot", "src",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph cfg")
+    assert "repro.calc.double" in out
+
+
+def test_graph_cfg_unknown_function_is_an_error(tree, capsys):
+    root = tree(CFG_TREE)
+    code = main(["graph", "--root", str(root), "--cfg", "nope", "src"])
+    assert code == 2
+    assert "no function named" in capsys.readouterr().err
+
+
+def test_graph_cfg_out_writes_file(tree, tmp_path, capsys):
+    root = tree(CFG_TREE)
+    target = tmp_path / "cfg.dot"
+    assert main([
+        "graph", "--root", str(root), "--cfg", "double", "--dot",
+        "--out", str(target), "src",
+    ]) == 0
+    assert target.read_text().startswith("digraph cfg")

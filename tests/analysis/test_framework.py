@@ -78,6 +78,28 @@ def test_bare_pragma_wins_over_named_pragmas_on_the_line():
     assert lint_source(source, LIB) == []
 
 
+def test_pragma_on_decorated_function_goes_on_the_def_line():
+    # A decorated function's findings anchor at the ``def`` line (the
+    # AST lineno skips decorators), so that is where the noqa belongs.
+    source = (
+        "import functools\n\n\n"
+        "@functools.cache\n"
+        "def g(acc=[]):  # repro: noqa[mutable-default]\n"
+        "    return acc\n"
+    )
+    assert lint_source(source, LIB) == []
+
+
+def test_pragma_on_decorator_line_does_not_suppress_the_def():
+    source = (
+        "import functools\n\n\n"
+        "@functools.cache  # repro: noqa[mutable-default]\n"
+        "def g(acc=[]):\n"
+        "    return acc\n"
+    )
+    assert [f.rule for f in lint_source(source, LIB)] == ["mutable-default"]
+
+
 # -- baseline ----------------------------------------------------------
 
 
@@ -120,6 +142,34 @@ def test_stale_baseline_entry_fails_strict_only(tmp_path):
     assert len(result.unused_baseline) == 1
     assert result.exit_code(strict=False) == 0
     assert result.exit_code(strict=True) == 1
+
+
+def test_entries_for_skipped_phases_are_not_stale(tmp_path):
+    # A dataflow-rule entry can only match when the dataflow phase runs;
+    # a per-file-only sweep must not report it as stale (else every
+    # scoped run would demand ledger churn).
+    root = make_tree(tmp_path, {"src/repro/lake/clean.py": "X = 1\n"})
+    (root / ".repro-lint.json").write_text(json.dumps({
+        "version": 1,
+        "suppressions": [{
+            "rule": "resource-leak",
+            "path": "src/repro/lake/clean.py",
+            "reason": "handle outlives the helper by design",
+        }],
+    }))
+    config = LintConfig(paths=["src"], root=str(root), use_cache=False)
+    assert not config.dataflow
+    result = run_lint(config)
+    assert result.unused_baseline == []
+    assert result.exit_code(strict=True) == 0
+    # With the phase on, the unmatched entry is stale again.
+    with_dataflow = run_lint(LintConfig(
+        paths=["src"], root=str(root), use_cache=False, dataflow=True,
+    ))
+    assert [entry.rule for entry in with_dataflow.unused_baseline] == [
+        "resource-leak"
+    ]
+    assert with_dataflow.exit_code(strict=True) == 1
 
 
 def test_baseline_cannot_suppress_exempt_rule(tmp_path):

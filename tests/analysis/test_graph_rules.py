@@ -114,72 +114,6 @@ def test_pragma_suppresses_graph_finding(tmp_path):
     assert by_rule(report, "layering-violation") == []
 
 
-# -- impure-digest-path ------------------------------------------------
-
-
-def test_impure_helper_two_hops_from_digest_is_flagged(tmp_path):
-    report = run_rules(tmp_path, {
-        "src/pkg/clock.py": (
-            "import time\n\n\n"
-            "def jitter():\n    return time.time()\n"
-        ),
-        "src/pkg/mid.py": (
-            "from pkg.clock import jitter\n\n\n"
-            "def salt():\n    return jitter()\n"
-        ),
-        "src/pkg/ids.py": (
-            "from pkg.mid import salt\n\n\n"
-            "def compute_digest(payload):\n    return (payload, salt())\n"
-        ),
-    })
-    (finding,) = by_rule(report, "impure-digest-path")
-    assert finding.path == "src/pkg/ids.py"
-    assert "calls time.time" in finding.message
-    assert "pkg.mid.salt -> pkg.clock.jitter" in finding.message
-
-
-def test_unordered_iteration_in_reached_helper_is_flagged(tmp_path):
-    report = run_rules(tmp_path, {
-        "src/pkg/helper.py": (
-            "def collect(items):\n"
-            "    return [x for x in set(items)]\n"
-        ),
-        "src/pkg/ids.py": (
-            "from pkg.helper import collect\n\n\n"
-            "def fingerprint(items):\n    return collect(items)\n"
-        ),
-    })
-    (finding,) = by_rule(report, "impure-digest-path")
-    assert "unordered" in finding.message
-
-
-def test_pure_digest_chain_is_clean(tmp_path):
-    report = run_rules(tmp_path, {
-        "src/pkg/helper.py": (
-            "def collect(items):\n    return sorted(items)\n"
-        ),
-        "src/pkg/ids.py": (
-            "from pkg.helper import collect\n\n\n"
-            "def fingerprint(items):\n    return collect(items)\n"
-        ),
-    })
-    assert by_rule(report, "impure-digest-path") == []
-
-
-def test_impurity_outside_digest_paths_is_not_this_rules_problem(tmp_path):
-    report = run_rules(tmp_path, {
-        "src/pkg/clock.py": (
-            "import time\n\n\n"
-            "def stamp():\n    return time.time()\n"
-        ),
-        "src/pkg/app.py": (
-            "from pkg.clock import stamp\n\n\n"
-            "def banner():\n    return stamp()\n"
-        ),
-    })
-    assert by_rule(report, "impure-digest-path") == []
-
-
 # -- pool-task-closure -------------------------------------------------
 
 
