@@ -20,10 +20,24 @@ from typing import Dict, List, Sequence, Tuple
 from repro.analysis.core import Finding
 from repro.errors import ConfigError
 
-__all__ = ["BaselineEntry", "Baseline", "load_baseline", "DEFAULT_BASELINE_NAME"]
+__all__ = [
+    "BaselineEntry",
+    "Baseline",
+    "load_baseline",
+    "save_baseline",
+    "updated_entries",
+    "is_todo_reason",
+    "DEFAULT_BASELINE_NAME",
+    "TODO_REASON",
+]
 
 DEFAULT_BASELINE_NAME = ".repro-lint.json"
 _FORMAT_VERSION = 1
+
+#: Placeholder reason ``--baseline-update`` writes for fresh findings.
+#: ``--strict`` rejects it: the ledger tracks the debt, a human still
+#: owes the justification.
+TODO_REASON = "TODO: justify this suppression"
 
 
 @dataclass(frozen=True)
@@ -63,6 +77,59 @@ class Baseline:
             entry for entry, was_used in zip(self.entries, used) if not was_used
         ]
         return kept, suppressed, unused
+
+
+def is_todo_reason(reason: str) -> bool:
+    """True for the ``--baseline-update`` placeholder (any TODO reason)."""
+    return reason.strip().lower().startswith("todo")
+
+
+def updated_entries(
+    baseline: Baseline,
+    stale: Sequence[BaselineEntry],
+    fresh_findings: Sequence[Finding],
+) -> List[BaselineEntry]:
+    """The rewritten ledger: current entries minus ``stale``, plus one
+    TODO-reason entry per distinct (rule, path) among ``fresh_findings``.
+
+    Pure so the runner decides what counts as stale (entries whose whole
+    phase was skipped this run must survive the rewrite).
+    """
+    dropped = set(stale)
+    entries = [entry for entry in baseline.entries if entry not in dropped]
+    present = {(entry.rule, entry.path) for entry in entries}
+    for finding in fresh_findings:
+        key = (finding.rule, finding.path)
+        if key in present:
+            continue
+        present.add(key)
+        entries.append(
+            BaselineEntry(
+                rule=finding.rule, path=finding.path, reason=TODO_REASON
+            )
+        )
+    return entries
+
+
+def save_baseline(path: str, entries: Sequence[BaselineEntry]) -> None:
+    """Write a ledger :func:`load_baseline` round-trips."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "suppressions": [
+            entry.to_dict()
+            for entry in sorted(
+                entries, key=lambda e: (e.rule, e.path, e.reason)
+            )
+        ],
+    }
+    try:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as error:
+        raise ConfigError(
+            f"cannot write baseline file {path}: {error}"
+        ) from error
 
 
 def load_baseline(path: str) -> Baseline:

@@ -149,10 +149,26 @@ def find_function(
     """Resolve ``--cfg FUNC`` to a function model.
 
     Accepts a fully-qualified name (``repro.lake.store.WeightStore.put``),
-    a module-relative qualname (``WeightStore.put``), or a bare function
-    name; the first match in sorted file order wins.
+    a module-relative qualname (``WeightStore.put``), a bare function
+    name — first match in sorted file order wins — or the unambiguous
+    ``path/to/file.py:qualname`` form, which looks only in that file.
     """
     models = ModelIndex(files, source_roots)
+    if ":" in name:
+        # path:qualname pins the file, so same-named functions in other
+        # modules can never shadow the one asked for.
+        raw_path, _, qualname = name.rpartition(":")
+        rel_path = raw_path.replace("\\", "/").lstrip("./")
+        model = models.model(rel_path)
+        if model is None or model.parse_error:
+            return None
+        for candidate in sorted(model.functions):
+            fn = model.functions[candidate]
+            if candidate == qualname or (
+                candidate.rsplit(".", 1)[-1] == qualname
+            ):
+                return fn
+        return None
     exact = models.function(name)
     if exact is not None:
         return exact

@@ -1,11 +1,12 @@
-"""``repro lint --explain RULE``: what a rule means and how it looks.
+"""``repro lint --explain [RULE]``: what a rule means and how it looks.
 
-Pulls one rule from whichever registry owns it — per-file, graph, or
-dataflow — and renders its description, severity, scope, and a minimal
-positive/negative example pair.  The examples are real sources (the
-explain tests execute the per-file ones through :func:`lint_source` and
-the dataflow ones through the engine), so the documentation cannot
-drift from the rules it describes.
+Pulls one rule from whichever registry owns it — per-file, graph,
+dataflow, or perf — and renders its description, severity, scope, and a
+minimal positive/negative example pair.  The examples are real sources
+(the explain tests execute the per-file ones through
+:func:`lint_source` and the pack ones through their engines), so the
+documentation cannot drift from the rules it describes.  With no RULE,
+:func:`explain_index` lists every rule grouped by pack.
 """
 
 from __future__ import annotations
@@ -15,8 +16,9 @@ from typing import List, Optional, Tuple
 from repro.analysis.core import all_rules
 from repro.analysis.dataflow.rules import all_dataflow_rules
 from repro.analysis.graph.rules import all_graph_rules
+from repro.analysis.perf.rules import all_perf_rules
 
-__all__ = ["explain_rule", "explainable_rules", "rule_record"]
+__all__ = ["explain_rule", "explain_index", "explainable_rules", "rule_record"]
 
 #: How the syntax-error pseudo-rule (emitted by the runner, not a
 #: registry) is documented.
@@ -67,6 +69,16 @@ def rule_record(name: str) -> Optional[dict]:
                 "example_positive": rule.example_positive,
                 "example_negative": rule.example_negative,
             }
+    for rule in all_perf_rules():
+        if rule.name == name:
+            return {
+                "name": rule.name,
+                "kind": "perf",
+                "severity": rule.severity,
+                "description": rule.description,
+                "example_positive": rule.example_positive,
+                "example_negative": rule.example_negative,
+            }
     return None
 
 
@@ -75,7 +87,40 @@ def explainable_rules() -> List[str]:
     names.update(rule.name for rule in all_rules())
     names.update(rule.name for rule in all_graph_rules())
     names.update(rule.name for rule in all_dataflow_rules())
+    names.update(rule.name for rule in all_perf_rules())
     return sorted(names)
+
+
+def _one_liner(description: str) -> str:
+    """First sentence of a rule description, for the index listing."""
+    text = " ".join(str(description).split())
+    for stop in (". ", "; "):
+        cut = text.find(stop)
+        if cut != -1:
+            return text[: cut + 1].rstrip("; ")
+    return text
+
+
+def explain_index() -> str:
+    """Every rule grouped by pack, one line each — the no-RULE listing."""
+    packs: List[Tuple[str, List[Tuple[str, str]]]] = [
+        (
+            "per-file (ast)",
+            [(r.name, r.description) for r in all_rules()]
+            + [(str(_SYNTAX_ERROR["name"]), str(_SYNTAX_ERROR["description"]))],
+        ),
+        ("graph", [(r.name, r.description) for r in all_graph_rules()]),
+        ("dataflow", [(r.name, r.description) for r in all_dataflow_rules()]),
+        ("perf", [(r.name, r.description) for r in all_perf_rules()]),
+    ]
+    lines: List[str] = []
+    for pack, rules in packs:
+        lines.append(f"{pack}:")
+        for name, description in sorted(rules):
+            lines.append(f"  {name:28s} {_one_liner(description)}")
+        lines.append("")
+    lines.append("Run `repro lint --explain RULE` for details and examples.")
+    return "\n".join(lines)
 
 
 def _indent(block: str) -> str:

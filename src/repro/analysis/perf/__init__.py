@@ -1,0 +1,63 @@
+"""The performance rule pack: cost model, rules, cache, engine, audit.
+
+Layered like the dataflow package it mirrors:
+
+* :mod:`costmodel` — loop depth over the PR-8 CFGs, growth sites through
+  reaching definitions, interprocedural depth through the call graph;
+* :mod:`rules` — the six perf rules and their registry;
+* :mod:`cache`/:mod:`engine` — dependency-digest incremental evaluation;
+* :mod:`audit` — the profile join behind ``repro perf-audit``.
+"""
+
+from repro.analysis.perf.audit import (
+    AuditEntry,
+    AuditReport,
+    audit_findings,
+    render_audit_json,
+    render_audit_text,
+)
+from repro.analysis.perf.cache import DEFAULT_PERF_CACHE_NAME, PerfCache
+from repro.analysis.perf.costmodel import (
+    CostModel,
+    GrowthSite,
+    Loop,
+    intrinsic_depth,
+)
+from repro.analysis.perf.engine import (
+    PERF_ENGINE_VERSION,
+    PerfEngine,
+    PerfReport,
+    analyze_perf,
+)
+from repro.analysis.perf.rules import (
+    PerfContext,
+    PerfRule,
+    all_perf_rules,
+    perf_rule_names,
+    perf_rules_fingerprint,
+    register_perf_rule,
+)
+
+__all__ = [
+    "AuditEntry",
+    "AuditReport",
+    "audit_findings",
+    "render_audit_json",
+    "render_audit_text",
+    "DEFAULT_PERF_CACHE_NAME",
+    "PerfCache",
+    "CostModel",
+    "GrowthSite",
+    "Loop",
+    "intrinsic_depth",
+    "PERF_ENGINE_VERSION",
+    "PerfEngine",
+    "PerfReport",
+    "analyze_perf",
+    "PerfContext",
+    "PerfRule",
+    "all_perf_rules",
+    "perf_rule_names",
+    "perf_rules_fingerprint",
+    "register_perf_rule",
+]

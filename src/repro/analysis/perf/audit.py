@@ -1,0 +1,215 @@
+"""Profile-guided ranking of perf findings: the hotness join.
+
+A static perf finding says "this shape is expensive *if it runs*"; the
+PR-6 span profile says what actually ran.  :func:`audit_findings` joins
+the two: each finding is anchored to its enclosing function (innermost
+def whose line range contains the finding), the function's module and
+qualname are tokenized, and every trace operation sharing a token
+contributes its measured self-time to the finding's *hotness*.  Ranked
+by hotness descending, the report reads top-down as "fix these first".
+
+The join is deliberately name-based, not symbol-based: spans are named
+by hand (``index.hnsw.search``, ``lake.shard.write``) while findings
+live at ``src/repro/index/hnsw.py:L`` — there is no shared identifier to
+key on, but the naming convention makes token overlap precise enough in
+practice, and a *miss* is itself the signal: with a trace loaded, a
+finding whose function never overlaps any measured span is statically
+plausible but dynamically cold, and is demoted to ``info`` severity
+rather than dropped — cold today is not cold forever.
+
+Layering: this module reads :mod:`repro.obs.analyze` (foundation).  The
+trajectory files live behind :mod:`repro.obs.timeseries` (compute
+layer), which the analysis layer must not import — the CLI joins those.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding
+from repro.analysis.dataflow.model import ModelIndex
+from repro.obs.analyze import TraceReport
+
+__all__ = [
+    "AuditEntry",
+    "AuditReport",
+    "audit_findings",
+    "render_audit_text",
+    "render_audit_json",
+]
+
+#: Path/name components too generic to anchor a join on.
+_GENERIC_TOKENS = {
+    "src",
+    "tests",
+    "benchmarks",
+    "repro",
+    "py",
+    "main",
+    "run",
+    "init",
+    "module",
+    "core",
+    "utils",
+}
+
+
+@dataclass
+class AuditEntry:
+    """One finding with its profile join attached."""
+
+    finding: Finding
+    function: str = ""  # enclosing function fq, "" at module level
+    hotness: float = 0.0  # summed self-time (s) of overlapping spans
+    spans: Tuple[str, ...] = ()  # operation names that contributed
+    demoted: bool = False  # cold under a loaded trace
+
+
+@dataclass
+class AuditReport:
+    """Findings ranked hottest-first, plus join accounting."""
+
+    entries: List[AuditEntry] = field(default_factory=list)
+    traced: bool = False
+    span_count: int = 0
+    demoted: int = 0
+
+
+def _tokens(text: str) -> Set[str]:
+    out: Set[str] = set()
+    for sep in ("/", ".", "_", "-", ":"):
+        text = text.replace(sep, " ")
+    for part in text.lower().split():
+        if part and part not in _GENERIC_TOKENS:
+            out.add(part)
+    return out
+
+
+def _finding_tokens(finding: Finding, function: str) -> Set[str]:
+    tokens = _tokens(finding.path)
+    if function:
+        tokens |= _tokens(function)
+    return tokens
+
+
+def _enclosing_function(
+    models: ModelIndex, rel_path: str, line: int
+) -> str:
+    """Fq of the innermost function whose span contains ``line``."""
+    model = models.model(rel_path)
+    if model is None or model.parse_error:
+        return ""
+    best = ""
+    best_size = None
+    for qualname in sorted(model.functions):
+        fn = model.functions[qualname]
+        start = fn.node.lineno
+        end = getattr(fn.node, "end_lineno", start) or start
+        if start <= line <= end:
+            size = end - start
+            if best_size is None or size < best_size:
+                best, best_size = fn.fq, size
+    return best
+
+
+def audit_findings(
+    findings: List[Finding],
+    files: Dict[str, Tuple[str, str]],
+    source_roots: Tuple[str, ...] = ("src",),
+    trace_report: Optional[TraceReport] = None,
+) -> AuditReport:
+    """Join perf ``findings`` against a parsed trace (or rank statically).
+
+    Without a trace, entries keep their static severity and rank by
+    position.  With one, hotness is summed self-time of token-overlapping
+    operations; zero-hotness findings are demoted to ``info``.
+    """
+    models = ModelIndex(files, source_roots)
+    op_tokens: List[Tuple[Set[str], str, float]] = []
+    if trace_report is not None:
+        for op in trace_report.operations:
+            op_tokens.append((_tokens(op.name), op.name, op.self_total))
+    report = AuditReport(
+        traced=trace_report is not None,
+        span_count=trace_report.span_count if trace_report else 0,
+    )
+    for finding in findings:
+        function = _enclosing_function(models, finding.path, finding.line)
+        entry = AuditEntry(finding=finding, function=function)
+        if trace_report is not None:
+            mine = _finding_tokens(finding, function)
+            touched: List[str] = []
+            for tokens, name, self_total in op_tokens:
+                if tokens & mine:
+                    entry.hotness += self_total
+                    touched.append(name)
+            entry.spans = tuple(sorted(touched))
+            if entry.hotness == 0.0 and finding.severity != "info":
+                entry.demoted = True
+                entry.finding = dataclasses.replace(
+                    finding, severity="info"
+                )
+                report.demoted += 1
+        report.entries.append(entry)
+    report.entries.sort(
+        key=lambda e: (-e.hotness, e.finding.path, e.finding.line, e.finding.rule)
+    )
+    return report
+
+
+def render_audit_text(report: AuditReport, top: int = 0) -> str:
+    lines: List[str] = []
+    entries = report.entries[:top] if top else report.entries
+    if report.traced:
+        lines.append(
+            f"perf-audit: {len(report.entries)} finding(s) ranked against "
+            f"{report.span_count} trace span(s); {report.demoted} demoted "
+            "to info (cold in profile)"
+        )
+    else:
+        lines.append(
+            f"perf-audit: {len(report.entries)} finding(s), no trace "
+            "loaded (static ranking; pass --trace FILE to rank by "
+            "measured self-time)"
+        )
+    for rank, entry in enumerate(entries, start=1):
+        finding = entry.finding
+        where = entry.function or "<module>"
+        lines.append(
+            f"{rank:3d}. [{finding.severity}] {finding.location()} "
+            f"{finding.rule} in {where}"
+        )
+        lines.append(f"     {finding.message}")
+        if report.traced:
+            if entry.hotness > 0:
+                hot = ", ".join(entry.spans)
+                lines.append(
+                    f"     hotness {entry.hotness:.3f}s self-time ({hot})"
+                )
+            else:
+                lines.append("     hotness 0 — not seen in the profile")
+    if top and len(report.entries) > top:
+        lines.append(f"... and {len(report.entries) - top} more")
+    return "\n".join(lines)
+
+
+def render_audit_json(report: AuditReport, top: int = 0) -> Dict[str, object]:
+    entries = report.entries[:top] if top else report.entries
+    return {
+        "version": 1,
+        "traced": report.traced,
+        "span_count": report.span_count,
+        "demoted": report.demoted,
+        "findings": [
+            {
+                **entry.finding.to_dict(),
+                "function": entry.function,
+                "hotness_seconds": entry.hotness,
+                "spans": list(entry.spans),
+                "demoted": entry.demoted,
+            }
+            for entry in entries
+        ],
+    }

@@ -1,0 +1,20 @@
+"""Dependency-aware cache for perf findings.
+
+Identical contract to the dataflow cache (one JSON file, per-module
+post-pragma findings keyed on a dependency digest over the forward
+import closure plus the perf rule fingerprint and engine version), in a
+separate file so the two packs invalidate independently: a perf-rule
+bump must not cold-start the dataflow sweep, and vice versa.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow.cache import DataflowCache
+
+__all__ = ["PerfCache", "DEFAULT_PERF_CACHE_NAME"]
+
+DEFAULT_PERF_CACHE_NAME = ".repro-perf-cache.json"
+
+
+class PerfCache(DataflowCache):
+    """Same load-once/save-once shape; only the file differs."""

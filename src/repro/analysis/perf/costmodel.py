@@ -1,0 +1,366 @@
+"""The static cost model: loop depth, growth sites, call-implied loops.
+
+Perf rules need three facts no single AST walk provides:
+
+* **Per-statement loop-nesting depth.**  Computed over the PR-8 CFG, not
+  the AST: a back edge is an edge ``t -> h`` into a loop header ``h``
+  that dominates ``t`` (the textbook definition — plain reachability
+  misclassifies entrance edges as back edges once loops nest, because
+  the outer back edge creates a path from the inner header around to
+  its own entrance).  The *natural loop* of a back edge is the header
+  plus every block that reaches the edge's tail without passing through
+  the header; a block's depth is the number of natural loops containing
+  it.  Depths form a finite lattice bounded by the function's deepest
+  nest, which is what makes the downstream rules' severity ordering
+  well-defined.
+
+* **Growth sites through reaching definitions.**  A growth site is a
+  definition of a collection that some loop-resident statement grows
+  (``append``/``extend``/``insert``/``+=``).  Tying the growth to the
+  *definition* (via the reaching-definitions solver) rather than the
+  name is what lets ``quadratic-membership`` prove that ``x in xs``
+  scans the very list the loop is growing, not a shadowing rebind.
+
+* **Interprocedural loop depth through the PR-4 call graph.**  A call
+  site's *effective* depth is its local depth plus the callee's
+  intrinsic depth — the deepest loop nest a call into it transitively
+  enters.  Propagation follows call edges forward (callees only), so it
+  never leaves the module's forward import closure and the dependency-
+  digest cache stays sound: editing a caller can never stale a cached
+  callee verdict.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.dataflow.cfg import CFG, KIND_FOR, Block, Element
+from repro.analysis.dataflow.model import FunctionModel
+from repro.analysis.dataflow.solver import (
+    Definition,
+    ReachingDefinitions,
+    solve_reaching,
+)
+
+__all__ = ["Loop", "GrowthSite", "CostModel", "intrinsic_depth"]
+
+#: Cap on interprocedural depth propagation: beyond this a call site is
+#: simply "very hot"; the cap also bounds work on call-graph cycles.
+MAX_INTRINSIC_DEPTH = 4
+
+#: Methods that grow a list-like collection in place.
+_GROWTH_METHODS = {"append", "extend", "insert"}
+#: Methods that grow a set/dict (fast membership; never quadratic).
+_KEYED_GROWTH_METHODS = {"add", "update", "setdefault"}
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One natural loop: its header block and full block membership."""
+
+    header: int
+    blocks: FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class GrowthSite:
+    """A loop-grown collection, anchored at the definition that owns it."""
+
+    name: str
+    definition: Definition
+    grow_line: int
+    keyed: bool  # grown via set/dict methods (O(1) membership)
+
+
+def _loop_headers(cfg: CFG) -> List[int]:
+    return [
+        block.index
+        for block in cfg.blocks
+        if block.label in ("while", "for")
+    ]
+
+
+def _dominators(cfg: CFG) -> Dict[int, Set[int]]:
+    """Classic iterative dominator sets, entry = block 0.
+
+    Small CFGs make the O(n^2) fixpoint irrelevant; what matters is
+    correctness on nested loops, where "pred reachable from header"
+    misidentifies entrance edges as back edges (the outer back edge
+    creates a path from the inner header around to its own entrance).
+    """
+    indices = [block.index for block in cfg.blocks]
+    everything = set(indices)
+    dom: Dict[int, Set[int]] = {
+        index: ({index} if index == 0 else set(everything))
+        for index in indices
+    }
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            if block.index == 0:
+                continue
+            preds = [p for p in block.preds]
+            if preds:
+                new = set.intersection(*(dom[p] for p in preds))
+            else:
+                new = set()
+            new.add(block.index)
+            if new != dom[block.index]:
+                dom[block.index] = new
+                changed = True
+    return dom
+
+
+def _natural_loop(cfg: CFG, header: int, tails: List[int]) -> FrozenSet[int]:
+    """Header plus blocks reaching any back-edge tail without crossing it."""
+    members = {header}
+    pending = [t for t in tails if t != header]
+    members.update(pending)
+    while pending:
+        for pred in cfg.blocks[pending.pop()].preds:
+            if pred not in members:
+                members.add(pred)
+                pending.append(pred)
+    return frozenset(members)
+
+
+def find_loops(cfg: CFG) -> List[Loop]:
+    """Every for/while natural loop in the CFG, headers in block order.
+
+    A back edge is an edge ``t -> h`` where ``h`` dominates ``t`` — the
+    textbook definition; anything weaker confuses entrance edges with
+    back edges once loops nest.
+    """
+    dom = _dominators(cfg)
+    loops: List[Loop] = []
+    for header in _loop_headers(cfg):
+        tails = [
+            block.index
+            for block in cfg.blocks
+            if header in block.succs and header in dom[block.index]
+        ]
+        if tails:
+            loops.append(Loop(header, _natural_loop(cfg, header, tails)))
+    return loops
+
+
+class CostModel:
+    """Cost facts for one function, computed lazily from its CFG."""
+
+    def __init__(self, fn: FunctionModel):
+        self.fn = fn
+        self.cfg = fn.cfg
+        self.loops = find_loops(self.cfg)
+        #: block index -> number of natural loops containing it
+        self.block_depth: Dict[int, int] = {
+            block.index: sum(
+                1 for loop in self.loops if block.index in loop.blocks
+            )
+            for block in self.cfg.blocks
+        }
+        #: innermost element owning each AST node (built on demand)
+        self._owner: Optional[Dict[int, Tuple[Block, int, Element]]] = None
+        #: id(node) -> (in owning for-iter, in comprehension) flags
+        self._adjust: Dict[int, Tuple[bool, bool]] = {}
+        self._reaching: Optional[
+            Tuple[ReachingDefinitions, Dict[int, Tuple[object, object]]]
+        ] = None
+        self._growth: Optional[List[GrowthSite]] = None
+
+    # -- node -> program point -----------------------------------------
+    def _owners(self) -> Dict[int, Tuple[Block, int, Element]]:
+        if self._owner is None:
+            owner: Dict[int, Tuple[Block, int, Element]] = {}
+            #: id(node) -> (inside owning for-header's iter, inside a
+            #: comprehension) — computed in the same walk that assigns
+            #: ownership, so depth queries never re-walk subtrees.
+            adjust: Dict[int, Tuple[bool, bool]] = {}
+            comps = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            # Blocks are created in program order, so later (inner)
+            # elements re-claim their subtrees from enclosing headers:
+            # the last writer is the innermost owning element.
+            for block, position, element in self.cfg.elements():
+                iter_expr = (
+                    getattr(element.node, "iter", None)
+                    if element.kind == KIND_FOR
+                    else None
+                )
+                stack: List[Tuple[ast.AST, bool, bool]] = [
+                    (element.node, False, False)
+                ]
+                while stack:
+                    node, in_iter, in_comp = stack.pop()
+                    owner[id(node)] = (block, position, element)
+                    adjust[id(node)] = (in_iter, in_comp)
+                    encloses_comp = isinstance(node, comps)
+                    for child in ast.iter_child_nodes(node):
+                        stack.append((
+                            child,
+                            in_iter or child is iter_expr,
+                            in_comp or encloses_comp,
+                        ))
+            self._owner = owner
+            self._adjust = adjust
+        return self._owner
+
+    def element_of(
+        self, node: ast.AST
+    ) -> Optional[Tuple[Block, int, Element]]:
+        return self._owners().get(id(node))
+
+    def depth_of(self, node: ast.AST) -> int:
+        """Loop-nesting depth of the element owning ``node`` (0 = never
+        in a loop)."""
+        owned = self.element_of(node)
+        if owned is None:
+            return 0
+        block, _position, _element = owned
+        depth = self.block_depth[block.index]
+        in_iter, in_comp = self._adjust.get(id(node), (False, False))
+        # A for header's iterable is evaluated once on entry, not per
+        # iteration — its nodes sit one level outside the loop the
+        # header opens.
+        if in_iter and depth > 0:
+            depth -= 1
+        # A comprehension is an implicit loop the block structure only
+        # models as a self edge; count it for the nodes it encloses.
+        if in_comp:
+            depth += 1
+        return depth
+
+    def innermost_loop(self, node: ast.AST) -> Optional[Loop]:
+        """Innermost loop in which ``node`` is re-evaluated.
+
+        A node in a for header's iterable is excluded from the loop that
+        header opens (the iterable is evaluated once on entry), matching
+        :meth:`depth_of`.
+        """
+        owned = self.element_of(node)
+        if owned is None:
+            return None
+        block, _position, _element = owned
+        candidates = [
+            loop for loop in self.loops if block.index in loop.blocks
+        ]
+        in_iter, _in_comp = self._adjust.get(id(node), (False, False))
+        if in_iter:
+            candidates = [
+                loop for loop in candidates if loop.header != block.index
+            ]
+        best: Optional[Loop] = None
+        for loop in candidates:
+            if best is None or len(loop.blocks) < len(best.blocks):
+                best = loop
+        return best
+
+    # -- reaching definitions ------------------------------------------
+    def reaching(
+        self,
+    ) -> Tuple[ReachingDefinitions, Dict[int, Tuple[object, object]]]:
+        if self._reaching is None:
+            self._reaching = solve_reaching(self.cfg)
+        return self._reaching
+
+    def defs_before(self, node: ast.AST) -> FrozenSet[Definition]:
+        """Definitions reaching just before the element owning ``node``."""
+        owned = self.element_of(node)
+        if owned is None:
+            return frozenset()
+        block, position, _element = owned
+        analysis, facts = self.reaching()
+        return ReachingDefinitions.at_element(
+            self.cfg, facts, analysis, block, position
+        )
+
+    # -- growth sites ---------------------------------------------------
+    def growth_sites(self) -> List[GrowthSite]:
+        """Collections grown by a loop-resident statement, keyed by the
+        definition the growth statement sees."""
+        if self._growth is not None:
+            return self._growth
+        sites: Dict[Tuple[str, Definition, bool], int] = {}
+        for node in ast.walk(self.fn.node):
+            name: Optional[str] = None
+            keyed = False
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and isinstance(
+                    func.value, ast.Name
+                ):
+                    if func.attr in _GROWTH_METHODS:
+                        name = func.value.id
+                    elif func.attr in _KEYED_GROWTH_METHODS:
+                        name, keyed = func.value.id, True
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if isinstance(node.op, ast.Add):
+                    name = node.target.id
+            if name is None or self.depth_of(node) < 1:
+                continue
+            for definition in self.defs_before(node):
+                if definition.name == name:
+                    key = (name, definition, keyed)
+                    line = getattr(node, "lineno", 0)
+                    sites[key] = min(sites.get(key, line), line)
+        self._growth = sorted(
+            (
+                GrowthSite(
+                    name=name,
+                    definition=definition,
+                    grow_line=line,
+                    keyed=keyed,
+                )
+                for (name, definition, keyed), line in sites.items()
+            ),
+            key=lambda s: (s.definition, s.grow_line),
+        )
+        return self._growth
+
+
+def intrinsic_depth(
+    fq: str,
+    resolver,
+    _seen: Optional[Set[str]] = None,
+    _cache: Optional[Dict[str, int]] = None,
+) -> int:
+    """Deepest loop nest a call into ``fq`` transitively enters.
+
+    ``resolver`` is a :class:`~repro.analysis.dataflow.summaries.SummaryIndex`
+    (anything with ``function_model`` and ``calls``).  Propagation walks
+    call edges forward only — callees live in the caller's forward import
+    closure, so cached verdicts keyed on that closure stay sound.  Cycles
+    contribute their first traversal and stop; depths cap at
+    :data:`MAX_INTRINSIC_DEPTH`.
+    """
+    cache = _cache if _cache is not None else {}
+    cached = cache.get(fq)
+    if cached is not None:
+        return cached
+    seen = _seen if _seen is not None else set()
+    if fq in seen:
+        return 0
+    seen.add(fq)
+    model = resolver.function_model(fq)
+    if model is None:
+        return 0
+    cost = CostModel(model)
+    deepest = max(cost.block_depth.values(), default=0)
+    for node in ast.walk(model.node):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = resolver.resolve_call(model, node)
+        if callee is None or callee == fq:
+            continue
+        local = cost.depth_of(node)
+        below = intrinsic_depth(callee, resolver, seen, cache)
+        deepest = max(deepest, local + below)
+        if deepest >= MAX_INTRINSIC_DEPTH:
+            deepest = MAX_INTRINSIC_DEPTH
+            break
+    seen.discard(fq)
+    cache[fq] = deepest
+    return deepest

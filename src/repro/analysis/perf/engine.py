@@ -1,0 +1,136 @@
+"""Incremental driver for the perf rule pack.
+
+Mirrors the dataflow engine: per-module findings cached on a dependency
+digest over the module's forward import closure, the perf rule-pack
+fingerprint, and :data:`PERF_ENGINE_VERSION`.  The cost model's only
+interprocedural fact — a callee's intrinsic loop depth — follows call
+edges forward, so it never reads outside the closure the digest covers
+and a one-file edit re-analyzes exactly that file plus its
+reverse-import closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.core import Finding
+from repro.analysis.dataflow.model import ModelIndex
+from repro.analysis.graph.project import ProjectGraph
+from repro.analysis.dataflow.summaries import SummaryIndex
+from repro.analysis.perf.cache import PerfCache
+from repro.analysis.perf.rules import (
+    PerfContext,
+    all_perf_rules,
+    perf_rules_fingerprint,
+)
+from repro.analysis.pragmas import apply_pragmas
+from repro.obs.tracing import trace
+from repro.utils.hashing import stable_hash
+
+__all__ = [
+    "PERF_ENGINE_VERSION",
+    "PerfEngine",
+    "PerfReport",
+    "analyze_perf",
+]
+
+#: Bump whenever the cost model (loop detection, depth assignment,
+#: growth-site extraction, interprocedural propagation) changes meaning.
+PERF_ENGINE_VERSION = 1
+
+
+@dataclass
+class PerfReport:
+    """One incremental perf evaluation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    modules: int = 0
+    functions_analyzed: int = 0
+    files_reanalyzed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fingerprint: str = ""
+
+
+class PerfEngine:
+    """Per-sweep state: models, summaries, and the perf rule pack."""
+
+    def __init__(self, files: Dict[str, Tuple[str, str]], project: ProjectGraph):
+        self.files = files
+        self.project = project
+        self.models = ModelIndex(files, project.source_roots)
+        self.summaries = SummaryIndex(project, self.models)
+        self.rules = all_perf_rules()
+
+    def dependency_digest(self, module: str, digests: Dict[str, str]) -> str:
+        graph = self.project.imports
+        closure_files = sorted(
+            (graph.modules[dep], digests[graph.modules[dep]])
+            for dep in graph.forward_closure(module)
+            if graph.modules[dep] in digests
+        )
+        return stable_hash(
+            {
+                "deps": closure_files,
+                "rules": perf_rules_fingerprint(),
+                "engine": PERF_ENGINE_VERSION,
+            }
+        )
+
+    def check_module(self, rel_path: str) -> Tuple[List[Finding], int]:
+        """Raw (pre-pragma) findings plus functions analyzed for one file."""
+        module_model = self.models.model(rel_path)
+        if module_model is None or module_model.parse_error:
+            return [], 0
+        ctx = PerfContext(
+            project=self.project,
+            models=self.models,
+            summaries=self.summaries,
+            rel_path=rel_path,
+            module_model=module_model,
+        )
+        findings: List[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.check_module(ctx))
+        return sorted(set(findings)), len(module_model.functions)
+
+
+def analyze_perf(
+    files: Dict[str, Tuple[str, str]],
+    project: ProjectGraph,
+    cache: PerfCache,
+) -> PerfReport:
+    """Run the perf rule pack incrementally over ``files``.
+
+    ``files`` maps rel_path -> (source, content_digest); ``project`` is
+    the already-built graph the lint sweep shares between phases.
+    Returns post-pragma, pre-baseline findings plus cache accounting.
+    """
+    engine = PerfEngine(files, project)
+    graph = project.imports
+    cache.prune(files)
+    report = PerfReport(
+        modules=len(graph.modules),
+        fingerprint=perf_rules_fingerprint(),
+    )
+    digests = {rel_path: digest for rel_path, (_s, digest) in files.items()}
+    aggregate: List[Finding] = []
+    for module in sorted(graph.modules):
+        rel_path = graph.modules[module]
+        if rel_path not in files:
+            continue
+        dep_digest = engine.dependency_digest(module, digests)
+        findings = cache.get_module_findings(rel_path, dep_digest)
+        if findings is None:
+            report.files_reanalyzed += 1
+            with trace("perf.module", path=rel_path):
+                raw, functions = engine.check_module(rel_path)
+            report.functions_analyzed += functions
+            findings, _suppressed = apply_pragmas(raw, files[rel_path][0])
+            cache.put_module_findings(rel_path, dep_digest, findings)
+        aggregate.extend(findings)
+    report.findings = sorted(aggregate)
+    report.cache_hits = cache.hits
+    report.cache_misses = cache.misses
+    return report

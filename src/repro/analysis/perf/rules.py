@@ -1,0 +1,871 @@
+"""The performance rule pack: cost-model findings on hot-path shapes.
+
+Six rules, each powered by :mod:`repro.analysis.perf.costmodel` (loop
+depth over the PR-8 CFGs, growth sites through reaching definitions,
+interprocedural depth through the PR-4 call graph):
+
+* ``python-loop-over-array`` — elementwise Python iteration over an
+  ndarray/memmap where a vectorized op exists;
+* ``array-build-in-loop`` — ``np.concatenate``/``np.append``/``vstack``
+  inside a loop: a fresh allocation and full copy per iteration;
+* ``memmap-materialization`` — ``np.asarray``/``.copy()``/``.astype``/
+  ``.tolist`` on a whole memmap-backed view, silently defeating the
+  out-of-core layout;
+* ``quadratic-membership`` — ``x in xs`` inside the loop growing the
+  same list definition;
+* ``hoistable-pure-call`` — a loop-invariant pure/digest call recomputed
+  every iteration;
+* ``repeated-digest`` — the same bytes digested at two or more nesting
+  depths, directly or through a callee's digest-sink parameter.
+
+All six are warnings: a perf smell is a debt, not a broken invariant —
+but ``--strict`` (CI) still fails on warnings, so every one must be
+fixed, pragma'd, or baselined with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Type
+
+from repro.analysis.core import Finding
+from repro.analysis.dataflow.model import (
+    FunctionModel,
+    ModelIndex,
+    ModuleModel,
+)
+from repro.analysis.dataflow.rules import _is_memmap_source
+from repro.analysis.dataflow.summaries import SummaryIndex
+from repro.analysis.dataflow.taint import is_digest_sink_name
+from repro.analysis.perf.costmodel import CostModel, intrinsic_depth
+from repro.utils.hashing import stable_hash
+
+__all__ = [
+    "PerfContext",
+    "PerfRule",
+    "register_perf_rule",
+    "all_perf_rules",
+    "perf_rule_names",
+    "perf_rules_fingerprint",
+]
+
+
+@dataclass
+class PerfContext:
+    """Everything a perf rule may inspect for one module."""
+
+    project: object  # ProjectGraph
+    models: ModelIndex
+    summaries: SummaryIndex
+    rel_path: str
+    module_model: ModuleModel
+    _costs: Dict[str, CostModel] = field(default_factory=dict)
+    _intrinsic: Dict[str, int] = field(default_factory=dict)
+    _arrays: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def functions(self) -> Iterable[FunctionModel]:
+        for qualname in sorted(self.module_model.functions):
+            yield self.module_model.functions[qualname]
+
+    def cost(self, fn: FunctionModel) -> CostModel:
+        cached = self._costs.get(fn.fq)
+        if cached is None:
+            cached = CostModel(fn)
+            self._costs[fn.fq] = cached
+        return cached
+
+    def arrays(self, fn: FunctionModel) -> Dict[str, str]:
+        """Memoized :func:`_array_names` — shared across rules."""
+        cached = self._arrays.get(fn.fq)
+        if cached is None:
+            cached = _array_names(fn, self.module_model)
+            self._arrays[fn.fq] = cached
+        return cached
+
+    def callee_depth(self, fq: str) -> int:
+        """Memoized interprocedural intrinsic depth of a callee."""
+        cached = self._intrinsic.get(fq)
+        if cached is None:
+            cached = intrinsic_depth(fq, self.summaries, _cache=self._intrinsic)
+        return cached
+
+
+class PerfRule:
+    """Base class; subclasses register via :func:`register_perf_rule`."""
+
+    name: str = ""
+    description: str = ""
+    severity: str = "warning"
+    version: int = 1
+    #: Minimal sources for ``repro lint --explain``: one that fires, one
+    #: that stays silent.
+    example_positive: str = ""
+    example_negative: str = ""
+
+    def check_module(self, ctx: PerfContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: PerfContext, line: int, message: str, col: int = 0
+    ) -> Finding:
+        return Finding(
+            path=ctx.rel_path,
+            line=line,
+            col=col,
+            rule=self.name,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: Dict[str, PerfRule] = {}
+
+
+def register_perf_rule(cls: Type[PerfRule]) -> Type[PerfRule]:
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"{cls.__name__} has no rule name")
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate perf rule {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+def all_perf_rules() -> List[PerfRule]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def perf_rule_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def perf_rules_fingerprint() -> str:
+    return stable_hash(
+        [(rule.name, rule.version, rule.severity) for rule in all_perf_rules()]
+    )
+
+
+# -- shared helpers ------------------------------------------------------
+
+#: numpy constructors/combinators whose result is an ndarray.
+_ARRAY_RETURNING = {
+    "array",
+    "asarray",
+    "ascontiguousarray",
+    "zeros",
+    "zeros_like",
+    "ones",
+    "ones_like",
+    "empty",
+    "empty_like",
+    "full",
+    "arange",
+    "linspace",
+    "concatenate",
+    "stack",
+    "vstack",
+    "hstack",
+    "memmap",
+    "load",
+}
+
+#: ndarray methods whose result is still array-backed.
+_ARRAY_PRESERVING_ATTRS = {"astype", "copy", "reshape", "ravel", "T"}
+
+
+def _walk_own_body(fn_node: ast.AST):
+    """Walk a function's AST skipping nested function/lambda bodies."""
+    pending: List[ast.AST] = list(ast.iter_child_nodes(fn_node))
+    while pending:
+        node = pending.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield node
+        pending.extend(ast.iter_child_nodes(node))
+
+
+def _numpy_call_name(model: ModuleModel, call: ast.Call) -> Optional[str]:
+    """Last component of a ``numpy.*`` call, or None."""
+    if model.imports is None:
+        return None
+    qualified = model.imports.qualified(call.func)
+    if qualified is None or not qualified.startswith("numpy."):
+        return None
+    return qualified.rsplit(".", 1)[-1]
+
+
+def _chain_root(node: ast.AST) -> Optional[str]:
+    """Root name of an attribute/subscript/array-method chain."""
+    while True:
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ) and node.func.attr in _ARRAY_PRESERVING_ATTRS:
+            node = node.func.value
+        else:
+            break
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _array_names(fn: FunctionModel, model: ModuleModel) -> Dict[str, str]:
+    """Names bound to ndarray/memmap values in ``fn``: name -> origin."""
+    arrays: Dict[str, str] = {}
+    assigns: List[ast.Assign] = [
+        node for node in _walk_own_body(fn.node) if isinstance(node, ast.Assign)
+    ]
+    for node in _walk_own_body(fn.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if not isinstance(item.context_expr, ast.Call):
+                    continue
+                source = _is_memmap_source(model, item.context_expr)
+                if source is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    arrays[item.optional_vars.id] = source
+    changed = True
+    while changed:
+        changed = False
+        for node in assigns:
+            origin: Optional[str] = None
+            value = node.value
+            if isinstance(value, ast.Call):
+                source = _is_memmap_source(model, value)
+                numpy_name = _numpy_call_name(model, value)
+                if source is not None:
+                    origin = source
+                elif numpy_name in _ARRAY_RETURNING:
+                    origin = f"numpy.{numpy_name}"
+            if origin is None:
+                root = _chain_root(value)
+                if root is not None and root in arrays:
+                    origin = arrays[root]
+            if origin is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id not in arrays:
+                    arrays[target.id] = origin
+                    changed = True
+    return arrays
+
+
+def _memmap_names(arrays: Dict[str, str]) -> Dict[str, str]:
+    """The subset of an :func:`_array_names` map backed by a mapped file."""
+    return {
+        name: origin
+        for name, origin in arrays.items()
+        if "memmap" in origin or origin.endswith("(materialize=False)")
+    }
+
+
+def _loop_target_names(loop_stmt: ast.AST) -> Set[str]:
+    target = getattr(loop_stmt, "target", None)
+    if target is None:
+        return set()
+    return {
+        child.id
+        for child in ast.walk(target)
+        if isinstance(child, ast.Name)
+    }
+
+
+def _load_names(node: ast.AST) -> Set[str]:
+    return {
+        child.id
+        for child in ast.walk(node)
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load)
+    }
+
+
+# -- python-loop-over-array ----------------------------------------------
+
+
+@register_perf_rule
+class PythonLoopOverArray(PerfRule):
+    name = "python-loop-over-array"
+    description = (
+        "A Python-level for loop iterates elementwise over an ndarray or "
+        "memmap and does arithmetic per element; one vectorized numpy "
+        "expression does the same work in native code, tens to hundreds "
+        "of times faster."
+    )
+    example_positive = (
+        "import numpy as np\n"
+        "def total(path):\n"
+        "    values = np.asarray([1.0, 2.0, 3.0])\n"
+        "    acc = 0.0\n"
+        "    for value in values:\n"
+        "        acc += value * value\n"
+        "    return acc\n"
+    )
+    example_negative = (
+        "import numpy as np\n"
+        "def total(path):\n"
+        "    values = np.asarray([1.0, 2.0, 3.0])\n"
+        "    return float((values * values).sum())\n"
+    )
+
+    def check_module(self, ctx: PerfContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for fn in ctx.functions():
+            arrays = ctx.arrays(fn)
+            if not arrays:
+                continue
+            for node in _walk_own_body(fn.node):
+                if not isinstance(node, (ast.For, ast.AsyncFor)):
+                    continue
+                iterated = self._iterated_array(node.iter, arrays)
+                if iterated is not None and self._elementwise_body(
+                    node, arrays
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            f"Python loop iterates elementwise over array "
+                            f"'{iterated}' (from {arrays[iterated]}); "
+                            "replace the per-element arithmetic with one "
+                            "vectorized numpy expression",
+                            col=node.col_offset,
+                        )
+                    )
+                    continue
+                filled = self._elementwise_fill(node, arrays)
+                if filled is not None:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            f"Python loop fills array '{filled}' (from "
+                            f"{arrays[filled]}) one element per iteration; "
+                            "compute the whole array with one vectorized "
+                            "numpy expression",
+                            col=node.col_offset,
+                        )
+                    )
+        return findings
+
+    def _iterated_array(
+        self, iter_expr: ast.AST, arrays: Dict[str, str]
+    ) -> Optional[str]:
+        if isinstance(iter_expr, ast.Name) and iter_expr.id in arrays:
+            return iter_expr.id
+        if isinstance(iter_expr, ast.Call) and isinstance(
+            iter_expr.func, ast.Name
+        ):
+            callee = iter_expr.func.id
+            if callee == "enumerate" and iter_expr.args:
+                inner = iter_expr.args[0]
+                if isinstance(inner, ast.Name) and inner.id in arrays:
+                    return inner.id
+            if callee == "range" and iter_expr.args:
+                first = iter_expr.args[0]
+                if (
+                    isinstance(first, ast.Call)
+                    and isinstance(first.func, ast.Name)
+                    and first.func.id == "len"
+                    and first.args
+                    and isinstance(first.args[0], ast.Name)
+                    and first.args[0].id in arrays
+                ):
+                    return first.args[0].id
+        return None
+
+    def _elementwise_fill(
+        self, loop: ast.AST, arrays: Dict[str, str]
+    ) -> Optional[str]:
+        """An array written one `arr[i] = ...` element per iteration.
+
+        The dual of iterating an array: the loop variable indexes a
+        *store* into a known array, so the whole result could be one
+        vectorized expression regardless of what is being iterated.
+        """
+        targets = _loop_target_names(loop)
+        if not targets:
+            return None
+        for stmt in loop.body:  # type: ignore[attr-defined]
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Subscript):
+                    continue
+                if not isinstance(node.ctx, ast.Store):
+                    continue
+                if not isinstance(node.value, ast.Name):
+                    continue
+                if node.value.id in arrays and (
+                    _load_names(node.slice) & targets
+                ):
+                    return node.value.id
+        return None
+
+    def _elementwise_body(
+        self, loop: ast.AST, arrays: Dict[str, str]
+    ) -> bool:
+        """Does the body do per-element arithmetic on the iterated data?"""
+        targets = _loop_target_names(loop)
+        for stmt in loop.body:  # type: ignore[attr-defined]
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.BinOp):
+                    names = _load_names(node)
+                    if names & targets or names & set(arrays):
+                        return True
+                if isinstance(node, ast.AugAssign):
+                    names = _load_names(node.value)
+                    if names & targets or names & set(arrays):
+                        return True
+                if isinstance(node, ast.Subscript) and isinstance(
+                    node.value, ast.Name
+                ):
+                    if node.value.id in arrays and (
+                        _load_names(node.slice) & targets
+                    ):
+                        return True
+        return False
+
+
+# -- array-build-in-loop -------------------------------------------------
+
+_BUILD_CALLS = {"concatenate", "append", "vstack", "hstack", "stack"}
+
+
+@register_perf_rule
+class ArrayBuildInLoop(PerfRule):
+    name = "array-build-in-loop"
+    description = (
+        "np.concatenate/np.append/np.vstack inside a loop reallocates "
+        "and copies the whole accumulated array every iteration — "
+        "quadratic total work. Preallocate the result, or collect rows "
+        "in a list and stack once after the loop."
+    )
+    example_positive = (
+        "import numpy as np\n"
+        "def rows(chunks):\n"
+        "    out = np.empty((0, 4))\n"
+        "    for chunk in chunks:\n"
+        "        out = np.concatenate([out, chunk])\n"
+        "    return out\n"
+    )
+    example_negative = (
+        "import numpy as np\n"
+        "def rows(chunks):\n"
+        "    parts = []\n"
+        "    for chunk in chunks:\n"
+        "        parts.append(chunk)\n"
+        "    return np.concatenate(parts)\n"
+    )
+
+    def check_module(self, ctx: PerfContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for fn in ctx.functions():
+            cost = ctx.cost(fn)
+            if not cost.loops:
+                continue
+            for stmt in _walk_own_body(fn.node):
+                # Only the accumulation shape is quadratic: the build
+                # call's own result fed back in as an argument next
+                # iteration (`out = np.concatenate([out, chunk])`).  A
+                # fresh build per iteration (k-fold index assembly, say)
+                # is linear in what it builds and stays silent.
+                if isinstance(stmt, ast.Assign):
+                    targets = {
+                        t.id for t in stmt.targets if isinstance(t, ast.Name)
+                    }
+                    value = stmt.value
+                elif isinstance(stmt, ast.AugAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    targets = {stmt.target.id}
+                    value = stmt.value
+                else:
+                    continue
+                if not targets:
+                    continue
+                for node in ast.walk(value):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    numpy_name = _numpy_call_name(ctx.module_model, node)
+                    if numpy_name not in _BUILD_CALLS:
+                        continue
+                    depth = cost.depth_of(node)
+                    if depth < 1:
+                        continue
+                    fed_back: Set[str] = set()
+                    for arg in node.args:
+                        fed_back |= _load_names(arg)
+                    if not (fed_back & targets):
+                        continue
+                    grown = sorted(fed_back & targets)[0]
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            f"np.{numpy_name} at loop depth {depth} rebuilds "
+                            f"'{grown}' from itself, copying the whole "
+                            "accumulated array every iteration; collect "
+                            "parts and stack once after the loop",
+                            col=node.col_offset,
+                        )
+                    )
+        return findings
+
+
+# -- memmap-materialization ----------------------------------------------
+
+_MATERIALIZING_CALLS = {"asarray", "array", "ascontiguousarray"}
+_MATERIALIZING_ATTRS = {"copy", "astype", "tolist"}
+
+
+@register_perf_rule
+class MemmapMaterialization(PerfRule):
+    name = "memmap-materialization"
+    description = (
+        "np.asarray/.copy()/.astype()/.tolist() on a whole memmap-backed "
+        "view reads the entire mapped file into memory, silently "
+        "defeating the sharded lake's out-of-core guarantee. Slice "
+        "first, or keep the computation on the view."
+    )
+    example_positive = (
+        "import numpy as np\n"
+        "def load(path):\n"
+        "    view = np.memmap(path, dtype='f8', mode='r')\n"
+        "    return np.asarray(view)  # faults in the whole file\n"
+    )
+    example_negative = (
+        "import numpy as np\n"
+        "def head(path):\n"
+        "    view = np.memmap(path, dtype='f8', mode='r')\n"
+        "    return view[:16].copy()  # small slice stays out-of-core\n"
+    )
+
+    def check_module(self, ctx: PerfContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for fn in ctx.functions():
+            tainted = _memmap_names(ctx.arrays(fn))
+            if not tainted:
+                continue
+            cost = ctx.cost(fn)
+            for node in _walk_own_body(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = self._materialized_view(ctx.module_model, node, tainted)
+                if name is None:
+                    continue
+                depth = cost.depth_of(node)
+                hot = f" at loop depth {depth}" if depth else ""
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        f"whole memmap view '{name}' (from {tainted[name]}) "
+                        f"materialized{hot}; this reads the entire mapped "
+                        "file into memory — slice first or stay on the view",
+                        col=node.col_offset,
+                    )
+                )
+        return findings
+
+    def _materialized_view(
+        self,
+        model: ModuleModel,
+        call: ast.Call,
+        tainted: Dict[str, str],
+    ) -> Optional[str]:
+        # np.asarray(view) / np.array(view) on the bare name; a sliced
+        # argument (view[:n]) is the sanctioned out-of-core pattern.
+        numpy_name = _numpy_call_name(model, call)
+        if numpy_name in _MATERIALIZING_CALLS and call.args:
+            first = call.args[0]
+            if isinstance(first, ast.Name) and first.id in tainted:
+                return first.id
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MATERIALIZING_ATTRS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in tainted
+        ):
+            return func.value.id
+        return None
+
+
+# -- quadratic-membership ------------------------------------------------
+
+
+@register_perf_rule
+class QuadraticMembership(PerfRule):
+    name = "quadratic-membership"
+    description = (
+        "'x in xs' inside a loop scans the very list the loop is "
+        "growing: each test is O(n), the loop is O(n^2) total. Grow a "
+        "set alongside (or instead) for O(1) membership."
+    )
+    example_positive = (
+        "def dedup(items):\n"
+        "    seen = []\n"
+        "    for item in items:\n"
+        "        if item in seen:\n"
+        "            continue\n"
+        "        seen.append(item)\n"
+        "    return seen\n"
+    )
+    example_negative = (
+        "def dedup(items):\n"
+        "    seen = set()\n"
+        "    out = []\n"
+        "    for item in items:\n"
+        "        if item in seen:\n"
+        "            continue\n"
+        "        seen.add(item)\n"
+        "        out.append(item)\n"
+        "    return out\n"
+    )
+
+    def check_module(self, ctx: PerfContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for fn in ctx.functions():
+            cost = ctx.cost(fn)
+            if not cost.loops:
+                continue
+            growth = {
+                (site.name, site.definition): site
+                for site in cost.growth_sites()
+                if not site.keyed
+            }
+            if not growth:
+                continue
+            for node in _walk_own_body(fn.node):
+                if not isinstance(node, ast.Compare):
+                    continue
+                if not any(
+                    isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+                ):
+                    continue
+                container = node.comparators[-1]
+                if not isinstance(container, ast.Name):
+                    continue
+                if cost.depth_of(node) < 1:
+                    continue
+                # The membership test must see the same definition the
+                # growth statements grow — a rebound name is a new list.
+                for definition in cost.defs_before(node):
+                    site = growth.get((container.id, definition))
+                    if site is None:
+                        continue
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            f"membership test scans list '{container.id}' "
+                            f"(grown at line {site.grow_line}) inside the "
+                            "growing loop — O(n^2); use a set for "
+                            "membership",
+                            col=node.col_offset,
+                        )
+                    )
+                    break
+        return findings
+
+
+# -- hoistable-pure-call -------------------------------------------------
+
+
+@register_perf_rule
+class HoistablePureCall(PerfRule):
+    name = "hoistable-pure-call"
+    description = (
+        "A pure digest/fingerprint call whose arguments never change "
+        "inside the loop is recomputed every iteration; hoist it above "
+        "the loop and reuse the value."
+    )
+    example_positive = (
+        "from repro.utils.hashing import stable_hash\n"
+        "def tag(records, spec):\n"
+        "    out = []\n"
+        "    for record in records:\n"
+        "        key = stable_hash(spec)  # same digest every iteration\n"
+        "        out.append((key, record))\n"
+        "    return out\n"
+    )
+    example_negative = (
+        "from repro.utils.hashing import stable_hash\n"
+        "def tag(records):\n"
+        "    out = []\n"
+        "    for record in records:\n"
+        "        out.append(stable_hash(record))\n"
+        "    return out\n"
+    )
+
+    def check_module(self, ctx: PerfContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for fn in ctx.functions():
+            cost = ctx.cost(fn)
+            if not cost.loops:
+                continue
+            for node in _walk_own_body(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not self._is_pure_digest(ctx.module_model, node):
+                    continue
+                loop = cost.innermost_loop(node)
+                if loop is None:
+                    continue
+                # Receiver names count as inputs too: `chunk.digest()`
+                # in a loop over chunks is not invariant.
+                arg_names = _load_names(node.func)
+                for arg in node.args:
+                    arg_names |= _load_names(arg)
+                for keyword in node.keywords:
+                    arg_names |= _load_names(keyword.value)
+                if not self._invariant(cost, node, loop, arg_names):
+                    continue
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        "loop-invariant pure call "
+                        f"'{ast.unparse(node.func)}' recomputed every "
+                        "iteration; hoist it above the loop",
+                        col=node.col_offset,
+                    )
+                )
+        return findings
+
+    def _is_pure_digest(self, model: ModuleModel, call: ast.Call) -> bool:
+        if model.imports is None:
+            return False
+        qualified = model.imports.qualified(call.func)
+        if qualified is None:
+            return False
+        if qualified.startswith("hashlib."):
+            return True
+        return is_digest_sink_name(qualified)
+
+    def _invariant(
+        self,
+        cost: CostModel,
+        call: ast.Call,
+        loop,
+        arg_names: Set[str],
+    ) -> bool:
+        if not arg_names:
+            return True
+        for definition in cost.defs_before(call):
+            if definition.name in arg_names and definition.block in loop.blocks:
+                return False
+        return True
+
+
+# -- repeated-digest -----------------------------------------------------
+
+
+@register_perf_rule
+class RepeatedDigest(PerfRule):
+    name = "repeated-digest"
+    description = (
+        "The same payload is digested at two or more loop-nesting "
+        "depths — directly, or by passing it to a callee whose parameter "
+        "flows into a digest sink. The deeper site recomputes a value "
+        "the shallower one already has; compute once and pass the digest "
+        "down."
+    )
+    example_positive = (
+        "from repro.utils.hashing import stable_hash\n"
+        "def index(blobs, payload):\n"
+        "    root = stable_hash(payload)\n"
+        "    out = []\n"
+        "    for blob in blobs:\n"
+        "        out.append((stable_hash(payload), blob, root))\n"
+        "    return out\n"
+    )
+    example_negative = (
+        "from repro.utils.hashing import stable_hash\n"
+        "def index(blobs):\n"
+        "    out = []\n"
+        "    for blob in blobs:\n"
+        "        out.append(stable_hash(blob))\n"
+        "    return out\n"
+    )
+
+    def check_module(self, ctx: PerfContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for fn in ctx.functions():
+            cost = ctx.cost(fn)
+            calls = [
+                node
+                for node in _walk_own_body(fn.node)
+                if isinstance(node, ast.Call)
+            ]
+            if len(calls) < 2:
+                continue
+            # A finding needs the same payload at two *distinct* depths;
+            # if every call in the function sits at one depth, no pair
+            # can qualify — skip before any call resolution or taint
+            # summary work (the expensive part of this rule).
+            depths = [cost.depth_of(node) for node in calls]
+            if len(set(depths)) < 2:
+                continue
+            #: payload text -> list of (effective_depth, line, how)
+            events: Dict[str, List[Tuple[int, int, str]]] = {}
+            for node, depth in zip(calls, depths):
+                for key, how in self._digest_payloads(ctx, fn, node):
+                    events.setdefault(key, []).append(
+                        (depth, node.lineno, how)
+                    )
+            for key, sites in sorted(events.items()):
+                depths = {depth for depth, _line, _how in sites}
+                if len(sites) < 2 or len(depths) < 2:
+                    continue
+                shallowest = min(depths)
+                for depth, line, how in sorted(sites):
+                    if depth <= shallowest:
+                        continue
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            line,
+                            f"'{key}' digested again at loop depth {depth} "
+                            f"({how}) after being digested at depth "
+                            f"{shallowest}; compute the digest once and "
+                            "reuse it",
+                        )
+                    )
+        return findings
+
+    def _digest_payloads(
+        self, ctx: PerfContext, fn: FunctionModel, call: ast.Call
+    ) -> Iterable[Tuple[str, str]]:
+        """(payload text, how) pairs this call digests."""
+        model = ctx.module_model
+        qualified = (
+            model.imports.qualified(call.func)
+            if model.imports is not None
+            else None
+        )
+        direct = qualified is not None and (
+            qualified.startswith("hashlib.") or is_digest_sink_name(qualified)
+        )
+        if direct:
+            for arg in call.args:
+                yield ast.unparse(arg), f"via {qualified}"
+            return
+        # Indirect: an argument fed to a callee parameter that the PR-8
+        # taint summary says flows into a digest sink.
+        resolved = ctx.summaries.resolve_call(fn, call)
+        if resolved is None:
+            return
+        callee = ctx.summaries.function_model(resolved)
+        if callee is None:
+            return
+        summary = ctx.summaries.summary(resolved)
+        if not summary.sink_params:
+            return
+        params = callee.params()
+        for index, arg in enumerate(call.args):
+            if index < len(params) and params[index] in summary.sink_params:
+                yield ast.unparse(arg), f"via parameter of {resolved}"
+        for keyword in call.keywords:
+            if keyword.arg in summary.sink_params:
+                yield ast.unparse(keyword.value), f"via parameter of {resolved}"

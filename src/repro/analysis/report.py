@@ -30,6 +30,12 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
             f"{entry.path}: [baseline] stale suppression for "
             f"{entry.rule!r} matches nothing (reason was: {entry.reason})"
         )
+    for entry in result.todo_baseline:
+        lines.append(
+            f"{entry.path}: [baseline] suppression for {entry.rule!r} "
+            f"still has a placeholder reason ({entry.reason}); justify "
+            "it or fix the finding"
+        )
     if verbose:
         for finding in result.baseline_suppressed:
             lines.append(
@@ -43,6 +49,12 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
         f"(cache {result.cache_hits} hits / {result.cache_misses} misses, "
         f"{result.elapsed_seconds:.2f}s)"
     )
+    if result.todo_baseline:
+        lines.append(
+            f"baseline: {len(result.todo_baseline)} entr"
+            f"{'y' if len(result.todo_baseline) == 1 else 'ies'} awaiting "
+            "a reason (strict runs fail until justified)"
+        )
     if result.graph_enabled:
         lines.append(
             f"graph: {result.graph_modules} modules, "
@@ -61,6 +73,15 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
             f"{result.dataflow_cache_misses} misses, "
             f"{result.dataflow_seconds:.2f}s)"
         )
+    if result.perf_enabled:
+        lines.append(
+            f"perf: {result.perf_modules} modules, "
+            f"{result.perf_functions} functions, "
+            f"{result.perf_files_reanalyzed} re-analyzed "
+            f"(cache {result.perf_cache_hits} hits / "
+            f"{result.perf_cache_misses} misses, "
+            f"{result.perf_seconds:.2f}s)"
+        )
     return "\n".join(lines)
 
 
@@ -75,12 +96,16 @@ def render_json(result: LintResult) -> str:
         "unused_baseline": [
             entry.to_dict() for entry in result.unused_baseline
         ],
+        "todo_baseline": [
+            entry.to_dict() for entry in result.todo_baseline
+        ],
         "summary": {
             "files_scanned": result.files_scanned,
             "errors": len(result.errors),
             "warnings": len(result.warnings),
             "baseline_suppressed": len(result.baseline_suppressed),
             "unused_baseline": len(result.unused_baseline),
+            "todo_baseline": len(result.todo_baseline),
             "cache_hits": result.cache_hits,
             "cache_misses": result.cache_misses,
         },
@@ -103,5 +128,14 @@ def render_json(result: LintResult) -> str:
             "cache_hits": result.dataflow_cache_hits,
             "cache_misses": result.dataflow_cache_misses,
             "fingerprint": result.dataflow_fingerprint,
+        }
+    if result.perf_enabled:
+        payload["perf"] = {
+            "modules": result.perf_modules,
+            "functions": result.perf_functions,
+            "files_reanalyzed": result.perf_files_reanalyzed,
+            "cache_hits": result.perf_cache_hits,
+            "cache_misses": result.perf_cache_misses,
+            "fingerprint": result.perf_fingerprint,
         }
     return json.dumps(payload, indent=2, sort_keys=True)

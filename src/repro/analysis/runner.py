@@ -25,9 +25,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import (
+    Baseline,
     BaselineEntry,
     DEFAULT_BASELINE_NAME,
+    is_todo_reason,
     load_baseline,
+    save_baseline,
+    updated_entries,
 )
 from repro.analysis.cache import DEFAULT_CACHE_NAME, FindingsCache, content_digest
 from repro.analysis.core import (
@@ -53,6 +57,12 @@ from repro.analysis.graph import (
     graph_rule_names,
     load_contract,
 )
+from repro.analysis.perf import (
+    DEFAULT_PERF_CACHE_NAME,
+    PerfCache,
+    analyze_perf,
+    perf_rule_names,
+)
 from repro.analysis.pragmas import apply_pragmas
 from repro.errors import ConfigError
 from repro.obs import metrics as obs_metrics
@@ -76,6 +86,13 @@ from repro.obs.instrument import (
     LINT_FILES,
     LINT_FINDINGS,
     LINT_RUN_SECONDS,
+    PERF_CACHE_HITS,
+    PERF_CACHE_MISSES,
+    PERF_FILES_REANALYZED,
+    PERF_FINDINGS,
+    PERF_FUNCTIONS,
+    PERF_MODULES,
+    PERF_RUN_SECONDS,
 )
 from repro.obs.logging import get_logger
 from repro.obs.tracing import trace
@@ -100,6 +117,7 @@ def known_rule_names() -> List[str]:
         set(rule_names())
         | set(graph_rule_names())
         | set(dataflow_rule_names())
+        | set(perf_rule_names())
         | {"syntax-error"}
     )
 
@@ -115,11 +133,16 @@ class LintConfig:
     use_cache: bool = True
     graph: bool = False  # run whole-program rules too
     dataflow: bool = False  # run the CFG/taint rule pack too
+    perf: bool = False  # run the cost-model perf rule pack too
     arch_path: Optional[str] = None  # default: <root>/.repro-arch.toml
     graph_cache_path: Optional[str] = None  # default: <root>/.repro-graph-cache.json
     dataflow_cache_path: Optional[str] = None  # default: <root>/.repro-dataflow-cache.json
+    perf_cache_path: Optional[str] = None  # default: <root>/.repro-perf-cache.json
     select: Optional[Sequence[str]] = None  # keep only these rules
     ignore: Sequence[str] = ()  # drop these rules
+    #: Rewrite the baseline ledger in place: drop entries stale for this
+    #: run's active phases, add TODO-reason entries for new findings.
+    baseline_update: bool = False
 
     def resolved_root(self) -> str:
         return os.path.abspath(self.root)
@@ -153,6 +176,13 @@ class LintConfig:
             return None
         return self.dataflow_cache_path or os.path.join(
             self.resolved_root(), DEFAULT_DATAFLOW_CACHE_NAME
+        )
+
+    def resolved_perf_cache(self) -> Optional[str]:
+        if not self.use_cache:
+            return None
+        return self.perf_cache_path or os.path.join(
+            self.resolved_root(), DEFAULT_PERF_CACHE_NAME
         )
 
     def rule_filter(self) -> "RuleFilter":
@@ -217,6 +247,18 @@ class LintResult:
     dataflow_cache_misses: int = 0
     dataflow_seconds: float = 0.0
     dataflow_fingerprint: str = ""
+    # -- perf phase (zeros when the phase did not run) ----------------
+    perf_enabled: bool = False
+    perf_modules: int = 0
+    perf_functions: int = 0
+    perf_files_reanalyzed: int = 0
+    perf_cache_hits: int = 0
+    perf_cache_misses: int = 0
+    perf_seconds: float = 0.0
+    perf_fingerprint: str = ""
+    #: Baseline entries that matched findings but whose reason is still
+    #: the ``--baseline-update`` placeholder — tracked debt, unjustified.
+    todo_baseline: List[BaselineEntry] = field(default_factory=list)
 
     @property
     def errors(self) -> List[Finding]:
@@ -227,12 +269,15 @@ class LintResult:
         return [f for f in self.findings if f.severity == "warning"]
 
     def exit_code(self, strict: bool = False) -> int:
-        """0 clean; 1 violations.  Strict fails on warnings and stale
-        baseline entries too, so CI catches both new findings and
-        fixed-but-still-listed ones."""
+        """0 clean; 1 violations.  Strict fails on warnings, stale
+        baseline entries, and TODO-placeholder baseline reasons too, so
+        CI catches new findings, fixed-but-still-listed ones, and
+        suppressions nobody has justified yet."""
         if self.errors:
             return 1
-        if strict and (self.findings or self.unused_baseline):
+        if strict and (
+            self.findings or self.unused_baseline or self.todo_baseline
+        ):
             return 1
         return 0
 
@@ -363,6 +408,36 @@ def _run_dataflow_phase(
     return report.findings
 
 
+def _run_perf_phase(
+    config: LintConfig,
+    sources: Dict[str, Tuple[str, str]],
+    result: LintResult,
+    project: "ProjectGraph",
+) -> List[Finding]:
+    """Cost-model phase: run the perf rule pack incrementally."""
+    cache = PerfCache(config.resolved_perf_cache())
+    started = time.perf_counter()
+    with trace("lint.perf", files=len(sources)):
+        report = analyze_perf(sources, project, cache)
+        cache.save()
+    result.perf_enabled = True
+    result.perf_modules = report.modules
+    result.perf_functions = report.functions_analyzed
+    result.perf_files_reanalyzed = report.files_reanalyzed
+    result.perf_cache_hits = report.cache_hits
+    result.perf_cache_misses = report.cache_misses
+    result.perf_seconds = time.perf_counter() - started
+    result.perf_fingerprint = report.fingerprint
+    obs_metrics.inc(PERF_MODULES, report.modules)
+    obs_metrics.inc(PERF_FUNCTIONS, report.functions_analyzed)
+    obs_metrics.inc(PERF_FILES_REANALYZED, report.files_reanalyzed)
+    obs_metrics.inc(PERF_CACHE_HITS, report.cache_hits)
+    obs_metrics.inc(PERF_CACHE_MISSES, report.cache_misses)
+    obs_metrics.inc(PERF_FINDINGS, len(report.findings))
+    obs_metrics.observe(PERF_RUN_SECONDS, result.perf_seconds)
+    return report.findings
+
+
 def run_lint(config: LintConfig) -> LintResult:
     """Lint every file under ``config.paths``; apply caches and baseline."""
     start = time.perf_counter()
@@ -383,8 +458,8 @@ def run_lint(config: LintConfig) -> LintResult:
             aggregate.extend(findings)
             result.files_scanned += 1
         cache.save()
-        if config.graph or config.dataflow:
-            # Both whole-program phases read the same built project;
+        if config.graph or config.dataflow or config.perf:
+            # The whole-program phases read the same built project;
             # assemble it once (extraction goes through the graph cache).
             graph_cache = GraphCache(config.resolved_graph_cache())
             contract = load_contract(config.resolved_arch())
@@ -399,6 +474,10 @@ def run_lint(config: LintConfig) -> LintResult:
                 aggregate.extend(
                     _run_dataflow_phase(config, sources, result, project)
                 )
+            if config.perf:
+                aggregate.extend(
+                    _run_perf_phase(config, sources, result, project)
+                )
             graph_cache.save()
     if not rule_filter.is_noop:
         aggregate = [f for f in aggregate if rule_filter.active(f.rule)]
@@ -410,24 +489,45 @@ def run_lint(config: LintConfig) -> LintResult:
     }
     aggregate = sorted(aggregate)
     exempt = [f for f in aggregate if f.rule in exempt_rules]
-    kept, suppressed, unused = baseline.apply(
-        [f for f in aggregate if f.rule not in exempt_rules]
-    )
-    kept = sorted(kept + exempt)
-    if not rule_filter.is_noop:
-        # Entries for rules outside the filter never had a chance to
-        # match; reporting them as stale would be noise.
-        unused = [entry for entry in unused if rule_filter.active(entry.rule)]
-    # Likewise for rules whose whole phase was skipped this run.
+    nonexempt = [f for f in aggregate if f.rule not in exempt_rules]
+    # Entries for rules outside the filter — or whose whole phase was
+    # skipped this run — never had a chance to match; reporting them as
+    # stale (or dropping them on --baseline-update) would be wrong.
     skipped_rules: set = set()
     if not config.graph:
         skipped_rules |= set(graph_rule_names())
     if not config.dataflow:
         skipped_rules |= set(dataflow_rule_names())
-    if skipped_rules:
-        unused = [
-            entry for entry in unused if entry.rule not in skipped_rules
+    if not config.perf:
+        skipped_rules |= set(perf_rule_names())
+
+    def _actionable(entries: List[BaselineEntry]) -> List[BaselineEntry]:
+        return [
+            entry
+            for entry in entries
+            if rule_filter.active(entry.rule)
+            and entry.rule not in skipped_rules
         ]
+
+    kept, suppressed, unused = baseline.apply(nonexempt)
+    unused = _actionable(unused)
+    if config.baseline_update:
+        # Rewrite the ledger: stale (actionable) entries out, fresh
+        # findings in with a TODO reason --strict still rejects.  Then
+        # re-apply so the result reflects the ledger now on disk.
+        entries = updated_entries(baseline, unused, kept)
+        save_baseline(config.resolved_baseline(), entries)
+        baseline = Baseline(entries)
+        kept, suppressed, unused = baseline.apply(nonexempt)
+        unused = _actionable(unused)
+    kept = sorted(kept + exempt)
+    matched = _actionable(
+        [entry for entry in baseline.entries if entry not in set(unused)]
+    )
+    result.todo_baseline = sorted(
+        (entry for entry in matched if is_todo_reason(entry.reason)),
+        key=lambda e: (e.rule, e.path),
+    )
     result.findings = kept
     result.baseline_suppressed = suppressed
     result.unused_baseline = unused
@@ -449,6 +549,8 @@ def run_lint(config: LintConfig) -> LintResult:
         graph_reanalyzed=result.graph_files_reanalyzed,
         dataflow=result.dataflow_enabled,
         dataflow_reanalyzed=result.dataflow_files_reanalyzed,
+        perf=result.perf_enabled,
+        perf_reanalyzed=result.perf_files_reanalyzed,
         seconds=round(result.elapsed_seconds, 4),
     )
     return result

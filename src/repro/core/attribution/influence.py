@@ -124,9 +124,12 @@ def input_similarity_baseline(
     else:
         test_vec = test.ravel()
         test_norm = np.linalg.norm(test_vec) or 1.0
-        for i, row in enumerate(train_inputs):
-            vec = np.asarray(row, dtype=float).ravel()
-            scores[i] = float(test_vec @ vec) / ((np.linalg.norm(vec) or 1.0) * test_norm)
+        matrix = np.asarray(train_inputs, dtype=float).reshape(
+            len(train_inputs), -1
+        )
+        norms = np.linalg.norm(matrix, axis=1)
+        norms[norms == 0] = 1.0
+        scores = matrix @ test_vec / (norms * test_norm)
     return AttributionResult(scores=scores, method="input_similarity")
 
 

@@ -83,20 +83,28 @@ class BehavioralEmbedder(_BatchEmbedMixin):
         return l2_normalize(np.asarray(profile, dtype=np.float64))
 
     def _lm_profile(self, model: Module) -> np.ndarray:
+        # Vectorized per-probe exp(-NLL): a "step" is every valid (>0)
+        # position except each row's last, targeting the token one
+        # position over; rows with fewer than two valid tokens score 0.
         tokens = self.probes.tokens
         logits = model(tokens).data
         shifted = logits - logits.max(axis=-1, keepdims=True)
         log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
-        profile = np.zeros(len(tokens))
-        for i, row in enumerate(tokens):
-            valid = row > 0
-            positions = np.where(valid)[0]
-            if len(positions) < 2:
-                continue
-            steps = positions[:-1]
-            nll = -log_probs[i, steps, row[steps + 1]].mean()
-            profile[i] = float(np.exp(-nll))
-        return profile
+        valid = tokens > 0
+        counts = valid.sum(axis=1)
+        seq_len = tokens.shape[1]
+        last = np.where(
+            counts > 0, seq_len - 1 - np.argmax(valid[:, ::-1], axis=1), -1
+        )
+        steps = valid & (np.arange(seq_len)[None, :] < last[:, None])
+        targets = np.zeros_like(tokens)
+        targets[:, :-1] = tokens[:, 1:]
+        gathered = np.take_along_axis(
+            log_probs, targets[..., None], axis=2
+        )[..., 0]
+        step_counts = np.maximum(steps.sum(axis=1), 1)
+        nll = -(gathered * steps).sum(axis=1) / step_counts
+        return np.where(counts >= 2, np.exp(-nll), 0.0)
 
 
 class OutputEmbedder:

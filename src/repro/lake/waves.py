@@ -99,19 +99,29 @@ def domain_accuracy(model: Module, eval_set: TextDataset) -> Dict[str, float]:
 
 
 def lm_likelihoods(model: Module, tokens: np.ndarray) -> np.ndarray:
-    """Per-document mean next-token likelihood exp(-NLL) for an LM."""
+    """Per-document mean next-token likelihood exp(-NLL) for an LM.
+
+    Fully vectorized: a "step" is every valid (>0) token position
+    except each row's last one, and the target at step ``p`` is the
+    token at position ``p + 1`` — exactly the pairs the old per-row
+    loop scored.  Rows with fewer than two valid tokens score 0.
+    """
     logits = model(tokens).data
     shifted = logits - logits.max(axis=-1, keepdims=True)
     log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
-    scores = np.zeros(len(tokens))
-    for i, row in enumerate(tokens):
-        positions = np.where(row > 0)[0]
-        if len(positions) < 2:
-            continue
-        steps = positions[:-1]
-        nll = -log_probs[i, steps, row[steps + 1]].mean()
-        scores[i] = float(np.exp(-nll))
-    return scores
+    valid = tokens > 0
+    counts = valid.sum(axis=1)
+    seq_len = tokens.shape[1]
+    last = np.where(
+        counts > 0, seq_len - 1 - np.argmax(valid[:, ::-1], axis=1), -1
+    )
+    steps = valid & (np.arange(seq_len)[None, :] < last[:, None])
+    targets = np.zeros_like(tokens)
+    targets[:, :-1] = tokens[:, 1:]
+    gathered = np.take_along_axis(log_probs, targets[..., None], axis=2)[..., 0]
+    step_counts = np.maximum(steps.sum(axis=1), 1)
+    nll = -(gathered * steps).sum(axis=1) / step_counts
+    return np.where(counts >= 2, np.exp(-nll), 0.0)
 
 
 def _rebuild(architecture: Dict, state: Dict[str, np.ndarray]) -> Module:

@@ -60,10 +60,13 @@ def interpolate_losses(
     probe = build_model(model_a.architecture_spec())
     ts = np.linspace(0.0, 1.0, num_points)
     losses = np.zeros(num_points)
-    for i, t in enumerate(ts):
-        mixed = {
-            name: (1.0 - t) * state_a[name] + t * state_b[name] for name in state_a
-        }
+    # theta(t) = a + t * (b - a): hoist the per-parameter delta so each
+    # interpolation point costs one scaled add, not two scales and an
+    # add over every tensor.  The loop itself stays — each point needs
+    # a forward pass of the probe model, which dominates.
+    delta = {name: state_b[name] - state_a[name] for name in state_a}
+    for i, t in enumerate(ts.tolist()):  # repro: noqa[python-loop-over-array]
+        mixed = {name: state_a[name] + t * delta[name] for name in state_a}
         probe.load_state_dict(mixed)
         losses[i] = float(
             per_example_losses(probe, dataset.tokens, dataset.labels).mean()

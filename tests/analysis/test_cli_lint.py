@@ -107,3 +107,162 @@ def test_lint_explain_unknown_rule_lists_known_ones(capsys):
     err = capsys.readouterr().err
     assert "unknown rule" in err
     assert "impure-digest-flow" in err
+
+
+def test_lint_bare_explain_lists_every_pack(capsys):
+    assert main(["lint", "--explain"]) == 0
+    out = capsys.readouterr().out
+    for pack in ("per-file (ast):", "graph:", "dataflow:", "perf:"):
+        assert pack in out
+    assert "python-loop-over-array" in out
+    assert "resource-leak" in out
+
+
+#: One perf warning: an elementwise fill of a numpy array.
+PERF_SMELL = (
+    "import numpy as np\n"
+    "def fill(n):\n"
+    "    out = np.zeros(n)\n"
+    "    for i in range(n):\n"
+    "        out[i] = i * 2.0\n"
+    "    return out\n"
+)
+
+
+def test_lint_perf_flag_runs_the_perf_pack(tree, capsys):
+    root = tree({"src/repro/lake/mod.py": PERF_SMELL})
+    assert main([
+        "lint", "--root", str(root), "--no-cache", "--perf", "src",
+    ]) == 0  # warnings are non-fatal outside --strict
+    out = capsys.readouterr().out
+    assert "[python-loop-over-array]" in out
+    assert "perf:" in out
+
+
+def test_lint_strict_implies_perf_and_no_perf_disables_it(tree, capsys):
+    root = tree({
+        "src/repro/lake/mod.py": PERF_SMELL,
+        # Reference the function so strict mode's graph pack (dead
+        # symbols) stays quiet and the perf warning is the only finding.
+        "src/repro/lake/use.py": (
+            "from repro.lake.mod import fill\n\nTABLE = fill(4)\n"
+        ),
+    })
+    assert main([
+        "lint", "--root", str(root), "--no-cache", "--strict", "src",
+    ]) == 1
+    assert "[python-loop-over-array]" in capsys.readouterr().out
+    assert main([
+        "lint", "--root", str(root), "--no-cache", "--strict", "--no-perf",
+        "src",
+    ]) == 0
+
+
+class TestBaselineUpdate:
+    def test_fresh_findings_become_todo_entries(self, tree, capsys):
+        import json as json_mod
+
+        root = tree({"src/repro/lake/mod.py": PERF_SMELL})
+        assert main([
+            "lint", "--root", str(root), "--no-cache", "--perf",
+            "--baseline-update", "src",
+        ]) == 0
+        ledger = json_mod.loads((root / ".repro-lint.json").read_text())
+        entries = ledger["suppressions"]
+        assert [e["rule"] for e in entries] == ["python-loop-over-array"]
+        assert entries[0]["path"] == "src/repro/lake/mod.py"
+        assert entries[0]["reason"].startswith("TODO")
+        # The rewritten ledger applies immediately: non-strict passes
+        # with the finding suppressed...
+        capsys.readouterr()
+        assert main([
+            "lint", "--root", str(root), "--no-cache", "--perf", "src",
+        ]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # ...but --strict still rejects the unjustified TODO reason.
+        assert main([
+            "lint", "--root", str(root), "--no-cache", "--strict", "src",
+        ]) == 1
+        assert "TODO" in capsys.readouterr().out
+
+    def test_stale_entries_are_dropped(self, tree):
+        import json as json_mod
+
+        root = tree({"src/repro/lake/mod.py": CLEAN})
+        (root / ".repro-lint.json").write_text(json_mod.dumps({
+            "version": 1,
+            "suppressions": [{
+                "rule": "no-print",
+                "path": "src/repro/lake/gone.py",
+                "reason": "matched a file that no longer exists",
+            }],
+        }))
+        assert main([
+            "lint", "--root", str(root), "--no-cache", "--baseline-update",
+            "src",
+        ]) == 0
+        ledger = json_mod.loads((root / ".repro-lint.json").read_text())
+        assert ledger["suppressions"] == []
+
+    def test_skipped_phase_entries_survive_the_rewrite(self, tree):
+        import json as json_mod
+
+        root = tree({"src/repro/lake/mod.py": CLEAN})
+        (root / ".repro-lint.json").write_text(json_mod.dumps({
+            "version": 1,
+            "suppressions": [{
+                "rule": "python-loop-over-array",
+                "path": "src/repro/lake/other.py",
+                "reason": "perf entry; this run never evaluates the rule",
+            }],
+        }))
+        # Without --perf the perf pack never ran, so its entries never
+        # had a chance to match and must not be dropped as stale.
+        assert main([
+            "lint", "--root", str(root), "--no-cache", "--baseline-update",
+            "src",
+        ]) == 0
+        ledger = json_mod.loads((root / ".repro-lint.json").read_text())
+        assert [e["rule"] for e in ledger["suppressions"]] == [
+            "python-loop-over-array"
+        ]
+
+
+class TestPerfAuditCli:
+    TRACE_SPAN = {
+        "name": "lake.mod.fill",
+        "span_id": 1,
+        "parent_id": None,
+        "trace_id": 1,
+        "start_unix": 0.0,
+        "duration": 0.5,
+        "status": "ok",
+        "attributes": {},
+    }
+
+    def test_static_audit_lists_findings(self, tree, capsys):
+        root = tree({"src/repro/lake/mod.py": PERF_SMELL})
+        assert main(["perf-audit", "--root", str(root), "src"]) == 0
+        out = capsys.readouterr().out
+        assert "python-loop-over-array" in out
+        assert "no trace loaded" in out
+
+    def test_trace_demotes_cold_findings_in_json(self, tree, capsys):
+        root = tree({
+            "src/repro/lake/mod.py": PERF_SMELL,
+            "src/repro/index/prep.py": PERF_SMELL.replace("fill", "prep"),
+        })
+        trace = root / "trace.jsonl"
+        trace.write_text(json.dumps(self.TRACE_SPAN) + "\n")
+        assert main([
+            "perf-audit", "--root", str(root), "--trace", str(trace),
+            "--json", "src",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traced"] is True
+        by_path = {f["path"]: f for f in payload["findings"]}
+        # The span names lake.mod.fill: the lake finding is hot, the
+        # index one is statically identical but cold — demoted to info.
+        assert by_path["src/repro/lake/mod.py"]["hotness_seconds"] > 0
+        assert by_path["src/repro/index/prep.py"]["demoted"] is True
+        assert by_path["src/repro/index/prep.py"]["severity"] == "info"

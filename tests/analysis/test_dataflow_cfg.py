@@ -171,6 +171,69 @@ def test_match_forks_per_case():
     assert ret.index in reachable(cfg)
 
 
+def test_while_else_runs_on_normal_exit_and_break_skips_it():
+    cfg = cfg_of(
+        "def fn(items):\n"
+        "    while items:\n"
+        "        item = items.pop()\n"
+        "        if item < 0:\n"
+        "            break\n"
+        "    else:\n"
+        "        celebrate()\n"
+        "    return item\n"
+    )
+    header = next(
+        b for b in cfg.blocks
+        if any(e.kind == "test" for e in b.elements)
+    )
+    orelse = next(b for b in cfg.blocks if 7 in lines_in(cfg, b.index))
+    brk = next(b for b in cfg.blocks if 5 in lines_in(cfg, b.index))
+    ret = next(b for b in cfg.blocks if 8 in lines_in(cfg, b.index))
+    # Normal termination flows through the else clause...
+    assert orelse.index in reachable(cfg, header.index)
+    assert ret.index in reachable(cfg, orelse.index)
+    # ...while break jumps straight past it.
+    assert orelse.index not in brk.succs
+    assert ret.index in reachable(cfg, brk.index)
+    # The loop body still closes the back edge to the header.
+    body = next(b for b in cfg.blocks if 3 in lines_in(cfg, b.index))
+    assert header.index in reachable(cfg, body.index)
+
+
+def test_nested_comprehension_is_one_statement_with_a_self_edge():
+    cfg = cfg_of(
+        "def fn(rows):\n"
+        "    out = [[y * 2 for y in row] for row in rows]\n"
+        "    return out\n"
+    )
+    comp = next(b for b in cfg.blocks if 2 in lines_in(cfg, b.index))
+    # The inner comprehension has its own scope but no blocks of its
+    # own: the statement stays one element with one looping self edge.
+    assert comp.index in comp.succs
+    assert len([e for e in comp.elements if e.lineno == 2]) == 1
+    assert cfg.exit in reachable(cfg)
+
+
+def test_lambda_in_a_loop_header_adds_no_blocks():
+    cfg = cfg_of(
+        "def fn(items):\n"
+        "    for key in sorted(items, key=lambda p: p[0]):\n"
+        "        use(key)\n"
+        "    return 0\n"
+    )
+    headers = [e for _b, _p, e in cfg.elements() if e.kind == "for"]
+    assert len(headers) == 1
+    # The lambda body is a nested scope, not control flow of fn: every
+    # element still maps to a line of fn and the loop shape is intact.
+    body = next(b for b in cfg.blocks if 3 in lines_in(cfg, b.index))
+    header = next(
+        b for b in cfg.blocks
+        if any(e.kind == "for" for e in b.elements)
+    )
+    assert header.index in reachable(cfg, body.index)
+    assert cfg.exit in reachable(cfg)
+
+
 def test_renderers_name_the_function():
     cfg = cfg_of("def fn(a):\n    if a:\n        a = 0\n    return a\n")
     text = render_cfg_text(cfg)

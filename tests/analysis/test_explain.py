@@ -10,9 +10,15 @@ import pytest
 
 from repro.analysis.core import all_rules
 from repro.analysis.dataflow import DataflowCache, all_dataflow_rules, analyze_dataflow
-from repro.analysis.explain import explain_rule, explainable_rules, rule_record
+from repro.analysis.explain import (
+    explain_index,
+    explain_rule,
+    explainable_rules,
+    rule_record,
+)
 from repro.analysis.graph import build_project
 from repro.analysis.graph.rules import all_graph_rules
+from repro.analysis.perf import PerfCache, all_perf_rules, analyze_perf
 from repro.analysis.runner import lint_source
 from repro.utils.hashing import stable_hash
 
@@ -34,6 +40,8 @@ def test_every_rule_is_explainable():
     for rule in all_graph_rules():
         assert rule.name in names
     for rule in all_dataflow_rules():
+        assert rule.name in names
+    for rule in all_perf_rules():
         assert rule.name in names
     assert len(names) >= 15
 
@@ -97,6 +105,38 @@ def test_dataflow_rule_examples_are_live(rule, tmp_path):
     assert rule.name not in silent, (
         f"negative example of {rule.name} still fires it"
     )
+
+
+def _run_perf_example(tmp_path, source):
+    files = {"src/pkg/example.py": (source, stable_hash(source))}
+    project = build_project(files, None)
+    cache = PerfCache(tmp_path / "perf-cache.json")
+    return {f.rule for f in analyze_perf(files, project, cache).findings}
+
+
+@pytest.mark.parametrize(
+    "rule", all_perf_rules(), ids=lambda rule: rule.name
+)
+def test_perf_rule_examples_are_live(rule, tmp_path):
+    assert rule.example_positive, f"{rule.name} has no positive example"
+    assert rule.example_negative, f"{rule.name} has no negative example"
+    fired = _run_perf_example(tmp_path, rule.example_positive)
+    assert rule.name in fired, (
+        f"positive example of {rule.name} does not fire it (got {fired})"
+    )
+    silent = _run_perf_example(tmp_path, rule.example_negative)
+    assert rule.name not in silent, (
+        f"negative example of {rule.name} still fires it"
+    )
+
+
+def test_index_lists_every_rule_grouped_by_pack():
+    index = explain_index()
+    for pack in ("per-file (ast):", "graph:", "dataflow:", "perf:"):
+        assert pack in index
+    for name in explainable_rules():
+        assert name in index
+    assert "repro lint --explain RULE" in index
 
 
 @pytest.mark.parametrize(

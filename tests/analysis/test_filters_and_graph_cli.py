@@ -331,3 +331,37 @@ def test_graph_cfg_out_writes_file(tree, tmp_path, capsys):
         "--out", str(target), "src",
     ]) == 0
     assert target.read_text().startswith("digraph cfg")
+
+
+#: The same qualname in two modules: only path:qualname can pick one.
+SHADOWED_TREE = {
+    "src/repro/alpha.py": "def clamp(n):\n    return max(n, 0)\n",
+    "src/repro/beta.py": (
+        "def clamp(n):\n"
+        "    if n > 9:\n"
+        "        return 9\n"
+        "    return n\n"
+    ),
+}
+
+
+def test_graph_cfg_path_qualname_pins_the_file(tree, capsys):
+    root = tree(SHADOWED_TREE)
+    assert main([
+        "graph", "--root", str(root),
+        "--cfg", "src/repro/beta.py:clamp", "src",
+    ]) == 0
+    out = capsys.readouterr().out
+    # Bare `clamp` would resolve to alpha (first in sorted file order);
+    # the path form must land on beta's definition.
+    assert out.startswith("cfg repro.beta.clamp")
+
+
+def test_graph_cfg_path_qualname_wrong_file_is_an_error(tree, capsys):
+    root = tree(SHADOWED_TREE)
+    code = main([
+        "graph", "--root", str(root),
+        "--cfg", "src/repro/alpha.py:missing", "src",
+    ])
+    assert code == 2
+    assert "no function named" in capsys.readouterr().err

@@ -1,0 +1,134 @@
+"""``perf-audit``: the hotness join between findings and trace spans.
+
+A loaded profile splits static findings into hot (ranked by measured
+self-time) and cold (demoted to info, never dropped); without one the
+audit is a static ranking at full severity.
+"""
+
+import json
+
+from repro.analysis.graph import build_project
+from repro.analysis.perf import (
+    PerfCache,
+    analyze_perf,
+    audit_findings,
+    render_audit_json,
+    render_audit_text,
+)
+from repro.obs.analyze import analyze_trace, load_trace
+from repro.utils.hashing import stable_hash
+
+#: Two modules with the same finding shape; the trace only exercises one.
+FILES = {
+    "src/repro/hotscan.py": (
+        "import numpy as np\n"
+        "def scan(n):\n"
+        "    out = np.zeros(n)\n"
+        "    for i in range(n):\n"
+        "        out[i] = i * 2.0\n"
+        "    return out\n"
+    ),
+    "src/repro/coldprep.py": (
+        "import numpy as np\n"
+        "def prep(n):\n"
+        "    out = np.zeros(n)\n"
+        "    for i in range(n):\n"
+        "        out[i] = i * 3.0\n"
+        "    return out\n"
+    ),
+}
+
+
+def mapped_files():
+    return {
+        rel: (source, stable_hash(source)) for rel, source in FILES.items()
+    }
+
+
+def findings_of(tmp_path):
+    files = mapped_files()
+    project = build_project(files, None)
+    cache = PerfCache(tmp_path / "perf-cache.json")
+    return analyze_perf(files, project, cache).findings
+
+
+def write_trace(tmp_path, names):
+    path = tmp_path / "trace.jsonl"
+    with open(path, "w") as handle:
+        for index, name in enumerate(names):
+            handle.write(json.dumps({
+                "name": name,
+                "span_id": index,
+                "parent_id": None,
+                "trace_id": 1,
+                "start_unix": float(index),
+                "duration": 0.25,
+                "status": "ok",
+                "attributes": {},
+            }) + "\n")
+    return str(path)
+
+
+def test_untraced_audit_keeps_static_severity(tmp_path):
+    findings = findings_of(tmp_path)
+    assert len(findings) == 2
+    report = audit_findings(findings, mapped_files())
+    assert not report.traced
+    assert report.demoted == 0
+    assert all(e.finding.severity == "warning" for e in report.entries)
+    assert "no trace loaded" in render_audit_text(report)
+
+
+def test_traced_audit_ranks_hot_and_demotes_cold(tmp_path):
+    findings = findings_of(tmp_path)
+    trace_report = analyze_trace(load_trace(
+        write_trace(tmp_path, ["repro.hotscan.scan", "repro.hotscan.scan"])
+    ))
+    report = audit_findings(
+        findings, mapped_files(), trace_report=trace_report
+    )
+    assert report.traced and report.span_count == 2
+    hot, cold = report.entries  # hottest first
+    assert hot.finding.path == "src/repro/hotscan.py"
+    assert hot.hotness > 0
+    assert hot.spans == ("repro.hotscan.scan",)
+    assert hot.finding.severity == "warning"
+    # Statically identical, dynamically cold: demoted, not dropped.
+    assert cold.finding.path == "src/repro/coldprep.py"
+    assert cold.demoted
+    assert cold.finding.severity == "info"
+    assert report.demoted == 1
+    text = render_audit_text(report)
+    assert "1 demoted" in text
+    assert "hotness 0" in text
+
+
+def test_audit_anchors_findings_to_their_function(tmp_path):
+    report = audit_findings(findings_of(tmp_path), mapped_files())
+    functions = {e.finding.path: e.function for e in report.entries}
+    assert functions["src/repro/hotscan.py"].endswith("scan")
+    assert functions["src/repro/coldprep.py"].endswith("prep")
+
+
+def test_audit_json_payload_round_trips(tmp_path):
+    findings = findings_of(tmp_path)
+    trace_report = analyze_trace(load_trace(
+        write_trace(tmp_path, ["repro.hotscan.scan"])
+    ))
+    payload = render_audit_json(audit_findings(
+        findings, mapped_files(), trace_report=trace_report
+    ))
+    payload = json.loads(json.dumps(payload))  # must be serializable
+    assert payload["traced"] is True
+    assert payload["demoted"] == 1
+    by_path = {f["path"]: f for f in payload["findings"]}
+    assert by_path["src/repro/hotscan.py"]["hotness_seconds"] > 0
+    assert by_path["src/repro/coldprep.py"]["demoted"] is True
+
+
+def test_top_limits_the_rendered_entries(tmp_path):
+    report = audit_findings(findings_of(tmp_path), mapped_files())
+    text = render_audit_text(report, top=1)
+    assert "and 1 more" in text
+    payload = render_audit_json(report, top=1)
+    assert len(payload["findings"]) == 1

@@ -1,0 +1,101 @@
+"""Incremental perf caching: exact reverse-closure invalidation.
+
+Mirrors the dataflow cache contract — the perf pack keys its own file
+on the same dependency digest plus the perf rule fingerprint and engine
+version, so the two packs invalidate independently.
+"""
+
+from repro.analysis.perf import PerfCache, analyze_perf
+from repro.analysis.perf import engine as engine_mod
+from repro.analysis.perf import rules as rules_mod
+from repro.analysis.graph import build_project
+from repro.utils.hashing import stable_hash
+
+
+BASE = {
+    "src/pkg/leaf.py": "def width():\n    return 3\n",
+    "src/pkg/mid.py": (
+        "from pkg.leaf import width\n\n\n"
+        "def padded():\n    return width() + 1\n"
+    ),
+    "src/pkg/top.py": (
+        "from pkg.mid import padded\n\n\n"
+        "def total():\n    return padded() * 2\n"
+    ),
+    "src/pkg/island.py": "def alone():\n    return 0\n",
+}
+
+
+def file_map(files):
+    return {
+        rel: (source, stable_hash(source)) for rel, source in files.items()
+    }
+
+
+def sweep(tmp_path, files):
+    mapped = file_map(files)
+    project = build_project(mapped, None)
+    cache = PerfCache(tmp_path / "perf-cache.json")
+    report = analyze_perf(mapped, project, cache)
+    cache.save()
+    return report
+
+
+def test_cold_sweep_analyzes_everything(tmp_path):
+    report = sweep(tmp_path, BASE)
+    assert report.files_reanalyzed == len(BASE)
+    assert report.cache_hits == 0
+
+
+def test_warm_rerun_reanalyzes_nothing(tmp_path):
+    sweep(tmp_path, BASE)
+    report = sweep(tmp_path, BASE)
+    assert report.files_reanalyzed == 0
+    assert report.cache_hits == len(BASE)
+
+
+def test_one_edit_invalidates_exactly_the_reverse_closure(tmp_path):
+    sweep(tmp_path, BASE)
+    edited = dict(BASE)
+    edited["src/pkg/leaf.py"] = "def width():\n    return 4\n"
+    report = sweep(tmp_path, edited)
+    # leaf itself, mid (imports leaf), top (imports mid) — island is
+    # untouched and must come straight from the cache.
+    assert report.files_reanalyzed == 3
+    assert report.cache_hits == 1
+
+
+def test_engine_version_bump_invalidates_everything(tmp_path, monkeypatch):
+    sweep(tmp_path, BASE)
+    monkeypatch.setattr(
+        engine_mod, "PERF_ENGINE_VERSION", engine_mod.PERF_ENGINE_VERSION + 1
+    )
+    report = sweep(tmp_path, BASE)
+    assert report.files_reanalyzed == len(BASE)
+    assert report.cache_hits == 0
+
+
+def test_rule_version_bump_invalidates_everything(tmp_path, monkeypatch):
+    sweep(tmp_path, BASE)
+    rule = rules_mod._REGISTRY["repeated-digest"]
+    monkeypatch.setattr(rule, "version", rule.version + 1)
+    report = sweep(tmp_path, BASE)
+    assert report.files_reanalyzed == len(BASE)
+    assert report.cache_hits == 0
+
+
+def test_cached_findings_replay_identically(tmp_path):
+    files = dict(BASE)
+    files["src/pkg/hot.py"] = (
+        "import numpy as np\n\n\n"
+        "def fill(n):\n"
+        "    out = np.zeros(n)\n"
+        "    for i in range(n):\n"
+        "        out[i] = i * 2.0\n"
+        "    return out\n"
+    )
+    cold = sweep(tmp_path, files)
+    warm = sweep(tmp_path, files)
+    assert warm.files_reanalyzed == 0
+    assert warm.findings == cold.findings
+    assert [f.rule for f in cold.findings] == ["python-loop-over-array"]

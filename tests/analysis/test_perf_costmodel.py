@@ -1,0 +1,203 @@
+"""The perf cost model: loop depth, growth sites, interprocedural depth."""
+
+import ast
+
+from repro.analysis.dataflow.model import ModelIndex
+from repro.analysis.dataflow.summaries import SummaryIndex
+from repro.analysis.graph import build_project
+from repro.analysis.perf import CostModel, intrinsic_depth
+from repro.analysis.perf.costmodel import MAX_INTRINSIC_DEPTH
+from repro.utils.hashing import stable_hash
+
+REL_PATH = "src/pkg/mod.py"
+
+
+def file_map(files):
+    return {
+        rel: (source, stable_hash(source)) for rel, source in files.items()
+    }
+
+
+def function_of(source, qualname="fn"):
+    module = ModelIndex(file_map({REL_PATH: source}), ("src",)).model(REL_PATH)
+    assert module is not None and not module.parse_error
+    return module.functions[qualname]
+
+
+def cost_of(source, qualname="fn"):
+    return CostModel(function_of(source, qualname))
+
+
+def node_at(cost, line, kind=ast.Call):
+    for node in ast.walk(cost.fn.node):
+        if isinstance(node, kind) and getattr(node, "lineno", None) == line:
+            return node
+    raise AssertionError(f"no {kind.__name__} at line {line}")
+
+
+class TestLoopDepth:
+    def test_nesting_depth_counts_natural_loops(self):
+        cost = cost_of(
+            "def fn(rows):\n"
+            "    total = 0\n"
+            "    for row in rows:\n"
+            "        for cell in row:\n"
+            "            total += use(cell)\n"
+            "        tally(row)\n"
+            "    return total\n"
+        )
+        assert cost.depth_of(node_at(cost, 2, ast.Assign)) == 0
+        assert cost.depth_of(node_at(cost, 5)) == 2
+        assert cost.depth_of(node_at(cost, 6)) == 1
+
+    def test_entrance_edge_is_not_a_back_edge(self):
+        # The outer back edge creates a path from the inner header back
+        # around to its own entrance; only dominance-based back-edge
+        # detection keeps the statement *after* the inner loop at the
+        # outer depth.
+        cost = cost_of(
+            "def fn(items):\n"
+            "    for item in items:\n"
+            "        k = 0\n"
+            "        while k < 3:\n"
+            "            k += 1\n"
+            "        done(item)\n"
+            "    return 0\n"
+        )
+        assert cost.depth_of(node_at(cost, 3, ast.Assign)) == 1
+        assert cost.depth_of(node_at(cost, 5, ast.AugAssign)) == 2
+        assert cost.depth_of(node_at(cost, 6)) == 1
+        assert cost.depth_of(node_at(cost, 7, ast.Return)) == 0
+
+    def test_while_body_is_depth_one(self):
+        cost = cost_of(
+            "def fn(n):\n"
+            "    while n > 0:\n"
+            "        n = shrink(n)\n"
+            "    return n\n"
+        )
+        assert cost.depth_of(node_at(cost, 3)) == 1
+
+    def test_for_header_iterable_evaluates_once(self):
+        # `expand(row)` runs once per *outer* iteration, not once per
+        # inner one — its depth is the header's depth minus one.
+        cost = cost_of(
+            "def fn(rows):\n"
+            "    for row in rows:\n"
+            "        for cell in expand(row):\n"
+            "            use(cell)\n"
+            "    return 0\n"
+        )
+        assert cost.depth_of(node_at(cost, 3)) == 1
+        assert cost.depth_of(node_at(cost, 4)) == 2
+
+    def test_comprehension_adds_one_implicit_loop(self):
+        cost = cost_of(
+            "def fn(rows):\n"
+            "    flat = [use(cell) for row in rows for cell in row]\n"
+            "    for row in rows:\n"
+            "        pairs = [pair(cell) for cell in row]\n"
+            "    return flat\n"
+        )
+        # Multiple clauses are still one comprehension: the bonus is a
+        # flat +1, not one per clause.
+        assert cost.depth_of(node_at(cost, 2)) == 1
+        assert cost.depth_of(node_at(cost, 4)) == 2
+
+
+class TestInnermostLoop:
+    SOURCE = (
+        "def fn(rows):\n"
+        "    for row in rows:\n"
+        "        for cell in expand(row):\n"
+        "            use(cell)\n"
+        "    return 0\n"
+    )
+
+    def test_body_node_gets_the_inner_loop(self):
+        cost = cost_of(self.SOURCE)
+        inner = cost.innermost_loop(node_at(cost, 4))
+        outer = cost.innermost_loop(node_at(cost, 3))
+        assert inner is not None and outer is not None
+        # The header's iterable belongs to the *outer* loop, whose
+        # natural loop strictly contains the inner one.
+        assert inner.blocks < outer.blocks
+
+    def test_top_level_node_has_no_loop(self):
+        cost = cost_of(self.SOURCE)
+        assert cost.innermost_loop(node_at(cost, 5, ast.Return)) is None
+
+
+class TestGrowthSites:
+    def test_list_and_set_growth_are_distinguished(self):
+        cost = cost_of(
+            "def fn(items):\n"
+            "    out = []\n"
+            "    seen = set()\n"
+            "    for item in items:\n"
+            "        out.append(item)\n"
+            "        seen.add(item)\n"
+            "    return out\n"
+        )
+        sites = {site.name: site for site in cost.growth_sites()}
+        assert set(sites) == {"out", "seen"}
+        assert not sites["out"].keyed
+        assert sites["out"].grow_line == 5
+        assert sites["seen"].keyed
+
+    def test_growth_outside_any_loop_is_not_a_site(self):
+        cost = cost_of(
+            "def fn(items):\n"
+            "    out = []\n"
+            "    out.append(seed())\n"
+            "    for item in items:\n"
+            "        use(item)\n"
+            "    return out\n"
+        )
+        assert cost.growth_sites() == []
+
+
+class TestIntrinsicDepth:
+    def summaries(self, source):
+        files = file_map({REL_PATH: source})
+        project = build_project(files, None)
+        models = ModelIndex(files, project.source_roots)
+        return models.model(REL_PATH), SummaryIndex(project, models)
+
+    def test_call_into_a_looping_callee_compounds_depth(self):
+        module, summaries = self.summaries(
+            "def helper(items):\n"
+            "    for item in items:\n"
+            "        use(item)\n"
+            "\n"
+            "\n"
+            "def fn(batches):\n"
+            "    for batch in batches:\n"
+            "        helper(batch)\n"
+        )
+        cache = {}
+        helper = module.functions["helper"].fq
+        fn = module.functions["fn"].fq
+        assert intrinsic_depth(helper, summaries, _cache=cache) == 1
+        # fn's call site sits at depth 1 and enters helper's depth-1
+        # loop: two loop levels deep in total.
+        assert intrinsic_depth(fn, summaries, _cache=cache) == 2
+
+    def test_depth_caps_on_deep_call_chains(self):
+        # Six nested loop levels through the call chain; the model
+        # reports the cap, not the true depth.
+        chunks = []
+        for index in range(6):
+            call = f"f{index + 1}(item)" if index < 5 else "use(item)"
+            chunks.append(
+                f"def f{index}(items):\n"
+                "    for item in items:\n"
+                f"        {call}\n"
+            )
+        module, summaries = self.summaries("\n\n".join(chunks))
+        depth = intrinsic_depth(module.functions["f0"].fq, summaries)
+        assert depth == MAX_INTRINSIC_DEPTH
+
+    def test_unresolvable_function_is_depth_zero(self):
+        _module, summaries = self.summaries("def fn():\n    return 0\n")
+        assert intrinsic_depth("no.such.fq", summaries) == 0

@@ -1,0 +1,228 @@
+"""The perf rule pack: refinements beyond the pos/neg explain examples.
+
+The live positive/negative example pairs are executed by
+``test_explain.py``; these tests pin the sharper distinctions each rule
+draws — accumulation vs fresh builds, definition-anchored membership,
+invariance under loop-local redefinition, cross-depth digest joins.
+"""
+
+from repro.analysis.graph import build_project
+from repro.analysis.perf import PerfCache, analyze_perf
+from repro.utils.hashing import stable_hash
+
+REL_PATH = "src/pkg/mod.py"
+
+
+def perf_findings(tmp_path, source, rel_path=REL_PATH):
+    files = {rel_path: (source, stable_hash(source))}
+    project = build_project(files, None)
+    cache = PerfCache(tmp_path / "perf-cache.json")
+    return analyze_perf(files, project, cache).findings
+
+
+def fired(tmp_path, source):
+    return {f.rule for f in perf_findings(tmp_path, source)}
+
+
+class TestPythonLoopOverArray:
+    def test_elementwise_fill_of_an_array_fires(self, tmp_path):
+        findings = perf_findings(
+            tmp_path,
+            "import numpy as np\n"
+            "def fill(n):\n"
+            "    out = np.zeros(n)\n"
+            "    for i in range(n):\n"
+            "        out[i] = i * 2.0\n"
+            "    return out\n",
+        )
+        assert [f.rule for f in findings] == ["python-loop-over-array"]
+        assert "fills array 'out'" in findings[0].message
+        assert findings[0].line == 4  # reported at the loop statement
+
+    def test_filling_a_plain_dict_is_silent(self, tmp_path):
+        assert fired(
+            tmp_path,
+            "def fill(n):\n"
+            "    out = {}\n"
+            "    for i in range(n):\n"
+            "        out[i] = i * 2.0\n"
+            "    return out\n",
+        ) == set()
+
+
+class TestArrayBuildInLoop:
+    def test_self_accumulation_fires(self, tmp_path):
+        findings = perf_findings(
+            tmp_path,
+            "import numpy as np\n"
+            "def rows(chunks):\n"
+            "    out = np.empty((0, 4))\n"
+            "    for chunk in chunks:\n"
+            "        out = np.concatenate([out, chunk])\n"
+            "    return out\n",
+        )
+        assert [f.rule for f in findings] == ["array-build-in-loop"]
+        assert "rebuilds 'out' from itself" in findings[0].message
+
+    def test_fresh_build_per_iteration_is_linear_and_silent(self, tmp_path):
+        # The k-fold shape: each iteration concatenates *other* parts
+        # into a fresh array — linear in what it builds, not quadratic.
+        assert fired(
+            tmp_path,
+            "import numpy as np\n"
+            "def folds(parts, k):\n"
+            "    out = []\n"
+            "    for i in range(k):\n"
+            "        rest = np.concatenate(\n"
+            "            [p for j, p in enumerate(parts) if j != i]\n"
+            "        )\n"
+            "        out.append(rest)\n"
+            "    return out\n",
+        ) == set()
+
+
+class TestMemmapMaterialization:
+    def test_materializing_inside_a_loop_reports_the_depth(self, tmp_path):
+        findings = perf_findings(
+            tmp_path,
+            "import numpy as np\n"
+            "def scan(paths):\n"
+            "    total = []\n"
+            "    for path in paths:\n"
+            "        view = np.memmap(path, dtype='f8', mode='r')\n"
+            "        total.append(np.asarray(view))\n"
+            "    return total\n",
+        )
+        rules = {f.rule for f in findings}
+        assert "memmap-materialization" in rules
+        finding = next(
+            f for f in findings if f.rule == "memmap-materialization"
+        )
+        assert "at loop depth 1" in finding.message
+
+    def test_sliced_copy_stays_out_of_core(self, tmp_path):
+        assert fired(
+            tmp_path,
+            "import numpy as np\n"
+            "def head(path):\n"
+            "    view = np.memmap(path, dtype='f8', mode='r')\n"
+            "    return view[:16].copy()\n",
+        ) == set()
+
+
+class TestQuadraticMembership:
+    def test_membership_on_a_never_grown_list_is_silent(self, tmp_path):
+        # `banned` is never grown and `out` is never scanned, so neither
+        # pairing matches.
+        assert fired(
+            tmp_path,
+            "def keep(items, banned):\n"
+            "    out = []\n"
+            "    for item in items:\n"
+            "        if item in banned:\n"
+            "            continue\n"
+            "        out.append(item)\n"
+            "    return out\n",
+        ) == set()
+
+    def test_scanning_the_grown_list_fires_with_the_growth_line(
+        self, tmp_path
+    ):
+        findings = perf_findings(
+            tmp_path,
+            "def dedup(items):\n"
+            "    seen = []\n"
+            "    for item in items:\n"
+            "        if item in seen:\n"
+            "            continue\n"
+            "        seen.append(item)\n"
+            "    return seen\n",
+        )
+        assert [f.rule for f in findings] == ["quadratic-membership"]
+        assert "grown at line 6" in findings[0].message
+
+
+class TestHoistablePureCall:
+    def test_invariant_keyword_argument_fires(self, tmp_path):
+        findings = perf_findings(
+            tmp_path,
+            "from repro.utils.hashing import stable_hash\n"
+            "def tag(records, spec):\n"
+            "    out = []\n"
+            "    for record in records:\n"
+            "        out.append((stable_hash(payload=spec), record))\n"
+            "    return out\n",
+        )
+        assert [f.rule for f in findings] == ["hoistable-pure-call"]
+
+    def test_argument_redefined_in_the_loop_is_not_invariant(self, tmp_path):
+        assert fired(
+            tmp_path,
+            "from repro.utils.hashing import stable_hash\n"
+            "def tag(records, spec):\n"
+            "    out = []\n"
+            "    for record in records:\n"
+            "        spec = extend(spec, record)\n"
+            "        out.append(stable_hash(spec))\n"
+            "    return out\n",
+        ) == set()
+
+
+class TestRepeatedDigest:
+    def test_same_payload_at_one_depth_is_silent(self, tmp_path):
+        assert fired(
+            tmp_path,
+            "from repro.utils.hashing import stable_hash\n"
+            "def pair(payload):\n"
+            "    first = stable_hash(payload)\n"
+            "    second = stable_hash(payload)\n"
+            "    return first, second\n",
+        ) == set()
+
+    def test_digest_through_a_callee_sink_parameter_fires(self, tmp_path):
+        # `ident` digests its parameter, so calling it with `payload`
+        # inside the loop re-digests what line 4 already hashed.
+        findings = perf_findings(
+            tmp_path,
+            "from repro.utils.hashing import stable_hash\n"
+            "\n"
+            "def ident(payload):\n"
+            "    return stable_hash(payload)\n"
+            "\n"
+            "def index(blobs, payload):\n"
+            "    root = stable_hash(payload)\n"
+            "    out = []\n"
+            "    for blob in blobs:\n"
+            "        out.append((ident(payload), blob, root))\n"
+            "    return out\n",
+        )
+        repeated = [f for f in findings if f.rule == "repeated-digest"]
+        assert len(repeated) == 1
+        assert "via parameter of" in repeated[0].message
+        assert repeated[0].line == 10
+
+
+def test_pragma_suppresses_a_perf_finding(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "def fill(n):\n"
+        "    out = np.zeros(n)\n"
+        "    for i in range(n):  # repro: noqa[python-loop-over-array]\n"
+        "        out[i] = i * 2.0\n"
+        "    return out\n"
+    )
+    assert fired(tmp_path, source) == set()
+
+
+def test_findings_are_warnings(tmp_path):
+    findings = perf_findings(
+        tmp_path,
+        "def dedup(items):\n"
+        "    seen = []\n"
+        "    for item in items:\n"
+        "        if item in seen:\n"
+        "            continue\n"
+        "        seen.append(item)\n"
+        "    return seen\n",
+    )
+    assert findings and all(f.severity == "warning" for f in findings)

@@ -29,9 +29,10 @@ def _build_lake(num_models, clock_bumps):
     lake = ModelLake()
     for i in range(num_models):
         lake.add_model(_tiny_model(seed=i), name=f"model-{i}")
+    first = lake.model_ids()[0]
     for i in range(clock_bumps):
         # Non-registration mutations advance the clock past created_at.
-        lake.record_metric(lake.model_ids()[0], f"metric_{i}", float(i))
+        lake.record_metric(first, f"metric_{i}", float(i))
     return lake
 
 
