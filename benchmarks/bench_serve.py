@@ -1,0 +1,440 @@
+"""Serving load drill: micro-batched vs per-request dispatch under load.
+
+Measures the serve layer's throughput claim and records it on the perf
+trajectory (``benchmarks/results/trajectory/serve.load.json``, via
+:mod:`repro.obs.timeseries`):
+
+1. **Closed-loop A/B** — N concurrent clients (N >= 8) hammer an
+   in-process :class:`~repro.serve.server.LakeServer` over real HTTP,
+   once with micro-batching enabled (``window > 0``) and once in
+   per-request mode (``window == 0``), through exactly the same code
+   path.  The acceptance criterion is hard-asserted: batched throughput
+   must be *strictly* higher than per-request throughput.
+2. **Open-loop arrival** — requests arrive on a Poisson schedule
+   (seeded, reproducible) regardless of completions, the regime where
+   queueing actually builds; p50/p99 and achieved qps are recorded.
+3. **Parity** — every pool query's served ranking must be identical
+   (ids and scores) to a sequential ``SearchEngine.search`` on the same
+   snapshot, for every method the server exposes.
+
+Any 5xx anywhere in the drill is a hard failure.
+
+Usage::
+
+    python benchmarks/bench_serve.py            # full run
+    python benchmarks/bench_serve.py --smoke    # quick CI gate
+    python benchmarks/bench_serve.py --smoke --check   # gate vs trajectory
+
+Smoke runs are read-only gates (``--record`` forces recording); full
+runs append to the trajectory.  ``--check`` judges the fresh result
+against the committed baseline via the standard regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.client import HTTPConnection
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.lake import LakeSpec, generate_lake, save_lake  # noqa: E402
+from repro.obs.timeseries import (  # noqa: E402
+    BenchResult,
+    append_result,
+    check_regression,
+    load_trajectory,
+)
+from repro.serve import LakeServer, LakeSnapshot, ServeConfig  # noqa: E402
+
+DEFAULT_RESULTS = os.path.join(REPO_ROOT, "benchmarks", "results")
+BENCH_NAME = "serve.load"
+
+#: Worse-direction drift allowed before --check fails a metric.
+#: Wall-clock and throughput both jitter hard on shared CI runners.
+TOLERANCES = {
+    "batched_qps": 1.75,
+    "unbatched_qps": 1.75,
+    "batch_speedup": 2.0,
+    "batched_p50_seconds": 1.75,
+    "batched_p99_seconds": 1.75,
+    "open_qps": 1.75,
+    "open_p99_seconds": 1.75,
+}
+
+#: One query per closed-loop client: every steady-state round fills the
+#: batch to ``max_batch`` and dispatches without waiting out the window,
+#: so the A/B measures coalescing, not idle window time.
+QUERY_POOL = (
+    "legal specialist",
+    "medical fine-tuned",
+    "code model",
+    "news summarizer",
+    "legal contract review",
+    "medical triage notes",
+    "code completion assistant",
+    "news briefing model",
+)
+
+_SMOKE_SPEC = dict(
+    num_foundations=1, chains_per_foundation=2, max_chain_depth=1,
+    docs_per_domain=10, eval_docs_per_domain=4,
+    foundation_epochs=4, specialize_epochs=3, seed=13,
+)
+_FULL_SPEC = dict(
+    num_foundations=2, chains_per_foundation=3, max_chain_depth=1,
+    docs_per_domain=12, eval_docs_per_domain=5,
+    foundation_epochs=6, specialize_epochs=4, seed=13,
+)
+
+#: Closed-loop smoke SLO: generous enough for a loaded 1-core CI box,
+#: tight enough to catch a serving path that stopped overlapping work.
+SMOKE_P99_BOUND_SECONDS = 0.5
+
+
+def _percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class ServerHarness:
+    """A LakeServer on a private event loop in a daemon thread.
+
+    The snapshot is shared across harness instances (one per A/B phase);
+    ``LakeServer.stop()`` closing it between phases is safe — the weight
+    store reopens handles on demand.
+    """
+
+    def __init__(self, snapshot: LakeSnapshot, window: float,
+                 workers: int = 2, max_batch: int = 64):
+        config = ServeConfig(
+            directory=snapshot.directory, host="127.0.0.1", port=0,
+            workers=workers, window=window, max_batch=max_batch,
+        )
+        self._server = LakeServer(snapshot, config)
+        self._loop = asyncio.new_event_loop()
+        self._stop_event = None
+        self._ready = threading.Event()
+        self._failure = None
+        self._thread = threading.Thread(
+            target=self._run, name="bench-serve-loop", daemon=True
+        )
+        self.port = 0
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the
+            # bench thread through start()/stop(); never silently lost.
+            self._failure = exc
+            self._ready.set()
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        await self._server.start()
+        self.port = self._server.port
+        self._ready.set()
+        await self._stop_event.wait()
+        await self._server.stop()
+
+    def __enter__(self) -> "ServerHarness":
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("server did not start within 60s")
+        if self._failure is not None:
+            raise RuntimeError(f"server failed to start: {self._failure}")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        import contextlib
+
+        with contextlib.suppress(RuntimeError):
+            # The loop is already closed if the server crashed mid-run;
+            # the crash itself is re-raised below.
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=60)
+        if self._failure is not None:
+            raise RuntimeError(f"server crashed: {self._failure}")
+
+
+def _get_json(conn: HTTPConnection, target: str):
+    conn.request("GET", target)
+    response = conn.getresponse()
+    body = response.read()
+    return response.status, json.loads(body)
+
+
+def _search_target(query: str, k: int, method: str) -> str:
+    from urllib.parse import quote
+
+    return f"/search?q={quote(query)}&k={k}&method={method}"
+
+
+def closed_loop(port: int, clients: int, per_client: int, k: int):
+    """Every client issues ``per_client`` requests back-to-back over a
+    keep-alive connection; returns (elapsed, latencies, bad_statuses)."""
+    barrier = threading.Barrier(clients + 1)
+    latencies = []
+    bad = []
+    lock = threading.Lock()
+
+    def worker(wid: int) -> None:
+        conn = HTTPConnection("127.0.0.1", port)
+        query = QUERY_POOL[wid % len(QUERY_POOL)]
+        target = _search_target(query, k, "hybrid")
+        mine = []
+        mine_bad = []
+        barrier.wait()
+        for _ in range(per_client):
+            start = time.perf_counter()
+            status, _ = _get_json(conn, target)
+            mine.append(time.perf_counter() - start)
+            if status != 200:
+                mine_bad.append(status)
+        conn.close()
+        with lock:
+            latencies.extend(mine)
+            bad.extend(mine_bad)
+
+    threads = [
+        # Mutations inside the workers are lock-guarded.
+        threading.Thread(target=worker, args=(wid,), daemon=True)  # repro: noqa[shared-state-race]
+        for wid in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return elapsed, latencies, bad
+
+
+def open_loop(port: int, requests: int, rate: float, k: int, seed: int = 5):
+    """Poisson arrivals at ``rate`` req/s; each request rides its own
+    connection (the no-keep-alive regime where queueing builds)."""
+    rng = random.Random(seed)
+    latencies = []
+    bad = []
+    lock = threading.Lock()
+
+    def one_request(index: int) -> None:
+        conn = HTTPConnection("127.0.0.1", port)
+        query = QUERY_POOL[index % len(QUERY_POOL)]
+        start = time.perf_counter()
+        try:
+            status, _ = _get_json(conn, _search_target(query, k, "hybrid"))
+        finally:
+            conn.close()
+        with lock:
+            latencies.append(time.perf_counter() - start)
+            if status != 200:
+                bad.append(status)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=32) as pool:
+        for index in range(requests):
+            pool.submit(one_request, index)
+            time.sleep(rng.expovariate(rate))
+    elapsed = time.perf_counter() - start
+    return elapsed, latencies, bad
+
+
+def check_parity(port: int, snapshot: LakeSnapshot, k: int) -> bool:
+    """Served rankings must match sequential engine.search exactly."""
+    conn = HTTPConnection("127.0.0.1", port)
+    ok = True
+    try:
+        for query in QUERY_POOL[:4]:
+            for method in ("hybrid", "behavioral", "keyword"):
+                status, payload = _get_json(
+                    conn, _search_target(query, k, method)
+                )
+                if status != 200:
+                    print(f"[bench_serve] FAIL parity: {method} {query!r} "
+                          f"-> HTTP {status}")
+                    ok = False
+                    continue
+                expected = snapshot.engine.search(query, k=k, method=method)
+                served_ids = [hit["model_id"] for hit in payload["results"]]
+                expected_ids = [hit.model_id for hit in expected]
+                if served_ids != expected_ids:
+                    print(f"[bench_serve] FAIL parity: {method} {query!r} "
+                          f"served {served_ids} != engine {expected_ids}")
+                    ok = False
+                    continue
+                for hit, exp in zip(payload["results"], expected):
+                    if abs(float(hit["score"]) - float(exp.score)) > 1e-6:
+                        print(f"[bench_serve] FAIL parity: {method} "
+                              f"{query!r} score drift on {exp.model_id}")
+                        ok = False
+                        break
+    finally:
+        conn.close()
+    return ok
+
+
+def build_lake_dir(root: str, mode: str) -> str:
+    spec_kwargs = _SMOKE_SPEC if mode == "smoke" else _FULL_SPEC
+    bundle = generate_lake(LakeSpec(**spec_kwargs))
+    directory = os.path.join(root, "lake")
+    save_lake(bundle.lake, directory, sharded=True)
+    return directory
+
+
+def run(mode: str, record: bool, results_dir: str, check: bool) -> int:
+    clients = 8 if mode == "smoke" else 12
+    per_client = 12 if mode == "smoke" else 40
+    rounds = 3 if mode == "smoke" else 4
+    open_requests = 80 if mode == "smoke" else 300
+    open_rate = 300.0 if mode == "smoke" else 500.0
+    k = 5
+
+    failures = []
+    with tempfile.TemporaryDirectory() as root:
+        print(f"[bench_serve] generating lake ({mode}) ...")
+        directory = build_lake_dir(root, mode)
+        snapshot = LakeSnapshot.open(directory)
+        models = len(snapshot.lake)
+        print(f"[bench_serve] lake ready: {models} models")
+
+        total_bad = []
+
+        def one_round(port: int):
+            elapsed, latencies, bad = closed_loop(
+                port, clients, per_client, k
+            )
+            total_bad.extend(bad)
+            return len(latencies) / elapsed if elapsed else 0.0, latencies
+
+        # Both servers up at once, rounds interleaved A/B/A/B: ambient
+        # load drift on a shared runner then hits both arms equally
+        # instead of whichever phase ran second.  Same snapshot, same
+        # clients, same queries — the only difference is the window.
+        best = {"per-request": (0.0, []), "batched": (0.0, [])}
+        with ServerHarness(
+            snapshot, window=0.0, max_batch=clients
+        ) as plain, ServerHarness(
+            snapshot, window=0.002, max_batch=clients
+        ) as micro:
+            ports = {"per-request": plain.port, "batched": micro.port}
+            for port in ports.values():
+                closed_loop(port, clients, 2, k)  # warm-up
+            for _ in range(rounds):
+                for label, port in ports.items():
+                    qps, latencies = one_round(port)
+                    if qps > best[label][0]:
+                        best[label] = (qps, latencies)
+        for label, (qps, latencies) in best.items():
+            print(f"[bench_serve] closed-loop {label}: {qps:.0f} qps "
+                  f"(p99 {_percentile(latencies, 0.99) * 1e3:.1f} ms)")
+        unbatched_qps = best["per-request"][0]
+        batched_qps, batched_latencies = best["batched"]
+
+        with ServerHarness(snapshot, window=0.002, max_batch=clients) as live:
+            open_elapsed, open_latencies, open_bad = open_loop(
+                live.port, open_requests, open_rate, k
+            )
+            total_bad.extend(open_bad)
+            parity_ok = check_parity(live.port, snapshot, k)
+        snapshot.close()
+
+    open_qps = len(open_latencies) / open_elapsed if open_elapsed else 0.0
+    batched_p50 = _percentile(batched_latencies, 0.50)
+    batched_p99 = _percentile(batched_latencies, 0.99)
+    open_p99 = _percentile(open_latencies, 0.99)
+    speedup = batched_qps / unbatched_qps if unbatched_qps else 0.0
+    print(f"[bench_serve] open-loop: {open_qps:.0f} qps achieved "
+          f"(p99 {open_p99 * 1e3:.1f} ms)")
+    print(f"[bench_serve] batching speedup: x{speedup:.2f}")
+
+    fives = [status for status in total_bad if status >= 500]
+    if fives:
+        failures.append(f"{len(fives)} responses were 5xx: {fives[:5]}")
+    if total_bad and not fives:
+        failures.append(f"non-200 responses: {total_bad[:5]}")
+    if not parity_ok:
+        failures.append("served rankings diverged from sequential search")
+    if batched_qps <= unbatched_qps:
+        failures.append(
+            f"batched throughput {batched_qps:.0f} qps must beat "
+            f"per-request {unbatched_qps:.0f} qps at {clients} clients"
+        )
+    if mode == "smoke" and batched_p99 > SMOKE_P99_BOUND_SECONDS:
+        failures.append(
+            f"closed-loop p99 {batched_p99:.3f}s exceeds smoke bound "
+            f"{SMOKE_P99_BOUND_SECONDS}s"
+        )
+
+    result = BenchResult(
+        bench=BENCH_NAME,
+        mode=mode,
+        metrics={
+            "models": float(models),
+            "closed_clients": float(clients),
+            "unbatched_qps": round(unbatched_qps, 1),
+            "batched_qps": round(batched_qps, 1),
+            "batch_speedup": round(speedup, 3),
+            "batched_p50_seconds": round(batched_p50, 5),
+            "batched_p99_seconds": round(batched_p99, 5),
+            "open_qps": round(open_qps, 1),
+            "open_p99_seconds": round(open_p99, 5),
+            "errors_5xx": float(len(fives)),
+        },
+    )
+
+    if check:
+        history = load_trajectory(results_dir, BENCH_NAME)
+        report = check_regression(result, history, tolerances=TOLERANCES)
+        print(report.to_text())
+        if not report.passed:
+            failures.append(
+                f"regression gate: {[c.metric for c in report.regressions]}"
+            )
+
+    if record:
+        path = append_result(results_dir, result)
+        print(f"[bench_serve] recorded -> {path}")
+
+    if failures:
+        for failure in failures:
+            print(f"[bench_serve] FAIL: {failure}")
+        return 1
+    print("[bench_serve] OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small lake, short drill (CI gate)")
+    parser.add_argument("--record", action="store_true",
+                        help="append to the trajectory even in smoke mode")
+    parser.add_argument("--check", action="store_true",
+                        help="gate the fresh result against the trajectory")
+    parser.add_argument("--results", default=DEFAULT_RESULTS,
+                        metavar="DIR", help="trajectory location")
+    args = parser.parse_args()
+    mode = "smoke" if args.smoke else "full"
+    record = args.record or not args.smoke
+    return run(mode, record, args.results, args.check)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -218,6 +218,33 @@ def _cmd_query(args) -> int:
     return 0 if hits else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    if args.window_ms < 0:
+        print("error: --window-ms must be >= 0", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        directory=args.dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        index_backend=args.backend,
+    )
+
+    def banner(server) -> None:
+        print(
+            f"serving {args.dir} on http://{config.host}:{server.port} "
+            f"(models={len(server.snapshot.lake)}, "
+            f"window={args.window_ms:.1f}ms, workers={config.workers})",
+            flush=True,
+        )
+
+    return run_server(config, ready=banner)
+
+
 def _cmd_audit(args) -> int:
     lake = load_lake(args.dir)
     model_id = _resolve(lake, args.model)
@@ -648,6 +675,24 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--dir", required=True)
     query.add_argument("--q", required=True)
     query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser(
+        "serve", help="serve lake search over HTTP (long-lived)"
+    )
+    serve.add_argument("--dir", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8484,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="scoring threads (batches overlap across them)")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="micro-batch latency window; 0 disables batching")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="dispatch a batch early once this full")
+    serve.add_argument("--backend", default="flat",
+                       choices=["flat", "hnsw", "sharded"],
+                       help="behavioral index backend")
+    serve.set_defaults(func=_cmd_serve)
 
     audit = sub.add_parser("audit", help="audit one model")
     audit.add_argument("--dir", required=True)

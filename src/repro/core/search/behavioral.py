@@ -178,6 +178,31 @@ class BehavioralSearcher:
             return []
         return self.search_domains(domains, k=k)
 
+    def search_text_batch(
+        self, query_texts: Sequence[str], k: int = 10
+    ) -> List[List[Tuple[str, float]]]:
+        """Batched free-text search: one index pass for the whole batch.
+
+        Positionally aligned with ``query_texts``.  Queries that map to
+        no domains return ``[]`` exactly as :meth:`search_text` does;
+        the rest are stacked into a single profile matrix and scored by
+        the index's ``query_batch`` (one matrix-matrix product on the
+        flat backend instead of one matrix-vector product per query).
+        """
+        results: List[List[Tuple[str, float]]] = [[] for _ in query_texts]
+        profiles: List[np.ndarray] = []
+        positions: List[int] = []
+        for position, query_text in enumerate(query_texts):
+            domains = extract_query_domains(query_text)
+            if domains:
+                profiles.append(task_profile_vector(self.probes, domains))
+                positions.append(position)
+        if profiles:
+            batched = self._index.query_batch(np.stack(profiles), k=k)
+            for position, hits in zip(positions, batched):
+                results[position] = hits
+        return results
+
     def search_by_model(
         self, query_model: Module, k: int = 10, exclude_id: Optional[str] = None
     ) -> List[Tuple[str, float]]:

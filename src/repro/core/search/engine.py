@@ -173,13 +173,84 @@ class SearchEngine:
         _latency_histogram.observe(time.perf_counter() - start)
         return [SearchHit(mid, score, method) for mid, score in results]
 
+    def search_batch(
+        self, queries: Sequence[Tuple[str, int, str]]
+    ) -> List[List[SearchHit]]:
+        """Rank a batch of ``(query_text, k, method)`` triples at once.
+
+        The serve layer's micro-batcher funnels coalesced requests here:
+        every behavioral lookup the batch needs (including the
+        behavioral channel of each hybrid query) is grouped by effective
+        k, deduplicated, and scored in one batched index pass per group,
+        so N coalesced queries cost one matrix scan instead of N.
+        Results align positionally with ``queries``, and each element
+        matches what :meth:`search` would return for the same triple.
+        """
+        for _, _, method in queries:
+            if method not in SEARCH_METHODS:
+                raise ConfigError(
+                    f"unknown method {method!r}; expected {SEARCH_METHODS}"
+                )
+            if method == "weight":
+                raise ConfigError(
+                    "weight search needs a model as query; use related_models()"
+                )
+        start = time.perf_counter()
+        with trace("search.query_batch", size=len(queries)):
+            # Unique behavioral lookups the batch needs: behavioral
+            # queries at their own k, hybrid queries at their pool size.
+            needed: Dict[Tuple[str, int], List[Tuple[str, float]]] = {}
+            for query_text, k, method in queries:
+                if method == "behavioral":
+                    needed[(query_text, k)] = []
+                elif method == "hybrid":
+                    needed[(query_text, max(k * 5, 20))] = []
+            by_k: Dict[int, List[str]] = {}
+            for query_text, k_eff in needed:
+                by_k.setdefault(k_eff, []).append(query_text)
+            for k_eff in sorted(by_k):
+                texts = by_k[k_eff]
+                for query_text, hits in zip(
+                    texts, self.behavioral.search_text_batch(texts, k=k_eff)
+                ):
+                    needed[(query_text, k_eff)] = hits
+            out: List[List[SearchHit]] = []
+            for query_text, k, method in queries:
+                if method == "keyword":
+                    results = self.keyword_index.query(query_text, k=k)
+                elif method == "behavioral":
+                    results = needed[(query_text, k)]
+                else:
+                    results = self._fuse_hybrid(
+                        query_text, k, needed[(query_text, max(k * 5, 20))]
+                    )
+                out.append([SearchHit(mid, score, method) for mid, score in results])
+        _queries_counter.inc(len(queries))
+        _latency_histogram.observe(time.perf_counter() - start)
+        return out
+
     def _hybrid_search(self, query_text: str, k: int) -> List[Tuple[str, float]]:
         """alpha * normalized-BM25 + (1 - alpha) * behavioral similarity."""
+        pool = max(k * 5, 20)
+        behavioral = self.behavioral.search_text(query_text, k=pool)
+        return self._fuse_hybrid(query_text, k, behavioral)
+
+    def _fuse_hybrid(
+        self,
+        query_text: str,
+        k: int,
+        behavioral_hits: Sequence[Tuple[str, float]],
+    ) -> List[Tuple[str, float]]:
+        """Fuse precomputed behavioral hits with a fresh BM25 channel.
+
+        Shared by the single-query and batched paths so both fuse with
+        exactly the same arithmetic and ``(-score, id)`` tie-break.
+        """
         with trace("search.hybrid", k=k):
             pool = max(k * 5, 20)
             keyword = dict(self.keyword_index.query(query_text, k=pool))
             max_bm25 = max(keyword.values()) if keyword else 1.0
-            behavioral = dict(self.behavioral.search_text(query_text, k=pool))
+            behavioral = dict(behavioral_hits)
             ids = set(keyword) | set(behavioral)
             alpha = self.hybrid_alpha
             fused = {

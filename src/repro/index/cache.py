@@ -21,6 +21,7 @@ rewrites only the shards that actually changed.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
@@ -53,6 +54,14 @@ class EmbeddingCache:
         #: the single shard key "".
         self._spaces: Dict[str, Dict[str, Dict[str, np.ndarray]]] = {}
         self._dirty: Set[Tuple[str, str]] = set()
+        # Serializes lazy shard loads, puts, and flushes.  Without it,
+        # two requests first-touching the same shard both miss
+        # ``shards.get``, both read the npz, and the loser's
+        # ``shards[shard] = vectors`` overwrites a dict the winner may
+        # already have put fresh embeddings into — which a later flush
+        # then persists *without* those entries (silent cache loss).
+        # Reentrant because ``put`` loads the shard it writes to.
+        self._lock = threading.RLock()
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
 
@@ -69,22 +78,32 @@ class EmbeddingCache:
         return os.path.join(self._directory, f"embeddings-{space}.npz")
 
     def _load_shard(self, space: str, shard: str) -> Dict[str, np.ndarray]:
-        shards = self._spaces.setdefault(space, {})
-        vectors = shards.get(shard)
-        if vectors is not None:
+        """The (lazily loaded) digest->vector dict for one shard.
+
+        Runs entirely under the cache lock: exactly one thread performs
+        the disk read for a given shard, and every later caller gets the
+        *same* dict object, so concurrent puts can never be lost to a
+        racing reload.
+        """
+        with self._lock:
+            shards = self._spaces.setdefault(space, {})
+            vectors = shards.get(shard)
+            if vectors is not None:
+                return vectors
+            vectors = {}
+            if self._directory is not None:
+                path = self._path(space, shard)
+                if os.path.exists(path):
+                    with np.load(path) as archive:  # repro: noqa[whole-file-read]
+                        vectors = {
+                            digest: archive[digest] for digest in archive.files
+                        }
+                    _log.debug(
+                        "shard.loaded", space=space, shard=shard or "-",
+                        entries=len(vectors),
+                    )
+            shards[shard] = vectors
             return vectors
-        vectors = {}
-        if self._directory is not None:
-            path = self._path(space, shard)
-            if os.path.exists(path):
-                with np.load(path) as archive:  # repro: noqa[whole-file-read]
-                    vectors = {digest: archive[digest] for digest in archive.files}
-                _log.debug(
-                    "shard.loaded", space=space, shard=shard or "-",
-                    entries=len(vectors),
-                )
-        shards[shard] = vectors
-        return vectors
 
     # ------------------------------------------------------------------
     def get(self, space: str, digest: str) -> Optional[np.ndarray]:
@@ -98,31 +117,40 @@ class EmbeddingCache:
 
     def put(self, space: str, digest: str, vector: np.ndarray) -> None:
         shard = self._shard_of(digest)
-        self._load_shard(space, shard)[digest] = np.asarray(
-            vector, dtype=np.float64
-        )
-        self._dirty.add((space, shard))
+        with self._lock:
+            self._load_shard(space, shard)[digest] = np.asarray(
+                vector, dtype=np.float64
+            )
+            self._dirty.add((space, shard))
 
     def __len__(self) -> int:
-        return sum(
-            len(vectors)
-            for shards in self._spaces.values()
-            for vectors in shards.values()
-        )
+        with self._lock:
+            return sum(
+                len(vectors)
+                for shards in self._spaces.values()
+                for vectors in shards.values()
+            )
 
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        """Persist dirty shards to disk (atomic per file); no-op in memory mode."""
-        if self._directory is None:
+        """Persist dirty shards to disk (atomic per file); no-op in memory mode.
+
+        Holds the cache lock for the whole sweep so a concurrent reader
+        can neither observe a shard file mid-rewrite through a racing
+        lazy load nor slip a put between the snapshot and the dirty-set
+        clear (which would silently drop its dirty mark).
+        """
+        with self._lock:
+            if self._directory is None:
+                self._dirty.clear()
+                return
+            for space, shard in sorted(self._dirty):
+                vectors = self._spaces[space][shard]
+                path = self._path(space, shard)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                atomic_write_npz(path, vectors)
+                _log.debug(
+                    "shard.flushed", space=space, shard=shard or "-",
+                    entries=len(vectors),
+                )
             self._dirty.clear()
-            return
-        for space, shard in sorted(self._dirty):
-            vectors = self._spaces[space][shard]
-            path = self._path(space, shard)
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            atomic_write_npz(path, vectors)
-            _log.debug(
-                "shard.flushed", space=space, shard=shard or "-",
-                entries=len(vectors),
-            )
-        self._dirty.clear()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,6 +20,14 @@ class FlatIndex:
     Incremental ``add`` calls buffer rows and materialize the matrix
     lazily (one stack per query burst instead of one copy per add);
     ``build`` ingests a whole batch in a single vectorized pass.
+
+    Consistency: every read path (``query``, ``query_batch``,
+    ``vector_of``) seals the pending buffer first, under the index lock,
+    so a search issued between ``add`` calls always sees every row added
+    before it — and two threads touching the index concurrently can
+    never double-materialize the buffer (which would duplicate rows) or
+    observe a half-written matrix.  ``seal`` exposes the flush
+    explicitly for builders that want to pay the stack eagerly.
     """
 
     def __init__(self) -> None:
@@ -26,6 +35,22 @@ class FlatIndex:
         self._vectors: Optional[np.ndarray] = None
         self._pending: List[np.ndarray] = []
         self._id_to_row: Dict[str, int] = {}
+        # One lock serializes buffer mutation and materialization; reads
+        # of the sealed matrix happen on a reference captured under the
+        # lock, so a concurrent rebuild can never swap it mid-scan.
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Locks don't pickle; shard builds ship indexes across process
+        # boundaries.  Seal first so the pickled payload is one matrix.
+        self.seal()
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -39,24 +64,36 @@ class FlatIndex:
 
     def add(self, item_id: str, vector: np.ndarray) -> None:
         vector = l2_normalize(np.asarray(vector, dtype=np.float64))
-        dim = self._dim()
-        if dim is not None and vector.shape[0] != dim:
-            raise IndexError_(
-                f"vector dim {vector.shape[0]} != index dim {dim}"
-            )
-        self._pending.append(vector)
-        self._id_to_row.setdefault(item_id, len(self._ids))
-        self._ids.append(item_id)
+        with self._lock:
+            dim = self._dim()
+            if dim is not None and vector.shape[0] != dim:
+                raise IndexError_(
+                    f"vector dim {vector.shape[0]} != index dim {dim}"
+                )
+            self._pending.append(vector)
+            self._id_to_row.setdefault(item_id, len(self._ids))
+            self._ids.append(item_id)
 
-    def _materialize(self) -> None:
-        if not self._pending:
-            return
-        block = np.stack(self._pending)
-        self._vectors = (
-            block if self._vectors is None
-            else np.concatenate([self._vectors, block])
-        )
-        self._pending = []
+    def _materialize_locked(self) -> Tuple[List[str], Optional[np.ndarray]]:
+        """Flush pending rows; returns a consistent (ids, matrix) view.
+
+        Must be called with the lock held.  The returned references are
+        safe to use after the lock is released: the matrix is replaced
+        on growth, never mutated in place.
+        """
+        if self._pending:
+            block = np.stack(self._pending)
+            self._vectors = (
+                block if self._vectors is None
+                else np.concatenate([self._vectors, block])
+            )
+            self._pending = []
+        return self._ids[: len(self._ids)], self._vectors
+
+    def seal(self) -> None:
+        """Flush buffered adds now, so later reads pay no stack."""
+        with self._lock:
+            self._materialize_locked()
 
     def build(self, ids: Sequence[str], vectors: np.ndarray) -> None:
         """Replace the index contents with a whole batch at once."""
@@ -65,29 +102,76 @@ class FlatIndex:
             raise IndexError_(f"{len(ids)} ids but {len(vectors)} vectors")
         norms = np.linalg.norm(vectors, axis=1, keepdims=True)
         norms[norms < 1e-12] = 1.0
-        self._vectors = vectors / norms
-        self._ids = list(ids)
-        self._pending = []
-        self._id_to_row = {}
-        for row, item_id in enumerate(self._ids):
-            self._id_to_row.setdefault(item_id, row)
+        normalized = vectors / norms
+        id_to_row: Dict[str, int] = {}
+        for row, item_id in enumerate(ids):
+            id_to_row.setdefault(item_id, row)
+        with self._lock:
+            self._vectors = normalized
+            self._ids = list(ids)
+            self._pending = []
+            self._id_to_row = id_to_row
+
+    @staticmethod
+    def _top_k(similarities: np.ndarray, k: int) -> np.ndarray:
+        """Row indices of the top-k similarities, best first.
+
+        Shared by the single-query and batched paths so both rank one
+        score vector with exactly the same operations.
+        """
+        k = min(k, similarities.shape[0])
+        top = np.argpartition(-similarities, k - 1)[:k]
+        return top[np.argsort(-similarities[top])]
 
     def query(self, vector: np.ndarray, k: int = 10) -> List[Tuple[str, float]]:
         """Top-k (id, cosine similarity) pairs, best first."""
-        self._materialize()
-        if self._vectors is None or not len(self._ids):
+        with self._lock:
+            ids, matrix = self._materialize_locked()
+        if matrix is None or not ids:
             return []
         vector = l2_normalize(np.asarray(vector, dtype=np.float64))
-        similarities = self._vectors @ vector
-        k = min(k, len(self._ids))
-        top = np.argpartition(-similarities, k - 1)[:k]
-        top = top[np.argsort(-similarities[top])]
-        return [(self._ids[i], float(similarities[i])) for i in top]
+        similarities = matrix @ vector
+        top = self._top_k(similarities, k)
+        return [(ids[i], float(similarities[i])) for i in top]
+
+    def query_batch(
+        self, vectors: np.ndarray, k: int = 10
+    ) -> List[List[Tuple[str, float]]]:
+        """Top-k for every row of ``vectors`` against one sealed view.
+
+        The batch amortizes the lock, the buffer materialization, and
+        (in the serving path) the executor dispatch; each row is then
+        scored with *the same* matrix-vector product the single-query
+        path uses.  Deliberately not one matrix-matrix product: BLAS
+        gemm and gemv accumulate in different orders, so a gemm-scored
+        batch returns ULP-different scores depending on which other
+        queries shared the batch — and near-tied ranks could flip.
+        Bit-identical results regardless of batch composition is the
+        contract micro-batched serving relies on.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if vectors.shape[0] == 0:
+            return []
+        with self._lock:
+            ids, matrix = self._materialize_locked()
+        if matrix is None or not ids:
+            return [[] for _ in range(vectors.shape[0])]
+        results: List[List[Tuple[str, float]]] = []
+        # Per-row gemv on purpose: one gemm would break bit-parity with
+        # query() (see docstring).
+        for row in vectors:  # repro: noqa[python-loop-over-array]
+            similarities = matrix @ l2_normalize(row)
+            top = self._top_k(similarities, k)
+            results.append([(ids[i], float(similarities[i])) for i in top])
+        return results
 
     def vector_of(self, item_id: str) -> np.ndarray:
-        row = self._id_to_row.get(item_id)
-        if row is None:
-            raise IndexError_(f"id not in index: {item_id!r}")
-        self._materialize()
-        assert self._vectors is not None
-        return self._vectors[row]
+        with self._lock:
+            row = self._id_to_row.get(item_id)
+            if row is None:
+                raise IndexError_(f"id not in index: {item_id!r}")
+            _, matrix = self._materialize_locked()
+        assert matrix is not None
+        return matrix[row]

@@ -143,6 +143,35 @@ class ShardedIndex:
         merged.sort()
         return [(item_id, -neg) for neg, item_id in merged[:k]]
 
+    def query_batch(
+        self, vectors: np.ndarray, k: int = 10
+    ) -> List[List[Tuple[str, float]]]:
+        """Batched global top-k: one batched probe per shard, then the
+        same ``(-score, id)`` merge as :meth:`query`, per row.
+
+        With a flat backend each shard scores the whole batch in a
+        single matrix-matrix product, so the scan cost of N coalesced
+        queries is one BLAS call per shard instead of N.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        batch = vectors.shape[0]
+        if batch == 0:
+            return []
+        per_query: List[List[Tuple[float, str]]] = [[] for _ in range(batch)]
+        for key in sorted(self._shards):
+            shard_results = self._shards[key].query_batch(vectors, k=k)
+            for row, hits in enumerate(shard_results):
+                per_query[row].extend(
+                    (-float(score), item_id) for item_id, score in hits
+                )
+        results: List[List[Tuple[str, float]]] = []
+        for merged in per_query:
+            merged.sort()
+            results.append([(item_id, -neg) for neg, item_id in merged[:k]])
+        return results
+
     def vector_of(self, item_id: str) -> np.ndarray:
         key = self._key_of.get(item_id)
         if key is None:

@@ -19,6 +19,7 @@ mutates the on-disk lake.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
@@ -60,6 +61,15 @@ class WeightStore:
         # session; only *successes* are memoized, so a corrupted file
         # keeps failing until its bytes are actually repaired.
         self._verified: Set[str] = set()
+        # One memmap per digest for the life of the store (or until
+        # ``close``).  Without the memo every get() re-opened the blob
+        # file, and each ``np.memmap`` holds a dup'ed fd until the array
+        # is garbage-collected — a long-lived serving process doing one
+        # open per request grows its fd table without bound.
+        self._mapped: Dict[str, Dict[str, np.ndarray]] = {}
+        # Serializes disk verification and memmap opening so concurrent
+        # first-touch of the same digest can't double-open the file.
+        self._lock = threading.RLock()
         if directory is not None and write_through:
             os.makedirs(directory, exist_ok=True)
         # Pre-register the cache counters so a metrics snapshot always
@@ -116,11 +126,42 @@ class WeightStore:
         if blob is not None:
             obs_metrics.inc(WEIGHT_STORE_CACHE_HITS)
             return unpack_arrays(blob)
-        obs_metrics.inc(WEIGHT_STORE_CACHE_MISSES)
-        if self._on_disk(digest):
-            path = self._verify_disk(digest)
-            return open_arrays_memmap(path)
+        with self._lock:
+            mapped = self._mapped.get(digest)
+            if mapped is not None:
+                obs_metrics.inc(WEIGHT_STORE_CACHE_HITS)
+                return dict(mapped)
+            obs_metrics.inc(WEIGHT_STORE_CACHE_MISSES)
+            if self._on_disk(digest):
+                path = self._verify_disk(digest)
+                mapped = open_arrays_memmap(path)
+                self._mapped[digest] = mapped
+                # Shallow copy: callers own their dict (and may pop from
+                # it) but share the single memmap per blob file.
+                return dict(mapped)
         raise LakeError(f"weights not found for digest {digest!r}")
+
+    def close(self) -> None:
+        """Release memoized memmap handles and verification memos.
+
+        Dropping the store's references lets CPython reclaim each
+        ``np.memmap`` (closing its dup'ed fd) as soon as no caller holds
+        a view — arrays still referenced elsewhere keep their mapping
+        valid, so closing under outstanding readers is safe: they finish
+        against the old snapshot while new opens see fresh bytes.  The
+        verification memo is cleared too, so a reopened blob is
+        re-checked against its digest.  The store remains usable; the
+        next get() simply reopens.
+        """
+        with self._lock:
+            self._mapped.clear()
+            self._verified.clear()
+
+    @property
+    def open_handles(self) -> int:
+        """Number of memoized memmap handles currently held."""
+        with self._lock:
+            return len(self._mapped)
 
     def blob(self, digest: str) -> bytes:
         """Raw serialized bytes for ``digest`` (verified on disk reads).
@@ -194,14 +235,15 @@ class WeightStore:
     def _verify_disk(self, digest: str) -> str:
         """Streaming digest check of a disk blob; memoized on success."""
         path = self._path(digest)
-        if digest not in self._verified:
-            actual = stream_digest(path, length=len(digest))
-            if actual != digest:
-                raise LakeIntegrityError(
-                    path=path, expected=digest, actual=actual,
-                    kind="weight blob",
-                )
-            self._verified.add(digest)
+        with self._lock:
+            if digest not in self._verified:
+                actual = stream_digest(path, length=len(digest))
+                if actual != digest:
+                    raise LakeIntegrityError(
+                        path=path, expected=digest, actual=actual,
+                        kind="weight blob",
+                    )
+                self._verified.add(digest)
         return path
 
     def _path(self, digest: str) -> str:

@@ -36,6 +36,18 @@ __all__ = [
     "SEARCH_QUERIES",
     "SEARCH_LATENCY",
     "SEARCH_ENGINE_BUILDS",
+    # serve
+    "SERVE_REQUESTS",
+    "SERVE_ERRORS",
+    "SERVE_REJECTED",
+    "SERVE_IN_FLIGHT",
+    "SERVE_QUEUE_DEPTH",
+    "SERVE_BATCHES",
+    "SERVE_BATCH_SIZE",
+    "SERVE_SEARCH_LATENCY",
+    "SERVE_MODEL_LATENCY",
+    "SERVE_STATS_LATENCY",
+    "SERVE_HEALTH_LATENCY",
     # index
     "HNSW_DISTANCE_COMPS",
     "HNSW_INSERTS",
@@ -99,6 +111,18 @@ LAKE_GENERATED_MODELS = "lake.generate.models"
 SEARCH_QUERIES = "search.queries"
 SEARCH_LATENCY = "search.latency_seconds"
 SEARCH_ENGINE_BUILDS = "search.engine_builds"
+
+SERVE_REQUESTS = "serve.requests"
+SERVE_ERRORS = "serve.errors"
+SERVE_REJECTED = "serve.rejected"
+SERVE_IN_FLIGHT = "serve.in_flight"
+SERVE_QUEUE_DEPTH = "serve.batch.queue_depth"
+SERVE_BATCHES = "serve.batch.dispatches"
+SERVE_BATCH_SIZE = "serve.batch.size"
+SERVE_SEARCH_LATENCY = "serve.search.latency_seconds"
+SERVE_MODEL_LATENCY = "serve.model.latency_seconds"
+SERVE_STATS_LATENCY = "serve.stats.latency_seconds"
+SERVE_HEALTH_LATENCY = "serve.healthz.latency_seconds"
 
 HNSW_DISTANCE_COMPS = "index.hnsw.distance_computations"
 HNSW_INSERTS = "index.hnsw.inserts"

@@ -1,0 +1,456 @@
+"""Stdlib-asyncio HTTP/JSON server over one lake snapshot.
+
+One process, one event loop, one :class:`LakeSnapshot`.  The loop
+thread only parses requests and shuffles bytes; every search is scored
+on a small thread pool through the micro-batcher, so the GIL-releasing
+BLAS work of one batch overlaps the collection of the next.
+
+Endpoints (all JSON):
+
+* ``GET /search?q=...&k=10&method=hybrid`` — ranked models; ``POST``
+  with a ``{"q": ..., "k": ..., "method": ...}`` body is equivalent.
+* ``GET /model/<id>`` — one record's metadata view.
+* ``GET /healthz`` — liveness (200 serving, 503 draining).
+* ``GET /stats`` — lake facts plus a full metrics snapshot (the
+  ``serve.*`` histograms carry per-endpoint p50/p99).
+
+Shutdown is graceful: the listener closes first, requests already in
+flight run to completion, the batcher drains its tail, and only then
+does the snapshot release its memmap handles.  New requests racing the
+drain get ``503`` with ``Retry-After``, never a connection reset.
+
+Tracing: each request records a manually-constructed span parented to
+the CLI root (the thread-local ``with trace()`` stack cannot span an
+``await`` — interleaved tasks would mis-nest).  Engine work records its
+own spans on the executor thread; the batch wrapper re-parents that
+subtree into the same trace, so ``repro trace report`` shows one tree.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.core.search.engine import SEARCH_METHODS
+from repro.errors import ConfigError, ModelNotFoundError, QueryError
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import (
+    SERVE_ERRORS,
+    SERVE_HEALTH_LATENCY,
+    SERVE_IN_FLIGHT,
+    SERVE_MODEL_LATENCY,
+    SERVE_REJECTED,
+    SERVE_REQUESTS,
+    SERVE_SEARCH_LATENCY,
+    SERVE_STATS_LATENCY,
+)
+from repro.obs.logging import get_logger
+from repro.obs.propagate import TraceContext, capture_context
+from repro.obs.tracing import (
+    Span,
+    export_span,
+    next_span_id,
+    trace,
+    tracing_enabled,
+)
+from repro.serve.batching import MicroBatcher
+from repro.serve.snapshot import LakeSnapshot
+
+_log = get_logger("serve.server")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Endpoint -> latency histogram name (the SLO surface).
+_LATENCY = {
+    "search": SERVE_SEARCH_LATENCY,
+    "model": SERVE_MODEL_LATENCY,
+    "stats": SERVE_STATS_LATENCY,
+    "healthz": SERVE_HEALTH_LATENCY,
+}
+
+_MAX_BODY = 1 << 20  # requests are tiny; anything bigger is abuse
+
+
+@dataclass
+class ServeConfig:
+    """Knobs for one server instance."""
+
+    directory: str
+    host: str = "127.0.0.1"
+    port: int = 8484
+    workers: int = 2
+    #: Micro-batch latency window in seconds; 0 = per-request dispatch.
+    window: float = 0.002
+    max_batch: int = 64
+    index_backend: str = "flat"
+
+
+class LakeServer:
+    """The serving loop: snapshot + batcher + HTTP front end."""
+
+    def __init__(self, snapshot: LakeSnapshot, config: ServeConfig):
+        self.snapshot = snapshot
+        self.config = config
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, config.workers),
+            thread_name_prefix="repro-serve",
+        )
+        self._batcher = MicroBatcher(
+            self._run_batch,
+            executor=self._executor,
+            window=config.window,
+            max_batch=config.max_batch,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._context: Optional[TraceContext] = None
+        self._draining = False
+        self._in_flight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._handlers: Set[asyncio.Task] = set()
+        self._started_at = time.time()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        # Captured on the loop thread, where the CLI root span lives.
+        self._context = capture_context()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self._started_at = time.time()
+        _log.info(
+            "server.started", host=self.config.host, port=self.port,
+            models=len(self.snapshot.lake), window=self.config.window,
+            workers=self.config.workers,
+        )
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, then release."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._idle.wait()
+        await self._batcher.drain()
+        # Established keep-alive connections outlive the listener: close
+        # them so the idle handlers (parked on readline) wake and exit
+        # before the loop does, instead of being destroyed pending.
+        for writer in list(self._connections):
+            writer.close()
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers), return_exceptions=True)
+        self._executor.shutdown(wait=True)
+        self.snapshot.close()
+        _log.info("server.stopped", port=self.config.port)
+
+    # -- engine bridge (runs on executor threads) ----------------------
+    def _run_batch(self, triples: List[Tuple[str, int, str]]) -> List[Any]:
+        with trace("serve.batch", size=len(triples)) as span:
+            if span is not None and self._context is not None:
+                # Fresh executor thread => trace() opened a root span.
+                # Re-parent it (before any child opens) so the engine's
+                # span subtree lands under the server's CLI root.
+                span.parent_id = self._context.parent_span_id
+                span.trace_id = self._context.trace_id
+            return self.snapshot.engine.search_batch(triples)
+
+    # -- per-request span (manual: survives awaits) --------------------
+    def _begin_span(self, endpoint: str, target: str) -> Optional[Span]:
+        if not tracing_enabled():
+            return None
+        span_id = next_span_id()
+        context = self._context
+        return Span(
+            name=f"serve.request.{endpoint}",
+            span_id=span_id,
+            parent_id=context.parent_span_id if context else None,
+            trace_id=context.trace_id if context else span_id,
+            start=time.perf_counter(),
+            start_unix=time.time(),
+            attributes={"target": target},
+        )
+
+    @staticmethod
+    def _end_span(span: Optional[Span], status: int) -> None:
+        if span is None:
+            return
+        span.end = time.perf_counter()
+        span.attributes["status"] = status
+        if status >= 500:
+            span.status = f"error:{status}"
+        export_span(span)
+
+    # -- HTTP front end ------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._connections.add(writer)
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    await self._respond(
+                        writer, 400, {"error": "malformed request line"}, False
+                    )
+                    break
+                http_method, target, version = parts
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length") or 0)
+                if length > _MAX_BODY:
+                    await self._respond(
+                        writer, 400, {"error": "body too large"}, False
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                keep_alive = (
+                    version == "HTTP/1.1"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                status, payload = await self._dispatch(
+                    http_method, target, body
+                )
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            # A client hanging up mid-request is routine, not an error.
+            _log.debug("client.disconnected")
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        data = json.dumps(payload, default=str).encode()
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {connection}\r\n"
+        )
+        if status == 503:
+            head += "Retry-After: 1\r\n"
+        writer.write(head.encode("latin-1") + b"\r\n" + data)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------
+    async def _dispatch(
+        self, http_method: str, target: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        split = urlsplit(target)
+        path = unquote(split.path)
+        endpoint = self._endpoint_of(path)
+        obs_metrics.inc(SERVE_REQUESTS)
+        if self._draining and endpoint != "healthz":
+            obs_metrics.inc(SERVE_REJECTED)
+            return 503, {"error": "draining", "retry_after": 1}
+        span = self._begin_span(endpoint or "unknown", path)
+        self._in_flight += 1
+        self._idle.clear()
+        obs_metrics.set_gauge(SERVE_IN_FLIGHT, self._in_flight)
+        start = time.perf_counter()
+        try:
+            status, payload = await self._route(
+                http_method, path, split.query, body, endpoint
+            )
+        except (ConfigError, QueryError) as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - one bad request must
+            # not take down the serving loop; 5xx is the contract.
+            _log.warning("request.failed", path=path, error=str(exc))
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        finally:
+            self._in_flight -= 1
+            obs_metrics.set_gauge(SERVE_IN_FLIGHT, self._in_flight)
+            if self._in_flight == 0:
+                self._idle.set()
+        if status >= 500:
+            obs_metrics.inc(SERVE_ERRORS)
+        if endpoint is not None:
+            obs_metrics.observe(
+                _LATENCY[endpoint], time.perf_counter() - start
+            )
+        self._end_span(span, status)
+        return status, payload
+
+    @staticmethod
+    def _endpoint_of(path: str) -> Optional[str]:
+        if path == "/search":
+            return "search"
+        if path.startswith("/model/"):
+            return "model"
+        if path == "/healthz":
+            return "healthz"
+        if path == "/stats":
+            return "stats"
+        return None
+
+    async def _route(
+        self,
+        http_method: str,
+        path: str,
+        query_string: str,
+        body: bytes,
+        endpoint: Optional[str],
+    ) -> Tuple[int, Dict[str, Any]]:
+        if endpoint is None:
+            return 404, {"error": f"no route for {path!r}"}
+        if endpoint == "healthz":
+            return 200, {"status": "draining" if self._draining else "ok"}
+        if endpoint == "stats":
+            return 200, self._stats_payload()
+        if endpoint == "model":
+            return self._model_payload(path[len("/model/"):])
+        # /search: GET query string or POST JSON body.
+        if http_method not in ("GET", "POST"):
+            return 405, {"error": f"{http_method} not allowed on /search"}
+        params: Dict[str, Any] = {
+            key: values[-1] for key, values in parse_qs(query_string).items()
+        }
+        if http_method == "POST" and body:
+            try:
+                params.update(json.loads(body.decode()))
+            except (ValueError, UnicodeDecodeError):
+                return 400, {"error": "body is not valid JSON"}
+        query = str(params.get("q") or params.get("query") or "").strip()
+        if not query:
+            return 400, {"error": "missing query parameter 'q'"}
+        try:
+            k = int(params.get("k", 10))
+        except (TypeError, ValueError):
+            return 400, {"error": f"k must be an integer, got {params.get('k')!r}"}
+        if k < 1:
+            return 400, {"error": f"k must be >= 1, got {k}"}
+        method = str(params.get("method", "hybrid"))
+        if method not in SEARCH_METHODS or method == "weight":
+            allowed = [m for m in SEARCH_METHODS if m != "weight"]
+            return 400, {
+                "error": f"unknown method {method!r}; expected one of {allowed}"
+            }
+        hits = await self._batcher.submit(query, k, method)
+        return 200, {
+            "query": query,
+            "k": k,
+            "method": method,
+            "results": [
+                {"model_id": hit.model_id, "score": hit.score}
+                for hit in hits
+            ],
+        }
+
+    def _model_payload(self, model_id: str) -> Tuple[int, Dict[str, Any]]:
+        try:
+            record = self.snapshot.lake.get_record(model_id)
+        except ModelNotFoundError:
+            return 404, {"error": f"no model {model_id!r}"}
+        return 200, {
+            "model_id": record.model_id,
+            "name": record.name,
+            "family": record.family,
+            "weights_digest": record.weights_digest,
+            "created_at": record.created_at,
+            "tags": list(record.tags),
+            "eval_metrics": dict(record.eval_metrics),
+            "history_public": record.history_public,
+            "weights_public": record.weights_public,
+            "card_completeness": record.card.completeness(),
+        }
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        return {
+            "directory": self.snapshot.directory,
+            "models": len(self.snapshot.lake),
+            "uptime_seconds": time.time() - self._started_at,
+            "open_weight_handles": self.snapshot.open_handles,
+            "batching": {
+                "window_seconds": self.config.window,
+                "max_batch": self.config.max_batch,
+                "workers": self.config.workers,
+            },
+            "draining": self._draining,
+            "metrics": obs_metrics.get_registry().snapshot(),
+        }
+
+
+async def _serve(server: LakeServer, ready=None) -> int:
+    await server.start()
+    loop = asyncio.get_running_loop()
+    stop_requested = asyncio.Event()
+    with contextlib.suppress(NotImplementedError, RuntimeError):
+        import signal
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop_requested.set)
+    if ready is not None:
+        ready(server)
+    await stop_requested.wait()
+    _log.info("server.draining", port=server.port)
+    await server.stop()
+    return 0
+
+
+def run_server(config: ServeConfig, ready=None) -> int:
+    """Blocking entry point used by ``repro serve``.
+
+    The snapshot opens *before* the event loop exists — engine warm-up
+    is seconds of blocking work that has no business inside a coroutine.
+    ``ready`` (for the CLI banner and tests) receives the started
+    :class:`LakeServer` before the loop parks on the shutdown signal.
+    """
+    snapshot = LakeSnapshot.open(
+        config.directory,
+        index_backend=config.index_backend,
+        index_workers=config.workers,
+    )
+    server = LakeServer(snapshot, config)
+    return asyncio.run(_serve(server, ready=ready))

@@ -142,3 +142,116 @@ class TestSearchEngineCache:
         engine = SearchEngine(lake, probes)
         assert engine.cache is None
         assert engine.search("legal", k=3)
+
+
+class TestCacheThreadSafety:
+    """Regression tests for the lazy first-touch / flush races.
+
+    Before the cache grew its lock, two threads first-touching the same
+    shard both missed ``shards.get``, both read the npz, and the loser's
+    ``shards[shard] = vectors`` replaced the dict the winner had already
+    put fresh embeddings into — embeddings a later flush then silently
+    dropped.  These tests force that interleaving with a gated
+    ``np.load`` and assert the put survives.
+    """
+
+    def test_put_racing_lazy_load_is_not_lost(self, tmp_path, monkeypatch):
+        import threading
+        import time
+
+        seeded = EmbeddingCache(str(tmp_path))
+        seeded.put("s", "aa11", np.ones(2))
+        seeded.flush()
+
+        cache = EmbeddingCache(str(tmp_path))
+        load_entered = threading.Event()
+        release_load = threading.Event()
+        real_load = np.load
+
+        def gated_load(path, *args, **kwargs):
+            load_entered.set()
+            release_load.wait(timeout=10)
+            return real_load(path, *args, **kwargs)
+
+        monkeypatch.setattr(np, "load", gated_load)
+        loader = threading.Thread(target=lambda: cache.get("s", "aa11"))
+        loader.start()
+        assert load_entered.wait(timeout=10)
+        # The writer races the in-flight first-touch load; with the
+        # cache lock it must wait for the load instead of inserting
+        # into a dict the load is about to replace.
+        writer = threading.Thread(
+            target=lambda: cache.put("s", "bb22", np.full(2, 7.0))
+        )
+        writer.start()
+        time.sleep(0.05)  # let the writer reach the lock
+        release_load.set()
+        loader.join(timeout=10)
+        writer.join(timeout=10)
+        monkeypatch.setattr(np, "load", real_load)
+
+        assert np.allclose(cache.get("s", "bb22"), 7.0)
+        cache.flush()
+        reread = EmbeddingCache(str(tmp_path))
+        assert reread.get("s", "bb22") is not None
+        assert np.allclose(reread.get("s", "aa11"), 1.0)
+
+    def test_concurrent_first_touch_reads_disk_once(self, tmp_path, monkeypatch):
+        import threading
+        import time
+
+        seeded = EmbeddingCache(str(tmp_path))
+        seeded.put("s", "aa11", np.ones(2))
+        seeded.flush()
+
+        cache = EmbeddingCache(str(tmp_path))
+        calls = []
+        real_load = np.load
+
+        def counting_load(path, *args, **kwargs):
+            calls.append(path)
+            time.sleep(0.05)  # widen the race window
+            return real_load(path, *args, **kwargs)
+
+        monkeypatch.setattr(np, "load", counting_load)
+        threads = [
+            threading.Thread(target=lambda: cache.get("s", "aa11"))
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        monkeypatch.setattr(np, "load", real_load)
+        assert len(calls) == 1  # exactly one thread performed the read
+
+    def test_flush_racing_put_keeps_dirty_mark(self, tmp_path):
+        """A put during a flush sweep must not lose its dirty mark."""
+        import threading
+
+        cache = EmbeddingCache(str(tmp_path))
+        cache.put("s", "aa11", np.ones(2))
+
+        done = threading.Event()
+
+        def flusher():
+            for _ in range(20):
+                cache.flush()
+            done.set()
+
+        def putter():
+            for index in range(20):
+                cache.put("s", f"d{index:04d}", np.full(2, float(index)))
+
+        threads = [
+            threading.Thread(target=flusher),
+            threading.Thread(target=putter),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        cache.flush()
+        reread = EmbeddingCache(str(tmp_path))
+        for index in range(20):
+            assert reread.get("s", f"d{index:04d}") is not None, index

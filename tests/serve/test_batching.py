@@ -1,0 +1,147 @@
+"""Unit tests for the micro-batcher: coalescing, dedup, drain."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import MicroBatcher
+
+
+class RecordingRunner:
+    """Echoes each key back as its result and records every call."""
+
+    def __init__(self, delay: float = 0.0, fail: Exception | None = None):
+        self.calls = []
+        self.delay = delay
+        self.fail = fail
+        self._lock = threading.Lock()
+
+    def __call__(self, keys):
+        with self._lock:
+            self.calls.append(list(keys))
+        if self.delay:
+            import time
+
+            time.sleep(self.delay)
+        if self.fail is not None:
+            raise self.fail
+        return [("result", key) for key in keys]
+
+
+class TestMicroBatcher:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(RecordingRunner(), window=-0.001)
+
+    def test_concurrent_queries_share_one_dispatch(self):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, window=0.05)
+            results = await asyncio.gather(
+                batcher.submit("a", 5, "hybrid"),
+                batcher.submit("b", 5, "hybrid"),
+                batcher.submit("c", 3, "keyword"),
+            )
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(runner.calls) == 1
+        assert sorted(runner.calls[0]) == [
+            ("a", 5, "hybrid"), ("b", 5, "hybrid"), ("c", 3, "keyword"),
+        ]
+        assert results[0] == ("result", ("a", 5, "hybrid"))
+        assert results[2] == ("result", ("c", 3, "keyword"))
+
+    def test_identical_queries_deduplicate(self):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, window=0.05)
+            return await asyncio.gather(
+                *(batcher.submit("same", 5, "hybrid") for _ in range(6))
+            )
+
+        results = asyncio.run(scenario())
+        assert runner.calls == [[("same", 5, "hybrid")]]
+        assert all(result is results[0] for result in results)
+
+    def test_max_batch_dispatches_before_window(self):
+        runner = RecordingRunner()
+
+        async def scenario():
+            # A window long enough that only the max_batch trigger can
+            # explain a dispatch inside the gather timeout.
+            batcher = MicroBatcher(runner, window=30.0, max_batch=2)
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    batcher.submit("a", 5, "hybrid"),
+                    batcher.submit("b", 5, "hybrid"),
+                ),
+                timeout=5.0,
+            )
+
+        results = asyncio.run(scenario())
+        assert len(results) == 2
+        assert len(runner.calls) == 1
+
+    def test_window_zero_dispatches_each_alone(self):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, window=0)
+            return await asyncio.gather(
+                batcher.submit("a", 5, "hybrid"),
+                batcher.submit("b", 5, "hybrid"),
+            )
+
+        results = asyncio.run(scenario())
+        assert len(results) == 2
+        assert sorted(len(call) for call in runner.calls) == [1, 1]
+
+    def test_runner_failure_reaches_every_waiter(self):
+        runner = RecordingRunner(fail=RuntimeError("engine exploded"))
+
+        async def scenario():
+            batcher = MicroBatcher(runner, window=0.05)
+            return await asyncio.gather(
+                batcher.submit("a", 5, "hybrid"),
+                batcher.submit("b", 5, "hybrid"),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(scenario())
+        assert len(results) == 2
+        for result in results:
+            assert isinstance(result, RuntimeError)
+
+    def test_drain_dispatches_tail_then_rejects(self):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, window=30.0)
+            pending = asyncio.ensure_future(batcher.submit("a", 5, "hybrid"))
+            await asyncio.sleep(0)  # let the submit open its window
+            await batcher.drain()
+            result = await pending
+            with pytest.raises(RuntimeError):
+                await batcher.submit("b", 5, "hybrid")
+            return result
+
+        result = asyncio.run(scenario())
+        assert result == ("result", ("a", 5, "hybrid"))
+        assert runner.calls == [[("a", 5, "hybrid")]]
+
+    def test_queue_depth_tracks_pending(self):
+        async def scenario():
+            batcher = MicroBatcher(RecordingRunner(), window=30.0)
+            assert batcher.queue_depth == 0
+            pending = asyncio.ensure_future(batcher.submit("a", 5, "hybrid"))
+            await asyncio.sleep(0)
+            depth = batcher.queue_depth
+            await batcher.drain()
+            await pending
+            return depth
+
+        assert asyncio.run(scenario()) == 1

@@ -1,0 +1,219 @@
+"""HTTP-level tests for the lake server: endpoints, parity, shutdown."""
+
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, payload = server.get("/healthz")
+        assert status == 200
+        assert payload == {"status": "ok"}
+
+    def test_search_get(self, server):
+        status, payload = server.search("legal court statute", k=3)
+        assert status == 200
+        assert payload["method"] == "hybrid"
+        assert payload["k"] == 3
+        assert 1 <= len(payload["results"]) <= 3
+        for hit in payload["results"]:
+            assert hit["model_id"]
+            assert isinstance(float(hit["score"]), float)
+
+    def test_search_post_body(self, server):
+        status, payload = server.post(
+            "/search", {"q": "medical diagnosis", "k": 2, "method": "behavioral"}
+        )
+        assert status == 200
+        assert payload["method"] == "behavioral"
+        assert len(payload["results"]) <= 2
+
+    def test_search_matches_sequential_engine(self, server):
+        engine = server.server.snapshot.engine
+        for method in ("hybrid", "behavioral", "keyword"):
+            status, payload = server.search("legal court statute", k=5,
+                                            method=method)
+            assert status == 200
+            expected = engine.search("legal court statute", k=5, method=method)
+            assert [h["model_id"] for h in payload["results"]] == [
+                h.model_id for h in expected
+            ]
+            for served, direct in zip(payload["results"], expected):
+                assert float(served["score"]) == pytest.approx(
+                    float(direct.score), abs=1e-9
+                )
+
+    def test_search_missing_query(self, server):
+        status, payload = server.get("/search?k=3")
+        assert status == 400
+        assert "q" in payload["error"]
+
+    def test_search_bad_k(self, server):
+        status, _ = server.get("/search?q=legal&k=zero")
+        assert status == 400
+        status, _ = server.get("/search?q=legal&k=0")
+        assert status == 400
+
+    def test_search_bad_method(self, server):
+        status, payload = server.get("/search?q=legal&method=psychic")
+        assert status == 400
+        assert "psychic" in payload["error"]
+
+    def test_search_weight_method_rejected(self, server):
+        status, _ = server.get("/search?q=legal&method=weight")
+        assert status == 400
+
+    def test_search_wrong_http_method(self, server):
+        conn = HTTPConnection("127.0.0.1", server.port)
+        try:
+            conn.request("PUT", "/search?q=legal")
+            assert conn.getresponse().status == 405
+        finally:
+            conn.close()
+
+    def test_model_endpoint(self, server):
+        record = next(iter(server.server.snapshot.lake))
+        status, payload = server.get(f"/model/{record.model_id}")
+        assert status == 200
+        assert payload["model_id"] == record.model_id
+        assert payload["weights_digest"] == record.weights_digest
+        assert payload["family"] == record.family
+        assert 0.0 <= payload["card_completeness"] <= 1.0
+
+    def test_model_not_found(self, server):
+        status, _ = server.get("/model/nope-such-model")
+        assert status == 404
+
+    def test_unknown_route(self, server):
+        status, _ = server.get("/nope")
+        assert status == 404
+
+    def test_stats(self, server):
+        server.search("legal court statute", k=2)
+        status, payload = server.get("/stats")
+        assert status == 200
+        assert payload["models"] == len(server.server.snapshot.lake)
+        assert payload["batching"]["window_seconds"] == pytest.approx(0.002)
+        assert payload["draining"] is False
+        flat = str(payload["metrics"])
+        assert "serve.requests" in flat
+        assert "serve.search.latency_seconds" in flat
+
+    def test_keep_alive_reuses_connection(self, server):
+        conn = HTTPConnection("127.0.0.1", server.port)
+        try:
+            for _ in range(3):
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            conn.close()
+
+
+class TestConcurrency:
+    QUERIES = (
+        "legal court statute",
+        "medical diagnosis notes",
+        "code compiler tokens",
+        "news report headline",
+    )
+
+    def test_concurrent_rankings_match_sequential(self, server):
+        """N threads of identical queries get byte-identical rankings."""
+        engine = server.server.snapshot.engine
+        expected = {
+            query: [
+                (h.model_id, float(h.score))
+                for h in engine.search(query, k=5, method="hybrid")
+            ]
+            for query in self.QUERIES
+        }
+        failures = []
+        barrier = threading.Barrier(8)
+
+        def worker(wid: int) -> None:
+            barrier.wait()
+            for repeat in range(5):
+                query = self.QUERIES[(wid + repeat) % len(self.QUERIES)]
+                status, payload = server.search(query, k=5)
+                got = [
+                    (h["model_id"], float(h["score"]))
+                    for h in payload["results"]
+                ]
+                if status != 200 or got != expected[query]:
+                    failures.append((wid, query, status, got))
+
+        threads = [
+            # Failures list is only read after every join below.
+            threading.Thread(target=worker, args=(wid,)) for wid in range(8)  # repro: noqa[shared-state-race]
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+    def test_batched_equals_per_request(self, make_server):
+        """The same burst through window=0 and window>0 ranks identically."""
+        burst = [(query, 5, "hybrid") for query in self.QUERIES] * 2
+
+        def run_burst(harness):
+            results = {}
+            threads = []
+
+            def one(query, k, method):
+                status, payload = harness.search(query, k=k, method=method)
+                assert status == 200
+                results[(query, k, method)] = [
+                    (h["model_id"], float(h["score"]))
+                    for h in payload["results"]
+                ]
+
+            for triple in burst:
+                # Distinct keys per thread; dict reads happen after join.
+                threads.append(threading.Thread(target=one, args=triple))  # repro: noqa[shared-state-race]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return results
+
+        batched = run_burst(make_server(window=0.005))
+        unbatched = run_burst(make_server(window=0.0))
+        assert batched == unbatched
+
+
+class TestShutdown:
+    def test_draining_rejects_with_503(self, make_server):
+        harness = make_server(window=0.0)
+        # Flip the drain flag directly: deterministic, no signal races.
+        harness.server._draining = True
+        try:
+            status, payload = harness.search("legal court statute")
+            assert status == 503
+            assert payload["error"] == "draining"
+            health_status, health = harness.get("/healthz")
+            assert health_status == 200
+            assert health["status"] == "draining"
+        finally:
+            harness.server._draining = False
+
+    def test_graceful_stop_closes_listener_and_snapshot(self, serve_lake_dir):
+        from tests.serve.conftest import ServerHarness
+
+        harness = ServerHarness(serve_lake_dir, window=0.002).start()
+        status, _ = harness.search("legal court statute", k=2)
+        assert status == 200
+        port = harness.port
+        harness.stop()
+        assert harness.snapshot.closed
+        with pytest.raises(OSError):
+            conn = HTTPConnection("127.0.0.1", port)
+            try:
+                conn.request("GET", "/healthz")
+                conn.getresponse()
+            finally:
+                conn.close()

@@ -1,0 +1,70 @@
+"""Tests for LakeSnapshot handle ownership and hot-swap semantics."""
+
+import pytest
+
+from repro.serve import LakeSnapshot
+
+
+class TestSnapshotLifecycle:
+    def test_open_builds_working_engine(self, serve_lake_dir):
+        with LakeSnapshot.open(serve_lake_dir) as snapshot:
+            hits = snapshot.engine.search("legal court statute", k=3)
+            assert hits
+            assert snapshot.directory == serve_lake_dir
+            assert not snapshot.closed
+
+    def test_close_releases_every_weight_handle(self, serve_lake_dir):
+        snapshot = LakeSnapshot.open(serve_lake_dir)
+        # Force a weight read so the store memoizes at least one memmap.
+        record = next(iter(snapshot.lake))
+        snapshot.lake.weights.get(record.weights_digest)
+        assert snapshot.open_handles >= 1
+        snapshot.close()
+        assert snapshot.open_handles == 0
+        assert snapshot.closed
+
+    def test_close_is_idempotent(self, serve_lake_dir):
+        snapshot = LakeSnapshot.open(serve_lake_dir)
+        snapshot.close()
+        snapshot.close()
+        assert snapshot.closed
+
+    def test_handles_do_not_grow_per_read(self, serve_lake_dir):
+        """Repeated reads of one model reuse the memoized memmap."""
+        snapshot = LakeSnapshot.open(serve_lake_dir)
+        try:
+            record = next(iter(snapshot.lake))
+            snapshot.lake.weights.get(record.weights_digest)
+            base = snapshot.open_handles
+            for _ in range(5):
+                snapshot.lake.weights.get(record.weights_digest)
+            assert snapshot.open_handles == base
+        finally:
+            snapshot.close()
+
+    def test_reload_returns_fresh_snapshot(self, serve_lake_dir):
+        old = LakeSnapshot.open(serve_lake_dir)
+        new = old.reload()
+        try:
+            assert new is not old
+            assert new.directory == old.directory
+            query = "legal court statute"
+            before = [h.model_id for h in old.engine.search(query, k=3)]
+            # Hot-swap order: publish the new snapshot, then close the
+            # old one; the new one must be unaffected.
+            old.close()
+            after = [h.model_id for h in new.engine.search(query, k=3)]
+            assert after == before
+        finally:
+            new.close()
+            old.close()
+
+    def test_stragglers_survive_close(self, serve_lake_dir):
+        """Arrays handed out before close() stay readable after it."""
+        snapshot = LakeSnapshot.open(serve_lake_dir)
+        record = next(iter(snapshot.lake))
+        arrays = snapshot.lake.weights.get(record.weights_digest)
+        snapshot.close()
+        for array in arrays.values():
+            assert array.shape is not None
+            float(array.ravel()[0])  # actually touch the mapping
